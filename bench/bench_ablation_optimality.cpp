@@ -1,0 +1,94 @@
+// Ablation: how close is FBF to the clairvoyant optimum? Recovery
+// request streams are fully deterministic, so Belady's MIN is computable
+// exactly. Replays each SOR worker's stream (its stripes' request
+// sequences, concatenated) through every policy and through MIN, at each
+// per-worker capacity.
+//
+// This isolates replacement-policy quality: no disks, no installs — the
+// identical read stream for everyone.
+#include "bench_common.h"
+#include "cache/belady.h"
+#include "recovery/request_sequence.h"
+#include "recovery/scheme_cache.h"
+
+int main(int argc, char** argv) {
+  using namespace fbf;
+  const bench::BenchOptions opt = bench::parse_options(argc, argv, {11});
+
+  const codes::Layout layout =
+      codes::make_layout(codes::CodeId::TripleStar, opt.primes.front());
+  workload::ErrorTraceConfig trace_cfg;
+  trace_cfg.num_stripes = 1 << 20;
+  trace_cfg.num_errors = opt.errors;
+  trace_cfg.seed = opt.seed;
+  const auto errors = workload::generate_error_trace(layout, trace_cfg);
+  const sim::ArrayGeometry geometry(layout, trace_cfg.num_stripes);
+
+  // Per-worker read streams, SOR round-robin assignment.
+  const int workers = 16;
+  std::vector<std::vector<cache::Key>> streams(
+      static_cast<std::size_t>(workers));
+  std::vector<std::vector<int>> priorities(static_cast<std::size_t>(workers));
+  recovery::SchemeCache schemes(layout);
+  for (std::size_t e = 0; e < errors.size(); ++e) {
+    const auto scheme =
+        schemes.get(errors[e].error, recovery::SchemeKind::RoundRobin);
+    const auto w = e % static_cast<std::size_t>(workers);
+    for (const recovery::ChunkOp& op :
+         recovery::build_request_sequence(layout, *scheme)) {
+      if (op.kind == recovery::OpKind::Read) {
+        streams[w].push_back(geometry.chunk_key(errors[e].stripe, op.cell));
+        priorities[w].push_back(op.priority);
+      }
+    }
+  }
+
+  std::cout << "=== Ablation: policies vs Belady-optimal (TripleStar, P="
+            << opt.primes.front() << ", " << workers
+            << " worker streams) ===\n\n";
+  util::Table table("hit ratio by per-worker cache capacity");
+  table.headers({"chunks/worker", "LRU", "ARC", "FBF", "OPT (MIN)",
+                 "FBF % of OPT"});
+  for (std::size_t capacity : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    std::uint64_t opt_hits = 0;
+    std::uint64_t total = 0;
+    for (const auto& stream : streams) {
+      const cache::CacheStats s = cache::belady_min(stream, capacity);
+      opt_hits += s.hits;
+      total += s.accesses();
+    }
+    auto run_policy = [&](cache::PolicyId id) {
+      std::uint64_t hits = 0;
+      for (std::size_t w = 0; w < streams.size(); ++w) {
+        const auto policy = cache::make_policy(id, capacity);
+        for (std::size_t i = 0; i < streams[w].size(); ++i) {
+          hits += policy->request(streams[w][i], priorities[w][i]) ? 1 : 0;
+        }
+      }
+      return hits;
+    };
+    const std::uint64_t lru = run_policy(cache::PolicyId::Lru);
+    const std::uint64_t arc = run_policy(cache::PolicyId::Arc);
+    const std::uint64_t fbf = run_policy(cache::PolicyId::Fbf);
+    auto ratio = [total](std::uint64_t hits) {
+      return util::fmt_percent(static_cast<double>(hits) /
+                               static_cast<double>(total));
+    };
+    table.add_row(
+        {std::to_string(capacity), ratio(lru), ratio(arc), ratio(fbf),
+         ratio(opt_hits),
+         opt_hits == 0 ? "-"
+                       : util::fmt_percent(static_cast<double>(fbf) /
+                                           static_cast<double>(opt_hits))});
+  }
+  if (opt.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\nMIN knows the future; FBF's priority dictionary is a "
+               "static approximation of exactly that future (how many "
+               "chains still reference a chunk), which is why it tracks "
+               "OPT far more closely than recency-based policies.\n";
+  return 0;
+}

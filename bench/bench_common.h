@@ -1,0 +1,100 @@
+// Shared plumbing for the figure/table harnesses: standard flags, the
+// paper's parameter axes, and series printing.
+//
+// Common flags for every bench:
+//   --errors=N        damaged stripes per run (default 200)
+//   --workers=N       SOR worker processes (default 32; paper uses 128)
+//   --sizes-mb=a,b,c  cache-size axis in MB (default 2..2048 powers of 4)
+//   --p=a,b,c         primes (figure-specific default)
+//   --seed=N          workload seed
+//   --csv             CSV instead of aligned text
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/sweep.h"
+#include "util/flags.h"
+#include "util/table.h"
+
+namespace fbf::bench {
+
+struct BenchOptions {
+  int errors = 400;
+  int workers = 128;  // the paper's parallel-reconstruction thread count
+  std::vector<std::size_t> cache_sizes;
+  std::vector<int> primes;
+  std::uint64_t seed = 42;
+  bool csv = false;
+  std::size_t threads = 0;  // sweep parallelism (0 = hardware)
+};
+
+inline BenchOptions parse_options(int argc, char** argv,
+                                  std::vector<int> default_primes) {
+  const util::Flags flags(argc, argv);
+  BenchOptions opt;
+  opt.errors = static_cast<int>(flags.get_int("errors", 400));
+  opt.workers = static_cast<int>(flags.get_int("workers", 128));
+  opt.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  opt.csv = flags.get_bool("csv", false);
+  opt.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  for (std::int64_t mb : flags.get_int_list(
+           "sizes-mb", {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048})) {
+    opt.cache_sizes.push_back(static_cast<std::size_t>(mb) << 20);
+  }
+  std::vector<std::int64_t> fallback(default_primes.begin(),
+                                     default_primes.end());
+  for (std::int64_t p : flags.get_int_list("p", fallback)) {
+    opt.primes.push_back(static_cast<int>(p));
+  }
+  return opt;
+}
+
+inline core::ExperimentConfig base_config(const BenchOptions& opt,
+                                          codes::CodeId code, int p) {
+  core::ExperimentConfig cfg;
+  cfg.code = code;
+  cfg.p = p;
+  cfg.num_errors = opt.errors;
+  cfg.workers = opt.workers;
+  cfg.seed = opt.seed;
+  cfg.scheme = recovery::SchemeKind::RoundRobin;
+  return cfg;
+}
+
+inline const std::vector<cache::PolicyId>& paper_policies() {
+  static const std::vector<cache::PolicyId> policies{
+      cache::PolicyId::Fifo, cache::PolicyId::Lru, cache::PolicyId::Lfu,
+      cache::PolicyId::Arc, cache::PolicyId::Fbf};
+  return policies;
+}
+
+/// Prints one figure panel: rows = cache sizes, columns = policies.
+template <typename MetricFn>
+void print_panel(const std::string& title,
+                 const std::vector<core::SweepPoint>& points,
+                 const BenchOptions& opt, MetricFn metric) {
+  util::Table table(title);
+  std::vector<std::string> header{"cache"};
+  for (cache::PolicyId policy : paper_policies()) {
+    header.push_back(cache::to_string(policy));
+  }
+  table.headers(std::move(header));
+  for (std::size_t size : opt.cache_sizes) {
+    std::vector<std::string> row{util::fmt_bytes(size)};
+    for (cache::PolicyId policy : paper_policies()) {
+      row.push_back(metric(core::find_point(points, size, policy).result));
+    }
+    table.add_row(std::move(row));
+  }
+  if (opt.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\n";
+}
+
+}  // namespace fbf::bench

@@ -1,0 +1,100 @@
+// Extension (paper footnote 3 + related work): FBF beyond XOR array
+// codes. Compares partial-stripe recovery I/O across three code families
+// and replays LRC recovery request streams through the cache policies.
+//
+//  - 3DFT chain recovery (TIP): one chain per lost chunk, chunks shared
+//    across chains (the paper's subject).
+//  - Reed-Solomon: any k survivors rebuild everything; all reads are
+//    shared across lost chunks (maximal sharing, maximal fetch floor).
+//  - LRC: local chains for lone failures, global chains otherwise; the
+//    global/local chain relationship is what FBF's priorities exploit.
+#include "bench_common.h"
+#include "cache/policy.h"
+#include "codes/lrc.h"
+#include "codes/reed_solomon.h"
+#include "recovery/scheme.h"
+
+namespace {
+
+using namespace fbf;
+
+/// Replays `rounds` LRC stripe recoveries through a policy, one cache
+/// partition per worker as in the main simulator.
+double lrc_hit_ratio(const codes::LrcCode& code, cache::PolicyId policy,
+                     std::size_t capacity, int rounds, int erasures) {
+  util::Rng rng(4242);
+  const auto cache = cache::make_policy(policy, capacity);
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<int> erased;
+    while (static_cast<int>(erased.size()) < erasures) {
+      const int e = static_cast<int>(rng.uniform_int(0, code.n() - 1));
+      if (std::find(erased.begin(), erased.end(), e) == erased.end()) {
+        erased.push_back(e);
+      }
+    }
+    std::sort(erased.begin(), erased.end());
+    const auto plan = code.plan_recovery(erased);
+    const auto base = static_cast<cache::Key>(round) * 1000;
+    for (const auto& reads : plan.reads_per_erasure) {
+      for (int idx : reads) {
+        const int refs = plan.reference_count[static_cast<std::size_t>(idx)];
+        cache->request(base + static_cast<cache::Key>(idx),
+                       std::min(refs, 3));
+      }
+    }
+  }
+  return cache->stats().hit_ratio();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opt = bench::parse_options(argc, argv, {11});
+
+  std::cout << "=== Extension: recovery I/O across code families ===\n\n";
+  {
+    util::Table table("distinct reads to recover an x-chunk partial stripe");
+    table.headers({"lost chunks", "TIP chains (p=11)", "RS(10,3)",
+                   "LRC(12,2,2)"});
+    const codes::Layout tip = codes::make_layout(codes::CodeId::Tip, 11);
+    const codes::ReedSolomon rs(10, 3);
+    const codes::LrcCode lrc(12, 2, 2);
+    for (int lost = 1; lost <= 3; ++lost) {
+      const auto scheme = recovery::generate_scheme(
+          tip, recovery::PartialStripeError{0, 0, lost},
+          recovery::SchemeKind::RoundRobin);
+      std::vector<int> lrc_erased;
+      for (int i = 0; i < lost; ++i) {
+        lrc_erased.push_back(i);
+      }
+      const auto plan = lrc.plan_recovery(lrc_erased);
+      table.add_row({std::to_string(lost),
+                     std::to_string(scheme.distinct_reads()),
+                     std::to_string(rs.k()),  // always k survivors
+                     std::to_string(plan.distinct_reads)});
+    }
+    table.print(std::cout);
+    std::cout << "\nRS always fetches k chunks (fully shared); chain codes "
+                 "fetch less for small errors — the regime partial stripe "
+                 "errors live in.\n\n";
+  }
+
+  {
+    util::Table table(
+        "LRC(12,2,2) recovery hit ratio by policy (2 erasures/stripe)");
+    table.headers({"cache chunks", "LRU", "ARC", "FBF"});
+    for (std::size_t capacity : {2u, 4u, 8u, 16u}) {
+      std::vector<std::string> row{std::to_string(capacity)};
+      for (cache::PolicyId policy :
+           {cache::PolicyId::Lru, cache::PolicyId::Arc, cache::PolicyId::Fbf}) {
+        row.push_back(util::fmt_percent(lrc_hit_ratio(
+            codes::LrcCode(12, 2, 2), policy, capacity, opt.errors, 2)));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\nFBF's priority queues generalize: chunks on both global "
+                 "chains get priority >= 2 and survive the one-shot reads.\n";
+  }
+  return 0;
+}

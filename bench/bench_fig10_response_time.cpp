@@ -1,0 +1,28 @@
+// Figure 10: average response time of the disk array during partial
+// stripe reconstruction, all four codes x P in {7, 11, 13}.
+//
+// Expected shape: response time falls with cache size; FBF is fastest
+// (paper: up to 31.39% below LFU at P=13); the advantage fades once the
+// cache stops being the bottleneck.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fbf;
+  const bench::BenchOptions opt = bench::parse_options(argc, argv, {7, 11, 13});
+
+  std::cout << "=== Figure 10: average response time (ms) ===\n\n";
+  for (codes::CodeId code : codes::kAllCodes) {
+    for (int p : opt.primes) {
+      const auto points =
+          core::run_sweep(bench::base_config(opt, code, p), opt.cache_sizes,
+                          bench::paper_policies(), opt.threads);
+      bench::print_panel(
+          std::string(codes::to_string(code)) + " (P=" + std::to_string(p) +
+              ") — avg response (ms)",
+          points, opt, [](const core::ExperimentResult& r) {
+            return util::fmt_double(r.avg_response_ms);
+          });
+    }
+  }
+  return 0;
+}

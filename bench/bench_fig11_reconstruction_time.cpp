@@ -1,0 +1,27 @@
+// Figure 11: total partial stripe reconstruction time, TIP-code,
+// P in {5, 7, 11, 13}.
+//
+// Expected shape: reconstruction time falls with cache size; FBF is
+// fastest (paper: up to 14.90% over LRU, 12.04% over ARC), with a smaller
+// relative gap than response time because XOR and spare-write costs are
+// policy-independent.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fbf;
+  const bench::BenchOptions opt =
+      bench::parse_options(argc, argv, {5, 7, 11, 13});
+
+  std::cout << "=== Figure 11: reconstruction time (ms, TIP-code) ===\n\n";
+  for (int p : opt.primes) {
+    const auto points = core::run_sweep(
+        bench::base_config(opt, codes::CodeId::Tip, p), opt.cache_sizes,
+        bench::paper_policies(), opt.threads);
+    bench::print_panel(
+        "TIP (P=" + std::to_string(p) + ") — reconstruction time (ms)",
+        points, opt, [](const core::ExperimentResult& r) {
+          return util::fmt_double(r.reconstruction_ms, 1);
+        });
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 8: cache hit ratio during partial stripe reconstruction, for all
+// four codes x P in {7, 11, 13} x {FIFO, LRU, LFU, ARC, FBF} across the
+// cache-size axis.
+//
+// Expected shape (paper §IV-B-1): hit ratio rises with cache size and
+// plateaus; FBF dominates at small sizes and plateaus earliest; STAR shows
+// the highest ratios (adjuster chunks are referenced 3+ times).
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fbf;
+  const bench::BenchOptions opt = bench::parse_options(argc, argv, {7, 11, 13});
+
+  std::cout << "=== Figure 8: hit ratio during partial stripe "
+               "reconstruction ===\n\n";
+  for (codes::CodeId code : codes::kAllCodes) {
+    for (int p : opt.primes) {
+      const auto points =
+          core::run_sweep(bench::base_config(opt, code, p), opt.cache_sizes,
+                          bench::paper_policies(), opt.threads);
+      bench::print_panel(
+          std::string(codes::to_string(code)) + " (P=" + std::to_string(p) +
+              ") — hit ratio",
+          points, opt, [](const core::ExperimentResult& r) {
+            return util::fmt_percent(r.hit_ratio);
+          });
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Microbenchmarks (google-benchmark): per-operation cost of each cache
+// policy and of recovery-scheme generation — the raw numbers behind the
+// Table IV overhead story.
+#include <benchmark/benchmark.h>
+
+#include "cache/policy.h"
+#include "codes/builders.h"
+#include "recovery/scheme.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace fbf;
+
+void BM_CacheRequest(benchmark::State& state) {
+  const auto policy = static_cast<cache::PolicyId>(state.range(0));
+  const auto cache = cache::make_policy(policy, 1024);
+  util::Rng rng(7);
+  std::vector<cache::Key> keys(1 << 14);
+  std::vector<int> prios(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<cache::Key>(rng.uniform_int(0, 4095));
+    prios[i] = static_cast<int>(rng.uniform_int(1, 3));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache->request(keys[i], prios[i]));
+    i = (i + 1) & (keys.size() - 1);
+  }
+  state.SetLabel(cache->name());
+}
+BENCHMARK(BM_CacheRequest)
+    ->Arg(static_cast<int>(cache::PolicyId::Fifo))
+    ->Arg(static_cast<int>(cache::PolicyId::Lru))
+    ->Arg(static_cast<int>(cache::PolicyId::Lfu))
+    ->Arg(static_cast<int>(cache::PolicyId::Arc))
+    ->Arg(static_cast<int>(cache::PolicyId::Lru2))
+    ->Arg(static_cast<int>(cache::PolicyId::TwoQ))
+    ->Arg(static_cast<int>(cache::PolicyId::Fbf));
+
+void BM_SchemeGeneration(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const codes::Layout layout = codes::make_layout(codes::CodeId::Tip, p);
+  const recovery::PartialStripeError err{0, 0, (p - 1) / 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        recovery::generate_scheme(layout, err, recovery::SchemeKind::RoundRobin));
+  }
+  state.SetLabel("TIP p=" + std::to_string(p));
+}
+BENCHMARK(BM_SchemeGeneration)->Arg(5)->Arg(7)->Arg(11)->Arg(13);
+
+void BM_SchemeGenerationStar(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const codes::Layout layout = codes::make_layout(codes::CodeId::Star, p);
+  const recovery::PartialStripeError err{0, 0, p - 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        recovery::generate_scheme(layout, err, recovery::SchemeKind::RoundRobin));
+  }
+  state.SetLabel("STAR p=" + std::to_string(p));
+}
+BENCHMARK(BM_SchemeGenerationStar)->Arg(5)->Arg(7)->Arg(11)->Arg(13);
+
+void BM_LayoutConstruction(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codes::make_layout(codes::CodeId::Star, p));
+  }
+}
+BENCHMARK(BM_LayoutConstruction)->Arg(5)->Arg(13);
+
+}  // namespace

@@ -1,0 +1,61 @@
+// Table V: maximum improvement of FBF over FIFO/LRU/LFU/ARC across the
+// cache-size axis, on all four metrics. Computed from the same sweeps as
+// Figures 8-11 (TIP-code panels).
+//
+// Paper's numbers for reference: hit ratio +134.06/142.70/247.67/63.74%,
+// disk reads -14.13/17.14/22.52/12.37%, response time
+// -24.51/24.46/31.39/18.02%, reconstruction time -11.77/14.90/13.42/12.04%.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fbf;
+  const bench::BenchOptions opt = bench::parse_options(argc, argv, {13});
+
+  std::cout << "=== Table V: maximum improvement of FBF over classic "
+               "policies ===\n(TIP-code, P="
+            << opt.primes.front() << ", max across cache sizes)\n\n";
+
+  const auto points = core::run_sweep(
+      bench::base_config(opt, codes::CodeId::Tip, opt.primes.front()),
+      opt.cache_sizes, bench::paper_policies(), opt.threads);
+
+  struct Metric {
+    const char* name;
+    std::function<double(const core::ExperimentResult&)> get;
+    bool higher_is_better;
+    double min_base;  // skip grid points with a near-zero baseline
+  };
+  const std::vector<Metric> metrics{
+      // Hit-ratio improvements are only meaningful where the baseline has
+      // a measurable ratio (>= 1%), else the ratio blows up on noise.
+      {"Hit ratio", [](const auto& r) { return r.hit_ratio; }, true, 0.01},
+      {"Number of reads in disks",
+       [](const auto& r) { return static_cast<double>(r.disk_reads); },
+       false, 0.0},
+      {"Response time", [](const auto& r) { return r.avg_response_ms; },
+       false, 0.0},
+      {"Reconstruction time",
+       [](const auto& r) { return r.reconstruction_ms; }, false, 0.0},
+  };
+  const std::vector<cache::PolicyId> baselines{
+      cache::PolicyId::Fifo, cache::PolicyId::Lru, cache::PolicyId::Lfu,
+      cache::PolicyId::Arc};
+
+  util::Table table("max improvement of FBF");
+  table.headers({"metric", "vs FIFO", "vs LRU", "vs LFU", "vs ARC"});
+  for (const Metric& m : metrics) {
+    std::vector<std::string> row{m.name};
+    for (cache::PolicyId baseline : baselines) {
+      row.push_back(util::fmt_percent(
+          core::max_improvement(points, opt.cache_sizes, baseline, m.get,
+                                m.higher_is_better, m.min_base)));
+    }
+    table.add_row(std::move(row));
+  }
+  if (opt.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "cache/arc.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace fbf::cache {
+
+void ArcCache::List::push_mru(Key k) {
+  entries.push_back(k);
+  index.emplace(k, std::prev(entries.end()));
+}
+
+void ArcCache::List::erase(Key k) {
+  const auto it = index.find(k);
+  FBF_CHECK(it != index.end(), "ARC list erase of absent key");
+  entries.erase(it->second);
+  index.erase(it);
+}
+
+Key ArcCache::List::pop_lru() {
+  FBF_CHECK(!entries.empty(), "ARC pop_lru on empty list");
+  const Key k = entries.front();
+  entries.pop_front();
+  index.erase(k);
+  return k;
+}
+
+ArcCache::ArcCache(std::size_t capacity) : CachePolicy(capacity) {}
+
+bool ArcCache::contains(Key key) const {
+  return t1_.contains(key) || t2_.contains(key);
+}
+
+std::size_t ArcCache::size() const {
+  return t1_.entries.size() + t2_.entries.size();
+}
+
+void ArcCache::replace(bool hit_in_b2) {
+  const bool from_t1 =
+      !t1_.entries.empty() &&
+      (t1_.entries.size() > p_ || (hit_in_b2 && t1_.entries.size() == p_));
+  if (from_t1) {
+    b1_.push_mru(t1_.pop_lru());
+  } else {
+    FBF_CHECK(!t2_.entries.empty(), "ARC replace with both lists empty");
+    b2_.push_mru(t2_.pop_lru());
+  }
+  note_eviction();
+}
+
+bool ArcCache::handle(Key key, int /*priority*/) {
+  const std::size_t c = capacity();
+
+  if (t1_.contains(key)) {  // Case I: hit in T1 -> promote to T2
+    t1_.erase(key);
+    t2_.push_mru(key);
+    return true;
+  }
+  if (t2_.contains(key)) {  // Case I: hit in T2 -> MRU of T2
+    t2_.erase(key);
+    t2_.push_mru(key);
+    return true;
+  }
+
+  if (b1_.contains(key)) {  // Case II: ghost hit favouring recency
+    const std::size_t delta =
+        std::max<std::size_t>(1, b2_.entries.size() /
+                                     std::max<std::size_t>(
+                                         1, b1_.entries.size()));
+    p_ = std::min(c, p_ + delta);
+    replace(/*hit_in_b2=*/false);
+    b1_.erase(key);
+    t2_.push_mru(key);
+    return false;  // resident miss: the data still comes from disk
+  }
+  if (b2_.contains(key)) {  // Case III: ghost hit favouring frequency
+    const std::size_t delta =
+        std::max<std::size_t>(1, b1_.entries.size() /
+                                     std::max<std::size_t>(
+                                         1, b2_.entries.size()));
+    p_ = p_ > delta ? p_ - delta : 0;
+    replace(/*hit_in_b2=*/true);
+    b2_.erase(key);
+    t2_.push_mru(key);
+    return false;
+  }
+
+  // Case IV: full miss.
+  const std::size_t l1 = t1_.entries.size() + b1_.entries.size();
+  if (l1 == c) {
+    if (t1_.entries.size() < c) {
+      b1_.pop_lru();
+      replace(/*hit_in_b2=*/false);
+    } else {
+      t1_.pop_lru();
+      note_eviction();
+    }
+  } else {
+    const std::size_t total = l1 + t2_.entries.size() + b2_.entries.size();
+    if (total >= c) {
+      if (total == 2 * c) {
+        b2_.pop_lru();
+      }
+      replace(/*hit_in_b2=*/false);
+    }
+  }
+  t1_.push_mru(key);
+  return false;
+}
+
+}  // namespace fbf::cache

@@ -1,0 +1,51 @@
+// Adaptive Replacement Cache (Megiddo & Modha, FAST'03).
+//
+// Two resident lists (T1 recency, T2 frequency) and two ghost lists
+// (B1, B2) steer the adaptation target `p` between recency- and
+// frequency-favouring behaviour.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/policy.h"
+
+namespace fbf::cache {
+
+class ArcCache final : public CachePolicy {
+ public:
+  explicit ArcCache(std::size_t capacity);
+
+  bool contains(Key key) const override;
+  std::size_t size() const override;
+  const char* name() const override { return "ARC"; }
+
+  /// Adaptation target (test hook): number of slots aimed at T1.
+  std::size_t target_p() const { return p_; }
+  std::size_t t1_size() const { return t1_.entries.size(); }
+  std::size_t t2_size() const { return t2_.entries.size(); }
+  std::size_t b1_size() const { return b1_.entries.size(); }
+  std::size_t b2_size() const { return b2_.entries.size(); }
+
+ protected:
+  bool handle(Key key, int priority) override;
+
+ private:
+  struct List {
+    std::list<Key> entries;  // front = LRU
+    std::unordered_map<Key, std::list<Key>::iterator> index;
+
+    bool contains(Key k) const { return index.count(k) > 0; }
+    void push_mru(Key k);
+    void erase(Key k);
+    Key pop_lru();
+  };
+
+  /// Moves one resident key to the appropriate ghost list.
+  void replace(bool hit_in_b2);
+
+  List t1_, t2_, b1_, b2_;
+  std::size_t p_ = 0;
+};
+
+}  // namespace fbf::cache

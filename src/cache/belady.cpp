@@ -1,0 +1,66 @@
+#include "cache/belady.h"
+
+#include <limits>
+#include <set>
+#include <unordered_map>
+
+namespace fbf::cache {
+
+CacheStats belady_min(const std::vector<Key>& requests,
+                      std::size_t capacity) {
+  CacheStats stats;
+  if (capacity == 0) {
+    stats.misses = requests.size();
+    return stats;
+  }
+
+  // next_use[i] = index of the next request of requests[i], or infinity.
+  constexpr std::size_t kNever = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> next_use(requests.size(), kNever);
+  std::unordered_map<Key, std::size_t> last_seen;
+  for (std::size_t i = requests.size(); i-- > 0;) {
+    const auto it = last_seen.find(requests[i]);
+    next_use[i] = it == last_seen.end() ? kNever : it->second;
+    last_seen[requests[i]] = i;
+  }
+
+  // Resident set ordered by next use, farthest last.
+  std::set<std::pair<std::size_t, Key>> by_next_use;
+  std::unordered_map<Key, std::size_t> resident;  // key -> its next use
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Key key = requests[i];
+    const auto it = resident.find(key);
+    if (it != resident.end()) {
+      ++stats.hits;
+      by_next_use.erase({it->second, key});
+      it->second = next_use[i];
+      by_next_use.insert({next_use[i], key});
+      continue;
+    }
+    ++stats.misses;
+    if (next_use[i] == kNever) {
+      continue;  // bypass: never used again, caching it cannot help
+    }
+    if (resident.size() >= capacity) {
+      // Evict the farthest-future block — possibly bypassing the
+      // incoming one if everything resident is needed sooner.
+      const auto farthest = std::prev(by_next_use.end());
+      if (farthest->first <= next_use[i]) {
+        continue;  // bypass the incoming block
+      }
+      resident.erase(farthest->second);
+      by_next_use.erase(farthest);
+      ++stats.evictions;
+    }
+    resident.emplace(key, next_use[i]);
+    by_next_use.insert({next_use[i], key});
+  }
+  return stats;
+}
+
+double belady_hit_ratio(const std::vector<Key>& requests,
+                        std::size_t capacity) {
+  return belady_min(requests, capacity).hit_ratio();
+}
+
+}  // namespace fbf::cache

@@ -1,0 +1,26 @@
+// Belady's MIN: the clairvoyant-optimal replacement baseline.
+//
+// Given the full future request stream — which partial-stripe recovery
+// has, since schemes are deterministic — MIN evicts the block whose next
+// use is farthest away (with bypass: an incoming block may itself be the
+// victim). No online policy can beat it on hits, so it upper-bounds what
+// any reconstruction-aware policy, FBF included, could achieve
+// (bench_ablation_optimality).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/policy.h"
+
+namespace fbf::cache {
+
+/// Hit/miss counts of MIN on `requests` with the given capacity.
+/// Evictions are counted when a resident block is displaced.
+CacheStats belady_min(const std::vector<Key>& requests, std::size_t capacity);
+
+/// Convenience: MIN hit ratio for a stream.
+double belady_hit_ratio(const std::vector<Key>& requests,
+                        std::size_t capacity);
+
+}  // namespace fbf::cache

@@ -1,0 +1,62 @@
+#include "cache/fbf_policy.h"
+
+#include "util/check.h"
+
+namespace fbf::cache {
+
+FbfCache::FbfCache(std::size_t capacity, bool demote_on_hit)
+    : CachePolicy(capacity), demote_on_hit_(demote_on_hit) {}
+
+bool FbfCache::contains(Key key) const { return index_.count(key) > 0; }
+
+int FbfCache::queue_of(Key key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? 0 : it->second.level;
+}
+
+std::size_t FbfCache::queue_size(int level) const {
+  FBF_CHECK(level >= 1 && level <= 3, "queue level must be 1..3");
+  return queues_[level - 1].size();
+}
+
+std::list<Key>& FbfCache::queue(int level) { return queues_[level - 1]; }
+
+void FbfCache::attach(Key key, int level) {
+  auto& q = queue(level);
+  q.push_back(key);
+  index_[key] = Entry{level, std::prev(q.end())};
+}
+
+void FbfCache::detach(const Entry& e) { queue(e.level).erase(e.pos); }
+
+bool FbfCache::handle(Key key, int priority) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Cache hit: one expected reference consumed -> demote one level
+    // (Algorithm 1's Queue3->Queue2, Queue2->Queue1, Queue1->its MRU end).
+    const Entry e = it->second;
+    detach(e);
+    const int next_level =
+        demote_on_hit_ ? (e.level > 1 ? e.level - 1 : 1) : e.level;
+    attach(key, next_level);
+    return true;
+  }
+
+  if (index_.size() >= capacity()) {
+    // Replacement policy: lowest-priority queues first.
+    for (int level = 1; level <= 3; ++level) {
+      auto& q = queue(level);
+      if (!q.empty()) {
+        const Key victim = q.front();
+        q.pop_front();
+        index_.erase(victim);
+        note_eviction();
+        break;
+      }
+    }
+  }
+  attach(key, priority);
+  return false;
+}
+
+}  // namespace fbf::cache

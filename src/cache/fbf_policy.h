@@ -1,0 +1,54 @@
+// Favorable Block First replacement (paper §III, Algorithm 1).
+//
+// Three LRU queues hold chunks by remaining usefulness to the ongoing
+// partial-stripe reconstruction: Queue3 for chunks shared by >= 3 selected
+// parity chains, Queue2 for two, Queue1 for one. On a hit the chunk has
+// consumed one of its expected references, so it *demotes* one level
+// (Queue3 -> Queue2 -> Queue1; Queue1 hits just refresh recency).
+// Replacement drains Queue1 first, then Queue2, and touches Queue3 only
+// when nothing else remains — favorable blocks stay resident even when
+// they are the least recently used chunks overall.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/policy.h"
+
+namespace fbf::cache {
+
+class FbfCache final : public CachePolicy {
+ public:
+  /// `demote_on_hit=false` gives the ablation variant where hits refresh
+  /// recency inside the chunk's own queue instead of demoting.
+  FbfCache(std::size_t capacity, bool demote_on_hit = true);
+
+  bool contains(Key key) const override;
+  std::size_t size() const override { return index_.size(); }
+  const char* name() const override {
+    return demote_on_hit_ ? "FBF" : "FBF-nodemote";
+  }
+
+  /// Current queue level of a resident key (test hook); 0 when absent.
+  int queue_of(Key key) const;
+  std::size_t queue_size(int level) const;
+
+ protected:
+  bool handle(Key key, int priority) override;
+
+ private:
+  struct Entry {
+    int level = 1;  // 1..3
+    std::list<Key>::iterator pos;
+  };
+
+  std::list<Key>& queue(int level);
+  void attach(Key key, int level);
+  void detach(const Entry& e);
+
+  bool demote_on_hit_;
+  std::list<Key> queues_[3];  // index level-1; front = LRU
+  std::unordered_map<Key, Entry> index_;
+};
+
+}  // namespace fbf::cache

@@ -1,0 +1,23 @@
+#include "cache/fifo.h"
+
+namespace fbf::cache {
+
+FifoCache::FifoCache(std::size_t capacity) : CachePolicy(capacity) {}
+
+bool FifoCache::contains(Key key) const { return index_.count(key) > 0; }
+
+bool FifoCache::handle(Key key, int /*priority*/) {
+  if (index_.count(key) > 0) {
+    return true;  // FIFO position unchanged by hits
+  }
+  if (index_.size() >= capacity()) {
+    index_.erase(queue_.front());
+    queue_.pop_front();
+    note_eviction();
+  }
+  queue_.push_back(key);
+  index_.emplace(key, std::prev(queue_.end()));
+  return false;
+}
+
+}  // namespace fbf::cache

@@ -1,0 +1,27 @@
+// First-in first-out replacement: eviction order ignores hits entirely.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/policy.h"
+
+namespace fbf::cache {
+
+class FifoCache final : public CachePolicy {
+ public:
+  explicit FifoCache(std::size_t capacity);
+
+  bool contains(Key key) const override;
+  std::size_t size() const override { return index_.size(); }
+  const char* name() const override { return "FIFO"; }
+
+ protected:
+  bool handle(Key key, int priority) override;
+
+ private:
+  std::list<Key> queue_;  // front = oldest
+  std::unordered_map<Key, std::list<Key>::iterator> index_;
+};
+
+}  // namespace fbf::cache

@@ -1,0 +1,51 @@
+#include "cache/lfu.h"
+
+#include "util/check.h"
+
+namespace fbf::cache {
+
+LfuCache::LfuCache(std::size_t capacity) : CachePolicy(capacity) {}
+
+bool LfuCache::contains(Key key) const { return index_.count(key) > 0; }
+
+std::uint64_t LfuCache::frequency(Key key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? 0 : it->second.freq;
+}
+
+void LfuCache::bump(Key key, Entry& e) {
+  auto list_it = by_freq_.find(e.freq);
+  list_it->second.erase(e.pos);
+  if (list_it->second.empty()) {
+    by_freq_.erase(list_it);
+  }
+  ++e.freq;
+  auto& dst = by_freq_[e.freq];
+  dst.push_back(key);
+  e.pos = std::prev(dst.end());
+}
+
+bool LfuCache::handle(Key key, int /*priority*/) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    bump(key, it->second);
+    return true;
+  }
+  if (index_.size() >= capacity()) {
+    auto lowest = by_freq_.begin();
+    FBF_CHECK(lowest != by_freq_.end(), "LFU bookkeeping empty at eviction");
+    const Key victim = lowest->second.front();
+    lowest->second.pop_front();
+    if (lowest->second.empty()) {
+      by_freq_.erase(lowest);
+    }
+    index_.erase(victim);
+    note_eviction();
+  }
+  auto& dst = by_freq_[1];
+  dst.push_back(key);
+  index_.emplace(key, Entry{1, std::prev(dst.end())});
+  return false;
+}
+
+}  // namespace fbf::cache

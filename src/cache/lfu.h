@@ -1,0 +1,40 @@
+// Least-frequently-used replacement with LRU tie-breaking inside each
+// frequency class (the classic O(1) frequency-list construction).
+#pragma once
+
+#include <list>
+#include <map>
+#include <unordered_map>
+
+#include "cache/policy.h"
+
+namespace fbf::cache {
+
+class LfuCache final : public CachePolicy {
+ public:
+  explicit LfuCache(std::size_t capacity);
+
+  bool contains(Key key) const override;
+  std::size_t size() const override { return index_.size(); }
+  const char* name() const override { return "LFU"; }
+
+  /// Access count of a resident key (test hook); 0 when absent.
+  std::uint64_t frequency(Key key) const;
+
+ protected:
+  bool handle(Key key, int priority) override;
+
+ private:
+  struct Entry {
+    std::uint64_t freq = 1;
+    std::list<Key>::iterator pos;
+  };
+
+  void bump(Key key, Entry& e);
+
+  // freq -> keys in LRU order (front = least recent at that freq).
+  std::map<std::uint64_t, std::list<Key>> by_freq_;
+  std::unordered_map<Key, Entry> index_;
+};
+
+}  // namespace fbf::cache

@@ -1,0 +1,56 @@
+#include "cache/lrfu.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fbf::cache {
+
+LrfuCache::LrfuCache(std::size_t capacity, double lambda)
+    : CachePolicy(capacity), lambda_(lambda) {
+  FBF_CHECK(lambda_ >= 0.0 && lambda_ <= 1.0, "LRFU lambda must be in [0,1]");
+}
+
+bool LrfuCache::contains(Key key) const { return resident_.count(key) > 0; }
+
+double LrfuCache::rank(const Entry& e) const {
+  return std::log2(e.crf) + lambda_ * static_cast<double>(e.last);
+}
+
+double LrfuCache::crf(Key key) const {
+  const auto it = resident_.find(key);
+  if (it == resident_.end()) {
+    return 0.0;
+  }
+  const auto age = static_cast<double>(clock_ - it->second.last);
+  return it->second.crf * std::exp2(-lambda_ * age);
+}
+
+bool LrfuCache::handle(Key key, int /*priority*/) {
+  ++clock_;
+  const auto it = resident_.find(key);
+  if (it != resident_.end()) {
+    Entry& e = it->second;
+    order_.erase({rank(e), key});
+    const auto age = static_cast<double>(clock_ - e.last);
+    e.crf = 1.0 + e.crf * std::exp2(-lambda_ * age);
+    e.last = clock_;
+    order_.insert({rank(e), key});
+    return true;
+  }
+  if (resident_.size() >= capacity()) {
+    const auto victim = order_.begin();
+    FBF_CHECK(victim != order_.end(), "LRFU order set empty at eviction");
+    resident_.erase(victim->second);
+    order_.erase(victim);
+    note_eviction();
+  }
+  Entry e;
+  e.crf = 1.0;
+  e.last = clock_;
+  resident_.emplace(key, e);
+  order_.insert({rank(e), key});
+  return false;
+}
+
+}  // namespace fbf::cache

@@ -1,0 +1,47 @@
+// LRFU (Lee et al., IEEE ToC 2001) — the recency/frequency spectrum policy
+// the paper's related work cites. Each block carries a CRF (combined
+// recency and frequency) value C(t) = sum over past references of
+// (1/2)^(lambda * age); lambda -> 0 degenerates to LFU, lambda -> 1 to LRU.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+
+#include "cache/policy.h"
+
+namespace fbf::cache {
+
+class LrfuCache final : public CachePolicy {
+ public:
+  explicit LrfuCache(std::size_t capacity, double lambda = 0.1);
+
+  bool contains(Key key) const override;
+  std::size_t size() const override { return resident_.size(); }
+  const char* name() const override { return "LRFU"; }
+
+  /// Current CRF of a resident key at the internal clock (test hook).
+  double crf(Key key) const;
+
+ protected:
+  bool handle(Key key, int priority) override;
+
+ private:
+  struct Entry {
+    double crf = 0.0;          // value as of `last`
+    std::uint64_t last = 0;    // clock of last reference
+  };
+
+  // Victim ordering trick: between updates every CRF decays at the same
+  // rate, so the order of decayed(c, last) = crf * 2^(-lambda*(t-last)) is
+  // time-invariant. Rank by log2(crf) + lambda * last instead — no clock
+  // sweep needed and no overflow.
+  double rank(const Entry& e) const;
+
+  double lambda_;
+  std::uint64_t clock_ = 0;
+  std::unordered_map<Key, Entry> resident_;
+  std::set<std::pair<double, Key>> order_;  // ascending rank = evict first
+};
+
+}  // namespace fbf::cache

@@ -1,0 +1,32 @@
+#include "cache/lru.h"
+
+#include "util/check.h"
+
+namespace fbf::cache {
+
+LruCache::LruCache(std::size_t capacity) : CachePolicy(capacity) {}
+
+bool LruCache::contains(Key key) const { return index_.count(key) > 0; }
+
+Key LruCache::lru_key() const {
+  FBF_CHECK(!order_.empty(), "lru_key on empty cache");
+  return order_.front();
+}
+
+bool LruCache::handle(Key key, int /*priority*/) {
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    order_.splice(order_.end(), order_, it->second);
+    return true;
+  }
+  if (index_.size() >= capacity()) {
+    index_.erase(order_.front());
+    order_.pop_front();
+    note_eviction();
+  }
+  order_.push_back(key);
+  index_.emplace(key, std::prev(order_.end()));
+  return false;
+}
+
+}  // namespace fbf::cache

@@ -1,0 +1,30 @@
+// Least-recently-used replacement.
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/policy.h"
+
+namespace fbf::cache {
+
+class LruCache final : public CachePolicy {
+ public:
+  explicit LruCache(std::size_t capacity);
+
+  bool contains(Key key) const override;
+  std::size_t size() const override { return index_.size(); }
+  const char* name() const override { return "LRU"; }
+
+  /// The key next in line for eviction (test hook); size() must be > 0.
+  Key lru_key() const;
+
+ protected:
+  bool handle(Key key, int priority) override;
+
+ private:
+  std::list<Key> order_;  // front = LRU, back = MRU
+  std::unordered_map<Key, std::list<Key>::iterator> index_;
+};
+
+}  // namespace fbf::cache

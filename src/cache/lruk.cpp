@@ -1,0 +1,35 @@
+#include "cache/lruk.h"
+
+#include "util/check.h"
+
+namespace fbf::cache {
+
+LrukCache::LrukCache(std::size_t capacity) : CachePolicy(capacity) {}
+
+bool LrukCache::contains(Key key) const { return resident_.count(key) > 0; }
+
+bool LrukCache::handle(Key key, int /*priority*/) {
+  ++clock_;
+  const auto it = resident_.find(key);
+  if (it != resident_.end()) {
+    order_.erase({rank_of(it->second), key});
+    it->second.penult = it->second.last;
+    it->second.last = clock_;
+    order_.insert({rank_of(it->second), key});
+    return true;
+  }
+  if (resident_.size() >= capacity()) {
+    const auto victim = order_.begin();
+    FBF_CHECK(victim != order_.end(), "LRU-2 order set empty at eviction");
+    resident_.erase(victim->second);
+    order_.erase(victim);
+    note_eviction();
+  }
+  Entry e;
+  e.last = clock_;
+  resident_.emplace(key, e);
+  order_.insert({rank_of(e), key});
+  return false;
+}
+
+}  // namespace fbf::cache

@@ -1,0 +1,41 @@
+// LRU-2 (O'Neil et al., SIGMOD'93): evict the resident key whose
+// second-most-recent access is oldest; keys seen only once rank lowest.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+
+#include "cache/policy.h"
+
+namespace fbf::cache {
+
+class LrukCache final : public CachePolicy {
+ public:
+  explicit LrukCache(std::size_t capacity);
+
+  bool contains(Key key) const override;
+  std::size_t size() const override { return resident_.size(); }
+  const char* name() const override { return "LRU-2"; }
+
+ protected:
+  bool handle(Key key, int priority) override;
+
+ private:
+  struct Entry {
+    std::uint64_t last = 0;
+    std::uint64_t penult = 0;  ///< 0 = only one access so far
+  };
+
+  // Eviction order: smallest (penult, last). penult 0 sorts first, so
+  // singly-accessed keys are evicted before any twice-accessed key.
+  using Rank = std::pair<std::uint64_t, std::uint64_t>;
+
+  Rank rank_of(const Entry& e) const { return {e.penult, e.last}; }
+
+  std::uint64_t clock_ = 0;
+  std::unordered_map<Key, Entry> resident_;
+  std::set<std::pair<Rank, Key>> order_;
+};
+
+}  // namespace fbf::cache

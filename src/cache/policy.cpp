@@ -1,0 +1,125 @@
+#include "cache/policy.h"
+
+#include <cctype>
+
+#include "cache/arc.h"
+#include "cache/fbf_policy.h"
+#include "cache/fifo.h"
+#include "cache/lfu.h"
+#include "cache/lrfu.h"
+#include "cache/lru.h"
+#include "cache/lruk.h"
+#include "cache/twoq.h"
+#include "util/check.h"
+
+namespace fbf::cache {
+
+bool CachePolicy::request(Key key, int priority) {
+  FBF_CHECK(priority >= 1 && priority <= 3, "priority must be 1..3");
+  if (capacity_ == 0) {
+    ++stats_.misses;
+    return false;
+  }
+  const bool hit = handle(key, priority);
+  if (hit) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+  }
+  return hit;
+}
+
+void CachePolicy::install(Key key, int priority) {
+  FBF_CHECK(priority >= 1 && priority <= 3, "priority must be 1..3");
+  if (capacity_ == 0) {
+    return;
+  }
+  handle(key, priority);
+}
+
+const char* to_string(PolicyId id) {
+  switch (id) {
+    case PolicyId::Fifo:
+      return "FIFO";
+    case PolicyId::Lru:
+      return "LRU";
+    case PolicyId::Lfu:
+      return "LFU";
+    case PolicyId::Arc:
+      return "ARC";
+    case PolicyId::Lru2:
+      return "LRU-2";
+    case PolicyId::TwoQ:
+      return "2Q";
+    case PolicyId::Lrfu:
+      return "LRFU";
+    case PolicyId::Fbf:
+      return "FBF";
+    case PolicyId::FbfNoDemote:
+      return "FBF-nodemote";
+  }
+  return "?";
+}
+
+PolicyId policy_from_string(const std::string& name) {
+  std::string low;
+  for (char c : name) {
+    low.push_back(static_cast<char>(std::tolower(c)));
+  }
+  if (low == "fifo") {
+    return PolicyId::Fifo;
+  }
+  if (low == "lru") {
+    return PolicyId::Lru;
+  }
+  if (low == "lfu") {
+    return PolicyId::Lfu;
+  }
+  if (low == "arc") {
+    return PolicyId::Arc;
+  }
+  if (low == "lru-2" || low == "lru2" || low == "lruk") {
+    return PolicyId::Lru2;
+  }
+  if (low == "2q" || low == "twoq") {
+    return PolicyId::TwoQ;
+  }
+  if (low == "lrfu") {
+    return PolicyId::Lrfu;
+  }
+  if (low == "fbf") {
+    return PolicyId::Fbf;
+  }
+  if (low == "fbf-nodemote" || low == "fbfnodemote") {
+    return PolicyId::FbfNoDemote;
+  }
+  FBF_CHECK(false, "unknown policy name: " + name);
+  return PolicyId::Lru;  // unreachable
+}
+
+std::unique_ptr<CachePolicy> make_policy(PolicyId id, std::size_t capacity) {
+  switch (id) {
+    case PolicyId::Fifo:
+      return std::make_unique<FifoCache>(capacity);
+    case PolicyId::Lru:
+      return std::make_unique<LruCache>(capacity);
+    case PolicyId::Lfu:
+      return std::make_unique<LfuCache>(capacity);
+    case PolicyId::Arc:
+      return std::make_unique<ArcCache>(capacity);
+    case PolicyId::Lru2:
+      return std::make_unique<LrukCache>(capacity);
+    case PolicyId::TwoQ:
+      return std::make_unique<TwoQCache>(capacity);
+    case PolicyId::Lrfu:
+      return std::make_unique<LrfuCache>(capacity);
+    case PolicyId::Fbf:
+      return std::make_unique<FbfCache>(capacity, /*demote_on_hit=*/true);
+    case PolicyId::FbfNoDemote:
+      return std::make_unique<FbfCache>(capacity, /*demote_on_hit=*/false);
+  }
+  FBF_CHECK(false, "unreachable policy id");
+  return nullptr;
+}
+
+}  // namespace fbf::cache

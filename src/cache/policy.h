@@ -1,0 +1,92 @@
+// Buffer-cache replacement policy interface.
+//
+// Policies track *which* chunks are resident, not their bytes — the
+// simulator charges timing, the codec owns data. A single entry point,
+// request(), models the paper's Algorithm 1 shape: lookup; on hit update
+// recency structures; on miss admit the chunk (evicting per policy).
+//
+// `priority` is the FBF priority (1..3) from the recovery scheme's
+// priority dictionary; classic policies ignore it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace fbf::cache {
+
+using Key = std::uint64_t;
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+
+  std::uint64_t accesses() const { return hits + misses; }
+  double hit_ratio() const {
+    return accesses() == 0 ? 0.0
+                           : static_cast<double>(hits) /
+                                 static_cast<double>(accesses());
+  }
+};
+
+class CachePolicy {
+ public:
+  explicit CachePolicy(std::size_t capacity) : capacity_(capacity) {}
+  virtual ~CachePolicy() = default;
+
+  CachePolicy(const CachePolicy&) = delete;
+  CachePolicy& operator=(const CachePolicy&) = delete;
+
+  /// Returns true on hit. On miss the key is admitted (possibly evicting
+  /// another). Zero-capacity caches miss everything and store nothing.
+  bool request(Key key, int priority = 1);
+
+  /// Places a chunk in the cache without counting a hit or miss — used for
+  /// freshly recovered chunks, which enter the buffer as a side effect of
+  /// reconstruction rather than through a lookup. Evictions still count.
+  void install(Key key, int priority = 1);
+
+  virtual bool contains(Key key) const = 0;
+  virtual std::size_t size() const = 0;
+  virtual const char* name() const = 0;
+
+  std::size_t capacity() const { return capacity_; }
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+ protected:
+  /// Policy-specific handling; returns hit/miss. Must keep size() <=
+  /// capacity() and call note_eviction() per evicted key.
+  virtual bool handle(Key key, int priority) = 0;
+  void note_eviction() { ++stats_.evictions; }
+
+ private:
+  std::size_t capacity_;
+  CacheStats stats_;
+};
+
+/// Replacement policies evaluated by the paper (FIFO/LRU/LFU/ARC/FBF) plus
+/// extensions (LRU-2, 2Q, FBF without hit-demotion for the ablation).
+enum class PolicyId {
+  Fifo,
+  Lru,
+  Lfu,
+  Arc,
+  Lru2,
+  TwoQ,
+  Lrfu,
+  Fbf,
+  FbfNoDemote,
+};
+
+inline constexpr PolicyId kPaperPolicies[] = {
+    PolicyId::Fifo, PolicyId::Lru, PolicyId::Lfu, PolicyId::Arc,
+    PolicyId::Fbf};
+
+const char* to_string(PolicyId id);
+PolicyId policy_from_string(const std::string& name);
+
+std::unique_ptr<CachePolicy> make_policy(PolicyId id, std::size_t capacity);
+
+}  // namespace fbf::cache

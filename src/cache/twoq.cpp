@@ -1,0 +1,64 @@
+#include "cache/twoq.h"
+
+#include <algorithm>
+
+namespace fbf::cache {
+
+TwoQCache::TwoQCache(std::size_t capacity)
+    : CachePolicy(capacity),
+      kin_(std::max<std::size_t>(1, capacity / 4)),
+      kout_(std::max<std::size_t>(1, capacity / 2)) {}
+
+bool TwoQCache::contains(Key key) const {
+  return a1in_index_.count(key) > 0 || am_index_.count(key) > 0;
+}
+
+void TwoQCache::evict_for_insert() {
+  if (size() < capacity()) {
+    return;
+  }
+  if (a1in_index_.size() > kin_ ||
+      (am_index_.empty() && !a1in_index_.empty())) {
+    // Reclaim from probation; remember the key in the ghost list.
+    const Key victim = a1in_.front();
+    a1in_.pop_front();
+    a1in_index_.erase(victim);
+    a1out_.push_back(victim);
+    a1out_index_.emplace(victim, std::prev(a1out_.end()));
+    if (a1out_index_.size() > kout_) {
+      a1out_index_.erase(a1out_.front());
+      a1out_.pop_front();
+    }
+  } else {
+    const Key victim = am_.front();
+    am_.pop_front();
+    am_index_.erase(victim);
+  }
+  note_eviction();
+}
+
+bool TwoQCache::handle(Key key, int /*priority*/) {
+  const auto am_it = am_index_.find(key);
+  if (am_it != am_index_.end()) {
+    am_.splice(am_.end(), am_, am_it->second);
+    return true;
+  }
+  if (a1in_index_.count(key) > 0) {
+    return true;  // stays put in probation, per simplified 2Q
+  }
+  const auto ghost = a1out_index_.find(key);
+  if (ghost != a1out_index_.end()) {
+    a1out_.erase(ghost->second);
+    a1out_index_.erase(ghost);
+    evict_for_insert();
+    am_.push_back(key);
+    am_index_.emplace(key, std::prev(am_.end()));
+    return false;
+  }
+  evict_for_insert();
+  a1in_.push_back(key);
+  a1in_index_.emplace(key, std::prev(a1in_.end()));
+  return false;
+}
+
+}  // namespace fbf::cache

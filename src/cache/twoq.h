@@ -1,0 +1,39 @@
+// Simplified 2Q (Johnson & Shasha, VLDB'94): a FIFO probation queue
+// (A1in), a ghost history (A1out), and a protected LRU main queue (Am).
+#pragma once
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/policy.h"
+
+namespace fbf::cache {
+
+class TwoQCache final : public CachePolicy {
+ public:
+  explicit TwoQCache(std::size_t capacity);
+
+  bool contains(Key key) const override;
+  std::size_t size() const override {
+    return a1in_index_.size() + am_index_.size();
+  }
+  const char* name() const override { return "2Q"; }
+
+ protected:
+  bool handle(Key key, int priority) override;
+
+ private:
+  void evict_for_insert();
+
+  std::size_t kin_;   ///< A1in capacity (25% of total, >= 1)
+  std::size_t kout_;  ///< A1out ghost capacity (50% of total, >= 1)
+
+  std::list<Key> a1in_;  // FIFO, front = oldest
+  std::unordered_map<Key, std::list<Key>::iterator> a1in_index_;
+  std::list<Key> a1out_;  // ghost FIFO
+  std::unordered_map<Key, std::list<Key>::iterator> a1out_index_;
+  std::list<Key> am_;  // LRU, front = LRU
+  std::unordered_map<Key, std::list<Key>::iterator> am_index_;
+};
+
+}  // namespace fbf::cache

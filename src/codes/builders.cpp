@@ -1,0 +1,263 @@
+#include "codes/builders.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/check.h"
+
+namespace fbf::codes {
+
+namespace {
+
+Cell cell(int r, int c) {
+  return Cell{static_cast<std::int16_t>(r), static_cast<std::int16_t>(c)};
+}
+
+/// Drops cells in removed (shortened, always-zero) logical columns and
+/// remaps the remaining logical columns to physical ones.
+/// `remap[logical_col]` is the physical column or -1 when removed.
+std::vector<Chain> remap_chains(const std::vector<Chain>& logical,
+                                const std::vector<int>& remap) {
+  std::vector<Chain> out;
+  out.reserve(logical.size());
+  for (const Chain& ch : logical) {
+    Chain next;
+    next.dir = ch.dir;
+    const int pcol = remap[static_cast<std::size_t>(ch.parity_cell.col)];
+    FBF_CHECK(pcol >= 0, "parity cell must survive shortening");
+    next.parity_cell = cell(ch.parity_cell.row, pcol);
+    for (const Cell& c : ch.cells) {
+      const int col = remap[static_cast<std::size_t>(c.col)];
+      if (col >= 0) {
+        next.cells.push_back(cell(c.row, col));
+      }
+    }
+    out.push_back(std::move(next));
+  }
+  return out;
+}
+
+std::vector<int> shortening_remap(int logical_cols, int first_removed,
+                                  int removed) {
+  std::vector<int> remap(static_cast<std::size_t>(logical_cols));
+  int phys = 0;
+  for (int j = 0; j < logical_cols; ++j) {
+    const bool gone = j >= first_removed && j < first_removed + removed;
+    remap[static_cast<std::size_t>(j)] = gone ? -1 : phys++;
+  }
+  return remap;
+}
+
+}  // namespace
+
+const char* to_string(CodeId id) {
+  switch (id) {
+    case CodeId::Tip:
+      return "TIP";
+    case CodeId::Hdd1:
+      return "HDD1";
+    case CodeId::TripleStar:
+      return "TripleStar";
+    case CodeId::Star:
+      return "STAR";
+  }
+  return "?";
+}
+
+CodeId code_from_string(const std::string& name) {
+  std::string low;
+  low.reserve(name.size());
+  for (char c : name) {
+    if (c != '-' && c != '_') {
+      low.push_back(static_cast<char>(std::tolower(c)));
+    }
+  }
+  if (low == "tip") {
+    return CodeId::Tip;
+  }
+  if (low == "hdd1") {
+    return CodeId::Hdd1;
+  }
+  if (low == "triplestar") {
+    return CodeId::TripleStar;
+  }
+  if (low == "star") {
+    return CodeId::Star;
+  }
+  FBF_CHECK(false, "unknown code name: " + name);
+  return CodeId::Tip;  // unreachable
+}
+
+bool is_prime(int p) {
+  if (p < 2) {
+    return false;
+  }
+  for (int d = 2; d * d <= p; ++d) {
+    if (p % d == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Layout make_star(int p, int shorten) {
+  FBF_CHECK(is_prime(p) && p >= 3, "STAR requires a prime p >= 3");
+  FBF_CHECK(shorten >= 0 && shorten <= p - 2,
+            "shortening must leave at least two data columns");
+  const int rows = p - 1;
+  // Logical columns: data 0..p-1, horizontal parity p, diagonal parity p+1,
+  // anti-diagonal parity p+2. The imaginary row p-1 (all zero) is implied.
+  std::vector<Chain> chains;
+
+  for (int r = 0; r < rows; ++r) {
+    Chain ch;
+    ch.dir = Direction::Horizontal;
+    ch.parity_cell = cell(r, p);
+    for (int j = 0; j < p; ++j) {
+      ch.cells.push_back(cell(r, j));
+    }
+    ch.cells.push_back(ch.parity_cell);
+    chains.push_back(std::move(ch));
+  }
+
+  // Adjuster diagonal D*: cells with (row + col) % p == p-1, real rows only.
+  std::vector<Cell> adj_diag;
+  for (int j = 0; j < p; ++j) {
+    const int r = (p - 1 - j % p + p) % p;
+    if (r < rows) {
+      adj_diag.push_back(cell(r, j));
+    }
+  }
+  for (int k = 0; k < rows; ++k) {
+    Chain ch;
+    ch.dir = Direction::Diagonal;
+    ch.parity_cell = cell(k, p + 1);
+    for (int j = 0; j < p; ++j) {
+      const int r = ((k - j) % p + p) % p;
+      if (r < rows) {
+        ch.cells.push_back(cell(r, j));
+      }
+    }
+    // q_k = S xor diag_k  =>  chain = {q_k} ∪ diag_k ∪ D* (disjoint sets:
+    // diag_k is diagonal k != p-1, D* is diagonal p-1).
+    ch.cells.insert(ch.cells.end(), adj_diag.begin(), adj_diag.end());
+    ch.cells.push_back(ch.parity_cell);
+    chains.push_back(std::move(ch));
+  }
+
+  // Adjuster anti-diagonal A*: cells with (row - col) % p == p-1.
+  std::vector<Cell> adj_anti;
+  for (int j = 0; j < p; ++j) {
+    const int r = ((p - 1 + j) % p);
+    if (r < rows) {
+      adj_anti.push_back(cell(r, j));
+    }
+  }
+  for (int k = 0; k < rows; ++k) {
+    Chain ch;
+    ch.dir = Direction::AntiDiagonal;
+    ch.parity_cell = cell(k, p + 2);
+    for (int j = 0; j < p; ++j) {
+      const int r = (k + j) % p;
+      if (r < rows) {
+        ch.cells.push_back(cell(r, j));
+      }
+    }
+    ch.cells.insert(ch.cells.end(), adj_anti.begin(), adj_anti.end());
+    ch.cells.push_back(ch.parity_cell);
+    chains.push_back(std::move(ch));
+  }
+
+  const auto remap = shortening_remap(p + 3, p - shorten, shorten);
+  auto mapped = shorten > 0 ? remap_chains(chains, remap) : std::move(chains);
+  const std::string name =
+      std::string(shorten == 0 ? "STAR" : "STAR-short") + "(p=" +
+      std::to_string(p) + ",n=" + std::to_string(p + 3 - shorten) + ")";
+  return Layout(name, p, rows, p + 3 - shorten, std::move(mapped));
+}
+
+Layout make_rtp(int p, int shorten) {
+  FBF_CHECK(is_prime(p) && p >= 3, "RTP requires a prime p >= 3");
+  FBF_CHECK(shorten >= 0 && shorten <= p - 3,
+            "shortening must leave at least two data columns");
+  const int rows = p - 1;
+  // Logical columns: data 0..p-2, row parity p-1, diagonal parity p,
+  // anti-diagonal parity p+1. Diagonal/anti-diagonal chains span the first
+  // p columns (data + row parity), RDP-style, so no adjuster is needed.
+  std::vector<Chain> chains;
+
+  for (int r = 0; r < rows; ++r) {
+    Chain ch;
+    ch.dir = Direction::Horizontal;
+    ch.parity_cell = cell(r, p - 1);
+    for (int j = 0; j < p; ++j) {
+      ch.cells.push_back(cell(r, j));
+    }
+    chains.push_back(std::move(ch));
+  }
+
+  for (int k = 0; k < rows; ++k) {  // diagonal p-1 is the missing one
+    Chain ch;
+    ch.dir = Direction::Diagonal;
+    ch.parity_cell = cell(k, p);
+    for (int j = 0; j < p; ++j) {
+      const int r = ((k - j) % p + p) % p;
+      if (r < rows) {
+        ch.cells.push_back(cell(r, j));
+      }
+    }
+    ch.cells.push_back(ch.parity_cell);
+    chains.push_back(std::move(ch));
+  }
+
+  for (int k = 0; k < rows; ++k) {  // anti-diagonal p-1 is the missing one
+    Chain ch;
+    ch.dir = Direction::AntiDiagonal;
+    ch.parity_cell = cell(k, p + 1);
+    for (int j = 0; j < p; ++j) {
+      const int r = (k + j) % p;
+      if (r < rows) {
+        ch.cells.push_back(cell(r, j));
+      }
+    }
+    ch.cells.push_back(ch.parity_cell);
+    chains.push_back(std::move(ch));
+  }
+
+  const auto remap = shortening_remap(p + 2, p - 1 - shorten, shorten);
+  auto mapped = shorten > 0 ? remap_chains(chains, remap) : std::move(chains);
+  const std::string name =
+      std::string(shorten == 0 ? "RTP" : "RTP-short") + "(p=" +
+      std::to_string(p) + ",n=" + std::to_string(p + 2 - shorten) + ")";
+  return Layout(name, p, rows, p + 2 - shorten, std::move(mapped));
+}
+
+Layout make_layout(CodeId id, int p) {
+  switch (id) {
+    case CodeId::Tip:
+      return make_rtp(p, 1);
+    case CodeId::Hdd1:
+      return make_star(p, 2);
+    case CodeId::TripleStar:
+      return make_rtp(p, 0);
+    case CodeId::Star:
+      return make_star(p, 0);
+  }
+  FBF_CHECK(false, "unreachable code id");
+  return make_star(p, 0);
+}
+
+int code_disks(CodeId id, int p) {
+  switch (id) {
+    case CodeId::Tip:
+    case CodeId::Hdd1:
+      return p + 1;
+    case CodeId::TripleStar:
+      return p + 2;
+    case CodeId::Star:
+      return p + 3;
+  }
+  return 0;
+}
+
+}  // namespace fbf::codes

@@ -1,0 +1,49 @@
+// Constructors for the four 3DFT layouts the paper evaluates.
+//
+// STAR (p+3 disks) follows Huang & Xu 2008: extended EVENODD with a
+// diagonal and an anti-diagonal parity column, each folding in an adjuster
+// diagonal. The other three layouts are documented substitutions (see
+// DESIGN.md §4): Triple-Star -> RTP-style p+2 layout (adjuster-free,
+// diagonals span data + row parity), TIP -> that layout shortened by one
+// data column (p+1 disks, three independent parity directions), HDD1 ->
+// STAR shortened by two data columns (p+1 disks, adjuster-style chains).
+// All are verified 3-erasure-decodable exhaustively in tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "codes/layout.h"
+
+namespace fbf::codes {
+
+/// Code identifiers used across benches/examples. Order matches the paper's
+/// presentation (p+1, p+1, p+2, p+3).
+enum class CodeId { Tip, Hdd1, TripleStar, Star };
+
+inline constexpr CodeId kAllCodes[] = {CodeId::Tip, CodeId::Hdd1,
+                                       CodeId::TripleStar, CodeId::Star};
+
+const char* to_string(CodeId id);
+
+/// Parses "tip" / "hdd1" / "triplestar" / "star" (case-insensitive).
+CodeId code_from_string(const std::string& name);
+
+/// True iff p is prime (layouts require a prime p >= 3).
+bool is_prime(int p);
+
+/// STAR layout on p+3-shorten disks; `shorten` removes the last data
+/// columns (treated as all-zero), preserving 3-erasure tolerance.
+Layout make_star(int p, int shorten = 0);
+
+/// RTP-style layout on p+2-shorten disks: row parity column, diagonal and
+/// anti-diagonal parity columns whose chains span data + row parity.
+Layout make_rtp(int p, int shorten = 0);
+
+/// Builds the layout for a named code at prime p.
+Layout make_layout(CodeId id, int p);
+
+/// Number of disks the code uses at prime p.
+int code_disks(CodeId id, int p);
+
+}  // namespace fbf::codes

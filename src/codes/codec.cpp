@@ -1,0 +1,301 @@
+#include "codes/codec.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/bitmat.h"
+#include "util/check.h"
+
+namespace fbf::codes {
+
+void xor_into(std::span<std::byte> dst, std::span<const std::byte> src) {
+  FBF_CHECK(dst.size() == src.size(), "xor_into size mismatch");
+  // Word-wise XOR; chunk buffers are contiguous and at least byte aligned.
+  std::size_t i = 0;
+  for (; i + 8 <= dst.size(); i += 8) {
+    std::uint64_t a;
+    std::uint64_t b;
+    std::memcpy(&a, dst.data() + i, 8);
+    std::memcpy(&b, src.data() + i, 8);
+    a ^= b;
+    std::memcpy(dst.data() + i, &a, 8);
+  }
+  for (; i < dst.size(); ++i) {
+    dst[i] ^= src[i];
+  }
+}
+
+StripeData::StripeData(const Layout& layout, std::size_t chunk_size)
+    : layout_(&layout),
+      chunk_size_(chunk_size),
+      bytes_(static_cast<std::size_t>(layout.num_cells()) * chunk_size,
+             std::byte{0}) {
+  FBF_CHECK(chunk_size_ > 0, "chunk size must be positive");
+}
+
+std::span<std::byte> StripeData::chunk(Cell c) {
+  const auto idx = static_cast<std::size_t>(layout_->cell_index(c));
+  return {bytes_.data() + idx * chunk_size_, chunk_size_};
+}
+
+std::span<const std::byte> StripeData::chunk(Cell c) const {
+  const auto idx = static_cast<std::size_t>(layout_->cell_index(c));
+  return {bytes_.data() + idx * chunk_size_, chunk_size_};
+}
+
+void StripeData::fill_random(util::Rng& rng) {
+  for (int i = 0; i < layout_->num_cells(); ++i) {
+    const Cell c = layout_->cell_at(i);
+    if (layout_->kind(c) == CellKind::Data) {
+      rng.fill_bytes(chunk(c));
+    }
+  }
+}
+
+void StripeData::erase(Cell c) {
+  auto span = chunk(c);
+  std::fill(span.begin(), span.end(), std::byte{0});
+}
+
+void encode(StripeData& stripe) {
+  const Layout& layout = stripe.layout();
+  for (int id : layout.encode_order()) {
+    const Chain& ch = layout.chain(id);
+    auto parity = stripe.chunk(ch.parity_cell);
+    std::fill(parity.begin(), parity.end(), std::byte{0});
+    for (const Cell& c : ch.cells) {
+      if (c == ch.parity_cell) {
+        continue;
+      }
+      xor_into(parity, stripe.chunk(c));
+    }
+  }
+}
+
+bool verify(const StripeData& stripe) {
+  const Layout& layout = stripe.layout();
+  std::vector<std::byte> acc(stripe.chunk_size());
+  for (const Chain& ch : layout.chains()) {
+    std::fill(acc.begin(), acc.end(), std::byte{0});
+    for (const Cell& c : ch.cells) {
+      xor_into(acc, stripe.chunk(c));
+    }
+    if (std::any_of(acc.begin(), acc.end(),
+                    [](std::byte b) { return b != std::byte{0}; })) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// One GF(2) equation over the remaining unknowns: xor(unknowns) == rhs.
+struct Equation {
+  std::vector<int> unknowns;       // indices into the erased-cell list
+  std::vector<std::byte> rhs;
+};
+
+}  // namespace
+
+DecodeResult decode_erasures(StripeData& stripe,
+                             const std::vector<Cell>& erased) {
+  const Layout& layout = stripe.layout();
+  DecodeResult result;
+
+  std::vector<bool> is_erased(static_cast<std::size_t>(layout.num_cells()),
+                              false);
+  for (const Cell& c : erased) {
+    is_erased[static_cast<std::size_t>(layout.cell_index(c))] = true;
+  }
+  int remaining = static_cast<int>(erased.size());
+
+  // Phase 1: peeling. Track per-chain erased-member counts and keep a
+  // worklist of chains with exactly one erased member.
+  const auto& chains = layout.chains();
+  std::vector<int> erased_in_chain(chains.size(), 0);
+  for (const Chain& ch : chains) {
+    for (const Cell& c : ch.cells) {
+      if (is_erased[static_cast<std::size_t>(layout.cell_index(c))]) {
+        ++erased_in_chain[static_cast<std::size_t>(ch.id)];
+      }
+    }
+  }
+  std::vector<int> worklist;
+  for (const Chain& ch : chains) {
+    if (erased_in_chain[static_cast<std::size_t>(ch.id)] == 1) {
+      worklist.push_back(ch.id);
+    }
+  }
+  while (!worklist.empty() && remaining > 0) {
+    const int id = worklist.back();
+    worklist.pop_back();
+    if (erased_in_chain[static_cast<std::size_t>(id)] != 1) {
+      continue;  // stale entry
+    }
+    const Chain& ch = chains[static_cast<std::size_t>(id)];
+    Cell target{};
+    bool found = false;
+    for (const Cell& c : ch.cells) {
+      if (is_erased[static_cast<std::size_t>(layout.cell_index(c))]) {
+        target = c;
+        found = true;
+        break;
+      }
+    }
+    FBF_CHECK(found, "chain bookkeeping inconsistent during peeling");
+    auto out = stripe.chunk(target);
+    std::fill(out.begin(), out.end(), std::byte{0});
+    for (const Cell& c : ch.cells) {
+      if (c != target) {
+        xor_into(out, stripe.chunk(c));
+      }
+    }
+    is_erased[static_cast<std::size_t>(layout.cell_index(target))] = false;
+    --remaining;
+    ++result.peeled;
+    for (int other : layout.chains_containing(target)) {
+      if (--erased_in_chain[static_cast<std::size_t>(other)] == 1) {
+        worklist.push_back(other);
+      }
+    }
+  }
+
+  if (remaining == 0) {
+    result.ok = true;
+    return result;
+  }
+
+  // Phase 2: Gaussian elimination over the leftover unknowns.
+  std::vector<int> unknown_of_cell(
+      static_cast<std::size_t>(layout.num_cells()), -1);
+  std::vector<Cell> unknown_cells;
+  for (int i = 0; i < layout.num_cells(); ++i) {
+    if (is_erased[static_cast<std::size_t>(i)]) {
+      unknown_of_cell[static_cast<std::size_t>(i)] =
+          static_cast<int>(unknown_cells.size());
+      unknown_cells.push_back(layout.cell_at(i));
+    }
+  }
+
+  std::vector<Equation> eqs;
+  for (const Chain& ch : chains) {
+    if (erased_in_chain[static_cast<std::size_t>(ch.id)] == 0) {
+      continue;
+    }
+    Equation eq;
+    eq.rhs.assign(stripe.chunk_size(), std::byte{0});
+    for (const Cell& c : ch.cells) {
+      const int u =
+          unknown_of_cell[static_cast<std::size_t>(layout.cell_index(c))];
+      if (u >= 0) {
+        eq.unknowns.push_back(u);
+      } else {
+        xor_into(eq.rhs, stripe.chunk(c));
+      }
+    }
+    std::sort(eq.unknowns.begin(), eq.unknowns.end());
+    eqs.push_back(std::move(eq));
+  }
+
+  // Forward elimination with partial "pivot by unknown id".
+  const int n_unknowns = static_cast<int>(unknown_cells.size());
+  std::vector<int> pivot_eq(static_cast<std::size_t>(n_unknowns), -1);
+  auto fold_equation = [](Equation& dst, const Equation& src) {
+    std::vector<int> merged;
+    merged.reserve(dst.unknowns.size() + src.unknowns.size());
+    std::set_symmetric_difference(dst.unknowns.begin(), dst.unknowns.end(),
+                                  src.unknowns.begin(), src.unknowns.end(),
+                                  std::back_inserter(merged));
+    dst.unknowns = std::move(merged);
+    xor_into(dst.rhs, src.rhs);
+  };
+  for (std::size_t e = 0; e < eqs.size(); ++e) {
+    // Reduce against existing pivots until the equation leads with a free
+    // unknown or vanishes.
+    for (;;) {
+      if (eqs[e].unknowns.empty()) {
+        break;
+      }
+      const int lead = eqs[e].unknowns.front();
+      const int pe = pivot_eq[static_cast<std::size_t>(lead)];
+      if (pe < 0) {
+        pivot_eq[static_cast<std::size_t>(lead)] = static_cast<int>(e);
+        break;
+      }
+      fold_equation(eqs[e], eqs[static_cast<std::size_t>(pe)]);
+    }
+  }
+  for (int u = 0; u < n_unknowns; ++u) {
+    if (pivot_eq[static_cast<std::size_t>(u)] < 0) {
+      result.ok = false;  // rank deficient: pattern not decodable
+      return result;
+    }
+  }
+  // Back substitution, highest unknown first.
+  for (int u = n_unknowns - 1; u >= 0; --u) {
+    Equation& eq = eqs[static_cast<std::size_t>(
+        pivot_eq[static_cast<std::size_t>(u)])];
+    // Every unknown after the lead has already been solved; fold it in.
+    std::vector<std::byte> value = eq.rhs;
+    for (std::size_t i = 1; i < eq.unknowns.size(); ++i) {
+      const Cell solved = unknown_cells[static_cast<std::size_t>(
+          eq.unknowns[i])];
+      xor_into(value, stripe.chunk(solved));
+    }
+    auto out = stripe.chunk(unknown_cells[static_cast<std::size_t>(u)]);
+    std::copy(value.begin(), value.end(), out.begin());
+    ++result.gaussian_solved;
+  }
+  result.ok = true;
+  return result;
+}
+
+bool erasure_decodable(const Layout& layout,
+                       const std::vector<Cell>& erased) {
+  std::vector<int> unknown_of_cell(
+      static_cast<std::size_t>(layout.num_cells()), -1);
+  for (std::size_t i = 0; i < erased.size(); ++i) {
+    unknown_of_cell[static_cast<std::size_t>(layout.cell_index(erased[i]))] =
+        static_cast<int>(i);
+  }
+  util::BitMatrix m(layout.chains().size(), erased.size());
+  for (const Chain& ch : layout.chains()) {
+    for (const Cell& c : ch.cells) {
+      const int u =
+          unknown_of_cell[static_cast<std::size_t>(layout.cell_index(c))];
+      if (u >= 0) {
+        m.flip(static_cast<std::size_t>(ch.id), static_cast<std::size_t>(u));
+      }
+    }
+  }
+  return m.full_column_rank();
+}
+
+bool mds3_check(const Layout& layout) {
+  const int n = layout.cols();
+  for (int a = 0; a < n; ++a) {
+    for (int b = a; b < n; ++b) {
+      for (int c = b; c < n; ++c) {
+        std::vector<Cell> erased;
+        std::vector<int> cols{a};
+        if (b != a) {
+          cols.push_back(b);
+        }
+        if (c != b && c != a) {
+          cols.push_back(c);
+        }
+        for (int col : cols) {
+          const auto cells = layout.column_cells(col);
+          erased.insert(erased.end(), cells.begin(), cells.end());
+        }
+        if (!erasure_decodable(layout, erased)) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace fbf::codes

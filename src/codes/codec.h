@@ -1,0 +1,70 @@
+// Chunk-level encode / verify / erasure-decode for any Layout.
+//
+// Encoding walks Layout::encode_order() and XORs each chain into its parity
+// cell. Decoding is two-phase: peeling (repeatedly solve chains with a
+// single erased member — the path real recovery schemes use), then a
+// generic GF(2) Gaussian pass over the remaining unknowns. mds3_check is
+// the symbolic oracle used by tests to prove triple-erasure tolerance.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "codes/layout.h"
+#include "util/rng.h"
+
+namespace fbf::codes {
+
+/// dst ^= src, element-wise. Sizes must match.
+void xor_into(std::span<std::byte> dst, std::span<const std::byte> src);
+
+/// Owns the chunk buffers of one stripe.
+class StripeData {
+ public:
+  StripeData(const Layout& layout, std::size_t chunk_size);
+
+  std::size_t chunk_size() const { return chunk_size_; }
+  std::span<std::byte> chunk(Cell c);
+  std::span<const std::byte> chunk(Cell c) const;
+
+  /// Fills every data cell with random bytes (parity cells untouched).
+  void fill_random(util::Rng& rng);
+
+  /// Zeroes one chunk (models losing it).
+  void erase(Cell c);
+
+  const Layout& layout() const { return *layout_; }
+
+ private:
+  const Layout* layout_;
+  std::size_t chunk_size_;
+  std::vector<std::byte> bytes_;
+};
+
+/// Computes every parity cell. Requires data cells to be populated.
+void encode(StripeData& stripe);
+
+/// True iff every chain XORs to zero.
+bool verify(const StripeData& stripe);
+
+struct DecodeResult {
+  bool ok = false;
+  int peeled = 0;             ///< erasures recovered by peeling
+  int gaussian_solved = 0;    ///< erasures needing the Gaussian fallback
+};
+
+/// Recovers the given erased cells in-place. The caller must have zeroed or
+/// otherwise invalidated them; their prior contents are ignored.
+DecodeResult decode_erasures(StripeData& stripe,
+                             const std::vector<Cell>& erased);
+
+/// Symbolic decodability of an erasure pattern: the chain-incidence matrix
+/// restricted to the erased cells has full column rank.
+bool erasure_decodable(const Layout& layout, const std::vector<Cell>& erased);
+
+/// Exhaustive check that every erasure of up to three full columns is
+/// decodable.
+bool mds3_check(const Layout& layout);
+
+}  // namespace fbf::codes

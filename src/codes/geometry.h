@@ -1,0 +1,52 @@
+// Stripe geometry primitives shared by every 3DFT layout.
+//
+// A stripe is a (p-1) x n grid of chunks ("cells"). Erasure codes are
+// described purely by their *parity chains*: sets of cells whose XOR is
+// zero. This set-based view uniformly covers adjuster-style codes (STAR,
+// where a diagonal parity also folds in a whole adjuster diagonal) and
+// independent-parity codes (TIP-style), and is exactly the structure the
+// FBF cache scheme reasons about.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fbf::codes {
+
+/// Position of a chunk inside one stripe.
+struct Cell {
+  std::int16_t row = 0;
+  std::int16_t col = 0;
+
+  friend auto operator<=>(const Cell&, const Cell&) = default;
+};
+
+/// Renders "C(row,col)" as used in the paper's figures.
+std::string to_string(const Cell& c);
+
+enum class CellKind : std::uint8_t { Data, Parity };
+
+/// The three chain families of a 3DFT array code.
+enum class Direction : std::uint8_t {
+  Horizontal = 0,
+  Diagonal = 1,
+  AntiDiagonal = 2,
+};
+
+inline constexpr int kNumDirections = 3;
+
+const char* to_string(Direction d);
+
+/// One parity chain: XOR over `cells` (which includes `parity_cell`) is
+/// always zero for a consistent stripe. `parity_cell` is the cell whose
+/// value the encoder derives from the rest of the chain.
+struct Chain {
+  Direction dir = Direction::Horizontal;
+  Cell parity_cell;
+  std::vector<Cell> cells;  ///< sorted, unique, contains parity_cell
+  int id = -1;              ///< index within Layout::chains()
+};
+
+}  // namespace fbf::codes

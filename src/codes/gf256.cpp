@@ -1,0 +1,82 @@
+#include "codes/gf256.h"
+
+#include "util/check.h"
+
+namespace fbf::codes {
+
+const Gf256::Tables& Gf256::tables() {
+  static const Tables t = [] {
+    Tables tables{};
+    std::uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      tables.exp[static_cast<std::size_t>(i)] = static_cast<Elem>(x);
+      tables.log[static_cast<std::size_t>(x)] =
+          static_cast<std::uint16_t>(i);
+      // Multiply by the generator 0x03 = x + 1: x*3 = (x << 1) ^ x.
+      x = static_cast<std::uint16_t>((x << 1) ^ x);
+      if (x & 0x100) {
+        x ^= 0x11b;
+      }
+    }
+    tables.exp[255] = tables.exp[0];
+    tables.log[0] = 0;  // undefined; guarded by callers
+    return tables;
+  }();
+  return t;
+}
+
+Gf256::Elem Gf256::mul(Elem a, Elem b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  const auto& t = tables();
+  const unsigned s = t.log[a] + t.log[b];
+  return t.exp[s % 255];
+}
+
+Gf256::Elem Gf256::div(Elem a, Elem b) {
+  FBF_CHECK(b != 0, "GF(256) division by zero");
+  if (a == 0) {
+    return 0;
+  }
+  const auto& t = tables();
+  const unsigned s = 255u + t.log[a] - t.log[b];
+  return t.exp[s % 255];
+}
+
+Gf256::Elem Gf256::inv(Elem a) {
+  FBF_CHECK(a != 0, "GF(256) inverse of zero");
+  const auto& t = tables();
+  return t.exp[(255u - t.log[a]) % 255];
+}
+
+Gf256::Elem Gf256::pow(Elem a, unsigned e) {
+  if (a == 0) {
+    return e == 0 ? 1 : 0;
+  }
+  const auto& t = tables();
+  return t.exp[(static_cast<unsigned>(t.log[a]) * e) % 255];
+}
+
+void Gf256::mul_add(std::span<Elem> dst, std::span<const Elem> src, Elem c) {
+  FBF_CHECK(dst.size() == src.size(), "mul_add size mismatch");
+  if (c == 0) {
+    return;
+  }
+  if (c == 1) {
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      dst[i] ^= src[i];
+    }
+    return;
+  }
+  const auto& t = tables();
+  const unsigned log_c = t.log[c];
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    const Elem s = src[i];
+    if (s != 0) {
+      dst[i] ^= t.exp[(log_c + t.log[s]) % 255];
+    }
+  }
+}
+
+}  // namespace fbf::codes

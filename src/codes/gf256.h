@@ -1,0 +1,42 @@
+// GF(2^8) arithmetic for Reed-Solomon style codes.
+//
+// The paper's related work covers RS and Cauchy-RS codes [11][12] and
+// footnote 3 notes FBF applies to RS-based codes such as LRC; this module
+// supplies the field arithmetic those substrates need. Polynomial basis,
+// AES polynomial x^8 + x^4 + x^3 + x + 1 (0x11b), log/antilog tables.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace fbf::codes {
+
+class Gf256 {
+ public:
+  using Elem = std::uint8_t;
+
+  static Elem add(Elem a, Elem b) { return a ^ b; }
+  static Elem sub(Elem a, Elem b) { return a ^ b; }
+  static Elem mul(Elem a, Elem b);
+  static Elem div(Elem a, Elem b);  ///< b must be non-zero
+  static Elem inv(Elem a);          ///< a must be non-zero
+  static Elem pow(Elem a, unsigned e);
+
+  /// dst[i] ^= c * src[i] — the row operation of RS encode/decode.
+  static void mul_add(std::span<Elem> dst, std::span<const Elem> src,
+                      Elem c);
+
+  /// The generator element (0x03 generates the multiplicative group for
+  /// the AES polynomial).
+  static constexpr Elem kGenerator = 0x03;
+
+ private:
+  struct Tables {
+    std::array<Elem, 256> exp;
+    std::array<std::uint16_t, 256> log;
+  };
+  static const Tables& tables();
+};
+
+}  // namespace fbf::codes

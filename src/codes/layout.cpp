@@ -1,0 +1,198 @@
+#include "codes/layout.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace fbf::codes {
+
+std::string to_string(const Cell& c) {
+  return "C(" + std::to_string(c.row) + "," + std::to_string(c.col) + ")";
+}
+
+const char* to_string(Direction d) {
+  switch (d) {
+    case Direction::Horizontal:
+      return "horizontal";
+    case Direction::Diagonal:
+      return "diagonal";
+    case Direction::AntiDiagonal:
+      return "anti-diagonal";
+  }
+  return "?";
+}
+
+Layout::Layout(std::string name, int p, int rows, int cols,
+               std::vector<Chain> chains)
+    : name_(std::move(name)),
+      p_(p),
+      rows_(rows),
+      cols_(cols),
+      chains_(std::move(chains)),
+      kind_(static_cast<std::size_t>(rows * cols), CellKind::Data),
+      by_direction_(kNumDirections),
+      containing_(static_cast<std::size_t>(rows * cols)) {
+  FBF_CHECK(rows_ > 0 && cols_ > 0, "layout dimensions must be positive");
+
+  std::set<Cell> parity_cells;
+  for (std::size_t i = 0; i < chains_.size(); ++i) {
+    Chain& ch = chains_[i];
+    ch.id = static_cast<int>(i);
+    FBF_CHECK(!ch.cells.empty(), "empty chain in layout " + name_);
+    std::sort(ch.cells.begin(), ch.cells.end());
+    FBF_CHECK(std::adjacent_find(ch.cells.begin(), ch.cells.end()) ==
+                  ch.cells.end(),
+              "duplicate cell in chain of layout " + name_);
+    for (const Cell& c : ch.cells) {
+      FBF_CHECK(in_bounds(c), "chain cell out of bounds in " + name_);
+    }
+    FBF_CHECK(std::binary_search(ch.cells.begin(), ch.cells.end(),
+                                 ch.parity_cell),
+              "chain must contain its parity cell in " + name_);
+    FBF_CHECK(parity_cells.insert(ch.parity_cell).second,
+              "parity cell produced by two chains in " + name_);
+    kind_[static_cast<std::size_t>(cell_index(ch.parity_cell))] =
+        CellKind::Parity;
+    by_direction_[static_cast<std::size_t>(ch.dir)].push_back(ch.id);
+    for (const Cell& c : ch.cells) {
+      containing_[static_cast<std::size_t>(cell_index(c))].push_back(ch.id);
+    }
+  }
+
+  // Encode order: peel chains whose members other than the parity cell are
+  // all data cells or already-produced parity cells.
+  std::vector<bool> produced(chains_.size(), false);
+  encode_order_.reserve(chains_.size());
+  bool progressed = true;
+  while (encode_order_.size() < chains_.size() && progressed) {
+    progressed = false;
+    for (const Chain& ch : chains_) {
+      if (produced[static_cast<std::size_t>(ch.id)]) {
+        continue;
+      }
+      bool ready = true;
+      for (const Cell& c : ch.cells) {
+        if (c == ch.parity_cell) {
+          continue;
+        }
+        if (kind(c) == CellKind::Parity) {
+          // Find the chain producing this parity cell; it must be produced.
+          bool cell_ready = false;
+          for (int other : chains_containing(c)) {
+            if (chains_[static_cast<std::size_t>(other)].parity_cell == c) {
+              cell_ready = produced[static_cast<std::size_t>(other)];
+              break;
+            }
+          }
+          if (!cell_ready) {
+            ready = false;
+            break;
+          }
+        }
+      }
+      if (ready) {
+        produced[static_cast<std::size_t>(ch.id)] = true;
+        encode_order_.push_back(ch.id);
+        progressed = true;
+      }
+    }
+  }
+  FBF_CHECK(encode_order_.size() == chains_.size(),
+            "cyclic parity dependency in layout " + name_);
+
+  // Coverage: every data cell participates in at least one chain, and in a
+  // horizontal chain specifically (the "typical" recovery path). RDP-style
+  // layouts legitimately leave the missing diagonal uncovered in the
+  // diagonal direction, so per-direction coverage is NOT required; the
+  // scheme generator falls back across directions.
+  for (int idx = 0; idx < num_cells(); ++idx) {
+    if (kind_[static_cast<std::size_t>(idx)] != CellKind::Data) {
+      continue;
+    }
+    bool horizontal = false;
+    for (int id : containing_[static_cast<std::size_t>(idx)]) {
+      if (chains_[static_cast<std::size_t>(id)].dir ==
+          Direction::Horizontal) {
+        horizontal = true;
+      }
+    }
+    FBF_CHECK(horizontal, "data cell " + to_string(cell_at(idx)) +
+                              " lacks a horizontal chain in " + name_);
+  }
+}
+
+int Layout::cell_index(Cell c) const {
+  FBF_CHECK(in_bounds(c), "cell_index out of bounds");
+  return c.row * cols_ + c.col;
+}
+
+Cell Layout::cell_at(int index) const {
+  FBF_CHECK(index >= 0 && index < num_cells(), "cell_at out of bounds");
+  return Cell{static_cast<std::int16_t>(index / cols_),
+              static_cast<std::int16_t>(index % cols_)};
+}
+
+bool Layout::in_bounds(Cell c) const {
+  return c.row >= 0 && c.row < rows_ && c.col >= 0 && c.col < cols_;
+}
+
+CellKind Layout::kind(Cell c) const {
+  return kind_[static_cast<std::size_t>(cell_index(c))];
+}
+
+const Chain& Layout::chain(int id) const {
+  FBF_CHECK(id >= 0 && id < static_cast<int>(chains_.size()),
+            "chain id out of range");
+  return chains_[static_cast<std::size_t>(id)];
+}
+
+std::span<const int> Layout::chains_in(Direction d) const {
+  return by_direction_[static_cast<std::size_t>(d)];
+}
+
+std::span<const int> Layout::chains_containing(Cell c) const {
+  return containing_[static_cast<std::size_t>(cell_index(c))];
+}
+
+std::vector<int> Layout::chains_containing(Cell c, Direction d) const {
+  std::vector<int> out;
+  for (int id : chains_containing(c)) {
+    if (chains_[static_cast<std::size_t>(id)].dir == d) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+int Layout::update_complexity(Cell c) const {
+  FBF_CHECK(kind(c) == CellKind::Data,
+            "update complexity is defined for data cells");
+  return static_cast<int>(chains_containing(c).size());
+}
+
+double Layout::average_update_complexity() const {
+  double sum = 0.0;
+  int data_cells = 0;
+  for (int i = 0; i < num_cells(); ++i) {
+    const Cell c = cell_at(i);
+    if (kind(c) == CellKind::Data) {
+      sum += static_cast<double>(chains_containing(c).size());
+      ++data_cells;
+    }
+  }
+  return data_cells == 0 ? 0.0 : sum / data_cells;
+}
+
+std::vector<Cell> Layout::column_cells(int col) const {
+  FBF_CHECK(col >= 0 && col < cols_, "column out of range");
+  std::vector<Cell> out;
+  out.reserve(static_cast<std::size_t>(rows_));
+  for (int r = 0; r < rows_; ++r) {
+    out.push_back(Cell{static_cast<std::int16_t>(r),
+                       static_cast<std::int16_t>(col)});
+  }
+  return out;
+}
+
+}  // namespace fbf::codes

@@ -1,0 +1,79 @@
+// Layout: the chain structure of one 3DFT erasure code instance.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "codes/geometry.h"
+
+namespace fbf::codes {
+
+/// Immutable description of a stripe's chain structure. Construction
+/// validates the invariants every consumer relies on:
+///  - every chain is sorted/unique and contains its parity cell,
+///  - parity cells are distinct across chains,
+///  - an encode order exists (parity dependencies are acyclic),
+///  - every data cell is covered by at least one chain per direction.
+class Layout {
+ public:
+  Layout(std::string name, int p, int rows, int cols,
+         std::vector<Chain> chains);
+
+  const std::string& name() const { return name_; }
+  int p() const { return p_; }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int num_cells() const { return rows_ * cols_; }
+  int num_data_cells() const { return num_cells() - num_parity_cells(); }
+  int num_parity_cells() const { return static_cast<int>(chains_.size()); }
+
+  /// Dense index of a cell in [0, num_cells()).
+  int cell_index(Cell c) const;
+  Cell cell_at(int index) const;
+  bool in_bounds(Cell c) const;
+
+  CellKind kind(Cell c) const;
+
+  const std::vector<Chain>& chains() const { return chains_; }
+  const Chain& chain(int id) const;
+
+  /// Chain ids belonging to one direction.
+  std::span<const int> chains_in(Direction d) const;
+
+  /// Ids of every chain containing `c` (any direction).
+  std::span<const int> chains_containing(Cell c) const;
+
+  /// Ids of chains in direction `d` containing `c`.
+  std::vector<int> chains_containing(Cell c, Direction d) const;
+
+  /// Chain ids in an order where each chain's parity cell can be computed
+  /// from data cells and previously produced parity cells.
+  const std::vector<int>& encode_order() const { return encode_order_; }
+
+  /// All cells of one physical column (disk), top to bottom.
+  std::vector<Cell> column_cells(int col) const;
+
+  /// Update complexity of a data cell: how many parity cells change when
+  /// it is written (= chains containing it). TIP-style layouts achieve
+  /// the 3DFT optimum of <= 3; STAR's adjuster-diagonal cells sit on every
+  /// diagonal (or anti-diagonal) chain and cost p+1 parity updates — the
+  /// exact contrast the TIP paper's "optimal update complexity" draws.
+  int update_complexity(Cell c) const;
+
+  /// Mean update complexity over all data cells.
+  double average_update_complexity() const;
+
+ private:
+  std::string name_;
+  int p_;
+  int rows_;
+  int cols_;
+  std::vector<Chain> chains_;
+  std::vector<CellKind> kind_;                 // by cell index
+  std::vector<std::vector<int>> by_direction_; // direction -> chain ids
+  std::vector<std::vector<int>> containing_;   // cell index -> chain ids
+  std::vector<int> encode_order_;
+};
+
+}  // namespace fbf::codes

@@ -1,0 +1,275 @@
+#include "codes/lrc.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace fbf::codes {
+
+namespace {
+
+/// One GF(256) equation: sum_i coeff[i] * chunk[idx[i]] == 0.
+struct Equation {
+  std::vector<int> idx;
+  std::vector<Gf256::Elem> coeff;
+};
+
+}  // namespace
+
+LrcCode::LrcCode(int k, int l, int g) : k_(k), l_(l), g_(g) {
+  FBF_CHECK(k >= 1 && l >= 1 && g >= 1, "LRC needs k, l, g >= 1");
+  FBF_CHECK(k % l == 0, "LRC group size must divide k");
+  FBF_CHECK(k + g <= 255, "LRC over GF(256) needs k + g <= 255");
+  coeff_.resize(static_cast<std::size_t>(g) * static_cast<std::size_t>(k));
+  for (int r = 0; r < g; ++r) {
+    for (int c = 0; c < k; ++c) {
+      coeff_[static_cast<std::size_t>(r * k + c)] = Gf256::inv(
+          Gf256::add(static_cast<Gf256::Elem>(r),
+                     static_cast<Gf256::Elem>(g + c)));
+    }
+  }
+}
+
+int LrcCode::group_of(int data_index) const {
+  FBF_CHECK(data_index >= 0 && data_index < k_, "data index out of range");
+  return data_index / group_size();
+}
+
+std::vector<int> LrcCode::local_chain(int group) const {
+  FBF_CHECK(group >= 0 && group < l_, "group out of range");
+  std::vector<int> out;
+  for (int j = group * group_size(); j < (group + 1) * group_size(); ++j) {
+    out.push_back(j);
+  }
+  out.push_back(k_ + group);
+  return out;
+}
+
+std::vector<int> LrcCode::global_chain(int r) const {
+  FBF_CHECK(r >= 0 && r < g_, "global parity index out of range");
+  std::vector<int> out;
+  for (int j = 0; j < k_; ++j) {
+    out.push_back(j);
+  }
+  out.push_back(k_ + l_ + r);
+  return out;
+}
+
+Gf256::Elem LrcCode::global_coefficient(int r, int c) const {
+  FBF_CHECK(r >= 0 && r < g_ && c >= 0 && c < k_,
+            "global coefficient out of range");
+  return coeff_[static_cast<std::size_t>(r * k_ + c)];
+}
+
+void LrcCode::encode(std::span<const std::span<std::uint8_t>> chunks) const {
+  FBF_CHECK(static_cast<int>(chunks.size()) == n(),
+            "LRC encode: need all n chunk slots");
+  for (int grp = 0; grp < l_; ++grp) {
+    auto out = chunks[static_cast<std::size_t>(k_ + grp)];
+    std::fill(out.begin(), out.end(), std::uint8_t{0});
+    for (int j = grp * group_size(); j < (grp + 1) * group_size(); ++j) {
+      Gf256::mul_add(out, chunks[static_cast<std::size_t>(j)], 1);
+    }
+  }
+  for (int r = 0; r < g_; ++r) {
+    auto out = chunks[static_cast<std::size_t>(k_ + l_ + r)];
+    std::fill(out.begin(), out.end(), std::uint8_t{0});
+    for (int c = 0; c < k_; ++c) {
+      Gf256::mul_add(out, chunks[static_cast<std::size_t>(c)],
+                     global_coefficient(r, c));
+    }
+  }
+}
+
+bool LrcCode::verify(
+    std::span<const std::span<const std::uint8_t>> chunks) const {
+  FBF_CHECK(static_cast<int>(chunks.size()) == n(),
+            "LRC verify: need all n chunk slots");
+  const std::size_t len = chunks[0].size();
+  std::vector<std::uint8_t> acc(len);
+  auto check_zero = [&acc] {
+    return std::all_of(acc.begin(), acc.end(),
+                       [](std::uint8_t b) { return b == 0; });
+  };
+  for (int grp = 0; grp < l_; ++grp) {
+    std::fill(acc.begin(), acc.end(), std::uint8_t{0});
+    for (int idx : local_chain(grp)) {
+      Gf256::mul_add(acc, chunks[static_cast<std::size_t>(idx)], 1);
+    }
+    if (!check_zero()) {
+      return false;
+    }
+  }
+  for (int r = 0; r < g_; ++r) {
+    std::fill(acc.begin(), acc.end(), std::uint8_t{0});
+    for (int c = 0; c < k_; ++c) {
+      Gf256::mul_add(acc, chunks[static_cast<std::size_t>(c)],
+                     global_coefficient(r, c));
+    }
+    Gf256::mul_add(acc, chunks[static_cast<std::size_t>(k_ + l_ + r)], 1);
+    if (!check_zero()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LrcCode::decode(std::span<const std::span<std::uint8_t>> chunks,
+                     const std::vector<int>& erased) const {
+  FBF_CHECK(static_cast<int>(chunks.size()) == n(),
+            "LRC decode: need all n chunk slots");
+  if (erased.empty()) {
+    return true;
+  }
+  std::vector<int> unknown_of(static_cast<std::size_t>(n()), -1);
+  for (std::size_t i = 0; i < erased.size(); ++i) {
+    FBF_CHECK(erased[i] >= 0 && erased[i] < n(),
+              "erased index out of range");
+    unknown_of[static_cast<std::size_t>(erased[i])] = static_cast<int>(i);
+  }
+  const std::size_t len = chunks[0].size();
+
+  // Build equations with unknown terms separated from the known-RHS.
+  struct Row {
+    std::vector<Gf256::Elem> u;        // coefficient per unknown
+    std::vector<std::uint8_t> rhs;     // xor/mul-add of known chunks
+  };
+  std::vector<Row> rows;
+  auto add_equation = [&](const std::vector<int>& idx,
+                          const std::vector<Gf256::Elem>& coeff) {
+    Row row;
+    row.u.assign(erased.size(), 0);
+    row.rhs.assign(len, 0);
+    bool touches_unknown = false;
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      const int u = unknown_of[static_cast<std::size_t>(idx[i])];
+      if (u >= 0) {
+        row.u[static_cast<std::size_t>(u)] ^= coeff[i];
+        touches_unknown = true;
+      } else {
+        Gf256::mul_add(row.rhs, chunks[static_cast<std::size_t>(idx[i])],
+                       coeff[i]);
+      }
+    }
+    if (touches_unknown) {
+      rows.push_back(std::move(row));
+    }
+  };
+  for (int grp = 0; grp < l_; ++grp) {
+    const auto chain = local_chain(grp);
+    add_equation(chain, std::vector<Gf256::Elem>(chain.size(), 1));
+  }
+  for (int r = 0; r < g_; ++r) {
+    std::vector<int> idx;
+    std::vector<Gf256::Elem> coeff;
+    for (int c = 0; c < k_; ++c) {
+      idx.push_back(c);
+      coeff.push_back(global_coefficient(r, c));
+    }
+    idx.push_back(k_ + l_ + r);
+    coeff.push_back(1);
+    add_equation(idx, coeff);
+  }
+
+  // Gauss-Jordan over the unknown columns, applying the same row ops to
+  // the chunk-sized RHS buffers.
+  const std::size_t nu = erased.size();
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < nu && rank < rows.size(); ++col) {
+    std::size_t pivot = rank;
+    while (pivot < rows.size() && rows[pivot].u[col] == 0) {
+      ++pivot;
+    }
+    if (pivot == rows.size()) {
+      continue;
+    }
+    std::swap(rows[pivot], rows[rank]);
+    const Gf256::Elem inv_p = Gf256::inv(rows[rank].u[col]);
+    for (auto& c : rows[rank].u) {
+      c = Gf256::mul(c, inv_p);
+    }
+    std::vector<std::uint8_t> scaled(len, 0);
+    Gf256::mul_add(scaled, rows[rank].rhs, inv_p);
+    rows[rank].rhs = std::move(scaled);
+    for (std::size_t r2 = 0; r2 < rows.size(); ++r2) {
+      if (r2 == rank || rows[r2].u[col] == 0) {
+        continue;
+      }
+      const Gf256::Elem f = rows[r2].u[col];
+      for (std::size_t j = 0; j < nu; ++j) {
+        rows[r2].u[j] ^= Gf256::mul(f, rows[rank].u[j]);
+      }
+      Gf256::mul_add(rows[r2].rhs, rows[rank].rhs, f);
+    }
+    ++rank;
+  }
+  if (rank < nu) {
+    return false;
+  }
+  // Each pivot row now reads "unknown_j == rhs".
+  for (std::size_t r = 0; r < rank; ++r) {
+    std::size_t col = 0;
+    while (col < nu && rows[r].u[col] == 0) {
+      ++col;
+    }
+    if (col == nu) {
+      continue;
+    }
+    auto out = chunks[static_cast<std::size_t>(
+        erased[col])];
+    std::copy(rows[r].rhs.begin(), rows[r].rhs.end(), out.begin());
+  }
+  return true;
+}
+
+LrcCode::Plan LrcCode::plan_recovery(const std::vector<int>& erased) const {
+  Plan plan;
+  plan.reference_count.assign(static_cast<std::size_t>(n()), 0);
+  std::vector<bool> is_erased(static_cast<std::size_t>(n()), false);
+  for (int e : erased) {
+    is_erased[static_cast<std::size_t>(e)] = true;
+  }
+  int next_global = 0;
+  for (int e : erased) {
+    // Local chain usable when the erasure is alone in its group chain.
+    std::vector<int> chain;
+    if (e < k_ + l_) {
+      const int grp = e < k_ ? group_of(e) : e - k_;
+      const auto local = local_chain(grp);
+      const int erased_in_group = static_cast<int>(std::count_if(
+          local.begin(), local.end(),
+          [&is_erased](int idx) { return is_erased[static_cast<std::size_t>(idx)]; }));
+      if (erased_in_group == 1) {
+        chain = local;
+      }
+    }
+    if (chain.empty()) {
+      if (e >= k_ + l_) {
+        // An erased global parity is recomputed from its own chain.
+        chain = global_chain(e - k_ - l_);
+      } else {
+        // Fall back to a global chain, cycling across the g parities the
+        // way FBF loops chain directions. Multi-erasure global recovery
+        // needs the full decode; the plan charges the reads of one global
+        // chain per erasure, which shares all data fetches.
+        chain = global_chain(next_global % g_);
+        ++next_global;
+      }
+    }
+    std::vector<int> reads;
+    for (int idx : chain) {
+      if (idx != e && !is_erased[static_cast<std::size_t>(idx)]) {
+        reads.push_back(idx);
+        ++plan.reference_count[static_cast<std::size_t>(idx)];
+        ++plan.total_references;
+      }
+    }
+    plan.reads_per_erasure.push_back(std::move(reads));
+  }
+  plan.distinct_reads = static_cast<int>(std::count_if(
+      plan.reference_count.begin(), plan.reference_count.end(),
+      [](int c) { return c > 0; }));
+  return plan;
+}
+
+}  // namespace fbf::codes

@@ -1,0 +1,75 @@
+// Local Reconstruction Codes (Huang et al., Windows Azure Storage) — the
+// extension the paper's footnote 3 sketches: "RS based codes like Local
+// Reconstruction Codes can be applied with FBF as well, by investigating
+// relationships among global/local parity chains."
+//
+// LRC(k, l, g): k data chunks in l equal groups, one XOR local parity per
+// group, g global Cauchy-RS parities over all data. Chunk order within a
+// stripe: data[0..k), locals[k..k+l), globals[k+l..k+l+g).
+//
+// The chain structure FBF reasons about: l local chains (group + its
+// local parity) and g global chains (all data + one global parity).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "codes/gf256.h"
+
+namespace fbf::codes {
+
+class LrcCode {
+ public:
+  /// Requires k % l == 0, g >= 1.
+  LrcCode(int k, int l, int g);
+
+  int k() const { return k_; }
+  int l() const { return l_; }
+  int g() const { return g_; }
+  int n() const { return k_ + l_ + g_; }
+  int group_size() const { return k_ / l_; }
+
+  /// Group index of a data chunk.
+  int group_of(int data_index) const;
+
+  /// Chunk indices of one local chain: the group's data + local parity.
+  std::vector<int> local_chain(int group) const;
+
+  /// Chunk indices of one global chain: all data + global parity r.
+  std::vector<int> global_chain(int r) const;
+
+  /// Computes all l + g parity chunks from the data chunks.
+  void encode(std::span<const std::span<std::uint8_t>> chunks) const;
+
+  /// True iff every chain checks out (all-zero syndrome).
+  bool verify(std::span<const std::span<const std::uint8_t>> chunks) const;
+
+  /// Recovers erased chunk indices in-place via GF(256) elimination over
+  /// the local + global chain equations. Returns false when the pattern
+  /// is information-theoretically unrecoverable.
+  bool decode(std::span<const std::span<std::uint8_t>> chunks,
+              const std::vector<int>& erased) const;
+
+  /// Recovery plan for FBF: for each erased chunk, the cheapest usable
+  /// chain (local if the group has a single erasure, else global), the
+  /// distinct fetch set, and per-chunk reference counts (priorities).
+  struct Plan {
+    std::vector<std::vector<int>> reads_per_erasure;  // in erased order
+    std::vector<int> reference_count;                 // index: chunk id
+    int total_references = 0;
+    int distinct_reads = 0;
+  };
+  Plan plan_recovery(const std::vector<int>& erased) const;
+
+  /// Coefficient of data chunk c in global parity r (Cauchy).
+  Gf256::Elem global_coefficient(int r, int c) const;
+
+ private:
+  int k_;
+  int l_;
+  int g_;
+  std::vector<Gf256::Elem> coeff_;  // g x k Cauchy rows
+};
+
+}  // namespace fbf::codes

@@ -1,0 +1,147 @@
+#include "codes/reed_solomon.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace fbf::codes {
+
+ReedSolomon::ReedSolomon(int k, int m) : k_(k), m_(m) {
+  FBF_CHECK(k >= 1 && m >= 1, "RS needs k >= 1, m >= 1");
+  FBF_CHECK(k + m <= 255, "RS over GF(256) needs k + m <= 255");
+  // Cauchy matrix: rows indexed by x_r = r, columns by y_c = m + c; all
+  // points distinct, so every square submatrix of [I; C] is nonsingular.
+  cauchy_.resize(static_cast<std::size_t>(m) * static_cast<std::size_t>(k));
+  for (int r = 0; r < m; ++r) {
+    for (int c = 0; c < k; ++c) {
+      const auto x = static_cast<Gf256::Elem>(r);
+      const auto y = static_cast<Gf256::Elem>(m + c);
+      cauchy_[static_cast<std::size_t>(r * k + c)] =
+          Gf256::inv(Gf256::add(x, y));
+    }
+  }
+}
+
+Gf256::Elem ReedSolomon::coefficient(int r, int c) const {
+  FBF_CHECK(r >= 0 && r < m_ && c >= 0 && c < k_,
+            "RS coefficient out of range");
+  return cauchy_[static_cast<std::size_t>(r * k_ + c)];
+}
+
+void ReedSolomon::encode(
+    std::span<const std::span<const std::uint8_t>> data,
+    std::span<const std::span<std::uint8_t>> parity) const {
+  FBF_CHECK(static_cast<int>(data.size()) == k_, "RS encode: need k chunks");
+  FBF_CHECK(static_cast<int>(parity.size()) == m_,
+            "RS encode: need m parity chunks");
+  for (int r = 0; r < m_; ++r) {
+    auto out = parity[static_cast<std::size_t>(r)];
+    std::fill(out.begin(), out.end(), std::uint8_t{0});
+    for (int c = 0; c < k_; ++c) {
+      const auto in = data[static_cast<std::size_t>(c)];
+      FBF_CHECK(in.size() == out.size(), "RS encode: chunk size mismatch");
+      Gf256::mul_add(out, in, coefficient(r, c));
+    }
+  }
+}
+
+bool ReedSolomon::decode(std::span<const std::span<std::uint8_t>> chunks,
+                         const std::vector<int>& erased) const {
+  FBF_CHECK(static_cast<int>(chunks.size()) == n(),
+            "RS decode: need all n chunk slots");
+  if (erased.empty()) {
+    return true;
+  }
+  if (static_cast<int>(erased.size()) > m_) {
+    return false;
+  }
+  std::vector<bool> is_erased(static_cast<std::size_t>(n()), false);
+  for (int e : erased) {
+    FBF_CHECK(e >= 0 && e < n(), "RS decode: erased index out of range");
+    is_erased[static_cast<std::size_t>(e)] = true;
+  }
+
+  // Pick k surviving rows of the full generator [I_k; C].
+  std::vector<int> rows;
+  for (int i = 0; i < n() && static_cast<int>(rows.size()) < k_; ++i) {
+    if (!is_erased[static_cast<std::size_t>(i)]) {
+      rows.push_back(i);
+    }
+  }
+  if (static_cast<int>(rows.size()) < k_) {
+    return false;
+  }
+
+  // A[i][j]: coefficient of data j in surviving row i. Invert via
+  // Gauss-Jordan on [A | I].
+  const auto kk = static_cast<std::size_t>(k_);
+  std::vector<Gf256::Elem> a(kk * kk, 0);
+  std::vector<Gf256::Elem> ainv(kk * kk, 0);
+  for (std::size_t i = 0; i < kk; ++i) {
+    const int row = rows[i];
+    for (std::size_t j = 0; j < kk; ++j) {
+      a[i * kk + j] = row < k_ ? static_cast<Gf256::Elem>(
+                                     row == static_cast<int>(j) ? 1 : 0)
+                               : coefficient(row - k_, static_cast<int>(j));
+    }
+    ainv[i * kk + i] = 1;
+  }
+  for (std::size_t col = 0; col < kk; ++col) {
+    std::size_t pivot = col;
+    while (pivot < kk && a[pivot * kk + col] == 0) {
+      ++pivot;
+    }
+    if (pivot == kk) {
+      return false;  // singular: not decodable (cannot happen for Cauchy)
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < kk; ++j) {
+        std::swap(a[pivot * kk + j], a[col * kk + j]);
+        std::swap(ainv[pivot * kk + j], ainv[col * kk + j]);
+      }
+    }
+    const Gf256::Elem inv_p = Gf256::inv(a[col * kk + col]);
+    for (std::size_t j = 0; j < kk; ++j) {
+      a[col * kk + j] = Gf256::mul(a[col * kk + j], inv_p);
+      ainv[col * kk + j] = Gf256::mul(ainv[col * kk + j], inv_p);
+    }
+    for (std::size_t r = 0; r < kk; ++r) {
+      if (r == col || a[r * kk + col] == 0) {
+        continue;
+      }
+      const Gf256::Elem f = a[r * kk + col];
+      for (std::size_t j = 0; j < kk; ++j) {
+        a[r * kk + j] ^= Gf256::mul(f, a[col * kk + j]);
+        ainv[r * kk + j] ^= Gf256::mul(f, ainv[col * kk + j]);
+      }
+    }
+  }
+
+  // Recover erased data rows: data_j = sum_i ainv[j][i] * chunk[rows[i]].
+  for (int e : erased) {
+    if (e >= k_) {
+      continue;  // parity handled below
+    }
+    auto out = chunks[static_cast<std::size_t>(e)];
+    std::fill(out.begin(), out.end(), std::uint8_t{0});
+    for (std::size_t i = 0; i < kk; ++i) {
+      Gf256::mul_add(out, chunks[static_cast<std::size_t>(rows[i])],
+                     ainv[static_cast<std::size_t>(e) * kk + i]);
+    }
+  }
+  // Recompute erased parity rows from the (now complete) data.
+  for (int e : erased) {
+    if (e < k_) {
+      continue;
+    }
+    auto out = chunks[static_cast<std::size_t>(e)];
+    std::fill(out.begin(), out.end(), std::uint8_t{0});
+    for (int c = 0; c < k_; ++c) {
+      Gf256::mul_add(out, chunks[static_cast<std::size_t>(c)],
+                     coefficient(e - k_, c));
+    }
+  }
+  return true;
+}
+
+}  // namespace fbf::codes

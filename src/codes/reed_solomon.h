@@ -1,0 +1,49 @@
+// Systematic Reed-Solomon erasure code over GF(2^8) with a Cauchy
+// generator matrix — the classic MDS baseline the paper's related work
+// cites (RS [11], Cauchy-RS [12]).
+//
+// Unlike the XOR array codes, RS has no chain geometry: any k surviving
+// chunks of a stripe reconstruct everything. bench_ext_rs_comparison uses
+// this to contrast RS partial-stripe recovery I/O with chain-based 3DFT
+// recovery.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "codes/gf256.h"
+
+namespace fbf::codes {
+
+class ReedSolomon {
+ public:
+  /// k data chunks, m parity chunks per stripe (n = k + m disks).
+  /// Requires k + m <= 255 for distinct Cauchy points.
+  ReedSolomon(int k, int m);
+
+  int k() const { return k_; }
+  int m() const { return m_; }
+  int n() const { return k_ + m_; }
+
+  /// Computes the m parity chunks from the k data chunks. All spans must
+  /// have equal size; parity spans are overwritten.
+  void encode(std::span<const std::span<const std::uint8_t>> data,
+              std::span<const std::span<std::uint8_t>> parity) const;
+
+  /// Recovers the chunks at `erased` (indices in [0, n)) in-place in
+  /// `chunks` (data chunks first, then parity). At most m erasures.
+  /// Returns false if the pattern exceeds the code's distance.
+  bool decode(std::span<const std::span<std::uint8_t>> chunks,
+              const std::vector<int>& erased) const;
+
+  /// Generator coefficient: parity row r, data column c.
+  Gf256::Elem coefficient(int r, int c) const;
+
+ private:
+  int k_;
+  int m_;
+  std::vector<Gf256::Elem> cauchy_;  // m x k
+};
+
+}  // namespace fbf::codes

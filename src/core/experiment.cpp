@@ -1,0 +1,77 @@
+#include "core/experiment.h"
+
+#include "util/table.h"
+
+namespace fbf::core {
+
+std::string ExperimentConfig::label() const {
+  std::string out = codes::to_string(code);
+  out += "(p=" + std::to_string(p) + ")";
+  out += " " + std::string(cache::to_string(policy));
+  out += " cache=" + util::fmt_bytes(cache_bytes);
+  out += " scheme=" + std::string(recovery::to_string(scheme));
+  return out;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  const codes::Layout layout = codes::make_layout(config.code, config.p);
+  const sim::ArrayGeometry geometry(layout, config.num_stripes,
+                                    config.rotate_columns,
+                                    config.spare_placement);
+
+  workload::ErrorTraceConfig trace_cfg;
+  trace_cfg.num_stripes = config.num_stripes;
+  trace_cfg.num_errors = config.num_errors;
+  trace_cfg.target_col = config.error_col;
+  trace_cfg.spatial_locality = config.spatial_locality;
+  trace_cfg.seed = config.seed;
+  const auto errors = workload::generate_error_trace(layout, trace_cfg);
+
+  std::vector<workload::AppRequest> app_trace;
+  if (config.app_requests > 0) {
+    workload::AppTraceConfig app_cfg;
+    app_cfg.num_stripes = config.num_stripes;
+    app_cfg.num_requests = config.app_requests;
+    app_cfg.mean_interarrival_ms = config.app_mean_interarrival_ms;
+    app_cfg.seed = config.seed ^ 0xa99ull;
+    app_trace = workload::generate_app_trace(layout, app_cfg);
+  }
+
+  sim::ReconstructionConfig rc;
+  rc.scheme = config.scheme;
+  rc.policy = config.policy;
+  rc.cache_bytes = config.cache_bytes;
+  rc.chunk_bytes = config.chunk_bytes;
+  rc.workers = config.workers;
+  rc.cache_access_ms = config.cache_access_ms;
+  rc.xor_ms_per_chunk = config.xor_ms_per_chunk;
+  rc.disk.kind = config.disk_model;
+  rc.disk.read_ms = config.disk_access_ms;
+  rc.disk.write_ms = config.disk_access_ms;
+  rc.memoize_schemes = config.memoize_schemes;
+  rc.verify_data = config.verify_data;
+  rc.seed = config.seed;
+
+  sim::ReconstructionEngine engine(layout, geometry, rc);
+  const sim::SimMetrics m = engine.run(errors, app_trace);
+
+  ExperimentResult r;
+  r.hit_ratio = m.hit_ratio();
+  r.cache_hits = m.cache.hits;
+  r.cache_misses = m.cache.misses;
+  r.disk_reads = m.disk_reads;
+  r.disk_writes = m.disk_writes;
+  r.avg_response_ms = m.response_ms.mean();
+  r.p99_response_ms = m.response_reservoir.percentile(0.99);
+  r.reconstruction_ms = m.reconstruction_ms;
+  r.scheme_gen_wall_ms = m.scheme_gen_wall_ms;
+  r.schemes_generated = m.schemes_generated;
+  r.stripes_recovered = m.stripes_recovered;
+  r.chunks_recovered = m.chunks_recovered;
+  r.total_chunk_requests = m.total_chunk_requests;
+  r.app_avg_response_ms = m.app_response_ms.mean();
+  r.app_degraded_reads = m.app_degraded_reads;
+  return r;
+}
+
+}  // namespace fbf::core

@@ -1,0 +1,81 @@
+// FbfSystem facade: one call from (code, p, policy, cache size, workload)
+// to the paper's four metrics. Everything benches and examples need.
+#pragma once
+
+#include <string>
+
+#include "cache/policy.h"
+#include "codes/builders.h"
+#include "recovery/scheme.h"
+#include "sim/reconstruction.h"
+#include "workload/app_trace.h"
+#include "workload/errors.h"
+
+namespace fbf::core {
+
+struct ExperimentConfig {
+  codes::CodeId code = codes::CodeId::Tip;
+  int p = 7;
+
+  cache::PolicyId policy = cache::PolicyId::Fbf;
+  recovery::SchemeKind scheme = recovery::SchemeKind::RoundRobin;
+
+  std::size_t cache_bytes = 256ull << 20;
+  std::size_t chunk_bytes = 32 * 1024;
+  int workers = 128;
+
+  int num_errors = 512;            ///< damaged stripes
+  std::uint64_t num_stripes = 1 << 20;
+  int error_col = 0;               ///< -1 = random column per error
+  double spatial_locality = 0.6;
+
+  /// RAID-5-style column rotation across stripes. On by default so the
+  /// parity-heavy logical columns (read by every chain in RTP-style
+  /// layouts) do not pin one physical disk and hide cache effects behind a
+  /// fixed bottleneck.
+  bool rotate_columns = true;
+
+  /// Distributed (declustered) sparing by default: recovery writes spread
+  /// over the array instead of serializing on the failed disk. Ablated in
+  /// bench_ablation_sparing.
+  sim::SparePlacement spare_placement = sim::SparePlacement::Distributed;
+
+  sim::DiskModelKind disk_model = sim::DiskModelKind::FixedLatency;
+  double disk_access_ms = 10.0;    ///< paper's disk access time
+  double cache_access_ms = 0.5;    ///< paper's buffer-cache access time
+  double xor_ms_per_chunk = 0.05;
+
+  bool memoize_schemes = true;
+  bool verify_data = false;
+
+  // Online-recovery extension: foreground traffic intensity (0 = none).
+  int app_requests = 0;
+  double app_mean_interarrival_ms = 2.0;
+
+  std::uint64_t seed = 42;
+
+  std::string label() const;
+};
+
+struct ExperimentResult {
+  double hit_ratio = 0.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t disk_reads = 0;
+  std::uint64_t disk_writes = 0;
+  double avg_response_ms = 0.0;
+  double p99_response_ms = 0.0;
+  double reconstruction_ms = 0.0;
+  double scheme_gen_wall_ms = 0.0;
+  std::uint64_t schemes_generated = 0;
+  std::uint64_t stripes_recovered = 0;
+  std::uint64_t chunks_recovered = 0;
+  std::uint64_t total_chunk_requests = 0;
+  double app_avg_response_ms = 0.0;
+  std::uint64_t app_degraded_reads = 0;
+};
+
+/// Runs one full reconstruction simulation. Deterministic per config.
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace fbf::core

@@ -1,0 +1,65 @@
+#include "core/reliability.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fbf::core {
+
+double mttdl_hours(const ReliabilityParams& params) {
+  FBF_CHECK(params.disks > params.fault_tolerance,
+            "array must have more disks than its fault tolerance");
+  FBF_CHECK(params.fault_tolerance >= 0, "fault tolerance must be >= 0");
+  FBF_CHECK(params.mttf_hours > 0 && params.mttr_hours > 0,
+            "MTTF and MTTR must be positive");
+
+  const double lambda = 1.0 / params.mttf_hours;
+  const double mu = 1.0 / params.mttr_hours;
+  const int t = params.fault_tolerance;
+
+  // E_i = expected time to absorption from state i (i failed disks).
+  // E_i = 1/r_i + (f_i/r_i) * E_{i+1} + (m_i/r_i) * E_{i-1}, with
+  // f_i = (n-i) lambda, m_i = repair rate, r_i = f_i + m_i, E_{t+1} = 0.
+  // Solve by backward elimination: express E_i = a_i + b_i * E_{i-1}.
+  std::vector<double> a(static_cast<std::size_t>(t) + 1, 0.0);
+  std::vector<double> b(static_cast<std::size_t>(t) + 1, 0.0);
+  for (int i = t; i >= 0; --i) {
+    const double f = static_cast<double>(params.disks - i) * lambda;
+    const double m =
+        i == 0 ? 0.0 : (params.parallel_repair ? i * mu : mu);
+    const double r = f + m;
+    // E_i = 1/r + (f/r) E_{i+1} + (m/r) E_{i-1}
+    //     = 1/r + (f/r)(a_{i+1} + b_{i+1} E_i) + (m/r) E_{i-1}
+    double denom = 1.0;
+    double constant = 1.0 / r;
+    if (i < t) {
+      denom -= (f / r) * b[static_cast<std::size_t>(i) + 1];
+      constant += (f / r) * a[static_cast<std::size_t>(i) + 1];
+    }
+    FBF_CHECK(denom > 0, "Markov chain elimination degenerate");
+    a[static_cast<std::size_t>(i)] = constant / denom;
+    b[static_cast<std::size_t>(i)] = (m / r) / denom;
+  }
+  // From state 0 there is no E_{-1} term.
+  FBF_CHECK(b[0] == 0.0, "state 0 must have no repair transition");
+  return a[0];
+}
+
+double mttdl_improvement(const ReliabilityParams& params,
+                         double baseline_mttr_hours,
+                         double improved_mttr_hours) {
+  ReliabilityParams base = params;
+  base.mttr_hours = baseline_mttr_hours;
+  ReliabilityParams better = params;
+  better.mttr_hours = improved_mttr_hours;
+  return mttdl_hours(better) / mttdl_hours(base);
+}
+
+double wov_exposure(const ReliabilityParams& params, double window_hours) {
+  FBF_CHECK(window_hours >= 0, "window must be non-negative");
+  const double lambda = 1.0 / params.mttf_hours;
+  return 1.0 - std::exp(-static_cast<double>(params.disks - 1) * lambda *
+                        window_hours);
+}
+
+}  // namespace fbf::core

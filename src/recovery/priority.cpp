@@ -1,0 +1,58 @@
+#include "recovery/priority.h"
+
+#include "util/check.h"
+
+namespace fbf::recovery {
+
+PrioritySummary summarize_priorities(const RecoveryScheme& scheme) {
+  PrioritySummary s;
+  for (std::uint8_t p : scheme.priority) {
+    switch (p) {
+      case 3:
+        ++s.priority3;
+        break;
+      case 2:
+        ++s.priority2;
+        break;
+      case 1:
+        ++s.priority1;
+        break;
+      default:
+        break;
+    }
+  }
+  return s;
+}
+
+std::vector<codes::Cell> cells_at_priority(const codes::Layout& layout,
+                                           const RecoveryScheme& scheme,
+                                           int level) {
+  FBF_CHECK(level >= 1 && level <= 3, "priority level must be 1..3");
+  std::vector<codes::Cell> out;
+  for (std::size_t idx = 0; idx < scheme.priority.size(); ++idx) {
+    if (scheme.priority[idx] == level) {
+      out.push_back(layout.cell_at(static_cast<int>(idx)));
+    }
+  }
+  return out;
+}
+
+std::string priority_table(const codes::Layout& layout,
+                           const RecoveryScheme& scheme) {
+  std::string out;
+  for (int level = 3; level >= 1; --level) {
+    out += "priority " + std::to_string(level) + ": ";
+    bool first = true;
+    for (const codes::Cell& c : cells_at_priority(layout, scheme, level)) {
+      if (!first) {
+        out += ", ";
+      }
+      out += codes::to_string(c);
+      first = false;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace fbf::recovery

@@ -1,0 +1,32 @@
+// Priority-dictionary helpers (paper Table II / Table III).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "codes/layout.h"
+#include "recovery/scheme.h"
+
+namespace fbf::recovery {
+
+/// Breakdown of a scheme's priority dictionary by level.
+struct PrioritySummary {
+  int priority3 = 0;  ///< shared by >= three selected chains
+  int priority2 = 0;  ///< shared by two
+  int priority1 = 0;  ///< referenced once
+
+  int total() const { return priority3 + priority2 + priority1; }
+};
+
+PrioritySummary summarize_priorities(const RecoveryScheme& scheme);
+
+/// Cells at a given priority level, for Table-III style listings.
+std::vector<codes::Cell> cells_at_priority(const codes::Layout& layout,
+                                           const RecoveryScheme& scheme,
+                                           int level);
+
+/// Renders a Table-III style listing ("priority -> chunk list").
+std::string priority_table(const codes::Layout& layout,
+                           const RecoveryScheme& scheme);
+
+}  // namespace fbf::recovery

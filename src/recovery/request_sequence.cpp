@@ -1,0 +1,48 @@
+#include "recovery/request_sequence.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace fbf::recovery {
+
+std::vector<ChunkOp> build_request_sequence(const codes::Layout& layout,
+                                            const RecoveryScheme& scheme) {
+  std::vector<ChunkOp> ops;
+  ops.reserve(static_cast<std::size_t>(scheme.total_references) +
+              scheme.steps.size());
+  for (std::size_t s = 0; s < scheme.steps.size(); ++s) {
+    const RecoveryStep& step = scheme.steps[s];
+    const codes::Chain& chain = layout.chain(step.chain_id);
+    for (const codes::Cell& c : chain.cells) {
+      if (c == step.target) {
+        continue;
+      }
+      const auto idx = static_cast<std::size_t>(layout.cell_index(c));
+      ChunkOp op;
+      op.kind = OpKind::Read;
+      op.cell = c;
+      op.step = static_cast<int>(s);
+      op.priority = std::max<std::uint8_t>(scheme.priority[idx], 1);
+      ops.push_back(op);
+    }
+    const auto tidx = static_cast<std::size_t>(
+        layout.cell_index(step.target));
+    ChunkOp write;
+    write.kind = OpKind::WriteSpare;
+    write.cell = step.target;
+    write.step = static_cast<int>(s);
+    write.priority = std::max<std::uint8_t>(scheme.priority[tidx], 1);
+    ops.push_back(write);
+  }
+  return ops;
+}
+
+int count_reads(const std::vector<ChunkOp>& ops) {
+  return static_cast<int>(
+      std::count_if(ops.begin(), ops.end(), [](const ChunkOp& op) {
+        return op.kind == OpKind::Read;
+      }));
+}
+
+}  // namespace fbf::recovery

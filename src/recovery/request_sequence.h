@@ -1,0 +1,34 @@
+// Flattens a RecoveryScheme into the ordered chunk operations the RAID
+// controller issues — the access trace seen by the buffer cache.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "recovery/scheme.h"
+
+namespace fbf::recovery {
+
+enum class OpKind : std::uint8_t {
+  Read,        ///< fetch a surviving (or previously recovered) chunk
+  WriteSpare,  ///< write a freshly recovered chunk to the spare area
+};
+
+struct ChunkOp {
+  OpKind kind = OpKind::Read;
+  codes::Cell cell;
+  int step = 0;                ///< index into RecoveryScheme::steps
+  std::uint8_t priority = 1;   ///< cache priority of the chunk (Table II)
+};
+
+/// Ops in issue order: for each step, read every chain member except the
+/// target (row-major order within the chain), then write the recovered
+/// target to spare. Reads of previously recovered lost cells are regular
+/// reads — they hit the cache if FBF kept them, or go to the spare area.
+std::vector<ChunkOp> build_request_sequence(const codes::Layout& layout,
+                                            const RecoveryScheme& scheme);
+
+/// Number of Read ops in a sequence (total chunk references).
+int count_reads(const std::vector<ChunkOp>& ops);
+
+}  // namespace fbf::recovery

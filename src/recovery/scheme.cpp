@@ -1,0 +1,300 @@
+#include "recovery/scheme.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <set>
+
+#include "util/check.h"
+
+namespace fbf::recovery {
+
+using codes::Cell;
+using codes::Chain;
+using codes::Direction;
+using codes::Layout;
+
+const char* to_string(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::HorizontalFirst:
+      return "horizontal";
+    case SchemeKind::RoundRobin:
+      return "round-robin";
+    case SchemeKind::GreedyMinIO:
+      return "greedy";
+    case SchemeKind::ExhaustiveMinIO:
+      return "exhaustive";
+  }
+  return "?";
+}
+
+SchemeKind scheme_from_string(const std::string& name) {
+  if (name == "horizontal" || name == "typical") {
+    return SchemeKind::HorizontalFirst;
+  }
+  if (name == "round-robin" || name == "roundrobin" || name == "fbf") {
+    return SchemeKind::RoundRobin;
+  }
+  if (name == "greedy") {
+    return SchemeKind::GreedyMinIO;
+  }
+  if (name == "exhaustive") {
+    return SchemeKind::ExhaustiveMinIO;
+  }
+  FBF_CHECK(false, "unknown scheme kind: " + name);
+  return SchemeKind::RoundRobin;  // unreachable
+}
+
+std::vector<Cell> PartialStripeError::cells() const {
+  std::vector<Cell> out;
+  out.reserve(static_cast<std::size_t>(num_chunks));
+  for (int r = first_row; r < first_row + num_chunks; ++r) {
+    out.push_back(Cell{static_cast<std::int16_t>(r),
+                       static_cast<std::int16_t>(col)});
+  }
+  return out;
+}
+
+namespace {
+
+/// A chain is usable for `target` when every lost member other than the
+/// target has already been recovered (so peeling can XOR the chain now).
+bool chain_usable(const Layout& layout, const Chain& chain, Cell target,
+                  const std::vector<bool>& pending_lost) {
+  for (const Cell& c : chain.cells) {
+    if (c == target) {
+      continue;
+    }
+    if (pending_lost[static_cast<std::size_t>(layout.cell_index(c))]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Marginal fetches a chain would add: members that are neither already
+/// scheduled for fetch, nor recovered lost cells, nor the target.
+int marginal_new_fetches(const Layout& layout, const Chain& chain,
+                         Cell target, const std::vector<bool>& will_have) {
+  int fresh = 0;
+  for (const Cell& c : chain.cells) {
+    if (c == target) {
+      continue;
+    }
+    if (!will_have[static_cast<std::size_t>(layout.cell_index(c))]) {
+      ++fresh;
+    }
+  }
+  return fresh;
+}
+
+Direction rotate(Direction d, int by) {
+  return static_cast<Direction>((static_cast<int>(d) + by) %
+                                codes::kNumDirections);
+}
+
+}  // namespace
+
+RecoveryScheme generate_scheme(const Layout& layout,
+                               const std::vector<Cell>& lost,
+                               SchemeKind kind) {
+  FBF_CHECK(!lost.empty(), "generate_scheme with no lost cells");
+  std::vector<Cell> ordered = lost;
+  std::sort(ordered.begin(), ordered.end());
+  FBF_CHECK(std::adjacent_find(ordered.begin(), ordered.end()) ==
+                ordered.end(),
+            "duplicate lost cells");
+
+  const auto n_cells = static_cast<std::size_t>(layout.num_cells());
+  std::vector<bool> pending(n_cells, false);
+  for (const Cell& c : ordered) {
+    pending[static_cast<std::size_t>(layout.cell_index(c))] = true;
+  }
+
+  // Cells that will be available in cache/spare once scheduled: scheduled
+  // fetches plus already-recovered lost cells. Used by the greedy strategy.
+  std::vector<bool> will_have(n_cells, false);
+
+  RecoveryScheme scheme;
+  scheme.priority.assign(n_cells, 0);
+
+  if (kind == SchemeKind::ExhaustiveMinIO) {
+    FBF_CHECK(ordered.size() <= 10,
+              "exhaustive scheme search limited to 10 lost cells");
+    // Branch-and-bound over every per-cell chain choice, peeling in the
+    // fixed row order. `have` marks cells available without a new fetch
+    // (already-scheduled fetches and recovered targets).
+    std::vector<bool> have(n_cells, false);
+    std::vector<int> chosen;
+    std::vector<int> best_chains;
+    int best_distinct = std::numeric_limits<int>::max();
+    std::function<void(std::size_t, int)> dfs = [&](std::size_t i,
+                                                    int distinct) {
+      if (distinct >= best_distinct) {
+        return;  // cannot improve
+      }
+      if (i == ordered.size()) {
+        best_distinct = distinct;
+        best_chains = chosen;
+        return;
+      }
+      const Cell target = ordered[i];
+      const auto tidx = static_cast<std::size_t>(layout.cell_index(target));
+      for (int id : layout.chains_containing(target)) {
+        const Chain& ch = layout.chain(id);
+        if (!chain_usable(layout, ch, target, pending)) {
+          continue;
+        }
+        std::vector<std::size_t> newly;
+        for (const Cell& c : ch.cells) {
+          if (c == target) {
+            continue;
+          }
+          const auto idx = static_cast<std::size_t>(layout.cell_index(c));
+          if (!have[idx]) {
+            have[idx] = true;
+            newly.push_back(idx);
+          }
+        }
+        const bool target_was_available = have[tidx];
+        have[tidx] = true;
+        pending[tidx] = false;
+        chosen.push_back(id);
+        dfs(i + 1, distinct + static_cast<int>(newly.size()));
+        chosen.pop_back();
+        pending[tidx] = true;
+        have[tidx] = target_was_available;
+        for (std::size_t idx : newly) {
+          have[idx] = false;
+        }
+      }
+    };
+    dfs(0, 0);
+    FBF_CHECK(best_distinct != std::numeric_limits<int>::max(),
+              "no feasible chain assignment found in " + layout.name());
+    for (std::size_t i = 0; i < ordered.size(); ++i) {
+      scheme.steps.push_back(RecoveryStep{ordered[i], best_chains[i]});
+      scheme.total_references += static_cast<int>(
+          layout.chain(best_chains[i]).cells.size()) - 1;
+    }
+    // Fall through to the shared priority/fetch-set computation below.
+  } else {
+  std::vector<bool> done(ordered.size(), false);
+  std::size_t n_done = 0;
+  while (n_done < ordered.size()) {
+    bool progressed = false;
+    for (std::size_t i = 0; i < ordered.size(); ++i) {
+      if (done[i]) {
+        continue;
+      }
+      const Cell target = ordered[i];
+      // Direction preference: HorizontalFirst always starts at horizontal;
+      // RoundRobin starts at (lost-chunk ordinal mod 3) — the paper's
+      // "looping parity chains of three directions"; Greedy ignores order.
+      const Direction start =
+          kind == SchemeKind::RoundRobin
+              ? static_cast<Direction>(static_cast<int>(i) %
+                                       codes::kNumDirections)
+              : Direction::Horizontal;
+
+      const Chain* chosen = nullptr;
+      if (kind == SchemeKind::GreedyMinIO) {
+        int best_cost = -1;
+        for (int id : layout.chains_containing(target)) {
+          const Chain& ch = layout.chain(id);
+          if (!chain_usable(layout, ch, target, pending)) {
+            continue;
+          }
+          const int cost = marginal_new_fetches(layout, ch, target, will_have);
+          if (chosen == nullptr || cost < best_cost ||
+              (cost == best_cost && ch.cells.size() < chosen->cells.size())) {
+            chosen = &ch;
+            best_cost = cost;
+          }
+        }
+      } else {
+        for (int step = 0; step < codes::kNumDirections && !chosen; ++step) {
+          const Direction d = rotate(start, step);
+          const Chain* best = nullptr;
+          for (int id : layout.chains_containing(target, d)) {
+            const Chain& ch = layout.chain(id);
+            if (!chain_usable(layout, ch, target, pending)) {
+              continue;
+            }
+            if (best == nullptr || ch.cells.size() < best->cells.size() ||
+                (ch.cells.size() == best->cells.size() && ch.id < best->id)) {
+              best = &ch;
+            }
+          }
+          chosen = best;
+        }
+      }
+
+      if (chosen == nullptr) {
+        continue;  // all candidate chains still blocked by pending cells
+      }
+
+      scheme.steps.push_back(RecoveryStep{target, chosen->id});
+      scheme.total_references += static_cast<int>(chosen->cells.size()) - 1;
+      for (const Cell& c : chosen->cells) {
+        if (c != target) {
+          will_have[static_cast<std::size_t>(layout.cell_index(c))] = true;
+        }
+      }
+      pending[static_cast<std::size_t>(layout.cell_index(target))] = false;
+      will_have[static_cast<std::size_t>(layout.cell_index(target))] = true;
+      done[i] = true;
+      ++n_done;
+      progressed = true;
+    }
+    FBF_CHECK(progressed,
+              "no usable chain for remaining lost cells in " + layout.name() +
+                  " — pattern not peelable with one chain per cell");
+  }
+  }
+
+  // Priorities: for every selected chain, each member other than that
+  // step's target counts one reference (Table II, capped at 3).
+  std::vector<int> refs(n_cells, 0);
+  for (const RecoveryStep& step : scheme.steps) {
+    const Chain& ch = layout.chain(step.chain_id);
+    for (const Cell& c : ch.cells) {
+      if (c != step.target) {
+        ++refs[static_cast<std::size_t>(layout.cell_index(c))];
+      }
+    }
+  }
+  std::vector<bool> is_lost(n_cells, false);
+  for (const Cell& c : ordered) {
+    is_lost[static_cast<std::size_t>(layout.cell_index(c))] = true;
+  }
+  for (std::size_t idx = 0; idx < n_cells; ++idx) {
+    if (refs[idx] > 0) {
+      scheme.priority[idx] =
+          static_cast<std::uint8_t>(std::min(refs[idx], 3));
+      if (!is_lost[idx]) {
+        scheme.fetch_cells.push_back(layout.cell_at(static_cast<int>(idx)));
+      }
+    } else if (is_lost[idx]) {
+      // Recovered cells never referenced again still pass through the
+      // cache on their way to the spare area; lowest priority.
+      scheme.priority[idx] = 1;
+    }
+  }
+  return scheme;
+}
+
+RecoveryScheme generate_scheme(const Layout& layout,
+                               const PartialStripeError& error,
+                               SchemeKind kind) {
+  FBF_CHECK(error.num_chunks >= 1 && error.num_chunks <= layout.rows(),
+            "partial stripe error size out of range");
+  FBF_CHECK(error.first_row >= 0 &&
+                error.first_row + error.num_chunks <= layout.rows(),
+            "partial stripe error rows out of range");
+  FBF_CHECK(error.col >= 0 && error.col < layout.cols(),
+            "partial stripe error column out of range");
+  return generate_scheme(layout, error.cells(), kind);
+}
+
+}  // namespace fbf::recovery

@@ -1,0 +1,86 @@
+// Partial-stripe recovery scheme generation (paper §III-A step 1).
+//
+// Given the lost cells of one stripe, a generator selects one parity chain
+// per lost cell such that a peeling order exists (every chain, at its turn,
+// has its target as the only not-yet-recovered member). Three strategies:
+//
+//  - HorizontalFirst: the "typical" scheme the paper compares against —
+//    horizontal chains only, falling back across directions when the
+//    horizontal chain is unusable (e.g. errors on a parity column).
+//  - RoundRobin: the paper's FBF generator — "simply looping parity chains
+//    of three directions", which maximizes cross-direction chunk sharing.
+//  - GreedyMinIO: extension/ablation — per lost cell, pick the usable chain
+//    adding the fewest new fetches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codes/layout.h"
+
+namespace fbf::recovery {
+
+enum class SchemeKind : std::uint8_t {
+  HorizontalFirst,
+  RoundRobin,
+  GreedyMinIO,
+  /// Branch-and-bound over every per-cell chain choice (fixed row-order
+  /// peeling): the true minimum of distinct reads. Exponential in the
+  /// number of lost chunks — only for small errors / ablation baselines.
+  ExhaustiveMinIO,
+};
+
+const char* to_string(SchemeKind kind);
+SchemeKind scheme_from_string(const std::string& name);
+
+/// Contiguous chunk error on one disk of one stripe — the paper's partial
+/// stripe error model (size in [1, p-1] chunks).
+struct PartialStripeError {
+  int col = 0;
+  int first_row = 0;
+  int num_chunks = 1;
+
+  std::vector<codes::Cell> cells() const;
+  friend auto operator<=>(const PartialStripeError&,
+                          const PartialStripeError&) = default;
+};
+
+/// One recovery step: reconstruct `target` by XORing the other members of
+/// chain `chain_id`.
+struct RecoveryStep {
+  codes::Cell target;
+  int chain_id = -1;
+};
+
+/// A complete scheme for one stripe's lost cells.
+struct RecoveryScheme {
+  std::vector<RecoveryStep> steps;  ///< valid peeling order
+
+  /// Priority (1..3) by cell index for every cell the scheme touches;
+  /// 0 for untouched cells. Priority = number of selected chains that
+  /// reference the cell, capped at 3 (Table II).
+  std::vector<std::uint8_t> priority;
+
+  /// Distinct surviving cells fetched from disks (excludes lost cells).
+  std::vector<codes::Cell> fetch_cells;
+
+  /// Total chunk references issued while recovering (sum over steps of
+  /// chain size - 1). distinct_reads() <= total_references().
+  int total_references = 0;
+
+  int distinct_reads() const { return static_cast<int>(fetch_cells.size()); }
+};
+
+/// Generates a scheme; throws CheckError if the lost set is not recoverable
+/// by single-chain peeling (callers guarantee partial-stripe patterns,
+/// which always are — verified in tests for every (col, start, len)).
+RecoveryScheme generate_scheme(const codes::Layout& layout,
+                               const std::vector<codes::Cell>& lost,
+                               SchemeKind kind);
+
+/// Convenience overload for the canonical single-disk contiguous error.
+RecoveryScheme generate_scheme(const codes::Layout& layout,
+                               const PartialStripeError& error,
+                               SchemeKind kind);
+
+}  // namespace fbf::recovery

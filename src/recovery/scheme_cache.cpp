@@ -1,0 +1,21 @@
+#include "recovery/scheme_cache.h"
+
+namespace fbf::recovery {
+
+std::shared_ptr<const RecoveryScheme> SchemeCache::get(
+    const PartialStripeError& error, SchemeKind kind) {
+  const Key key{error.col, error.first_row, error.num_chunks,
+                static_cast<int>(kind)};
+  const auto it = schemes_.find(key);
+  if (it != schemes_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  auto scheme = std::make_shared<const RecoveryScheme>(
+      generate_scheme(*layout_, error, kind));
+  schemes_.emplace(key, scheme);
+  return scheme;
+}
+
+}  // namespace fbf::recovery

@@ -1,0 +1,40 @@
+// Memoized scheme generation (paper §III-A: priorities "can be enumerated
+// once a same format of partial stripe error is detected again, and no more
+// calculation is required").
+//
+// The key is the error *format* — (column, first row, length, strategy) —
+// which is stripe-independent: a scheme computed for one stripe applies to
+// every stripe with the same format.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "recovery/scheme.h"
+
+namespace fbf::recovery {
+
+class SchemeCache {
+ public:
+  explicit SchemeCache(const codes::Layout& layout) : layout_(&layout) {}
+
+  /// Returns the memoized scheme for the error format, generating it on
+  /// first use. The returned pointer stays valid for the cache's lifetime.
+  std::shared_ptr<const RecoveryScheme> get(const PartialStripeError& error,
+                                            SchemeKind kind);
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t size() const { return schemes_.size(); }
+
+ private:
+  using Key = std::tuple<int, int, int, int>;  // col, row, len, kind
+
+  const codes::Layout* layout_;
+  std::map<Key, std::shared_ptr<const RecoveryScheme>> schemes_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace fbf::recovery

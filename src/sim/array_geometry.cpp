@@ -1,0 +1,63 @@
+#include "sim/array_geometry.h"
+
+#include "util/check.h"
+
+namespace fbf::sim {
+
+ArrayGeometry::ArrayGeometry(const codes::Layout& layout,
+                             std::uint64_t num_stripes, bool rotate_columns,
+                             SparePlacement spare)
+    : layout_(&layout),
+      num_stripes_(num_stripes),
+      rotate_columns_(rotate_columns),
+      spare_(spare) {
+  FBF_CHECK(num_stripes_ > 0, "array needs at least one stripe");
+}
+
+int ArrayGeometry::disk_of(std::uint64_t stripe, codes::Cell c) const {
+  FBF_CHECK(layout_->in_bounds(c), "cell out of bounds");
+  if (!rotate_columns_) {
+    return c.col;
+  }
+  return static_cast<int>(
+      (static_cast<std::uint64_t>(c.col) + stripe) %
+      static_cast<std::uint64_t>(layout_->cols()));
+}
+
+int ArrayGeometry::spare_disk_of(std::uint64_t stripe, codes::Cell c) const {
+  const int home = disk_of(stripe, c);
+  if (spare_ == SparePlacement::SameDisk) {
+    return home;
+  }
+  // Declustered sparing: rotate the spare target over the other disks so
+  // recovery writes spread across the array.
+  const auto n = static_cast<std::uint64_t>(layout_->cols());
+  const std::uint64_t offset = 1 + (stripe + static_cast<std::uint64_t>(
+                                                 c.row)) % (n - 1);
+  return static_cast<int>(
+      (static_cast<std::uint64_t>(home) + offset) % n);
+}
+
+std::uint64_t ArrayGeometry::lba_of(std::uint64_t stripe,
+                                    codes::Cell c) const {
+  FBF_CHECK(stripe < num_stripes_, "stripe out of range");
+  return stripe * static_cast<std::uint64_t>(layout_->rows()) +
+         static_cast<std::uint64_t>(c.row);
+}
+
+std::uint64_t ArrayGeometry::spare_lba_of(std::uint64_t stripe,
+                                          codes::Cell c) const {
+  return disk_capacity_chunks() + lba_of(stripe, c);
+}
+
+std::uint64_t ArrayGeometry::chunk_key(std::uint64_t stripe,
+                                       codes::Cell c) const {
+  return stripe * static_cast<std::uint64_t>(layout_->num_cells()) +
+         static_cast<std::uint64_t>(layout_->cell_index(c));
+}
+
+std::uint64_t ArrayGeometry::disk_capacity_chunks() const {
+  return num_stripes_ * static_cast<std::uint64_t>(layout_->rows());
+}
+
+}  // namespace fbf::sim

@@ -1,0 +1,62 @@
+// Address mapping from stripe-local cells to disks and chunk LBAs.
+#pragma once
+
+#include <cstdint>
+
+#include "codes/layout.h"
+
+namespace fbf::sim {
+
+/// Where recovered chunks are rewritten.
+enum class SparePlacement : std::uint8_t {
+  /// Sector remapping: the spare region of the disk that held the chunk.
+  /// All recovery writes then land on the failed disk, which becomes the
+  /// reconstruction bottleneck regardless of cache policy.
+  SameDisk,
+  /// Distributed (declustered) sparing: spare space is spread over the
+  /// whole array and each recovered chunk goes to a rotating peer disk —
+  /// standard practice in modern arrays (GPFS declustered RAID, DDP).
+  Distributed,
+};
+
+/// Maps (stripe, cell) to (disk, LBA) and to the global chunk key used by
+/// the buffer cache. Optionally rotates columns across stripes (RAID-5
+/// style rotation) so that parity-heavy logical columns do not pin one
+/// physical disk.
+class ArrayGeometry {
+ public:
+  ArrayGeometry(const codes::Layout& layout, std::uint64_t num_stripes,
+                bool rotate_columns = false,
+                SparePlacement spare = SparePlacement::SameDisk);
+
+  const codes::Layout& layout() const { return *layout_; }
+  std::uint64_t num_stripes() const { return num_stripes_; }
+  int num_disks() const { return layout_->cols(); }
+
+  int disk_of(std::uint64_t stripe, codes::Cell c) const;
+
+  /// Disk holding the spare copy of a recovered chunk (== disk_of under
+  /// SameDisk placement).
+  int spare_disk_of(std::uint64_t stripe, codes::Cell c) const;
+
+  /// Chunk LBA of a cell inside the data region of its disk.
+  std::uint64_t lba_of(std::uint64_t stripe, codes::Cell c) const;
+
+  /// LBA in the spare region (beyond the data region) where a recovered
+  /// chunk is rewritten — sector remapping for partial errors.
+  std::uint64_t spare_lba_of(std::uint64_t stripe, codes::Cell c) const;
+
+  /// Global cache key of a chunk.
+  std::uint64_t chunk_key(std::uint64_t stripe, codes::Cell c) const;
+
+  /// Chunks a disk's data region holds (for detailed-model seek bounds).
+  std::uint64_t disk_capacity_chunks() const;
+
+ private:
+  const codes::Layout* layout_;
+  std::uint64_t num_stripes_;
+  bool rotate_columns_;
+  SparePlacement spare_;
+};
+
+}  // namespace fbf::sim

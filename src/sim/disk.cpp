@@ -1,0 +1,63 @@
+#include "sim/disk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fbf::sim {
+
+Disk::Disk(int id, const DiskParams& params, std::uint64_t seed)
+    : id_(id), params_(params), rng_(seed) {
+  FBF_CHECK(params_.read_ms > 0 && params_.write_ms > 0,
+            "disk latencies must be positive");
+  FBF_CHECK(params_.capacity_chunks > 0, "disk capacity must be positive");
+}
+
+double Disk::service_ms(std::uint64_t lba_chunk, bool is_write) {
+  if (params_.kind == DiskModelKind::FixedLatency) {
+    return is_write ? params_.write_ms : params_.read_ms;
+  }
+  // Detailed model: seek grows with the square root of the head travel
+  // distance (classic seek-curve approximation), plus expected rotational
+  // latency (half a revolution, jittered) and chunk transfer time.
+  const auto distance = static_cast<double>(
+      lba_chunk > head_lba_ ? lba_chunk - head_lba_ : head_lba_ - lba_chunk);
+  const double frac = std::sqrt(
+      distance / static_cast<double>(params_.capacity_chunks));
+  const double seek =
+      distance == 0
+          ? 0.0
+          : params_.seek_min_ms + (params_.seek_max_ms - params_.seek_min_ms) *
+                                      std::min(1.0, frac);
+  const double full_rotation_ms = 60000.0 / params_.rpm;
+  const double rotation = rng_.uniform_real(0.0, full_rotation_ms);
+  const double transfer = static_cast<double>(params_.chunk_bytes) /
+                          (params_.transfer_mbps * 1048.576);  // bytes/ms
+  head_lba_ = lba_chunk;
+  return seek + rotation + transfer;
+}
+
+double Disk::enqueue(double now_ms, double service) {
+  const double start = std::max(now_ms, free_at_ms_);
+  free_at_ms_ = start + service;
+  stats_.busy_ms += service;
+  stats_.last_completion_ms = free_at_ms_;
+  return free_at_ms_;
+}
+
+double Disk::submit_read(double now_ms, std::uint64_t lba_chunk) {
+  ++stats_.reads;
+  return enqueue(now_ms, service_ms(lba_chunk, /*is_write=*/false));
+}
+
+double Disk::submit_write(double now_ms, std::uint64_t lba_chunk) {
+  ++stats_.writes;
+  return enqueue(now_ms, service_ms(lba_chunk, /*is_write=*/true));
+}
+
+double Disk::utilization(double horizon_ms) const {
+  return horizon_ms <= 0.0 ? 0.0 : stats_.busy_ms / horizon_ms;
+}
+
+}  // namespace fbf::sim

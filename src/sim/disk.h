@@ -1,0 +1,74 @@
+// Disk service model — the piece of DiskSim this reproduction needs.
+//
+// Two models:
+//  - FixedLatency: the paper's own constants (10 ms per disk access,
+//    0.5 ms buffer-cache access) with FCFS queueing per disk.
+//  - Detailed: distance-dependent seek + expected rotational latency +
+//    transfer time, for sensitivity studies beyond the paper.
+//
+// A Disk is an analytic FCFS server: submissions must arrive in
+// non-decreasing simulated time (the event loop guarantees this), and each
+// submission returns its completion time.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace fbf::sim {
+
+enum class DiskModelKind : std::uint8_t { FixedLatency, Detailed };
+
+struct DiskParams {
+  DiskModelKind kind = DiskModelKind::FixedLatency;
+
+  // FixedLatency model (paper defaults).
+  double read_ms = 10.0;
+  double write_ms = 10.0;
+
+  // Detailed model.
+  double seek_min_ms = 0.5;    ///< track-to-track
+  double seek_max_ms = 8.0;    ///< full-stroke
+  double rpm = 7200.0;         ///< rotational latency ~ half a revolution
+  double transfer_mbps = 150.0;
+  std::uint64_t capacity_chunks = 1ull << 25;  ///< 1 TB of 32 KB chunks
+  std::size_t chunk_bytes = 32 * 1024;
+};
+
+struct DiskStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  double busy_ms = 0.0;
+  double last_completion_ms = 0.0;
+};
+
+class Disk {
+ public:
+  Disk(int id, const DiskParams& params, std::uint64_t seed);
+
+  /// Enqueues a chunk read arriving at `now_ms`; returns completion time.
+  double submit_read(double now_ms, std::uint64_t lba_chunk);
+
+  /// Enqueues a chunk write arriving at `now_ms`; returns completion time.
+  double submit_write(double now_ms, std::uint64_t lba_chunk);
+
+  int id() const { return id_; }
+  const DiskStats& stats() const { return stats_; }
+  double free_at_ms() const { return free_at_ms_; }
+
+  /// Utilisation over [0, horizon].
+  double utilization(double horizon_ms) const;
+
+ private:
+  double service_ms(std::uint64_t lba_chunk, bool is_write);
+  double enqueue(double now_ms, double service);
+
+  int id_;
+  DiskParams params_;
+  util::Rng rng_;
+  double free_at_ms_ = 0.0;
+  std::uint64_t head_lba_ = 0;
+  DiskStats stats_;
+};
+
+}  // namespace fbf::sim

@@ -1,0 +1,271 @@
+#include "sim/dor_engine.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "recovery/scheme.h"
+#include "util/check.h"
+
+namespace fbf::sim {
+
+namespace {
+
+struct ChainTask {
+  std::uint64_t stripe = 0;
+  codes::Cell target;
+  int chain_id = -1;
+  std::uint8_t target_priority = 1;
+  int n_members = 0;
+  std::vector<cache::Key> unconsumed;
+  /// Member keys whose (re-)delivery this task is currently waiting on.
+  std::unordered_set<cache::Key> awaiting;
+  bool done = false;
+};
+
+struct ChunkInfo {
+  std::uint64_t stripe = 0;
+  codes::Cell cell;
+  std::uint8_t priority = 1;
+  bool lost = false;       ///< damaged chunk: only readable once recovered
+  bool recovered = false;  ///< spare copy exists
+};
+
+struct PlannedRead {
+  cache::Key key = 0;
+  std::uint64_t lba = 0;
+};
+
+struct Reader {
+  std::deque<PlannedRead> queue;
+  bool busy = false;
+};
+
+}  // namespace
+
+DorEngine::DorEngine(const codes::Layout& layout,
+                     const ArrayGeometry& geometry, const DorConfig& config)
+    : layout_(&layout), geometry_(&geometry), config_(config) {
+  FBF_CHECK(config_.chunk_bytes > 0, "chunk size must be positive");
+}
+
+SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
+  SimMetrics metrics;
+
+  DiskParams dp = config_.disk;
+  dp.chunk_bytes = config_.chunk_bytes;
+  dp.capacity_chunks = geometry_->disk_capacity_chunks();
+  std::vector<Disk> disks;
+  disks.reserve(static_cast<std::size_t>(geometry_->num_disks()));
+  for (int d = 0; d < geometry_->num_disks(); ++d) {
+    disks.emplace_back(d, dp,
+                       config_.seed * 0x9e3779b97f4a7c15ull +
+                           static_cast<std::uint64_t>(d));
+  }
+  const auto cache =
+      cache::make_policy(config_.policy, config_.cache_capacity_chunks());
+
+  // ---- Plan: schemes, chain tasks, per-disk read queues. ----
+  recovery::SchemeCache scheme_cache(*layout_);
+  std::vector<ChainTask> tasks;
+  std::unordered_map<cache::Key, ChunkInfo> info;
+  std::unordered_map<cache::Key, std::vector<std::size_t>> waiters;
+  std::vector<Reader> readers(disks.size());
+
+  for (const workload::StripeError& err : errors) {
+    const auto before = scheme_cache.misses();
+    const auto scheme = scheme_cache.get(err.error, config_.scheme);
+    if (scheme_cache.misses() > before) {
+      ++metrics.schemes_generated;
+    } else {
+      ++metrics.scheme_cache_hits;
+    }
+    std::vector<bool> lost(static_cast<std::size_t>(layout_->num_cells()),
+                           false);
+    for (const codes::Cell& c : err.error.cells()) {
+      lost[static_cast<std::size_t>(layout_->cell_index(c))] = true;
+    }
+    for (const recovery::RecoveryStep& step : scheme->steps) {
+      ChainTask task;
+      task.stripe = err.stripe;
+      task.target = step.target;
+      task.chain_id = step.chain_id;
+      const auto tidx =
+          static_cast<std::size_t>(layout_->cell_index(step.target));
+      task.target_priority =
+          std::max<std::uint8_t>(scheme->priority[tidx], 1);
+      for (const codes::Cell& c : layout_->chain(step.chain_id).cells) {
+        if (c == step.target) {
+          continue;
+        }
+        const cache::Key key = geometry_->chunk_key(err.stripe, c);
+        const auto cidx = static_cast<std::size_t>(layout_->cell_index(c));
+        auto [it, fresh] = info.try_emplace(key);
+        if (fresh) {
+          it->second.stripe = err.stripe;
+          it->second.cell = c;
+          it->second.priority =
+              std::max<std::uint8_t>(scheme->priority[cidx], 1);
+          it->second.lost = lost[cidx];
+          if (!it->second.lost) {
+            // Planned read from the chunk's home disk.
+            readers[static_cast<std::size_t>(geometry_->disk_of(err.stripe, c))]
+                .queue.push_back(
+                    PlannedRead{key, geometry_->lba_of(err.stripe, c)});
+          }
+        }
+        task.unconsumed.push_back(key);
+        task.awaiting.insert(key);
+        ++task.n_members;
+        waiters[key].push_back(tasks.size());
+      }
+      // Register the recovered target so dependent chains can await it.
+      const cache::Key tkey = geometry_->chunk_key(err.stripe, step.target);
+      auto [it, fresh] = info.try_emplace(tkey);
+      if (fresh) {
+        it->second.stripe = err.stripe;
+        it->second.cell = step.target;
+        it->second.priority = task.target_priority;
+        it->second.lost = true;
+      }
+      tasks.push_back(std::move(task));
+    }
+  }
+  for (Reader& r : readers) {  // LBA order: sequential streaming per disk
+    std::sort(r.queue.begin(), r.queue.end(),
+              [](const PlannedRead& a, const PlannedRead& b) {
+                return a.lba < b.lba;
+              });
+  }
+
+  // ---- Event loop. ----
+  struct Event {
+    double t;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      return t > o.t || (t == o.t && seq > o.seq);
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap;
+  std::uint64_t seq = 0;
+  double makespan = 0.0;
+  std::size_t tasks_done = 0;
+
+  std::function<void(std::size_t, double)> attempt_completion;
+  std::function<void(std::size_t, double)> kick_reader;
+  // Delivery of a chunk (from its home disk, the spare area, or a chain
+  // completion): buffer it and wake exactly the tasks awaiting this key.
+  auto deliver = [&](cache::Key key, double now) {
+    cache->install(key, info.at(key).priority);
+    for (std::size_t t : waiters[key]) {
+      ChainTask& task = tasks[t];
+      if (!task.done && task.awaiting.erase(key) == 1 &&
+          task.awaiting.empty()) {
+        attempt_completion(t, now);
+      }
+    }
+  };
+
+  kick_reader = [&](std::size_t d, double now) {
+    Reader& r = readers[d];
+    if (r.busy || r.queue.empty()) {
+      return;
+    }
+    r.busy = true;
+    const PlannedRead read = r.queue.front();
+    r.queue.pop_front();
+    const double done = disks[d].submit_read(now, read.lba);
+    ++metrics.disk_reads;
+    metrics.response_ms.add(done - now + config_.cache_access_ms);
+    metrics.response_reservoir.add(done - now + config_.cache_access_ms);
+    heap.push(Event{done, seq++, [&, d, read, done] {
+                      deliver(read.key, done);
+                      readers[d].busy = false;
+                      kick_reader(d, done);
+                    }});
+  };
+
+  auto enqueue_reread = [&](cache::Key key, double now) {
+    const ChunkInfo& ci = info.at(key);
+    const bool spare = ci.lost;  // recovered chunks live in the spare area
+    const auto d = static_cast<std::size_t>(
+        spare ? geometry_->spare_disk_of(ci.stripe, ci.cell)
+              : geometry_->disk_of(ci.stripe, ci.cell));
+    const std::uint64_t lba = spare
+                                  ? geometry_->spare_lba_of(ci.stripe, ci.cell)
+                                  : geometry_->lba_of(ci.stripe, ci.cell);
+    readers[d].queue.push_back(PlannedRead{key, lba});
+    kick_reader(d, now);
+  };
+
+  attempt_completion = [&](std::size_t t, double now) {
+    ChainTask& task = tasks[t];
+    if (task.done) {
+      return;
+    }
+    // Consume members still buffered; re-read the evicted ones.
+    std::vector<cache::Key> missing;
+    for (cache::Key key : task.unconsumed) {
+      if (cache->request(key, info.at(key).priority)) {
+        continue;  // consumed (folded into the XOR accumulator)
+      }
+      missing.push_back(key);
+    }
+    metrics.total_chunk_requests += task.unconsumed.size();
+    task.unconsumed = missing;
+    if (!task.unconsumed.empty()) {
+      for (cache::Key key : task.unconsumed) {
+        task.awaiting.insert(key);
+      }
+      for (cache::Key key : task.unconsumed) {
+        enqueue_reread(key, now);
+      }
+      return;
+    }
+    task.done = true;
+    ++tasks_done;
+    const double xor_done =
+        now + config_.xor_ms_per_chunk * static_cast<double>(task.n_members);
+    const auto d = static_cast<std::size_t>(
+        geometry_->spare_disk_of(task.stripe, task.target));
+    const double write_done = disks[d].submit_write(
+        xor_done, geometry_->spare_lba_of(task.stripe, task.target));
+    ++metrics.disk_writes;
+    ++metrics.chunks_recovered;
+    makespan = std::max(makespan, write_done);
+    const cache::Key tkey = geometry_->chunk_key(task.stripe, task.target);
+    heap.push(Event{write_done, seq++, [&, tkey, write_done] {
+                      // The recovered chunk becomes available: buffer it
+                      // and wake chains that were waiting on the lost cell.
+                      info.at(tkey).recovered = true;
+                      deliver(tkey, write_done);
+                    }});
+  };
+
+  for (std::size_t d = 0; d < readers.size(); ++d) {
+    kick_reader(d, 0.0);
+  }
+  while (!heap.empty()) {
+    Event ev = std::move(const_cast<Event&>(heap.top()));
+    heap.pop();
+    makespan = std::max(makespan, ev.t);
+    ev.fn();
+  }
+  FBF_CHECK(tasks_done == tasks.size(),
+            "DOR finished with incomplete chains — dependency deadlock");
+
+  metrics.reconstruction_ms = makespan;
+  metrics.stripes_recovered = errors.size();
+  metrics.cache = cache->stats();
+  for (const Disk& d : disks) {
+    metrics.disk_busy_ms.push_back(d.stats().busy_ms);
+    metrics.disk_ops.push_back(d.stats().reads + d.stats().writes);
+  }
+  return metrics;
+}
+
+}  // namespace fbf::sim

@@ -1,0 +1,61 @@
+// Disk-Oriented Reconstruction (paper §III-B): one reader process per
+// disk streams the planned recovery reads in LBA order, a writer path
+// persists recovered chunks, and a single shared buffer cache holds
+// chunks until every chain that needs them has consumed them.
+//
+// Contrast with the SOR engine (reconstruction.h): there, workers own
+// stripes and issue demand reads chain by chain; here, reads are
+// *planned* per disk up front (each distinct chunk fetched once), and
+// cache pressure shows up as chunks evicted before all their chains have
+// consumed them, forcing re-reads. The same FBF priority dictionary
+// governs which chunks survive.
+//
+// Accounting: disk_reads = planned reads + re-reads; cache hits/misses
+// count chain *consumptions* (a consumption hit = the chunk was still
+// buffered when its chain completed; a miss = it had been evicted and
+// must be fetched again). The paper's hit-ratio metric carries over with
+// this consumption semantics.
+#pragma once
+
+#include <vector>
+
+#include "cache/policy.h"
+#include "recovery/scheme_cache.h"
+#include "sim/array_geometry.h"
+#include "sim/disk.h"
+#include "sim/metrics.h"
+#include "workload/errors.h"
+
+namespace fbf::sim {
+
+struct DorConfig {
+  recovery::SchemeKind scheme = recovery::SchemeKind::RoundRobin;
+  cache::PolicyId policy = cache::PolicyId::Fbf;
+
+  std::size_t cache_bytes = 256ull << 20;
+  std::size_t chunk_bytes = 32 * 1024;
+
+  double cache_access_ms = 0.5;
+  double xor_ms_per_chunk = 0.05;
+  DiskParams disk;
+  std::uint64_t seed = 1;
+
+  std::size_t cache_capacity_chunks() const {
+    return cache_bytes / chunk_bytes;
+  }
+};
+
+class DorEngine {
+ public:
+  DorEngine(const codes::Layout& layout, const ArrayGeometry& geometry,
+            const DorConfig& config);
+
+  SimMetrics run(const std::vector<workload::StripeError>& errors);
+
+ private:
+  const codes::Layout* layout_;
+  const ArrayGeometry* geometry_;
+  DorConfig config_;
+};
+
+}  // namespace fbf::sim

@@ -1,0 +1,17 @@
+#include "sim/metrics.h"
+
+#include "util/table.h"
+
+namespace fbf::sim {
+
+std::string SimMetrics::summary_line() const {
+  std::string out;
+  out += "hit_ratio=" + util::fmt_percent(hit_ratio());
+  out += " disk_reads=" + std::to_string(disk_reads);
+  out += " avg_response_ms=" + util::fmt_double(response_ms.mean());
+  out += " reconstruction_ms=" + util::fmt_double(reconstruction_ms, 1);
+  out += " stripes=" + std::to_string(stripes_recovered);
+  return out;
+}
+
+}  // namespace fbf::sim

@@ -1,0 +1,58 @@
+// Metric collection matching the paper's four evaluation metrics plus the
+// FBF overhead measurement (Table IV).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/policy.h"
+#include "util/stats.h"
+
+namespace fbf::sim {
+
+struct SimMetrics {
+  // Metric 1: cache hit ratio during reconstruction.
+  cache::CacheStats cache;
+
+  // Metric 2: total disk reads during recovery (== cache misses plus
+  // re-reads of recovered chunks from the spare area).
+  std::uint64_t disk_reads = 0;
+  std::uint64_t disk_writes = 0;
+
+  // Metric 3: per-request response time (cache lookup -> data ready).
+  util::Accumulator response_ms;
+  util::Reservoir response_reservoir{4096};
+
+  // Metric 4: total reconstruction time (makespan incl. spare writes).
+  double reconstruction_ms = 0.0;
+
+  // Table IV: wall-clock cost of recovery-scheme + priority generation,
+  // reported separately from simulated time so runs stay deterministic.
+  double scheme_gen_wall_ms = 0.0;
+  std::uint64_t schemes_generated = 0;
+  std::uint64_t scheme_cache_hits = 0;
+
+  std::uint64_t stripes_recovered = 0;
+  std::uint64_t chunks_recovered = 0;
+  std::uint64_t total_chunk_requests = 0;
+
+  // Online-recovery extension: foreground application traffic.
+  util::Accumulator app_response_ms;
+  std::uint64_t app_requests = 0;
+  /// Reads that landed on a damaged, not-yet-recovered chunk and had to
+  /// wait for reconstruction — the user-visible window-of-vulnerability
+  /// cost.
+  std::uint64_t app_degraded_reads = 0;
+
+  // Per-disk load: busy milliseconds and op counts, index = disk id. The
+  // failed column's disk carries all spare writes and is usually the
+  // bottleneck.
+  std::vector<double> disk_busy_ms;
+  std::vector<std::uint64_t> disk_ops;
+
+  double hit_ratio() const { return cache.hit_ratio(); }
+
+  std::string summary_line() const;
+};
+
+}  // namespace fbf::sim

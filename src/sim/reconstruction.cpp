@@ -1,0 +1,371 @@
+#include "sim/reconstruction.h"
+
+#include <algorithm>
+#include <chrono>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace fbf::sim {
+
+using recovery::ChunkOp;
+using recovery::OpKind;
+
+std::size_t ReconstructionConfig::per_worker_capacity() const {
+  if (cache_bytes == 0) {
+    return 0;
+  }
+  const std::size_t total_chunks = cache_bytes / chunk_bytes;
+  return std::max<std::size_t>(
+      1, total_chunks / static_cast<std::size_t>(workers));
+}
+
+struct ReconstructionEngine::Worker {
+  int id = 0;
+  std::vector<const workload::StripeError*> assigned;
+  std::size_t error_idx = 0;
+  std::unique_ptr<cache::CachePolicy> cache;
+
+  bool active = false;  ///< currently mid-stripe
+  /// Stripe whose completion actions (metrics, degraded-read release) are
+  /// due at this worker's next event time, keeping disk submissions in
+  /// simulated-time order.
+  bool completion_pending = false;
+  std::uint64_t stripe = 0;
+  std::shared_ptr<const recovery::RecoveryScheme> scheme;
+  std::vector<ChunkOp> ops;
+  std::size_t op_idx = 0;
+  int reads_in_step = 0;
+  std::vector<bool> recovered;  ///< per cell index of the current stripe
+
+  // verify_data mode: ground-truth and in-progress stripe contents.
+  std::unique_ptr<codes::StripeData> truth;
+  std::unique_ptr<codes::StripeData> working;
+
+  double finish_ms = 0.0;
+};
+
+ReconstructionEngine::ReconstructionEngine(const codes::Layout& layout,
+                                           const ArrayGeometry& geometry,
+                                           const ReconstructionConfig& config)
+    : layout_(&layout), geometry_(&geometry), config_(config) {
+  FBF_CHECK(config_.workers > 0, "need at least one worker");
+  FBF_CHECK(config_.chunk_bytes > 0, "chunk size must be positive");
+  DiskParams dp = config_.disk;
+  dp.chunk_bytes = config_.chunk_bytes;
+  dp.capacity_chunks = geometry.disk_capacity_chunks();
+  disks_.reserve(static_cast<std::size_t>(geometry.num_disks()));
+  for (int d = 0; d < geometry.num_disks(); ++d) {
+    disks_.emplace_back(d, dp,
+                        config_.seed * 0x100000001b3ull +
+                            static_cast<std::uint64_t>(d));
+  }
+  scheme_cache_ = std::make_unique<recovery::SchemeCache>(layout);
+}
+
+void ReconstructionEngine::start_next_stripe(Worker& w, SimMetrics& metrics) {
+  const workload::StripeError& err = *w.assigned[w.error_idx];
+  w.stripe = err.stripe;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (config_.memoize_schemes) {
+    const auto before_misses = scheme_cache_->misses();
+    w.scheme = scheme_cache_->get(err.error, config_.scheme);
+    if (scheme_cache_->misses() > before_misses) {
+      ++metrics.schemes_generated;
+    } else {
+      ++metrics.scheme_cache_hits;
+    }
+  } else {
+    w.scheme = std::make_shared<const recovery::RecoveryScheme>(
+        recovery::generate_scheme(*layout_, err.error, config_.scheme));
+    ++metrics.schemes_generated;
+  }
+  w.ops = recovery::build_request_sequence(*layout_, *w.scheme);
+  const auto t1 = std::chrono::steady_clock::now();
+  metrics.scheme_gen_wall_ms +=
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+  w.op_idx = 0;
+  w.reads_in_step = 0;
+  w.recovered.assign(static_cast<std::size_t>(layout_->num_cells()), false);
+  w.active = true;
+
+  if (config_.verify_data) {
+    util::Rng rng(0x5eedull ^ w.stripe);
+    w.truth = std::make_unique<codes::StripeData>(*layout_,
+                                                  config_.verify_chunk_bytes);
+    w.truth->fill_random(rng);
+    codes::encode(*w.truth);
+    w.working = std::make_unique<codes::StripeData>(*w.truth);
+    for (const codes::Cell& c : err.error.cells()) {
+      w.working->erase(c);
+    }
+  }
+}
+
+void ReconstructionEngine::verify_recovered_chunk(
+    Worker& w, const recovery::RecoveryStep& step) {
+  const codes::Chain& chain = layout_->chain(step.chain_id);
+  auto out = w.working->chunk(step.target);
+  std::fill(out.begin(), out.end(), std::byte{0});
+  for (const codes::Cell& c : chain.cells) {
+    if (c != step.target) {
+      codes::xor_into(out, w.working->chunk(c));
+    }
+  }
+  const auto expected = w.truth->chunk(step.target);
+  FBF_CHECK(std::equal(out.begin(), out.end(), expected.begin()),
+            "recovered chunk " + codes::to_string(step.target) +
+                " does not match the original in stripe " +
+                std::to_string(w.stripe));
+}
+
+std::optional<double> ReconstructionEngine::advance(Worker& w, double now,
+                                                    SimMetrics& metrics) {
+  if (w.completion_pending) {
+    w.completion_pending = false;
+    ++metrics.stripes_recovered;
+    if (on_stripe_recovered_) {
+      on_stripe_recovered_(w.stripe, now);
+    }
+  }
+  if (!w.active) {
+    if (w.error_idx >= w.assigned.size()) {
+      return std::nullopt;
+    }
+    const double detect = w.assigned[w.error_idx]->detect_time_ms;
+    if (now < detect) {
+      return detect;  // error not yet discovered; sleep until then
+    }
+    start_next_stripe(w, metrics);
+  }
+
+  FBF_CHECK(w.op_idx < w.ops.size(), "worker advanced past its op list");
+  const ChunkOp op = w.ops[w.op_idx++];
+  double next = now;
+
+  if (op.kind == OpKind::Read) {
+    ++metrics.total_chunk_requests;
+    ++w.reads_in_step;
+    const std::uint64_t key = geometry_->chunk_key(w.stripe, op.cell);
+    const bool hit = w.cache->request(key, op.priority);
+    if (hit) {
+      next = now + config_.cache_access_ms;
+    } else {
+      const auto cell_idx =
+          static_cast<std::size_t>(layout_->cell_index(op.cell));
+      // Recovered chunks no longer exist at their original address; a miss
+      // re-reads them from wherever the spare write placed them.
+      const bool from_spare = w.recovered[cell_idx];
+      const std::uint64_t lba = from_spare
+                                    ? geometry_->spare_lba_of(w.stripe, op.cell)
+                                    : geometry_->lba_of(w.stripe, op.cell);
+      Disk& disk = disks_[static_cast<std::size_t>(
+          from_spare ? geometry_->spare_disk_of(w.stripe, op.cell)
+                     : geometry_->disk_of(w.stripe, op.cell))];
+      const double done = disk.submit_read(now, lba);
+      ++metrics.disk_reads;
+      next = done + config_.cache_access_ms;
+    }
+    metrics.response_ms.add(next - now);
+    metrics.response_reservoir.add(next - now);
+  } else {  // WriteSpare: XOR the step's sources, then async spare write
+    const double xor_done =
+        now + config_.xor_ms_per_chunk * static_cast<double>(w.reads_in_step);
+    w.reads_in_step = 0;
+    const recovery::RecoveryStep& step =
+        w.scheme->steps[static_cast<std::size_t>(op.step)];
+    if (config_.verify_data) {
+      verify_recovered_chunk(w, step);
+    }
+    Disk& disk = disks_[static_cast<std::size_t>(
+        geometry_->spare_disk_of(w.stripe, op.cell))];
+    const double write_done = disk.submit_write(
+        xor_done, geometry_->spare_lba_of(w.stripe, op.cell));
+    ++metrics.disk_writes;
+    ++metrics.chunks_recovered;
+    // Reconstruction ends when the last spare write persists; track it
+    // here so foreground app traffic cannot inflate the makespan.
+    metrics.reconstruction_ms =
+        std::max(metrics.reconstruction_ms, write_done);
+    w.recovered[static_cast<std::size_t>(layout_->cell_index(op.cell))] =
+        true;
+    // The recovered chunk sits in the buffer; later chains may reuse it.
+    w.cache->install(geometry_->chunk_key(w.stripe, op.cell), op.priority);
+    next = config_.synchronous_spare_writes ? write_done : xor_done;
+  }
+
+  if (w.op_idx >= w.ops.size()) {
+    // The stripe's last operation finishes at `next`; completion actions
+    // run when the worker's next event fires at that time.
+    w.active = false;
+    w.completion_pending = true;
+    ++w.error_idx;
+    w.truth.reset();
+    w.working.reset();
+  }
+  return next;
+}
+
+SimMetrics ReconstructionEngine::run(
+    const std::vector<workload::StripeError>& errors,
+    const std::vector<workload::AppRequest>& app_trace) {
+  SimMetrics metrics;
+
+  // SOR assignment: stripes dealt round-robin across worker processes.
+  std::vector<Worker> workers(static_cast<std::size_t>(config_.workers));
+  const std::size_t capacity = config_.per_worker_capacity();
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    workers[i].id = static_cast<int>(i);
+    workers[i].cache = cache::make_policy(config_.policy, capacity);
+  }
+  for (std::size_t e = 0; e < errors.size(); ++e) {
+    workers[e % workers.size()].assigned.push_back(&errors[e]);
+  }
+
+  // Degraded-read bookkeeping: app reads touching a damaged chunk park
+  // until the stripe is repaired.
+  std::unordered_set<std::uint64_t> damaged_keys;
+  std::unordered_set<std::uint64_t> repaired_stripes;
+  struct ParkedRequest {
+    std::size_t app_index;
+    double arrival_ms;
+  };
+  std::unordered_map<std::uint64_t, std::vector<ParkedRequest>> parked_by_stripe;
+  for (const workload::StripeError& e : errors) {
+    for (const codes::Cell& c : e.error.cells()) {
+      damaged_keys.insert(geometry_->chunk_key(e.stripe, c));
+    }
+  }
+  auto serve_app_read = [&](const workload::AppRequest& req, double start,
+                            double arrival) {
+    // Repaired chunks live in the spare area (the original sector is bad).
+    const bool remapped =
+        damaged_keys.count(geometry_->chunk_key(req.stripe, req.cell)) > 0;
+    Disk& disk = disks_[static_cast<std::size_t>(
+        remapped ? geometry_->spare_disk_of(req.stripe, req.cell)
+                 : geometry_->disk_of(req.stripe, req.cell))];
+    const double done = disk.submit_read(
+        start, remapped ? geometry_->spare_lba_of(req.stripe, req.cell)
+                        : geometry_->lba_of(req.stripe, req.cell));
+    metrics.app_response_ms.add(done - arrival);
+  };
+  on_stripe_recovered_ = [&](std::uint64_t stripe, double now) {
+    repaired_stripes.insert(stripe);  // later reads are no longer degraded
+    const auto it = parked_by_stripe.find(stripe);
+    if (it == parked_by_stripe.end()) {
+      return;
+    }
+    for (const ParkedRequest& pr : it->second) {
+      serve_app_read(app_trace[pr.app_index], now, pr.arrival_ms);
+    }
+    parked_by_stripe.erase(it);
+  };
+
+  // Event heap over worker ready-times and app-request arrivals.
+  struct Event {
+    double t;
+    int worker;       // >= 0: worker id; < 0: app request ~(worker)
+    std::uint64_t seq;  // tie-break for determinism
+    bool operator>(const Event& other) const {
+      return t > other.t || (t == other.t && seq > other.seq);
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap;
+  std::uint64_t seq = 0;
+  for (const Worker& w : workers) {
+    if (!w.assigned.empty()) {
+      heap.push(Event{0.0, w.id, seq++});
+    }
+  }
+  for (std::size_t i = 0; i < app_trace.size(); ++i) {
+    heap.push(Event{app_trace[i].arrival_ms, ~static_cast<int>(i), seq++});
+  }
+
+  double makespan = 0.0;
+  while (!heap.empty()) {
+    const Event ev = heap.top();
+    heap.pop();
+    if (ev.worker < 0) {
+      const auto app_index = static_cast<std::size_t>(~ev.worker);
+      const workload::AppRequest& req = app_trace[app_index];
+      ++metrics.app_requests;
+      const std::uint64_t key = geometry_->chunk_key(req.stripe, req.cell);
+      if (req.is_read && damaged_keys.count(key) > 0 &&
+          repaired_stripes.count(req.stripe) == 0) {
+        // Degraded read: the data is gone until reconstruction rebuilds
+        // it; park until the stripe's recovery completes.
+        ++metrics.app_degraded_reads;
+        parked_by_stripe[req.stripe].push_back(
+            ParkedRequest{app_index, ev.t});
+        continue;
+      }
+      if (req.is_read) {
+        serve_app_read(req, ev.t, ev.t);
+      } else {
+        // Small write: read-modify-write. The new data plus every parity
+        // on a chain through this cell must be re-read and rewritten —
+        // the code's update complexity, paid in disk time (TIP-style
+        // layouts: <= 3 parities; STAR adjuster cells: p + 1).
+        auto submit = [&](codes::Cell cell, bool is_write,
+                          double start) {
+          Disk& disk = disks_[static_cast<std::size_t>(
+              geometry_->disk_of(req.stripe, cell))];
+          const std::uint64_t lba = geometry_->lba_of(req.stripe, cell);
+          return is_write ? disk.submit_write(start, lba)
+                          : disk.submit_read(start, lba);
+        };
+        double reads_done = submit(req.cell, false, ev.t);
+        if (layout_->kind(req.cell) == codes::CellKind::Data) {
+          for (int chain_id : layout_->chains_containing(req.cell)) {
+            reads_done = std::max(
+                reads_done,
+                submit(layout_->chain(chain_id).parity_cell, false, ev.t));
+          }
+        }
+        double done = submit(req.cell, true, reads_done);
+        if (layout_->kind(req.cell) == codes::CellKind::Data) {
+          for (int chain_id : layout_->chains_containing(req.cell)) {
+            done = std::max(done,
+                            submit(layout_->chain(chain_id).parity_cell,
+                                   true, reads_done));
+          }
+        }
+        metrics.app_response_ms.add(done - ev.t);
+      }
+      continue;
+    }
+    Worker& w = workers[static_cast<std::size_t>(ev.worker)];
+    const auto next = advance(w, ev.t, metrics);
+    if (next.has_value()) {
+      heap.push(Event{*next, w.id, seq++});
+    } else {
+      w.finish_ms = ev.t;
+      makespan = std::max(makespan, ev.t);
+    }
+  }
+
+  // Spare-area writes may still be draining after the last worker
+  // retires; reconstruction_ms already tracks their completions, so the
+  // makespan is the later of the last worker event and the last spare
+  // write (app traffic drains independently and is not reconstruction).
+  for (const Disk& d : disks_) {
+    metrics.disk_busy_ms.push_back(d.stats().busy_ms);
+    metrics.disk_ops.push_back(d.stats().reads + d.stats().writes);
+  }
+  metrics.reconstruction_ms = std::max(metrics.reconstruction_ms, makespan);
+
+  for (const Worker& w : workers) {
+    metrics.cache.hits += w.cache->stats().hits;
+    metrics.cache.misses += w.cache->stats().misses;
+    metrics.cache.evictions += w.cache->stats().evictions;
+  }
+  FBF_CHECK(metrics.cache.misses == metrics.disk_reads,
+            "every cache miss must hit a disk exactly once");
+  return metrics;
+}
+
+}  // namespace fbf::sim

@@ -1,0 +1,68 @@
+#include "util/bitmat.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace fbf::util {
+
+BitMatrix::BitMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), bits_(rows * ((cols + 63) / 64), 0) {}
+
+bool BitMatrix::get(std::size_t r, std::size_t c) const {
+  FBF_CHECK(r < rows_ && c < cols_, "BitMatrix::get out of range");
+  return (bits_[r * words_per_row() + c / 64] >> (c % 64)) & 1u;
+}
+
+void BitMatrix::set(std::size_t r, std::size_t c, bool v) {
+  FBF_CHECK(r < rows_ && c < cols_, "BitMatrix::set out of range");
+  auto& word = bits_[r * words_per_row() + c / 64];
+  const std::uint64_t mask = std::uint64_t{1} << (c % 64);
+  if (v) {
+    word |= mask;
+  } else {
+    word &= ~mask;
+  }
+}
+
+void BitMatrix::flip(std::size_t r, std::size_t c) { set(r, c, !get(r, c)); }
+
+void BitMatrix::xor_rows(std::size_t dst, std::size_t src) {
+  FBF_CHECK(dst < rows_ && src < rows_, "BitMatrix::xor_rows out of range");
+  const std::size_t w = words_per_row();
+  for (std::size_t i = 0; i < w; ++i) {
+    bits_[dst * w + i] ^= bits_[src * w + i];
+  }
+}
+
+void BitMatrix::swap_rows(std::size_t a, std::size_t b) {
+  FBF_CHECK(a < rows_ && b < rows_, "BitMatrix::swap_rows out of range");
+  const std::size_t w = words_per_row();
+  for (std::size_t i = 0; i < w; ++i) {
+    std::swap(bits_[a * w + i], bits_[b * w + i]);
+  }
+}
+
+std::size_t BitMatrix::rank() const {
+  BitMatrix m = *this;
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols_ && rank < rows_; ++col) {
+    std::size_t pivot = rank;
+    while (pivot < rows_ && !m.get(pivot, col)) {
+      ++pivot;
+    }
+    if (pivot == rows_) {
+      continue;
+    }
+    m.swap_rows(rank, pivot);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r != rank && m.get(r, col)) {
+        m.xor_rows(r, rank);
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+}  // namespace fbf::util

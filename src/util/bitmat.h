@@ -1,0 +1,43 @@
+// Dense GF(2) matrices backed by 64-bit words.
+//
+// Used for the erasure-decodability (MDS) oracle: each parity chain is one
+// XOR equation over the erased cells; a triple-column erasure is recoverable
+// iff the incidence matrix has full column rank.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fbf::util {
+
+/// Row-major bit matrix over GF(2).
+class BitMatrix {
+ public:
+  BitMatrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  bool get(std::size_t r, std::size_t c) const;
+  void set(std::size_t r, std::size_t c, bool v);
+  void flip(std::size_t r, std::size_t c);
+
+  /// row[dst] ^= row[src]
+  void xor_rows(std::size_t dst, std::size_t src);
+  void swap_rows(std::size_t a, std::size_t b);
+
+  /// Rank via in-place-on-a-copy Gaussian elimination.
+  std::size_t rank() const;
+
+  /// True iff the columns are linearly independent (rank == cols).
+  bool full_column_rank() const { return rank() == cols_; }
+
+ private:
+  std::size_t words_per_row() const { return (cols_ + 63) / 64; }
+
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace fbf::util

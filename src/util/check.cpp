@@ -1,0 +1,17 @@
+#include "util/check.h"
+
+#include <sstream>
+
+namespace fbf::util {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+  std::ostringstream os;
+  os << "FBF_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw CheckError(os.str());
+}
+
+}  // namespace fbf::util

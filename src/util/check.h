@@ -1,0 +1,32 @@
+// Runtime invariant checking that stays on in release builds.
+//
+// The simulator and codec validate structural invariants (chain consistency,
+// index bounds, solvability) with FBF_CHECK; violations indicate programmer
+// error or corrupted inputs and throw fbf::util::CheckError.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fbf::util {
+
+/// Thrown when an FBF_CHECK fails. Carries file/line plus a caller message.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+
+}  // namespace fbf::util
+
+/// Always-on invariant check. `msg` is any expression convertible to
+/// std::string via operator+ with a narrow literal (use std::to_string for
+/// numerics).
+#define FBF_CHECK(cond, msg)                                             \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::fbf::util::check_failed(#cond, __FILE__, __LINE__, (msg));       \
+    }                                                                    \
+  } while (false)

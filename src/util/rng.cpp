@@ -1,0 +1,86 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace fbf::util {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  FBF_CHECK(lo <= hi, "uniform_int requires lo <= hi");
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::uniform01() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  FBF_CHECK(lo <= hi, "uniform_real requires lo <= hi");
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  FBF_CHECK(p >= 0.0 && p <= 1.0, "bernoulli probability out of range");
+  return uniform01() < p;
+}
+
+double Rng::exponential(double mean) {
+  FBF_CHECK(mean > 0.0, "exponential mean must be positive");
+  std::exponential_distribution<double> dist(1.0 / mean);
+  return dist(engine_);
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  FBF_CHECK(n > 0, "zipf over empty domain");
+  if (s <= 0.0) {
+    return index(n);
+  }
+  // Inverse-CDF sampling by rejection over the (approximate) normalizing
+  // integral; adequate for trace generation where exactness is not needed.
+  const double exponent = 1.0 - s;
+  const double h_n = (std::pow(static_cast<double>(n), exponent) - 1.0) /
+                     exponent;
+  for (;;) {
+    const double u = uniform01();
+    const double x = std::pow(u * exponent * h_n + 1.0, 1.0 / exponent);
+    const std::size_t k = static_cast<std::size_t>(x) - 1;
+    if (k < n) {
+      return k;
+    }
+  }
+}
+
+std::size_t Rng::index(std::size_t size) {
+  FBF_CHECK(size > 0, "index over empty container");
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(size) - 1));
+}
+
+void Rng::fill_bytes(std::span<std::byte> out) {
+  std::size_t i = 0;
+  while (i + 8 <= out.size()) {
+    const std::uint64_t v = engine_();
+    for (int b = 0; b < 8; ++b) {
+      out[i + static_cast<std::size_t>(b)] =
+          static_cast<std::byte>((v >> (8 * b)) & 0xff);
+    }
+    i += 8;
+  }
+  if (i < out.size()) {
+    std::uint64_t v = engine_();
+    for (; i < out.size(); ++i) {
+      out[i] = static_cast<std::byte>(v & 0xff);
+      v >>= 8;
+    }
+  }
+}
+
+void Rng::shuffle(std::vector<std::size_t>& v) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::swap(v[i - 1], v[index(i)]);
+  }
+}
+
+}  // namespace fbf::util

@@ -1,0 +1,57 @@
+// Deterministic random number generation.
+//
+// All stochastic components (workload generators, data fills) take an
+// explicit Rng so that every experiment is reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fbf::util {
+
+/// Seeded pseudo-random source. Thin wrapper over std::mt19937_64 with
+/// convenience samplers. Copyable; copies evolve independently.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform unsigned 64-bit value.
+  std::uint64_t next_u64() { return engine_(); }
+
+  /// Uniform real in [0, 1).
+  double uniform01();
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Zipf-like rank sampler over [0, n) with skew `s` (s = 0 is uniform).
+  /// Used by the application-trace generator for hot-spot locality.
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Picks a uniformly random element index of a non-empty container size.
+  std::size_t index(std::size_t size);
+
+  /// Fills a byte span with pseudo-random bytes.
+  void fill_bytes(std::span<std::byte> out);
+
+  /// Fisher-Yates shuffle of an index vector.
+  void shuffle(std::vector<std::size_t>& v);
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace fbf::util

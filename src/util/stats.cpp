@@ -1,0 +1,82 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fbf::util {
+
+void Accumulator::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void Accumulator::merge(const Accumulator& other) {
+  if (other.n_ == 0) {
+    return;
+  }
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto total = static_cast<double>(n_ + other.n_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / total;
+  mean_ += delta * static_cast<double>(other.n_) / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Accumulator::variance() const {
+  if (n_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(n_);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+Reservoir::Reservoir(std::size_t capacity) : capacity_(capacity) {
+  FBF_CHECK(capacity_ > 0, "reservoir capacity must be positive");
+  samples_.reserve(capacity_);
+}
+
+void Reservoir::add(double x) {
+  ++seen_;
+  sorted_ = false;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(x);
+    return;
+  }
+  // Deterministic skip pattern: replace slot (seen * golden-ratio) mod cap
+  // with probability capacity/seen, approximated by the modular counter.
+  const std::uint64_t slot = (seen_ * 0x9e3779b97f4a7c15ull) % seen_;
+  if (slot < capacity_) {
+    samples_[static_cast<std::size_t>(slot)] = x;
+  }
+}
+
+double Reservoir::percentile(double q) const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  FBF_CHECK(q >= 0.0 && q <= 1.0, "percentile q out of range");
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+}  // namespace fbf::util

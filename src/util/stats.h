@@ -1,0 +1,54 @@
+// Streaming statistics used by the simulator's metric collectors.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace fbf::util {
+
+/// Single-pass accumulator for count / sum / mean / variance / extrema.
+/// Uses Welford's algorithm so variance stays numerically stable over the
+/// millions of response-time samples a sweep produces.
+class Accumulator {
+ public:
+  void add(double x);
+  void merge(const Accumulator& other);
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  double variance() const;  ///< population variance; 0 when n < 2
+  double stddev() const;
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Reservoir of samples for percentile queries. Keeps at most `capacity`
+/// samples via uniform reservoir sampling (deterministic hash-free scheme
+/// driven by the running count, adequate for reporting).
+class Reservoir {
+ public:
+  explicit Reservoir(std::size_t capacity = 4096);
+
+  void add(double x);
+  std::uint64_t count() const { return seen_; }
+
+  /// q in [0, 1]; returns 0 when empty. Sorts internally on demand.
+  double percentile(double q) const;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t seen_ = 0;
+  mutable bool sorted_ = false;
+  mutable std::vector<double> samples_;
+};
+
+}  // namespace fbf::util

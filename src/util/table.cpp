@@ -1,0 +1,109 @@
+#include "util/table.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace fbf::util {
+
+std::string fmt_double(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_percent(double ratio, int digits) {
+  return fmt_double(ratio * 100.0, digits) + "%";
+}
+
+std::string fmt_bytes(std::uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  int unit = 0;
+  std::uint64_t v = bytes;
+  while (v >= 1024 && v % 1024 == 0 && unit < 4) {
+    v /= 1024;
+    ++unit;
+  }
+  return std::to_string(v) + kUnits[unit];
+}
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::headers(std::vector<std::string> h) {
+  headers_ = std::move(h);
+  return *this;
+}
+
+Table& Table::add_row(std::vector<std::string> row) {
+  FBF_CHECK(headers_.empty() || row.size() == headers_.size(),
+            "row width must match header width");
+  rows_.push_back(std::move(row));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) {
+      widths.resize(row.size(), 0);
+    }
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(headers_);
+  for (const auto& r : rows_) {
+    widen(r);
+  }
+
+  if (!title_.empty()) {
+    os << "== " << title_ << " ==\n";
+  }
+  auto emit = [&os, &widths](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << row[i];
+      if (i + 1 < row.size()) {
+        for (std::size_t pad = row[i].size(); pad < widths[i] + 2; ++pad) {
+          os << ' ';
+        }
+      }
+    }
+    os << '\n';
+  };
+  if (!headers_.empty()) {
+    emit(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) {
+      total += w + 2;
+    }
+    for (std::size_t i = 0; i + 2 < total; ++i) {
+      os << '-';
+    }
+    os << '\n';
+  }
+  for (const auto& r : rows_) {
+    emit(r);
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) {
+        os << ',';
+      }
+      os << row[i];
+    }
+    os << '\n';
+  };
+  if (!headers_.empty()) {
+    emit(headers_);
+  }
+  for (const auto& r : rows_) {
+    emit(r);
+  }
+}
+
+}  // namespace fbf::util

@@ -1,0 +1,38 @@
+// Aligned-text and CSV table rendering for benches and examples.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fbf::util {
+
+/// Formats a double with `digits` fractional digits (no std::format on this
+/// toolchain).
+std::string fmt_double(double v, int digits = 3);
+
+/// Formats a ratio as a percentage string, e.g. 0.1234 -> "12.34%".
+std::string fmt_percent(double ratio, int digits = 2);
+
+/// Human-readable byte size: 32768 -> "32KB", 2147483648 -> "2GB".
+std::string fmt_bytes(std::uint64_t bytes);
+
+/// Accumulates string rows and prints them column-aligned or as CSV.
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  Table& headers(std::vector<std::string> h);
+  Table& add_row(std::vector<std::string> row);
+  std::size_t num_rows() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fbf::util

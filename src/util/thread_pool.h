@@ -1,0 +1,51 @@
+// Fixed-size worker pool for running independent experiment configurations
+// in parallel during sweeps. Experiments share no mutable state, so the pool
+// needs only a task queue — no futures of results; callers capture outputs
+// into pre-sized slots.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace fbf::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw; exceptions terminate (by design:
+  /// an experiment that throws indicates a bug, not a recoverable state).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::queue<std::function<void()>> tasks_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace fbf::util

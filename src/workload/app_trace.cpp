@@ -1,0 +1,33 @@
+#include "workload/app_trace.h"
+
+#include "util/check.h"
+
+namespace fbf::workload {
+
+std::vector<AppRequest> generate_app_trace(const codes::Layout& layout,
+                                           const AppTraceConfig& config) {
+  FBF_CHECK(config.num_requests >= 0, "negative request count");
+  FBF_CHECK(config.read_fraction >= 0.0 && config.read_fraction <= 1.0,
+            "read fraction must be a probability");
+  FBF_CHECK(config.mean_interarrival_ms > 0.0,
+            "interarrival mean must be positive");
+
+  util::Rng rng(config.seed);
+  std::vector<AppRequest> trace;
+  trace.reserve(static_cast<std::size_t>(config.num_requests));
+  double clock_ms = 0.0;
+  for (int i = 0; i < config.num_requests; ++i) {
+    AppRequest r;
+    r.stripe = rng.zipf(static_cast<std::size_t>(config.num_stripes),
+                        config.zipf_skew);
+    r.cell = layout.cell_at(static_cast<int>(
+        rng.uniform_int(0, layout.num_cells() - 1)));
+    r.is_read = rng.bernoulli(config.read_fraction);
+    clock_ms += rng.exponential(config.mean_interarrival_ms);
+    r.arrival_ms = clock_ms;
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+}  // namespace fbf::workload

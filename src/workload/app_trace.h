@@ -1,0 +1,34 @@
+// Application I/O traces for the online-recovery extension: foreground
+// requests that contend with reconstruction for the disks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codes/layout.h"
+#include "util/rng.h"
+
+namespace fbf::workload {
+
+struct AppRequest {
+  std::uint64_t stripe = 0;
+  codes::Cell cell;
+  bool is_read = true;
+  double arrival_ms = 0.0;
+};
+
+struct AppTraceConfig {
+  std::uint64_t num_stripes = 1 << 20;
+  int num_requests = 10000;
+  double read_fraction = 0.7;
+  double zipf_skew = 0.9;            ///< hot-spot skew over stripes
+  double mean_interarrival_ms = 2.0; ///< Poisson arrivals
+  std::uint64_t seed = 7;
+};
+
+/// Zipf-over-stripes, uniform-over-cells request stream with Poisson
+/// arrivals, sorted by arrival time.
+std::vector<AppRequest> generate_app_trace(const codes::Layout& layout,
+                                           const AppTraceConfig& config);
+
+}  // namespace fbf::workload

@@ -1,0 +1,81 @@
+#include "workload/errors.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace fbf::workload {
+
+std::vector<StripeError> generate_error_trace(const codes::Layout& layout,
+                                              const ErrorTraceConfig& config) {
+  FBF_CHECK(config.num_errors > 0, "trace needs at least one error");
+  FBF_CHECK(config.num_stripes >=
+                static_cast<std::uint64_t>(config.num_errors),
+            "more damaged stripes than stripes in the array");
+  FBF_CHECK(config.target_col == -1 ||
+                (config.target_col >= 0 &&
+                 config.target_col < layout.cols()),
+            "target column out of range");
+  FBF_CHECK(config.spatial_locality >= 0.0 &&
+                config.spatial_locality <= 1.0,
+            "spatial locality must be a probability");
+
+  util::Rng rng(config.seed);
+  std::unordered_set<std::uint64_t> used;
+  std::vector<StripeError> trace;
+  trace.reserve(static_cast<std::size_t>(config.num_errors));
+
+  std::uint64_t prev_stripe = 0;
+  double clock_ms = 0.0;
+  const int rows = layout.rows();
+  for (int i = 0; i < config.num_errors; ++i) {
+    // Choose a fresh stripe, biased toward the neighbourhood of the
+    // previous error with probability spatial_locality.
+    std::uint64_t stripe = 0;
+    for (int attempt = 0;; ++attempt) {
+      if (i > 0 && rng.bernoulli(config.spatial_locality) && attempt < 8) {
+        const auto offset = static_cast<std::uint64_t>(rng.uniform_int(
+            1, static_cast<std::int64_t>(config.locality_window)));
+        stripe = (prev_stripe + offset) % config.num_stripes;
+      } else {
+        stripe = static_cast<std::uint64_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(config.num_stripes) - 1));
+      }
+      if (used.insert(stripe).second) {
+        break;
+      }
+      if (attempt > 64) {  // dense traces: scan forward to a free stripe
+        while (!used.insert(stripe).second) {
+          stripe = (stripe + 1) % config.num_stripes;
+        }
+        break;
+      }
+    }
+    prev_stripe = stripe;
+
+    StripeError e;
+    e.stripe = stripe;
+    e.error.col = config.target_col >= 0
+                      ? config.target_col
+                      : static_cast<int>(rng.uniform_int(
+                            0, layout.cols() - 1));
+    e.error.num_chunks = static_cast<int>(rng.uniform_int(1, rows));
+    e.error.first_row = static_cast<int>(
+        rng.uniform_int(0, rows - e.error.num_chunks));
+    if (config.mean_interarrival_ms > 0.0) {
+      clock_ms += rng.exponential(config.mean_interarrival_ms);
+    }
+    e.detect_time_ms = clock_ms;
+    trace.push_back(e);
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const StripeError& a, const StripeError& b) {
+              return a.detect_time_ms < b.detect_time_ms ||
+                     (a.detect_time_ms == b.detect_time_ms &&
+                      a.stripe < b.stripe);
+            });
+  return trace;
+}
+
+}  // namespace fbf::workload

@@ -1,0 +1,47 @@
+// Synthetic partial-stripe-error traces (paper §IV-A).
+//
+// Error model from the paper: contiguous chunk errors on one disk, sizes
+// uniform in [1, p-1] chunks (mean (p-1)/2), with spatial and temporal
+// locality across stripes (Schroeder et al.: 20-60% of latent sector
+// errors have a neighbour within 10 sectors).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codes/layout.h"
+#include "recovery/scheme.h"
+#include "util/rng.h"
+
+namespace fbf::workload {
+
+/// One damaged stripe: which stripe, and the contiguous error inside it.
+struct StripeError {
+  std::uint64_t stripe = 0;
+  recovery::PartialStripeError error;
+  double detect_time_ms = 0.0;
+};
+
+struct ErrorTraceConfig {
+  std::uint64_t num_stripes = 1 << 20;  ///< stripes in the array
+  int num_errors = 512;                 ///< damaged stripes to generate
+  /// Column carrying the errors; -1 draws a uniform random column per
+  /// error (multi-disk partial errors, still one column per stripe).
+  int target_col = 0;
+  /// Probability the next damaged stripe lies within `locality_window`
+  /// stripes of the previous one (spatial locality of latent errors).
+  double spatial_locality = 0.6;
+  std::uint64_t locality_window = 16;
+  /// Mean inter-detection gap; 0 means all errors known at t = 0 (offline
+  /// reconstruction, the paper's setting).
+  double mean_interarrival_ms = 0.0;
+  std::uint64_t seed = 42;
+};
+
+/// Generates a trace of distinct damaged stripes sorted by detect time.
+/// Error sizes are uniform in [1, layout.rows()]; start rows uniform over
+/// the legal range. Fully deterministic given the seed.
+std::vector<StripeError> generate_error_trace(const codes::Layout& layout,
+                                              const ErrorTraceConfig& config);
+
+}  // namespace fbf::workload

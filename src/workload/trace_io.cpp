@@ -1,0 +1,75 @@
+#include "workload/trace_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace fbf::workload {
+
+namespace {
+constexpr const char* kHeader = "stripe,col,first_row,num_chunks,detect_time_ms";
+}
+
+void write_error_trace(std::ostream& os,
+                       const std::vector<StripeError>& trace) {
+  os << kHeader << "\n";
+  // max_digits10 so detect times survive the round trip bit-exactly.
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (const StripeError& e : trace) {
+    os << e.stripe << ',' << e.error.col << ',' << e.error.first_row << ','
+       << e.error.num_chunks << ',' << e.detect_time_ms << "\n";
+  }
+}
+
+std::vector<StripeError> read_error_trace(std::istream& is,
+                                          const codes::Layout& layout) {
+  std::string line;
+  FBF_CHECK(static_cast<bool>(std::getline(is, line)),
+            "trace file is empty");
+  FBF_CHECK(line == kHeader,
+            "trace header mismatch; expected: " + std::string(kHeader));
+  std::vector<StripeError> trace;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream row(line);
+    StripeError e;
+    char c1 = 0;
+    char c2 = 0;
+    char c3 = 0;
+    char c4 = 0;
+    row >> e.stripe >> c1 >> e.error.col >> c2 >> e.error.first_row >> c3 >>
+        e.error.num_chunks >> c4 >> e.detect_time_ms;
+    FBF_CHECK(!row.fail() && c1 == ',' && c2 == ',' && c3 == ',' && c4 == ',',
+              "malformed trace row at line " + std::to_string(line_no));
+    FBF_CHECK(e.error.col >= 0 && e.error.col < layout.cols(),
+              "trace column out of range at line " + std::to_string(line_no));
+    FBF_CHECK(e.error.num_chunks >= 1 && e.error.first_row >= 0 &&
+                  e.error.first_row + e.error.num_chunks <= layout.rows(),
+              "trace rows out of range at line " + std::to_string(line_no));
+    trace.push_back(e);
+  }
+  return trace;
+}
+
+void save_error_trace(const std::string& path,
+                      const std::vector<StripeError>& trace) {
+  std::ofstream os(path);
+  FBF_CHECK(os.good(), "cannot open trace file for writing: " + path);
+  write_error_trace(os, trace);
+}
+
+std::vector<StripeError> load_error_trace(const std::string& path,
+                                          const codes::Layout& layout) {
+  std::ifstream is(path);
+  FBF_CHECK(is.good(), "cannot open trace file: " + path);
+  return read_error_trace(is, layout);
+}
+
+}  // namespace fbf::workload

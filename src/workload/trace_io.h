@@ -1,0 +1,31 @@
+// CSV import/export of partial-stripe-error traces, so experiments can be
+// replayed from files (e.g. traces derived from real latent-sector-error
+// logs) instead of the synthetic generator.
+//
+// Format, one error per line, header required:
+//   stripe,col,first_row,num_chunks,detect_time_ms
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/errors.h"
+
+namespace fbf::workload {
+
+void write_error_trace(std::ostream& os,
+                       const std::vector<StripeError>& trace);
+
+/// Parses a trace; throws CheckError on malformed rows. `layout` bounds-
+/// checks columns and rows.
+std::vector<StripeError> read_error_trace(std::istream& is,
+                                          const codes::Layout& layout);
+
+/// Convenience file wrappers.
+void save_error_trace(const std::string& path,
+                      const std::vector<StripeError>& trace);
+std::vector<StripeError> load_error_trace(const std::string& path,
+                                          const codes::Layout& layout);
+
+}  // namespace fbf::workload

@@ -1,0 +1,99 @@
+#include "cache/arc.h"
+
+#include <gtest/gtest.h>
+
+namespace fbf::cache {
+namespace {
+
+TEST(Arc, BasicMissThenHit) {
+  ArcCache c(4);
+  EXPECT_FALSE(c.request(1));
+  EXPECT_TRUE(c.request(1));
+}
+
+TEST(Arc, FirstHitPromotesToT2) {
+  ArcCache c(4);
+  c.request(1);
+  EXPECT_EQ(c.t1_size(), 1u);
+  EXPECT_EQ(c.t2_size(), 0u);
+  c.request(1);
+  EXPECT_EQ(c.t1_size(), 0u);
+  EXPECT_EQ(c.t2_size(), 1u);
+}
+
+TEST(Arc, CapacityNeverExceeded) {
+  ArcCache c(8);
+  std::uint64_t state = 2;
+  for (int i = 0; i < 20000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    c.request(state % 64);
+    ASSERT_LE(c.size(), 8u);
+    ASSERT_LE(c.b1_size() + c.b2_size(), 2 * 8u);  // ghosts bounded by 2c
+  }
+}
+
+TEST(Arc, GhostHitInB1GrowsTarget) {
+  // REPLACE only ghosts T1's LRU when T2 holds part of the cache; build
+  // that state first (a plain T1 overflow discards without ghosting, per
+  // the original Case IV-A).
+  ArcCache c(2);
+  c.request(1);
+  c.request(2);  // T1 = {1, 2}
+  c.request(1);  // promote 1 to T2: T1 = {2}, T2 = {1}
+  c.request(3);  // REPLACE moves 2 (T1 LRU) into the B1 ghost
+  EXPECT_EQ(c.b1_size(), 1u);
+  const std::size_t p_before = c.target_p();
+  c.request(2);  // B1 ghost hit: recency target must grow
+  EXPECT_GT(c.target_p(), p_before);
+  EXPECT_TRUE(c.contains(2));  // re-admitted (into T2)
+}
+
+TEST(Arc, GhostHitIsStillAMiss) {
+  ArcCache c(2);
+  c.request(1);
+  c.request(2);
+  c.request(3);
+  const auto misses_before = c.stats().misses;
+  c.request(1);  // ghost hit: data was evicted, so this is a disk read
+  EXPECT_EQ(c.stats().misses, misses_before + 1);
+}
+
+TEST(Arc, ScanResistanceBeatsLru) {
+  // A hot working set re-referenced between one-shot scan keys: ARC should
+  // keep the hot keys resident where pure recency would flush them.
+  ArcCache c(4);
+  // Establish frequency for the hot pair.
+  for (int i = 0; i < 4; ++i) {
+    c.request(100);
+    c.request(101);
+  }
+  // One-shot scan twice as large as the cache.
+  for (Key k = 0; k < 8; ++k) {
+    c.request(k);
+  }
+  EXPECT_TRUE(c.contains(100));
+  EXPECT_TRUE(c.contains(101));
+}
+
+TEST(Arc, AllListsDrainCorrectlyOnMixedTrace) {
+  ArcCache c(3);
+  for (Key k = 0; k < 6; ++k) {
+    c.request(k);
+  }
+  for (Key k = 0; k < 6; ++k) {
+    c.request(k);
+  }
+  EXPECT_LE(c.size(), 3u);
+  EXPECT_EQ(c.stats().accesses(), 12u);
+}
+
+TEST(Arc, CapacityOne) {
+  ArcCache c(1);
+  EXPECT_FALSE(c.request(1));
+  EXPECT_TRUE(c.request(1));
+  EXPECT_FALSE(c.request(2));
+  EXPECT_LE(c.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fbf::cache

@@ -1,0 +1,144 @@
+// Scenario tests for Algorithm 1, including the paper's Figures 5-7
+// walk-throughs (warm-up, demotion, replacement).
+#include "cache/fbf_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace fbf::cache {
+namespace {
+
+TEST(FbfPolicy, InsertLandsInPriorityQueue) {
+  FbfCache c(8);
+  c.request(1, 3);
+  c.request(2, 2);
+  c.request(3, 1);
+  EXPECT_EQ(c.queue_of(1), 3);
+  EXPECT_EQ(c.queue_of(2), 2);
+  EXPECT_EQ(c.queue_of(3), 1);
+  EXPECT_EQ(c.queue_size(3), 1u);
+  EXPECT_EQ(c.queue_size(2), 1u);
+  EXPECT_EQ(c.queue_size(1), 1u);
+}
+
+TEST(FbfPolicy, PaperFigure5WarmUp) {
+  // Requests C(1,1)[p3], C(2,2)[p1], C(4,4)[p2], C(5,5)[p1], C(0,6)[p1]:
+  // queues end as Q3={C11}, Q2={C44}, Q1={C22, C55, C06}.
+  FbfCache c(16);
+  c.request(11, 3);
+  c.request(22, 1);
+  c.request(44, 2);
+  c.request(55, 1);
+  c.request(6, 1);
+  EXPECT_EQ(c.queue_of(11), 3);
+  EXPECT_EQ(c.queue_of(44), 2);
+  EXPECT_EQ(c.queue_of(22), 1);
+  EXPECT_EQ(c.queue_of(55), 1);
+  EXPECT_EQ(c.queue_of(6), 1);
+}
+
+TEST(FbfPolicy, PaperFigure6DemotionChain) {
+  // A Queue3 chunk demotes to Queue2 on its first hit and to Queue1 on the
+  // next — one expected reference consumed per hit.
+  FbfCache c(8);
+  c.request(11, 3);
+  EXPECT_EQ(c.queue_of(11), 3);
+  EXPECT_TRUE(c.request(11, 3));
+  EXPECT_EQ(c.queue_of(11), 2);
+  EXPECT_TRUE(c.request(11, 3));
+  EXPECT_EQ(c.queue_of(11), 1);
+  EXPECT_TRUE(c.request(11, 3));
+  EXPECT_EQ(c.queue_of(11), 1);  // Queue1 hits stay in Queue1 (MRU refresh)
+}
+
+TEST(FbfPolicy, PaperFigure7ReplacementFavorsHighPriority) {
+  // A full cache evicts from Queue1 even when the Queue2 chunk is the
+  // least recently used chunk overall.
+  FbfCache c(3);
+  c.request(11, 2);  // oldest access, but priority 2
+  c.request(16, 1);
+  c.request(17, 1);
+  c.request(18, 1);  // cache full: must evict 16 (Queue1 LRU), never 11
+  EXPECT_TRUE(c.contains(11));
+  EXPECT_FALSE(c.contains(16));
+  EXPECT_TRUE(c.contains(17));
+  EXPECT_TRUE(c.contains(18));
+}
+
+TEST(FbfPolicy, EvictionDrainsQueue1ThenQueue2ThenQueue3) {
+  FbfCache c(3);
+  c.request(1, 1);
+  c.request(2, 2);
+  c.request(3, 3);
+  c.request(4, 1);  // evicts 1 (Queue1)
+  EXPECT_FALSE(c.contains(1));
+  c.request(5, 3);  // evicts 4 (now the only Queue1 entry)
+  EXPECT_FALSE(c.contains(4));
+  c.request(6, 3);  // Queue1 empty -> evicts 2 (Queue2)
+  EXPECT_FALSE(c.contains(2));
+  c.request(7, 3);  // Queue2 empty -> evicts 3 (Queue3 LRU)
+  EXPECT_FALSE(c.contains(3));
+  EXPECT_TRUE(c.contains(5));
+  EXPECT_TRUE(c.contains(6));
+  EXPECT_TRUE(c.contains(7));
+}
+
+TEST(FbfPolicy, LruOrderWithinQueue) {
+  FbfCache c(2);
+  c.request(1, 1);
+  c.request(2, 1);
+  c.request(1, 1);  // hit: 1 moves to MRU of Queue1
+  c.request(3, 1);  // evicts 2 (LRU of Queue1)
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+}
+
+TEST(FbfPolicy, NoDemoteVariantKeepsLevel) {
+  FbfCache c(8, /*demote_on_hit=*/false);
+  c.request(11, 3);
+  c.request(11, 3);
+  c.request(11, 3);
+  EXPECT_EQ(c.queue_of(11), 3);
+  EXPECT_STREQ(c.name(), "FBF-nodemote");
+}
+
+TEST(FbfPolicy, CyclicSharedChunkSurvivesWhereLruThrashes) {
+  // Three chains share chunk 99 (priority 3); chain bodies are one-shot
+  // (priority 1) and larger than the cache. FBF must hold 99 across
+  // chains; the hits on 99 are exactly what the paper's Figure 3
+  // motivates (chunk C(4,4) fetched once, reused later).
+  FbfCache c(4);
+  int hits_on_shared = 0;
+  for (int chain = 0; chain < 3; ++chain) {
+    hits_on_shared += c.request(99, 3) ? 1 : 0;
+    for (Key k = 0; k < 6; ++k) {
+      c.request(1000 + 100 * static_cast<Key>(chain) + k, 1);
+    }
+  }
+  EXPECT_EQ(hits_on_shared, 2);
+}
+
+TEST(FbfPolicy, CapacityInvariantUnderRandomTrace) {
+  FbfCache c(5);
+  std::uint64_t state = 9;
+  for (int i = 0; i < 5000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    c.request(state % 32, static_cast<int>(state % 3) + 1);
+    ASSERT_LE(c.size(), 5u);
+    ASSERT_EQ(c.queue_size(1) + c.queue_size(2) + c.queue_size(3), c.size());
+  }
+}
+
+TEST(FbfPolicy, InstallPlacesByPriorityWithoutStats) {
+  FbfCache c(4);
+  c.install(50, 2);
+  EXPECT_EQ(c.queue_of(50), 2);
+  EXPECT_EQ(c.stats().accesses(), 0u);
+}
+
+TEST(FbfPolicy, QueueOfAbsentKeyIsZero) {
+  FbfCache c(4);
+  EXPECT_EQ(c.queue_of(123), 0);
+}
+
+}  // namespace
+}  // namespace fbf::cache

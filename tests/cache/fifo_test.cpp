@@ -1,0 +1,69 @@
+#include "cache/fifo.h"
+
+#include <gtest/gtest.h>
+
+namespace fbf::cache {
+namespace {
+
+TEST(Fifo, MissThenHit) {
+  FifoCache c(2);
+  EXPECT_FALSE(c.request(1));
+  EXPECT_TRUE(c.request(1));
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Fifo, EvictsInInsertionOrder) {
+  FifoCache c(2);
+  c.request(1);
+  c.request(2);
+  c.request(3);  // evicts 1
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_TRUE(c.contains(3));
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(Fifo, HitsDoNotRefreshPosition) {
+  FifoCache c(2);
+  c.request(1);
+  c.request(2);
+  c.request(1);  // hit; 1 must stay the oldest
+  c.request(3);  // still evicts 1
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+}
+
+TEST(Fifo, CapacityNeverExceeded) {
+  FifoCache c(3);
+  for (Key k = 0; k < 100; ++k) {
+    c.request(k);
+    EXPECT_LE(c.size(), 3u);
+  }
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(Fifo, ZeroCapacityAlwaysMisses) {
+  FifoCache c(0);
+  EXPECT_FALSE(c.request(1));
+  EXPECT_FALSE(c.request(1));
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Fifo, InstallDoesNotCountStats) {
+  FifoCache c(2);
+  c.install(5);
+  EXPECT_TRUE(c.contains(5));
+  EXPECT_EQ(c.stats().hits, 0u);
+  EXPECT_EQ(c.stats().misses, 0u);
+  EXPECT_TRUE(c.request(5));
+}
+
+TEST(Fifo, Name) {
+  FifoCache c(1);
+  EXPECT_STREQ(c.name(), "FIFO");
+}
+
+}  // namespace
+}  // namespace fbf::cache

@@ -1,0 +1,80 @@
+#include "cache/lrfu.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace fbf::cache {
+namespace {
+
+TEST(Lrfu, RejectsBadLambda) {
+  EXPECT_THROW(LrfuCache(4, -0.1), util::CheckError);
+  EXPECT_THROW(LrfuCache(4, 1.5), util::CheckError);
+}
+
+TEST(Lrfu, BasicMissThenHit) {
+  LrfuCache c(4);
+  EXPECT_FALSE(c.request(1));
+  EXPECT_TRUE(c.request(1));
+  EXPECT_EQ(c.stats().hits, 1u);
+}
+
+TEST(Lrfu, CrfGrowsWithHitsAndDecaysWithTime) {
+  LrfuCache c(8, 0.5);
+  c.request(1);
+  const double after_one = c.crf(1);
+  c.request(1);
+  const double after_two = c.crf(1);
+  EXPECT_GT(after_two, after_one);
+  // Unrelated traffic ages key 1.
+  for (Key k = 10; k < 14; ++k) {
+    c.request(k);
+  }
+  EXPECT_LT(c.crf(1), after_two);
+  EXPECT_DOUBLE_EQ(c.crf(999), 0.0);
+}
+
+TEST(Lrfu, HighLambdaBehavesLikeLru) {
+  // lambda = 1: only the last reference matters, so the LRU victim and
+  // the LRFU victim coincide.
+  LrfuCache c(2, 1.0);
+  c.request(1);
+  c.request(2);
+  c.request(1);  // 2 is now least recent
+  c.request(3);  // must evict 2
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+}
+
+TEST(Lrfu, LowLambdaBehavesLikeLfu) {
+  // lambda ~ 0: counts dominate; a twice-referenced old key outlives a
+  // newer once-referenced one.
+  LrfuCache c(2, 0.0001);
+  c.request(1);
+  c.request(1);
+  c.request(2);
+  c.request(3);  // evicts 2 (count 1), not 1 (count 2)
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_TRUE(c.contains(3));
+}
+
+TEST(Lrfu, CapacityInvariantUnderRandomTrace) {
+  LrfuCache c(6);
+  std::uint64_t state = 77;
+  for (int i = 0; i < 5000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    c.request(state % 40);
+    ASSERT_LE(c.size(), 6u);
+  }
+  EXPECT_EQ(c.size(), 6u);
+}
+
+TEST(Lrfu, RegistryIntegration) {
+  const auto c = make_policy(PolicyId::Lrfu, 4);
+  EXPECT_STREQ(c->name(), "LRFU");
+  EXPECT_EQ(policy_from_string("lrfu"), PolicyId::Lrfu);
+}
+
+}  // namespace
+}  // namespace fbf::cache

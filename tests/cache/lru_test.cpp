@@ -1,0 +1,99 @@
+#include "cache/lru.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fbf::cache {
+namespace {
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  LruCache c(2);
+  c.request(1);
+  c.request(2);
+  c.request(1);  // 2 is now LRU
+  c.request(3);  // evicts 2
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));
+  EXPECT_TRUE(c.contains(3));
+}
+
+TEST(Lru, HitRefreshesRecency) {
+  LruCache c(3);
+  c.request(1);
+  c.request(2);
+  c.request(3);
+  EXPECT_EQ(c.lru_key(), 1u);
+  c.request(1);
+  EXPECT_EQ(c.lru_key(), 2u);
+}
+
+TEST(Lru, SequentialScanLargerThanCacheNeverHits) {
+  // The paper's motivating pathology: cyclic reuse with distance > size.
+  LruCache c(4);
+  for (int round = 0; round < 3; ++round) {
+    for (Key k = 0; k < 6; ++k) {
+      c.request(k);
+    }
+  }
+  EXPECT_EQ(c.stats().hits, 0u);
+  EXPECT_EQ(c.stats().misses, 18u);
+}
+
+TEST(Lru, ReuseWithinCapacityAlwaysHits) {
+  LruCache c(6);
+  for (Key k = 0; k < 6; ++k) {
+    c.request(k);
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (Key k = 0; k < 6; ++k) {
+      EXPECT_TRUE(c.request(k));
+    }
+  }
+}
+
+TEST(Lru, MatchesReferenceModelOnRandomTrace) {
+  // Brute-force reference: vector ordered by recency.
+  LruCache c(8);
+  std::vector<Key> model;  // front = LRU
+  std::uint64_t state = 88172645463325252ull;
+  auto next_key = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state % 24;
+  };
+  for (int i = 0; i < 5000; ++i) {
+    const Key k = next_key();
+    const auto it = std::find(model.begin(), model.end(), k);
+    const bool model_hit = it != model.end();
+    if (model_hit) {
+      model.erase(it);
+    } else if (model.size() == 8) {
+      model.erase(model.begin());
+    }
+    model.push_back(k);
+    ASSERT_EQ(c.request(k), model_hit) << "at access " << i;
+    ASSERT_EQ(c.size(), model.size());
+    ASSERT_EQ(c.lru_key(), model.front());
+  }
+}
+
+TEST(Lru, CapacityOne) {
+  LruCache c(1);
+  EXPECT_FALSE(c.request(1));
+  EXPECT_TRUE(c.request(1));
+  EXPECT_FALSE(c.request(2));
+  EXPECT_FALSE(c.contains(1));
+}
+
+TEST(Lru, EvictionCountMatches) {
+  LruCache c(2);
+  for (Key k = 0; k < 5; ++k) {
+    c.request(k);
+  }
+  EXPECT_EQ(c.stats().evictions, 3u);
+}
+
+}  // namespace
+}  // namespace fbf::cache

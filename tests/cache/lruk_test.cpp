@@ -1,0 +1,61 @@
+#include "cache/lruk.h"
+
+#include <gtest/gtest.h>
+
+namespace fbf::cache {
+namespace {
+
+TEST(Lruk, SingleAccessKeysEvictedBeforeDoubleAccess) {
+  LrukCache c(3);
+  c.request(1);
+  c.request(1);  // 1 has two accesses
+  c.request(2);
+  c.request(3);
+  c.request(4);  // must evict 2 or 3 (single access), never 1
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_FALSE(c.contains(2));  // 2 is the oldest single-access key
+}
+
+TEST(Lruk, AmongSingleAccessEvictsOldest) {
+  LrukCache c(2);
+  c.request(10);
+  c.request(20);
+  c.request(30);
+  EXPECT_FALSE(c.contains(10));
+  EXPECT_TRUE(c.contains(20));
+  EXPECT_TRUE(c.contains(30));
+}
+
+TEST(Lruk, PenultimateTimeOrdersTwiceAccessedKeys) {
+  LrukCache c(2);
+  c.request(1);  // t1
+  c.request(2);  // t2
+  c.request(1);  // t3: 1.penult = t1
+  c.request(2);  // t4: 2.penult = t2 -> 1 has older penult
+  c.request(3);  // evicts 1 (penult t1 < t2)
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_TRUE(c.contains(3));
+}
+
+TEST(Lruk, HitMissAccounting) {
+  LrukCache c(4);
+  EXPECT_FALSE(c.request(1));
+  EXPECT_TRUE(c.request(1));
+  EXPECT_TRUE(c.request(1));
+  EXPECT_EQ(c.stats().hits, 2u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Lruk, CapacityInvariantUnderRandomTrace) {
+  LrukCache c(6);
+  std::uint64_t state = 3;
+  for (int i = 0; i < 5000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    c.request(state % 30);
+    ASSERT_LE(c.size(), 6u);
+  }
+}
+
+}  // namespace
+}  // namespace fbf::cache

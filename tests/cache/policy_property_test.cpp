@@ -1,0 +1,128 @@
+// Properties every replacement policy must satisfy, run across the whole
+// policy registry via TEST_P.
+#include <gtest/gtest.h>
+
+#include "cache/policy.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fbf::cache {
+namespace {
+
+class PolicyProperty : public ::testing::TestWithParam<PolicyId> {};
+
+TEST_P(PolicyProperty, FactoryProducesWorkingPolicy) {
+  const auto c = make_policy(GetParam(), 4);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->capacity(), 4u);
+  EXPECT_FALSE(c->request(1));
+  EXPECT_TRUE(c->contains(1));
+  EXPECT_TRUE(c->request(1));
+}
+
+TEST_P(PolicyProperty, NameRoundTripsThroughRegistry) {
+  const auto c = make_policy(GetParam(), 2);
+  EXPECT_EQ(policy_from_string(to_string(GetParam())), GetParam());
+  EXPECT_STREQ(c->name(), to_string(GetParam()));
+}
+
+TEST_P(PolicyProperty, CapacityInvariantUnderRandomTrace) {
+  const auto c = make_policy(GetParam(), 7);
+  util::Rng rng(1234);
+  for (int i = 0; i < 8000; ++i) {
+    const Key k = static_cast<Key>(rng.uniform_int(0, 60));
+    const int prio = static_cast<int>(rng.uniform_int(1, 3));
+    c->request(k, prio);
+    ASSERT_LE(c->size(), 7u);
+  }
+  EXPECT_EQ(c->size(), 7u);  // steady state: cache full
+}
+
+TEST_P(PolicyProperty, StatsAddUp) {
+  const auto c = make_policy(GetParam(), 5);
+  util::Rng rng(99);
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    c->request(static_cast<Key>(rng.uniform_int(0, 20)),
+               static_cast<int>(rng.uniform_int(1, 3)));
+  }
+  EXPECT_EQ(c->stats().accesses(), static_cast<std::uint64_t>(n));
+  EXPECT_EQ(c->stats().hits + c->stats().misses,
+            static_cast<std::uint64_t>(n));
+}
+
+TEST_P(PolicyProperty, HitImpliesContainsBeforehand) {
+  const auto c = make_policy(GetParam(), 6);
+  util::Rng rng(5);
+  for (int i = 0; i < 4000; ++i) {
+    const Key k = static_cast<Key>(rng.uniform_int(0, 25));
+    const bool resident = c->contains(k);
+    const bool hit = c->request(k, static_cast<int>(rng.uniform_int(1, 3)));
+    ASSERT_EQ(hit, resident);
+    ASSERT_TRUE(c->contains(k));  // after a request the key is resident
+  }
+}
+
+TEST_P(PolicyProperty, DeterministicAcrossRuns) {
+  const auto a = make_policy(GetParam(), 8);
+  const auto b = make_policy(GetParam(), 8);
+  util::Rng rng_a(7);
+  util::Rng rng_b(7);
+  for (int i = 0; i < 5000; ++i) {
+    const Key ka = static_cast<Key>(rng_a.uniform_int(0, 40));
+    const Key kb = static_cast<Key>(rng_b.uniform_int(0, 40));
+    const int pa = static_cast<int>(rng_a.uniform_int(1, 3));
+    const int pb = static_cast<int>(rng_b.uniform_int(1, 3));
+    ASSERT_EQ(a->request(ka, pa), b->request(kb, pb));
+  }
+  EXPECT_EQ(a->stats().hits, b->stats().hits);
+  EXPECT_EQ(a->stats().evictions, b->stats().evictions);
+}
+
+TEST_P(PolicyProperty, ZeroCapacityNeverStores) {
+  const auto c = make_policy(GetParam(), 0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(c->request(3));
+    EXPECT_FALSE(c->contains(3));
+  }
+  EXPECT_EQ(c->size(), 0u);
+  c->install(3);
+  EXPECT_EQ(c->size(), 0u);
+}
+
+TEST_P(PolicyProperty, WorkingSetWithinCapacityConverges) {
+  // Once a small working set is resident, rereferencing it must hit.
+  const auto c = make_policy(GetParam(), 10);
+  for (int round = 0; round < 5; ++round) {
+    for (Key k = 0; k < 5; ++k) {
+      c->request(k, 1);
+    }
+  }
+  for (Key k = 0; k < 5; ++k) {
+    EXPECT_TRUE(c->request(k, 1)) << "key " << k;
+  }
+}
+
+TEST_P(PolicyProperty, RejectsOutOfRangePriority) {
+  const auto c = make_policy(GetParam(), 4);
+  EXPECT_THROW(c->request(1, 0), util::CheckError);
+  EXPECT_THROW(c->request(1, 4), util::CheckError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyProperty,
+    ::testing::Values(PolicyId::Fifo, PolicyId::Lru, PolicyId::Lfu,
+                      PolicyId::Arc, PolicyId::Lru2, PolicyId::TwoQ,
+                      PolicyId::Lrfu, PolicyId::Fbf, PolicyId::FbfNoDemote),
+    [](const ::testing::TestParamInfo<PolicyId>& info) {
+      std::string name = to_string(info.param);
+      for (char& c : name) {
+        if (c == '-') {
+          c = '_';
+        }
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace fbf::cache

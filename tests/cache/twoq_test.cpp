@@ -1,0 +1,67 @@
+#include "cache/twoq.h"
+
+#include <gtest/gtest.h>
+
+namespace fbf::cache {
+namespace {
+
+TEST(TwoQ, MissInsertsIntoProbation) {
+  TwoQCache c(4);
+  EXPECT_FALSE(c.request(1));
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.request(1));  // hit in A1in
+}
+
+TEST(TwoQ, GhostHitPromotesToMain) {
+  TwoQCache c(4);  // kin = 1
+  c.request(1);    // into A1in
+  c.request(2);    // 1 pushed through (kin=1) once capacity forces it
+  c.request(3);
+  c.request(4);
+  c.request(5);  // by now 1 has been evicted into the ghost list
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_FALSE(c.request(1));  // ghost hit -> re-admit into Am (still a miss)
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.request(1));  // now a real hit in Am
+}
+
+TEST(TwoQ, CapacityNeverExceeded) {
+  TwoQCache c(8);
+  std::uint64_t state = 4;
+  for (int i = 0; i < 10000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    c.request(state % 50);
+    ASSERT_LE(c.size(), 8u);
+  }
+}
+
+TEST(TwoQ, OneShotScanDoesNotPolluteMainQueue) {
+  TwoQCache c(8);
+  // Build a protected working set: push 100/101 through probation into the
+  // ghost list, then ghost-promote them into Am.
+  for (Key k : {100, 101, 0, 1, 2, 3, 4, 5, 6, 7}) {
+    c.request(k);
+  }
+  EXPECT_FALSE(c.contains(100));
+  c.request(100);  // ghost hits promote into Am
+  c.request(101);
+  EXPECT_TRUE(c.contains(100));
+  EXPECT_TRUE(c.contains(101));
+  // A long one-shot scan flows through A1in without touching Am entries.
+  for (Key k = 1000; k < 1040; ++k) {
+    c.request(k);
+  }
+  EXPECT_TRUE(c.contains(100));
+  EXPECT_TRUE(c.contains(101));
+}
+
+TEST(TwoQ, CapacityOne) {
+  TwoQCache c(1);
+  EXPECT_FALSE(c.request(1));
+  EXPECT_TRUE(c.request(1));
+  c.request(2);
+  EXPECT_LE(c.size(), 1u);
+}
+
+}  // namespace
+}  // namespace fbf::cache

@@ -1,0 +1,196 @@
+#include "codes/builders.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace fbf::codes {
+namespace {
+
+TEST(Builders, IsPrime) {
+  EXPECT_TRUE(is_prime(2));
+  EXPECT_TRUE(is_prime(3));
+  EXPECT_TRUE(is_prime(5));
+  EXPECT_TRUE(is_prime(13));
+  EXPECT_FALSE(is_prime(1));
+  EXPECT_FALSE(is_prime(0));
+  EXPECT_FALSE(is_prime(9));
+  EXPECT_FALSE(is_prime(15));
+}
+
+TEST(Builders, CodeNamesRoundTrip) {
+  for (CodeId id : kAllCodes) {
+    EXPECT_EQ(code_from_string(to_string(id)), id);
+  }
+  EXPECT_EQ(code_from_string("triple-star"), CodeId::TripleStar);
+  EXPECT_EQ(code_from_string("Tip"), CodeId::Tip);
+  EXPECT_THROW(code_from_string("nope"), util::CheckError);
+}
+
+TEST(Builders, DiskCountsMatchPaper) {
+  for (int p : {5, 7, 11, 13}) {
+    EXPECT_EQ(code_disks(CodeId::Tip, p), p + 1);
+    EXPECT_EQ(code_disks(CodeId::Hdd1, p), p + 1);
+    EXPECT_EQ(code_disks(CodeId::TripleStar, p), p + 2);
+    EXPECT_EQ(code_disks(CodeId::Star, p), p + 3);
+    for (CodeId id : kAllCodes) {
+      const Layout l = make_layout(id, p);
+      EXPECT_EQ(l.cols(), code_disks(id, p));
+      EXPECT_EQ(l.rows(), p - 1);
+      EXPECT_EQ(l.p(), p);
+    }
+  }
+}
+
+TEST(Builders, ParityBudgetIsThreePerRow) {
+  // Every 3DFT layout spends exactly 3(p-1) cells on parity.
+  for (int p : {5, 7, 11}) {
+    for (CodeId id : kAllCodes) {
+      const Layout l = make_layout(id, p);
+      EXPECT_EQ(l.num_parity_cells(), 3 * (p - 1));
+      EXPECT_EQ(l.num_data_cells(), (p - 1) * (l.cols() - 3));
+    }
+  }
+}
+
+TEST(Builders, StarRejectsNonPrime) {
+  EXPECT_THROW(make_star(9), util::CheckError);
+  EXPECT_THROW(make_star(4), util::CheckError);
+  EXPECT_THROW(make_rtp(6), util::CheckError);
+}
+
+TEST(Builders, RejectsOverShortening) {
+  EXPECT_THROW(make_star(5, 4), util::CheckError);
+  EXPECT_THROW(make_rtp(5, 3), util::CheckError);
+  EXPECT_THROW(make_star(5, -1), util::CheckError);
+}
+
+TEST(Builders, ShorteningReducesColumnsOnly) {
+  const Layout full = make_star(7);
+  const Layout shortened = make_star(7, 2);
+  EXPECT_EQ(shortened.cols(), full.cols() - 2);
+  EXPECT_EQ(shortened.rows(), full.rows());
+  EXPECT_EQ(shortened.chains().size(), full.chains().size());
+}
+
+TEST(Builders, StarHorizontalChainsSpanDataPlusParity) {
+  const Layout l = make_star(5);
+  for (int id : l.chains_in(Direction::Horizontal)) {
+    const Chain& ch = l.chain(id);
+    EXPECT_EQ(ch.cells.size(), static_cast<std::size_t>(l.p() + 1));
+    // All cells share the chain's row.
+    for (const Cell& c : ch.cells) {
+      EXPECT_EQ(c.row, ch.parity_cell.row);
+    }
+  }
+}
+
+TEST(Builders, StarDiagonalChainsCarryAdjuster) {
+  // STAR diagonal chains fold in the adjuster diagonal: size is
+  // (p-1 base) + (p-1 adjuster) + 1 parity = 2p - 1.
+  const Layout l = make_star(7);
+  for (int id : l.chains_in(Direction::Diagonal)) {
+    EXPECT_EQ(l.chain(id).cells.size(),
+              static_cast<std::size_t>(2 * l.p() - 1));
+  }
+  for (int id : l.chains_in(Direction::AntiDiagonal)) {
+    EXPECT_EQ(l.chain(id).cells.size(),
+              static_cast<std::size_t>(2 * l.p() - 1));
+  }
+}
+
+TEST(Builders, RtpChainsAreAdjusterFree) {
+  // RTP-style (TripleStar/TIP substitutes) chains are plain diagonals:
+  // p-1 members + 1 parity cell.
+  const Layout l = make_rtp(7);
+  for (int id : l.chains_in(Direction::Diagonal)) {
+    EXPECT_EQ(l.chain(id).cells.size(), static_cast<std::size_t>(l.p()));
+  }
+  for (int id : l.chains_in(Direction::AntiDiagonal)) {
+    EXPECT_EQ(l.chain(id).cells.size(), static_cast<std::size_t>(l.p()));
+  }
+}
+
+TEST(Builders, StarAdjusterCellsAppearInEveryDiagonalChain) {
+  // The paper notes STAR's adjusters are "referenced more than three
+  // times and always assigned with highest priority" — geometrically,
+  // adjuster-diagonal cells sit on every diagonal chain.
+  const Layout l = make_star(5);
+  const int p = l.p();
+  int adjuster_cells = 0;
+  for (int i = 0; i < l.num_cells(); ++i) {
+    const Cell c = l.cell_at(i);
+    if (c.col >= p) {
+      continue;  // parity columns
+    }
+    if ((c.row + c.col) % p == p - 1) {
+      ++adjuster_cells;
+      EXPECT_EQ(l.chains_containing(c, Direction::Diagonal).size(),
+                static_cast<std::size_t>(p - 1));
+    }
+  }
+  EXPECT_EQ(adjuster_cells, p - 1);
+}
+
+TEST(Builders, RtpUpdateComplexityIsOptimal) {
+  // Adjuster-free layouts: a data cell sits on its horizontal chain plus
+  // at most one diagonal and one anti-diagonal (the "missing diagonal"
+  // cells lose one), so update complexity is 2 or 3 — the 3DFT optimum.
+  for (int p : {5, 7, 11}) {
+    const Layout l = make_rtp(p);
+    for (int i = 0; i < l.num_cells(); ++i) {
+      const Cell c = l.cell_at(i);
+      if (l.kind(c) != CellKind::Data) {
+        continue;
+      }
+      const int uc = l.update_complexity(c);
+      EXPECT_GE(uc, 2) << to_string(c);
+      EXPECT_LE(uc, 3) << to_string(c);
+    }
+    EXPECT_GT(l.average_update_complexity(), 2.0);
+    EXPECT_LE(l.average_update_complexity(), 3.0);
+  }
+}
+
+TEST(Builders, StarAdjusterUpdateComplexityIsPPlusOne) {
+  // An adjuster-diagonal cell feeds all p-1 diagonal parities plus its
+  // horizontal and anti-diagonal chains: p + 1 parity updates.
+  for (int p : {5, 7}) {
+    const Layout l = make_star(p);
+    for (int j = 1; j < p; ++j) {
+      const Cell c{static_cast<std::int16_t>((p - 1 - j) % p),
+                   static_cast<std::int16_t>(j)};
+      EXPECT_EQ(l.update_complexity(c), p + 1) << "p=" << p << " j=" << j;
+    }
+    // Non-adjuster data cells stay at the optimum 3.
+    const Cell plain{0, 0};
+    EXPECT_EQ(l.update_complexity(plain), 3);
+  }
+}
+
+TEST(Builders, UpdateComplexityRejectsParityCells) {
+  const Layout l = make_star(5);
+  const Cell parity{0, static_cast<std::int16_t>(l.p())};
+  ASSERT_EQ(l.kind(parity), CellKind::Parity);
+  EXPECT_THROW(l.update_complexity(parity), util::CheckError);
+}
+
+TEST(Builders, AdjusterLayoutsAverageHigherUpdateComplexity) {
+  for (int p : {5, 7, 11, 13}) {
+    const double tip = make_layout(CodeId::Tip, p).average_update_complexity();
+    const double star =
+        make_layout(CodeId::Star, p).average_update_complexity();
+    EXPECT_LT(tip, 3.0 + 1e-9);
+    EXPECT_GT(star, tip + 1.0);  // the TIP-vs-STAR contrast
+  }
+}
+
+TEST(Builders, LayoutNamesAreDescriptive) {
+  EXPECT_NE(make_layout(CodeId::Star, 5).name().find("STAR"),
+            std::string::npos);
+  EXPECT_NE(make_layout(CodeId::Tip, 5).name().find("p=5"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace fbf::codes

@@ -1,0 +1,121 @@
+#include "codes/gf256.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace fbf::codes {
+namespace {
+
+TEST(Gf256, AdditionIsXor) {
+  EXPECT_EQ(Gf256::add(0x53, 0xca), 0x53 ^ 0xca);
+  EXPECT_EQ(Gf256::sub(0x53, 0xca), Gf256::add(0x53, 0xca));
+  EXPECT_EQ(Gf256::add(0x7f, 0x7f), 0);  // characteristic 2
+}
+
+TEST(Gf256, MultiplicationByZeroAndOne) {
+  for (int a = 0; a < 256; ++a) {
+    const auto e = static_cast<Gf256::Elem>(a);
+    EXPECT_EQ(Gf256::mul(e, 0), 0);
+    EXPECT_EQ(Gf256::mul(0, e), 0);
+    EXPECT_EQ(Gf256::mul(e, 1), e);
+    EXPECT_EQ(Gf256::mul(1, e), e);
+  }
+}
+
+TEST(Gf256, KnownAesProduct) {
+  // Classic AES example: 0x53 * 0xca = 0x01.
+  EXPECT_EQ(Gf256::mul(0x53, 0xca), 0x01);
+  EXPECT_EQ(Gf256::mul(0x02, 0x80), 0x1b);  // reduction by 0x11b
+}
+
+TEST(Gf256, MultiplicationCommutesAndAssociates) {
+  for (int a = 1; a < 256; a += 7) {
+    for (int b = 1; b < 256; b += 11) {
+      const auto ea = static_cast<Gf256::Elem>(a);
+      const auto eb = static_cast<Gf256::Elem>(b);
+      EXPECT_EQ(Gf256::mul(ea, eb), Gf256::mul(eb, ea));
+      for (int c = 1; c < 256; c += 63) {
+        const auto ec = static_cast<Gf256::Elem>(c);
+        EXPECT_EQ(Gf256::mul(Gf256::mul(ea, eb), ec),
+                  Gf256::mul(ea, Gf256::mul(eb, ec)));
+      }
+    }
+  }
+}
+
+TEST(Gf256, DistributesOverAddition) {
+  for (int a = 1; a < 256; a += 13) {
+    for (int b = 0; b < 256; b += 17) {
+      for (int c = 0; c < 256; c += 19) {
+        const auto ea = static_cast<Gf256::Elem>(a);
+        const auto eb = static_cast<Gf256::Elem>(b);
+        const auto ec = static_cast<Gf256::Elem>(c);
+        EXPECT_EQ(Gf256::mul(ea, Gf256::add(eb, ec)),
+                  Gf256::add(Gf256::mul(ea, eb), Gf256::mul(ea, ec)));
+      }
+    }
+  }
+}
+
+TEST(Gf256, EveryNonZeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const auto e = static_cast<Gf256::Elem>(a);
+    const auto inv = Gf256::inv(e);
+    EXPECT_EQ(Gf256::mul(e, inv), 1) << "a=" << a;
+    EXPECT_EQ(Gf256::div(1, e), inv);
+    EXPECT_EQ(Gf256::div(e, e), 1);
+  }
+  EXPECT_THROW(Gf256::inv(0), util::CheckError);
+  EXPECT_THROW(Gf256::div(5, 0), util::CheckError);
+}
+
+TEST(Gf256, GeneratorHasFullOrder) {
+  // 0x03 must generate all 255 non-zero elements.
+  std::array<bool, 256> seen{};
+  Gf256::Elem x = 1;
+  for (int i = 0; i < 255; ++i) {
+    EXPECT_FALSE(seen[x]) << "cycle shorter than 255 at " << i;
+    seen[x] = true;
+    x = Gf256::mul(x, Gf256::kGenerator);
+  }
+  EXPECT_EQ(x, 1);  // back to the start after 255 steps
+}
+
+TEST(Gf256, PowMatchesRepeatedMultiplication) {
+  for (Gf256::Elem base : {Gf256::Elem{2}, Gf256::Elem{3}, Gf256::Elem{29}}) {
+    Gf256::Elem acc = 1;
+    for (unsigned e = 0; e < 300; ++e) {
+      EXPECT_EQ(Gf256::pow(base, e), acc) << "e=" << e;
+      acc = Gf256::mul(acc, base);
+    }
+  }
+  EXPECT_EQ(Gf256::pow(0, 0), 1);
+  EXPECT_EQ(Gf256::pow(0, 5), 0);
+}
+
+TEST(Gf256, MulAddIsFusedMultiplyXor) {
+  std::vector<Gf256::Elem> dst{1, 2, 3, 0};
+  const std::vector<Gf256::Elem> src{10, 20, 0, 40};
+  const Gf256::Elem c = 0x1d;
+  auto expected = dst;
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    expected[i] = Gf256::add(expected[i], Gf256::mul(c, src[i]));
+  }
+  Gf256::mul_add(dst, src, c);
+  EXPECT_EQ(dst, expected);
+}
+
+TEST(Gf256, MulAddSpecialCoefficients) {
+  std::vector<Gf256::Elem> dst{5, 6};
+  const std::vector<Gf256::Elem> src{9, 9};
+  Gf256::mul_add(dst, src, 0);  // no-op
+  EXPECT_EQ(dst, (std::vector<Gf256::Elem>{5, 6}));
+  Gf256::mul_add(dst, src, 1);  // plain xor
+  EXPECT_EQ(dst, (std::vector<Gf256::Elem>{5 ^ 9, 6 ^ 9}));
+  std::vector<Gf256::Elem> small{1};
+  EXPECT_THROW(Gf256::mul_add(small, src, 1), util::CheckError);
+}
+
+}  // namespace
+}  // namespace fbf::codes

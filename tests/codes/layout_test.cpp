@@ -1,0 +1,178 @@
+#include "codes/layout.h"
+
+#include <gtest/gtest.h>
+
+#include "codes/builders.h"
+#include "util/check.h"
+
+namespace fbf::codes {
+namespace {
+
+Cell cell(int r, int c) {
+  return Cell{static_cast<std::int16_t>(r), static_cast<std::int16_t>(c)};
+}
+
+TEST(Layout, CellIndexRoundTrips) {
+  const Layout l = make_star(5);
+  for (int i = 0; i < l.num_cells(); ++i) {
+    EXPECT_EQ(l.cell_index(l.cell_at(i)), i);
+  }
+}
+
+TEST(Layout, CellIndexOutOfBoundsThrows) {
+  const Layout l = make_star(5);
+  EXPECT_THROW(l.cell_index(cell(-1, 0)), util::CheckError);
+  EXPECT_THROW(l.cell_index(cell(0, l.cols())), util::CheckError);
+  EXPECT_THROW(l.cell_at(l.num_cells()), util::CheckError);
+}
+
+TEST(Layout, ChainIdsMatchPositions) {
+  const Layout l = make_rtp(7);
+  for (std::size_t i = 0; i < l.chains().size(); ++i) {
+    EXPECT_EQ(l.chains()[i].id, static_cast<int>(i));
+    EXPECT_EQ(&l.chain(static_cast<int>(i)), &l.chains()[i]);
+  }
+}
+
+TEST(Layout, ChainsPartitionIntoThreeDirections) {
+  for (int p : {5, 7}) {
+    const Layout l = make_star(p);
+    std::size_t total = 0;
+    for (Direction d : {Direction::Horizontal, Direction::Diagonal,
+                        Direction::AntiDiagonal}) {
+      const auto ids = l.chains_in(d);
+      EXPECT_EQ(ids.size(), static_cast<std::size_t>(p - 1));
+      total += ids.size();
+      for (int id : ids) {
+        EXPECT_EQ(l.chain(id).dir, d);
+      }
+    }
+    EXPECT_EQ(total, l.chains().size());
+  }
+}
+
+TEST(Layout, ParityCellsAreMarkedParity) {
+  const Layout l = make_rtp(5);
+  int parity_cells = 0;
+  for (int i = 0; i < l.num_cells(); ++i) {
+    if (l.kind(l.cell_at(i)) == CellKind::Parity) {
+      ++parity_cells;
+    }
+  }
+  EXPECT_EQ(parity_cells, l.num_parity_cells());
+  EXPECT_EQ(parity_cells, static_cast<int>(l.chains().size()));
+  for (const Chain& ch : l.chains()) {
+    EXPECT_EQ(l.kind(ch.parity_cell), CellKind::Parity);
+  }
+}
+
+TEST(Layout, ChainsContainingIsConsistent) {
+  const Layout l = make_star(7);
+  for (int i = 0; i < l.num_cells(); ++i) {
+    const Cell c = l.cell_at(i);
+    for (int id : l.chains_containing(c)) {
+      const Chain& ch = l.chain(id);
+      EXPECT_TRUE(std::binary_search(ch.cells.begin(), ch.cells.end(), c));
+    }
+  }
+  // Reverse direction: every chain member lists the chain.
+  for (const Chain& ch : l.chains()) {
+    for (const Cell& c : ch.cells) {
+      const auto ids = l.chains_containing(c);
+      EXPECT_NE(std::find(ids.begin(), ids.end(), ch.id), ids.end());
+    }
+  }
+}
+
+TEST(Layout, ChainsContainingByDirectionFilters) {
+  const Layout l = make_rtp(7);
+  const Cell c = cell(0, 0);
+  const auto all = l.chains_containing(c);
+  std::size_t sum = 0;
+  for (Direction d : {Direction::Horizontal, Direction::Diagonal,
+                      Direction::AntiDiagonal}) {
+    const auto ids = l.chains_containing(c, d);
+    for (int id : ids) {
+      EXPECT_EQ(l.chain(id).dir, d);
+    }
+    sum += ids.size();
+  }
+  EXPECT_EQ(sum, all.size());
+}
+
+TEST(Layout, EncodeOrderCoversEveryChainOnce) {
+  for (int p : {5, 7, 11}) {
+    const Layout l = make_rtp(p);
+    std::vector<bool> seen(l.chains().size(), false);
+    for (int id : l.encode_order()) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(id)]);
+      seen[static_cast<std::size_t>(id)] = true;
+    }
+    EXPECT_EQ(l.encode_order().size(), l.chains().size());
+  }
+}
+
+TEST(Layout, EncodeOrderRespectsDependencies) {
+  // In RTP layouts the diagonal chains include row-parity cells, so every
+  // horizontal chain must be produced before any diagonal chain needing it.
+  const Layout l = make_rtp(5);
+  std::vector<bool> produced(l.chains().size(), false);
+  for (int id : l.encode_order()) {
+    const Chain& ch = l.chain(id);
+    for (const Cell& c : ch.cells) {
+      if (c == ch.parity_cell || l.kind(c) == CellKind::Data) {
+        continue;
+      }
+      bool ok = false;
+      for (int other : l.chains_containing(c)) {
+        if (l.chain(other).parity_cell == c) {
+          ok = produced[static_cast<std::size_t>(other)];
+        }
+      }
+      EXPECT_TRUE(ok) << "chain " << id << " consumed unproduced parity "
+                      << to_string(c);
+    }
+    produced[static_cast<std::size_t>(id)] = true;
+  }
+}
+
+TEST(Layout, ColumnCellsReturnsWholeColumn) {
+  const Layout l = make_star(5);
+  const auto cells = l.column_cells(2);
+  ASSERT_EQ(cells.size(), static_cast<std::size_t>(l.rows()));
+  for (int r = 0; r < l.rows(); ++r) {
+    EXPECT_EQ(cells[static_cast<std::size_t>(r)], cell(r, 2));
+  }
+  EXPECT_THROW(l.column_cells(l.cols()), util::CheckError);
+}
+
+TEST(Layout, RejectsDuplicateParityProducers) {
+  Chain a;
+  a.dir = Direction::Horizontal;
+  a.parity_cell = cell(0, 1);
+  a.cells = {cell(0, 0), cell(0, 1)};
+  Chain b = a;
+  b.dir = Direction::Diagonal;
+  EXPECT_THROW(Layout("bad", 3, 1, 2, {a, b}), util::CheckError);
+}
+
+TEST(Layout, RejectsChainMissingItsParityCell) {
+  Chain a;
+  a.dir = Direction::Horizontal;
+  a.parity_cell = cell(0, 1);
+  a.cells = {cell(0, 0)};
+  EXPECT_THROW(Layout("bad", 3, 1, 2, {a}), util::CheckError);
+}
+
+TEST(Layout, DirectionNames) {
+  EXPECT_STREQ(to_string(Direction::Horizontal), "horizontal");
+  EXPECT_STREQ(to_string(Direction::Diagonal), "diagonal");
+  EXPECT_STREQ(to_string(Direction::AntiDiagonal), "anti-diagonal");
+}
+
+TEST(Layout, CellToString) {
+  EXPECT_EQ(to_string(cell(4, 4)), "C(4,4)");
+}
+
+}  // namespace
+}  // namespace fbf::codes

@@ -1,0 +1,179 @@
+#include "codes/lrc.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fbf::codes {
+namespace {
+
+struct Stripe {
+  Stripe(const LrcCode& code, std::size_t len, std::uint64_t seed) {
+    util::Rng rng(seed);
+    buffers.resize(static_cast<std::size_t>(code.n()));
+    for (int i = 0; i < code.n(); ++i) {
+      buffers[static_cast<std::size_t>(i)].resize(len);
+      if (i < code.k()) {
+        for (auto& b : buffers[static_cast<std::size_t>(i)]) {
+          b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        }
+      }
+    }
+  }
+  std::vector<std::span<std::uint8_t>> spans() {
+    std::vector<std::span<std::uint8_t>> out;
+    for (auto& b : buffers) {
+      out.emplace_back(b);
+    }
+    return out;
+  }
+  std::vector<std::span<const std::uint8_t>> const_spans() const {
+    std::vector<std::span<const std::uint8_t>> out;
+    for (const auto& b : buffers) {
+      out.emplace_back(b);
+    }
+    return out;
+  }
+  std::vector<std::vector<std::uint8_t>> buffers;
+};
+
+TEST(Lrc, RejectsBadParameters) {
+  EXPECT_THROW(LrcCode(7, 2, 2), util::CheckError);  // k not divisible by l
+  EXPECT_THROW(LrcCode(0, 1, 1), util::CheckError);
+  EXPECT_THROW(LrcCode(254, 2, 2), util::CheckError);
+}
+
+TEST(Lrc, ChainStructure) {
+  const LrcCode code(12, 2, 2);  // Azure LRC(12,2,2)
+  EXPECT_EQ(code.n(), 16);
+  EXPECT_EQ(code.group_size(), 6);
+  EXPECT_EQ(code.group_of(0), 0);
+  EXPECT_EQ(code.group_of(5), 0);
+  EXPECT_EQ(code.group_of(6), 1);
+  const auto local0 = code.local_chain(0);
+  EXPECT_EQ(local0.size(), 7u);
+  EXPECT_EQ(local0.back(), 12);  // local parity of group 0
+  const auto global1 = code.global_chain(1);
+  EXPECT_EQ(global1.size(), 13u);
+  EXPECT_EQ(global1.back(), 15);
+}
+
+TEST(Lrc, EncodeVerifyRoundTrip) {
+  const LrcCode code(12, 2, 2);
+  Stripe s(code, 48, 5);
+  auto spans = s.spans();
+  code.encode(spans);
+  EXPECT_TRUE(code.verify(s.const_spans()));
+  // Corrupt one byte -> verification fails.
+  s.buffers[3][7] ^= 1;
+  EXPECT_FALSE(code.verify(s.const_spans()));
+}
+
+TEST(Lrc, SingleFailureRecoversLocally) {
+  const LrcCode code(12, 2, 2);
+  Stripe s(code, 32, 11);
+  auto spans = s.spans();
+  code.encode(spans);
+  const auto original = s.buffers;
+  for (int e = 0; e < code.n(); ++e) {
+    Stripe damaged = s;
+    damaged.buffers[static_cast<std::size_t>(e)].assign(32, 0);
+    auto dspans = damaged.spans();
+    ASSERT_TRUE(code.decode(dspans, {e})) << "erasure " << e;
+    EXPECT_EQ(damaged.buffers, original);
+  }
+}
+
+TEST(Lrc, AzureConfigurationToleratesAnyThreeFailures) {
+  const LrcCode code(12, 2, 2);
+  Stripe s(code, 16, 23);
+  auto spans = s.spans();
+  code.encode(spans);
+  const auto original = s.buffers;
+  for (int a = 0; a < code.n(); ++a) {
+    for (int b = a + 1; b < code.n(); ++b) {
+      for (int c = b + 1; c < code.n(); ++c) {
+        Stripe damaged = s;
+        for (int e : {a, b, c}) {
+          damaged.buffers[static_cast<std::size_t>(e)].assign(16, 0);
+        }
+        auto dspans = damaged.spans();
+        ASSERT_TRUE(code.decode(dspans, {a, b, c}))
+            << a << "," << b << "," << c;
+        ASSERT_EQ(damaged.buffers, original);
+      }
+    }
+  }
+}
+
+TEST(Lrc, FourFailuresInOneGroupAreUnrecoverable) {
+  // LRC(12,2,2) has distance 4 for in-group patterns beyond its budget:
+  // 4 data erasures in one group exceed local parity + 2 globals.
+  const LrcCode code(12, 2, 2);
+  Stripe s(code, 16, 31);
+  auto spans = s.spans();
+  code.encode(spans);
+  for (int e : {0, 1, 2, 3}) {
+    s.buffers[static_cast<std::size_t>(e)].assign(16, 0);
+  }
+  auto dspans = s.spans();
+  EXPECT_FALSE(code.decode(dspans, {0, 1, 2, 3}));
+}
+
+TEST(Lrc, SomeFourFailurePatternsAcrossGroupsRecover) {
+  // Maximal recoverability: 2 erasures per group (1 data + its local
+  // parity each) plus... use a decodable spread: one data per group + the
+  // two globals.
+  const LrcCode code(12, 2, 2);
+  Stripe s(code, 16, 37);
+  auto spans = s.spans();
+  code.encode(spans);
+  const auto original = s.buffers;
+  const std::vector<int> erased{0, 6, 14, 15};
+  for (int e : erased) {
+    s.buffers[static_cast<std::size_t>(e)].assign(16, 0);
+  }
+  auto dspans = s.spans();
+  ASSERT_TRUE(code.decode(dspans, erased));
+  EXPECT_EQ(s.buffers, original);
+}
+
+TEST(Lrc, PlanUsesLocalChainForLoneGroupFailure) {
+  const LrcCode code(12, 2, 2);
+  const auto plan = code.plan_recovery({2});
+  ASSERT_EQ(plan.reads_per_erasure.size(), 1u);
+  // Local chain: 5 other group members + the local parity.
+  EXPECT_EQ(plan.reads_per_erasure[0].size(), 6u);
+  EXPECT_EQ(plan.distinct_reads, 6);
+}
+
+TEST(Lrc, PlanFallsBackToGlobalAndSharesReads) {
+  const LrcCode code(12, 2, 2);
+  // Two failures in the same group: locals unusable, globals share all
+  // surviving data reads.
+  const auto plan = code.plan_recovery({0, 1});
+  ASSERT_EQ(plan.reads_per_erasure.size(), 2u);
+  EXPECT_GT(plan.total_references, plan.distinct_reads);
+  // Shared chunks must carry reference count >= 2 (FBF priority >= 2).
+  int shared = 0;
+  for (int c : plan.reference_count) {
+    shared += c >= 2 ? 1 : 0;
+  }
+  EXPECT_GE(shared, 10);  // the other 10 data chunks feed both globals
+}
+
+TEST(Lrc, PlanReferenceCountsConsistent) {
+  const LrcCode code(12, 3, 2);
+  const auto plan = code.plan_recovery({0, 4, 8});
+  int total = 0;
+  for (int c : plan.reference_count) {
+    total += c;
+  }
+  EXPECT_EQ(total, plan.total_references);
+}
+
+}  // namespace
+}  // namespace fbf::codes

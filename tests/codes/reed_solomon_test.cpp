@@ -1,0 +1,156 @@
+#include "codes/reed_solomon.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fbf::codes {
+namespace {
+
+/// Owns n chunk buffers and hands out the span views RS wants.
+struct Stripe {
+  Stripe(int n, std::size_t len, std::uint64_t seed, int k) {
+    util::Rng rng(seed);
+    buffers.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      buffers[static_cast<std::size_t>(i)].resize(len);
+      if (i < k) {
+        for (auto& b : buffers[static_cast<std::size_t>(i)]) {
+          b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        }
+      }
+    }
+  }
+  std::vector<std::span<std::uint8_t>> spans() {
+    std::vector<std::span<std::uint8_t>> out;
+    for (auto& b : buffers) {
+      out.emplace_back(b);
+    }
+    return out;
+  }
+  std::vector<std::vector<std::uint8_t>> buffers;
+};
+
+void encode_stripe(const ReedSolomon& rs, Stripe& s) {
+  std::vector<std::span<const std::uint8_t>> data;
+  std::vector<std::span<std::uint8_t>> parity;
+  for (int i = 0; i < rs.k(); ++i) {
+    data.emplace_back(s.buffers[static_cast<std::size_t>(i)]);
+  }
+  for (int i = 0; i < rs.m(); ++i) {
+    parity.emplace_back(s.buffers[static_cast<std::size_t>(rs.k() + i)]);
+  }
+  rs.encode(data, parity);
+}
+
+TEST(ReedSolomon, RejectsBadParameters) {
+  EXPECT_THROW(ReedSolomon(0, 3), util::CheckError);
+  EXPECT_THROW(ReedSolomon(3, 0), util::CheckError);
+  EXPECT_THROW(ReedSolomon(250, 10), util::CheckError);
+}
+
+TEST(ReedSolomon, EncodeDecodeRoundTripAllSingleErasures) {
+  const ReedSolomon rs(6, 3);
+  for (int e = 0; e < rs.n(); ++e) {
+    Stripe s(rs.n(), 64, 42, rs.k());
+    encode_stripe(rs, s);
+    const auto original = s.buffers;
+    s.buffers[static_cast<std::size_t>(e)].assign(64, 0);
+    auto spans = s.spans();
+    ASSERT_TRUE(rs.decode(spans, {e}));
+    EXPECT_EQ(s.buffers, original) << "erasure " << e;
+  }
+}
+
+TEST(ReedSolomon, AllTripleErasuresDecodable) {
+  const ReedSolomon rs(6, 3);
+  Stripe pristine(rs.n(), 32, 7, rs.k());
+  encode_stripe(rs, pristine);
+  for (int a = 0; a < rs.n(); ++a) {
+    for (int b = a + 1; b < rs.n(); ++b) {
+      for (int c = b + 1; c < rs.n(); ++c) {
+        Stripe s = pristine;
+        for (int e : {a, b, c}) {
+          s.buffers[static_cast<std::size_t>(e)].assign(32, 0);
+        }
+        auto spans = s.spans();
+        ASSERT_TRUE(rs.decode(spans, {a, b, c}))
+            << a << "," << b << "," << c;
+        EXPECT_EQ(s.buffers, pristine.buffers);
+      }
+    }
+  }
+}
+
+TEST(ReedSolomon, TooManyErasuresRejected) {
+  const ReedSolomon rs(4, 2);
+  Stripe s(rs.n(), 16, 3, rs.k());
+  encode_stripe(rs, s);
+  auto spans = s.spans();
+  EXPECT_FALSE(rs.decode(spans, {0, 1, 2}));
+}
+
+TEST(ReedSolomon, EmptyErasureSetIsNoop) {
+  const ReedSolomon rs(4, 2);
+  Stripe s(rs.n(), 16, 3, rs.k());
+  encode_stripe(rs, s);
+  const auto before = s.buffers;
+  auto spans = s.spans();
+  EXPECT_TRUE(rs.decode(spans, {}));
+  EXPECT_EQ(s.buffers, before);
+}
+
+TEST(ReedSolomon, ParityOnlyErasures) {
+  const ReedSolomon rs(5, 3);
+  Stripe s(rs.n(), 16, 9, rs.k());
+  encode_stripe(rs, s);
+  const auto original = s.buffers;
+  for (int e : {5, 6, 7}) {
+    s.buffers[static_cast<std::size_t>(e)].assign(16, 0);
+  }
+  auto spans = s.spans();
+  ASSERT_TRUE(rs.decode(spans, {5, 6, 7}));
+  EXPECT_EQ(s.buffers, original);
+}
+
+TEST(ReedSolomon, RandomPatternsAcrossGeometries) {
+  util::Rng rng(99);
+  for (const auto& [k, m] : std::vector<std::pair<int, int>>{
+           {2, 1}, {4, 2}, {10, 4}, {12, 3}}) {
+    const ReedSolomon rs(k, m);
+    for (int trial = 0; trial < 10; ++trial) {
+      Stripe s(rs.n(), 24, rng.next_u64(), rs.k());
+      encode_stripe(rs, s);
+      const auto original = s.buffers;
+      std::vector<int> erased;
+      const int count = static_cast<int>(rng.uniform_int(1, m));
+      while (static_cast<int>(erased.size()) < count) {
+        const int e = static_cast<int>(rng.uniform_int(0, rs.n() - 1));
+        if (std::find(erased.begin(), erased.end(), e) == erased.end()) {
+          erased.push_back(e);
+          s.buffers[static_cast<std::size_t>(e)].assign(24, 0);
+        }
+      }
+      auto spans = s.spans();
+      ASSERT_TRUE(rs.decode(spans, erased));
+      ASSERT_EQ(s.buffers, original) << "k=" << k << " m=" << m;
+    }
+  }
+}
+
+TEST(ReedSolomon, CoefficientsAreCauchy) {
+  const ReedSolomon rs(4, 3);
+  for (int r = 0; r < rs.m(); ++r) {
+    for (int c = 0; c < rs.k(); ++c) {
+      const auto x = static_cast<Gf256::Elem>(r);
+      const auto y = static_cast<Gf256::Elem>(rs.m() + c);
+      EXPECT_EQ(Gf256::mul(rs.coefficient(r, c), Gf256::add(x, y)), 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fbf::codes

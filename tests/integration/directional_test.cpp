@@ -1,0 +1,150 @@
+// Directional properties the paper's evaluation rests on: FBF beats the
+// classic policies when cache is scarce, hit ratio saturates with size,
+// fewer misses mean faster recovery. These assert the *shape* of the
+// results, not absolute numbers.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/sweep.h"
+
+namespace fbf::core {
+namespace {
+
+ExperimentConfig shape_config() {
+  ExperimentConfig c;
+  c.code = codes::CodeId::TripleStar;
+  c.p = 11;
+  c.workers = 16;
+  c.num_errors = 80;
+  c.num_stripes = 100000;
+  c.scheme = recovery::SchemeKind::RoundRobin;
+  c.seed = 777;
+  return c;
+}
+
+ExperimentResult run_with(cache::PolicyId policy, std::size_t cache_bytes,
+                          ExperimentConfig cfg) {
+  cfg.policy = policy;
+  cfg.cache_bytes = cache_bytes;
+  return run_experiment(cfg);
+}
+
+TEST(Directional, FbfBeatsClassicPoliciesAtSmallCache) {
+  const auto cfg = shape_config();
+  // 16 workers x a handful of chunks each: the scarce-cache regime where
+  // the paper reports FBF's largest wins.
+  const std::size_t small = 16 * 4 * cfg.chunk_bytes;
+  const double fbf = run_with(cache::PolicyId::Fbf, small, cfg).hit_ratio;
+  for (cache::PolicyId baseline :
+       {cache::PolicyId::Fifo, cache::PolicyId::Lru, cache::PolicyId::Lfu,
+        cache::PolicyId::Arc}) {
+    const double base = run_with(baseline, small, cfg).hit_ratio;
+    EXPECT_GT(fbf, base) << "vs " << cache::to_string(baseline);
+  }
+}
+
+TEST(Directional, FbfReducesDiskReadsAtSmallCache) {
+  const auto cfg = shape_config();
+  const std::size_t small = 16 * 4 * cfg.chunk_bytes;
+  const auto fbf = run_with(cache::PolicyId::Fbf, small, cfg);
+  const auto lru = run_with(cache::PolicyId::Lru, small, cfg);
+  EXPECT_LT(fbf.disk_reads, lru.disk_reads);
+}
+
+TEST(Directional, FbfShortensReconstructionAtSmallCache) {
+  const auto cfg = shape_config();
+  const std::size_t small = 16 * 4 * cfg.chunk_bytes;
+  const auto fbf = run_with(cache::PolicyId::Fbf, small, cfg);
+  const auto lru = run_with(cache::PolicyId::Lru, small, cfg);
+  EXPECT_LT(fbf.reconstruction_ms, lru.reconstruction_ms);
+  EXPECT_LT(fbf.avg_response_ms, lru.avg_response_ms);
+}
+
+TEST(Directional, HitRatioSaturatesWithCacheSize) {
+  const auto cfg = shape_config();
+  // Once every shared chunk fits, extra capacity cannot add hits: the
+  // plateau the paper describes ("chunks referenced one time are always
+  // missed").
+  const auto big = run_with(cache::PolicyId::Fbf,
+                            1024ull * 16 * cfg.chunk_bytes, cfg);
+  const auto bigger = run_with(cache::PolicyId::Fbf,
+                               4096ull * 16 * cfg.chunk_bytes, cfg);
+  EXPECT_NEAR(big.hit_ratio, bigger.hit_ratio, 1e-9);
+  EXPECT_GT(big.hit_ratio, 0.0);
+  EXPECT_LT(big.hit_ratio, 1.0);  // priority-1 chunks always miss once
+}
+
+TEST(Directional, PoliciesConvergeWhenCacheIsAmple) {
+  // With per-worker partitions far larger than any stripe's fetch set,
+  // every policy holds everything: identical hit counts.
+  const auto cfg = shape_config();
+  const std::size_t ample = 4096ull * 16 * cfg.chunk_bytes;
+  const auto fbf = run_with(cache::PolicyId::Fbf, ample, cfg);
+  const auto lru = run_with(cache::PolicyId::Lru, ample, cfg);
+  const auto fifo = run_with(cache::PolicyId::Fifo, ample, cfg);
+  EXPECT_EQ(fbf.cache_hits, lru.cache_hits);
+  EXPECT_EQ(fbf.cache_hits, fifo.cache_hits);
+}
+
+TEST(Directional, RoundRobinSchemeOutReadsHorizontalScheme) {
+  // The multi-direction scheme shares chunks across chains; horizontal-only
+  // recovery cannot, so with a large cache it needs more distinct reads.
+  auto cfg = shape_config();
+  cfg.cache_bytes = 1024ull * 16 * cfg.chunk_bytes;
+  cfg.policy = cache::PolicyId::Fbf;
+  cfg.scheme = recovery::SchemeKind::RoundRobin;
+  const auto rr = run_experiment(cfg);
+  cfg.scheme = recovery::SchemeKind::HorizontalFirst;
+  const auto horizontal = run_experiment(cfg);
+  EXPECT_LT(rr.disk_reads, horizontal.disk_reads);
+}
+
+TEST(Directional, GreedySchemeIsAtLeastAsGoodAsRoundRobin) {
+  auto cfg = shape_config();
+  cfg.cache_bytes = 1024ull * 16 * cfg.chunk_bytes;
+  cfg.policy = cache::PolicyId::Fbf;
+  cfg.scheme = recovery::SchemeKind::GreedyMinIO;
+  const auto greedy = run_experiment(cfg);
+  cfg.scheme = recovery::SchemeKind::RoundRobin;
+  const auto rr = run_experiment(cfg);
+  EXPECT_LE(greedy.disk_reads, rr.disk_reads);
+}
+
+TEST(Directional, StarHitRatioExceedsAdjusterFreeCodes) {
+  // Paper §IV-B-1: STAR's adjuster chunks are referenced 3+ times and lift
+  // its hit ratio above the other codes under FBF.
+  auto cfg = shape_config();
+  cfg.p = 7;
+  cfg.policy = cache::PolicyId::Fbf;
+  cfg.cache_bytes = 64ull * 16 * cfg.chunk_bytes;
+  cfg.code = codes::CodeId::Star;
+  const auto star = run_experiment(cfg);
+  cfg.code = codes::CodeId::Tip;
+  const auto tip = run_experiment(cfg);
+  EXPECT_GT(star.hit_ratio, tip.hit_ratio);
+}
+
+TEST(Directional, MoreWorkersShrinkPerWorkerCacheAndHitRatio) {
+  // SOR partitioning: same total cache split across more processes leaves
+  // each with less, hurting (or at best matching) the hit ratio.
+  auto cfg = shape_config();
+  cfg.policy = cache::PolicyId::Lru;
+  cfg.cache_bytes = 16ull * 8 * cfg.chunk_bytes;
+  cfg.workers = 8;
+  const auto few = run_experiment(cfg);
+  cfg.workers = 64;
+  const auto many = run_experiment(cfg);
+  EXPECT_LE(many.hit_ratio, few.hit_ratio + 1e-9);
+}
+
+TEST(Directional, SchemeOverheadIsSmallFractionOfReconstruction) {
+  // Table IV: overhead stays below a few percent of reconstruction time.
+  auto cfg = shape_config();
+  cfg.memoize_schemes = false;  // measure the un-amortized cost
+  const auto r = run_experiment(cfg);
+  EXPECT_GT(r.scheme_gen_wall_ms, 0.0);
+  EXPECT_LT(r.scheme_gen_wall_ms, 0.1 * r.reconstruction_ms);
+}
+
+}  // namespace
+}  // namespace fbf::core

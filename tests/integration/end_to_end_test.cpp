@@ -1,0 +1,161 @@
+// Whole-system tests through the core facade: run_experiment wires codes,
+// recovery, workload, cache and simulator together.
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+#include "core/experiment.h"
+#include "core/sweep.h"
+
+namespace fbf::core {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig c;
+  c.code = codes::CodeId::Tip;
+  c.p = 7;
+  c.workers = 8;
+  c.num_errors = 40;
+  c.num_stripes = 50000;
+  c.cache_bytes = 8ull << 20;
+  c.seed = 2024;
+  return c;
+}
+
+TEST(EndToEnd, RunsAndRecoversEverything) {
+  const ExperimentResult r = run_experiment(small_config());
+  EXPECT_EQ(r.stripes_recovered, 40u);
+  EXPECT_GT(r.chunks_recovered, 40u);  // avg (p-1)/2 > 1 chunk per stripe
+  EXPECT_GT(r.total_chunk_requests, r.chunks_recovered);
+  EXPECT_EQ(r.cache_hits + r.cache_misses, r.total_chunk_requests);
+  EXPECT_GT(r.reconstruction_ms, 0.0);
+  EXPECT_GT(r.avg_response_ms, 0.0);
+}
+
+TEST(EndToEnd, VerifyDataModeAllCodes) {
+  for (codes::CodeId id : codes::kAllCodes) {
+    for (int p : {5, 7}) {
+      auto cfg = small_config();
+      cfg.code = id;
+      cfg.p = p;
+      cfg.num_errors = 15;
+      cfg.verify_data = true;  // throws on any wrong reconstruction
+      const ExperimentResult r = run_experiment(cfg);
+      EXPECT_EQ(r.stripes_recovered, 15u)
+          << codes::to_string(id) << " p=" << p;
+    }
+  }
+}
+
+TEST(EndToEnd, AllPoliciesRunAllSchemes) {
+  for (cache::PolicyId policy : cache::kPaperPolicies) {
+    for (recovery::SchemeKind scheme :
+         {recovery::SchemeKind::HorizontalFirst,
+          recovery::SchemeKind::RoundRobin,
+          recovery::SchemeKind::GreedyMinIO}) {
+      auto cfg = small_config();
+      cfg.policy = policy;
+      cfg.scheme = scheme;
+      cfg.num_errors = 15;
+      const ExperimentResult r = run_experiment(cfg);
+      EXPECT_EQ(r.stripes_recovered, 15u);
+      EXPECT_GE(r.hit_ratio, 0.0);
+      EXPECT_LE(r.hit_ratio, 1.0);
+    }
+  }
+}
+
+TEST(EndToEnd, DeterministicResults) {
+  const ExperimentResult a = run_experiment(small_config());
+  const ExperimentResult b = run_experiment(small_config());
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.disk_reads, b.disk_reads);
+  EXPECT_DOUBLE_EQ(a.reconstruction_ms, b.reconstruction_ms);
+  EXPECT_DOUBLE_EQ(a.avg_response_ms, b.avg_response_ms);
+}
+
+TEST(EndToEnd, LabelDescribesConfig) {
+  const std::string label = small_config().label();
+  EXPECT_NE(label.find("TIP"), std::string::npos);
+  EXPECT_NE(label.find("p=7"), std::string::npos);
+  EXPECT_NE(label.find("8MB"), std::string::npos);
+}
+
+TEST(Sweep, GridIsCompleteAndOrdered) {
+  auto cfg = small_config();
+  cfg.num_errors = 10;
+  const std::vector<std::size_t> sizes{1ull << 20, 4ull << 20};
+  const std::vector<cache::PolicyId> policies{cache::PolicyId::Lru,
+                                              cache::PolicyId::Fbf};
+  const auto points = run_sweep(cfg, sizes, policies, 2);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_EQ(points[0].cache_bytes, sizes[0]);
+  EXPECT_EQ(points[0].policy, cache::PolicyId::Lru);
+  EXPECT_EQ(points[3].cache_bytes, sizes[1]);
+  EXPECT_EQ(points[3].policy, cache::PolicyId::Fbf);
+  for (const auto& p : points) {
+    EXPECT_EQ(p.result.stripes_recovered, 10u);
+  }
+  EXPECT_EQ(&find_point(points, sizes[1], cache::PolicyId::Fbf), &points[3]);
+  EXPECT_THROW(find_point(points, 123, cache::PolicyId::Lru),
+               util::CheckError);
+}
+
+TEST(Sweep, ParallelMatchesSerial) {
+  auto cfg = small_config();
+  cfg.num_errors = 10;
+  const std::vector<std::size_t> sizes{2ull << 20, 8ull << 20};
+  const std::vector<cache::PolicyId> policies{cache::PolicyId::Lru,
+                                              cache::PolicyId::Fbf};
+  const auto serial = run_sweep(cfg, sizes, policies, 1);
+  const auto parallel = run_sweep(cfg, sizes, policies, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].result.cache_hits, parallel[i].result.cache_hits);
+    EXPECT_DOUBLE_EQ(serial[i].result.reconstruction_ms,
+                     parallel[i].result.reconstruction_ms);
+  }
+}
+
+TEST(Sweep, DefaultCacheSizesSpanPaperAxis) {
+  const auto sizes = default_cache_sizes();
+  EXPECT_EQ(sizes.front(), 2ull << 20);
+  EXPECT_EQ(sizes.back(), 2048ull << 20);
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_EQ(sizes[i], sizes[i - 1] * 2);
+  }
+  EXPECT_GE(small_cache_sizes().size(), 4u);
+}
+
+TEST(Sweep, MaxImprovementArithmetic) {
+  // Construct a synthetic grid to pin the formula.
+  std::vector<SweepPoint> points;
+  auto add = [&points](std::size_t size, cache::PolicyId pol, double hr,
+                       double reads) {
+    SweepPoint p;
+    p.cache_bytes = size;
+    p.policy = pol;
+    p.result.hit_ratio = hr;
+    p.result.disk_reads = static_cast<std::uint64_t>(reads);
+    points.push_back(p);
+  };
+  add(1, cache::PolicyId::Lru, 0.10, 1000);
+  add(1, cache::PolicyId::Fbf, 0.25, 800);
+  add(2, cache::PolicyId::Lru, 0.40, 500);
+  add(2, cache::PolicyId::Fbf, 0.44, 490);
+  const double hr_gain = max_improvement(
+      points, {1, 2}, cache::PolicyId::Lru,
+      [](const ExperimentResult& r) { return r.hit_ratio; },
+      /*higher_is_better=*/true);
+  EXPECT_NEAR(hr_gain, 1.5, 1e-9);  // 0.25/0.10 - 1
+  const double read_gain = max_improvement(
+      points, {1, 2}, cache::PolicyId::Lru,
+      [](const ExperimentResult& r) {
+        return static_cast<double>(r.disk_reads);
+      },
+      /*higher_is_better=*/false);
+  EXPECT_NEAR(read_gain, 0.2, 1e-9);  // 1 - 800/1000
+}
+
+}  // namespace
+}  // namespace fbf::core

@@ -1,0 +1,115 @@
+#include "recovery/priority.h"
+
+#include <gtest/gtest.h>
+
+#include "codes/builders.h"
+#include "util/check.h"
+
+namespace fbf::recovery {
+namespace {
+
+using codes::CodeId;
+using codes::Layout;
+
+TEST(Priority, SummaryCountsMatchDictionary) {
+  const Layout l = codes::make_layout(CodeId::TripleStar, 7);
+  const RecoveryScheme s = generate_scheme(l, PartialStripeError{0, 0, 5},
+                                           SchemeKind::RoundRobin);
+  const PrioritySummary sum = summarize_priorities(s);
+  int p1 = 0;
+  int p2 = 0;
+  int p3 = 0;
+  for (std::uint8_t p : s.priority) {
+    p1 += p == 1;
+    p2 += p == 2;
+    p3 += p == 3;
+  }
+  EXPECT_EQ(sum.priority1, p1);
+  EXPECT_EQ(sum.priority2, p2);
+  EXPECT_EQ(sum.priority3, p3);
+  EXPECT_EQ(sum.total(), p1 + p2 + p3);
+}
+
+TEST(Priority, PriorityEqualsCappedReferenceCount) {
+  // Recompute reference counts independently and compare (Table II).
+  const Layout l = codes::make_layout(CodeId::Star, 7);
+  const PartialStripeError err{0, 0, 6};
+  const RecoveryScheme s = generate_scheme(l, err, SchemeKind::RoundRobin);
+  std::vector<int> refs(static_cast<std::size_t>(l.num_cells()), 0);
+  for (const RecoveryStep& step : s.steps) {
+    for (const codes::Cell& c : l.chain(step.chain_id).cells) {
+      if (c != step.target) {
+        ++refs[static_cast<std::size_t>(l.cell_index(c))];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    if (refs[i] > 0) {
+      EXPECT_EQ(s.priority[i], std::min(refs[i], 3));
+    }
+  }
+}
+
+TEST(Priority, MultiChunkRoundRobinProducesSharedChunks) {
+  // The paper's Table III example has priority-2 and priority-3 chunks for
+  // a 5-chunk error at P=7; our substitute layouts should likewise create
+  // shared chunks under the round-robin scheme.
+  const Layout l = codes::make_layout(CodeId::TripleStar, 7);
+  const RecoveryScheme s = generate_scheme(l, PartialStripeError{0, 0, 5},
+                                           SchemeKind::RoundRobin);
+  const PrioritySummary sum = summarize_priorities(s);
+  EXPECT_GT(sum.priority2 + sum.priority3, 0);
+  EXPECT_GT(sum.priority1, 0);
+}
+
+TEST(Priority, SingleChunkErrorIsAllPriorityOne) {
+  const Layout l = codes::make_layout(CodeId::Tip, 7);
+  const RecoveryScheme s = generate_scheme(l, PartialStripeError{0, 2, 1},
+                                           SchemeKind::RoundRobin);
+  const PrioritySummary sum = summarize_priorities(s);
+  EXPECT_EQ(sum.priority2, 0);
+  EXPECT_EQ(sum.priority3, 0);
+  EXPECT_GT(sum.priority1, 0);
+}
+
+TEST(Priority, StarAdjustersReachPriorityThree) {
+  // STAR's adjuster cells sit on every diagonal chain; with >= 3 diagonal
+  // steps selected they must reach the top priority (paper §IV-B-1).
+  const Layout l = codes::make_layout(CodeId::Star, 11);
+  const RecoveryScheme s = generate_scheme(l, PartialStripeError{0, 0, 10},
+                                           SchemeKind::RoundRobin);
+  const PrioritySummary sum = summarize_priorities(s);
+  EXPECT_GT(sum.priority3, 0);
+}
+
+TEST(Priority, CellsAtPriorityPartitionTouchedCells) {
+  const Layout l = codes::make_layout(CodeId::Hdd1, 7);
+  const RecoveryScheme s = generate_scheme(l, PartialStripeError{0, 0, 4},
+                                           SchemeKind::RoundRobin);
+  std::size_t total = 0;
+  for (int level = 1; level <= 3; ++level) {
+    for (const codes::Cell& c : cells_at_priority(l, s, level)) {
+      EXPECT_EQ(s.priority[static_cast<std::size_t>(l.cell_index(c))],
+                level);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(
+                       summarize_priorities(s).total()));
+  EXPECT_THROW(cells_at_priority(l, s, 0), util::CheckError);
+  EXPECT_THROW(cells_at_priority(l, s, 4), util::CheckError);
+}
+
+TEST(Priority, TableRendersAllLevels) {
+  const Layout l = codes::make_layout(CodeId::TripleStar, 7);
+  const RecoveryScheme s = generate_scheme(l, PartialStripeError{0, 0, 5},
+                                           SchemeKind::RoundRobin);
+  const std::string table = priority_table(l, s);
+  EXPECT_NE(table.find("priority 3"), std::string::npos);
+  EXPECT_NE(table.find("priority 2"), std::string::npos);
+  EXPECT_NE(table.find("priority 1"), std::string::npos);
+  EXPECT_NE(table.find("C("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fbf::recovery

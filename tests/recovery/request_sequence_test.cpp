@@ -1,0 +1,112 @@
+#include "recovery/request_sequence.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "codes/builders.h"
+
+namespace fbf::recovery {
+namespace {
+
+using codes::Cell;
+using codes::CodeId;
+using codes::Layout;
+
+TEST(RequestSequence, ReadCountMatchesTotalReferences) {
+  const Layout l = codes::make_layout(CodeId::TripleStar, 7);
+  const RecoveryScheme s = generate_scheme(l, PartialStripeError{0, 0, 4},
+                                           SchemeKind::RoundRobin);
+  const auto ops = build_request_sequence(l, s);
+  EXPECT_EQ(count_reads(ops), s.total_references);
+}
+
+TEST(RequestSequence, OneWritePerStepInOrder) {
+  const Layout l = codes::make_layout(CodeId::Tip, 7);
+  const RecoveryScheme s = generate_scheme(l, PartialStripeError{0, 1, 3},
+                                           SchemeKind::RoundRobin);
+  const auto ops = build_request_sequence(l, s);
+  std::vector<Cell> writes;
+  for (const ChunkOp& op : ops) {
+    if (op.kind == OpKind::WriteSpare) {
+      writes.push_back(op.cell);
+    }
+  }
+  ASSERT_EQ(writes.size(), s.steps.size());
+  for (std::size_t i = 0; i < writes.size(); ++i) {
+    EXPECT_EQ(writes[i], s.steps[i].target);
+  }
+}
+
+TEST(RequestSequence, StepReadsPrecedeStepWrite) {
+  const Layout l = codes::make_layout(CodeId::Star, 5);
+  const RecoveryScheme s = generate_scheme(l, PartialStripeError{0, 0, 3},
+                                           SchemeKind::RoundRobin);
+  const auto ops = build_request_sequence(l, s);
+  int current_step = 0;
+  bool wrote_current = false;
+  for (const ChunkOp& op : ops) {
+    if (op.step != current_step) {
+      EXPECT_EQ(op.step, current_step + 1);
+      EXPECT_TRUE(wrote_current);  // previous step finished with its write
+      current_step = op.step;
+      wrote_current = false;
+    }
+    if (op.kind == OpKind::WriteSpare) {
+      EXPECT_FALSE(wrote_current);
+      wrote_current = true;
+    }
+  }
+  EXPECT_TRUE(wrote_current);
+}
+
+TEST(RequestSequence, ReadsCoverExactlyChainMembers) {
+  const Layout l = codes::make_layout(CodeId::Hdd1, 7);
+  const RecoveryScheme s = generate_scheme(l, PartialStripeError{0, 0, 2},
+                                           SchemeKind::GreedyMinIO);
+  const auto ops = build_request_sequence(l, s);
+  std::map<int, std::vector<Cell>> reads_by_step;
+  for (const ChunkOp& op : ops) {
+    if (op.kind == OpKind::Read) {
+      reads_by_step[op.step].push_back(op.cell);
+    }
+  }
+  for (std::size_t i = 0; i < s.steps.size(); ++i) {
+    const codes::Chain& ch = l.chain(s.steps[i].chain_id);
+    auto& reads = reads_by_step[static_cast<int>(i)];
+    std::sort(reads.begin(), reads.end());
+    std::vector<Cell> expected;
+    for (const Cell& c : ch.cells) {
+      if (c != s.steps[i].target) {
+        expected.push_back(c);
+      }
+    }
+    EXPECT_EQ(reads, expected);
+  }
+}
+
+TEST(RequestSequence, PrioritiesComeFromDictionary) {
+  const Layout l = codes::make_layout(CodeId::TripleStar, 7);
+  const RecoveryScheme s = generate_scheme(l, PartialStripeError{0, 0, 5},
+                                           SchemeKind::RoundRobin);
+  const auto ops = build_request_sequence(l, s);
+  bool saw_high_priority = false;
+  for (const ChunkOp& op : ops) {
+    const auto idx = static_cast<std::size_t>(l.cell_index(op.cell));
+    EXPECT_EQ(op.priority, std::max<std::uint8_t>(s.priority[idx], 1));
+    saw_high_priority |= op.priority >= 2;
+  }
+  EXPECT_TRUE(saw_high_priority);
+}
+
+TEST(RequestSequence, EmptySchemeYieldsNoOps) {
+  const Layout l = codes::make_layout(CodeId::Tip, 5);
+  RecoveryScheme empty;
+  empty.priority.assign(static_cast<std::size_t>(l.num_cells()), 0);
+  const auto ops = build_request_sequence(l, empty);
+  EXPECT_TRUE(ops.empty());
+  EXPECT_EQ(count_reads(ops), 0);
+}
+
+}  // namespace
+}  // namespace fbf::recovery

@@ -1,0 +1,65 @@
+#include "recovery/scheme_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "codes/builders.h"
+
+namespace fbf::recovery {
+namespace {
+
+using codes::CodeId;
+using codes::Layout;
+
+TEST(SchemeCache, FirstAccessMissesThenHits) {
+  const Layout l = codes::make_layout(CodeId::Tip, 7);
+  SchemeCache cache(l);
+  const PartialStripeError err{0, 1, 3};
+  const auto a = cache.get(err, SchemeKind::RoundRobin);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  const auto b = cache.get(err, SchemeKind::RoundRobin);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(a.get(), b.get());  // same shared scheme object
+}
+
+TEST(SchemeCache, DistinguishesErrorFormats) {
+  const Layout l = codes::make_layout(CodeId::Tip, 7);
+  SchemeCache cache(l);
+  cache.get(PartialStripeError{0, 1, 3}, SchemeKind::RoundRobin);
+  cache.get(PartialStripeError{0, 2, 3}, SchemeKind::RoundRobin);   // row
+  cache.get(PartialStripeError{0, 1, 4}, SchemeKind::RoundRobin);   // len
+  cache.get(PartialStripeError{1, 1, 3}, SchemeKind::RoundRobin);   // col
+  cache.get(PartialStripeError{0, 1, 3}, SchemeKind::GreedyMinIO);  // kind
+  EXPECT_EQ(cache.size(), 5u);
+  EXPECT_EQ(cache.misses(), 5u);
+}
+
+TEST(SchemeCache, ReturnedSchemeMatchesDirectGeneration) {
+  const Layout l = codes::make_layout(CodeId::Star, 7);
+  SchemeCache cache(l);
+  const PartialStripeError err{0, 0, 5};
+  const auto cached = cache.get(err, SchemeKind::RoundRobin);
+  const RecoveryScheme direct = generate_scheme(l, err, SchemeKind::RoundRobin);
+  ASSERT_EQ(cached->steps.size(), direct.steps.size());
+  for (std::size_t i = 0; i < direct.steps.size(); ++i) {
+    EXPECT_EQ(cached->steps[i].target, direct.steps[i].target);
+    EXPECT_EQ(cached->steps[i].chain_id, direct.steps[i].chain_id);
+  }
+  EXPECT_EQ(cached->priority, direct.priority);
+}
+
+TEST(SchemeCache, ManyStripesSameFormatAmortizeToOneGeneration) {
+  // The paper's amortization argument: N stripes with the same error
+  // format cost one generation.
+  const Layout l = codes::make_layout(CodeId::TripleStar, 11);
+  SchemeCache cache(l);
+  for (int i = 0; i < 1000; ++i) {
+    cache.get(PartialStripeError{0, 2, 4}, SchemeKind::RoundRobin);
+  }
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 999u);
+}
+
+}  // namespace
+}  // namespace fbf::recovery

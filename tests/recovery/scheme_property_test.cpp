@@ -1,0 +1,126 @@
+// Parameterized property sweep: every (code, p, strategy) generates valid,
+// data-correct schemes for every single-column partial-stripe format.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "codes/builders.h"
+#include "codes/codec.h"
+#include "recovery/scheme.h"
+
+namespace fbf::recovery {
+namespace {
+
+using codes::Cell;
+using codes::CodeId;
+using codes::Layout;
+
+using Param = std::tuple<CodeId, int, SchemeKind>;
+
+class SchemeProperty : public ::testing::TestWithParam<Param> {
+ protected:
+  CodeId code() const { return std::get<0>(GetParam()); }
+  int p() const { return std::get<1>(GetParam()); }
+  SchemeKind kind() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(SchemeProperty, EveryFormatProducesAValidPeelingOrder) {
+  const Layout l = codes::make_layout(code(), p());
+  for (int col = 0; col < l.cols(); ++col) {
+    for (int len = 1; len <= l.rows(); ++len) {
+      for (int start = 0; start + len <= l.rows(); start += 2) {
+        const PartialStripeError err{col, start, len};
+        const RecoveryScheme s = generate_scheme(l, err, kind());
+        ASSERT_EQ(s.steps.size(), static_cast<std::size_t>(len));
+        const std::vector<Cell> lost = err.cells();
+        std::set<Cell> not_yet(lost.begin(), lost.end());
+        for (const RecoveryStep& step : s.steps) {
+          for (const Cell& c : l.chain(step.chain_id).cells) {
+            if (c != step.target) {
+              ASSERT_EQ(not_yet.count(c), 0u)
+                  << l.name() << " col=" << col << " len=" << len;
+            }
+          }
+          ASSERT_EQ(not_yet.erase(step.target), 1u);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(SchemeProperty, SchemeXorReconstructsTheData) {
+  const Layout l = codes::make_layout(code(), p());
+  codes::StripeData pristine(l, 8);
+  util::Rng rng(static_cast<std::uint64_t>(p()) * 1000 +
+                static_cast<std::uint64_t>(code()));
+  pristine.fill_random(rng);
+  codes::encode(pristine);
+  for (int col : {0, l.cols() / 2, l.cols() - 1}) {
+    const PartialStripeError err{col, 0, l.rows()};
+    const RecoveryScheme s = generate_scheme(l, err, kind());
+    codes::StripeData working = pristine;
+    for (const Cell& c : err.cells()) {
+      working.erase(c);
+    }
+    for (const RecoveryStep& step : s.steps) {
+      auto out = working.chunk(step.target);
+      std::fill(out.begin(), out.end(), std::byte{0});
+      for (const Cell& c : l.chain(step.chain_id).cells) {
+        if (c != step.target) {
+          codes::xor_into(out, working.chunk(c));
+        }
+      }
+    }
+    for (const Cell& c : err.cells()) {
+      const auto got = working.chunk(c);
+      const auto want = pristine.chunk(c);
+      ASSERT_TRUE(std::equal(got.begin(), got.end(), want.begin()))
+          << l.name() << " col=" << col;
+    }
+  }
+}
+
+TEST_P(SchemeProperty, PrioritiesStayInTableTwoRange) {
+  const Layout l = codes::make_layout(code(), p());
+  const PartialStripeError err{0, 0, l.rows()};
+  const RecoveryScheme s = generate_scheme(l, err, kind());
+  for (std::uint8_t pr : s.priority) {
+    ASSERT_LE(pr, 3);
+  }
+  // Every fetched cell has priority >= 1.
+  for (const Cell& c : s.fetch_cells) {
+    ASSERT_GE(s.priority[static_cast<std::size_t>(l.cell_index(c))], 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodesPrimesStrategies, SchemeProperty,
+    ::testing::Combine(
+        ::testing::Values(CodeId::Tip, CodeId::Hdd1, CodeId::TripleStar,
+                          CodeId::Star),
+        ::testing::Values(5, 7, 11),
+        ::testing::Values(SchemeKind::HorizontalFirst, SchemeKind::RoundRobin,
+                          SchemeKind::GreedyMinIO)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      std::string kind;
+      switch (std::get<2>(info.param)) {
+        case SchemeKind::HorizontalFirst:
+          kind = "horizontal";
+          break;
+        case SchemeKind::RoundRobin:
+          kind = "roundrobin";
+          break;
+        case SchemeKind::GreedyMinIO:
+          kind = "greedy";
+          break;
+        case SchemeKind::ExhaustiveMinIO:
+          kind = "exhaustive";
+          break;
+      }
+      return std::string(codes::to_string(std::get<0>(info.param))) + "_p" +
+             std::to_string(std::get<1>(info.param)) + "_" + kind;
+    });
+
+}  // namespace
+}  // namespace fbf::recovery

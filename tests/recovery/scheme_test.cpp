@@ -1,0 +1,306 @@
+#include "recovery/scheme.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "codes/builders.h"
+#include "codes/codec.h"
+#include "util/check.h"
+
+namespace fbf::recovery {
+namespace {
+
+using codes::Cell;
+using codes::CodeId;
+using codes::Direction;
+using codes::Layout;
+
+Cell cell(int r, int c) {
+  return Cell{static_cast<std::int16_t>(r), static_cast<std::int16_t>(c)};
+}
+
+TEST(SchemeKindNames, RoundTrip) {
+  EXPECT_EQ(scheme_from_string("horizontal"), SchemeKind::HorizontalFirst);
+  EXPECT_EQ(scheme_from_string("typical"), SchemeKind::HorizontalFirst);
+  EXPECT_EQ(scheme_from_string("round-robin"), SchemeKind::RoundRobin);
+  EXPECT_EQ(scheme_from_string("fbf"), SchemeKind::RoundRobin);
+  EXPECT_EQ(scheme_from_string("greedy"), SchemeKind::GreedyMinIO);
+  EXPECT_THROW(scheme_from_string("bogus"), util::CheckError);
+}
+
+TEST(PartialStripeErrorCells, ContiguousColumnRun) {
+  const PartialStripeError e{2, 1, 3};
+  const auto cells = e.cells();
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], cell(1, 2));
+  EXPECT_EQ(cells[2], cell(3, 2));
+}
+
+TEST(Scheme, OneStepPerLostCell) {
+  const Layout l = codes::make_layout(CodeId::Tip, 7);
+  const PartialStripeError err{0, 0, 4};
+  for (SchemeKind kind : {SchemeKind::HorizontalFirst, SchemeKind::RoundRobin,
+                          SchemeKind::GreedyMinIO}) {
+    const RecoveryScheme s = generate_scheme(l, err, kind);
+    EXPECT_EQ(s.steps.size(), 4u);
+    std::set<Cell> targets;
+    for (const RecoveryStep& step : s.steps) {
+      targets.insert(step.target);
+      const codes::Chain& ch = l.chain(step.chain_id);
+      EXPECT_TRUE(
+          std::binary_search(ch.cells.begin(), ch.cells.end(), step.target));
+    }
+    EXPECT_EQ(targets.size(), 4u);
+  }
+}
+
+TEST(Scheme, HorizontalFirstUsesHorizontalChainsOnDataColumn) {
+  const Layout l = codes::make_layout(CodeId::TripleStar, 7);
+  const RecoveryScheme s =
+      generate_scheme(l, PartialStripeError{1, 0, 5},
+                      SchemeKind::HorizontalFirst);
+  for (const RecoveryStep& step : s.steps) {
+    EXPECT_EQ(l.chain(step.chain_id).dir, Direction::Horizontal);
+  }
+}
+
+TEST(Scheme, RoundRobinCyclesDirections) {
+  // On a data column of an RTP layout each lost chunk has chains in all
+  // three directions (except missing-diagonal cells), so the loop pattern
+  // shows through: H, D, A, H, ...
+  const Layout l = codes::make_layout(CodeId::TripleStar, 11);
+  const RecoveryScheme s = generate_scheme(l, PartialStripeError{0, 0, 6},
+                                           SchemeKind::RoundRobin);
+  ASSERT_EQ(s.steps.size(), 6u);
+  int matches = 0;
+  for (std::size_t i = 0; i < s.steps.size(); ++i) {
+    const Direction expected = static_cast<Direction>(i % 3);
+    if (l.chain(s.steps[i].chain_id).dir == expected) {
+      ++matches;
+    }
+  }
+  // The missing diagonal may force a fallback on at most one step here.
+  EXPECT_GE(matches, 5);
+}
+
+TEST(Scheme, PeelingOrderIsValid) {
+  // Each step's chain must contain no lost cell that is recovered later.
+  for (CodeId id : codes::kAllCodes) {
+    const Layout l = codes::make_layout(id, 7);
+    for (SchemeKind kind :
+         {SchemeKind::HorizontalFirst, SchemeKind::RoundRobin,
+          SchemeKind::GreedyMinIO}) {
+      const PartialStripeError err{0, 0, l.rows()};
+      const RecoveryScheme s = generate_scheme(l, err, kind);
+      const std::vector<Cell> lost_cells = err.cells();
+      std::set<Cell> not_yet(lost_cells.begin(), lost_cells.end());
+      for (const RecoveryStep& step : s.steps) {
+        for (const Cell& c : l.chain(step.chain_id).cells) {
+          if (c != step.target) {
+            EXPECT_EQ(not_yet.count(c), 0u)
+                << l.name() << " " << to_string(kind);
+          }
+        }
+        not_yet.erase(step.target);
+      }
+    }
+  }
+}
+
+TEST(Scheme, SchemeRecoversActualData) {
+  // Execute the scheme on real bytes: XOR each chain into its target and
+  // compare with the original stripe.
+  for (CodeId id : codes::kAllCodes) {
+    const Layout l = codes::make_layout(id, 7);
+    codes::StripeData pristine(l, 16);
+    util::Rng rng(5);
+    pristine.fill_random(rng);
+    codes::encode(pristine);
+    for (SchemeKind kind :
+         {SchemeKind::HorizontalFirst, SchemeKind::RoundRobin,
+          SchemeKind::GreedyMinIO}) {
+      const PartialStripeError err{0, 1, 3};
+      const RecoveryScheme s = generate_scheme(l, err, kind);
+      codes::StripeData working = pristine;
+      for (const Cell& c : err.cells()) {
+        working.erase(c);
+      }
+      for (const RecoveryStep& step : s.steps) {
+        auto out = working.chunk(step.target);
+        std::fill(out.begin(), out.end(), std::byte{0});
+        for (const Cell& c : l.chain(step.chain_id).cells) {
+          if (c != step.target) {
+            codes::xor_into(out, working.chunk(c));
+          }
+        }
+      }
+      for (const Cell& c : err.cells()) {
+        const auto got = working.chunk(c);
+        const auto want = pristine.chunk(c);
+        EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin()))
+            << l.name() << " " << to_string(kind);
+      }
+    }
+  }
+}
+
+TEST(Scheme, FetchCellsExcludeLostCells) {
+  const Layout l = codes::make_layout(CodeId::Star, 5);
+  const PartialStripeError err{0, 0, 4};
+  const RecoveryScheme s = generate_scheme(l, err, SchemeKind::RoundRobin);
+  const auto lost = err.cells();
+  for (const Cell& c : s.fetch_cells) {
+    EXPECT_EQ(std::find(lost.begin(), lost.end(), c), lost.end());
+  }
+}
+
+TEST(Scheme, GreedyNeverFetchesMoreThanRoundRobin) {
+  for (CodeId id : codes::kAllCodes) {
+    const Layout l = codes::make_layout(id, 11);
+    for (int len : {2, 5, 10}) {
+      const PartialStripeError err{0, 0, len};
+      const int greedy =
+          generate_scheme(l, err, SchemeKind::GreedyMinIO).distinct_reads();
+      const int rr =
+          generate_scheme(l, err, SchemeKind::RoundRobin).distinct_reads();
+      EXPECT_LE(greedy, rr) << l.name() << " len=" << len;
+    }
+  }
+}
+
+TEST(Scheme, ExhaustiveIsOptimalLowerBound) {
+  // Branch-and-bound <= greedy <= (round-robin, horizontal) on distinct
+  // reads, for every small error format on an adjuster-free layout.
+  const Layout l = codes::make_layout(CodeId::TripleStar, 7);
+  for (int col : {0, 3}) {
+    for (int len = 1; len <= 5; ++len) {
+      const PartialStripeError err{col, 0, len};
+      const int exhaustive =
+          generate_scheme(l, err, SchemeKind::ExhaustiveMinIO)
+              .distinct_reads();
+      const int greedy =
+          generate_scheme(l, err, SchemeKind::GreedyMinIO).distinct_reads();
+      const int rr =
+          generate_scheme(l, err, SchemeKind::RoundRobin).distinct_reads();
+      EXPECT_LE(exhaustive, greedy) << "col=" << col << " len=" << len;
+      EXPECT_LE(exhaustive, rr);
+    }
+  }
+}
+
+TEST(Scheme, ExhaustiveProducesValidPeelingOrder) {
+  const Layout l = codes::make_layout(CodeId::Tip, 7);
+  const PartialStripeError err{0, 0, 5};
+  const RecoveryScheme s =
+      generate_scheme(l, err, SchemeKind::ExhaustiveMinIO);
+  ASSERT_EQ(s.steps.size(), 5u);
+  const std::vector<Cell> lost_cells = err.cells();
+  std::set<Cell> not_yet(lost_cells.begin(), lost_cells.end());
+  for (const RecoveryStep& step : s.steps) {
+    for (const Cell& c : l.chain(step.chain_id).cells) {
+      if (c != step.target) {
+        EXPECT_EQ(not_yet.count(c), 0u);
+      }
+    }
+    not_yet.erase(step.target);
+  }
+}
+
+TEST(Scheme, ExhaustiveRecoversActualData) {
+  const Layout l = codes::make_layout(CodeId::TripleStar, 5);
+  codes::StripeData pristine(l, 16);
+  util::Rng rng(8);
+  pristine.fill_random(rng);
+  codes::encode(pristine);
+  const PartialStripeError err{0, 0, 4};
+  const RecoveryScheme s =
+      generate_scheme(l, err, SchemeKind::ExhaustiveMinIO);
+  codes::StripeData working = pristine;
+  for (const Cell& c : err.cells()) {
+    working.erase(c);
+  }
+  for (const RecoveryStep& step : s.steps) {
+    auto out = working.chunk(step.target);
+    std::fill(out.begin(), out.end(), std::byte{0});
+    for (const Cell& c : l.chain(step.chain_id).cells) {
+      if (c != step.target) {
+        codes::xor_into(out, working.chunk(c));
+      }
+    }
+  }
+  for (const Cell& c : err.cells()) {
+    const auto got = working.chunk(c);
+    const auto want = pristine.chunk(c);
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin()));
+  }
+}
+
+TEST(Scheme, ExhaustiveRejectsOversizedSearch) {
+  const Layout l = codes::make_layout(CodeId::Star, 13);
+  EXPECT_THROW(generate_scheme(l, PartialStripeError{0, 0, 12},
+                               SchemeKind::ExhaustiveMinIO),
+               util::CheckError);
+}
+
+TEST(Scheme, ExhaustiveNameRoundTrip) {
+  EXPECT_EQ(scheme_from_string("exhaustive"), SchemeKind::ExhaustiveMinIO);
+  EXPECT_STREQ(to_string(SchemeKind::ExhaustiveMinIO), "exhaustive");
+}
+
+TEST(Scheme, RoundRobinSharesChunksOnMultiChunkErrors) {
+  // The whole point of looping directions: fewer distinct reads than
+  // total references once several chunks are lost.
+  const Layout l = codes::make_layout(CodeId::TripleStar, 11);
+  const PartialStripeError err{0, 0, 8};
+  const RecoveryScheme s = generate_scheme(l, err, SchemeKind::RoundRobin);
+  EXPECT_LT(s.distinct_reads(), s.total_references);
+}
+
+TEST(Scheme, ErrorOnParityColumnIsRecoverable) {
+  for (CodeId id : codes::kAllCodes) {
+    const Layout l = codes::make_layout(id, 5);
+    for (int col = 0; col < l.cols(); ++col) {
+      const PartialStripeError err{col, 0, 2};
+      for (SchemeKind kind :
+           {SchemeKind::HorizontalFirst, SchemeKind::RoundRobin,
+            SchemeKind::GreedyMinIO}) {
+        const RecoveryScheme s = generate_scheme(l, err, kind);
+        EXPECT_EQ(s.steps.size(), 2u) << l.name() << " col=" << col;
+      }
+    }
+  }
+}
+
+TEST(Scheme, RejectsInvalidErrors) {
+  const Layout l = codes::make_layout(CodeId::Tip, 5);
+  EXPECT_THROW(
+      generate_scheme(l, PartialStripeError{0, 0, l.rows() + 1},
+                      SchemeKind::RoundRobin),
+      util::CheckError);
+  EXPECT_THROW(generate_scheme(l, PartialStripeError{l.cols(), 0, 1},
+                               SchemeKind::RoundRobin),
+               util::CheckError);
+  EXPECT_THROW(generate_scheme(l, PartialStripeError{0, 3, 2},
+                               SchemeKind::RoundRobin),
+               util::CheckError);
+  EXPECT_THROW(generate_scheme(l, std::vector<Cell>{}, SchemeKind::RoundRobin),
+               util::CheckError);
+  EXPECT_THROW(generate_scheme(l, {cell(0, 0), cell(0, 0)},
+                               SchemeKind::RoundRobin),
+               util::CheckError);
+}
+
+TEST(Scheme, TotalReferencesMatchesChainSizes) {
+  const Layout l = codes::make_layout(CodeId::Hdd1, 7);
+  const RecoveryScheme s = generate_scheme(l, PartialStripeError{0, 0, 3},
+                                           SchemeKind::RoundRobin);
+  int expected = 0;
+  for (const RecoveryStep& step : s.steps) {
+    expected += static_cast<int>(l.chain(step.chain_id).cells.size()) - 1;
+  }
+  EXPECT_EQ(s.total_references, expected);
+}
+
+}  // namespace
+}  // namespace fbf::recovery

@@ -1,0 +1,115 @@
+#include "sim/array_geometry.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+#include <set>
+
+#include "codes/builders.h"
+
+namespace fbf::sim {
+namespace {
+
+using codes::Cell;
+
+Cell cell(int r, int c) {
+  return Cell{static_cast<std::int16_t>(r), static_cast<std::int16_t>(c)};
+}
+
+TEST(ArrayGeometry, DiskEqualsColumnWithoutRotation) {
+  const codes::Layout l = codes::make_star(5);
+  const ArrayGeometry g(l, 100);
+  for (int col = 0; col < l.cols(); ++col) {
+    EXPECT_EQ(g.disk_of(7, cell(1, col)), col);
+  }
+  EXPECT_EQ(g.num_disks(), l.cols());
+}
+
+TEST(ArrayGeometry, RotationShiftsByStripe) {
+  const codes::Layout l = codes::make_star(5);
+  const ArrayGeometry g(l, 100, /*rotate_columns=*/true);
+  EXPECT_EQ(g.disk_of(0, cell(0, 2)), 2);
+  EXPECT_EQ(g.disk_of(1, cell(0, 2)), 3);
+  EXPECT_EQ(g.disk_of(static_cast<std::uint64_t>(l.cols()), cell(0, 2)), 2);
+}
+
+TEST(ArrayGeometry, LbaLayoutIsRowMajorPerStripe) {
+  const codes::Layout l = codes::make_rtp(5);
+  const ArrayGeometry g(l, 100);
+  EXPECT_EQ(g.lba_of(0, cell(0, 1)), 0u);
+  EXPECT_EQ(g.lba_of(0, cell(3, 1)), 3u);
+  EXPECT_EQ(g.lba_of(1, cell(0, 1)),
+            static_cast<std::uint64_t>(l.rows()));
+  EXPECT_EQ(g.lba_of(9, cell(2, 0)),
+            9u * static_cast<std::uint64_t>(l.rows()) + 2u);
+}
+
+TEST(ArrayGeometry, SpareRegionBeyondDataRegion) {
+  const codes::Layout l = codes::make_rtp(5);
+  const ArrayGeometry g(l, 100);
+  const auto data_cap = g.disk_capacity_chunks();
+  for (std::uint64_t stripe : {0ull, 50ull, 99ull}) {
+    const auto lba = g.lba_of(stripe, cell(1, 1));
+    EXPECT_LT(lba, data_cap);
+    EXPECT_EQ(g.spare_lba_of(stripe, cell(1, 1)), data_cap + lba);
+  }
+}
+
+TEST(ArrayGeometry, ChunkKeysAreUniqueAcrossStripesAndCells) {
+  const codes::Layout l = codes::make_star(5);
+  const ArrayGeometry g(l, 10);
+  std::set<std::uint64_t> keys;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    for (int i = 0; i < l.num_cells(); ++i) {
+      EXPECT_TRUE(keys.insert(g.chunk_key(s, l.cell_at(i))).second);
+    }
+  }
+  EXPECT_EQ(keys.size(), 10u * static_cast<std::size_t>(l.num_cells()));
+}
+
+TEST(ArrayGeometry, SameDiskSparingKeepsHomeDisk) {
+  const codes::Layout l = codes::make_rtp(5);
+  const ArrayGeometry g(l, 100, false, SparePlacement::SameDisk);
+  for (std::uint64_t s : {0ull, 17ull, 99ull}) {
+    for (int col = 0; col < l.cols(); ++col) {
+      EXPECT_EQ(g.spare_disk_of(s, cell(1, col)), g.disk_of(s, cell(1, col)));
+    }
+  }
+}
+
+TEST(ArrayGeometry, DistributedSparingAvoidsHomeDisk) {
+  const codes::Layout l = codes::make_rtp(5);
+  const ArrayGeometry g(l, 100, false, SparePlacement::Distributed);
+  for (std::uint64_t s = 0; s < 50; ++s) {
+    for (int r = 0; r < l.rows(); ++r) {
+      const codes::Cell c = cell(r, 0);
+      const int spare = g.spare_disk_of(s, c);
+      EXPECT_NE(spare, g.disk_of(s, c));
+      EXPECT_GE(spare, 0);
+      EXPECT_LT(spare, l.cols());
+    }
+  }
+}
+
+TEST(ArrayGeometry, DistributedSparingSpreadsAcrossDisks) {
+  const codes::Layout l = codes::make_rtp(5);
+  const ArrayGeometry g(l, 1000, false, SparePlacement::Distributed);
+  std::set<int> targets;
+  for (std::uint64_t s = 0; s < 100; ++s) {
+    targets.insert(g.spare_disk_of(s, cell(0, 0)));
+  }
+  // Writes must rotate over many peers, not pile on one disk.
+  EXPECT_GE(targets.size(), static_cast<std::size_t>(l.cols()) - 2);
+}
+
+TEST(ArrayGeometry, BoundsChecks) {
+  const codes::Layout l = codes::make_rtp(5);
+  const ArrayGeometry g(l, 10);
+  EXPECT_THROW(g.lba_of(10, cell(0, 0)), util::CheckError);
+  EXPECT_THROW(g.disk_of(0, cell(0, l.cols())), util::CheckError);
+  EXPECT_THROW(ArrayGeometry(l, 0), util::CheckError);
+}
+
+}  // namespace
+}  // namespace fbf::sim

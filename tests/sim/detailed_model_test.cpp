@@ -1,0 +1,165 @@
+// End-to-end coverage of the detailed (seek/rotate/transfer) disk model
+// and the per-disk metric surfaces.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "sim/reconstruction.h"
+
+namespace fbf::sim {
+namespace {
+
+core::ExperimentConfig detailed_config() {
+  core::ExperimentConfig cfg;
+  cfg.code = codes::CodeId::Tip;
+  cfg.p = 7;
+  cfg.workers = 8;
+  cfg.num_errors = 30;
+  cfg.num_stripes = 50000;
+  cfg.cache_bytes = 8ull << 20;
+  cfg.disk_model = DiskModelKind::Detailed;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(DetailedModel, ExperimentCompletesAndRecovers) {
+  const core::ExperimentResult r = core::run_experiment(detailed_config());
+  EXPECT_EQ(r.stripes_recovered, 30u);
+  EXPECT_GT(r.reconstruction_ms, 0.0);
+  EXPECT_GT(r.avg_response_ms, 0.0);
+}
+
+TEST(DetailedModel, DeterministicPerSeed) {
+  const core::ExperimentResult a = core::run_experiment(detailed_config());
+  const core::ExperimentResult b = core::run_experiment(detailed_config());
+  EXPECT_DOUBLE_EQ(a.reconstruction_ms, b.reconstruction_ms);
+  EXPECT_DOUBLE_EQ(a.avg_response_ms, b.avg_response_ms);
+  EXPECT_EQ(a.disk_reads, b.disk_reads);
+}
+
+TEST(DetailedModel, HitCountsMatchFixedModel) {
+  // The disk model changes timing, never the logical request stream, so
+  // cache behaviour is identical across models.
+  auto cfg = detailed_config();
+  const core::ExperimentResult detailed = core::run_experiment(cfg);
+  cfg.disk_model = DiskModelKind::FixedLatency;
+  const core::ExperimentResult fixed = core::run_experiment(cfg);
+  EXPECT_EQ(detailed.cache_hits, fixed.cache_hits);
+  EXPECT_EQ(detailed.disk_reads, fixed.disk_reads);
+}
+
+TEST(DetailedModel, DetailedServiceIsFasterThanTenMsFloor) {
+  // A 7200rpm disk with short seeks averages well under the paper's flat
+  // 10 ms; mean response should come in lower than the fixed model's.
+  auto cfg = detailed_config();
+  const core::ExperimentResult detailed = core::run_experiment(cfg);
+  cfg.disk_model = DiskModelKind::FixedLatency;
+  const core::ExperimentResult fixed = core::run_experiment(cfg);
+  EXPECT_LT(detailed.avg_response_ms, fixed.avg_response_ms);
+}
+
+TEST(DetailedModel, PerDiskMetricsConserveOps) {
+  const codes::Layout l = codes::make_layout(codes::CodeId::Tip, 7);
+  const ArrayGeometry g(l, 50000, true, SparePlacement::Distributed);
+  workload::ErrorTraceConfig tc;
+  tc.num_stripes = 50000;
+  tc.num_errors = 25;
+  tc.seed = 4;
+  const auto errors = workload::generate_error_trace(l, tc);
+  ReconstructionConfig rc;
+  rc.workers = 8;
+  rc.cache_bytes = 4ull << 20;
+  ReconstructionEngine engine(l, g, rc);
+  const SimMetrics m = engine.run(errors);
+  ASSERT_EQ(m.disk_ops.size(), static_cast<std::size_t>(g.num_disks()));
+  std::uint64_t total_ops = 0;
+  double total_busy = 0.0;
+  for (std::size_t d = 0; d < m.disk_ops.size(); ++d) {
+    total_ops += m.disk_ops[d];
+    total_busy += m.disk_busy_ms[d];
+  }
+  EXPECT_EQ(total_ops, m.disk_reads + m.disk_writes);
+  // Fixed model: every op is exactly 10 ms of busy time.
+  EXPECT_NEAR(total_busy, static_cast<double>(total_ops) * 10.0, 1e-6);
+  // No disk can be busy past the makespan.
+  for (double busy : m.disk_busy_ms) {
+    EXPECT_LE(busy, m.reconstruction_ms + 1e-9);
+  }
+}
+
+TEST(Metrics, SummaryLineContainsAllHeadlineFields) {
+  auto cfg = detailed_config();
+  cfg.disk_model = DiskModelKind::FixedLatency;
+  const codes::Layout l = codes::make_layout(cfg.code, cfg.p);
+  const ArrayGeometry g(l, cfg.num_stripes);
+  workload::ErrorTraceConfig tc;
+  tc.num_stripes = cfg.num_stripes;
+  tc.num_errors = 10;
+  ReconstructionConfig rc;
+  rc.workers = 4;
+  rc.cache_bytes = 4ull << 20;
+  ReconstructionEngine engine(l, g, rc);
+  const SimMetrics m = engine.run(workload::generate_error_trace(l, tc));
+  const std::string line = m.summary_line();
+  EXPECT_NE(line.find("hit_ratio="), std::string::npos);
+  EXPECT_NE(line.find("disk_reads="), std::string::npos);
+  EXPECT_NE(line.find("reconstruction_ms="), std::string::npos);
+  EXPECT_NE(line.find("stripes=10"), std::string::npos);
+}
+
+TEST(Placement, RotationBalancesDiskLoad) {
+  // With fixed columns, the row-parity column (read by every RTP chain)
+  // and the error column concentrate load; rotation spreads both.
+  const codes::Layout l = codes::make_layout(codes::CodeId::TripleStar, 11);
+  workload::ErrorTraceConfig tc;
+  tc.num_stripes = 100000;
+  tc.num_errors = 120;
+  tc.seed = 21;
+  const auto errors = workload::generate_error_trace(l, tc);
+  auto imbalance = [&](bool rotate) {
+    const ArrayGeometry g(l, 100000, rotate, SparePlacement::Distributed);
+    ReconstructionConfig rc;
+    rc.workers = 16;
+    rc.cache_bytes = 16ull << 20;
+    ReconstructionEngine engine(l, g, rc);
+    const SimMetrics m = engine.run(errors);
+    std::uint64_t max_ops = 0;
+    std::uint64_t total = 0;
+    for (std::uint64_t ops : m.disk_ops) {
+      max_ops = std::max(max_ops, ops);
+      total += ops;
+    }
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(m.disk_ops.size());
+    return static_cast<double>(max_ops) / mean;
+  };
+  EXPECT_LT(imbalance(true), imbalance(false));
+  EXPECT_LT(imbalance(true), 1.35);  // rotated: near-uniform
+}
+
+TEST(Placement, RotationDoesNotChangeCacheBehaviour) {
+  // Rotation remaps chunks to disks but the logical request stream (and
+  // thus hits/misses) is identical.
+  auto cfg = detailed_config();
+  cfg.disk_model = DiskModelKind::FixedLatency;
+  cfg.rotate_columns = true;
+  const core::ExperimentResult rotated = core::run_experiment(cfg);
+  cfg.rotate_columns = false;
+  const core::ExperimentResult fixed = core::run_experiment(cfg);
+  EXPECT_EQ(rotated.cache_hits, fixed.cache_hits);
+  EXPECT_EQ(rotated.disk_reads, fixed.disk_reads);
+}
+
+TEST(Placement, SparePlacementDoesNotChangeCacheBehaviour) {
+  auto cfg = detailed_config();
+  cfg.disk_model = DiskModelKind::FixedLatency;
+  cfg.spare_placement = SparePlacement::Distributed;
+  const core::ExperimentResult distributed = core::run_experiment(cfg);
+  cfg.spare_placement = SparePlacement::SameDisk;
+  const core::ExperimentResult same = core::run_experiment(cfg);
+  EXPECT_EQ(distributed.cache_hits, same.cache_hits);
+  EXPECT_EQ(distributed.disk_reads, same.disk_reads);
+  EXPECT_EQ(distributed.disk_writes, same.disk_writes);
+}
+
+}  // namespace
+}  // namespace fbf::sim

@@ -1,0 +1,99 @@
+#include "sim/disk.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace fbf::sim {
+namespace {
+
+DiskParams fixed_params() {
+  DiskParams p;
+  p.kind = DiskModelKind::FixedLatency;
+  p.read_ms = 10.0;
+  p.write_ms = 12.0;
+  return p;
+}
+
+TEST(Disk, FixedLatencyIdleService) {
+  Disk d(0, fixed_params(), 1);
+  EXPECT_DOUBLE_EQ(d.submit_read(0.0, 5), 10.0);
+  EXPECT_DOUBLE_EQ(d.submit_write(20.0, 5), 32.0);
+}
+
+TEST(Disk, FcfsQueueingDelaysSecondRequest) {
+  Disk d(0, fixed_params(), 1);
+  EXPECT_DOUBLE_EQ(d.submit_read(0.0, 1), 10.0);
+  // Arrives while busy: starts at 10, finishes at 20.
+  EXPECT_DOUBLE_EQ(d.submit_read(2.0, 2), 20.0);
+  // Arrives after the queue drained: starts at its arrival.
+  EXPECT_DOUBLE_EQ(d.submit_read(25.0, 3), 35.0);
+}
+
+TEST(Disk, StatsTrackOps) {
+  Disk d(3, fixed_params(), 1);
+  d.submit_read(0.0, 1);
+  d.submit_read(0.0, 2);
+  d.submit_write(0.0, 3);
+  EXPECT_EQ(d.stats().reads, 2u);
+  EXPECT_EQ(d.stats().writes, 1u);
+  EXPECT_DOUBLE_EQ(d.stats().busy_ms, 32.0);
+  EXPECT_DOUBLE_EQ(d.stats().last_completion_ms, 32.0);
+  EXPECT_EQ(d.id(), 3);
+}
+
+TEST(Disk, UtilizationFraction) {
+  Disk d(0, fixed_params(), 1);
+  d.submit_read(0.0, 1);
+  EXPECT_DOUBLE_EQ(d.utilization(100.0), 0.1);
+  EXPECT_DOUBLE_EQ(d.utilization(0.0), 0.0);
+}
+
+TEST(Disk, DetailedModelPositiveAndBounded) {
+  DiskParams p;
+  p.kind = DiskModelKind::Detailed;
+  p.capacity_chunks = 1 << 20;
+  Disk d(0, p, 7);
+  double prev_done = 0.0;
+  for (std::uint64_t lba : {0ull, 1000ull, 500000ull, 3ull}) {
+    const double done = d.submit_read(prev_done, lba);
+    const double service = done - prev_done;
+    EXPECT_GT(service, 0.0);
+    // Bounded by max seek + full rotation + transfer.
+    EXPECT_LT(service, p.seek_max_ms + 60000.0 / p.rpm + 5.0);
+    prev_done = done;
+  }
+}
+
+TEST(Disk, DetailedModelSeekGrowsWithDistance) {
+  DiskParams p;
+  p.kind = DiskModelKind::Detailed;
+  p.rpm = 1e9;  // suppress rotational randomness
+  p.capacity_chunks = 1 << 20;
+  Disk near(0, p, 7);
+  Disk far(0, p, 7);
+  near.submit_read(0.0, 0);
+  far.submit_read(0.0, 0);
+  const double near_done = near.submit_read(100.0, 1);
+  const double far_done = far.submit_read(100.0, 1 << 19);
+  EXPECT_LT(near_done, far_done);
+}
+
+TEST(Disk, DetailedModelDeterministicPerSeed) {
+  DiskParams p;
+  p.kind = DiskModelKind::Detailed;
+  Disk a(0, p, 42);
+  Disk b(0, p, 42);
+  for (std::uint64_t lba = 0; lba < 50; lba += 7) {
+    EXPECT_DOUBLE_EQ(a.submit_read(0.0, lba), b.submit_read(0.0, lba));
+  }
+}
+
+TEST(Disk, RejectsNonPositiveLatency) {
+  DiskParams p;
+  p.read_ms = 0.0;
+  EXPECT_THROW(Disk(0, p, 1), util::CheckError);
+}
+
+}  // namespace
+}  // namespace fbf::sim

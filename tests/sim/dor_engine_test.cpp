@@ -1,0 +1,147 @@
+#include "sim/dor_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "codes/builders.h"
+#include "recovery/scheme.h"
+#include "recovery/scheme_cache.h"
+
+namespace fbf::sim {
+namespace {
+
+DorConfig small_config() {
+  DorConfig c;
+  c.cache_bytes = 64 * 32 * 1024;  // 64 chunks, shared buffer
+  c.chunk_bytes = 32 * 1024;
+  c.seed = 11;
+  return c;
+}
+
+std::vector<workload::StripeError> make_trace(const codes::Layout& l,
+                                              int n_errors,
+                                              std::uint64_t seed = 5) {
+  workload::ErrorTraceConfig cfg;
+  cfg.num_stripes = 10000;
+  cfg.num_errors = n_errors;
+  cfg.target_col = 0;
+  cfg.seed = seed;
+  return workload::generate_error_trace(l, cfg);
+}
+
+TEST(DorEngine, RecoversEveryChunk) {
+  const codes::Layout l = codes::make_layout(codes::CodeId::Tip, 7);
+  const ArrayGeometry g(l, 10000, true, SparePlacement::Distributed);
+  const auto errors = make_trace(l, 30);
+  std::uint64_t expected = 0;
+  for (const auto& e : errors) {
+    expected += static_cast<std::uint64_t>(e.error.num_chunks);
+  }
+  DorEngine engine(l, g, small_config());
+  const SimMetrics m = engine.run(errors);
+  EXPECT_EQ(m.chunks_recovered, expected);
+  EXPECT_EQ(m.disk_writes, expected);
+  EXPECT_EQ(m.stripes_recovered, errors.size());
+  EXPECT_GT(m.reconstruction_ms, 0.0);
+}
+
+TEST(DorEngine, AllCodesAllSchemesComplete) {
+  for (codes::CodeId id : codes::kAllCodes) {
+    const codes::Layout l = codes::make_layout(id, 5);
+    const ArrayGeometry g(l, 10000, true, SparePlacement::Distributed);
+    for (recovery::SchemeKind kind :
+         {recovery::SchemeKind::HorizontalFirst,
+          recovery::SchemeKind::RoundRobin,
+          recovery::SchemeKind::GreedyMinIO}) {
+      auto cfg = small_config();
+      cfg.scheme = kind;
+      DorEngine engine(l, g, cfg);
+      const SimMetrics m = engine.run(make_trace(l, 12));
+      EXPECT_EQ(m.stripes_recovered, 12u) << l.name();
+    }
+  }
+}
+
+TEST(DorEngine, AmpleBufferFetchesEachDistinctChunkOnce) {
+  // With a buffer larger than the whole working set, planned reads cover
+  // every distinct chunk exactly once and every consumption hits.
+  const codes::Layout l = codes::make_layout(codes::CodeId::TripleStar, 7);
+  const ArrayGeometry g(l, 10000, true, SparePlacement::Distributed);
+  const auto errors = make_trace(l, 20);
+  // Distinct fetch count from the schemes themselves.
+  recovery::SchemeCache schemes(l);
+  std::uint64_t distinct = 0;
+  for (const auto& e : errors) {
+    distinct += static_cast<std::uint64_t>(
+        schemes.get(e.error, recovery::SchemeKind::RoundRobin)
+            ->distinct_reads());
+  }
+  auto cfg = small_config();
+  cfg.cache_bytes = (1u << 16) * cfg.chunk_bytes;
+  DorEngine engine(l, g, cfg);
+  const SimMetrics m = engine.run(errors);
+  EXPECT_EQ(m.disk_reads, distinct);
+  EXPECT_EQ(m.cache.misses, 0u);  // no consumption ever missed
+  EXPECT_GT(m.cache.hits, 0u);
+}
+
+TEST(DorEngine, TightBufferForcesRereads) {
+  const codes::Layout l = codes::make_layout(codes::CodeId::TripleStar, 11);
+  const ArrayGeometry g(l, 10000, true, SparePlacement::Distributed);
+  const auto errors = make_trace(l, 30);
+  auto tight = small_config();
+  tight.cache_bytes = 8 * tight.chunk_bytes;
+  DorEngine a(l, g, tight);
+  const SimMetrics small = a.run(errors);
+  auto ample = small_config();
+  ample.cache_bytes = (1u << 16) * ample.chunk_bytes;
+  DorEngine b(l, g, ample);
+  const SimMetrics big = b.run(errors);
+  EXPECT_GT(small.disk_reads, big.disk_reads);
+  EXPECT_GT(small.cache.misses, 0u);
+}
+
+TEST(DorEngine, FbfBeatsLruUnderModeratePressure) {
+  // Buffer ~10% of the distinct working set: the regime where FBF's
+  // priority pinning pays off under DOR too. (At *extreme* pressure the
+  // effect inverts: Queue2/Queue3 fill with pinned chunks from many
+  // in-flight stripes and the one-shot majority thrashes harder than
+  // under LRU — bench_ablation_dor_sor shows that crossover.)
+  const codes::Layout l = codes::make_layout(codes::CodeId::TripleStar, 11);
+  const ArrayGeometry g(l, 10000, true, SparePlacement::Distributed);
+  const auto errors = make_trace(l, 60);
+  auto cfg = small_config();
+  cfg.cache_bytes = 256 * cfg.chunk_bytes;
+  cfg.policy = cache::PolicyId::Fbf;
+  DorEngine fbf_engine(l, g, cfg);
+  const SimMetrics fbf = fbf_engine.run(errors);
+  cfg.policy = cache::PolicyId::Lru;
+  DorEngine lru_engine(l, g, cfg);
+  const SimMetrics lru = lru_engine.run(errors);
+  EXPECT_LE(fbf.disk_reads, lru.disk_reads);
+  EXPECT_GE(fbf.cache.hit_ratio(), lru.cache.hit_ratio());
+}
+
+TEST(DorEngine, DeterministicAcrossRuns) {
+  const codes::Layout l = codes::make_layout(codes::CodeId::Star, 7);
+  const ArrayGeometry g(l, 10000, true, SparePlacement::Distributed);
+  const auto errors = make_trace(l, 25);
+  DorEngine a(l, g, small_config());
+  DorEngine b(l, g, small_config());
+  const SimMetrics ma = a.run(errors);
+  const SimMetrics mb = b.run(errors);
+  EXPECT_EQ(ma.disk_reads, mb.disk_reads);
+  EXPECT_EQ(ma.cache.hits, mb.cache.hits);
+  EXPECT_DOUBLE_EQ(ma.reconstruction_ms, mb.reconstruction_ms);
+}
+
+TEST(DorEngine, EmptyTraceIsNoop) {
+  const codes::Layout l = codes::make_layout(codes::CodeId::Tip, 5);
+  const ArrayGeometry g(l, 100);
+  DorEngine engine(l, g, small_config());
+  const SimMetrics m = engine.run({});
+  EXPECT_EQ(m.disk_reads, 0u);
+  EXPECT_DOUBLE_EQ(m.reconstruction_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace fbf::sim

@@ -1,0 +1,118 @@
+#include "util/bitmat.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace fbf::util {
+namespace {
+
+TEST(BitMatrix, StartsZeroed) {
+  BitMatrix m(3, 70);  // spans two words per row
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 70; ++c) {
+      EXPECT_FALSE(m.get(r, c));
+    }
+  }
+}
+
+TEST(BitMatrix, SetGetFlip) {
+  BitMatrix m(2, 130);
+  m.set(1, 129, true);
+  EXPECT_TRUE(m.get(1, 129));
+  m.flip(1, 129);
+  EXPECT_FALSE(m.get(1, 129));
+  m.flip(0, 63);
+  m.flip(0, 64);
+  EXPECT_TRUE(m.get(0, 63));
+  EXPECT_TRUE(m.get(0, 64));
+}
+
+TEST(BitMatrix, XorRows) {
+  BitMatrix m(2, 8);
+  m.set(0, 1, true);
+  m.set(0, 3, true);
+  m.set(1, 3, true);
+  m.set(1, 5, true);
+  m.xor_rows(0, 1);
+  EXPECT_TRUE(m.get(0, 1));
+  EXPECT_FALSE(m.get(0, 3));
+  EXPECT_TRUE(m.get(0, 5));
+  // Source row unchanged.
+  EXPECT_TRUE(m.get(1, 3));
+  EXPECT_TRUE(m.get(1, 5));
+}
+
+TEST(BitMatrix, IdentityHasFullRank) {
+  BitMatrix m(5, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    m.set(i, i, true);
+  }
+  EXPECT_EQ(m.rank(), 5u);
+  EXPECT_TRUE(m.full_column_rank());
+}
+
+TEST(BitMatrix, ZeroMatrixHasRankZero) {
+  const BitMatrix m(4, 4);
+  EXPECT_EQ(m.rank(), 0u);
+}
+
+TEST(BitMatrix, DuplicateRowsReduceRank) {
+  BitMatrix m(3, 4);
+  for (std::size_t c = 0; c < 4; ++c) {
+    m.set(0, c, c % 2 == 0);
+    m.set(1, c, c % 2 == 0);
+  }
+  m.set(2, 1, true);
+  EXPECT_EQ(m.rank(), 2u);
+  EXPECT_FALSE(m.full_column_rank());
+}
+
+TEST(BitMatrix, LinearlyDependentCombination) {
+  // row2 = row0 xor row1 -> rank 2.
+  BitMatrix m(3, 6);
+  m.set(0, 0, true);
+  m.set(0, 2, true);
+  m.set(1, 2, true);
+  m.set(1, 4, true);
+  m.set(2, 0, true);
+  m.set(2, 4, true);
+  EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(BitMatrix, TallMatrixColumnRank) {
+  // 6 equations, 3 unknowns, independent columns.
+  BitMatrix m(6, 3);
+  m.set(0, 0, true);
+  m.set(1, 1, true);
+  m.set(2, 2, true);
+  m.set(3, 0, true);
+  m.set(3, 1, true);
+  m.set(4, 1, true);
+  m.set(4, 2, true);
+  m.set(5, 0, true);
+  m.set(5, 2, true);
+  EXPECT_TRUE(m.full_column_rank());
+}
+
+TEST(BitMatrix, RankIsCopySafe) {
+  BitMatrix m(2, 2);
+  m.set(0, 0, true);
+  m.set(1, 1, true);
+  EXPECT_EQ(m.rank(), 2u);
+  // rank() must not mutate the matrix.
+  EXPECT_TRUE(m.get(0, 0));
+  EXPECT_TRUE(m.get(1, 1));
+  EXPECT_FALSE(m.get(0, 1));
+  EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(BitMatrix, OutOfRangeThrows) {
+  BitMatrix m(2, 2);
+  EXPECT_THROW(m.get(2, 0), CheckError);
+  EXPECT_THROW(m.set(0, 2, true), CheckError);
+  EXPECT_THROW(m.xor_rows(0, 5), CheckError);
+}
+
+}  // namespace
+}  // namespace fbf::util

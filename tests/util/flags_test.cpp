@@ -1,0 +1,81 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace fbf::util {
+namespace {
+
+Flags make(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  static std::vector<char*> argv;
+  argv.clear();
+  for (auto& s : storage) {
+    argv.push_back(s.data());
+  }
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsSyntax) {
+  const Flags f = make({"--p=7", "--code=star"});
+  EXPECT_EQ(f.get_int("p", 0), 7);
+  EXPECT_EQ(f.get_string("code", ""), "star");
+}
+
+TEST(Flags, SpaceSyntax) {
+  const Flags f = make({"--stripes", "128"});
+  EXPECT_EQ(f.get_int("stripes", 0), 128);
+}
+
+TEST(Flags, BareBooleanFlag) {
+  const Flags f = make({"--csv"});
+  EXPECT_TRUE(f.get_bool("csv", false));
+  EXPECT_TRUE(f.has("csv"));
+  EXPECT_FALSE(f.has("other"));
+}
+
+TEST(Flags, Fallbacks) {
+  const Flags f = make({});
+  EXPECT_EQ(f.get_int("missing", 42), 42);
+  EXPECT_EQ(f.get_string("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(f.get_double("missing", 1.5), 1.5);
+  EXPECT_FALSE(f.get_bool("missing", false));
+}
+
+TEST(Flags, IntList) {
+  const Flags f = make({"--p=5,7,11"});
+  const auto v = f.get_int_list("p", {});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 5);
+  EXPECT_EQ(v[2], 11);
+}
+
+TEST(Flags, StringList) {
+  const Flags f = make({"--codes=tip,star"});
+  const auto v = f.get_string_list("codes", {});
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], "tip");
+  EXPECT_EQ(v[1], "star");
+}
+
+TEST(Flags, ListFallback) {
+  const Flags f = make({});
+  const auto v = f.get_int_list("p", {5, 7});
+  ASSERT_EQ(v.size(), 2u);
+}
+
+TEST(Flags, Positional) {
+  const Flags f = make({"pos1", "--k=v", "pos2"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "pos1");
+  EXPECT_EQ(f.positional()[1], "pos2");
+}
+
+TEST(Flags, DoubleParsing) {
+  const Flags f = make({"--ratio=0.25"});
+  EXPECT_DOUBLE_EQ(f.get_double("ratio", 0.0), 0.25);
+}
+
+}  // namespace
+}  // namespace fbf::util

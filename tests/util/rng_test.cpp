@@ -1,0 +1,160 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+#include <set>
+
+namespace fbf::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, 12);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 12);
+  }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform_int(3, 2), CheckError);
+}
+
+TEST(Rng, Uniform01CoversUnitInterval) {
+  Rng rng(11);
+  double lo = 1.0;
+  double hi = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(lo, 0.05);
+  EXPECT_GT(hi, 0.95);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  EXPECT_THROW(rng.bernoulli(1.5), CheckError);
+}
+
+TEST(Rng, BernoulliRoughlyFair) {
+  Rng rng(5);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    heads += rng.bernoulli(0.5) ? 1 : 0;
+  }
+  EXPECT_NEAR(heads, 5000, 300);
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.exponential(4.0);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.25);
+}
+
+TEST(Rng, ZipfUniformWhenSkewZero) {
+  Rng rng(23);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t v = rng.zipf(10, 0.0);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, ZipfSkewPrefersLowRanks) {
+  Rng rng(29);
+  int low = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const std::size_t v = rng.zipf(1000, 0.99);
+    EXPECT_LT(v, 1000u);
+    if (v < 100) {
+      ++low;
+    }
+  }
+  // Under uniform sampling low ~ 10%; Zipf(0.99) concentrates far more.
+  EXPECT_GT(low, n / 4);
+}
+
+TEST(Rng, FillBytesChangesBuffer) {
+  Rng rng(31);
+  std::vector<std::byte> buf(37, std::byte{0});
+  rng.fill_bytes(buf);
+  int nonzero = 0;
+  for (std::byte b : buf) {
+    if (b != std::byte{0}) {
+      ++nonzero;
+    }
+  }
+  EXPECT_GT(nonzero, 20);
+}
+
+TEST(Rng, FillBytesDeterministic) {
+  Rng a(99);
+  Rng b(99);
+  std::vector<std::byte> ba(16);
+  std::vector<std::byte> bb(16);
+  a.fill_bytes(ba);
+  b.fill_bytes(bb);
+  EXPECT_EQ(ba, bb);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<std::size_t> v{0, 1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, IndexRejectsEmpty) {
+  Rng rng(1);
+  EXPECT_THROW(rng.index(0), CheckError);
+}
+
+}  // namespace
+}  // namespace fbf::util

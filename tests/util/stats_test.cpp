@@ -1,0 +1,124 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fbf::util {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator a;
+  a.add(3.5);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(a.min(), 3.5);
+  EXPECT_DOUBLE_EQ(a.max(), 3.5);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator a;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    a.add(v);
+  }
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_NEAR(a.variance(), 4.0, 1e-12);  // classic textbook data set
+  EXPECT_NEAR(a.stddev(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(Accumulator, SumMatchesMeanTimesCount) {
+  Accumulator a;
+  double expected = 0.0;
+  for (int i = 1; i <= 100; ++i) {
+    a.add(static_cast<double>(i));
+    expected += i;
+  }
+  EXPECT_NEAR(a.sum(), expected, 1e-9);
+}
+
+TEST(Accumulator, MergeEqualsSequential) {
+  Accumulator left;
+  Accumulator right;
+  Accumulator all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10.0;
+    (i % 2 == 0 ? left : right).add(v);
+    all.add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a;
+  a.add(1.0);
+  a.add(2.0);
+  Accumulator empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
+}
+
+TEST(Reservoir, ExactWhenUnderCapacity) {
+  Reservoir r(100);
+  for (int i = 1; i <= 11; ++i) {
+    r.add(static_cast<double>(i));
+  }
+  EXPECT_EQ(r.count(), 11u);
+  EXPECT_DOUBLE_EQ(r.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.percentile(0.5), 6.0);
+  EXPECT_DOUBLE_EQ(r.percentile(1.0), 11.0);
+}
+
+TEST(Reservoir, EmptyPercentileIsZero) {
+  const Reservoir r(16);
+  EXPECT_DOUBLE_EQ(r.percentile(0.5), 0.0);
+}
+
+TEST(Reservoir, InterpolatesBetweenSamples) {
+  Reservoir r(16);
+  r.add(0.0);
+  r.add(10.0);
+  EXPECT_DOUBLE_EQ(r.percentile(0.5), 5.0);
+}
+
+TEST(Reservoir, OverCapacityStaysBounded) {
+  Reservoir r(64);
+  for (int i = 0; i < 10000; ++i) {
+    r.add(static_cast<double>(i % 100));
+  }
+  EXPECT_EQ(r.count(), 10000u);
+  const double p50 = r.percentile(0.5);
+  EXPECT_GE(p50, 0.0);
+  EXPECT_LE(p50, 99.0);
+}
+
+TEST(Reservoir, RejectsBadQuantile) {
+  Reservoir r(4);
+  r.add(1.0);
+  EXPECT_THROW(r.percentile(1.5), CheckError);
+}
+
+}  // namespace
+}  // namespace fbf::util

@@ -1,0 +1,69 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace fbf::util {
+namespace {
+
+TEST(Format, FmtDouble) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(3.0, 0), "3");
+  EXPECT_EQ(fmt_double(-1.5, 1), "-1.5");
+}
+
+TEST(Format, FmtPercent) {
+  EXPECT_EQ(fmt_percent(0.1234), "12.34%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+}
+
+TEST(Format, FmtBytes) {
+  EXPECT_EQ(fmt_bytes(512), "512B");
+  EXPECT_EQ(fmt_bytes(32 * 1024), "32KB");
+  EXPECT_EQ(fmt_bytes(256ull << 20), "256MB");
+  EXPECT_EQ(fmt_bytes(2048ull << 20), "2GB");
+  EXPECT_EQ(fmt_bytes(1536), "1536B");  // non-multiple stays in bytes
+}
+
+TEST(Table, PrintsHeadersAndRows) {
+  Table t("demo");
+  t.headers({"a", "long-header", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"xxxx", "y", "zz"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("xxxx"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t;
+  t.headers({"x", "y"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table t;
+  t.headers({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, NoHeadersStillPrints) {
+  Table t;
+  t.add_row({"p", "q"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("p"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fbf::util

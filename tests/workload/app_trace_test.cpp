@@ -1,0 +1,95 @@
+#include "workload/app_trace.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+#include <set>
+
+#include "codes/builders.h"
+
+namespace fbf::workload {
+namespace {
+
+const codes::Layout& layout() {
+  static const codes::Layout l = codes::make_layout(codes::CodeId::Star, 7);
+  return l;
+}
+
+TEST(AppTrace, GeneratesRequestedCount) {
+  AppTraceConfig cfg;
+  cfg.num_requests = 321;
+  const auto trace = generate_app_trace(layout(), cfg);
+  EXPECT_EQ(trace.size(), 321u);
+}
+
+TEST(AppTrace, ArrivalsAreSortedAndPositive) {
+  AppTraceConfig cfg;
+  cfg.num_requests = 500;
+  double prev = 0.0;
+  for (const auto& r : generate_app_trace(layout(), cfg)) {
+    EXPECT_GE(r.arrival_ms, prev);
+    prev = r.arrival_ms;
+  }
+  EXPECT_GT(prev, 0.0);
+}
+
+TEST(AppTrace, CellsInBounds) {
+  AppTraceConfig cfg;
+  cfg.num_requests = 500;
+  for (const auto& r : generate_app_trace(layout(), cfg)) {
+    EXPECT_TRUE(layout().in_bounds(r.cell));
+    EXPECT_LT(r.stripe, cfg.num_stripes);
+  }
+}
+
+TEST(AppTrace, ReadFractionApproximatelyHonored) {
+  AppTraceConfig cfg;
+  cfg.num_requests = 5000;
+  cfg.read_fraction = 0.7;
+  int reads = 0;
+  for (const auto& r : generate_app_trace(layout(), cfg)) {
+    reads += r.is_read ? 1 : 0;
+  }
+  EXPECT_NEAR(reads / 5000.0, 0.7, 0.05);
+}
+
+TEST(AppTrace, ZipfSkewConcentratesOnHotStripes) {
+  AppTraceConfig cfg;
+  cfg.num_requests = 5000;
+  cfg.zipf_skew = 0.99;
+  cfg.num_stripes = 100000;
+  std::uint64_t low = 0;
+  for (const auto& r : generate_app_trace(layout(), cfg)) {
+    if (r.stripe < 10000) {
+      ++low;
+    }
+  }
+  // Uniform would put ~10% in the first decile; Zipf far more.
+  EXPECT_GT(low, 1500u);
+}
+
+TEST(AppTrace, DeterministicPerSeed) {
+  AppTraceConfig cfg;
+  cfg.num_requests = 100;
+  const auto a = generate_app_trace(layout(), cfg);
+  const auto b = generate_app_trace(layout(), cfg);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].stripe, b[i].stripe);
+    EXPECT_EQ(a[i].cell, b[i].cell);
+    EXPECT_EQ(a[i].is_read, b[i].is_read);
+    EXPECT_DOUBLE_EQ(a[i].arrival_ms, b[i].arrival_ms);
+  }
+}
+
+TEST(AppTrace, RejectsBadConfig) {
+  AppTraceConfig cfg;
+  cfg.read_fraction = 2.0;
+  EXPECT_THROW(generate_app_trace(layout(), cfg), util::CheckError);
+  cfg = AppTraceConfig{};
+  cfg.mean_interarrival_ms = 0.0;
+  EXPECT_THROW(generate_app_trace(layout(), cfg), util::CheckError);
+}
+
+}  // namespace
+}  // namespace fbf::workload

@@ -1,0 +1,166 @@
+#include "workload/errors.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+#include <set>
+
+#include "codes/builders.h"
+
+namespace fbf::workload {
+namespace {
+
+const codes::Layout& layout() {
+  static const codes::Layout l = codes::make_layout(codes::CodeId::Tip, 11);
+  return l;
+}
+
+ErrorTraceConfig base_config() {
+  ErrorTraceConfig c;
+  c.num_stripes = 100000;
+  c.num_errors = 500;
+  c.target_col = 0;
+  c.seed = 17;
+  return c;
+}
+
+TEST(ErrorTrace, SizesWithinPaperRange) {
+  const auto trace = generate_error_trace(layout(), base_config());
+  ASSERT_EQ(trace.size(), 500u);
+  for (const auto& e : trace) {
+    EXPECT_GE(e.error.num_chunks, 1);
+    EXPECT_LE(e.error.num_chunks, layout().rows());  // (p-1) chunks max
+    EXPECT_GE(e.error.first_row, 0);
+    EXPECT_LE(e.error.first_row + e.error.num_chunks, layout().rows());
+  }
+}
+
+TEST(ErrorTrace, MeanSizeNearHalfStripe) {
+  auto cfg = base_config();
+  cfg.num_errors = 4000;
+  const auto trace = generate_error_trace(layout(), cfg);
+  double sum = 0.0;
+  for (const auto& e : trace) {
+    sum += e.error.num_chunks;
+  }
+  // Uniform over [1, p-1] -> mean p/2 = (1 + (p-1)) / 2.
+  const double expected = (1.0 + layout().rows()) / 2.0;
+  EXPECT_NEAR(sum / static_cast<double>(trace.size()), expected, 0.25);
+}
+
+TEST(ErrorTrace, StripesAreDistinct) {
+  const auto trace = generate_error_trace(layout(), base_config());
+  std::set<std::uint64_t> stripes;
+  for (const auto& e : trace) {
+    EXPECT_TRUE(stripes.insert(e.stripe).second);
+  }
+}
+
+TEST(ErrorTrace, TargetColumnRespected) {
+  auto cfg = base_config();
+  cfg.target_col = 3;
+  for (const auto& e : generate_error_trace(layout(), cfg)) {
+    EXPECT_EQ(e.error.col, 3);
+  }
+}
+
+TEST(ErrorTrace, RandomColumnModeCoversSeveralDisks) {
+  auto cfg = base_config();
+  cfg.target_col = -1;
+  std::set<int> cols;
+  for (const auto& e : generate_error_trace(layout(), cfg)) {
+    EXPECT_GE(e.error.col, 0);
+    EXPECT_LT(e.error.col, layout().cols());
+    cols.insert(e.error.col);
+  }
+  EXPECT_GT(cols.size(), 3u);
+}
+
+TEST(ErrorTrace, SpatialLocalityClustersStripes) {
+  auto clustered_cfg = base_config();
+  clustered_cfg.spatial_locality = 0.95;
+  clustered_cfg.locality_window = 8;
+  auto spread_cfg = base_config();
+  spread_cfg.spatial_locality = 0.0;
+  auto near_fraction = [](const std::vector<StripeError>& trace) {
+    // Fraction of errors within 8 stripes of the previously generated one
+    // (trace is time-ordered and all detect times are 0 here, so re-sort
+    // by generation is unnecessary: same order).
+    int near = 0;
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+      const auto a = trace[i - 1].stripe;
+      const auto b = trace[i].stripe;
+      if ((b > a ? b - a : a - b) <= 8) {
+        ++near;
+      }
+    }
+    return static_cast<double>(near) / static_cast<double>(trace.size());
+  };
+  const double clustered =
+      near_fraction(generate_error_trace(layout(), clustered_cfg));
+  const double spread =
+      near_fraction(generate_error_trace(layout(), spread_cfg));
+  EXPECT_GT(clustered, spread + 0.3);
+}
+
+TEST(ErrorTrace, DeterministicPerSeed) {
+  const auto a = generate_error_trace(layout(), base_config());
+  const auto b = generate_error_trace(layout(), base_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].stripe, b[i].stripe);
+    EXPECT_EQ(a[i].error, b[i].error);
+  }
+  auto other_cfg = base_config();
+  other_cfg.seed = 18;
+  const auto c = generate_error_trace(layout(), other_cfg);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    differs |= a[i].stripe != c[i].stripe;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ErrorTrace, InterarrivalTimesSorted) {
+  auto cfg = base_config();
+  cfg.mean_interarrival_ms = 5.0;
+  const auto trace = generate_error_trace(layout(), cfg);
+  double prev = -1.0;
+  for (const auto& e : trace) {
+    EXPECT_GE(e.detect_time_ms, prev);
+    prev = e.detect_time_ms;
+  }
+  EXPECT_GT(trace.back().detect_time_ms, 0.0);
+}
+
+TEST(ErrorTrace, DenseTraceFillsAllStripes) {
+  auto cfg = base_config();
+  cfg.num_stripes = 64;
+  cfg.num_errors = 64;
+  const auto trace = generate_error_trace(layout(), cfg);
+  std::set<std::uint64_t> stripes;
+  for (const auto& e : trace) {
+    stripes.insert(e.stripe);
+  }
+  EXPECT_EQ(stripes.size(), 64u);
+}
+
+TEST(ErrorTrace, RejectsBadConfigs) {
+  auto cfg = base_config();
+  cfg.num_errors = 0;
+  EXPECT_THROW(generate_error_trace(layout(), cfg), util::CheckError);
+  cfg = base_config();
+  cfg.num_errors = 10;
+  cfg.num_stripes = 5;
+  EXPECT_THROW(generate_error_trace(layout(), cfg), util::CheckError);
+  cfg = base_config();
+  cfg.target_col = layout().cols();
+  EXPECT_THROW(generate_error_trace(layout(), cfg), util::CheckError);
+  cfg = base_config();
+  cfg.spatial_locality = 1.5;
+  EXPECT_THROW(generate_error_trace(layout(), cfg), util::CheckError);
+}
+
+}  // namespace
+}  // namespace fbf::workload

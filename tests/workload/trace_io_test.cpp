@@ -1,0 +1,96 @@
+#include "workload/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "codes/builders.h"
+#include "util/check.h"
+
+namespace fbf::workload {
+namespace {
+
+const codes::Layout& layout() {
+  static const codes::Layout l = codes::make_layout(codes::CodeId::Tip, 7);
+  return l;
+}
+
+std::vector<StripeError> sample_trace() {
+  ErrorTraceConfig cfg;
+  cfg.num_stripes = 5000;
+  cfg.num_errors = 50;
+  cfg.mean_interarrival_ms = 3.0;
+  cfg.seed = 9;
+  return generate_error_trace(layout(), cfg);
+}
+
+TEST(TraceIo, RoundTripPreservesEverything) {
+  const auto trace = sample_trace();
+  std::stringstream ss;
+  write_error_trace(ss, trace);
+  const auto loaded = read_error_trace(ss, layout());
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(loaded[i].stripe, trace[i].stripe);
+    EXPECT_EQ(loaded[i].error, trace[i].error);
+    EXPECT_DOUBLE_EQ(loaded[i].detect_time_ms, trace[i].detect_time_ms);
+  }
+}
+
+TEST(TraceIo, HeaderIsWritten) {
+  std::stringstream ss;
+  write_error_trace(ss, {});
+  EXPECT_EQ(ss.str(), "stripe,col,first_row,num_chunks,detect_time_ms\n");
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  std::stringstream ss;
+  write_error_trace(ss, {});
+  EXPECT_TRUE(read_error_trace(ss, layout()).empty());
+}
+
+TEST(TraceIo, RejectsMissingHeader) {
+  std::stringstream ss("1,2,3,4,5\n");
+  EXPECT_THROW(read_error_trace(ss, layout()), util::CheckError);
+}
+
+TEST(TraceIo, RejectsMalformedRow) {
+  std::stringstream ss(
+      "stripe,col,first_row,num_chunks,detect_time_ms\nnot-a-number,0,0,1,0\n");
+  EXPECT_THROW(read_error_trace(ss, layout()), util::CheckError);
+}
+
+TEST(TraceIo, RejectsOutOfRangeColumn) {
+  std::stringstream ss(
+      "stripe,col,first_row,num_chunks,detect_time_ms\n7,99,0,1,0\n");
+  EXPECT_THROW(read_error_trace(ss, layout()), util::CheckError);
+}
+
+TEST(TraceIo, RejectsOversizedError) {
+  std::stringstream ss(
+      "stripe,col,first_row,num_chunks,detect_time_ms\n7,0,4,5,0\n");
+  EXPECT_THROW(read_error_trace(ss, layout()), util::CheckError);
+}
+
+TEST(TraceIo, SkipsBlankLines) {
+  std::stringstream ss(
+      "stripe,col,first_row,num_chunks,detect_time_ms\n7,0,0,2,1.5\n\n");
+  const auto trace = read_error_trace(ss, layout());
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].stripe, 7u);
+  EXPECT_EQ(trace[0].error.num_chunks, 2);
+  EXPECT_DOUBLE_EQ(trace[0].detect_time_ms, 1.5);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto trace = sample_trace();
+  const std::string path = ::testing::TempDir() + "/fbf_trace_test.csv";
+  save_error_trace(path, trace);
+  const auto loaded = load_error_trace(path, layout());
+  EXPECT_EQ(loaded.size(), trace.size());
+  EXPECT_THROW(load_error_trace("/nonexistent/dir/trace.csv", layout()),
+               util::CheckError);
+}
+
+}  // namespace
+}  // namespace fbf::workload
