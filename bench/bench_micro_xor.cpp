@@ -1,0 +1,137 @@
+// GiB/s of every dispatched XOR kernel variant, per chunk size (4 KiB to
+// 1 MiB), plus the chain-fold comparison: one xor_fold pass over N sources
+// vs the N sequential xor_into passes the codec used before the kernel
+// layer. Variants are registered at runtime from supported_xor_kernels(),
+// so the same binary reports whatever the host CPU offers.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "codes/xor_kernels.h"
+#include "util/aligned.h"
+#include "util/rng.h"
+
+namespace {
+
+using fbf::codes::set_xor_kernel;
+using fbf::codes::supported_xor_kernels;
+using fbf::codes::XorKernel;
+
+using Buffer = std::vector<std::byte, fbf::util::AlignedAllocator<std::byte, 64>>;
+
+Buffer random_buffer(std::size_t size, std::uint64_t seed) {
+  Buffer b(size);
+  fbf::util::Rng rng(seed);
+  rng.fill_bytes(b);
+  return b;
+}
+
+void bm_xor_into(benchmark::State& state, XorKernel kernel,
+                 std::size_t size) {
+  set_xor_kernel(kernel);
+  Buffer dst = random_buffer(size, 1);
+  const Buffer src = random_buffer(size, 2);
+  for (auto _ : state) {
+    fbf::codes::xor_into(dst, src);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size));
+}
+
+void bm_xor_fold(benchmark::State& state, XorKernel kernel, std::size_t size,
+                 std::size_t nsrcs) {
+  set_xor_kernel(kernel);
+  Buffer dst = random_buffer(size, 1);
+  std::vector<Buffer> sources;
+  std::vector<std::span<const std::byte>> srcs;
+  for (std::size_t s = 0; s < nsrcs; ++s) {
+    sources.push_back(random_buffer(size, 100 + s));
+  }
+  for (const Buffer& b : sources) {
+    srcs.push_back(b);
+  }
+  for (auto _ : state) {
+    fbf::codes::xor_fold(dst, srcs);
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size * nsrcs));
+}
+
+// The pre-kernel-layer codec pattern: zero the destination, then one
+// dst-rewriting xor_into pass per chain member.
+void bm_xor_sequential(benchmark::State& state, XorKernel kernel,
+                       std::size_t size, std::size_t nsrcs) {
+  set_xor_kernel(kernel);
+  Buffer dst = random_buffer(size, 1);
+  std::vector<Buffer> sources;
+  for (std::size_t s = 0; s < nsrcs; ++s) {
+    sources.push_back(random_buffer(size, 100 + s));
+  }
+  for (auto _ : state) {
+    std::fill(dst.begin(), dst.end(), std::byte{0});
+    for (const Buffer& b : sources) {
+      fbf::codes::xor_into(dst, b);
+    }
+    benchmark::DoNotOptimize(dst.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(size * nsrcs));
+}
+
+std::string size_label(std::size_t size) {
+  if (size >= (1u << 20)) {
+    return std::to_string(size >> 20) + "MiB";
+  }
+  return std::to_string(size >> 10) + "KiB";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::size_t> sizes{4u << 10,  16u << 10, 32u << 10,
+                                       64u << 10, 256u << 10, 1u << 20};
+  const std::vector<std::size_t> chain_sizes{4, 8};
+  for (XorKernel k : supported_xor_kernels()) {
+    const std::string kname(fbf::codes::to_string(k));
+    for (std::size_t size : sizes) {
+      benchmark::RegisterBenchmark(
+          ("xor_into/" + kname + "/" + size_label(size)).c_str(),
+          [k, size](benchmark::State& s) { bm_xor_into(s, k, size); });
+    }
+    for (std::size_t nsrcs : chain_sizes) {
+      for (std::size_t size : {32u << 10, 256u << 10}) {
+        benchmark::RegisterBenchmark(
+            ("xor_fold/" + kname + "/" + size_label(size) + "/srcs:" +
+             std::to_string(nsrcs))
+                .c_str(),
+            [k, size, nsrcs](benchmark::State& s) {
+              bm_xor_fold(s, k, size, nsrcs);
+            });
+        benchmark::RegisterBenchmark(
+            ("xor_sequential/" + kname + "/" + size_label(size) + "/srcs:" +
+             std::to_string(nsrcs))
+                .c_str(),
+            [k, size, nsrcs](benchmark::State& s) {
+              bm_xor_sequential(s, k, size, nsrcs);
+            });
+      }
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

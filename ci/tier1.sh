@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verification, twice: the default build (SIMD kernels ON, runtime
+# dispatch picks the widest variant the host supports) and a scalar-only
+# build (-DFBF_ENABLE_SIMD=OFF), so the fallback path every non-x86/ARM or
+# flag-less toolchain would take stays covered by the full test suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+cmake -B build-scalar -S . -DFBF_ENABLE_SIMD=OFF
+cmake --build build-scalar -j
+ctest --test-dir build-scalar --output-on-failure -j

@@ -8,39 +8,40 @@
 
 namespace fbf::codes {
 
-void xor_into(std::span<std::byte> dst, std::span<const std::byte> src) {
-  FBF_CHECK(dst.size() == src.size(), "xor_into size mismatch");
-  // Word-wise XOR; chunk buffers are contiguous and at least byte aligned.
-  std::size_t i = 0;
-  for (; i + 8 <= dst.size(); i += 8) {
-    std::uint64_t a;
-    std::uint64_t b;
-    std::memcpy(&a, dst.data() + i, 8);
-    std::memcpy(&b, src.data() + i, 8);
-    a ^= b;
-    std::memcpy(dst.data() + i, &a, 8);
-  }
-  for (; i < dst.size(); ++i) {
-    dst[i] ^= src[i];
+namespace {
+
+using SrcList = std::vector<std::span<const std::byte>>;
+
+/// Collects the chunks of `ch`'s members except `skip` into `srcs`.
+void collect_chain(const StripeData& stripe, const Chain& ch, Cell skip,
+                   SrcList& srcs) {
+  srcs.clear();
+  for (const Cell& c : ch.cells) {
+    if (c != skip) {
+      srcs.push_back(stripe.chunk(c));
+    }
   }
 }
+
+}  // namespace
 
 StripeData::StripeData(const Layout& layout, std::size_t chunk_size)
     : layout_(&layout),
       chunk_size_(chunk_size),
-      bytes_(static_cast<std::size_t>(layout.num_cells()) * chunk_size,
+      stride_((chunk_size + kAlignment - 1) & ~(kAlignment - 1)),
+      bytes_(static_cast<std::size_t>(layout.num_cells()) * stride_,
              std::byte{0}) {
   FBF_CHECK(chunk_size_ > 0, "chunk size must be positive");
 }
 
 std::span<std::byte> StripeData::chunk(Cell c) {
   const auto idx = static_cast<std::size_t>(layout_->cell_index(c));
-  return {bytes_.data() + idx * chunk_size_, chunk_size_};
+  return {bytes_.data() + idx * stride_, chunk_size_};
 }
 
 std::span<const std::byte> StripeData::chunk(Cell c) const {
   const auto idx = static_cast<std::size_t>(layout_->cell_index(c));
-  return {bytes_.data() + idx * chunk_size_, chunk_size_};
+  return {bytes_.data() + idx * stride_, chunk_size_};
 }
 
 void StripeData::fill_random(util::Rng& rng) {
@@ -59,27 +60,24 @@ void StripeData::erase(Cell c) {
 
 void encode(StripeData& stripe) {
   const Layout& layout = stripe.layout();
+  SrcList srcs;
   for (int id : layout.encode_order()) {
     const Chain& ch = layout.chain(id);
-    auto parity = stripe.chunk(ch.parity_cell);
-    std::fill(parity.begin(), parity.end(), std::byte{0});
-    for (const Cell& c : ch.cells) {
-      if (c == ch.parity_cell) {
-        continue;
-      }
-      xor_into(parity, stripe.chunk(c));
-    }
+    collect_chain(stripe, ch, ch.parity_cell, srcs);
+    xor_fold(stripe.chunk(ch.parity_cell), srcs);
   }
 }
 
 bool verify(const StripeData& stripe) {
   const Layout& layout = stripe.layout();
   std::vector<std::byte> acc(stripe.chunk_size());
+  SrcList srcs;
   for (const Chain& ch : layout.chains()) {
-    std::fill(acc.begin(), acc.end(), std::byte{0});
+    srcs.clear();
     for (const Cell& c : ch.cells) {
-      xor_into(acc, stripe.chunk(c));
+      srcs.push_back(stripe.chunk(c));
     }
+    xor_fold(acc, srcs);
     if (std::any_of(acc.begin(), acc.end(),
                     [](std::byte b) { return b != std::byte{0}; })) {
       return false;
@@ -127,6 +125,7 @@ DecodeResult decode_erasures(StripeData& stripe,
       worklist.push_back(ch.id);
     }
   }
+  SrcList srcs;
   while (!worklist.empty() && remaining > 0) {
     const int id = worklist.back();
     worklist.pop_back();
@@ -144,13 +143,8 @@ DecodeResult decode_erasures(StripeData& stripe,
       }
     }
     FBF_CHECK(found, "chain bookkeeping inconsistent during peeling");
-    auto out = stripe.chunk(target);
-    std::fill(out.begin(), out.end(), std::byte{0});
-    for (const Cell& c : ch.cells) {
-      if (c != target) {
-        xor_into(out, stripe.chunk(c));
-      }
-    }
+    collect_chain(stripe, ch, target, srcs);
+    xor_fold(stripe.chunk(target), srcs);
     is_erased[static_cast<std::size_t>(layout.cell_index(target))] = false;
     --remaining;
     ++result.peeled;
@@ -184,16 +178,18 @@ DecodeResult decode_erasures(StripeData& stripe,
       continue;
     }
     Equation eq;
-    eq.rhs.assign(stripe.chunk_size(), std::byte{0});
+    eq.rhs.resize(stripe.chunk_size());
+    srcs.clear();
     for (const Cell& c : ch.cells) {
       const int u =
           unknown_of_cell[static_cast<std::size_t>(layout.cell_index(c))];
       if (u >= 0) {
         eq.unknowns.push_back(u);
       } else {
-        xor_into(eq.rhs, stripe.chunk(c));
+        srcs.push_back(stripe.chunk(c));
       }
     }
+    xor_fold(eq.rhs, srcs);
     std::sort(eq.unknowns.begin(), eq.unknowns.end());
     eqs.push_back(std::move(eq));
   }
@@ -238,11 +234,13 @@ DecodeResult decode_erasures(StripeData& stripe,
         pivot_eq[static_cast<std::size_t>(u)])];
     // Every unknown after the lead has already been solved; fold it in.
     std::vector<std::byte> value = eq.rhs;
+    srcs.clear();
     for (std::size_t i = 1; i < eq.unknowns.size(); ++i) {
       const Cell solved = unknown_cells[static_cast<std::size_t>(
           eq.unknowns[i])];
-      xor_into(value, stripe.chunk(solved));
+      srcs.push_back(stripe.chunk(solved));
     }
+    xor_fold_into(value, srcs);
     auto out = stripe.chunk(unknown_cells[static_cast<std::size_t>(u)]);
     std::copy(value.begin(), value.end(), out.begin());
     ++result.gaussian_solved;

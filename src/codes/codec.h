@@ -1,10 +1,11 @@
 // Chunk-level encode / verify / erasure-decode for any Layout.
 //
-// Encoding walks Layout::encode_order() and XORs each chain into its parity
-// cell. Decoding is two-phase: peeling (repeatedly solve chains with a
-// single erased member — the path real recovery schemes use), then a
-// generic GF(2) Gaussian pass over the remaining unknowns. mds3_check is
-// the symbolic oracle used by tests to prove triple-erasure tolerance.
+// Encoding walks Layout::encode_order() and folds each chain into its parity
+// cell with the dispatched XOR kernels (codes/xor_kernels.h). Decoding is
+// two-phase: peeling (repeatedly solve chains with a single erased member —
+// the path real recovery schemes use), then a generic GF(2) Gaussian pass
+// over the remaining unknowns. mds3_check is the symbolic oracle used by
+// tests to prove triple-erasure tolerance.
 #pragma once
 
 #include <cstddef>
@@ -12,16 +13,22 @@
 #include <vector>
 
 #include "codes/layout.h"
+#include "codes/xor_kernels.h"
+#include "util/aligned.h"
 #include "util/rng.h"
 
 namespace fbf::codes {
 
-/// dst ^= src, element-wise. Sizes must match.
-void xor_into(std::span<std::byte> dst, std::span<const std::byte> src);
-
 /// Owns the chunk buffers of one stripe.
+///
+/// Alignment contract: every chunk starts on a kAlignment (64-byte)
+/// boundary — the buffer is over-aligned and the per-chunk stride is padded
+/// up to kAlignment — so the vector XOR kernels start aligned and only the
+/// final sub-vector tail of odd chunk sizes takes the byte loop.
 class StripeData {
  public:
+  static constexpr std::size_t kAlignment = 64;
+
   StripeData(const Layout& layout, std::size_t chunk_size);
 
   std::size_t chunk_size() const { return chunk_size_; }
@@ -39,7 +46,9 @@ class StripeData {
  private:
   const Layout* layout_;
   std::size_t chunk_size_;
-  std::vector<std::byte> bytes_;
+  std::size_t stride_;  ///< chunk_size_ rounded up to kAlignment
+  std::vector<std::byte, util::AlignedAllocator<std::byte, kAlignment>>
+      bytes_;
 };
 
 /// Computes every parity cell. Requires data cells to be populated.

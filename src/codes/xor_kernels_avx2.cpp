@@ -1,0 +1,52 @@
+// AVX2 fold variant. This translation unit is compiled with -mavx2 (see
+// src/codes/CMakeLists.txt); nothing here may be called unless runtime CPU
+// detection in xor_kernels.cpp confirmed AVX2 support.
+#include <immintrin.h>
+
+#include <cstddef>
+
+#include "codes/xor_kernels_internal.h"
+
+namespace fbf::codes::detail {
+
+void xor_fold_avx2(std::byte* dst, const std::byte* const* srcs,
+                   std::size_t nsrcs, std::size_t size, bool accumulate) {
+  std::size_t i = 0;
+  // 64 bytes (two ymm registers) per iteration: each destination vector is
+  // loaded/stored once while all sources stream past it.
+  for (; i + 64 <= size; i += 64) {
+    __m256i v0;
+    __m256i v1;
+    if (accumulate) {
+      v0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+      v1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    } else {
+      v0 = _mm256_setzero_si256();
+      v1 = _mm256_setzero_si256();
+    }
+    for (std::size_t s = 0; s < nsrcs; ++s) {
+      const std::byte* src = srcs[s] + i;
+      v0 = _mm256_xor_si256(
+          v0, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src)));
+      v1 = _mm256_xor_si256(
+          v1, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + 32)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32), v1);
+  }
+  for (; i + 32 <= size; i += 32) {
+    __m256i v = accumulate
+                    ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                          dst + i))
+                    : _mm256_setzero_si256();
+    for (std::size_t s = 0; s < nsrcs; ++s) {
+      v = _mm256_xor_si256(v, _mm256_loadu_si256(
+                                  reinterpret_cast<const __m256i*>(
+                                      srcs[s] + i)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+  }
+  xor_fold_tail(dst, srcs, nsrcs, i, size, accumulate);
+}
+
+}  // namespace fbf::codes::detail

@@ -1,0 +1,45 @@
+// AVX-512 fold variant. This translation unit is compiled with -mavx512f
+// (see src/codes/CMakeLists.txt); nothing here may be called unless runtime
+// CPU detection in xor_kernels.cpp confirmed AVX-512F support.
+#include <immintrin.h>
+
+#include <cstddef>
+
+#include "codes/xor_kernels_internal.h"
+
+namespace fbf::codes::detail {
+
+void xor_fold_avx512(std::byte* dst, const std::byte* const* srcs,
+                     std::size_t nsrcs, std::size_t size, bool accumulate) {
+  std::size_t i = 0;
+  // 128 bytes (two zmm registers) per iteration.
+  for (; i + 128 <= size; i += 128) {
+    __m512i v0;
+    __m512i v1;
+    if (accumulate) {
+      v0 = _mm512_loadu_si512(dst + i);
+      v1 = _mm512_loadu_si512(dst + i + 64);
+    } else {
+      v0 = _mm512_setzero_si512();
+      v1 = _mm512_setzero_si512();
+    }
+    for (std::size_t s = 0; s < nsrcs; ++s) {
+      const std::byte* src = srcs[s] + i;
+      v0 = _mm512_xor_si512(v0, _mm512_loadu_si512(src));
+      v1 = _mm512_xor_si512(v1, _mm512_loadu_si512(src + 64));
+    }
+    _mm512_storeu_si512(dst + i, v0);
+    _mm512_storeu_si512(dst + i + 64, v1);
+  }
+  for (; i + 64 <= size; i += 64) {
+    __m512i v = accumulate ? _mm512_loadu_si512(dst + i)
+                           : _mm512_setzero_si512();
+    for (std::size_t s = 0; s < nsrcs; ++s) {
+      v = _mm512_xor_si512(v, _mm512_loadu_si512(srcs[s] + i));
+    }
+    _mm512_storeu_si512(dst + i, v);
+  }
+  xor_fold_tail(dst, srcs, nsrcs, i, size, accumulate);
+}
+
+}  // namespace fbf::codes::detail

@@ -1,0 +1,44 @@
+// Private contract between the dispatcher and the per-ISA translation
+// units. Each variant TU defines one fold function with this signature;
+// which ones exist is decided at configure time (FBF_XOR_HAVE_* macros set
+// by src/codes/CMakeLists.txt), and whether they are callable is decided at
+// runtime by CPU detection in xor_kernels.cpp.
+#pragma once
+
+#include <cstddef>
+
+namespace fbf::codes::detail {
+
+using FoldFn = void (*)(std::byte* dst, const std::byte* const* srcs,
+                        std::size_t nsrcs, std::size_t size, bool accumulate);
+
+void xor_fold_scalar(std::byte* dst, const std::byte* const* srcs,
+                     std::size_t nsrcs, std::size_t size, bool accumulate);
+#if defined(FBF_XOR_HAVE_AVX2)
+void xor_fold_avx2(std::byte* dst, const std::byte* const* srcs,
+                   std::size_t nsrcs, std::size_t size, bool accumulate);
+#endif
+#if defined(FBF_XOR_HAVE_AVX512)
+void xor_fold_avx512(std::byte* dst, const std::byte* const* srcs,
+                     std::size_t nsrcs, std::size_t size, bool accumulate);
+#endif
+#if defined(FBF_XOR_HAVE_NEON)
+void xor_fold_neon(std::byte* dst, const std::byte* const* srcs,
+                   std::size_t nsrcs, std::size_t size, bool accumulate);
+#endif
+
+/// Byte-at-a-time fold of positions [from, size) — the sub-vector tail
+/// shared by every wide variant.
+inline void xor_fold_tail(std::byte* dst, const std::byte* const* srcs,
+                          std::size_t nsrcs, std::size_t from,
+                          std::size_t size, bool accumulate) {
+  for (std::size_t i = from; i < size; ++i) {
+    std::byte v = accumulate ? dst[i] : std::byte{0};
+    for (std::size_t s = 0; s < nsrcs; ++s) {
+      v ^= srcs[s][i];
+    }
+    dst[i] = v;
+  }
+}
+
+}  // namespace fbf::codes::detail

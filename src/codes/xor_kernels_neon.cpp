@@ -1,0 +1,62 @@
+// NEON fold variant for aarch64, where Advanced SIMD is architecturally
+// baseline — no extra compile flags or runtime detection needed beyond the
+// configure-time architecture check in src/codes/CMakeLists.txt.
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "codes/xor_kernels_internal.h"
+
+namespace fbf::codes::detail {
+
+void xor_fold_neon(std::byte* dst, const std::byte* const* srcs,
+                   std::size_t nsrcs, std::size_t size, bool accumulate) {
+  std::size_t i = 0;
+  // 64 bytes (four q registers) per iteration.
+  for (; i + 64 <= size; i += 64) {
+    auto* d = reinterpret_cast<std::uint8_t*>(dst + i);
+    uint8x16_t v0;
+    uint8x16_t v1;
+    uint8x16_t v2;
+    uint8x16_t v3;
+    if (accumulate) {
+      v0 = vld1q_u8(d);
+      v1 = vld1q_u8(d + 16);
+      v2 = vld1q_u8(d + 32);
+      v3 = vld1q_u8(d + 48);
+    } else {
+      v0 = vdupq_n_u8(0);
+      v1 = vdupq_n_u8(0);
+      v2 = vdupq_n_u8(0);
+      v3 = vdupq_n_u8(0);
+    }
+    for (std::size_t s = 0; s < nsrcs; ++s) {
+      const auto* src = reinterpret_cast<const std::uint8_t*>(srcs[s] + i);
+      v0 = veorq_u8(v0, vld1q_u8(src));
+      v1 = veorq_u8(v1, vld1q_u8(src + 16));
+      v2 = veorq_u8(v2, vld1q_u8(src + 32));
+      v3 = veorq_u8(v3, vld1q_u8(src + 48));
+    }
+    vst1q_u8(d, v0);
+    vst1q_u8(d + 16, v1);
+    vst1q_u8(d + 32, v2);
+    vst1q_u8(d + 48, v3);
+  }
+  for (; i + 16 <= size; i += 16) {
+    auto* d = reinterpret_cast<std::uint8_t*>(dst + i);
+    uint8x16_t v = accumulate ? vld1q_u8(d) : vdupq_n_u8(0);
+    for (std::size_t s = 0; s < nsrcs; ++s) {
+      v = veorq_u8(
+          v, vld1q_u8(reinterpret_cast<const std::uint8_t*>(srcs[s] + i)));
+    }
+    vst1q_u8(d, v);
+  }
+  xor_fold_tail(dst, srcs, nsrcs, i, size, accumulate);
+}
+
+}  // namespace fbf::codes::detail
+
+#endif  // __aarch64__

@@ -2,10 +2,18 @@
 
 namespace fbf::recovery {
 
+std::uint64_t SchemeCache::make_key(const PartialStripeError& error,
+                                    SchemeKind kind) {
+  const auto field = [](int v) {
+    return static_cast<std::uint64_t>(static_cast<std::uint16_t>(v));
+  };
+  return (field(error.col) << 48) | (field(error.first_row) << 32) |
+         (field(error.num_chunks) << 16) | field(static_cast<int>(kind));
+}
+
 std::shared_ptr<const RecoveryScheme> SchemeCache::get(
     const PartialStripeError& error, SchemeKind kind) {
-  const Key key{error.col, error.first_row, error.num_chunks,
-                static_cast<int>(kind)};
+  const std::uint64_t key = make_key(error, kind);
   const auto it = schemes_.find(key);
   if (it != schemes_.end()) {
     ++hits_;

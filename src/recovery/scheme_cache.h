@@ -7,9 +7,9 @@
 // every stripe with the same format.
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <memory>
-#include <tuple>
+#include <unordered_map>
 
 #include "recovery/scheme.h"
 
@@ -29,10 +29,15 @@ class SchemeCache {
   std::size_t size() const { return schemes_.size(); }
 
  private:
-  using Key = std::tuple<int, int, int, int>;  // col, row, len, kind
+  /// Error formats packed into one 64-bit word (col/row/len/kind each fit
+  /// comfortably in 16 bits), hashed in one shot — this lookup sits on the
+  /// per-stripe path of every experiment.
+  static std::uint64_t make_key(const PartialStripeError& error,
+                                SchemeKind kind);
 
   const codes::Layout* layout_;
-  std::map<Key, std::shared_ptr<const RecoveryScheme>> schemes_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const RecoveryScheme>>
+      schemes_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
 };

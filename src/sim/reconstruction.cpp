@@ -110,12 +110,14 @@ void ReconstructionEngine::verify_recovered_chunk(
     Worker& w, const recovery::RecoveryStep& step) {
   const codes::Chain& chain = layout_->chain(step.chain_id);
   auto out = w.working->chunk(step.target);
-  std::fill(out.begin(), out.end(), std::byte{0});
+  std::vector<std::span<const std::byte>> srcs;
+  srcs.reserve(chain.cells.size());
   for (const codes::Cell& c : chain.cells) {
     if (c != step.target) {
-      codes::xor_into(out, w.working->chunk(c));
+      srcs.push_back(w.working->chunk(c));
     }
   }
+  codes::xor_fold(out, srcs);
   const auto expected = w.truth->chunk(step.target);
   FBF_CHECK(std::equal(out.begin(), out.end(), expected.begin()),
             "recovered chunk " + codes::to_string(step.target) +

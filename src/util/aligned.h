@@ -1,0 +1,44 @@
+// Over-aligned allocator so SIMD kernels can rely on aligned loads from the
+// start of every buffer (std::vector's default allocator only guarantees
+// alignof(std::max_align_t), typically 16).
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace fbf::util {
+
+template <typename T, std::size_t Alignment>
+struct AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T), "alignment below natural alignment");
+
+  using value_type = T;
+
+  /// Explicit rebind: the default allocator_traits machinery cannot rebind
+  /// across the non-type Alignment parameter.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace fbf::util

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace fbf::util {
 
@@ -64,9 +65,33 @@ void ThreadPool::worker_loop() {
 
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn) {
-  for (std::size_t i = 0; i < n; ++i) {
-    pool.submit([i, &fn] { fn(i); });
+  if (n == 0) {
+    return;
   }
+  // One task per worker, all pulling chunks of the index space from a
+  // shared atomic cursor — instead of one heap-allocated std::function per
+  // iteration. Chunks keep contention low while still load-balancing
+  // iterations of uneven cost.
+  const std::size_t workers = std::min(n, pool.thread_count());
+  const std::size_t chunk = std::max<std::size_t>(1, n / (workers * 8));
+  std::atomic<std::size_t> next{0};
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.submit([&next, &fn, n, chunk] {
+      for (;;) {
+        const std::size_t begin =
+            next.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= n) {
+          return;
+        }
+        const std::size_t end = std::min(n, begin + chunk);
+        for (std::size_t i = begin; i < end; ++i) {
+          fn(i);
+        }
+      }
+    });
+  }
+  // `next` and `fn` outlive the tasks: wait_idle returns only after every
+  // submitted task has finished.
   pool.wait_idle();
 }
 

@@ -45,6 +45,9 @@ class ThreadPool {
 };
 
 /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+/// Work is distributed dynamically: one task per pool thread, each grabbing
+/// chunks of indices from a shared atomic cursor, so per-iteration
+/// scheduling costs no queue traffic or allocation.
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn);
 

@@ -46,6 +46,29 @@ TEST(ThreadPool, ParallelForWritesDistinctSlots) {
   }
 }
 
+TEST(ThreadPool, ParallelForHandlesZeroAndOneIteration) {
+  ThreadPool pool(4);
+  parallel_for(pool, 0, [](std::size_t) { FAIL() << "must not be called"; });
+  int calls = 0;
+  parallel_for(pool, 1, [&calls](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ParallelForRunsEachIndexExactlyOnce) {
+  // More iterations than threads, deliberately not a multiple of the chunk
+  // size, each index counted atomically.
+  ThreadPool pool(5);
+  std::vector<std::atomic<int>> counts(1013);
+  parallel_for(pool, counts.size(),
+               [&counts](std::size_t i) { counts[i].fetch_add(1); });
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
 TEST(ThreadPool, ReusableAfterWait) {
   ThreadPool pool(2);
   std::atomic<int> count{0};
