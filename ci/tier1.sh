@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 verification, twice: the default build (SIMD kernels ON, runtime
-# dispatch picks the widest variant the host supports) and a scalar-only
-# build (-DFBF_ENABLE_SIMD=OFF), so the fallback path every non-x86/ARM or
-# flag-less toolchain would take stays covered by the full test suite.
+# Tier-1 verification, three times: the default build (SIMD kernels ON,
+# runtime dispatch picks the widest variant the host supports), a
+# scalar-only build (-DFBF_ENABLE_SIMD=OFF) so the fallback path every
+# non-x86/ARM or flag-less toolchain would take stays covered, and an
+# ASan+UBSan build (-DFBF_SANITIZE=ON) so memory errors and UB in any
+# tested path fail CI instead of lurking. FBF_VALIDATE=1 turns on the
+# cross-engine conservation-law checks (src/sim/validate.h) in every run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+export FBF_VALIDATE=1
 
 cmake -B build -S .
 cmake --build build -j
@@ -13,3 +17,7 @@ ctest --test-dir build --output-on-failure -j
 cmake -B build-scalar -S . -DFBF_ENABLE_SIMD=OFF
 cmake --build build-scalar -j
 ctest --test-dir build-scalar --output-on-failure -j
+
+cmake -B build-asan -S . -DFBF_SANITIZE=ON
+cmake --build build-asan -j
+ctest --test-dir build-asan --output-on-failure -j

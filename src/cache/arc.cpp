@@ -87,6 +87,12 @@ bool ArcCache::handle(Key key, int /*priority*/) {
   }
 
   // Case IV: full miss.
+  admit_to_t1(key);
+  return false;
+}
+
+void ArcCache::admit_to_t1(Key key) {
+  const std::size_t c = capacity();
   const std::size_t l1 = t1_.entries.size() + b1_.entries.size();
   if (l1 == c) {
     if (t1_.entries.size() < c) {
@@ -106,7 +112,20 @@ bool ArcCache::handle(Key key, int /*priority*/) {
     }
   }
   t1_.push_mru(key);
-  return false;
+}
+
+void ArcCache::handle_install(Key key, int /*priority*/) {
+  if (t1_.contains(key) || t2_.contains(key)) {
+    return;  // no reuse evidence: leave recency/frequency state alone
+  }
+  // A ghosted key becomes resident again, but without the Case II/III
+  // adaptation a demand miss would apply: p_ stays put.
+  if (b1_.contains(key)) {
+    b1_.erase(key);
+  } else if (b2_.contains(key)) {
+    b2_.erase(key);
+  }
+  admit_to_t1(key);
 }
 
 }  // namespace fbf::cache

@@ -29,6 +29,7 @@ class ArcCache final : public CachePolicy {
 
  protected:
   bool handle(Key key, int priority) override;
+  void handle_install(Key key, int priority) override;
 
  private:
   struct List {
@@ -43,6 +44,10 @@ class ArcCache final : public CachePolicy {
 
   /// Moves one resident key to the appropriate ghost list.
   void replace(bool hit_in_b2);
+
+  /// Case IV admission into T1: make room (trimming the directory to its
+  /// bounds) and push the key MRU. Reads `p_` but never adapts it.
+  void admit_to_t1(Key key);
 
   List t1_, t2_, b1_, b2_;
   std::size_t p_ = 0;

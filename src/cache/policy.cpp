@@ -34,7 +34,7 @@ void CachePolicy::install(Key key, int priority) {
   if (capacity_ == 0) {
     return;
   }
-  handle(key, priority);
+  handle_install(key, priority);
 }
 
 const char* to_string(PolicyId id) {

@@ -45,6 +45,13 @@ class CachePolicy {
   /// Places a chunk in the cache without counting a hit or miss — used for
   /// freshly recovered chunks, which enter the buffer as a side effect of
   /// reconstruction rather than through a lookup. Evictions still count.
+  ///
+  /// Installs carry no reuse evidence, so adaptive policies must not treat
+  /// them as demand accesses: ARC keeps its target `p` and never counts a
+  /// ghost hit, 2Q never ghost-promotes into the protected queue, and an
+  /// already-resident key is left untouched. A key is never simultaneously
+  /// resident and on a ghost list (installing a ghosted key removes the
+  /// ghost entry without adapting).
   void install(Key key, int priority = 1);
 
   virtual bool contains(Key key) const = 0;
@@ -59,6 +66,12 @@ class CachePolicy {
   /// Policy-specific handling; returns hit/miss. Must keep size() <=
   /// capacity() and call note_eviction() per evicted key.
   virtual bool handle(Key key, int priority) = 0;
+
+  /// Policy-specific install. The default treats it as a demand access;
+  /// policies with adaptive state (ARC, 2Q) override to admit without
+  /// adapting (see install()).
+  virtual void handle_install(Key key, int priority) { handle(key, priority); }
+
   void note_eviction() { ++stats_.evictions; }
 
  private:

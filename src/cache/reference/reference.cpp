@@ -1,0 +1,545 @@
+#include "cache/reference/reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace fbf::cache::reference {
+
+bool ReferencePolicy::request(Key key, int priority) {
+  FBF_CHECK(priority >= 1 && priority <= 3, "priority must be 1..3");
+  if (capacity() == 0) {
+    ++stats_.misses;
+    return false;
+  }
+  const bool hit = handle(key, priority);
+  if (hit) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+  }
+  return hit;
+}
+
+void ReferencePolicy::install(Key key, int priority) {
+  FBF_CHECK(priority >= 1 && priority <= 3, "priority must be 1..3");
+  if (capacity() == 0) {
+    return;
+  }
+  handle_install(key, priority);
+}
+
+namespace {
+
+bool has_key(const std::vector<Key>& v, Key k) {
+  return std::find(v.begin(), v.end(), k) != v.end();
+}
+
+void erase_key(std::vector<Key>& v, Key k) {
+  const auto it = std::find(v.begin(), v.end(), k);
+  FBF_CHECK(it != v.end(), "reference erase of absent key");
+  v.erase(it);
+}
+
+/// Pops the front (LRU / oldest) element of a vector-backed queue.
+Key pop_front(std::vector<Key>& v) {
+  FBF_CHECK(!v.empty(), "reference pop_front on empty queue");
+  const Key k = v.front();
+  v.erase(v.begin());
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// FIFO: evict in insertion order; hits do not move the key.
+class RefFifo final : public ReferencePolicy {
+ public:
+  using ReferencePolicy::ReferencePolicy;
+
+  bool contains(Key key) const override { return has_key(order_, key); }
+  std::size_t size() const override { return order_.size(); }
+  std::vector<Key> resident() const override { return order_; }
+
+ protected:
+  bool handle(Key key, int /*priority*/) override {
+    if (has_key(order_, key)) {
+      return true;
+    }
+    if (order_.size() >= capacity()) {
+      pop_front(order_);
+      note_eviction();
+    }
+    order_.push_back(key);
+    return false;
+  }
+
+ private:
+  std::vector<Key> order_;  // front = oldest
+};
+
+// ---------------------------------------------------------------------------
+// LRU: hits move the key to the MRU end; evict the LRU front.
+class RefLru final : public ReferencePolicy {
+ public:
+  using ReferencePolicy::ReferencePolicy;
+
+  bool contains(Key key) const override { return has_key(order_, key); }
+  std::size_t size() const override { return order_.size(); }
+  std::vector<Key> resident() const override { return order_; }
+
+ protected:
+  bool handle(Key key, int /*priority*/) override {
+    if (has_key(order_, key)) {
+      erase_key(order_, key);
+      order_.push_back(key);
+      return true;
+    }
+    if (order_.size() >= capacity()) {
+      pop_front(order_);
+      note_eviction();
+    }
+    order_.push_back(key);
+    return false;
+  }
+
+ private:
+  std::vector<Key> order_;  // front = LRU
+};
+
+// ---------------------------------------------------------------------------
+// LFU: evict the lowest-frequency key; among equals, the one that reached
+// that frequency first (the optimized bucket lists append on every bump, so
+// bucket order is attainment order).
+class RefLfu final : public ReferencePolicy {
+ public:
+  using ReferencePolicy::ReferencePolicy;
+
+  bool contains(Key key) const override { return entries_.count(key) > 0; }
+  std::size_t size() const override { return entries_.size(); }
+  std::vector<Key> resident() const override {
+    std::vector<Key> out;
+    for (const auto& [k, e] : entries_) {
+      out.push_back(k);
+    }
+    return out;
+  }
+
+ protected:
+  bool handle(Key key, int /*priority*/) override {
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++it->second.freq;
+      it->second.attained = ++seq_;
+      return true;
+    }
+    if (entries_.size() >= capacity()) {
+      auto victim = entries_.begin();
+      for (auto e = entries_.begin(); e != entries_.end(); ++e) {
+        if (e->second.freq < victim->second.freq ||
+            (e->second.freq == victim->second.freq &&
+             e->second.attained < victim->second.attained)) {
+          victim = e;
+        }
+      }
+      entries_.erase(victim);
+      note_eviction();
+    }
+    entries_[key] = Entry{1, ++seq_};
+    return false;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t freq = 0;
+    std::uint64_t attained = 0;  ///< when the current freq was reached
+  };
+  std::uint64_t seq_ = 0;
+  std::unordered_map<Key, Entry> entries_;
+};
+
+// ---------------------------------------------------------------------------
+// LRU-2: evict the smallest (penultimate access, last access); keys seen
+// once (penult 0) go first. The clock ticks once per handled operation,
+// exactly like the optimized policy. Ties broken by smaller key (the
+// optimized ordered set sorts by (rank, key)).
+class RefLru2 final : public ReferencePolicy {
+ public:
+  using ReferencePolicy::ReferencePolicy;
+
+  bool contains(Key key) const override { return entries_.count(key) > 0; }
+  std::size_t size() const override { return entries_.size(); }
+  std::vector<Key> resident() const override {
+    std::vector<Key> out;
+    for (const auto& [k, e] : entries_) {
+      out.push_back(k);
+    }
+    return out;
+  }
+
+ protected:
+  bool handle(Key key, int /*priority*/) override {
+    ++clock_;
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      it->second.penult = it->second.last;
+      it->second.last = clock_;
+      return true;
+    }
+    if (entries_.size() >= capacity()) {
+      auto victim = entries_.begin();
+      for (auto e = entries_.begin(); e != entries_.end(); ++e) {
+        const auto er = std::make_tuple(e->second.penult, e->second.last,
+                                        e->first);
+        const auto vr = std::make_tuple(victim->second.penult,
+                                        victim->second.last, victim->first);
+        if (er < vr) {
+          victim = e;
+        }
+      }
+      entries_.erase(victim);
+      note_eviction();
+    }
+    entries_[key] = Entry{clock_, 0};
+    return false;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t last = 0;
+    std::uint64_t penult = 0;
+  };
+  std::uint64_t clock_ = 0;
+  std::unordered_map<Key, Entry> entries_;
+};
+
+// ---------------------------------------------------------------------------
+// LRFU: CRF C(t) = sum of (1/2)^(lambda * age) over past references. Evicts
+// the smallest time-invariant rank log2(crf) + lambda * last (the identical
+// expression the optimized policy stores in its ordered set, so the doubles
+// agree bit-for-bit); ties broken by smaller key.
+class RefLrfu final : public ReferencePolicy {
+ public:
+  RefLrfu(std::size_t capacity, double lambda)
+      : ReferencePolicy(capacity), lambda_(lambda) {}
+
+  bool contains(Key key) const override { return entries_.count(key) > 0; }
+  std::size_t size() const override { return entries_.size(); }
+  std::vector<Key> resident() const override {
+    std::vector<Key> out;
+    for (const auto& [k, e] : entries_) {
+      out.push_back(k);
+    }
+    return out;
+  }
+
+ protected:
+  bool handle(Key key, int /*priority*/) override {
+    ++clock_;
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      const auto age = static_cast<double>(clock_ - it->second.last);
+      it->second.crf = 1.0 + it->second.crf * std::exp2(-lambda_ * age);
+      it->second.last = clock_;
+      return true;
+    }
+    if (entries_.size() >= capacity()) {
+      auto victim = entries_.begin();
+      for (auto e = entries_.begin(); e != entries_.end(); ++e) {
+        const auto er = std::make_pair(rank(e->second), e->first);
+        const auto vr = std::make_pair(rank(victim->second), victim->first);
+        if (er < vr) {
+          victim = e;
+        }
+      }
+      entries_.erase(victim);
+      note_eviction();
+    }
+    entries_[key] = Entry{1.0, clock_};
+    return false;
+  }
+
+ private:
+  struct Entry {
+    double crf = 0.0;
+    std::uint64_t last = 0;
+  };
+
+  double rank(const Entry& e) const {
+    return std::log2(e.crf) + lambda_ * static_cast<double>(e.last);
+  }
+
+  double lambda_;
+  std::uint64_t clock_ = 0;
+  std::unordered_map<Key, Entry> entries_;
+};
+
+// ---------------------------------------------------------------------------
+// ARC, transcribed from Megiddo & Modha (FAST'03) Table I. Four vectors
+// (front = LRU, back = MRU) stand in for the optimized list+index pairs.
+class RefArc final : public ReferencePolicy {
+ public:
+  using ReferencePolicy::ReferencePolicy;
+
+  bool contains(Key key) const override {
+    return has_key(t1_, key) || has_key(t2_, key);
+  }
+  std::size_t size() const override { return t1_.size() + t2_.size(); }
+  std::vector<Key> resident() const override {
+    std::vector<Key> out = t1_;
+    out.insert(out.end(), t2_.begin(), t2_.end());
+    return out;
+  }
+
+ protected:
+  bool handle(Key key, int /*priority*/) override {
+    const std::size_t c = capacity();
+
+    if (has_key(t1_, key)) {  // Case I: T1 hit promotes to T2
+      erase_key(t1_, key);
+      t2_.push_back(key);
+      return true;
+    }
+    if (has_key(t2_, key)) {  // Case I: T2 hit refreshes recency
+      erase_key(t2_, key);
+      t2_.push_back(key);
+      return true;
+    }
+    if (has_key(b1_, key)) {  // Case II: adapt toward recency
+      const std::size_t delta = std::max<std::size_t>(
+          1, b2_.size() / std::max<std::size_t>(1, b1_.size()));
+      p_ = std::min(c, p_ + delta);
+      replace(/*hit_in_b2=*/false);
+      erase_key(b1_, key);
+      t2_.push_back(key);
+      return false;
+    }
+    if (has_key(b2_, key)) {  // Case III: adapt toward frequency
+      const std::size_t delta = std::max<std::size_t>(
+          1, b1_.size() / std::max<std::size_t>(1, b2_.size()));
+      p_ = p_ > delta ? p_ - delta : 0;
+      replace(/*hit_in_b2=*/true);
+      erase_key(b2_, key);
+      t2_.push_back(key);
+      return false;
+    }
+    admit_to_t1(key);  // Case IV
+    return false;
+  }
+
+  void handle_install(Key key, int /*priority*/) override {
+    if (has_key(t1_, key) || has_key(t2_, key)) {
+      return;
+    }
+    if (has_key(b1_, key)) {
+      erase_key(b1_, key);
+    } else if (has_key(b2_, key)) {
+      erase_key(b2_, key);
+    }
+    admit_to_t1(key);
+  }
+
+ private:
+  void replace(bool hit_in_b2) {
+    const bool from_t1 =
+        !t1_.empty() && (t1_.size() > p_ || (hit_in_b2 && t1_.size() == p_));
+    if (from_t1) {
+      b1_.push_back(pop_front(t1_));
+    } else {
+      FBF_CHECK(!t2_.empty(), "reference ARC replace with both lists empty");
+      b2_.push_back(pop_front(t2_));
+    }
+    note_eviction();
+  }
+
+  void admit_to_t1(Key key) {
+    const std::size_t c = capacity();
+    const std::size_t l1 = t1_.size() + b1_.size();
+    if (l1 == c) {
+      if (t1_.size() < c) {
+        pop_front(b1_);
+        replace(/*hit_in_b2=*/false);
+      } else {
+        pop_front(t1_);
+        note_eviction();
+      }
+    } else {
+      const std::size_t total = l1 + t2_.size() + b2_.size();
+      if (total >= c) {
+        if (total == 2 * c) {
+          pop_front(b2_);
+        }
+        replace(/*hit_in_b2=*/false);
+      }
+    }
+    t1_.push_back(key);
+  }
+
+  std::vector<Key> t1_, t2_, b1_, b2_;
+  std::size_t p_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Simplified 2Q (Johnson & Shasha, VLDB'94): FIFO probation A1in (hits stay
+// put), ghost history A1out, protected LRU main queue Am.
+class Ref2Q final : public ReferencePolicy {
+ public:
+  explicit Ref2Q(std::size_t capacity)
+      : ReferencePolicy(capacity),
+        kin_(std::max<std::size_t>(1, capacity / 4)),
+        kout_(std::max<std::size_t>(1, capacity / 2)) {}
+
+  bool contains(Key key) const override {
+    return has_key(a1in_, key) || has_key(am_, key);
+  }
+  std::size_t size() const override { return a1in_.size() + am_.size(); }
+  std::vector<Key> resident() const override {
+    std::vector<Key> out = a1in_;
+    out.insert(out.end(), am_.begin(), am_.end());
+    return out;
+  }
+
+ protected:
+  bool handle(Key key, int /*priority*/) override {
+    if (has_key(am_, key)) {
+      erase_key(am_, key);
+      am_.push_back(key);
+      return true;
+    }
+    if (has_key(a1in_, key)) {
+      return true;  // probation hits do not move
+    }
+    if (has_key(a1out_, key)) {
+      erase_key(a1out_, key);
+      evict_for_insert();
+      am_.push_back(key);
+      return false;
+    }
+    evict_for_insert();
+    a1in_.push_back(key);
+    return false;
+  }
+
+  void handle_install(Key key, int /*priority*/) override {
+    if (has_key(am_, key) || has_key(a1in_, key)) {
+      return;
+    }
+    if (has_key(a1out_, key)) {
+      erase_key(a1out_, key);  // re-enters probation, never promoted
+    }
+    evict_for_insert();
+    a1in_.push_back(key);
+  }
+
+ private:
+  void evict_for_insert() {
+    if (size() < capacity()) {
+      return;
+    }
+    if (a1in_.size() > kin_ || (am_.empty() && !a1in_.empty())) {
+      a1out_.push_back(pop_front(a1in_));
+      if (a1out_.size() > kout_) {
+        pop_front(a1out_);
+      }
+    } else {
+      pop_front(am_);
+    }
+    note_eviction();
+  }
+
+  std::size_t kin_;
+  std::size_t kout_;
+  std::vector<Key> a1in_;   // front = oldest
+  std::vector<Key> a1out_;  // ghost FIFO
+  std::vector<Key> am_;     // front = LRU
+};
+
+// ---------------------------------------------------------------------------
+// FBF, paper Algorithm 1 transcribed literally: three LRU queues by
+// priority; a hit consumes one expected reference and demotes one level
+// (Queue1 hits refresh recency); replacement drains Queue1, then Queue2,
+// and touches Queue3 only when nothing else remains.
+class RefFbf final : public ReferencePolicy {
+ public:
+  RefFbf(std::size_t capacity, bool demote_on_hit)
+      : ReferencePolicy(capacity), demote_on_hit_(demote_on_hit) {}
+
+  bool contains(Key key) const override {
+    return level_of(key) != 0;
+  }
+  std::size_t size() const override {
+    return queues_[0].size() + queues_[1].size() + queues_[2].size();
+  }
+  std::vector<Key> resident() const override {
+    std::vector<Key> out;
+    for (const auto& q : queues_) {
+      out.insert(out.end(), q.begin(), q.end());
+    }
+    return out;
+  }
+
+ protected:
+  bool handle(Key key, int priority) override {
+    const int level = level_of(key);
+    if (level != 0) {
+      erase_key(queues_[static_cast<std::size_t>(level - 1)], key);
+      const int next = demote_on_hit_ ? (level > 1 ? level - 1 : 1) : level;
+      queues_[static_cast<std::size_t>(next - 1)].push_back(key);
+      return true;
+    }
+    if (size() >= capacity()) {
+      for (auto& q : queues_) {
+        if (!q.empty()) {
+          pop_front(q);
+          note_eviction();
+          break;
+        }
+      }
+    }
+    queues_[static_cast<std::size_t>(priority - 1)].push_back(key);
+    return false;
+  }
+
+ private:
+  int level_of(Key key) const {
+    for (int level = 1; level <= 3; ++level) {
+      if (has_key(queues_[static_cast<std::size_t>(level - 1)], key)) {
+        return level;
+      }
+    }
+    return 0;
+  }
+
+  bool demote_on_hit_;
+  std::vector<Key> queues_[3];  // front = LRU
+};
+
+}  // namespace
+
+std::unique_ptr<ReferencePolicy> make_reference_policy(PolicyId id,
+                                                       std::size_t capacity) {
+  switch (id) {
+    case PolicyId::Fifo:
+      return std::make_unique<RefFifo>(capacity);
+    case PolicyId::Lru:
+      return std::make_unique<RefLru>(capacity);
+    case PolicyId::Lfu:
+      return std::make_unique<RefLfu>(capacity);
+    case PolicyId::Arc:
+      return std::make_unique<RefArc>(capacity);
+    case PolicyId::Lru2:
+      return std::make_unique<RefLru2>(capacity);
+    case PolicyId::TwoQ:
+      return std::make_unique<Ref2Q>(capacity);
+    case PolicyId::Lrfu:
+      return std::make_unique<RefLrfu>(capacity, /*lambda=*/0.1);
+    case PolicyId::Fbf:
+      return std::make_unique<RefFbf>(capacity, /*demote_on_hit=*/true);
+    case PolicyId::FbfNoDemote:
+      return std::make_unique<RefFbf>(capacity, /*demote_on_hit=*/false);
+  }
+  FBF_CHECK(false, "unreachable policy id");
+  return nullptr;
+}
+
+}  // namespace fbf::cache::reference

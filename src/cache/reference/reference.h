@@ -1,0 +1,63 @@
+// Golden-model replacement policies for differential validation.
+//
+// Each model re-implements one policy from its paper description using the
+// most obvious data structures available — plain vectors scanned in O(n) —
+// with none of the iterator/bucket/ordered-set bookkeeping the optimized
+// policies in src/cache use for speed. The differential fuzz driver
+// (tests/cache/differential_test.cpp) replays randomized request/install
+// streams through both implementations and asserts identical hit/miss
+// results, stats, and resident sets, so a subtle bookkeeping bug in either
+// side surfaces as a divergence instead of silently skewing every
+// hit-ratio and reconstruction-time curve in the evaluation.
+//
+// The models mirror the semantics of CachePolicy exactly, including the
+// deliberate tie-breaking rules (documented per model) and the install()
+// contract: installs carry no reuse evidence, so ARC never adapts `p` or
+// counts a ghost hit and 2Q never ghost-promotes (see policy.h).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/policy.h"
+
+namespace fbf::cache::reference {
+
+/// Reference-side twin of CachePolicy: same request/install/stats surface
+/// plus resident-set introspection for exact state comparison.
+class ReferencePolicy {
+ public:
+  explicit ReferencePolicy(std::size_t capacity) : capacity_(capacity) {}
+  virtual ~ReferencePolicy() = default;
+
+  ReferencePolicy(const ReferencePolicy&) = delete;
+  ReferencePolicy& operator=(const ReferencePolicy&) = delete;
+
+  bool request(Key key, int priority = 1);
+  void install(Key key, int priority = 1);
+
+  virtual bool contains(Key key) const = 0;
+  virtual std::size_t size() const = 0;
+
+  /// Every resident key, in no particular order.
+  virtual std::vector<Key> resident() const = 0;
+
+  std::size_t capacity() const { return capacity_; }
+  const CacheStats& stats() const { return stats_; }
+
+ protected:
+  virtual bool handle(Key key, int priority) = 0;
+  virtual void handle_install(Key key, int priority) { handle(key, priority); }
+  void note_eviction() { ++stats_.evictions; }
+
+ private:
+  std::size_t capacity_;
+  CacheStats stats_;
+};
+
+/// Golden model for the optimized policy `id`. LRFU uses the same default
+/// lambda as the optimized LrfuCache.
+std::unique_ptr<ReferencePolicy> make_reference_policy(PolicyId id,
+                                                       std::size_t capacity);
+
+}  // namespace fbf::cache::reference

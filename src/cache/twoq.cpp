@@ -61,4 +61,20 @@ bool TwoQCache::handle(Key key, int /*priority*/) {
   return false;
 }
 
+void TwoQCache::handle_install(Key key, int /*priority*/) {
+  if (am_index_.count(key) > 0 || a1in_index_.count(key) > 0) {
+    return;  // no reuse evidence: Am recency stays untouched
+  }
+  // A ghosted key re-enters probation, not the protected queue — only a
+  // demand re-reference proves it is worth protecting.
+  const auto ghost = a1out_index_.find(key);
+  if (ghost != a1out_index_.end()) {
+    a1out_.erase(ghost->second);
+    a1out_index_.erase(ghost);
+  }
+  evict_for_insert();
+  a1in_.push_back(key);
+  a1in_index_.emplace(key, std::prev(a1in_.end()));
+}
+
 }  // namespace fbf::cache

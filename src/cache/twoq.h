@@ -19,8 +19,13 @@ class TwoQCache final : public CachePolicy {
   }
   const char* name() const override { return "2Q"; }
 
+  std::size_t a1in_size() const { return a1in_index_.size(); }
+  std::size_t a1out_size() const { return a1out_index_.size(); }
+  std::size_t am_size() const { return am_index_.size(); }
+
  protected:
   bool handle(Key key, int priority) override;
+  void handle_install(Key key, int priority) override;
 
  private:
   void evict_for_insert();

@@ -7,6 +7,12 @@
 
 namespace fbf::sim {
 
+double transfer_time_ms(const DiskParams& params) {
+  // MiB/s -> bytes per millisecond: * 1048576 bytes/MiB / 1000 ms/s.
+  const double bytes_per_ms = params.transfer_MiBps * 1048576.0 / 1000.0;
+  return static_cast<double>(params.chunk_bytes) / bytes_per_ms;
+}
+
 Disk::Disk(int id, const DiskParams& params, std::uint64_t seed)
     : id_(id), params_(params), rng_(seed) {
   FBF_CHECK(params_.read_ms > 0 && params_.write_ms > 0,
@@ -32,8 +38,7 @@ double Disk::service_ms(std::uint64_t lba_chunk, bool is_write) {
                                       std::min(1.0, frac);
   const double full_rotation_ms = 60000.0 / params_.rpm;
   const double rotation = rng_.uniform_real(0.0, full_rotation_ms);
-  const double transfer = static_cast<double>(params_.chunk_bytes) /
-                          (params_.transfer_mbps * 1048.576);  // bytes/ms
+  const double transfer = transfer_time_ms(params_);
   head_lba_ = lba_chunk;
   return seek + rotation + transfer;
 }

@@ -30,10 +30,16 @@ struct DiskParams {
   double seek_min_ms = 0.5;    ///< track-to-track
   double seek_max_ms = 8.0;    ///< full-stroke
   double rpm = 7200.0;         ///< rotational latency ~ half a revolution
-  double transfer_mbps = 150.0;
+  /// Sustained media transfer rate in MiB/s (mebibytes, 1048576 bytes,
+  /// per second — not megabits): 150 MiB/s is a 7200 rpm SATA drive.
+  double transfer_MiBps = 150.0;
   std::uint64_t capacity_chunks = 1ull << 25;  ///< 1 TB of 32 KB chunks
   std::size_t chunk_bytes = 32 * 1024;
 };
+
+/// Time to move one chunk at the sustained media rate:
+/// chunk_bytes / (transfer_MiBps MiB/s) converted to milliseconds.
+double transfer_time_ms(const DiskParams& params);
 
 struct DiskStats {
   std::uint64_t reads = 0;

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "recovery/scheme.h"
+#include "sim/validate.h"
 #include "util/check.h"
 
 namespace fbf::sim {
@@ -50,6 +51,11 @@ DorEngine::DorEngine(const codes::Layout& layout,
                      const ArrayGeometry& geometry, const DorConfig& config)
     : layout_(&layout), geometry_(&geometry), config_(config) {
   FBF_CHECK(config_.chunk_bytes > 0, "chunk size must be positive");
+  // A zero-chunk buffer livelocks DOR: every chain consumption misses and
+  // re-enqueues its reads forever, so the event loop never drains.
+  FBF_CHECK(config_.cache_capacity_chunks() >= 1,
+            "DOR needs a buffer of at least one chunk (cache_bytes >= "
+            "chunk_bytes)");
 }
 
 SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
@@ -139,6 +145,7 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
               [](const PlannedRead& a, const PlannedRead& b) {
                 return a.lba < b.lba;
               });
+    metrics.planned_disk_reads += r.queue.size();
   }
 
   // ---- Event loop. ----
@@ -155,7 +162,7 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
   double makespan = 0.0;
   std::size_t tasks_done = 0;
 
-  std::function<void(std::size_t, double)> attempt_completion;
+  std::function<void(std::size_t, double, cache::Key)> attempt_completion;
   std::function<void(std::size_t, double)> kick_reader;
   // Delivery of a chunk (from its home disk, the spare area, or a chain
   // completion): buffer it and wake exactly the tasks awaiting this key.
@@ -165,7 +172,7 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
       ChainTask& task = tasks[t];
       if (!task.done && task.awaiting.erase(key) == 1 &&
           task.awaiting.empty()) {
-        attempt_completion(t, now);
+        attempt_completion(t, now, key);
       }
     }
   };
@@ -202,10 +209,23 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
     kick_reader(d, now);
   };
 
-  attempt_completion = [&](std::size_t t, double now) {
+  attempt_completion = [&](std::size_t t, double now, cache::Key fresh) {
     ChainTask& task = tasks[t];
     if (task.done) {
       return;
+    }
+    // Consume the freshly delivered member first: it is resident this
+    // instant, so every completion wake-up folds at least one member into
+    // the XOR accumulator. Without this ordering the loop can livelock —
+    // with a buffer smaller than the chain, or an insertion-averse policy
+    // (LFU keeps high-frequency keys over fresh freq-1 arrivals), each
+    // miss below re-inserts its key and can evict the fresh member before
+    // its turn, so a round consumes nothing and re-reads the same set
+    // forever.
+    const auto fresh_it =
+        std::find(task.unconsumed.begin(), task.unconsumed.end(), fresh);
+    if (fresh_it != task.unconsumed.end()) {
+      std::rotate(task.unconsumed.begin(), fresh_it, fresh_it + 1);
     }
     // Consume members still buffered; re-read the evicted ones.
     std::vector<cache::Key> missing;
@@ -264,6 +284,9 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
   for (const Disk& d : disks) {
     metrics.disk_busy_ms.push_back(d.stats().busy_ms);
     metrics.disk_ops.push_back(d.stats().reads + d.stats().writes);
+  }
+  if (validation_enabled()) {
+    validate_run(metrics, errors);
   }
   return metrics;
 }

@@ -8,7 +8,10 @@
 // *planned* per disk up front (each distinct chunk fetched once), and
 // cache pressure shows up as chunks evicted before all their chains have
 // consumed them, forcing re-reads. The same FBF priority dictionary
-// governs which chunks survive.
+// governs which chunks survive. A chain consumes its freshly delivered
+// member before re-checking the rest, so every wake-up makes progress
+// even when the buffer is smaller than the chain (see attempt_completion
+// in dor_engine.cpp); the buffer must hold at least one chunk.
 //
 // Accounting: disk_reads = planned reads + re-reads; cache hits/misses
 // count chain *consumptions* (a consumption hit = the chunk was still

@@ -18,6 +18,11 @@ struct SimMetrics {
   // re-reads of recovered chunks from the spare area).
   std::uint64_t disk_reads = 0;
   std::uint64_t disk_writes = 0;
+  /// Reads scheduled up front by the DOR streaming plan (each distinct
+  /// surviving chunk once, LBA order). Zero under SOR, whose reads are
+  /// all demand misses; validate.h checks
+  /// disk_reads == planned_disk_reads + cache.misses on both engines.
+  std::uint64_t planned_disk_reads = 0;
 
   // Metric 3: per-request response time (cache lookup -> data ready).
   util::Accumulator response_ms;

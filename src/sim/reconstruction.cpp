@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "sim/validate.h"
 #include "util/check.h"
 
 namespace fbf::sim {
@@ -367,6 +368,9 @@ SimMetrics ReconstructionEngine::run(
   }
   FBF_CHECK(metrics.cache.misses == metrics.disk_reads,
             "every cache miss must hit a disk exactly once");
+  if (validation_enabled()) {
+    validate_run(metrics, errors);
+  }
   return metrics;
 }
 

@@ -1,0 +1,78 @@
+#include "sim/validate.h"
+
+#include <cstdlib>
+#include <numeric>
+#include <string>
+
+#include "util/check.h"
+
+namespace fbf::sim {
+
+namespace {
+
+std::string law(const char* text, std::uint64_t lhs, std::uint64_t rhs) {
+  return std::string(text) + " (" + std::to_string(lhs) +
+         " vs " + std::to_string(rhs) + ")";
+}
+
+}  // namespace
+
+void validate_metrics(const SimMetrics& m) {
+  FBF_CHECK(m.cache.hits + m.cache.misses == m.total_chunk_requests,
+            law("every chain consumption must be a hit or a miss: "
+                "hits + misses != total_chunk_requests",
+                m.cache.hits + m.cache.misses, m.total_chunk_requests));
+  FBF_CHECK(m.disk_reads == m.planned_disk_reads + m.cache.misses,
+            law("every recovery read must be planned or a miss: "
+                "disk_reads != planned_disk_reads + misses",
+                m.disk_reads, m.planned_disk_reads + m.cache.misses));
+  FBF_CHECK(m.disk_writes == m.chunks_recovered,
+            law("every recovered chunk is spare-written exactly once: "
+                "disk_writes != chunks_recovered",
+                m.disk_writes, m.chunks_recovered));
+  // Foreground app traffic shares the disks but is metered separately
+  // (app ops land in per-disk stats, not in disk_reads/disk_writes, and
+  // may drain past the reconstruction makespan), so the per-disk checks
+  // only bind on recovery-only runs.
+  if (m.app_requests == 0) {
+    for (std::size_t d = 0; d < m.disk_busy_ms.size(); ++d) {
+      FBF_CHECK(m.disk_busy_ms[d] <= m.reconstruction_ms + 1e-9,
+                "disk " + std::to_string(d) +
+                    " busy past the reconstruction makespan (" +
+                    std::to_string(m.disk_busy_ms[d]) + " ms vs " +
+                    std::to_string(m.reconstruction_ms) + " ms)");
+    }
+    const std::uint64_t total_ops = std::accumulate(
+        m.disk_ops.begin(), m.disk_ops.end(), std::uint64_t{0});
+    FBF_CHECK(total_ops == m.disk_reads + m.disk_writes,
+              law("per-disk op counts must add up to the totals",
+                  total_ops, m.disk_reads + m.disk_writes));
+  }
+}
+
+void validate_run(const SimMetrics& m,
+                  const std::vector<workload::StripeError>& errors) {
+  validate_metrics(m);
+  FBF_CHECK(m.stripes_recovered == errors.size(),
+            law("every damaged stripe must be recovered: "
+                "stripes_recovered != trace errors",
+                m.stripes_recovered, errors.size()));
+  std::uint64_t lost_chunks = 0;
+  for (const workload::StripeError& e : errors) {
+    lost_chunks += e.error.cells().size();
+  }
+  FBF_CHECK(m.chunks_recovered == lost_chunks,
+            law("every lost chunk must be rebuilt exactly once: "
+                "chunks_recovered != trace lost chunks",
+                m.chunks_recovered, lost_chunks));
+}
+
+bool validation_enabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("FBF_VALIDATE");
+    return v != nullptr && std::string(v) != "0";
+  }();
+  return enabled;
+}
+
+}  // namespace fbf::sim

@@ -1,0 +1,44 @@
+// Run-invariant validation shared by the SOR and DOR engines.
+//
+// Both reconstruction engines must obey the same conservation laws no
+// matter which policy, scheme, disk model, or placement they simulate:
+//
+//  - every chain consumption is either a cache hit or a miss:
+//      cache.hits + cache.misses == total_chunk_requests
+//  - every recovery disk read is either planned up front (DOR's streaming
+//    plan) or a demand/re-read miss:
+//      disk_reads == planned_disk_reads + cache.misses
+//  - every recovered chunk is persisted exactly once:
+//      disk_writes == chunks_recovered
+//  - no disk is busy past the reconstruction makespan, and the per-disk op
+//    counts add up to the totals (recovery-only runs; foreground app
+//    traffic shares the disks but is metered separately).
+//
+// Tests assert these after every engine run via validate_run(). The
+// experiment drivers (benches/examples) get the same checks on demand:
+// setting the FBF_VALIDATE environment variable to anything but "0" makes
+// both engines validate each run() before returning, so any full-scale
+// sweep can be replayed as a self-checking one.
+#pragma once
+
+#include <vector>
+
+#include "sim/metrics.h"
+#include "workload/errors.h"
+
+namespace fbf::sim {
+
+/// Internal-consistency laws on one run's metrics; throws CheckError with
+/// the violated law on failure.
+void validate_metrics(const SimMetrics& m);
+
+/// validate_metrics plus conservation against the driving error trace
+/// (every damaged stripe recovered, every lost chunk rebuilt and spared).
+void validate_run(const SimMetrics& m,
+                  const std::vector<workload::StripeError>& errors);
+
+/// True when the FBF_VALIDATE environment variable enables per-run
+/// validation inside the engines (cached on first call).
+bool validation_enabled();
+
+}  // namespace fbf::sim

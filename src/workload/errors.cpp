@@ -20,6 +20,15 @@ std::vector<StripeError> generate_error_trace(const codes::Layout& layout,
   FBF_CHECK(config.spatial_locality >= 0.0 &&
                 config.spatial_locality <= 1.0,
             "spatial locality must be a probability");
+  // Error sizes are clamped to one column of one stripe: [1, rows]. The
+  // paper's bound is min(rows, p-1) == rows, since every supported layout
+  // has p-1 rows.
+  const int max_chunks =
+      config.max_chunks == 0 ? layout.rows() : config.max_chunks;
+  FBF_CHECK(max_chunks >= 1 && max_chunks <= layout.rows(),
+            "max error size must be in [1, rows]; got " +
+                std::to_string(config.max_chunks) + " with " +
+                std::to_string(layout.rows()) + " rows");
 
   util::Rng rng(config.seed);
   std::unordered_set<std::uint64_t> used;
@@ -60,7 +69,7 @@ std::vector<StripeError> generate_error_trace(const codes::Layout& layout,
                       ? config.target_col
                       : static_cast<int>(rng.uniform_int(
                             0, layout.cols() - 1));
-    e.error.num_chunks = static_cast<int>(rng.uniform_int(1, rows));
+    e.error.num_chunks = static_cast<int>(rng.uniform_int(1, max_chunks));
     e.error.first_row = static_cast<int>(
         rng.uniform_int(0, rows - e.error.num_chunks));
     if (config.mean_interarrival_ms > 0.0) {

@@ -35,12 +35,17 @@ struct ErrorTraceConfig {
   /// Mean inter-detection gap; 0 means all errors known at t = 0 (offline
   /// reconstruction, the paper's setting).
   double mean_interarrival_ms = 0.0;
+  /// Largest error size in chunks; 0 uses the paper's bound
+  /// min(rows, p - 1), which equals rows for every supported layout
+  /// (all have p - 1 rows). Overrides must stay in [1, rows].
+  int max_chunks = 0;
   std::uint64_t seed = 42;
 };
 
 /// Generates a trace of distinct damaged stripes sorted by detect time.
-/// Error sizes are uniform in [1, layout.rows()]; start rows uniform over
-/// the legal range. Fully deterministic given the seed.
+/// Error sizes are uniform in [1, config.max_chunks] (default: the full
+/// column height, the paper's [1, p-1]); start rows uniform over the
+/// legal range. Fully deterministic given the seed.
 std::vector<StripeError> generate_error_trace(const codes::Layout& layout,
                                               const ErrorTraceConfig& config);
 

@@ -35,6 +35,9 @@ std::vector<StripeError> read_error_trace(std::istream& is,
   std::size_t line_no = 1;
   while (std::getline(is, line)) {
     ++line_no;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();  // tolerate CRLF traces
+    }
     if (line.empty()) {
       continue;
     }
@@ -48,6 +51,14 @@ std::vector<StripeError> read_error_trace(std::istream& is,
         e.error.num_chunks >> c4 >> e.detect_time_ms;
     FBF_CHECK(!row.fail() && c1 == ',' && c2 == ',' && c3 == ',' && c4 == ',',
               "malformed trace row at line " + std::to_string(line_no));
+    // A valid row ends at detect_time_ms; anything left over (a fifth
+    // comma, a sixth field, stray characters glued to the double) means a
+    // mangled trace, not data to silently drop.
+    std::string rest;
+    row >> rest;
+    FBF_CHECK(rest.empty(), "trailing garbage '" + rest +
+                                "' after detect_time_ms at line " +
+                                std::to_string(line_no));
     FBF_CHECK(e.error.col >= 0 && e.error.col < layout.cols(),
               "trace column out of range at line " + std::to_string(line_no));
     FBF_CHECK(e.error.num_chunks >= 1 && e.error.first_row >= 0 &&

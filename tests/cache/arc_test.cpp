@@ -87,6 +87,48 @@ TEST(Arc, AllListsDrainCorrectlyOnMixedTrace) {
   EXPECT_EQ(c.stats().accesses(), 12u);
 }
 
+TEST(Arc, InstallOnGhostDoesNotAdapt) {
+  // Installs carry no reuse evidence: a ghosted key re-enters T1 with the
+  // adaptation target untouched, where a demand miss on the same B1 entry
+  // would grow p (Case II).
+  ArcCache c(2);
+  c.request(1);
+  c.request(1);  // T2 = {1}
+  c.request(2);  // T1 = {2}
+  c.request(3);  // REPLACE: 2 -> B1, T1 = {3}
+  ASSERT_EQ(c.b1_size(), 1u);
+  ASSERT_EQ(c.target_p(), 0u);
+  const auto evictions_before = c.stats().evictions;
+  c.install(2);
+  EXPECT_EQ(c.target_p(), 0u);  // no Case II adaptation
+  EXPECT_TRUE(c.contains(2));
+  EXPECT_EQ(c.t1_size(), 1u);   // re-admitted to T1, not T2
+  EXPECT_EQ(c.b1_size(), 1u);   // 2 left the ghost; victim 3 entered it
+  EXPECT_EQ(c.stats().evictions, evictions_before + 1);
+
+  // Control: the demand access the install replaced would have adapted.
+  ArcCache d(2);
+  d.request(1);
+  d.request(1);
+  d.request(2);
+  d.request(3);
+  d.request(2);  // B1 ghost hit
+  EXPECT_GT(d.target_p(), 0u);
+}
+
+TEST(Arc, InstallResidentLeavesListsAlone) {
+  ArcCache c(4);
+  c.request(1);  // T1 = {1}
+  c.install(1);
+  EXPECT_EQ(c.t1_size(), 1u);  // a request would have promoted to T2
+  EXPECT_EQ(c.t2_size(), 0u);
+  c.request(1);  // now genuinely reused -> T2
+  c.install(1);
+  EXPECT_EQ(c.t1_size(), 0u);
+  EXPECT_EQ(c.t2_size(), 1u);
+  EXPECT_EQ(c.stats().accesses(), 2u);  // installs count no hits/misses
+}
+
 TEST(Arc, CapacityOne) {
   ArcCache c(1);
   EXPECT_FALSE(c.request(1));

@@ -135,6 +135,33 @@ TEST(FbfPolicy, InstallPlacesByPriorityWithoutStats) {
   EXPECT_EQ(c.stats().accesses(), 0u);
 }
 
+TEST(FbfPolicy, EvictsFromQueue3WhenLowerQueuesEmpty) {
+  // Replacement prefers Queue1, then Queue2 — but when only favorable
+  // blocks remain, Queue3's LRU must go rather than the insert failing.
+  FbfCache c(2);
+  c.request(10, 3);
+  c.request(11, 3);
+  ASSERT_EQ(c.queue_size(1), 0u);
+  ASSERT_EQ(c.queue_size(2), 0u);
+  ASSERT_EQ(c.queue_size(3), 2u);
+  c.request(12, 3);
+  EXPECT_EQ(c.stats().evictions, 1u);
+  EXPECT_FALSE(c.contains(10));  // Queue3's LRU
+  EXPECT_TRUE(c.contains(11));
+  EXPECT_TRUE(c.contains(12));
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(FbfPolicy, EvictsFromQueue2WhenQueue1Empty) {
+  FbfCache c(2);
+  c.request(10, 2);  // Queue2
+  c.request(11, 3);  // Queue3
+  c.request(12, 1);  // Queue1 empty at eviction time: Queue2 drains first
+  EXPECT_FALSE(c.contains(10));
+  EXPECT_TRUE(c.contains(11));
+  EXPECT_TRUE(c.contains(12));
+}
+
 TEST(FbfPolicy, QueueOfAbsentKeyIsZero) {
   FbfCache c(4);
   EXPECT_EQ(c.queue_of(123), 0);

@@ -55,6 +55,45 @@ TEST(TwoQ, OneShotScanDoesNotPolluteMainQueue) {
   EXPECT_TRUE(c.contains(101));
 }
 
+TEST(TwoQ, InstallOnGhostStaysInProbation) {
+  // A ghosted key installed by the reconstruction path re-enters A1in; only
+  // a demand re-reference may promote into the protected Am queue.
+  TwoQCache c(4);  // kin = 1, kout = 2
+  for (Key k = 1; k <= 5; ++k) {
+    c.request(k);  // key 1 pushed through probation into the ghost list
+  }
+  ASSERT_FALSE(c.contains(1));
+  ASSERT_EQ(c.a1out_size(), 1u);
+  c.install(1);
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_EQ(c.am_size(), 0u);    // not ghost-promoted
+  EXPECT_EQ(c.a1out_size(), 1u); // 1 left the ghost; the new victim entered
+
+  // Control: a demand access on the ghost promotes.
+  TwoQCache d(4);
+  for (Key k = 1; k <= 5; ++k) {
+    d.request(k);
+  }
+  d.request(1);
+  EXPECT_EQ(d.am_size(), 1u);
+}
+
+TEST(TwoQ, InstallResidentIsNoOp) {
+  TwoQCache c(4);
+  for (Key k = 1; k <= 5; ++k) {
+    c.request(k);
+  }
+  c.request(1);  // ghost hit -> Am
+  ASSERT_EQ(c.am_size(), 1u);
+  const auto evictions_before = c.stats().evictions;
+  c.install(1);  // resident in Am
+  c.install(3);  // resident in A1in
+  EXPECT_EQ(c.am_size(), 1u);
+  EXPECT_EQ(c.a1in_size(), 3u);
+  EXPECT_EQ(c.stats().evictions, evictions_before);
+  EXPECT_EQ(c.stats().accesses(), 6u);  // installs count no hits/misses
+}
+
 TEST(TwoQ, CapacityOne) {
   TwoQCache c(1);
   EXPECT_FALSE(c.request(1));

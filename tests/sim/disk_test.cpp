@@ -89,6 +89,31 @@ TEST(Disk, DetailedModelDeterministicPerSeed) {
   }
 }
 
+TEST(Disk, TransferTimeMatchesHandComputation) {
+  // transfer_MiBps is mebibytes per second (the field was once misnamed
+  // transfer_mbps); pin the unit with exact hand-computed times.
+  DiskParams p;
+  p.transfer_MiBps = 100.0;
+  p.chunk_bytes = 1 << 20;  // 1 MiB at 100 MiB/s is exactly 10 ms
+  EXPECT_DOUBLE_EQ(transfer_time_ms(p), 10.0);
+  p.transfer_MiBps = 150.0;
+  p.chunk_bytes = 32 * 1024;  // 32 KiB / (150 * 1048576 / 1000 B/ms)
+  EXPECT_DOUBLE_EQ(transfer_time_ms(p), 32768.0 / (150.0 * 1048.576));
+  EXPECT_NEAR(transfer_time_ms(p), 5.0 / 24.0, 1e-12);  // = 1000/(150*32)
+}
+
+TEST(Disk, DetailedServiceIncludesTransferTime) {
+  // Zero-distance access with rotation suppressed leaves pure transfer.
+  DiskParams p;
+  p.kind = DiskModelKind::Detailed;
+  p.rpm = 1e12;  // rotational latency ~ 0
+  Disk d(0, p, 7);
+  d.submit_read(0.0, 0);
+  const double t0 = d.free_at_ms();
+  const double done = d.submit_read(t0, 0);  // same LBA: no seek
+  EXPECT_NEAR(done - t0, transfer_time_ms(p), 1e-6);
+}
+
 TEST(Disk, RejectsNonPositiveLatency) {
   DiskParams p;
   p.read_ms = 0.0;

@@ -146,6 +146,54 @@ TEST(ErrorTrace, DenseTraceFillsAllStripes) {
   EXPECT_EQ(stripes.size(), 64u);
 }
 
+TEST(ErrorTrace, MaxChunksOverrideClampsSizes) {
+  // Regression: sizes were always drawn from [1, rows] with no way to
+  // model smaller latent errors; the override must cap every draw.
+  auto cfg = base_config();
+  cfg.num_errors = 2000;
+  cfg.max_chunks = 3;
+  bool saw_max = false;
+  for (const auto& e : generate_error_trace(layout(), cfg)) {
+    EXPECT_GE(e.error.num_chunks, 1);
+    EXPECT_LE(e.error.num_chunks, 3);
+    saw_max |= e.error.num_chunks == 3;
+  }
+  EXPECT_TRUE(saw_max);  // the cap itself is reachable, not excluded
+}
+
+TEST(ErrorTrace, MaxChunksBelowFullColumnExcludesFullColumnErrors) {
+  // With max_chunks = rows - 1, no error may span the whole column — the
+  // draw that previously reached rows must now be impossible.
+  auto cfg = base_config();
+  cfg.num_errors = 2000;
+  cfg.max_chunks = layout().rows() - 1;
+  for (const auto& e : generate_error_trace(layout(), cfg)) {
+    EXPECT_LT(e.error.num_chunks, layout().rows());
+  }
+}
+
+TEST(ErrorTrace, MaxChunksDefaultMatchesPaperBound) {
+  // max_chunks = 0 must behave exactly like the paper's [1, min(rows,
+  // p-1)] = [1, rows] draw: identical trace, same seed.
+  auto explicit_cfg = base_config();
+  explicit_cfg.max_chunks = layout().rows();
+  const auto a = generate_error_trace(layout(), base_config());
+  const auto b = generate_error_trace(layout(), explicit_cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].stripe, b[i].stripe);
+    EXPECT_EQ(a[i].error, b[i].error);
+  }
+}
+
+TEST(ErrorTrace, RejectsOutOfRangeMaxChunks) {
+  auto cfg = base_config();
+  cfg.max_chunks = -1;
+  EXPECT_THROW(generate_error_trace(layout(), cfg), util::CheckError);
+  cfg.max_chunks = layout().rows() + 1;
+  EXPECT_THROW(generate_error_trace(layout(), cfg), util::CheckError);
+}
+
 TEST(ErrorTrace, RejectsBadConfigs) {
   auto cfg = base_config();
   cfg.num_errors = 0;

@@ -72,6 +72,30 @@ TEST(TraceIo, RejectsOversizedError) {
   EXPECT_THROW(read_error_trace(ss, layout()), util::CheckError);
 }
 
+TEST(TraceIo, RejectsTrailingGarbage) {
+  // Regression: "1,2,0,3,5.0,junk" used to parse — operator>> stopped at
+  // the valid prefix and silently dropped the rest of the line.
+  const std::string header = "stripe,col,first_row,num_chunks,detect_time_ms\n";
+  for (const char* row : {
+           "1,2,0,3,5.0,junk\n",   // sixth field
+           "1,2,0,3,5.0,\n",       // fifth comma
+           "1,2,0,3,5.0junk\n",    // stray chars glued to the double
+           "1,2,0,3,5.0 7\n",      // second value after whitespace
+       }) {
+    std::stringstream ss(header + row);
+    EXPECT_THROW(read_error_trace(ss, layout()), util::CheckError) << row;
+  }
+}
+
+TEST(TraceIo, TrailingWhitespaceAndCrlfAccepted) {
+  // CRLF line endings and trailing spaces are formatting, not data loss.
+  std::stringstream ss(
+      "stripe,col,first_row,num_chunks,detect_time_ms\n7,0,0,2,1.5 \r\n");
+  const auto trace = read_error_trace(ss, layout());
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_DOUBLE_EQ(trace[0].detect_time_ms, 1.5);
+}
+
 TEST(TraceIo, SkipsBlankLines) {
   std::stringstream ss(
       "stripe,col,first_row,num_chunks,detect_time_ms\n7,0,0,2,1.5\n\n");
