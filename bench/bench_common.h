@@ -2,8 +2,8 @@
 // paper's parameter axes, and series printing.
 //
 // Common flags for every bench:
-//   --errors=N        damaged stripes per run (default 200)
-//   --workers=N       SOR worker processes (default 32; paper uses 128)
+//   --errors=N        damaged stripes per run (default 400)
+//   --workers=N       SOR worker processes (default 128, as in the paper)
 //   --sizes-mb=a,b,c  cache-size axis in MB (default 2..2048 powers of 4)
 //   --p=a,b,c         primes (figure-specific default)
 //   --seed=N          workload seed

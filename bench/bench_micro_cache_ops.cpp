@@ -1,16 +1,110 @@
 // Microbenchmarks (google-benchmark): per-operation cost of each cache
 // policy and of recovery-scheme generation — the raw numbers behind the
 // Table IV overhead story.
+//
+// BaselineLru/BaselineFbf replicate the pre-flat-core implementations
+// (std::list + std::unordered_map, one heap node per entry) so the
+// BM_CacheRequest vs BM_CacheRequestBaseline ratio measures exactly what
+// the slab/intrusive-list/open-addressing port bought. BM_RunSweep is the
+// end-to-end check that the per-op win survives inside a full simulation.
 #include <benchmark/benchmark.h>
+
+#include <list>
+#include <unordered_map>
 
 #include "cache/policy.h"
 #include "codes/builders.h"
+#include "core/sweep.h"
 #include "recovery/scheme.h"
+#include "util/check.h"
 #include "util/rng.h"
 
 namespace {
 
 using namespace fbf;
+
+// ---- Pre-port policy replicas (node-per-entry, hashed index). ----
+
+class BaselineLru final : public cache::CachePolicy {
+ public:
+  explicit BaselineLru(std::size_t capacity) : CachePolicy(capacity) {}
+
+  bool contains(cache::Key key) const override { return index_.count(key) > 0; }
+  std::size_t size() const override { return index_.size(); }
+  const char* name() const override { return "baseline-LRU"; }
+
+ protected:
+  bool handle(cache::Key key, int /*priority*/) override {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      order_.splice(order_.end(), order_, it->second);
+      return true;
+    }
+    if (index_.size() >= capacity()) {
+      index_.erase(order_.front());
+      order_.pop_front();
+      note_eviction();
+    }
+    order_.push_back(key);
+    index_.emplace(key, std::prev(order_.end()));
+    return false;
+  }
+
+ private:
+  std::list<cache::Key> order_;  // front = LRU, back = MRU
+  std::unordered_map<cache::Key, std::list<cache::Key>::iterator> index_;
+};
+
+class BaselineFbf final : public cache::CachePolicy {
+ public:
+  explicit BaselineFbf(std::size_t capacity) : CachePolicy(capacity) {}
+
+  bool contains(cache::Key key) const override { return index_.count(key) > 0; }
+  std::size_t size() const override { return index_.size(); }
+  const char* name() const override { return "baseline-FBF"; }
+
+ protected:
+  bool handle(cache::Key key, int priority) override {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      const Entry e = it->second;
+      queue(e.level).erase(e.pos);
+      attach(key, e.level > 1 ? e.level - 1 : 1);
+      return true;
+    }
+    if (index_.size() >= capacity()) {
+      for (int level = 1; level <= 3; ++level) {
+        auto& q = queue(level);
+        if (!q.empty()) {
+          const cache::Key victim = q.front();
+          q.pop_front();
+          index_.erase(victim);
+          note_eviction();
+          break;
+        }
+      }
+    }
+    attach(key, priority);
+    return false;
+  }
+
+ private:
+  struct Entry {
+    int level = 1;
+    std::list<cache::Key>::iterator pos;
+  };
+
+  std::list<cache::Key>& queue(int level) { return queues_[level - 1]; }
+
+  void attach(cache::Key key, int level) {
+    auto& q = queue(level);
+    q.push_back(key);
+    index_[key] = Entry{level, std::prev(q.end())};
+  }
+
+  std::list<cache::Key> queues_[3];
+  std::unordered_map<cache::Key, Entry> index_;
+};
 
 void BM_CacheRequest(benchmark::State& state) {
   const auto policy = static_cast<cache::PolicyId>(state.range(0));
@@ -37,6 +131,48 @@ BENCHMARK(BM_CacheRequest)
     ->Arg(static_cast<int>(cache::PolicyId::Lru2))
     ->Arg(static_cast<int>(cache::PolicyId::TwoQ))
     ->Arg(static_cast<int>(cache::PolicyId::Fbf));
+
+// Same trace and capacity as BM_CacheRequest so the two series divide
+// directly into a speedup.
+template <typename Policy>
+void BM_CacheRequestBaseline(benchmark::State& state) {
+  Policy cache(1024);
+  util::Rng rng(7);
+  std::vector<cache::Key> keys(1 << 14);
+  std::vector<int> prios(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = static_cast<cache::Key>(rng.uniform_int(0, 4095));
+    prios[i] = static_cast<int>(rng.uniform_int(1, 3));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.request(keys[i], prios[i]));
+    i = (i + 1) & (keys.size() - 1);
+  }
+  state.SetLabel(cache.name());
+}
+BENCHMARK(BM_CacheRequestBaseline<BaselineLru>);
+BENCHMARK(BM_CacheRequestBaseline<BaselineFbf>);
+
+// End-to-end: a small but complete sweep (scheme generation, SOR engine,
+// cache, disk model), the wall clock the flat core and the simulator
+// churn elimination actually move.
+void BM_RunSweep(benchmark::State& state) {
+  core::ExperimentConfig cfg;
+  cfg.code = codes::CodeId::Tip;
+  cfg.p = 5;
+  cfg.num_errors = 16;
+  cfg.workers = 8;
+  const std::vector<std::size_t> sizes{2ull << 20, 8ull << 20};
+  const std::vector<cache::PolicyId> policies{cache::PolicyId::Lru,
+                                              cache::PolicyId::Fbf};
+  for (auto _ : state) {
+    const auto points = core::run_sweep(cfg, sizes, policies, 1);
+    benchmark::DoNotOptimize(points.data());
+  }
+  state.SetLabel("TIP p=5, 16 errors, 2x2 grid");
+}
+BENCHMARK(BM_RunSweep)->Unit(benchmark::kMillisecond);
 
 void BM_SchemeGeneration(benchmark::State& state) {
   const int p = static_cast<int>(state.range(0));

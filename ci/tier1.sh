@@ -6,18 +6,34 @@
 # ASan+UBSan build (-DFBF_SANITIZE=ON) so memory errors and UB in any
 # tested path fail CI instead of lurking. FBF_VALIDATE=1 turns on the
 # cross-engine conservation-law checks (src/sim/validate.h) in every run.
+#
+# After each config's tests, a bench smoke run exercises the harness
+# binaries the tests don't link: the cache-ops microbench (one iteration
+# per benchmark — this catches flag/registration breakage, not perf) and
+# a tiny Table-V sweep that drives the full figure pipeline end to end.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export FBF_VALIDATE=1
 
+bench_smoke() {
+  local build_dir="$1"
+  "${build_dir}/bench/bench_micro_cache_ops" \
+    --benchmark_min_time=0 --benchmark_repetitions=1 >/dev/null
+  "${build_dir}/bench/bench_table5_summary" \
+    --errors=8 --workers=4 --sizes-mb=2,8 --p=5 >/dev/null
+}
+
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
+bench_smoke build
 
 cmake -B build-scalar -S . -DFBF_ENABLE_SIMD=OFF
 cmake --build build-scalar -j
 ctest --test-dir build-scalar --output-on-failure -j
+bench_smoke build-scalar
 
 cmake -B build-asan -S . -DFBF_SANITIZE=ON
 cmake --build build-asan -j
 ctest --test-dir build-asan --output-on-failure -j
+bench_smoke build-asan

@@ -6,84 +6,102 @@
 
 namespace fbf::cache {
 
-void ArcCache::List::push_mru(Key k) {
-  entries.push_back(k);
-  index.emplace(k, std::prev(entries.end()));
+namespace {
+
+std::size_t directory_bound(std::size_t capacity) {
+  // ARC's directory invariant is |T1|+|T2|+|B1|+|B2| <= 2c; the +1 covers
+  // the instant inside handle() where the incoming key is admitted before
+  // the caller-visible state settles.
+  return capacity > 0 ? 2 * capacity + 1 : 0;
 }
 
-void ArcCache::List::erase(Key k) {
-  const auto it = index.find(k);
-  FBF_CHECK(it != index.end(), "ARC list erase of absent key");
-  entries.erase(it->second);
-  index.erase(it);
-}
+}  // namespace
 
-Key ArcCache::List::pop_lru() {
-  FBF_CHECK(!entries.empty(), "ARC pop_lru on empty list");
-  const Key k = entries.front();
-  entries.pop_front();
-  index.erase(k);
-  return k;
-}
+ArcCache::ArcCache(std::size_t capacity)
+    : CachePolicy(capacity),
+      slab_(directory_bound(capacity)),
+      index_(directory_bound(capacity)) {}
 
-ArcCache::ArcCache(std::size_t capacity) : CachePolicy(capacity) {}
+core::IntrusiveList& ArcCache::list_of(Where w) {
+  switch (w) {
+    case Where::T1:
+      return t1_;
+    case Where::T2:
+      return t2_;
+    case Where::B1:
+      return b1_;
+    case Where::B2:
+      return b2_;
+  }
+  FBF_CHECK(false, "unreachable ARC list tag");
+  return t1_;
+}
 
 bool ArcCache::contains(Key key) const {
-  return t1_.contains(key) || t2_.contains(key);
+  const core::Index n = index_.find(key);
+  return n != core::kNil && (slab_[n].data.where == Where::T1 ||
+                             slab_[n].data.where == Where::T2);
 }
 
-std::size_t ArcCache::size() const {
-  return t1_.entries.size() + t2_.entries.size();
+void ArcCache::drop(core::Index n) {
+  list_of(slab_[n].data.where).erase(slab_, n);
+  index_.erase(slab_[n].key);
+  slab_.release(n);
 }
 
 void ArcCache::replace(bool hit_in_b2) {
   const bool from_t1 =
-      !t1_.entries.empty() &&
-      (t1_.entries.size() > p_ || (hit_in_b2 && t1_.entries.size() == p_));
+      !t1_.empty() && (t1_.size() > p_ || (hit_in_b2 && t1_.size() == p_));
+  // The demoted resident keeps its directory entry: it just moves to the
+  // LRU end of the matching ghost list.
   if (from_t1) {
-    b1_.push_mru(t1_.pop_lru());
+    const core::Index n = t1_.pop_front(slab_);
+    slab_[n].data.where = Where::B1;
+    b1_.push_back(slab_, n);
   } else {
-    FBF_CHECK(!t2_.entries.empty(), "ARC replace with both lists empty");
-    b2_.push_mru(t2_.pop_lru());
+    FBF_CHECK(!t2_.empty(), "ARC replace with both lists empty");
+    const core::Index n = t2_.pop_front(slab_);
+    slab_[n].data.where = Where::B2;
+    b2_.push_back(slab_, n);
   }
   note_eviction();
 }
 
 bool ArcCache::handle(Key key, int /*priority*/) {
   const std::size_t c = capacity();
+  const core::Index n = index_.find(key);
 
-  if (t1_.contains(key)) {  // Case I: hit in T1 -> promote to T2
-    t1_.erase(key);
-    t2_.push_mru(key);
-    return true;
-  }
-  if (t2_.contains(key)) {  // Case I: hit in T2 -> MRU of T2
-    t2_.erase(key);
-    t2_.push_mru(key);
-    return true;
-  }
-
-  if (b1_.contains(key)) {  // Case II: ghost hit favouring recency
-    const std::size_t delta =
-        std::max<std::size_t>(1, b2_.entries.size() /
-                                     std::max<std::size_t>(
-                                         1, b1_.entries.size()));
-    p_ = std::min(c, p_ + delta);
-    replace(/*hit_in_b2=*/false);
-    b1_.erase(key);
-    t2_.push_mru(key);
-    return false;  // resident miss: the data still comes from disk
-  }
-  if (b2_.contains(key)) {  // Case III: ghost hit favouring frequency
-    const std::size_t delta =
-        std::max<std::size_t>(1, b1_.entries.size() /
-                                     std::max<std::size_t>(
-                                         1, b2_.entries.size()));
-    p_ = p_ > delta ? p_ - delta : 0;
-    replace(/*hit_in_b2=*/true);
-    b2_.erase(key);
-    t2_.push_mru(key);
-    return false;
+  if (n != core::kNil) {
+    switch (slab_[n].data.where) {
+      case Where::T1:  // Case I: hit in T1 -> promote to T2
+        t1_.erase(slab_, n);
+        slab_[n].data.where = Where::T2;
+        t2_.push_back(slab_, n);
+        return true;
+      case Where::T2:  // Case I: hit in T2 -> MRU of T2
+        t2_.move_to_back(slab_, n);
+        return true;
+      case Where::B1: {  // Case II: ghost hit favouring recency
+        const std::size_t delta = std::max<std::size_t>(
+            1, b2_.size() / std::max<std::size_t>(1, b1_.size()));
+        p_ = std::min(c, p_ + delta);
+        replace(/*hit_in_b2=*/false);
+        b1_.erase(slab_, n);
+        slab_[n].data.where = Where::T2;
+        t2_.push_back(slab_, n);
+        return false;  // resident miss: the data still comes from disk
+      }
+      case Where::B2: {  // Case III: ghost hit favouring frequency
+        const std::size_t delta = std::max<std::size_t>(
+            1, b1_.size() / std::max<std::size_t>(1, b2_.size()));
+        p_ = p_ > delta ? p_ - delta : 0;
+        replace(/*hit_in_b2=*/true);
+        b2_.erase(slab_, n);
+        slab_[n].data.where = Where::T2;
+        t2_.push_back(slab_, n);
+        return false;
+      }
+    }
   }
 
   // Case IV: full miss.
@@ -93,37 +111,40 @@ bool ArcCache::handle(Key key, int /*priority*/) {
 
 void ArcCache::admit_to_t1(Key key) {
   const std::size_t c = capacity();
-  const std::size_t l1 = t1_.entries.size() + b1_.entries.size();
+  const std::size_t l1 = t1_.size() + b1_.size();
   if (l1 == c) {
-    if (t1_.entries.size() < c) {
-      b1_.pop_lru();
+    if (t1_.size() < c) {
+      drop(b1_.front());
       replace(/*hit_in_b2=*/false);
     } else {
-      t1_.pop_lru();
+      drop(t1_.front());
       note_eviction();
     }
   } else {
-    const std::size_t total = l1 + t2_.entries.size() + b2_.entries.size();
+    const std::size_t total = l1 + t2_.size() + b2_.size();
     if (total >= c) {
       if (total == 2 * c) {
-        b2_.pop_lru();
+        drop(b2_.front());
       }
       replace(/*hit_in_b2=*/false);
     }
   }
-  t1_.push_mru(key);
+  const core::Index n = slab_.acquire(key);
+  slab_[n].data.where = Where::T1;
+  t1_.push_back(slab_, n);
+  index_.insert(key, n);
 }
 
 void ArcCache::handle_install(Key key, int /*priority*/) {
-  if (t1_.contains(key) || t2_.contains(key)) {
+  const core::Index n = index_.find(key);
+  if (n != core::kNil && (slab_[n].data.where == Where::T1 ||
+                          slab_[n].data.where == Where::T2)) {
     return;  // no reuse evidence: leave recency/frequency state alone
   }
   // A ghosted key becomes resident again, but without the Case II/III
   // adaptation a demand miss would apply: p_ stays put.
-  if (b1_.contains(key)) {
-    b1_.erase(key);
-  } else if (b2_.contains(key)) {
-    b2_.erase(key);
+  if (n != core::kNil) {
+    drop(n);
   }
   admit_to_t1(key);
 }

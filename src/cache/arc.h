@@ -3,11 +3,17 @@
 // Two resident lists (T1 recency, T2 frequency) and two ghost lists
 // (B1, B2) steer the adaptation target `p` between recency- and
 // frequency-favouring behaviour.
+//
+// Flat core layout: the whole directory (residents + ghosts, at most 2c
+// keys) lives in one node slab and one key index; each node's payload tags
+// its list, and the four intrusive lists thread through the shared slab.
+// Hits, ghost promotions, and replacements relink nodes in place — zero
+// per-operation allocation.
 #pragma once
 
-#include <list>
-#include <unordered_map>
-
+#include "cache/core/hash_index.h"
+#include "cache/core/intrusive_list.h"
+#include "cache/core/slab.h"
 #include "cache/policy.h"
 
 namespace fbf::cache {
@@ -17,30 +23,27 @@ class ArcCache final : public CachePolicy {
   explicit ArcCache(std::size_t capacity);
 
   bool contains(Key key) const override;
-  std::size_t size() const override;
+  std::size_t size() const override { return t1_.size() + t2_.size(); }
   const char* name() const override { return "ARC"; }
 
   /// Adaptation target (test hook): number of slots aimed at T1.
   std::size_t target_p() const { return p_; }
-  std::size_t t1_size() const { return t1_.entries.size(); }
-  std::size_t t2_size() const { return t2_.entries.size(); }
-  std::size_t b1_size() const { return b1_.entries.size(); }
-  std::size_t b2_size() const { return b2_.entries.size(); }
+  std::size_t t1_size() const { return t1_.size(); }
+  std::size_t t2_size() const { return t2_.size(); }
+  std::size_t b1_size() const { return b1_.size(); }
+  std::size_t b2_size() const { return b2_.size(); }
 
  protected:
   bool handle(Key key, int priority) override;
   void handle_install(Key key, int priority) override;
 
  private:
-  struct List {
-    std::list<Key> entries;  // front = LRU
-    std::unordered_map<Key, std::list<Key>::iterator> index;
-
-    bool contains(Key k) const { return index.count(k) > 0; }
-    void push_mru(Key k);
-    void erase(Key k);
-    Key pop_lru();
+  enum class Where : std::uint8_t { T1, T2, B1, B2 };
+  struct Tag {
+    Where where = Where::T1;
   };
+
+  core::IntrusiveList& list_of(Where w);
 
   /// Moves one resident key to the appropriate ghost list.
   void replace(bool hit_in_b2);
@@ -49,7 +52,12 @@ class ArcCache final : public CachePolicy {
   /// bounds) and push the key MRU. Reads `p_` but never adapts it.
   void admit_to_t1(Key key);
 
-  List t1_, t2_, b1_, b2_;
+  /// Drops a directory entry entirely (ghost expiry / T1 overflow).
+  void drop(core::Index n);
+
+  core::NodeSlab<Tag> slab_;
+  core::KeyIndexTable index_;  ///< all four lists share it
+  core::IntrusiveList t1_, t2_, b1_, b2_;  // front = LRU
   std::size_t p_ = 0;
 };
 

@@ -1,0 +1,37 @@
+#include "cache/core/hash_index.h"
+
+namespace fbf::cache::core {
+
+namespace {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+KeyIndexTable::KeyIndexTable(std::size_t max_entries)
+    : max_entries_(max_entries) {
+  // Four times the entry bound keeps the load factor <= 0.25, where linear
+  // probing averages ~1.2 probes per lookup and backward-shift deletion
+  // almost never has to move more than one entry. Slots are 16 bytes, so
+  // even the largest policy directory (ARC's 2c+1) stays cheap relative to
+  // the chunks the cache represents. The minimum of two slots keeps the
+  // probe loop mask-driven even for zero-capacity policies (whose
+  // request()/install() never reach the table anyway).
+  slots_.resize(next_pow2(max_entries >= 1 ? max_entries * 4 : 2));
+  mask_ = slots_.size() - 1;
+}
+
+void KeyIndexTable::clear() {
+  for (Slot& s : slots_) {
+    s.value = kNil;
+  }
+  size_ = 0;
+}
+
+}  // namespace fbf::cache::core

@@ -1,0 +1,138 @@
+// Open-addressing hash table from chunk key (u64) to slab index.
+//
+// Linear probing over a power-of-two slot array sized at construction for a
+// load factor <= 0.25, so probe chains stay short and no rehash (and no
+// allocation) ever happens after the constructor. Deletion uses backward
+// shifting instead of tombstones: the probe chain after the hole is
+// compacted in place, so lookups never scan dead slots and performance does
+// not decay with churn — the property a cache index needs, since every
+// eviction deletes a key.
+//
+// Chunk keys are (stripe, cell) packings with most entropy in a few low
+// bits; slots are picked after a full 64-bit finalizer mix so clustered key
+// ranges still spread across the table.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cache/core/types.h"
+#include "util/check.h"
+
+namespace fbf::cache::core {
+
+class KeyIndexTable {
+ public:
+  /// Sizes the slot array for at most `max_entries` simultaneous entries.
+  explicit KeyIndexTable(std::size_t max_entries);
+
+  KeyIndexTable(KeyIndexTable&&) noexcept = default;
+  KeyIndexTable& operator=(KeyIndexTable&&) noexcept = default;
+  KeyIndexTable(const KeyIndexTable&) = delete;
+  KeyIndexTable& operator=(const KeyIndexTable&) = delete;
+
+  // The probe loops are defined inline: every policy operation goes
+  // through find/insert/erase, and at slab-core speeds an opaque
+  // cross-TU call (plus a re-done key mix) costs as much as the probe
+  // itself.
+
+  /// Slab index stored for `key`, or kNil when absent.
+  Index find(Key key) const {
+    std::size_t i = slot_of(key);
+    while (slots_[i].value != kNil) {
+      if (slots_[i].key == key) {
+        return slots_[i].value;
+      }
+      i = (i + 1) & mask_;
+    }
+    return kNil;
+  }
+
+  /// Inserts `key -> value`. The key must be absent and the table below its
+  /// entry bound; both are programmer errors otherwise.
+  void insert(Key key, Index value) {
+    FBF_CHECK(size_ < max_entries_,
+              "KeyIndexTable insert past its sized entry bound");
+    FBF_CHECK(value != kNil, "KeyIndexTable value kNil is reserved for empty");
+    std::size_t i = slot_of(key);
+    while (slots_[i].value != kNil) {
+      FBF_CHECK(slots_[i].key != key, "KeyIndexTable duplicate insert");
+      i = (i + 1) & mask_;
+    }
+    slots_[i].key = key;
+    slots_[i].value = value;
+    ++size_;
+  }
+
+  /// Removes `key` (which must be present), backward-shifting the probe
+  /// chain so no tombstone is left behind.
+  void erase(Key key) {
+    std::size_t i = slot_of(key);
+    while (true) {
+      FBF_CHECK(slots_[i].value != kNil, "KeyIndexTable erase of absent key");
+      if (slots_[i].key == key) {
+        break;
+      }
+      i = (i + 1) & mask_;
+    }
+    --size_;
+    // Backward shift: walk the cluster after the hole and pull back every
+    // entry whose home slot precedes the hole on its probe path (i.e. the
+    // hole sits between the entry's home and its current slot, cyclically).
+    std::size_t hole = i;
+    std::size_t j = i;
+    while (true) {
+      slots_[hole].value = kNil;
+      while (true) {
+        j = (j + 1) & mask_;
+        if (slots_[j].value == kNil) {
+          return;
+        }
+        const std::size_t home = slot_of(slots_[j].key);
+        if (((hole - home) & mask_) < ((j - home) & mask_)) {
+          break;  // j's probe path passes through the hole: shift it back
+        }
+      }
+      slots_[hole] = slots_[j];
+      hole = j;
+    }
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t max_entries() const { return max_entries_; }
+  /// Slot-array size (test hook for probe/wraparound coverage).
+  std::size_t bucket_count() const { return slots_.size(); }
+  /// Home slot of a key (test hook: lets tests build probe collisions).
+  std::size_t home_slot(Key key) const { return slot_of(key); }
+
+  void clear();
+
+ private:
+  struct Slot {
+    Key key = 0;
+    Index value = kNil;  ///< kNil marks an empty slot
+  };
+
+  // splitmix64 finalizer: full-avalanche mix so the structured chunk keys
+  // (stripe << shift | cell) spread over the slot array.
+  static std::uint64_t mix(std::uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+  }
+
+  std::size_t slot_of(Key key) const {
+    return static_cast<std::size_t>(mix(key) & mask_);
+  }
+
+  std::vector<Slot> slots_;
+  std::uint64_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::size_t max_entries_ = 0;
+};
+
+}  // namespace fbf::cache::core

@@ -1,0 +1,127 @@
+// Fixed-capacity binary min-heap over slab indices with handle tracking.
+//
+// The heap array is reserved once at construction and a position map
+// (node index -> heap slot) makes arbitrary removal and rank updates
+// O(log n) — the operations LRU-2 needs for its (penultimate, last)
+// eviction order without std::set's per-node allocation. `Less` compares
+// two slab indices; it typically holds a pointer to the slab whose node
+// payloads carry the rank.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "cache/core/types.h"
+#include "util/check.h"
+
+namespace fbf::cache::core {
+
+template <typename Less>
+class IndexedMinHeap {
+ public:
+  /// `capacity` bounds both the node index space and the entry count.
+  IndexedMinHeap(std::size_t capacity, Less less)
+      : pos_(capacity, kNil), less_(std::move(less)) {
+    heap_.reserve(capacity);
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+  bool contains(Index node) const { return pos_[node] != kNil; }
+
+  /// Minimum-ranked node; the heap must be non-empty.
+  Index top() const {
+    FBF_CHECK(!heap_.empty(), "IndexedMinHeap top on empty heap");
+    return heap_.front();
+  }
+
+  void push(Index node) {
+    FBF_CHECK(pos_[node] == kNil, "IndexedMinHeap push of a queued node");
+    heap_.push_back(node);
+    pos_[node] = static_cast<Index>(heap_.size() - 1);
+    sift_up(heap_.size() - 1);
+  }
+
+  void pop() { remove(top()); }
+
+  /// Removes an arbitrary queued node.
+  void remove(Index node) {
+    const Index slot = pos_[node];
+    FBF_CHECK(slot != kNil, "IndexedMinHeap remove of an absent node");
+    const std::size_t last = heap_.size() - 1;
+    pos_[node] = kNil;
+    if (slot != last) {
+      heap_[slot] = heap_[last];
+      pos_[heap_[slot]] = slot;
+      heap_.pop_back();
+      if (!sift_up(slot)) {
+        sift_down(slot);
+      }
+    } else {
+      heap_.pop_back();
+    }
+  }
+
+  /// Restores heap order after the caller changed `node`'s rank in place.
+  void update(Index node) {
+    const Index slot = pos_[node];
+    FBF_CHECK(slot != kNil, "IndexedMinHeap update of an absent node");
+    if (!sift_up(slot)) {
+      sift_down(slot);
+    }
+  }
+
+  void clear() {
+    for (Index n : heap_) {
+      pos_[n] = kNil;
+    }
+    heap_.clear();
+  }
+
+ private:
+  bool sift_up(std::size_t slot) {
+    bool moved = false;
+    while (slot > 0) {
+      const std::size_t parent = (slot - 1) / 2;
+      if (!less_(heap_[slot], heap_[parent])) {
+        break;
+      }
+      swap_slots(slot, parent);
+      slot = parent;
+      moved = true;
+    }
+    return moved;
+  }
+
+  void sift_down(std::size_t slot) {
+    while (true) {
+      const std::size_t l = 2 * slot + 1;
+      const std::size_t r = 2 * slot + 2;
+      std::size_t best = slot;
+      if (l < heap_.size() && less_(heap_[l], heap_[best])) {
+        best = l;
+      }
+      if (r < heap_.size() && less_(heap_[r], heap_[best])) {
+        best = r;
+      }
+      if (best == slot) {
+        return;
+      }
+      swap_slots(slot, best);
+      slot = best;
+    }
+  }
+
+  void swap_slots(std::size_t a, std::size_t b) {
+    std::swap(heap_[a], heap_[b]);
+    pos_[heap_[a]] = static_cast<Index>(a);
+    pos_[heap_[b]] = static_cast<Index>(b);
+  }
+
+  std::vector<Index> heap_;
+  std::vector<Index> pos_;  ///< node -> heap slot, kNil when absent
+  Less less_;
+};
+
+}  // namespace fbf::cache::core

@@ -1,0 +1,119 @@
+// Index-based intrusive doubly-linked list over a NodeSlab.
+//
+// The list owns only head/tail/count; the prev/next links live inside the
+// slab's nodes, so several lists can share one slab (ARC's four lists, 2Q's
+// three queues, FBF's priority queues) as long as each node is in at most
+// one list at a time. All operations are O(1) and allocation-free.
+//
+// Methods take the slab as a parameter rather than storing a reference so
+// the list stays a trivially movable POD and the borrow is explicit at
+// every call site.
+#pragma once
+
+#include <cstddef>
+
+#include "cache/core/types.h"
+#include "util/check.h"
+
+namespace fbf::cache::core {
+
+class IntrusiveList {
+ public:
+  bool empty() const { return head_ == kNil; }
+  std::size_t size() const { return count_; }
+  Index front() const { return head_; }
+  Index back() const { return tail_; }
+
+  /// Drops every link in O(1); the nodes themselves are untouched (the
+  /// caller releases them to the slab or relinks them elsewhere).
+  void clear() {
+    head_ = tail_ = kNil;
+    count_ = 0;
+  }
+
+  template <typename Slab>
+  void push_back(Slab& slab, Index i) {
+    slab[i].prev = tail_;
+    slab[i].next = kNil;
+    if (tail_ != kNil) {
+      slab[tail_].next = i;
+    } else {
+      head_ = i;
+    }
+    tail_ = i;
+    ++count_;
+  }
+
+  template <typename Slab>
+  void push_front(Slab& slab, Index i) {
+    slab[i].prev = kNil;
+    slab[i].next = head_;
+    if (head_ != kNil) {
+      slab[head_].prev = i;
+    } else {
+      tail_ = i;
+    }
+    head_ = i;
+    ++count_;
+  }
+
+  /// Links `i` immediately after `pos` (which must be in this list).
+  template <typename Slab>
+  void insert_after(Slab& slab, Index pos, Index i) {
+    const Index nxt = slab[pos].next;
+    slab[i].prev = pos;
+    slab[i].next = nxt;
+    slab[pos].next = i;
+    if (nxt != kNil) {
+      slab[nxt].prev = i;
+    } else {
+      tail_ = i;
+    }
+    ++count_;
+  }
+
+  /// Unlinks `i` (which must be in this list); the node is not released.
+  template <typename Slab>
+  void erase(Slab& slab, Index i) {
+    FBF_CHECK(count_ > 0, "IntrusiveList erase from an empty list");
+    const Index p = slab[i].prev;
+    const Index n = slab[i].next;
+    if (p != kNil) {
+      slab[p].next = n;
+    } else {
+      head_ = n;
+    }
+    if (n != kNil) {
+      slab[n].prev = p;
+    } else {
+      tail_ = p;
+    }
+    slab[i].prev = slab[i].next = kNil;
+    --count_;
+  }
+
+  template <typename Slab>
+  Index pop_front(Slab& slab) {
+    FBF_CHECK(head_ != kNil, "IntrusiveList pop_front on an empty list");
+    const Index i = head_;
+    erase(slab, i);
+    return i;
+  }
+
+  /// LRU touch: unlink and re-append in one call.
+  template <typename Slab>
+  void move_to_back(Slab& slab, Index i) {
+    if (tail_ == i) {
+      return;
+    }
+    erase(slab, i);
+    push_back(slab, i);
+  }
+
+ private:
+  Index head_ = kNil;
+  Index tail_ = kNil;
+  std::size_t count_ = 0;
+};
+
+}  // namespace fbf::cache::core

@@ -1,0 +1,84 @@
+// Fixed-capacity node slab: one contiguous array acquired at construction,
+// recycled through an embedded free list. acquire()/release() never touch
+// the heap, so a policy built on a slab does zero per-operation allocation.
+//
+// Nodes carry the cache key, the prev/next links used by IntrusiveList
+// (each node sits in at most one list at a time in every policy), and a
+// policy-specific payload. The free list threads through `next`.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "cache/core/types.h"
+#include "util/check.h"
+
+namespace fbf::cache::core {
+
+template <typename Payload>
+class NodeSlab {
+ public:
+  struct Node {
+    Key key = 0;
+    Index prev = kNil;
+    Index next = kNil;
+    Payload data{};
+  };
+
+  explicit NodeSlab(std::size_t capacity) : nodes_(capacity) { reset_free_list(); }
+
+  NodeSlab(NodeSlab&&) noexcept = default;
+  NodeSlab& operator=(NodeSlab&&) noexcept = default;
+  NodeSlab(const NodeSlab&) = delete;
+  NodeSlab& operator=(const NodeSlab&) = delete;
+
+  /// Pops a free slot for `key` with cleared links and a default payload.
+  /// The slab never grows: acquiring past capacity is a programmer error.
+  Index acquire(Key key) {
+    FBF_CHECK(free_head_ != kNil, "NodeSlab exhausted: acquire past capacity");
+    const Index i = free_head_;
+    Node& n = nodes_[i];
+    free_head_ = n.next;
+    n.key = key;
+    n.prev = kNil;
+    n.next = kNil;
+    n.data = Payload{};
+    ++in_use_;
+    return i;
+  }
+
+  /// Returns a slot to the free list. The caller must have unlinked it from
+  /// any list first; the slot's contents are dead after this call.
+  void release(Index i) {
+    FBF_CHECK(in_use_ > 0, "NodeSlab release with nothing in use");
+    nodes_[i].next = free_head_;
+    free_head_ = i;
+    --in_use_;
+  }
+
+  Node& operator[](Index i) { return nodes_[i]; }
+  const Node& operator[](Index i) const { return nodes_[i]; }
+
+  std::size_t capacity() const { return nodes_.size(); }
+  std::size_t in_use() const { return in_use_; }
+
+  /// Forgets every live node and rebuilds the free list; indices handed out
+  /// before clear() are invalid afterwards. No memory is freed.
+  void clear() { reset_free_list(); }
+
+ private:
+  void reset_free_list() {
+    free_head_ = nodes_.empty() ? kNil : 0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      nodes_[i].next = i + 1 < nodes_.size() ? static_cast<Index>(i + 1) : kNil;
+    }
+    in_use_ = 0;
+  }
+
+  std::vector<Node> nodes_;
+  Index free_head_ = kNil;
+  std::size_t in_use_ = 0;
+};
+
+}  // namespace fbf::cache::core

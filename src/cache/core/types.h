@@ -1,0 +1,26 @@
+// Shared vocabulary for the flat cache core (src/cache/core).
+//
+// Every structure in the core addresses nodes by a 32-bit index into a
+// fixed-capacity slab instead of by pointer: indices survive container
+// moves, halve the footprint of the intrusive links on 64-bit hosts, and
+// make the steady state trivially allocation-free — all storage is sized
+// once at construction and recycled through free lists thereafter.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/policy.h"
+
+namespace fbf::cache::core {
+
+/// Slab slot number. 32 bits bound a single policy instance at ~4G resident
+/// entries — far beyond any per-worker cache partition the simulator grants.
+using Index = std::uint32_t;
+
+/// Null slot: end of free lists, absent hash entries, empty list ends.
+inline constexpr Index kNil = 0xFFFFFFFFu;
+
+/// Payload for policies that need no per-node state beyond key and links.
+struct NoData {};
+
+}  // namespace fbf::cache::core

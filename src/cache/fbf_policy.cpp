@@ -5,13 +5,18 @@
 namespace fbf::cache {
 
 FbfCache::FbfCache(std::size_t capacity, bool demote_on_hit)
-    : CachePolicy(capacity), demote_on_hit_(demote_on_hit) {}
+    : CachePolicy(capacity),
+      demote_on_hit_(demote_on_hit),
+      slab_(capacity),
+      index_(capacity) {}
 
-bool FbfCache::contains(Key key) const { return index_.count(key) > 0; }
+bool FbfCache::contains(Key key) const {
+  return index_.find(key) != core::kNil;
+}
 
 int FbfCache::queue_of(Key key) const {
-  const auto it = index_.find(key);
-  return it == index_.end() ? 0 : it->second.level;
+  const core::Index n = index_.find(key);
+  return n == core::kNil ? 0 : static_cast<int>(slab_[n].data.level);
 }
 
 std::size_t FbfCache::queue_size(int level) const {
@@ -19,43 +24,36 @@ std::size_t FbfCache::queue_size(int level) const {
   return queues_[level - 1].size();
 }
 
-std::list<Key>& FbfCache::queue(int level) { return queues_[level - 1]; }
-
-void FbfCache::attach(Key key, int level) {
-  auto& q = queue(level);
-  q.push_back(key);
-  index_[key] = Entry{level, std::prev(q.end())};
-}
-
-void FbfCache::detach(const Entry& e) { queue(e.level).erase(e.pos); }
-
 bool FbfCache::handle(Key key, int priority) {
-  const auto it = index_.find(key);
-  if (it != index_.end()) {
+  const core::Index n = index_.find(key);
+  if (n != core::kNil) {
     // Cache hit: one expected reference consumed -> demote one level
     // (Algorithm 1's Queue3->Queue2, Queue2->Queue1, Queue1->its MRU end).
-    const Entry e = it->second;
-    detach(e);
+    const int level = static_cast<int>(slab_[n].data.level);
     const int next_level =
-        demote_on_hit_ ? (e.level > 1 ? e.level - 1 : 1) : e.level;
-    attach(key, next_level);
+        demote_on_hit_ ? (level > 1 ? level - 1 : 1) : level;
+    queue(level).erase(slab_, n);
+    slab_[n].data.level = static_cast<std::uint8_t>(next_level);
+    queue(next_level).push_back(slab_, n);
     return true;
   }
 
-  if (index_.size() >= capacity()) {
+  if (slab_.in_use() >= capacity()) {
     // Replacement policy: lowest-priority queues first.
     for (int level = 1; level <= 3; ++level) {
-      auto& q = queue(level);
-      if (!q.empty()) {
-        const Key victim = q.front();
-        q.pop_front();
-        index_.erase(victim);
+      if (!queue(level).empty()) {
+        const core::Index victim = queue(level).pop_front(slab_);
+        index_.erase(slab_[victim].key);
+        slab_.release(victim);
         note_eviction();
         break;
       }
     }
   }
-  attach(key, priority);
+  const core::Index fresh = slab_.acquire(key);
+  slab_[fresh].data.level = static_cast<std::uint8_t>(priority);
+  queue(priority).push_back(slab_, fresh);
+  index_.insert(key, fresh);
   return false;
 }
 

@@ -8,11 +8,16 @@
 // Replacement drains Queue1 first, then Queue2, and touches Queue3 only
 // when nothing else remains — favorable blocks stay resident even when
 // they are the least recently used chunks overall.
+//
+// Flat core layout: one node slab + one key index shared by the three
+// intrusive queues; a hit relinks the node into the next queue in place —
+// zero per-operation allocation. This is the paper's own Table IV claim
+// (FBF bookkeeping overhead is negligible) made structural.
 #pragma once
 
-#include <list>
-#include <unordered_map>
-
+#include "cache/core/hash_index.h"
+#include "cache/core/intrusive_list.h"
+#include "cache/core/slab.h"
 #include "cache/policy.h"
 
 namespace fbf::cache {
@@ -24,7 +29,7 @@ class FbfCache final : public CachePolicy {
   FbfCache(std::size_t capacity, bool demote_on_hit = true);
 
   bool contains(Key key) const override;
-  std::size_t size() const override { return index_.size(); }
+  std::size_t size() const override { return slab_.in_use(); }
   const char* name() const override {
     return demote_on_hit_ ? "FBF" : "FBF-nodemote";
   }
@@ -37,18 +42,16 @@ class FbfCache final : public CachePolicy {
   bool handle(Key key, int priority) override;
 
  private:
-  struct Entry {
-    int level = 1;  // 1..3
-    std::list<Key>::iterator pos;
+  struct Level {
+    std::uint8_t level = 1;  // 1..3
   };
 
-  std::list<Key>& queue(int level);
-  void attach(Key key, int level);
-  void detach(const Entry& e);
+  core::IntrusiveList& queue(int level) { return queues_[level - 1]; }
 
   bool demote_on_hit_;
-  std::list<Key> queues_[3];  // index level-1; front = LRU
-  std::unordered_map<Key, Entry> index_;
+  core::NodeSlab<Level> slab_;
+  core::KeyIndexTable index_;
+  core::IntrusiveList queues_[3];  // index level-1; front = LRU
 };
 
 }  // namespace fbf::cache

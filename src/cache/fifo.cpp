@@ -2,21 +2,26 @@
 
 namespace fbf::cache {
 
-FifoCache::FifoCache(std::size_t capacity) : CachePolicy(capacity) {}
+FifoCache::FifoCache(std::size_t capacity)
+    : CachePolicy(capacity), slab_(capacity), index_(capacity) {}
 
-bool FifoCache::contains(Key key) const { return index_.count(key) > 0; }
+bool FifoCache::contains(Key key) const {
+  return index_.find(key) != core::kNil;
+}
 
 bool FifoCache::handle(Key key, int /*priority*/) {
-  if (index_.count(key) > 0) {
+  if (index_.find(key) != core::kNil) {
     return true;  // FIFO position unchanged by hits
   }
-  if (index_.size() >= capacity()) {
-    index_.erase(queue_.front());
-    queue_.pop_front();
+  if (slab_.in_use() >= capacity()) {
+    const core::Index victim = queue_.pop_front(slab_);
+    index_.erase(slab_[victim].key);
+    slab_.release(victim);
     note_eviction();
   }
-  queue_.push_back(key);
-  index_.emplace(key, std::prev(queue_.end()));
+  const core::Index n = slab_.acquire(key);
+  queue_.push_back(slab_, n);
+  index_.insert(key, n);
   return false;
 }
 

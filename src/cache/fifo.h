@@ -1,9 +1,12 @@
 // First-in first-out replacement: eviction order ignores hits entirely.
+//
+// Flat core layout: a fixed node slab + one intrusive queue + an
+// open-addressing key index — zero per-operation allocation.
 #pragma once
 
-#include <list>
-#include <unordered_map>
-
+#include "cache/core/hash_index.h"
+#include "cache/core/intrusive_list.h"
+#include "cache/core/slab.h"
 #include "cache/policy.h"
 
 namespace fbf::cache {
@@ -13,15 +16,16 @@ class FifoCache final : public CachePolicy {
   explicit FifoCache(std::size_t capacity);
 
   bool contains(Key key) const override;
-  std::size_t size() const override { return index_.size(); }
+  std::size_t size() const override { return slab_.in_use(); }
   const char* name() const override { return "FIFO"; }
 
  protected:
   bool handle(Key key, int priority) override;
 
  private:
-  std::list<Key> queue_;  // front = oldest
-  std::unordered_map<Key, std::list<Key>::iterator> index_;
+  core::NodeSlab<core::NoData> slab_;
+  core::KeyIndexTable index_;
+  core::IntrusiveList queue_;  // front = oldest
 };
 
 }  // namespace fbf::cache

@@ -4,47 +4,72 @@
 
 namespace fbf::cache {
 
-LfuCache::LfuCache(std::size_t capacity) : CachePolicy(capacity) {}
+LfuCache::LfuCache(std::size_t capacity)
+    : CachePolicy(capacity),
+      nodes_(capacity),
+      // One bucket per resident key at worst, +1 because a bump acquires
+      // the destination class before the source class can drain.
+      buckets_(capacity > 0 ? capacity + 1 : 0),
+      index_(capacity) {}
 
-bool LfuCache::contains(Key key) const { return index_.count(key) > 0; }
-
-std::uint64_t LfuCache::frequency(Key key) const {
-  const auto it = index_.find(key);
-  return it == index_.end() ? 0 : it->second.freq;
+bool LfuCache::contains(Key key) const {
+  return index_.find(key) != core::kNil;
 }
 
-void LfuCache::bump(Key key, Entry& e) {
-  auto list_it = by_freq_.find(e.freq);
-  list_it->second.erase(e.pos);
-  if (list_it->second.empty()) {
-    by_freq_.erase(list_it);
+std::uint64_t LfuCache::frequency(Key key) const {
+  const core::Index n = index_.find(key);
+  return n == core::kNil ? 0 : buckets_[nodes_[n].data.bucket].data.freq;
+}
+
+void LfuCache::place(core::Index n, std::uint64_t freq, core::Index after) {
+  core::Index target =
+      after == core::kNil ? by_freq_.front() : buckets_[after].next;
+  if (target == core::kNil || buckets_[target].data.freq != freq) {
+    target = buckets_.acquire(/*key=*/freq);
+    buckets_[target].data.freq = freq;
+    if (after == core::kNil) {
+      by_freq_.push_front(buckets_, target);
+    } else {
+      by_freq_.insert_after(buckets_, after, target);
+    }
   }
-  ++e.freq;
-  auto& dst = by_freq_[e.freq];
-  dst.push_back(key);
-  e.pos = std::prev(dst.end());
+  buckets_[target].data.members.push_back(nodes_, n);
+  nodes_[n].data.bucket = target;
+}
+
+void LfuCache::release_if_empty(core::Index bucket) {
+  if (buckets_[bucket].data.members.empty()) {
+    by_freq_.erase(buckets_, bucket);
+    buckets_.release(bucket);
+  }
+}
+
+void LfuCache::bump(core::Index n) {
+  const core::Index b = nodes_[n].data.bucket;
+  buckets_[b].data.members.erase(nodes_, n);
+  place(n, buckets_[b].data.freq + 1, b);
+  release_if_empty(b);
 }
 
 bool LfuCache::handle(Key key, int /*priority*/) {
-  const auto it = index_.find(key);
-  if (it != index_.end()) {
-    bump(key, it->second);
+  const core::Index n = index_.find(key);
+  if (n != core::kNil) {
+    bump(n);
     return true;
   }
-  if (index_.size() >= capacity()) {
-    auto lowest = by_freq_.begin();
-    FBF_CHECK(lowest != by_freq_.end(), "LFU bookkeeping empty at eviction");
-    const Key victim = lowest->second.front();
-    lowest->second.pop_front();
-    if (lowest->second.empty()) {
-      by_freq_.erase(lowest);
-    }
-    index_.erase(victim);
+  if (nodes_.in_use() >= capacity()) {
+    const core::Index lowest = by_freq_.front();
+    FBF_CHECK(lowest != core::kNil, "LFU bookkeeping empty at eviction");
+    const core::Index victim =
+        buckets_[lowest].data.members.pop_front(nodes_);
+    index_.erase(nodes_[victim].key);
+    nodes_.release(victim);
+    release_if_empty(lowest);
     note_eviction();
   }
-  auto& dst = by_freq_[1];
-  dst.push_back(key);
-  index_.emplace(key, Entry{1, std::prev(dst.end())});
+  const core::Index fresh = nodes_.acquire(key);
+  place(fresh, /*freq=*/1, core::kNil);
+  index_.insert(key, fresh);
   return false;
 }
 

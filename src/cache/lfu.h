@@ -1,11 +1,18 @@
 // Least-frequently-used replacement with LRU tie-breaking inside each
 // frequency class (the classic O(1) frequency-list construction).
+//
+// Flat core layout: key nodes live in one slab and frequency classes in a
+// second slab of bucket nodes, kept as an intrusive list sorted by
+// ascending frequency. Each bucket embeds the intrusive member list of its
+// keys (links threaded through the key slab), so a frequency bump moves a
+// node to the adjacent bucket — allocating a bucket slot only from the
+// fixed bucket slab (at most capacity non-empty classes exist, +1 during a
+// bump). Zero per-operation heap allocation.
 #pragma once
 
-#include <list>
-#include <map>
-#include <unordered_map>
-
+#include "cache/core/hash_index.h"
+#include "cache/core/intrusive_list.h"
+#include "cache/core/slab.h"
 #include "cache/policy.h"
 
 namespace fbf::cache {
@@ -15,7 +22,7 @@ class LfuCache final : public CachePolicy {
   explicit LfuCache(std::size_t capacity);
 
   bool contains(Key key) const override;
-  std::size_t size() const override { return index_.size(); }
+  std::size_t size() const override { return nodes_.in_use(); }
   const char* name() const override { return "LFU"; }
 
   /// Access count of a resident key (test hook); 0 when absent.
@@ -25,16 +32,25 @@ class LfuCache final : public CachePolicy {
   bool handle(Key key, int priority) override;
 
  private:
-  struct Entry {
+  struct KeyData {
+    core::Index bucket = core::kNil;
+  };
+  struct BucketData {
     std::uint64_t freq = 1;
-    std::list<Key>::iterator pos;
+    core::IntrusiveList members;  // links live in nodes_; front = LRU
   };
 
-  void bump(Key key, Entry& e);
+  void bump(core::Index n);
+  /// Moves `n` into the bucket for `freq`, placed after `after` in the
+  /// frequency order (or at the front when `after` is kNil), creating the
+  /// bucket if that exact frequency has no class yet.
+  void place(core::Index n, std::uint64_t freq, core::Index after);
+  void release_if_empty(core::Index bucket);
 
-  // freq -> keys in LRU order (front = least recent at that freq).
-  std::map<std::uint64_t, std::list<Key>> by_freq_;
-  std::unordered_map<Key, Entry> index_;
+  core::NodeSlab<KeyData> nodes_;
+  core::NodeSlab<BucketData> buckets_;
+  core::KeyIndexTable index_;
+  core::IntrusiveList by_freq_;  // buckets ascending by freq
 };
 
 }  // namespace fbf::cache

@@ -4,28 +4,33 @@
 
 namespace fbf::cache {
 
-LruCache::LruCache(std::size_t capacity) : CachePolicy(capacity) {}
+LruCache::LruCache(std::size_t capacity)
+    : CachePolicy(capacity), slab_(capacity), index_(capacity) {}
 
-bool LruCache::contains(Key key) const { return index_.count(key) > 0; }
+bool LruCache::contains(Key key) const {
+  return index_.find(key) != core::kNil;
+}
 
 Key LruCache::lru_key() const {
   FBF_CHECK(!order_.empty(), "lru_key on empty cache");
-  return order_.front();
+  return slab_[order_.front()].key;
 }
 
 bool LruCache::handle(Key key, int /*priority*/) {
-  const auto it = index_.find(key);
-  if (it != index_.end()) {
-    order_.splice(order_.end(), order_, it->second);
+  const core::Index n = index_.find(key);
+  if (n != core::kNil) {
+    order_.move_to_back(slab_, n);
     return true;
   }
-  if (index_.size() >= capacity()) {
-    index_.erase(order_.front());
-    order_.pop_front();
+  if (slab_.in_use() >= capacity()) {
+    const core::Index victim = order_.pop_front(slab_);
+    index_.erase(slab_[victim].key);
+    slab_.release(victim);
     note_eviction();
   }
-  order_.push_back(key);
-  index_.emplace(key, std::prev(order_.end()));
+  const core::Index fresh = slab_.acquire(key);
+  order_.push_back(slab_, fresh);
+  index_.insert(key, fresh);
   return false;
 }
 

@@ -1,9 +1,12 @@
 // Least-recently-used replacement.
+//
+// Flat core layout: a fixed node slab + one intrusive recency list + an
+// open-addressing key index — zero per-operation allocation.
 #pragma once
 
-#include <list>
-#include <unordered_map>
-
+#include "cache/core/hash_index.h"
+#include "cache/core/intrusive_list.h"
+#include "cache/core/slab.h"
 #include "cache/policy.h"
 
 namespace fbf::cache {
@@ -13,7 +16,7 @@ class LruCache final : public CachePolicy {
   explicit LruCache(std::size_t capacity);
 
   bool contains(Key key) const override;
-  std::size_t size() const override { return index_.size(); }
+  std::size_t size() const override { return slab_.in_use(); }
   const char* name() const override { return "LRU"; }
 
   /// The key next in line for eviction (test hook); size() must be > 0.
@@ -23,8 +26,9 @@ class LruCache final : public CachePolicy {
   bool handle(Key key, int priority) override;
 
  private:
-  std::list<Key> order_;  // front = LRU, back = MRU
-  std::unordered_map<Key, std::list<Key>::iterator> index_;
+  core::NodeSlab<core::NoData> slab_;
+  core::KeyIndexTable index_;
+  core::IntrusiveList order_;  // front = LRU, back = MRU
 };
 
 }  // namespace fbf::cache

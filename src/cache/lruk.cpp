@@ -1,34 +1,38 @@
 #include "cache/lruk.h"
 
-#include "util/check.h"
-
 namespace fbf::cache {
 
-LrukCache::LrukCache(std::size_t capacity) : CachePolicy(capacity) {}
+LrukCache::LrukCache(std::size_t capacity)
+    : CachePolicy(capacity),
+      slab_(capacity),
+      index_(capacity),
+      order_(capacity, RankLess{&slab_}) {}
 
-bool LrukCache::contains(Key key) const { return resident_.count(key) > 0; }
+bool LrukCache::contains(Key key) const {
+  return index_.find(key) != core::kNil;
+}
 
 bool LrukCache::handle(Key key, int /*priority*/) {
   ++clock_;
-  const auto it = resident_.find(key);
-  if (it != resident_.end()) {
-    order_.erase({rank_of(it->second), key});
-    it->second.penult = it->second.last;
-    it->second.last = clock_;
-    order_.insert({rank_of(it->second), key});
+  const core::Index n = index_.find(key);
+  if (n != core::kNil) {
+    Entry& e = slab_[n].data;
+    e.penult = e.last;
+    e.last = clock_;
+    order_.update(n);  // rank strictly grew: sinks toward the MRU end
     return true;
   }
-  if (resident_.size() >= capacity()) {
-    const auto victim = order_.begin();
-    FBF_CHECK(victim != order_.end(), "LRU-2 order set empty at eviction");
-    resident_.erase(victim->second);
-    order_.erase(victim);
+  if (slab_.in_use() >= capacity()) {
+    const core::Index victim = order_.top();
+    order_.pop();
+    index_.erase(slab_[victim].key);
+    slab_.release(victim);
     note_eviction();
   }
-  Entry e;
-  e.last = clock_;
-  resident_.emplace(key, e);
-  order_.insert({rank_of(e), key});
+  const core::Index fresh = slab_.acquire(key);
+  slab_[fresh].data.last = clock_;
+  order_.push(fresh);
+  index_.insert(key, fresh);
   return false;
 }
 

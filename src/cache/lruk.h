@@ -1,11 +1,18 @@
 // LRU-2 (O'Neil et al., SIGMOD'93): evict the resident key whose
 // second-most-recent access is oldest; keys seen only once rank lowest.
+//
+// Flat core layout: nodes carry (penult, last) access clocks and an
+// indexed binary min-heap over the slab keeps the eviction order — the
+// (penult, last) ranks are unique (the clock is strictly increasing), so
+// the heap minimum is exactly the std::set ordering the golden model uses,
+// with no per-node allocation.
 #pragma once
 
 #include <cstdint>
-#include <set>
-#include <unordered_map>
 
+#include "cache/core/hash_index.h"
+#include "cache/core/indexed_heap.h"
+#include "cache/core/slab.h"
 #include "cache/policy.h"
 
 namespace fbf::cache {
@@ -15,7 +22,7 @@ class LrukCache final : public CachePolicy {
   explicit LrukCache(std::size_t capacity);
 
   bool contains(Key key) const override;
-  std::size_t size() const override { return resident_.size(); }
+  std::size_t size() const override { return slab_.in_use(); }
   const char* name() const override { return "LRU-2"; }
 
  protected:
@@ -27,15 +34,24 @@ class LrukCache final : public CachePolicy {
     std::uint64_t penult = 0;  ///< 0 = only one access so far
   };
 
+  using Slab = core::NodeSlab<Entry>;
+
   // Eviction order: smallest (penult, last). penult 0 sorts first, so
   // singly-accessed keys are evicted before any twice-accessed key.
-  using Rank = std::pair<std::uint64_t, std::uint64_t>;
-
-  Rank rank_of(const Entry& e) const { return {e.penult, e.last}; }
+  struct RankLess {
+    const Slab* slab;
+    bool operator()(core::Index a, core::Index b) const {
+      const Entry& ea = (*slab)[a].data;
+      const Entry& eb = (*slab)[b].data;
+      return ea.penult != eb.penult ? ea.penult < eb.penult
+                                    : ea.last < eb.last;
+    }
+  };
 
   std::uint64_t clock_ = 0;
-  std::unordered_map<Key, Entry> resident_;
-  std::set<std::pair<Rank, Key>> order_;
+  Slab slab_;
+  core::KeyIndexTable index_;
+  core::IndexedMinHeap<RankLess> order_;
 };
 
 }  // namespace fbf::cache

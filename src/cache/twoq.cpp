@@ -4,77 +4,96 @@
 
 namespace fbf::cache {
 
+namespace {
+
+std::size_t directory_bound(std::size_t capacity, std::size_t kout) {
+  // Residents + ghosts, +1 because an eviction pushes the victim into the
+  // ghost queue before the over-full ghost queue is trimmed.
+  return capacity > 0 ? capacity + kout + 1 : 0;
+}
+
+}  // namespace
+
 TwoQCache::TwoQCache(std::size_t capacity)
     : CachePolicy(capacity),
       kin_(std::max<std::size_t>(1, capacity / 4)),
-      kout_(std::max<std::size_t>(1, capacity / 2)) {}
+      kout_(std::max<std::size_t>(1, capacity / 2)),
+      slab_(directory_bound(capacity, kout_)),
+      index_(directory_bound(capacity, kout_)) {}
 
 bool TwoQCache::contains(Key key) const {
-  return a1in_index_.count(key) > 0 || am_index_.count(key) > 0;
+  const core::Index n = index_.find(key);
+  return n != core::kNil && slab_[n].data.where != Where::A1out;
+}
+
+void TwoQCache::drop(core::Index n, core::IntrusiveList& list) {
+  list.erase(slab_, n);
+  index_.erase(slab_[n].key);
+  slab_.release(n);
 }
 
 void TwoQCache::evict_for_insert() {
   if (size() < capacity()) {
     return;
   }
-  if (a1in_index_.size() > kin_ ||
-      (am_index_.empty() && !a1in_index_.empty())) {
-    // Reclaim from probation; remember the key in the ghost list.
-    const Key victim = a1in_.front();
-    a1in_.pop_front();
-    a1in_index_.erase(victim);
-    a1out_.push_back(victim);
-    a1out_index_.emplace(victim, std::prev(a1out_.end()));
-    if (a1out_index_.size() > kout_) {
-      a1out_index_.erase(a1out_.front());
-      a1out_.pop_front();
+  if (a1in_.size() > kin_ || (am_.empty() && !a1in_.empty())) {
+    // Reclaim from probation; remember the key in the ghost queue.
+    const core::Index victim = a1in_.pop_front(slab_);
+    slab_[victim].data.where = Where::A1out;
+    a1out_.push_back(slab_, victim);
+    if (a1out_.size() > kout_) {
+      drop(a1out_.front(), a1out_);
     }
   } else {
-    const Key victim = am_.front();
-    am_.pop_front();
-    am_index_.erase(victim);
+    drop(am_.front(), am_);
   }
   note_eviction();
 }
 
-bool TwoQCache::handle(Key key, int /*priority*/) {
-  const auto am_it = am_index_.find(key);
-  if (am_it != am_index_.end()) {
-    am_.splice(am_.end(), am_, am_it->second);
-    return true;
-  }
-  if (a1in_index_.count(key) > 0) {
-    return true;  // stays put in probation, per simplified 2Q
-  }
-  const auto ghost = a1out_index_.find(key);
-  if (ghost != a1out_index_.end()) {
-    a1out_.erase(ghost->second);
-    a1out_index_.erase(ghost);
-    evict_for_insert();
-    am_.push_back(key);
-    am_index_.emplace(key, std::prev(am_.end()));
-    return false;
-  }
+void TwoQCache::admit_to_a1in(Key key) {
   evict_for_insert();
-  a1in_.push_back(key);
-  a1in_index_.emplace(key, std::prev(a1in_.end()));
+  const core::Index n = slab_.acquire(key);
+  slab_[n].data.where = Where::A1in;
+  a1in_.push_back(slab_, n);
+  index_.insert(key, n);
+}
+
+bool TwoQCache::handle(Key key, int /*priority*/) {
+  const core::Index n = index_.find(key);
+  if (n != core::kNil) {
+    switch (slab_[n].data.where) {
+      case Where::Am:
+        am_.move_to_back(slab_, n);
+        return true;
+      case Where::A1in:
+        return true;  // stays put in probation, per simplified 2Q
+      case Where::A1out: {
+        // Ghost hit: the key proved reuse, promote into the main queue.
+        drop(n, a1out_);
+        evict_for_insert();
+        const core::Index fresh = slab_.acquire(key);
+        slab_[fresh].data.where = Where::Am;
+        am_.push_back(slab_, fresh);
+        index_.insert(key, fresh);
+        return false;
+      }
+    }
+  }
+  admit_to_a1in(key);
   return false;
 }
 
 void TwoQCache::handle_install(Key key, int /*priority*/) {
-  if (am_index_.count(key) > 0 || a1in_index_.count(key) > 0) {
+  const core::Index n = index_.find(key);
+  if (n != core::kNil && slab_[n].data.where != Where::A1out) {
     return;  // no reuse evidence: Am recency stays untouched
   }
   // A ghosted key re-enters probation, not the protected queue — only a
   // demand re-reference proves it is worth protecting.
-  const auto ghost = a1out_index_.find(key);
-  if (ghost != a1out_index_.end()) {
-    a1out_.erase(ghost->second);
-    a1out_index_.erase(ghost);
+  if (n != core::kNil) {
+    drop(n, a1out_);
   }
-  evict_for_insert();
-  a1in_.push_back(key);
-  a1in_index_.emplace(key, std::prev(a1in_.end()));
+  admit_to_a1in(key);
 }
 
 }  // namespace fbf::cache

@@ -1,10 +1,16 @@
 // Simplified 2Q (Johnson & Shasha, VLDB'94): a FIFO probation queue
 // (A1in), a ghost history (A1out), and a protected LRU main queue (Am).
+//
+// Flat core layout: resident and ghost entries share one node slab and one
+// key index; each node's payload tags which queue it is in, and the three
+// intrusive queues thread through the shared slab. Zero per-operation
+// allocation (slab sized for capacity residents + kout ghosts + 1 in
+// flight during an eviction).
 #pragma once
 
-#include <list>
-#include <unordered_map>
-
+#include "cache/core/hash_index.h"
+#include "cache/core/intrusive_list.h"
+#include "cache/core/slab.h"
 #include "cache/policy.h"
 
 namespace fbf::cache {
@@ -14,31 +20,36 @@ class TwoQCache final : public CachePolicy {
   explicit TwoQCache(std::size_t capacity);
 
   bool contains(Key key) const override;
-  std::size_t size() const override {
-    return a1in_index_.size() + am_index_.size();
-  }
+  std::size_t size() const override { return a1in_.size() + am_.size(); }
   const char* name() const override { return "2Q"; }
 
-  std::size_t a1in_size() const { return a1in_index_.size(); }
-  std::size_t a1out_size() const { return a1out_index_.size(); }
-  std::size_t am_size() const { return am_index_.size(); }
+  std::size_t a1in_size() const { return a1in_.size(); }
+  std::size_t a1out_size() const { return a1out_.size(); }
+  std::size_t am_size() const { return am_.size(); }
 
  protected:
   bool handle(Key key, int priority) override;
   void handle_install(Key key, int priority) override;
 
  private:
+  enum class Where : std::uint8_t { A1in, A1out, Am };
+  struct Tag {
+    Where where = Where::A1in;
+  };
+
   void evict_for_insert();
+  void admit_to_a1in(Key key);
+  /// Drops a ghost node (key leaves the directory entirely).
+  void drop(core::Index n, core::IntrusiveList& list);
 
   std::size_t kin_;   ///< A1in capacity (25% of total, >= 1)
   std::size_t kout_;  ///< A1out ghost capacity (50% of total, >= 1)
 
-  std::list<Key> a1in_;  // FIFO, front = oldest
-  std::unordered_map<Key, std::list<Key>::iterator> a1in_index_;
-  std::list<Key> a1out_;  // ghost FIFO
-  std::unordered_map<Key, std::list<Key>::iterator> a1out_index_;
-  std::list<Key> am_;  // LRU, front = LRU
-  std::unordered_map<Key, std::list<Key>::iterator> am_index_;
+  core::NodeSlab<Tag> slab_;
+  core::KeyIndexTable index_;  ///< resident and ghost keys
+  core::IntrusiveList a1in_;   // FIFO, front = oldest
+  core::IntrusiveList a1out_;  // ghost FIFO
+  core::IntrusiveList am_;     // LRU, front = LRU
 };
 
 }  // namespace fbf::cache

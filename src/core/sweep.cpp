@@ -101,12 +101,15 @@ double max_improvement(const std::vector<SweepPoint>& points,
                        const std::function<double(const ExperimentResult&)>&
                            metric,
                        bool higher_is_better, double min_base) {
+  FBF_CHECK(min_base >= 0.0, "max_improvement min_base must be non-negative");
   const SweepIndex index(points);
   double best = 0.0;
   for (std::size_t size : cache_sizes) {
     const double fbf = metric(index.at(size, cache::PolicyId::Fbf).result);
     const double base = metric(index.at(size, baseline).result);
-    if (base <= 0.0 || base <= min_base) {
+    // min_base >= 0 is checked above, so this single test also rejects
+    // zero and negative baselines.
+    if (base <= min_base) {
       continue;
     }
     const double improvement =

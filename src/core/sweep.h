@@ -60,7 +60,10 @@ class SweepIndex {
 /// for "higher is better" metrics (hit ratio) returns max(fbf/base - 1);
 /// for "lower is better" metrics (reads, times) returns max(1 - fbf/base).
 /// Grid points whose baseline value is <= `min_base` are skipped so a
-/// near-zero denominator cannot inflate the ratio.
+/// near-zero denominator cannot inflate the ratio. `min_base` must be
+/// non-negative (checked); because metrics are non-negative, the single
+/// `base <= min_base` test then also rejects zero baselines, and the
+/// default of 0.0 skips exactly the degenerate zero-denominator points.
 double max_improvement(const std::vector<SweepPoint>& points,
                        const std::vector<std::size_t>& cache_sizes,
                        cache::PolicyId baseline,

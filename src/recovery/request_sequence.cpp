@@ -6,9 +6,10 @@
 
 namespace fbf::recovery {
 
-std::vector<ChunkOp> build_request_sequence(const codes::Layout& layout,
-                                            const RecoveryScheme& scheme) {
-  std::vector<ChunkOp> ops;
+void build_request_sequence(const codes::Layout& layout,
+                            const RecoveryScheme& scheme,
+                            std::vector<ChunkOp>& ops) {
+  ops.clear();
   ops.reserve(static_cast<std::size_t>(scheme.total_references) +
               scheme.steps.size());
   for (std::size_t s = 0; s < scheme.steps.size(); ++s) {
@@ -35,6 +36,12 @@ std::vector<ChunkOp> build_request_sequence(const codes::Layout& layout,
     write.priority = std::max<std::uint8_t>(scheme.priority[tidx], 1);
     ops.push_back(write);
   }
+}
+
+std::vector<ChunkOp> build_request_sequence(const codes::Layout& layout,
+                                            const RecoveryScheme& scheme) {
+  std::vector<ChunkOp> ops;
+  build_request_sequence(layout, scheme, ops);
   return ops;
 }
 

@@ -25,6 +25,15 @@ struct ChunkOp {
 /// target (row-major order within the chain), then write the recovered
 /// target to spare. Reads of previously recovered lost cells are regular
 /// reads — they hit the cache if FBF kept them, or go to the spare area.
+///
+/// Fills `out` (cleared first), reusing its capacity — the simulation
+/// engines call this once per damaged stripe, so a caller-owned buffer
+/// turns a per-stripe allocation into a steady-state no-op.
+void build_request_sequence(const codes::Layout& layout,
+                            const RecoveryScheme& scheme,
+                            std::vector<ChunkOp>& out);
+
+/// Convenience overload returning a fresh vector.
 std::vector<ChunkOp> build_request_sequence(const codes::Layout& layout,
                                             const RecoveryScheme& scheme);
 

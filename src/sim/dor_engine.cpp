@@ -149,21 +149,32 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
   }
 
   // ---- Event loop. ----
+  // Two event kinds suffice, so events are a flat POD instead of a
+  // std::function whose captures would hit the heap on every push: a
+  // planned/re-read completing on a disk, and a recovered chunk's spare
+  // write persisting.
   struct Event {
     double t;
     std::uint64_t seq;
-    std::function<void()> fn;
+    enum class Kind : std::uint8_t { ReadDone, SpareWriteDone } kind;
+    std::uint32_t disk;  ///< ReadDone only
+    cache::Key key;
     bool operator>(const Event& o) const {
       return t > o.t || (t == o.t && seq > o.seq);
     }
   };
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap;
+  // One in-flight read per disk plus one pending spare write per chain
+  // bound the heap; reserving once removes mid-run regrowth.
+  std::vector<Event> heap_storage;
+  heap_storage.reserve(readers.size() + tasks.size());
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap(
+      std::greater<Event>{}, std::move(heap_storage));
   std::uint64_t seq = 0;
   double makespan = 0.0;
   std::size_t tasks_done = 0;
+  std::vector<cache::Key> missing_scratch;  // reused per completion attempt
 
   std::function<void(std::size_t, double, cache::Key)> attempt_completion;
-  std::function<void(std::size_t, double)> kick_reader;
   // Delivery of a chunk (from its home disk, the spare area, or a chain
   // completion): buffer it and wake exactly the tasks awaiting this key.
   auto deliver = [&](cache::Key key, double now) {
@@ -177,7 +188,7 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
     }
   };
 
-  kick_reader = [&](std::size_t d, double now) {
+  auto kick_reader = [&](std::size_t d, double now) {
     Reader& r = readers[d];
     if (r.busy || r.queue.empty()) {
       return;
@@ -189,11 +200,8 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
     ++metrics.disk_reads;
     metrics.response_ms.add(done - now + config_.cache_access_ms);
     metrics.response_reservoir.add(done - now + config_.cache_access_ms);
-    heap.push(Event{done, seq++, [&, d, read, done] {
-                      deliver(read.key, done);
-                      readers[d].busy = false;
-                      kick_reader(d, done);
-                    }});
+    heap.push(Event{done, seq++, Event::Kind::ReadDone,
+                    static_cast<std::uint32_t>(d), read.key});
   };
 
   auto enqueue_reread = [&](cache::Key key, double now) {
@@ -228,15 +236,15 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
       std::rotate(task.unconsumed.begin(), fresh_it, fresh_it + 1);
     }
     // Consume members still buffered; re-read the evicted ones.
-    std::vector<cache::Key> missing;
+    missing_scratch.clear();
     for (cache::Key key : task.unconsumed) {
       if (cache->request(key, info.at(key).priority)) {
         continue;  // consumed (folded into the XOR accumulator)
       }
-      missing.push_back(key);
+      missing_scratch.push_back(key);
     }
     metrics.total_chunk_requests += task.unconsumed.size();
-    task.unconsumed = missing;
+    task.unconsumed.assign(missing_scratch.begin(), missing_scratch.end());
     if (!task.unconsumed.empty()) {
       for (cache::Key key : task.unconsumed) {
         task.awaiting.insert(key);
@@ -258,22 +266,30 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
     ++metrics.chunks_recovered;
     makespan = std::max(makespan, write_done);
     const cache::Key tkey = geometry_->chunk_key(task.stripe, task.target);
-    heap.push(Event{write_done, seq++, [&, tkey, write_done] {
-                      // The recovered chunk becomes available: buffer it
-                      // and wake chains that were waiting on the lost cell.
-                      info.at(tkey).recovered = true;
-                      deliver(tkey, write_done);
-                    }});
+    heap.push(Event{write_done, seq++, Event::Kind::SpareWriteDone,
+                    /*disk=*/0, tkey});
   };
 
   for (std::size_t d = 0; d < readers.size(); ++d) {
     kick_reader(d, 0.0);
   }
   while (!heap.empty()) {
-    Event ev = std::move(const_cast<Event&>(heap.top()));
+    const Event ev = heap.top();
     heap.pop();
     makespan = std::max(makespan, ev.t);
-    ev.fn();
+    switch (ev.kind) {
+      case Event::Kind::ReadDone:
+        deliver(ev.key, ev.t);
+        readers[ev.disk].busy = false;
+        kick_reader(ev.disk, ev.t);
+        break;
+      case Event::Kind::SpareWriteDone:
+        // The recovered chunk becomes available: buffer it and wake
+        // chains that were waiting on the lost cell.
+        info.at(ev.key).recovered = true;
+        deliver(ev.key, ev.t);
+        break;
+    }
   }
   FBF_CHECK(tasks_done == tasks.size(),
             "DOR finished with incomplete chains — dependency deadlock");

@@ -36,10 +36,20 @@ struct ReconstructionEngine::Worker {
   bool completion_pending = false;
   std::uint64_t stripe = 0;
   std::shared_ptr<const recovery::RecoveryScheme> scheme;
+  /// Reused across stripes: build_request_sequence refills in place.
   std::vector<ChunkOp> ops;
   std::size_t op_idx = 0;
   int reads_in_step = 0;
-  std::vector<bool> recovered;  ///< per cell index of the current stripe
+  /// Recovered-cell bitmap for the current stripe, packed 64 cells per
+  /// word and reused across stripes (cleared, never reallocated).
+  std::vector<std::uint64_t> recovered;
+
+  bool is_recovered(std::size_t cell_idx) const {
+    return (recovered[cell_idx >> 6] >> (cell_idx & 63)) & 1u;
+  }
+  void mark_recovered(std::size_t cell_idx) {
+    recovered[cell_idx >> 6] |= std::uint64_t{1} << (cell_idx & 63);
+  }
 
   // verify_data mode: ground-truth and in-progress stripe contents.
   std::unique_ptr<codes::StripeData> truth;
@@ -84,14 +94,16 @@ void ReconstructionEngine::start_next_stripe(Worker& w, SimMetrics& metrics) {
         recovery::generate_scheme(*layout_, err.error, config_.scheme));
     ++metrics.schemes_generated;
   }
-  w.ops = recovery::build_request_sequence(*layout_, *w.scheme);
+  recovery::build_request_sequence(*layout_, *w.scheme, w.ops);
   const auto t1 = std::chrono::steady_clock::now();
   metrics.scheme_gen_wall_ms +=
       std::chrono::duration<double, std::milli>(t1 - t0).count();
 
   w.op_idx = 0;
   w.reads_in_step = 0;
-  w.recovered.assign(static_cast<std::size_t>(layout_->num_cells()), false);
+  const std::size_t words =
+      (static_cast<std::size_t>(layout_->num_cells()) + 63) / 64;
+  w.recovered.assign(words, 0);  // same size every stripe: no reallocation
   w.active = true;
 
   if (config_.verify_data) {
@@ -162,7 +174,7 @@ std::optional<double> ReconstructionEngine::advance(Worker& w, double now,
           static_cast<std::size_t>(layout_->cell_index(op.cell));
       // Recovered chunks no longer exist at their original address; a miss
       // re-reads them from wherever the spare write placed them.
-      const bool from_spare = w.recovered[cell_idx];
+      const bool from_spare = w.is_recovered(cell_idx);
       const std::uint64_t lba = from_spare
                                     ? geometry_->spare_lba_of(w.stripe, op.cell)
                                     : geometry_->lba_of(w.stripe, op.cell);
@@ -194,8 +206,7 @@ std::optional<double> ReconstructionEngine::advance(Worker& w, double now,
     // here so foreground app traffic cannot inflate the makespan.
     metrics.reconstruction_ms =
         std::max(metrics.reconstruction_ms, write_done);
-    w.recovered[static_cast<std::size_t>(layout_->cell_index(op.cell))] =
-        true;
+    w.mark_recovered(static_cast<std::size_t>(layout_->cell_index(op.cell)));
     // The recovered chunk sits in the buffer; later chains may reuse it.
     w.cache->install(geometry_->chunk_key(w.stripe, op.cell), op.priority);
     next = config_.synchronous_spare_writes ? write_done : xor_done;
@@ -277,7 +288,12 @@ SimMetrics ReconstructionEngine::run(
       return t > other.t || (t == other.t && seq > other.seq);
     }
   };
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap;
+  // At most one pending event per worker plus the app arrivals pushed up
+  // front bound the heap: reserving once removes every mid-run regrowth.
+  std::vector<Event> heap_storage;
+  heap_storage.reserve(workers.size() + app_trace.size());
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap(
+      std::greater<Event>{}, std::move(heap_storage));
   std::uint64_t seq = 0;
   for (const Worker& w : workers) {
     if (!w.assigned.empty()) {

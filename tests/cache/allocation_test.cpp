@@ -1,0 +1,152 @@
+// Asserts the zero-allocation steady-state contract of the flat cache
+// core: after construction and a warm-up phase, request()/install() on
+// every ported policy must never touch the heap. Global operator new is
+// replaced with a counting shim, so this test lives in its own binary —
+// linking it into the shared cache_test would instrument every other test
+// there too.
+//
+// The shim is malloc-backed, which keeps ASan's malloc interceptors in
+// the loop when the binary is built with -DFBF_SANITIZE=ON.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <new>
+#include <vector>
+
+#include "cache/policy.h"
+#include "util/rng.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(align, (size + align - 1) / align * align)) {
+    return p;
+  }
+  throw std::bad_alloc{};
+}
+
+}  // namespace
+
+// Every replaceable allocation form routes through the counter; the
+// aligned and nothrow variants matter because the standard library is
+// free to pick any of them.
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace fbf::cache {
+namespace {
+
+struct Op {
+  Key key;
+  int priority;
+  bool is_install;
+};
+
+/// Mixed request/install trace over a key space ~4x capacity so the cache
+/// churns through misses, evictions, and ghost-list traffic.
+std::vector<Op> make_trace(std::size_t count, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Op> ops;
+  ops.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ops.push_back(Op{static_cast<Key>(rng.uniform_int(0, 1023)),
+                     static_cast<int>(rng.uniform_int(1, 3)),
+                     rng.bernoulli(0.25)});
+  }
+  return ops;
+}
+
+class SteadyStateAllocation : public ::testing::TestWithParam<PolicyId> {};
+
+TEST_P(SteadyStateAllocation, RequestAndInstallNeverAllocate) {
+  constexpr std::size_t kCapacity = 256;
+  const std::vector<Op> warm = make_trace(10000, 42);
+  const std::vector<Op> steady = make_trace(10000, 1337);
+
+  const auto policy = make_policy(GetParam(), kCapacity);
+  for (const Op& op : warm) {
+    if (op.is_install) {
+      policy->install(op.key, op.priority);
+    } else {
+      policy->request(op.key, op.priority);
+    }
+  }
+
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (const Op& op : steady) {
+    if (op.is_install) {
+      policy->install(op.key, op.priority);
+    } else {
+      policy->request(op.key, op.priority);
+    }
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << to_string(GetParam()) << " allocated " << (after - before)
+      << " times across " << steady.size() << " steady-state ops";
+}
+
+// Lrfu keeps its original std::map implementation and Belady needs the
+// future trace, so the contract covers exactly the flat-core ports.
+INSTANTIATE_TEST_SUITE_P(
+    FlatCorePolicies, SteadyStateAllocation,
+    ::testing::Values(PolicyId::Fifo, PolicyId::Lru, PolicyId::Lfu,
+                      PolicyId::Arc, PolicyId::Lru2, PolicyId::TwoQ,
+                      PolicyId::Fbf, PolicyId::FbfNoDemote),
+    [](const ::testing::TestParamInfo<PolicyId>& info) {
+      // Policy display names ("LRU-2", "2Q") are not valid identifiers.
+      std::string name = "P_";
+      for (const char* c = to_string(info.param); *c != '\0'; ++c) {
+        name.push_back(std::isalnum(static_cast<unsigned char>(*c)) ? *c
+                                                                    : '_');
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace fbf::cache

@@ -1,0 +1,417 @@
+// Unit coverage for the flat cache-core primitives (src/cache/core),
+// independent of any policy: slab exhaustion and recycling, hash-table
+// probe wraparound and backward-shift deletion, indexed-heap ordering
+// under arbitrary removal, intrusive-list linking, and the capacity 0/1
+// and move/clear edge cases every policy constructor leans on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cache/core/hash_index.h"
+#include "cache/core/indexed_heap.h"
+#include "cache/core/intrusive_list.h"
+#include "cache/core/slab.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fbf::cache::core {
+namespace {
+
+using Slab = NodeSlab<NoData>;
+
+// ---------------------------------------------------------------- NodeSlab
+
+TEST(NodeSlab, AcquireReleaseRecyclesSlots) {
+  Slab slab(3);
+  EXPECT_EQ(slab.capacity(), 3u);
+  EXPECT_EQ(slab.in_use(), 0u);
+
+  const Index a = slab.acquire(10);
+  const Index b = slab.acquire(20);
+  const Index c = slab.acquire(30);
+  EXPECT_EQ(slab.in_use(), 3u);
+  EXPECT_EQ(slab[a].key, 10u);
+  EXPECT_EQ(slab[b].key, 20u);
+  EXPECT_EQ(slab[c].key, 30u);
+
+  slab.release(b);
+  EXPECT_EQ(slab.in_use(), 2u);
+  const Index d = slab.acquire(40);  // must reuse the freed slot
+  EXPECT_EQ(d, b);
+  EXPECT_EQ(slab[d].key, 40u);
+  EXPECT_EQ(slab[d].prev, kNil);
+  EXPECT_EQ(slab[d].next, kNil);
+}
+
+TEST(NodeSlab, ExhaustionIsAProgrammerError) {
+  Slab slab(2);
+  slab.acquire(1);
+  slab.acquire(2);
+  EXPECT_THROW(slab.acquire(3), util::CheckError);
+  EXPECT_EQ(slab.in_use(), 2u);
+}
+
+TEST(NodeSlab, ZeroCapacityAcquireThrows) {
+  Slab slab(0);
+  EXPECT_EQ(slab.capacity(), 0u);
+  EXPECT_THROW(slab.acquire(1), util::CheckError);
+}
+
+TEST(NodeSlab, ReleaseWithNothingInUseThrows) {
+  Slab slab(1);
+  EXPECT_THROW(slab.release(0), util::CheckError);
+}
+
+TEST(NodeSlab, ClearRebuildsTheFreeList) {
+  Slab slab(2);
+  slab.acquire(1);
+  slab.acquire(2);
+  slab.clear();
+  EXPECT_EQ(slab.in_use(), 0u);
+  // The full capacity is acquirable again.
+  slab.acquire(3);
+  slab.acquire(4);
+  EXPECT_EQ(slab.in_use(), 2u);
+}
+
+TEST(NodeSlab, MoveTransfersStateAndIndicesStayValid) {
+  Slab slab(2);
+  const Index a = slab.acquire(7);
+  Slab moved(std::move(slab));
+  EXPECT_EQ(moved.in_use(), 1u);
+  EXPECT_EQ(moved[a].key, 7u);
+  const Index b = moved.acquire(8);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(moved.in_use(), 2u);
+}
+
+TEST(NodeSlab, PayloadResetOnAcquire) {
+  struct Counter {
+    int n = 5;
+  };
+  NodeSlab<Counter> slab(1);
+  const Index a = slab.acquire(1);
+  slab[a].data.n = 99;
+  slab.release(a);
+  const Index b = slab.acquire(2);
+  EXPECT_EQ(slab[b].data.n, 5);  // default-constructed payload again
+}
+
+// ------------------------------------------------------------ KeyIndexTable
+
+TEST(KeyIndexTable, InsertFindErase) {
+  KeyIndexTable table(8);
+  EXPECT_EQ(table.find(1), kNil);
+  table.insert(1, 100);
+  table.insert(2, 200);
+  EXPECT_EQ(table.find(1), 100u);
+  EXPECT_EQ(table.find(2), 200u);
+  EXPECT_EQ(table.size(), 2u);
+  table.erase(1);
+  EXPECT_EQ(table.find(1), kNil);
+  EXPECT_EQ(table.find(2), 200u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(KeyIndexTable, PowerOfTwoSizingKeepsLoadUnderQuarter) {
+  KeyIndexTable table(5);
+  EXPECT_GE(table.bucket_count(), 4u * 5u);
+  EXPECT_EQ(table.bucket_count() & (table.bucket_count() - 1), 0u);
+}
+
+TEST(KeyIndexTable, DuplicateInsertAndAbsentEraseThrow) {
+  KeyIndexTable table(4);
+  table.insert(9, 1);
+  EXPECT_THROW(table.insert(9, 2), util::CheckError);
+  EXPECT_THROW(table.erase(10), util::CheckError);
+  EXPECT_THROW(KeyIndexTable(1).erase(0), util::CheckError);
+}
+
+TEST(KeyIndexTable, InsertPastEntryBoundThrows) {
+  KeyIndexTable table(2);
+  table.insert(1, 1);
+  table.insert(2, 2);
+  EXPECT_THROW(table.insert(3, 3), util::CheckError);
+}
+
+/// Finds `count` keys whose home slot equals `slot` — used to force a
+/// probe cluster at a chosen position.
+std::vector<Key> keys_homing_at(const KeyIndexTable& table, std::size_t slot,
+                                std::size_t count) {
+  std::vector<Key> keys;
+  for (Key k = 0; keys.size() < count; ++k) {
+    if (table.home_slot(k) == slot) {
+      keys.push_back(k);
+    }
+  }
+  return keys;
+}
+
+TEST(KeyIndexTable, ProbeClusterWrapsAroundTheSlotArray) {
+  KeyIndexTable table(8);  // 16 slots
+  const std::size_t last = table.bucket_count() - 1;
+  // Three keys all homing at the last slot: two must wrap to slots 0, 1.
+  const std::vector<Key> keys = keys_homing_at(table, last, 3);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    table.insert(keys[i], static_cast<Index>(i));
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(table.find(keys[i]), static_cast<Index>(i));
+  }
+}
+
+TEST(KeyIndexTable, BackwardShiftDeletionAcrossTheWrap) {
+  KeyIndexTable table(8);
+  const std::size_t last = table.bucket_count() - 1;
+  const std::vector<Key> keys = keys_homing_at(table, last, 4);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    table.insert(keys[i], static_cast<Index>(i));
+  }
+  // Deleting the head of the cluster (stored at the shared home slot) must
+  // backward-shift the wrapped tail so lookups still terminate correctly.
+  table.erase(keys[0]);
+  EXPECT_EQ(table.find(keys[0]), kNil);
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    EXPECT_EQ(table.find(keys[i]), static_cast<Index>(i));
+  }
+  // And deleting from the middle keeps the rest reachable.
+  table.erase(keys[2]);
+  EXPECT_EQ(table.find(keys[2]), kNil);
+  EXPECT_EQ(table.find(keys[1]), 1u);
+  EXPECT_EQ(table.find(keys[3]), 3u);
+}
+
+TEST(KeyIndexTable, RandomizedChurnAgainstAStdMap) {
+  util::Rng rng(123);
+  KeyIndexTable table(64);
+  std::vector<std::pair<Key, Index>> shadow;
+  for (int op = 0; op < 20000; ++op) {
+    const Key k = static_cast<Key>(rng.uniform_int(0, 200));
+    const auto it = std::find_if(shadow.begin(), shadow.end(),
+                                 [&](const auto& e) { return e.first == k; });
+    if (it != shadow.end()) {
+      ASSERT_EQ(table.find(k), it->second) << "op " << op;
+      table.erase(k);
+      shadow.erase(it);
+    } else if (shadow.size() < 64) {
+      ASSERT_EQ(table.find(k), kNil) << "op " << op;
+      const auto v = static_cast<Index>(rng.uniform_int(0, 1 << 20));
+      table.insert(k, v);
+      shadow.push_back({k, v});
+    }
+    ASSERT_EQ(table.size(), shadow.size());
+  }
+  for (const auto& [k, v] : shadow) {
+    EXPECT_EQ(table.find(k), v);
+  }
+}
+
+TEST(KeyIndexTable, ClearEmptiesWithoutResizing) {
+  KeyIndexTable table(4);
+  table.insert(1, 1);
+  table.insert(2, 2);
+  const std::size_t buckets = table.bucket_count();
+  table.clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.find(1), kNil);
+  EXPECT_EQ(table.bucket_count(), buckets);
+  table.insert(1, 9);
+  EXPECT_EQ(table.find(1), 9u);
+}
+
+TEST(KeyIndexTable, CapacityZeroAndOneEdgeCases) {
+  KeyIndexTable zero(0);
+  EXPECT_EQ(zero.find(42), kNil);
+  EXPECT_THROW(zero.insert(42, 0), util::CheckError);
+
+  KeyIndexTable one(1);
+  one.insert(42, 7);
+  EXPECT_EQ(one.find(42), 7u);
+  EXPECT_THROW(one.insert(43, 8), util::CheckError);
+  one.erase(42);
+  one.insert(43, 8);
+  EXPECT_EQ(one.find(43), 8u);
+}
+
+TEST(KeyIndexTable, MoveTransfersEntries) {
+  KeyIndexTable table(4);
+  table.insert(5, 50);
+  KeyIndexTable moved(std::move(table));
+  EXPECT_EQ(moved.find(5), 50u);
+  EXPECT_EQ(moved.size(), 1u);
+}
+
+// ------------------------------------------------------------ IntrusiveList
+
+TEST(IntrusiveList, PushEraseAndPopMaintainLinks) {
+  Slab slab(4);
+  IntrusiveList list;
+  EXPECT_TRUE(list.empty());
+
+  const Index a = slab.acquire(1);
+  const Index b = slab.acquire(2);
+  const Index c = slab.acquire(3);
+  list.push_back(slab, a);
+  list.push_back(slab, b);
+  list.push_back(slab, c);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.front(), a);
+  EXPECT_EQ(list.back(), c);
+
+  list.erase(slab, b);  // middle
+  EXPECT_EQ(slab[a].next, c);
+  EXPECT_EQ(slab[c].prev, a);
+  EXPECT_EQ(list.size(), 2u);
+
+  EXPECT_EQ(list.pop_front(slab), a);
+  EXPECT_EQ(list.front(), c);
+  EXPECT_EQ(list.back(), c);
+  list.erase(slab, c);
+  EXPECT_TRUE(list.empty());
+  EXPECT_THROW(list.pop_front(slab), util::CheckError);
+}
+
+TEST(IntrusiveList, MoveToBackAndInsertAfter) {
+  Slab slab(4);
+  IntrusiveList list;
+  const Index a = slab.acquire(1);
+  const Index b = slab.acquire(2);
+  const Index c = slab.acquire(3);
+  list.push_back(slab, a);
+  list.push_back(slab, b);
+  list.move_to_back(slab, a);
+  EXPECT_EQ(list.front(), b);
+  EXPECT_EQ(list.back(), a);
+  list.move_to_back(slab, a);  // already MRU: no-op
+  EXPECT_EQ(list.back(), a);
+
+  list.insert_after(slab, b, c);  // b, c, a
+  EXPECT_EQ(slab[b].next, c);
+  EXPECT_EQ(slab[c].next, a);
+  EXPECT_EQ(list.size(), 3u);
+
+  const Index d = slab.acquire(4);
+  list.insert_after(slab, a, d);  // tail insert updates back()
+  EXPECT_EQ(list.back(), d);
+}
+
+TEST(IntrusiveList, PushFrontAndClear) {
+  Slab slab(2);
+  IntrusiveList list;
+  const Index a = slab.acquire(1);
+  const Index b = slab.acquire(2);
+  list.push_front(slab, a);
+  list.push_front(slab, b);
+  EXPECT_EQ(list.front(), b);
+  EXPECT_EQ(list.back(), a);
+  list.clear();
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.front(), kNil);
+}
+
+TEST(IntrusiveList, TwoListsShareOneSlab) {
+  Slab slab(4);
+  IntrusiveList one, two;
+  const Index a = slab.acquire(1);
+  const Index b = slab.acquire(2);
+  one.push_back(slab, a);
+  two.push_back(slab, b);
+  // Moving a node between lists (the ARC/2Q pattern).
+  one.erase(slab, a);
+  two.push_back(slab, a);
+  EXPECT_EQ(one.size(), 0u);
+  EXPECT_EQ(two.size(), 2u);
+  EXPECT_EQ(two.front(), b);
+  EXPECT_EQ(two.back(), a);
+}
+
+// ----------------------------------------------------------- IndexedMinHeap
+
+struct ValueLess {
+  const std::vector<int>* values;
+  bool operator()(Index a, Index b) const {
+    return (*values)[a] < (*values)[b];
+  }
+};
+
+TEST(IndexedMinHeap, PopsInRankOrder) {
+  std::vector<int> values{50, 10, 40, 20, 30};
+  IndexedMinHeap<ValueLess> heap(values.size(), ValueLess{&values});
+  for (Index i = 0; i < values.size(); ++i) {
+    heap.push(i);
+  }
+  std::vector<int> popped;
+  while (!heap.empty()) {
+    popped.push_back(values[heap.top()]);
+    heap.pop();
+  }
+  EXPECT_EQ(popped, (std::vector<int>{10, 20, 30, 40, 50}));
+}
+
+TEST(IndexedMinHeap, ArbitraryRemovalAndUpdate) {
+  std::vector<int> values{5, 1, 4, 2, 3};
+  IndexedMinHeap<ValueLess> heap(values.size(), ValueLess{&values});
+  for (Index i = 0; i < values.size(); ++i) {
+    heap.push(i);
+  }
+  heap.remove(1);  // drop the minimum (value 1) from the middle of the API
+  EXPECT_FALSE(heap.contains(1));
+  EXPECT_EQ(values[heap.top()], 2);
+
+  values[0] = 0;  // rank decrease
+  heap.update(0);
+  EXPECT_EQ(values[heap.top()], 0);
+
+  values[0] = 99;  // rank increase
+  heap.update(0);
+  EXPECT_EQ(values[heap.top()], 2);
+
+  EXPECT_THROW(heap.remove(1), util::CheckError);
+  EXPECT_THROW(heap.push(0), util::CheckError);  // already queued
+}
+
+TEST(IndexedMinHeap, RandomizedAgainstSort) {
+  util::Rng rng(7);
+  std::vector<int> values(64, 0);
+  IndexedMinHeap<ValueLess> heap(values.size(), ValueLess{&values});
+  std::vector<Index> live;
+  for (int op = 0; op < 5000; ++op) {
+    const double roll = rng.uniform01();
+    if (live.size() < values.size() && (live.empty() || roll < 0.5)) {
+      Index n = 0;
+      while (heap.contains(n)) {
+        ++n;
+      }
+      values[n] = static_cast<int>(rng.uniform_int(0, 1 << 20));
+      heap.push(n);
+      live.push_back(n);
+    } else if (roll < 0.75) {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      heap.remove(live[pick]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const Index expect =
+          *std::min_element(live.begin(), live.end(), ValueLess{&values});
+      ASSERT_EQ(values[heap.top()], values[expect]) << "op " << op;
+    }
+    ASSERT_EQ(heap.size(), live.size());
+  }
+}
+
+TEST(IndexedMinHeap, ClearForgetsEverything) {
+  std::vector<int> values{3, 1, 2};
+  IndexedMinHeap<ValueLess> heap(values.size(), ValueLess{&values});
+  for (Index i = 0; i < values.size(); ++i) {
+    heap.push(i);
+  }
+  heap.clear();
+  EXPECT_TRUE(heap.empty());
+  EXPECT_FALSE(heap.contains(0));
+  heap.push(0);  // usable again after clear
+  EXPECT_EQ(heap.top(), 0u);
+}
+
+}  // namespace
+}  // namespace fbf::cache::core

@@ -157,5 +157,42 @@ TEST(Sweep, MaxImprovementArithmetic) {
   EXPECT_NEAR(read_gain, 0.2, 1e-9);  // 1 - 800/1000
 }
 
+TEST(Sweep, MaxImprovementMinBaseContract) {
+  std::vector<SweepPoint> points;
+  auto add = [&points](std::size_t size, cache::PolicyId pol, double hr) {
+    SweepPoint p;
+    p.cache_bytes = size;
+    p.policy = pol;
+    p.result.hit_ratio = hr;
+    points.push_back(p);
+  };
+  // Size 1: near-zero baseline would inflate the ratio to 9x.
+  add(1, cache::PolicyId::Lru, 0.001);
+  add(1, cache::PolicyId::Fbf, 0.010);
+  // Size 2: healthy baseline, modest 25% gain.
+  add(2, cache::PolicyId::Lru, 0.40);
+  add(2, cache::PolicyId::Fbf, 0.50);
+  // Size 3: zero baseline must always be skipped, even at min_base = 0.
+  add(3, cache::PolicyId::Lru, 0.0);
+  add(3, cache::PolicyId::Fbf, 0.30);
+  const auto hit_ratio = [](const ExperimentResult& r) { return r.hit_ratio; };
+
+  // min_base filters the near-zero point, leaving only the honest gain.
+  EXPECT_NEAR(max_improvement(points, {1, 2, 3}, cache::PolicyId::Lru,
+                              hit_ratio, /*higher_is_better=*/true,
+                              /*min_base=*/0.01),
+              0.25, 1e-9);
+  // The default min_base of 0 keeps the near-zero point (9x) but still
+  // rejects the exactly-zero denominator at size 3.
+  EXPECT_NEAR(max_improvement(points, {1, 2, 3}, cache::PolicyId::Lru,
+                              hit_ratio, /*higher_is_better=*/true),
+              9.0, 1e-9);
+  // A negative min_base would re-admit zero denominators; it is rejected.
+  EXPECT_THROW(max_improvement(points, {1, 2}, cache::PolicyId::Lru,
+                               hit_ratio, /*higher_is_better=*/true,
+                               /*min_base=*/-1.0),
+               util::CheckError);
+}
+
 }  // namespace
 }  // namespace fbf::core
