@@ -1,21 +1,30 @@
 // Shared plumbing for the figure/table harnesses: standard flags, the
 // paper's parameter axes, and series printing.
 //
-// Common flags for every bench:
+// Common flags for every bench (unknown flags abort with a CheckError):
 //   --errors=N        damaged stripes per run (default 400)
 //   --workers=N       SOR worker processes (default 128, as in the paper)
 //   --sizes-mb=a,b,c  cache-size axis in MB (default 2..2048 powers of 4)
 //   --p=a,b,c         primes (figure-specific default)
 //   --seed=N          workload seed
 //   --csv             CSV instead of aligned text
+//   --threads=N       sweep parallelism (0 = hardware)
+//   --metrics-out=F   write run-level counters/gauges/histograms as JSON
+//   --trace-out=F     write Chrome trace-event JSON (load in Perfetto)
+//   --trace-detail=L  "phases" (default) or "fine" (per-read disk spans)
 #pragma once
 
+#include <initializer_list>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/experiment.h"
 #include "core/sweep.h"
+#include "obs/observer.h"
+#include "util/check.h"
 #include "util/flags.h"
 #include "util/table.h"
 
@@ -29,11 +38,25 @@ struct BenchOptions {
   std::uint64_t seed = 42;
   bool csv = false;
   std::size_t threads = 0;  // sweep parallelism (0 = hardware)
+
+  std::string metrics_out;
+  std::string trace_out;
+  /// Shared by every run the bench executes; flushes its JSON outputs when
+  /// the options object leaves main's scope. Null when neither --metrics-out
+  /// nor --trace-out was given, which keeps the engines on the no-op path.
+  std::shared_ptr<obs::RunObserver> observer;
 };
 
-inline BenchOptions parse_options(int argc, char** argv,
-                                  std::vector<int> default_primes) {
+inline BenchOptions parse_options(
+    int argc, char** argv, std::vector<int> default_primes,
+    std::initializer_list<std::string_view> extra_known = {}) {
   const util::Flags flags(argc, argv);
+  std::vector<std::string_view> known{
+      "errors", "workers", "sizes-mb",  "p",         "seed",
+      "csv",    "threads", "metrics-out", "trace-out", "trace-detail"};
+  known.insert(known.end(), extra_known.begin(), extra_known.end());
+  flags.check_known(known);
+
   BenchOptions opt;
   opt.errors = static_cast<int>(flags.get_int("errors", 400));
   opt.workers = static_cast<int>(flags.get_int("workers", 128));
@@ -49,6 +72,22 @@ inline BenchOptions parse_options(int argc, char** argv,
   for (std::int64_t p : flags.get_int_list("p", fallback)) {
     opt.primes.push_back(static_cast<int>(p));
   }
+
+  opt.metrics_out = flags.get_string("metrics-out", "");
+  opt.trace_out = flags.get_string("trace-out", "");
+  const std::string detail = flags.get_string("trace-detail", "phases");
+  FBF_CHECK(detail == "phases" || detail == "fine",
+            "--trace-detail must be \"phases\" or \"fine\", got \"" + detail +
+                "\"");
+  if (!opt.metrics_out.empty() || !opt.trace_out.empty()) {
+    obs::RunObserver::Options oo;
+    oo.metrics_path = opt.metrics_out;
+    oo.trace_path = opt.trace_out;
+    oo.trace_level = opt.trace_out.empty() ? obs::TraceLevel::Off
+                     : detail == "fine"    ? obs::TraceLevel::Fine
+                                           : obs::TraceLevel::Phases;
+    opt.observer = std::make_shared<obs::RunObserver>(std::move(oo));
+  }
   return opt;
 }
 
@@ -61,6 +100,7 @@ inline core::ExperimentConfig base_config(const BenchOptions& opt,
   cfg.workers = opt.workers;
   cfg.seed = opt.seed;
   cfg.scheme = recovery::SchemeKind::RoundRobin;
+  cfg.obs = opt.observer.get();
   return cfg;
 }
 

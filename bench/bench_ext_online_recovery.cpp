@@ -6,7 +6,8 @@
 
 int main(int argc, char** argv) {
   using namespace fbf;
-  const bench::BenchOptions opt = bench::parse_options(argc, argv, {11});
+  const bench::BenchOptions opt =
+      bench::parse_options(argc, argv, {11}, {"app-requests"});
   const util::Flags flags(argc, argv);
   const int app_requests =
       static_cast<int>(flags.get_int("app-requests", 3000));

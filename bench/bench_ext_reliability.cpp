@@ -8,7 +8,8 @@
 
 int main(int argc, char** argv) {
   using namespace fbf;
-  const bench::BenchOptions opt = bench::parse_options(argc, argv, {13});
+  const bench::BenchOptions opt =
+      bench::parse_options(argc, argv, {13}, {"scale-tb"});
   const util::Flags flags(argc, argv);
   const double scale_tb = flags.get_double("scale-tb", 1.0);
 

@@ -11,6 +11,10 @@
 # binaries the tests don't link: the cache-ops microbench (one iteration
 # per benchmark — this catches flag/registration breakage, not perf) and
 # a tiny Table-V sweep that drives the full figure pipeline end to end.
+# An obs smoke run then re-drives that sweep with --metrics-out/--trace-out
+# and feeds the artifacts to tools/obs_schema_check, which enforces the
+# metrics schema, the counter conservation laws, trace-event well-formedness,
+# and byte-level determinism of the metrics across two same-seed runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export FBF_VALIDATE=1
@@ -23,17 +27,36 @@ bench_smoke() {
     --errors=8 --workers=4 --sizes-mb=2,8 --p=5 >/dev/null
 }
 
+obs_smoke() {
+  local build_dir="$1"
+  local out="${build_dir}/obs-smoke"
+  rm -rf "$out"
+  mkdir -p "$out"
+  "${build_dir}/bench/bench_table5_summary" \
+    --errors=6 --workers=4 --sizes-mb=2,8 --p=5 \
+    --metrics-out="${out}/metrics1.json" --trace-out="${out}/trace1.json" \
+    >/dev/null
+  "${build_dir}/bench/bench_table5_summary" \
+    --errors=6 --workers=4 --sizes-mb=2,8 --p=5 \
+    --metrics-out="${out}/metrics2.json" >/dev/null
+  "${build_dir}/tools/obs_schema_check" "${out}/metrics1.json" \
+    --trace="${out}/trace1.json" --compare="${out}/metrics2.json"
+}
+
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 bench_smoke build
+obs_smoke build
 
 cmake -B build-scalar -S . -DFBF_ENABLE_SIMD=OFF
 cmake --build build-scalar -j
 ctest --test-dir build-scalar --output-on-failure -j
 bench_smoke build-scalar
+obs_smoke build-scalar
 
 cmake -B build-asan -S . -DFBF_SANITIZE=ON
 cmake --build build-asan -j
 ctest --test-dir build-asan --output-on-failure -j
 bench_smoke build-asan
+obs_smoke build-asan

@@ -11,6 +11,8 @@
 int main(int argc, char** argv) {
   using namespace fbf;
   const util::Flags flags(argc, argv);
+  flags.check_known(
+      {"code", "p", "cache-mb", "errors", "workers", "seed", "csv"});
 
   core::ExperimentConfig cfg;
   cfg.code = codes::code_from_string(flags.get_string("code", "tip"));

@@ -23,15 +23,26 @@
 //   --verify      carry real bytes, verify every recovered chunk
 //   --seed        workload seed                          (42)
 //   --csv         machine-readable output
+//   --metrics-out write run-level metrics JSON to this file
+//   --trace-out   write Chrome trace-event JSON (load in Perfetto)
+//   --trace-detail "phases" (default) or "fine" (per-read disk spans)
 #include <iostream>
+#include <memory>
 
 #include "core/experiment.h"
+#include "obs/observer.h"
+#include "util/check.h"
 #include "util/flags.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace fbf;
   const util::Flags flags(argc, argv);
+  flags.check_known({"code", "p", "policy", "scheme", "cache-mb", "chunk-kb",
+                     "workers", "errors", "error-col", "disk-ms", "cache-ms",
+                     "detailed-disk", "no-rotate", "same-disk-sparing",
+                     "app-requests", "verify", "seed", "csv", "metrics-out",
+                     "trace-out", "trace-detail"});
 
   core::ExperimentConfig cfg;
   cfg.code = codes::code_from_string(flags.get_string("code", "tip"));
@@ -58,6 +69,24 @@ int main(int argc, char** argv) {
   cfg.app_requests = static_cast<int>(flags.get_int("app-requests", 0));
   cfg.verify_data = flags.get_bool("verify", false);
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+
+  std::unique_ptr<obs::RunObserver> observer;
+  const std::string metrics_out = flags.get_string("metrics-out", "");
+  const std::string trace_out = flags.get_string("trace-out", "");
+  const std::string detail = flags.get_string("trace-detail", "phases");
+  FBF_CHECK(detail == "phases" || detail == "fine",
+            "--trace-detail must be \"phases\" or \"fine\", got \"" + detail +
+                "\"");
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    obs::RunObserver::Options oo;
+    oo.metrics_path = metrics_out;
+    oo.trace_path = trace_out;
+    oo.trace_level = trace_out.empty() ? obs::TraceLevel::Off
+                     : detail == "fine" ? obs::TraceLevel::Fine
+                                        : obs::TraceLevel::Phases;
+    observer = std::make_unique<obs::RunObserver>(std::move(oo));
+    cfg.obs = observer.get();
+  }
 
   const core::ExperimentResult r = core::run_experiment(cfg);
 
@@ -89,6 +118,11 @@ int main(int argc, char** argv) {
     table.print_csv(std::cout);
   } else {
     table.print(std::cout);
+  }
+  if (observer != nullptr) {
+    // Explicit flush so write errors surface as a CheckError, not a
+    // destructor-time stderr note.
+    observer->write_outputs();
   }
   return 0;
 }

@@ -4,14 +4,19 @@
 //
 //   ./online_recovery_demo --code=triplestar --p=7 --app-requests=2000
 #include <iostream>
+#include <memory>
 
 #include "core/experiment.h"
+#include "obs/observer.h"
 #include "util/flags.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace fbf;
   const util::Flags flags(argc, argv);
+  flags.check_known({"code", "p", "cache-mb", "errors", "workers",
+                     "app-requests", "app-interarrival-ms", "metrics-out",
+                     "trace-out"});
 
   core::ExperimentConfig cfg;
   cfg.code = codes::code_from_string(flags.get_string("code", "triplestar"));
@@ -22,6 +27,19 @@ int main(int argc, char** argv) {
   cfg.workers = static_cast<int>(flags.get_int("workers", 16));
   cfg.app_requests = static_cast<int>(flags.get_int("app-requests", 2000));
   cfg.app_mean_interarrival_ms = flags.get_double("app-interarrival-ms", 1.0);
+
+  std::unique_ptr<obs::RunObserver> observer;
+  const std::string metrics_out = flags.get_string("metrics-out", "");
+  const std::string trace_out = flags.get_string("trace-out", "");
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    obs::RunObserver::Options oo;
+    oo.metrics_path = metrics_out;
+    oo.trace_path = trace_out;
+    oo.trace_level =
+        trace_out.empty() ? obs::TraceLevel::Off : obs::TraceLevel::Phases;
+    observer = std::make_unique<obs::RunObserver>(std::move(oo));
+    cfg.obs = observer.get();
+  }
 
   util::Table table("online recovery — reconstruction vs foreground I/O");
   table.headers({"policy", "recon (ms)", "recon reads", "app avg resp (ms)",
@@ -40,5 +58,8 @@ int main(int argc, char** argv) {
   std::cout << "\nFewer reconstruction reads leave more disk time for the "
                "application;\ncompare the app response column across "
                "policies.\n";
+  if (observer != nullptr) {
+    observer->write_outputs();
+  }
   return 0;
 }

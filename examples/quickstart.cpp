@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace fbf;
   const util::Flags flags(argc, argv);
+  flags.check_known({"code", "p", "chunks"});
   const auto code = codes::code_from_string(
       flags.get_string("code", "tip"));
   const int p = static_cast<int>(flags.get_int("p", 7));

@@ -68,6 +68,7 @@ void print_grid(const codes::Layout& layout,
 
 int main(int argc, char** argv) {
   const util::Flags flags(argc, argv);
+  flags.check_known({"code", "p", "col", "start", "chunks", "scheme"});
   const auto code = codes::code_from_string(
       flags.get_string("code", "triplestar"));
   const int p = static_cast<int>(flags.get_int("p", 7));

@@ -14,6 +14,8 @@
 int main(int argc, char** argv) {
   using namespace fbf;
   const util::Flags flags(argc, argv);
+  flags.check_known(
+      {"code", "p", "errors", "file", "seed", "cache-mb", "workers"});
   const auto code = codes::code_from_string(flags.get_string("code", "tip"));
   const int p = static_cast<int>(flags.get_int("p", 11));
   const int n_errors = static_cast<int>(flags.get_int("errors", 200));

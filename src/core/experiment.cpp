@@ -13,6 +13,16 @@ std::string ExperimentConfig::label() const {
   return out;
 }
 
+std::string obs_run_label(const ExperimentConfig& config) {
+  std::string out = "run.";
+  out += codes::to_string(config.code);
+  out += ".p" + std::to_string(config.p);
+  out += ".";
+  out += cache::to_string(config.policy);
+  out += ".c" + std::to_string(config.cache_bytes);
+  return out;
+}
+
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   const codes::Layout layout = codes::make_layout(config.code, config.p);
   const sim::ArrayGeometry geometry(layout, config.num_stripes,
@@ -51,6 +61,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   rc.memoize_schemes = config.memoize_schemes;
   rc.verify_data = config.verify_data;
   rc.seed = config.seed;
+  if (config.obs != nullptr) {
+    rc.observer = config.obs;
+    rc.obs_label = obs_run_label(config);
+  }
 
   sim::ReconstructionEngine engine(layout, geometry, rc);
   const sim::SimMetrics m = engine.run(errors, app_trace);

@@ -11,6 +11,10 @@
 #include "workload/app_trace.h"
 #include "workload/errors.h"
 
+namespace fbf::obs {
+class RunObserver;
+}  // namespace fbf::obs
+
 namespace fbf::core {
 
 struct ExperimentConfig {
@@ -54,6 +58,10 @@ struct ExperimentConfig {
 
   std::uint64_t seed = 42;
 
+  /// Optional run-level observability sink (not owned). Shared across a
+  /// sweep: each grid point exports under its own obs_run_label().
+  obs::RunObserver* obs = nullptr;
+
   std::string label() const;
 };
 
@@ -77,5 +85,10 @@ struct ExperimentResult {
 
 /// Runs one full reconstruction simulation. Deterministic per config.
 ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Registry label prefix for one grid point, e.g. "run.TIP.p5.LRU.c2097152".
+/// Unique per (code, p, policy, cache size) so concurrent sweep runs write
+/// disjoint gauge/histogram keys.
+std::string obs_run_label(const ExperimentConfig& config);
 
 }  // namespace fbf::core

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/observer.h"
 #include "util/check.h"
+#include "util/table.h"
 #include "util/thread_pool.h"
 
 namespace fbf::core {
@@ -26,7 +28,16 @@ std::vector<SweepPoint> run_sweep(const ExperimentConfig& base,
     ExperimentConfig cfg = base;
     cfg.cache_bytes = points[i].cache_bytes;
     cfg.policy = points[i].policy;
+    const bool tr = obs::tracing(base.obs, obs::TraceLevel::Phases);
+    const double ts = tr ? base.obs->trace().wall_now_us() : 0.0;
     points[i].result = run_experiment(cfg);
+    if (tr) {
+      base.obs->trace().duration(
+          obs::kPidWall, static_cast<std::uint32_t>(i),
+          "sweep " + std::string(cache::to_string(cfg.policy)) + " " +
+              util::fmt_bytes(cfg.cache_bytes),
+          "sweep", ts, base.obs->trace().wall_now_us() - ts);
+    }
   });
   return points;
 }

@@ -1,0 +1,303 @@
+#include "obs/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace fbf::obs::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string number(double v) {
+  FBF_CHECK(std::isfinite(v), "JSON cannot represent a non-finite number");
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  FBF_CHECK(res.ec == std::errc(), "double formatting failed");
+  return std::string(buf, res.ptr);
+}
+
+bool Value::as_bool() const {
+  FBF_CHECK(is_bool(), "JSON value is not a bool");
+  return std::get<bool>(v_);
+}
+
+double Value::as_number() const {
+  FBF_CHECK(is_number(), "JSON value is not a number");
+  return std::get<double>(v_);
+}
+
+const std::string& Value::as_string() const {
+  FBF_CHECK(is_string(), "JSON value is not a string");
+  return std::get<std::string>(v_);
+}
+
+const Value::Array& Value::as_array() const {
+  FBF_CHECK(is_array(), "JSON value is not an array");
+  return std::get<Array>(v_);
+}
+
+const Value::Object& Value::as_object() const {
+  FBF_CHECK(is_object(), "JSON value is not an object");
+  return std::get<Object>(v_);
+}
+
+Value::Object& Value::as_object() {
+  FBF_CHECK(is_object(), "JSON value is not an object");
+  return std::get<Object>(v_);
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    check(pos_ == text_.size(), "trailing garbage after JSON document");
+    return v;
+  }
+
+ private:
+  void check(bool cond, const char* msg) const {
+    FBF_CHECK(cond, std::string(msg) + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    check(pos_ < text_.size(), "unexpected end of JSON input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    check(peek() == c, "unexpected character in JSON");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Value(parse_string());
+      case 't':
+        check(consume_literal("true"), "bad literal");
+        return Value(true);
+      case 'f':
+        check(consume_literal("false"), "bad literal");
+        return Value(false);
+      case 'n':
+        check(consume_literal("null"), "bad literal");
+        return Value(nullptr);
+      default:
+        return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value::Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.emplace(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Value(std::move(obj));
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value::Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Value(std::move(arr));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      check(pos_ < text_.size(), "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      check(pos_ < text_.size(), "unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          check(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              check(false, "bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs unsupported:
+          // the exporters only escape ASCII control characters).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default:
+          check(false, "unknown escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double out = 0.0;
+    const char* b = text_.data() + start;
+    const char* e = text_.data() + pos_;
+    const auto res = std::from_chars(b, e, out);
+    check(res.ec == std::errc() && res.ptr == e && b != e, "bad number");
+    return Value(out);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace fbf::obs::json

@@ -1,0 +1,68 @@
+// Minimal JSON support for the observability exporters.
+//
+// The writer side is just two deterministic formatting helpers (escape +
+// number); the exporters assemble their documents by hand so key order and
+// layout are fully under their control (the metrics export must be
+// byte-identical across same-seed runs). The reader side is a small
+// recursive-descent parser used by tests and tools/obs_schema_check to
+// validate what the exporters wrote — no third-party JSON dependency.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace fbf::obs::json {
+
+/// Escapes a string's content for embedding between JSON quotes
+/// (backslash, quote, and control characters; no surrounding quotes).
+std::string escape(std::string_view s);
+
+/// Shortest round-trip decimal for a double via std::to_chars: locale
+/// independent and deterministic for identical values. Non-finite values
+/// (not representable in JSON) are emitted as quoted strings by callers,
+/// so this asserts finiteness.
+std::string number(double v);
+
+/// Parsed JSON value. Numbers are doubles (the exporters never emit
+/// integers above 2^53); objects are sorted maps so equality comparisons
+/// are order-insensitive, matching the exporters' sorted-key output.
+class Value {
+ public:
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value>;
+  using Storage =
+      std::variant<std::nullptr_t, bool, double, std::string, Array, Object>;
+
+  Value() : v_(nullptr) {}
+  Value(Storage v) : v_(std::move(v)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_number() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+
+  /// Typed accessors; each FBF_CHECKs the stored kind.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+  Object& as_object();
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+
+ private:
+  Storage v_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing garbage
+/// rejected). Throws util::CheckError with position info on malformed
+/// input.
+Value parse(std::string_view text);
+
+}  // namespace fbf::obs::json

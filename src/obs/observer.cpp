@@ -1,0 +1,149 @@
+#include "obs/observer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "util/check.h"
+
+namespace fbf::obs {
+
+RunObserver::RunObserver(TraceLevel trace_level)
+    : RunObserver(Options{"", "", trace_level, 1u << 20}) {}
+
+RunObserver::RunObserver(Options opts)
+    : opts_(std::move(opts)),
+      trace_(opts_.trace_level, opts_.max_trace_events) {
+  trace_.set_process_name(kPidSim, "workers/chains (simulated time)");
+  trace_.set_process_name(kPidDisks, "disks (simulated time)");
+  trace_.set_process_name(kPidWall, "wall clock");
+}
+
+RunObserver::~RunObserver() {
+  try {
+    write_outputs();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fbf-obs: flush failed: %s\n", e.what());
+  }
+}
+
+void RunObserver::set_wall(const std::string& name, double ms) {
+  std::lock_guard<std::mutex> lock(wall_mu_);
+  wall_[name] = ms;
+}
+
+void RunObserver::add_wall(const std::string& name, double ms) {
+  std::lock_guard<std::mutex> lock(wall_mu_);
+  wall_[name] += ms;
+}
+
+double RunObserver::wall(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(wall_mu_);
+  const auto it = wall_.find(name);
+  return it == wall_.end() ? 0.0 : it->second;
+}
+
+std::string RunObserver::metrics_json(bool include_wall) const {
+  const auto counters = registry_.counters_snapshot();
+  const auto gauges = registry_.gauges_snapshot();
+  const auto histograms = registry_.histograms_snapshot();
+
+  std::ostringstream os;
+  os << "{\n  \"schema\": \"fbf.metrics.v1\",\n";
+
+  os << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    os << (first ? "\n" : ",\n") << "    \"" << json::escape(name)
+       << "\": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    os << (first ? "\n" : ",\n") << "    \"" << json::escape(name)
+       << "\": " << json::number(value);
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n";
+
+  os << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    os << (first ? "\n" : ",\n") << "    \"" << json::escape(name) << "\": {\n"
+       << "      \"count\": " << h.count() << ",\n"
+       << "      \"sum\": " << json::number(h.sum()) << ",\n"
+       << "      \"min\": " << json::number(h.min()) << ",\n"
+       << "      \"max\": " << json::number(h.max()) << ",\n"
+       << "      \"nonpositive\": " << h.nonpositive() << ",\n"
+       << "      \"log2_buckets\": {";
+    bool bfirst = true;
+    h.for_each_bucket([&](int exp, std::uint64_t c) {
+      os << (bfirst ? "" : ", ") << "\"" << exp << "\": " << c;
+      bfirst = false;
+    });
+    os << "}\n    }";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}";
+
+  if (include_wall) {
+    std::lock_guard<std::mutex> lock(wall_mu_);
+    os << ",\n  \"wall_clock\": {\n"
+          "    \"note\": \"nondeterministic wall-clock timings in ms; "
+          "excluded from determinism checks\"";
+    for (const auto& [name, value] : wall_) {
+      os << ",\n    \"" << json::escape(name)
+         << "\": " << json::number(value);
+    }
+    os << "\n  }";
+  }
+  os << "\n}\n";
+  return os.str();
+}
+
+void RunObserver::write_outputs() {
+  if (written_) {
+    return;
+  }
+  written_ = true;
+  if (!opts_.metrics_path.empty()) {
+    std::ofstream ofs(opts_.metrics_path);
+    ofs << metrics_json(/*include_wall=*/true);
+    FBF_CHECK(ofs.good(), "cannot write metrics JSON to " + opts_.metrics_path);
+  }
+  if (!opts_.trace_path.empty()) {
+    std::ofstream ofs(opts_.trace_path);
+    trace_.write_json(ofs);
+    FBF_CHECK(ofs.good(), "cannot write trace JSON to " + opts_.trace_path);
+  }
+}
+
+PhaseTimer::PhaseTimer(RunObserver* obs, std::string name, std::uint32_t tid,
+                       TraceLevel level)
+    : obs_(obs), name_(std::move(name)), tid_(tid), level_(level) {
+#if FBF_OBS_ENABLED
+  if (obs_ != nullptr) {
+    start_us_ = obs_->trace().wall_now_us();
+  }
+#else
+  obs_ = nullptr;
+#endif
+}
+
+PhaseTimer::~PhaseTimer() {
+  if (obs_ == nullptr) {
+    return;
+  }
+  const double end_us = obs_->trace().wall_now_us();
+  const double dur_us = end_us - start_us_;
+  obs_->add_wall("phase." + name_ + "_ms", dur_us / 1000.0);
+  if (obs_->trace().on(level_)) {
+    obs_->trace().duration(kPidWall, tid_, name_, "phase", start_us_, dur_us);
+  }
+}
+
+}  // namespace fbf::obs

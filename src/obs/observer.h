@@ -1,0 +1,140 @@
+// Run-level observability facade: one RunObserver owns the metric
+// Registry, the TraceRecorder, and the wall-clock block, and writes the
+// two export files (--metrics-out / --trace-out).
+//
+// Cost model: every instrumentation site in the engines goes through the
+// inline hooks at the bottom of this header. With no observer configured
+// (the default for every test and bench that doesn't ask for one) a hook
+// is a single null-pointer test that the compiler inlines at the call
+// site; building with -DFBF_OBS_ENABLED=0 removes even that, compiling
+// the hooks to empty bodies. Either way the per-request cache path is
+// untouched — instrumentation hangs off the simulator loops, not the
+// policies.
+//
+// Determinism contract: metrics_json(false) — everything except the
+// "wall_clock" block — is byte-identical across same-seed runs. Counters
+// are commutative integer sums; gauges and histograms are written under
+// run-unique labels; doubles are formatted by std::to_chars. The wall
+// block and the trace file carry real timings and are exempt.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+// Compile-time kill switch for the inline hooks (see header comment).
+#ifndef FBF_OBS_ENABLED
+#define FBF_OBS_ENABLED 1
+#endif
+
+namespace fbf::obs {
+
+class RunObserver {
+ public:
+  struct Options {
+    std::string metrics_path;  ///< empty = keep metrics in memory only
+    std::string trace_path;    ///< empty = no trace file
+    TraceLevel trace_level = TraceLevel::Phases;
+    std::size_t max_trace_events = 1u << 20;
+  };
+
+  /// In-memory observer (tests): no files, tracing at the given level.
+  explicit RunObserver(TraceLevel trace_level = TraceLevel::Off);
+  explicit RunObserver(Options opts);
+  /// Flushes unwritten outputs, swallowing I/O errors (logged to stderr) —
+  /// prefer an explicit write_outputs() where failure should propagate.
+  ~RunObserver();
+
+  RunObserver(const RunObserver&) = delete;
+  RunObserver& operator=(const RunObserver&) = delete;
+
+  Registry& registry() { return registry_; }
+  const Registry& registry() const { return registry_; }
+  TraceRecorder& trace() { return trace_; }
+  const TraceRecorder& trace() const { return trace_; }
+
+  /// Wall-clock block: named millisecond timings, explicitly exempt from
+  /// the determinism contract. add_wall accumulates (repeated phases sum).
+  void set_wall(const std::string& name, double ms);
+  void add_wall(const std::string& name, double ms);
+  double wall(const std::string& name) const;
+
+  /// Deterministic metrics document; include_wall appends the
+  /// nondeterministic "wall_clock" block (file exports always include it).
+  std::string metrics_json(bool include_wall = true) const;
+
+  /// Writes metrics/trace files for any configured paths. Idempotent;
+  /// throws util::CheckError when a file cannot be written.
+  void write_outputs();
+
+ private:
+  Options opts_;
+  Registry registry_;
+  TraceRecorder trace_;
+  mutable std::mutex wall_mu_;
+  std::map<std::string, double> wall_;
+  bool written_ = false;
+};
+
+// ---- Inline hooks (the only API the engine hot loops touch). ----
+
+/// True when `obs` records spans at the given detail level.
+inline bool tracing(const RunObserver* obs, TraceLevel need) {
+#if FBF_OBS_ENABLED
+  return obs != nullptr && obs->trace().on(need);
+#else
+  (void)obs;
+  (void)need;
+  return false;
+#endif
+}
+
+/// Records one span when the observer is present and the level matches;
+/// otherwise a null test. Simulated-time callers pass ms * 1000.
+inline void trace_span(RunObserver* obs, TraceLevel need, int pid,
+                       std::uint32_t tid, std::string_view name,
+                       std::string_view cat, double ts_us, double dur_us,
+                       std::string_view arg_name = {}, std::uint64_t arg = 0) {
+#if FBF_OBS_ENABLED
+  if (obs == nullptr || !obs->trace().on(need)) {
+    return;
+  }
+  obs->trace().duration(pid, tid, name, cat, ts_us, dur_us, arg_name, arg);
+#else
+  (void)obs;
+  (void)need;
+  (void)pid;
+  (void)tid;
+  (void)name;
+  (void)cat;
+  (void)ts_us;
+  (void)dur_us;
+  (void)arg_name;
+  (void)arg;
+#endif
+}
+
+/// RAII wall-clock phase timer: on destruction adds the elapsed
+/// milliseconds to the wall block as "phase.<name>_ms" and emits a span on
+/// the wall lane at the given level. Null observer = no-op.
+class PhaseTimer {
+ public:
+  PhaseTimer(RunObserver* obs, std::string name, std::uint32_t tid = 0,
+             TraceLevel level = TraceLevel::Phases);
+  ~PhaseTimer();
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  RunObserver* obs_;
+  std::string name_;
+  std::uint32_t tid_;
+  TraceLevel level_;
+  double start_us_ = 0.0;
+};
+
+}  // namespace fbf::obs

@@ -1,0 +1,100 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace fbf::obs {
+
+void Histogram::add(double v) {
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+  if (!(v > 0.0)) {  // zero, negative, or NaN
+    ++nonpositive_;
+    return;
+  }
+  const int e = std::clamp(std::ilogb(v), kMinExp, kMaxExp);
+  ++buckets_[static_cast<std::size_t>(e - kMinExp)];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  nonpositive_ += other.nonpositive_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t Histogram::bucket(int exp) const {
+  FBF_CHECK(exp >= kMinExp && exp <= kMaxExp, "histogram exponent out of range");
+  return buckets_[static_cast<std::size_t>(exp - kMinExp)];
+}
+
+void Registry::add_counter(const std::string& name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void Registry::set_gauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+void Registry::observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_[name].add(value);
+}
+
+void Registry::merge_histogram(const std::string& name, const Histogram& h) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_[name].merge(h);
+}
+
+std::uint64_t Registry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Registry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+bool Registry::has_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_.count(name) > 0;
+}
+
+Histogram Registry::histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? Histogram{} : it->second;
+}
+
+std::map<std::string, std::uint64_t> Registry::counters_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::map<std::string, double> Registry::gauges_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_;
+}
+
+std::map<std::string, Histogram> Registry::histograms_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histograms_;
+}
+
+}  // namespace fbf::obs

@@ -1,0 +1,98 @@
+// Run-level metric registry: named counters, gauges, and log-bucketed
+// histograms.
+//
+// Design rules that keep the export deterministic under a multi-threaded
+// sweep (same seed -> byte-identical JSON):
+//
+//  - counters are integer sums, so concurrent contributions commute;
+//  - gauges and histograms are written under run-unique keys (one grid
+//    point = one label), so no value depends on scheduling order;
+//  - floating-point accumulation happens engine-locally (single-threaded)
+//    in a Histogram that is merged into the registry once per run.
+//
+// All registry methods lock one mutex — they sit on cold paths (end of a
+// run, export). The hot-loop instrumentation lives in obs/observer.h and
+// touches the registry never.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace fbf::obs {
+
+/// Power-of-two-bucketed histogram: a positive sample v lands in the
+/// bucket of its binary exponent e = floor(log2 v), i.e. v in [2^e,
+/// 2^(e+1)), with e clamped to [-64, 63]. Zero/negative/NaN samples are
+/// counted separately — response times are non-negative, so that bucket
+/// doubles as a sanity signal. Fixed-size storage keeps add() cheap enough
+/// to sit behind a per-request observer check.
+class Histogram {
+ public:
+  static constexpr int kMinExp = -64;
+  static constexpr int kMaxExp = 63;
+
+  void add(double v);
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t nonpositive() const { return nonpositive_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Count in the bucket for binary exponent `exp` in [kMinExp, kMaxExp].
+  std::uint64_t bucket(int exp) const;
+
+  /// Calls fn(exp, count) for every non-empty bucket, ascending exponent.
+  template <typename Fn>
+  void for_each_bucket(Fn&& fn) const {
+    for (int e = kMinExp; e <= kMaxExp; ++e) {
+      const std::uint64_t c = buckets_[static_cast<std::size_t>(e - kMinExp)];
+      if (c != 0) {
+        fn(e, c);
+      }
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 128> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t nonpositive_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Thread-safe name -> instrument store. Sorted maps make every snapshot
+/// (and therefore every export) key-ordered with no extra work.
+class Registry {
+ public:
+  void add_counter(const std::string& name, std::uint64_t delta);
+  void set_gauge(const std::string& name, double value);
+  /// Adds one sample to the named histogram (creates it on first use).
+  void observe(const std::string& name, double value);
+  /// Folds an externally-built histogram in (creates it on first use).
+  void merge_histogram(const std::string& name, const Histogram& h);
+
+  /// Reads return 0 / empty for absent names (no insertion).
+  std::uint64_t counter(const std::string& name) const;
+  double gauge(const std::string& name) const;
+  bool has_gauge(const std::string& name) const;
+  Histogram histogram(const std::string& name) const;
+
+  std::map<std::string, std::uint64_t> counters_snapshot() const;
+  std::map<std::string, double> gauges_snapshot() const;
+  std::map<std::string, Histogram> histograms_snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace fbf::obs

@@ -1,0 +1,97 @@
+#include "obs/trace.h"
+
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace fbf::obs {
+
+TraceRecorder::TraceRecorder(TraceLevel level, std::size_t max_events)
+    : level_(level),
+      max_events_(max_events),
+      t0_(std::chrono::steady_clock::now()) {}
+
+void TraceRecorder::set_process_name(int pid, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  process_names_[pid] = std::move(name);
+}
+
+void TraceRecorder::duration(int pid, std::uint32_t tid, std::string_view name,
+                             std::string_view cat, double ts_us, double dur_us,
+                             std::string_view arg_name, std::uint64_t arg) {
+  if (!on(TraceLevel::Phases)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  Event ev;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.pid = static_cast<std::uint32_t>(pid);
+  ev.tid = tid;
+  ev.name = std::string(name);
+  ev.cat = std::string(cat);
+  ev.arg_name = std::string(arg_name);
+  ev.arg = arg;
+  events_.push_back(std::move(ev));
+}
+
+double TraceRecorder::wall_now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0_)
+      .count();
+}
+
+std::size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceRecorder::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "\n";
+  };
+  for (const auto& [pid, name] : process_names_) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\""
+       << json::escape(name) << "\"}}";
+  }
+  for (const Event& ev : events_) {
+    sep();
+    os << "{\"ph\":\"X\",\"pid\":" << ev.pid << ",\"tid\":" << ev.tid
+       << ",\"ts\":" << json::number(ev.ts_us)
+       << ",\"dur\":" << json::number(ev.dur_us) << ",\"name\":\""
+       << json::escape(ev.name) << "\",\"cat\":\""
+       << json::escape(ev.cat.empty() ? "fbf" : ev.cat) << "\"";
+    if (!ev.arg_name.empty()) {
+      os << ",\"args\":{\"" << json::escape(ev.arg_name) << "\":" << ev.arg
+         << "}";
+    }
+    os << "}";
+  }
+  if (dropped_ > 0) {
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"fbf_dropped_events\","
+          "\"args\":{\"count\":"
+       << dropped_ << "}}";
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace fbf::obs

@@ -1,0 +1,90 @@
+// Span recorder emitting Chrome trace-event JSON, loadable by
+// chrome://tracing and Perfetto (ui.perfetto.dev).
+//
+// Three fixed lanes keep simulated and wall timelines apart without
+// confusing the viewer (both start near zero):
+//
+//   pid kPidSim   - simulated time; tid = SOR worker id (DOR uses tid 0).
+//                   Stripe recoveries and XOR chain folds live here.
+//   pid kPidDisks - simulated time; tid = disk id. Disk service spans
+//                   (reads incl. queueing) and spare writes.
+//   pid kPidWall  - wall-clock time since recorder creation; scheme
+//                   generation, sweep grid points, RAII phase timers.
+//
+// Timestamps are microseconds (the trace-event unit); the engines'
+// simulated milliseconds are scaled by 1000 at the call site. The event
+// buffer is capped: past `max_events` new spans are counted as dropped
+// (reported as a metadata event) instead of growing without bound when
+// someone traces a full-scale sweep at fine detail.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fbf::obs {
+
+enum class TraceLevel : std::uint8_t {
+  Off = 0,
+  Phases = 1,  ///< stripe recoveries, spare writes, scheme gen, sweep points
+  Fine = 2,    ///< plus per-request disk service and per-chain XOR folds
+};
+
+inline constexpr int kPidSim = 1;
+inline constexpr int kPidDisks = 2;
+inline constexpr int kPidWall = 3;
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(TraceLevel level, std::size_t max_events = 1u << 20);
+
+  /// True when spans of the given detail level are being recorded.
+  bool on(TraceLevel need) const {
+    return level_ >= need && need != TraceLevel::Off;
+  }
+  TraceLevel level() const { return level_; }
+
+  /// Labels a pid lane ("process_name" metadata event on export).
+  void set_process_name(int pid, std::string name);
+
+  /// Records one complete span ("ph":"X"). `arg_name` non-empty attaches a
+  /// single integer argument (e.g. the stripe id). Thread-safe.
+  void duration(int pid, std::uint32_t tid, std::string_view name,
+                std::string_view cat, double ts_us, double dur_us,
+                std::string_view arg_name = {}, std::uint64_t arg = 0);
+
+  /// Microseconds of wall clock since recorder construction.
+  double wall_now_us() const;
+
+  std::size_t size() const;
+  std::uint64_t dropped() const;
+
+  /// Writes the {"traceEvents":[...]} document.
+  void write_json(std::ostream& os) const;
+
+ private:
+  struct Event {
+    double ts_us = 0.0;
+    double dur_us = 0.0;
+    std::uint64_t arg = 0;
+    std::uint32_t pid = 0;
+    std::uint32_t tid = 0;
+    std::string name;
+    std::string cat;
+    std::string arg_name;  ///< empty = no args object
+  };
+
+  mutable std::mutex mu_;
+  TraceLevel level_;
+  std::size_t max_events_;
+  std::chrono::steady_clock::time_point t0_;
+  std::vector<Event> events_;
+  std::uint64_t dropped_ = 0;
+  std::map<int, std::string> process_names_;
+};
+
+}  // namespace fbf::obs

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/observer.h"
+#include "obs/registry.h"
 #include "recovery/scheme.h"
 #include "sim/validate.h"
 #include "util/check.h"
@@ -60,6 +63,9 @@ DorEngine::DorEngine(const codes::Layout& layout,
 
 SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
   SimMetrics metrics;
+  obs::Histogram response_hist;
+  obs::Histogram* response_hist_ptr =
+      config_.observer != nullptr ? &response_hist : nullptr;
 
   DiskParams dp = config_.disk;
   dp.chunk_bytes = config_.chunk_bytes;
@@ -80,6 +86,10 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
   std::unordered_map<cache::Key, ChunkInfo> info;
   std::unordered_map<cache::Key, std::vector<std::size_t>> waiters;
   std::vector<Reader> readers(disks.size());
+  std::optional<obs::PhaseTimer> plan_timer;
+  if (config_.observer != nullptr) {
+    plan_timer.emplace(config_.observer, "dor_plan");
+  }
 
   for (const workload::StripeError& err : errors) {
     const auto before = scheme_cache.misses();
@@ -147,6 +157,7 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
               });
     metrics.planned_disk_reads += r.queue.size();
   }
+  plan_timer.reset();  // planning phase ends here
 
   // ---- Event loop. ----
   // Two event kinds suffice, so events are a flat POD instead of a
@@ -200,6 +211,17 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
     ++metrics.disk_reads;
     metrics.response_ms.add(done - now + config_.cache_access_ms);
     metrics.response_reservoir.add(done - now + config_.cache_access_ms);
+    if (response_hist_ptr != nullptr) {
+      response_hist_ptr->add(done - now + config_.cache_access_ms);
+    }
+    if (obs::tracing(config_.observer, obs::TraceLevel::Fine)) {
+      // Simulated ms rendered as trace us; stripe looked up only when the
+      // span is actually emitted (the hash lookup is not free).
+      obs::trace_span(config_.observer, obs::TraceLevel::Fine, obs::kPidDisks,
+                      static_cast<std::uint32_t>(d), "disk_read", "disk",
+                      now * 1000.0, (done - now) * 1000.0, "stripe",
+                      info.at(read.key).stripe);
+    }
     heap.push(Event{done, seq++, Event::Kind::ReadDone,
                     static_cast<std::uint32_t>(d), read.key});
   };
@@ -258,12 +280,19 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
     ++tasks_done;
     const double xor_done =
         now + config_.xor_ms_per_chunk * static_cast<double>(task.n_members);
+    obs::trace_span(config_.observer, obs::TraceLevel::Fine, obs::kPidSim, 0,
+                    "chain_fold", "xor", now * 1000.0, (xor_done - now) * 1000.0,
+                    "stripe", task.stripe);
     const auto d = static_cast<std::size_t>(
         geometry_->spare_disk_of(task.stripe, task.target));
     const double write_done = disks[d].submit_write(
         xor_done, geometry_->spare_lba_of(task.stripe, task.target));
     ++metrics.disk_writes;
     ++metrics.chunks_recovered;
+    obs::trace_span(config_.observer, obs::TraceLevel::Phases, obs::kPidDisks,
+                    static_cast<std::uint32_t>(d), "spare_write", "disk",
+                    xor_done * 1000.0, (write_done - xor_done) * 1000.0,
+                    "stripe", task.stripe);
     makespan = std::max(makespan, write_done);
     const cache::Key tkey = geometry_->chunk_key(task.stripe, task.target);
     heap.push(Event{write_done, seq++, Event::Kind::SpareWriteDone,
@@ -304,6 +333,7 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
   if (validation_enabled()) {
     validate_run(metrics, errors);
   }
+  record_run(config_.observer, config_.obs_label, metrics, response_hist_ptr);
   return metrics;
 }
 

@@ -29,6 +29,10 @@
 #include "sim/metrics.h"
 #include "workload/errors.h"
 
+namespace fbf::obs {
+class RunObserver;
+}  // namespace fbf::obs
+
 namespace fbf::sim {
 
 struct DorConfig {
@@ -42,6 +46,11 @@ struct DorConfig {
   double xor_ms_per_chunk = 0.05;
   DiskParams disk;
   std::uint64_t seed = 1;
+
+  /// Optional run-level observability sink (not owned); see
+  /// ReconstructionConfig::observer.
+  obs::RunObserver* observer = nullptr;
+  std::string obs_label = "run.dor";
 
   std::size_t cache_capacity_chunks() const {
     return cache_bytes / chunk_bytes;

@@ -1,5 +1,7 @@
 #include "sim/metrics.h"
 
+#include "obs/observer.h"
+#include "obs/registry.h"
 #include "util/table.h"
 
 namespace fbf::sim {
@@ -12,6 +14,47 @@ std::string SimMetrics::summary_line() const {
   out += " reconstruction_ms=" + util::fmt_double(reconstruction_ms, 1);
   out += " stripes=" + std::to_string(stripes_recovered);
   return out;
+}
+
+void record_run(obs::RunObserver* obs, const std::string& label,
+                const SimMetrics& m, const obs::Histogram* response_hist) {
+#if !FBF_OBS_ENABLED
+  (void)label;
+  (void)m;
+  (void)response_hist;
+  obs = nullptr;
+#endif
+  if (obs == nullptr) {
+    return;
+  }
+  auto& reg = obs->registry();
+  reg.add_counter("run.count", 1);
+  reg.add_counter("run.cache_hits", m.cache.hits);
+  reg.add_counter("run.cache_misses", m.cache.misses);
+  reg.add_counter("run.cache_evictions", m.cache.evictions);
+  reg.add_counter("run.total_chunk_requests", m.total_chunk_requests);
+  reg.add_counter("run.disk_reads", m.disk_reads);
+  reg.add_counter("run.planned_disk_reads", m.planned_disk_reads);
+  reg.add_counter("run.disk_writes", m.disk_writes);
+  reg.add_counter("run.chunks_recovered", m.chunks_recovered);
+  reg.add_counter("run.stripes_recovered", m.stripes_recovered);
+  reg.add_counter("run.schemes_generated", m.schemes_generated);
+  reg.add_counter("run.scheme_cache_hits", m.scheme_cache_hits);
+  reg.add_counter("run.app_requests", m.app_requests);
+  reg.add_counter("run.app_degraded_reads", m.app_degraded_reads);
+
+  reg.set_gauge(label + ".hit_ratio", m.hit_ratio());
+  reg.set_gauge(label + ".avg_response_ms", m.response_ms.mean());
+  reg.set_gauge(label + ".p99_response_ms",
+                m.response_reservoir.percentile(0.99));
+  reg.set_gauge(label + ".reconstruction_ms", m.reconstruction_ms);
+  if (m.app_requests > 0) {
+    reg.set_gauge(label + ".app_avg_response_ms", m.app_response_ms.mean());
+  }
+  if (response_hist != nullptr) {
+    reg.merge_histogram(label + ".response_ms", *response_hist);
+  }
+  obs->add_wall(label + ".scheme_gen_wall_ms", m.scheme_gen_wall_ms);
 }
 
 }  // namespace fbf::sim

@@ -8,6 +8,11 @@
 #include "cache/policy.h"
 #include "util/stats.h"
 
+namespace fbf::obs {
+class Histogram;
+class RunObserver;
+}  // namespace fbf::obs
+
 namespace fbf::sim {
 
 struct SimMetrics {
@@ -59,5 +64,15 @@ struct SimMetrics {
 
   std::string summary_line() const;
 };
+
+/// Exports a finished run's metrics into the observer's registry: integer
+/// totals as `run.*` counters (summed across runs), derived ratios/latencies
+/// as `label`-prefixed gauges, and the response-time distribution as a
+/// merged histogram. `label` must be unique per grid point (see
+/// core::obs_run_label) so concurrent sweep runs never race on the same
+/// floating-point key — that is what keeps the export byte-deterministic.
+/// No-op when `obs` is null; `response_hist` may be null.
+void record_run(obs::RunObserver* obs, const std::string& label,
+                const SimMetrics& m, const obs::Histogram* response_hist);
 
 }  // namespace fbf::sim

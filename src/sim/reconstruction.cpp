@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/observer.h"
+#include "obs/registry.h"
 #include "sim/validate.h"
 #include "util/check.h"
 
@@ -55,6 +57,10 @@ struct ReconstructionEngine::Worker {
   std::unique_ptr<codes::StripeData> truth;
   std::unique_ptr<codes::StripeData> working;
 
+  /// Simulated time the current stripe's first operation ran; feeds the
+  /// per-stripe trace span.
+  double stripe_start_ms = 0.0;
+
   double finish_ms = 0.0;
 };
 
@@ -80,6 +86,9 @@ void ReconstructionEngine::start_next_stripe(Worker& w, SimMetrics& metrics) {
   const workload::StripeError& err = *w.assigned[w.error_idx];
   w.stripe = err.stripe;
 
+  const bool trace_gen = obs::tracing(config_.observer, obs::TraceLevel::Fine);
+  const double gen_start_us =
+      trace_gen ? config_.observer->trace().wall_now_us() : 0.0;
   const auto t0 = std::chrono::steady_clock::now();
   if (config_.memoize_schemes) {
     const auto before_misses = scheme_cache_->misses();
@@ -98,6 +107,13 @@ void ReconstructionEngine::start_next_stripe(Worker& w, SimMetrics& metrics) {
   const auto t1 = std::chrono::steady_clock::now();
   metrics.scheme_gen_wall_ms +=
       std::chrono::duration<double, std::milli>(t1 - t0).count();
+  if (trace_gen) {
+    obs::trace_span(config_.observer, obs::TraceLevel::Fine, obs::kPidWall,
+                    static_cast<std::uint32_t>(w.id), "scheme_gen", "scheme",
+                    gen_start_us,
+                    config_.observer->trace().wall_now_us() - gen_start_us,
+                    "stripe", w.stripe);
+  }
 
   w.op_idx = 0;
   w.reads_in_step = 0;
@@ -143,6 +159,12 @@ std::optional<double> ReconstructionEngine::advance(Worker& w, double now,
   if (w.completion_pending) {
     w.completion_pending = false;
     ++metrics.stripes_recovered;
+    // Simulated-time spans use milliseconds-as-microseconds: 1 simulated ms
+    // renders as 1 us in the viewer, keeping magnitudes readable.
+    obs::trace_span(config_.observer, obs::TraceLevel::Phases, obs::kPidSim,
+                    static_cast<std::uint32_t>(w.id), "stripe", "recovery",
+                    w.stripe_start_ms * 1000.0,
+                    (now - w.stripe_start_ms) * 1000.0, "stripe", w.stripe);
     if (on_stripe_recovered_) {
       on_stripe_recovered_(w.stripe, now);
     }
@@ -156,6 +178,7 @@ std::optional<double> ReconstructionEngine::advance(Worker& w, double now,
       return detect;  // error not yet discovered; sleep until then
     }
     start_next_stripe(w, metrics);
+    w.stripe_start_ms = now;
   }
 
   FBF_CHECK(w.op_idx < w.ops.size(), "worker advanced past its op list");
@@ -178,15 +201,22 @@ std::optional<double> ReconstructionEngine::advance(Worker& w, double now,
       const std::uint64_t lba = from_spare
                                     ? geometry_->spare_lba_of(w.stripe, op.cell)
                                     : geometry_->lba_of(w.stripe, op.cell);
-      Disk& disk = disks_[static_cast<std::size_t>(
-          from_spare ? geometry_->spare_disk_of(w.stripe, op.cell)
-                     : geometry_->disk_of(w.stripe, op.cell))];
+      const int disk_id = from_spare
+                              ? geometry_->spare_disk_of(w.stripe, op.cell)
+                              : geometry_->disk_of(w.stripe, op.cell);
+      Disk& disk = disks_[static_cast<std::size_t>(disk_id)];
       const double done = disk.submit_read(now, lba);
       ++metrics.disk_reads;
+      obs::trace_span(config_.observer, obs::TraceLevel::Fine, obs::kPidDisks,
+                      static_cast<std::uint32_t>(disk_id), "disk_read", "disk",
+                      now * 1000.0, (done - now) * 1000.0, "stripe", w.stripe);
       next = done + config_.cache_access_ms;
     }
     metrics.response_ms.add(next - now);
     metrics.response_reservoir.add(next - now);
+    if (response_hist_ != nullptr) {
+      response_hist_->add(next - now);
+    }
   } else {  // WriteSpare: XOR the step's sources, then async spare write
     const double xor_done =
         now + config_.xor_ms_per_chunk * static_cast<double>(w.reads_in_step);
@@ -196,12 +226,20 @@ std::optional<double> ReconstructionEngine::advance(Worker& w, double now,
     if (config_.verify_data) {
       verify_recovered_chunk(w, step);
     }
-    Disk& disk = disks_[static_cast<std::size_t>(
-        geometry_->spare_disk_of(w.stripe, op.cell))];
+    obs::trace_span(config_.observer, obs::TraceLevel::Fine, obs::kPidSim,
+                    static_cast<std::uint32_t>(w.id), "xor_fold", "xor",
+                    now * 1000.0, (xor_done - now) * 1000.0, "stripe",
+                    w.stripe);
+    const int spare_disk = geometry_->spare_disk_of(w.stripe, op.cell);
+    Disk& disk = disks_[static_cast<std::size_t>(spare_disk)];
     const double write_done = disk.submit_write(
         xor_done, geometry_->spare_lba_of(w.stripe, op.cell));
     ++metrics.disk_writes;
     ++metrics.chunks_recovered;
+    obs::trace_span(config_.observer, obs::TraceLevel::Phases, obs::kPidDisks,
+                    static_cast<std::uint32_t>(spare_disk), "spare_write",
+                    "disk", xor_done * 1000.0, (write_done - xor_done) * 1000.0,
+                    "stripe", w.stripe);
     // Reconstruction ends when the last spare write persists; track it
     // here so foreground app traffic cannot inflate the makespan.
     metrics.reconstruction_ms =
@@ -228,6 +266,8 @@ SimMetrics ReconstructionEngine::run(
     const std::vector<workload::StripeError>& errors,
     const std::vector<workload::AppRequest>& app_trace) {
   SimMetrics metrics;
+  obs::Histogram response_hist;
+  response_hist_ = config_.observer != nullptr ? &response_hist : nullptr;
 
   // SOR assignment: stripes dealt round-robin across worker processes.
   std::vector<Worker> workers(static_cast<std::size_t>(config_.workers));
@@ -387,6 +427,8 @@ SimMetrics ReconstructionEngine::run(
   if (validation_enabled()) {
     validate_run(metrics, errors);
   }
+  record_run(config_.observer, config_.obs_label, metrics, response_hist_);
+  response_hist_ = nullptr;
   return metrics;
 }
 

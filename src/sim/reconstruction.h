@@ -31,6 +31,11 @@
 #include "workload/app_trace.h"
 #include "workload/errors.h"
 
+namespace fbf::obs {
+class Histogram;
+class RunObserver;
+}  // namespace fbf::obs
+
 namespace fbf::sim {
 
 struct ReconstructionConfig {
@@ -63,6 +68,13 @@ struct ReconstructionConfig {
   std::size_t verify_chunk_bytes = 64;
 
   std::uint64_t seed = 1;
+
+  /// Optional run-level observability sink (not owned). When set, the run
+  /// exports counters/gauges/histograms under `obs_label` and emits trace
+  /// spans for stripes, disk service, XOR folds, and spare writes at the
+  /// observer's trace level. Null keeps the engine on the zero-cost path.
+  obs::RunObserver* observer = nullptr;
+  std::string obs_label = "run.sor";
 
   /// Per-worker cache capacity in chunks (>= 1 whenever cache_bytes > 0,
   /// mirroring a controller that always grants a worker one buffer).
@@ -105,6 +117,9 @@ class ReconstructionEngine {
   ReconstructionConfig config_;
   std::vector<Disk> disks_;
   std::unique_ptr<recovery::SchemeCache> scheme_cache_;
+  /// Points at a run()-local histogram while a run is in flight (null
+  /// otherwise and whenever config_.observer is null).
+  obs::Histogram* response_hist_ = nullptr;
 };
 
 }  // namespace fbf::sim

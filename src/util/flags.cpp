@@ -1,6 +1,7 @@
 #include "util/flags.h"
 
-#include <cstdlib>
+#include <algorithm>
+#include <charconv>
 
 #include "util/check.h"
 
@@ -21,6 +22,26 @@ std::vector<std::string> split_csv(const std::string& s) {
     start = comma + 1;
   }
   return out;
+}
+
+std::int64_t parse_int(const std::string& name, const std::string& value) {
+  std::int64_t parsed = 0;
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+  FBF_CHECK(!value.empty() && ec == std::errc() && ptr == end,
+            "flag --" + name + " expects an integer, got \"" + value + "\"");
+  return parsed;
+}
+
+double parse_double(const std::string& name, const std::string& value) {
+  double parsed = 0.0;
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+  FBF_CHECK(!value.empty() && ec == std::errc() && ptr == end,
+            "flag --" + name + " expects a number, got \"" + value + "\"");
+  return parsed;
 }
 
 }  // namespace
@@ -60,7 +81,7 @@ std::int64_t Flags::get_int(const std::string& name,
   if (it == values_.end()) {
     return fallback;
   }
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  return parse_int(name, it->second);
 }
 
 double Flags::get_double(const std::string& name, double fallback) const {
@@ -68,7 +89,7 @@ double Flags::get_double(const std::string& name, double fallback) const {
   if (it == values_.end()) {
     return fallback;
   }
-  return std::strtod(it->second.c_str(), nullptr);
+  return parse_double(name, it->second);
 }
 
 bool Flags::get_bool(const std::string& name, bool fallback) const {
@@ -76,7 +97,15 @@ bool Flags::get_bool(const std::string& name, bool fallback) const {
   if (it == values_.end()) {
     return fallback;
   }
-  return it->second == "true" || it->second == "1" || it->second == "yes";
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no" || v == "off") {
+    return false;
+  }
+  FBF_CHECK(false, "flag --" + name + " expects a boolean, got \"" + v + "\"");
+  return fallback;
 }
 
 std::vector<std::int64_t> Flags::get_int_list(
@@ -87,9 +116,7 @@ std::vector<std::int64_t> Flags::get_int_list(
   }
   std::vector<std::int64_t> out;
   for (const auto& piece : split_csv(it->second)) {
-    if (!piece.empty()) {
-      out.push_back(std::strtoll(piece.c_str(), nullptr, 10));
-    }
+    out.push_back(parse_int(name, piece));
   }
   return out;
 }
@@ -107,6 +134,20 @@ std::vector<std::string> Flags::get_string_list(
     }
   }
   return out;
+}
+
+void Flags::check_known(const std::vector<std::string_view>& known) const {
+  for (const auto& [name, value] : values_) {
+    if (std::find(known.begin(), known.end(), name) != known.end()) {
+      continue;
+    }
+    std::string msg = "unknown flag --" + name + "; accepted flags:";
+    for (const auto& k : known) {
+      msg += " --";
+      msg += k;
+    }
+    FBF_CHECK(false, msg);
+  }
 }
 
 }  // namespace fbf::util

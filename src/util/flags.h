@@ -1,12 +1,16 @@
 // Minimal command-line flag parsing for bench/example binaries.
 //
-// Supports "--name=value", "--name value", and boolean "--name". Unknown
-// flags raise CheckError so typos in sweep scripts fail loudly.
+// Supports "--name=value", "--name value", and boolean "--name". Numeric
+// getters parse strictly (the whole value must be a number) and raise
+// CheckError on garbage like "--errors=4oo" instead of silently truncating.
+// Callers that know their full flag vocabulary should call check_known()
+// after construction so typos in sweep scripts fail loudly.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace fbf::util {
@@ -29,6 +33,10 @@ class Flags {
   /// Comma-separated string list.
   std::vector<std::string> get_string_list(
       const std::string& name, const std::vector<std::string>& fallback) const;
+
+  /// Raises CheckError if any parsed flag is not in `known`, naming the
+  /// offender and listing the accepted flags.
+  void check_known(const std::vector<std::string_view>& known) const;
 
   /// Positional (non-flag) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }

@@ -43,23 +43,27 @@ double Accumulator::variance() const {
 
 double Accumulator::stddev() const { return std::sqrt(variance()); }
 
-Reservoir::Reservoir(std::size_t capacity) : capacity_(capacity) {
+Reservoir::Reservoir(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
   FBF_CHECK(capacity_ > 0, "reservoir capacity must be positive");
   samples_.reserve(capacity_);
 }
 
 void Reservoir::add(double x) {
   ++seen_;
-  sorted_ = false;
   if (samples_.size() < capacity_) {
+    sorted_ = false;
     samples_.push_back(x);
     return;
   }
-  // Deterministic skip pattern: replace slot (seen * golden-ratio) mod cap
-  // with probability capacity/seen, approximated by the modular counter.
-  const std::uint64_t slot = (seen_ * 0x9e3779b97f4a7c15ull) % seen_;
-  if (slot < capacity_) {
-    samples_[static_cast<std::size_t>(slot)] = x;
+  // Algorithm R: element #seen replaces a uniformly chosen slot with
+  // probability capacity/seen. The draw must happen on every add so the
+  // Rng stream stays aligned with the sample stream.
+  const auto j = static_cast<std::uint64_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(seen_) - 1));
+  if (j < capacity_) {
+    sorted_ = false;
+    samples_[static_cast<std::size_t>(j)] = x;
   }
 }
 

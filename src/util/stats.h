@@ -5,6 +5,8 @@
 #include <limits>
 #include <vector>
 
+#include "util/rng.h"
+
 namespace fbf::util {
 
 /// Single-pass accumulator for count / sum / mean / variance / extrema.
@@ -32,14 +34,21 @@ class Accumulator {
 };
 
 /// Reservoir of samples for percentile queries. Keeps at most `capacity`
-/// samples via uniform reservoir sampling (deterministic hash-free scheme
-/// driven by the running count, adequate for reporting).
+/// samples via Vitter's Algorithm R: element #k of the stream survives
+/// with probability capacity/k, so every stream position is retained with
+/// equal probability capacity/seen. The sampler owns a private seeded Rng,
+/// making runs reproducible: same seed + same insertion order = same
+/// retained set.
 class Reservoir {
  public:
-  explicit Reservoir(std::size_t capacity = 4096);
+  explicit Reservoir(std::size_t capacity = 4096,
+                     std::uint64_t seed = 0x7e5e7e5e5eedull);
 
   void add(double x);
   std::uint64_t count() const { return seen_; }
+
+  /// Retained samples, unordered (percentile() sorts the buffer in place).
+  const std::vector<double>& samples() const { return samples_; }
 
   /// q in [0, 1]; returns 0 when empty. Sorts internally on demand.
   double percentile(double q) const;
@@ -47,6 +56,7 @@ class Reservoir {
  private:
   std::size_t capacity_;
   std::uint64_t seen_ = 0;
+  Rng rng_;
   mutable bool sorted_ = false;
   mutable std::vector<double> samples_;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <utility>
 
 namespace fbf::util {
 
@@ -37,6 +38,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -52,12 +58,24 @@ void ThreadPool::worker_loop() {
       tasks_.pop();
       ++in_flight_;
     }
-    task();
-    {
+    // The in-flight count must drop even when the task throws, or wait_idle
+    // would deadlock; the guard also fires the idle signal on the throw path.
+    struct InFlightGuard {
+      ThreadPool& pool;
+      ~InFlightGuard() {
+        std::lock_guard<std::mutex> lock(pool.mu_);
+        --pool.in_flight_;
+        if (pool.tasks_.empty() && pool.in_flight_ == 0) {
+          pool.cv_idle_.notify_all();
+        }
+      }
+    } guard{*this};
+    try {
+      task();
+    } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
-      --in_flight_;
-      if (tasks_.empty() && in_flight_ == 0) {
-        cv_idle_.notify_all();
+      if (!first_error_) {
+        first_error_ = std::current_exception();
       }
     }
   }

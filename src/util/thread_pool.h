@@ -6,6 +6,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -23,11 +24,14 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Tasks must not throw; exceptions terminate (by design:
-  /// an experiment that throws indicates a bug, not a recoverable state).
+  /// Enqueues a task. If the task throws, the first exception is captured
+  /// and rethrown from the next wait_idle(); later exceptions from the same
+  /// batch are dropped. An exception never retrieved before destruction is
+  /// discarded.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any of them raised (if any).
   void wait_idle();
 
   std::size_t thread_count() const { return workers_.size(); }
@@ -39,6 +43,7 @@ class ThreadPool {
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   std::queue<std::function<void()>> tasks_;
+  std::exception_ptr first_error_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
   std::vector<std::thread> workers_;

@@ -1,0 +1,300 @@
+// Tests for the observability layer: JSON parse/format, histogram
+// bucketing, registry exports, trace recording, and the end-to-end
+// determinism contract (same seed -> byte-identical metrics JSON apart
+// from the wall_clock block).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "codes/builders.h"
+#include "core/experiment.h"
+#include "obs/json.h"
+#include "obs/observer.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "sim/dor_engine.h"
+#include "util/check.h"
+#include "workload/errors.h"
+
+namespace fbf::obs {
+namespace {
+
+// ---- JSON ----
+
+TEST(Json, EscapeControlAndQuotes) {
+  EXPECT_EQ(json::escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json::escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, NumberIsShortestRoundTrip) {
+  EXPECT_EQ(json::number(0.5), "0.5");
+  EXPECT_EQ(json::number(3.0), "3");
+  EXPECT_EQ(json::number(-1.25), "-1.25");
+}
+
+TEST(Json, ParsesScalarsAndContainers) {
+  const json::Value v = json::parse(
+      R"({"a": 1.5, "b": [true, null, "x\"y"], "c": {"nested": -2}})");
+  ASSERT_TRUE(v.is_object());
+  const auto& obj = v.as_object();
+  EXPECT_DOUBLE_EQ(obj.at("a").as_number(), 1.5);
+  const auto& arr = obj.at("b").as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_TRUE(arr[0].as_bool());
+  EXPECT_TRUE(arr[1].is_null());
+  EXPECT_EQ(arr[2].as_string(), "x\"y");
+  EXPECT_DOUBLE_EQ(obj.at("c").as_object().at("nested").as_number(), -2.0);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(json::parse("{"), util::CheckError);
+  EXPECT_THROW(json::parse("[1,]"), util::CheckError);
+  EXPECT_THROW(json::parse("{} trailing"), util::CheckError);
+  EXPECT_THROW(json::parse("nul"), util::CheckError);
+}
+
+TEST(Json, EqualityIsOrderInsensitiveForObjects) {
+  EXPECT_EQ(json::parse(R"({"a":1,"b":2})"), json::parse(R"({"b":2,"a":1})"));
+  EXPECT_FALSE(json::parse("[1,2]") == json::parse("[2,1]"));
+}
+
+// ---- Histogram ----
+
+TEST(Histogram, BucketBoundaries) {
+  Histogram h;
+  h.add(1.0);   // [1,2) -> exp 0
+  h.add(1.5);   // exp 0
+  h.add(0.75);  // [0.5,1) -> exp -1
+  h.add(8.0);   // exp 3
+  h.add(0.0);   // nonpositive
+  h.add(-3.0);  // nonpositive
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.nonpositive(), 2u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(-1), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(5), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), -3.0);
+  EXPECT_DOUBLE_EQ(h.max(), 8.0);
+}
+
+TEST(Histogram, MergeAddsEverything) {
+  Histogram a;
+  a.add(1.0);
+  a.add(0.25);
+  Histogram b;
+  b.add(4.0);
+  b.add(-1.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.nonpositive(), 1u);
+  EXPECT_EQ(a.bucket(0), 1u);
+  EXPECT_EQ(a.bucket(-2), 1u);
+  EXPECT_EQ(a.bucket(2), 1u);
+  EXPECT_DOUBLE_EQ(a.min(), -1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+}
+
+TEST(Histogram, EmptyIsAllZero) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  int visited = 0;
+  h.for_each_bucket([&](int, std::uint64_t) { ++visited; });
+  EXPECT_EQ(visited, 0);
+}
+
+// ---- Registry ----
+
+TEST(Registry, CountersGaugesHistograms) {
+  Registry reg;
+  reg.add_counter("x", 2);
+  reg.add_counter("x", 3);
+  reg.set_gauge("g", 1.5);
+  reg.observe("h", 2.0);
+  EXPECT_EQ(reg.counter("x"), 5u);
+  EXPECT_EQ(reg.counter("absent"), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("g"), 1.5);
+  EXPECT_TRUE(reg.has_gauge("g"));
+  EXPECT_FALSE(reg.has_gauge("absent"));
+  EXPECT_EQ(reg.histogram("h").count(), 1u);
+}
+
+TEST(Registry, SnapshotsAreSorted) {
+  Registry reg;
+  reg.add_counter("zeta", 1);
+  reg.add_counter("alpha", 1);
+  const auto snap = reg.counters_snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap.begin()->first, "alpha");
+}
+
+// ---- RunObserver + engine integration ----
+
+core::ExperimentConfig small_experiment() {
+  core::ExperimentConfig cfg;
+  cfg.code = codes::CodeId::Tip;
+  cfg.p = 5;
+  cfg.num_errors = 10;
+  cfg.num_stripes = 10000;
+  cfg.workers = 4;
+  cfg.cache_bytes = 2ull << 20;
+  return cfg;
+}
+
+TEST(RunObserver, MetricsJsonIsDeterministicAcrossRuns) {
+  // The acceptance bar for the whole exporter: two same-seed runs must
+  // produce byte-identical documents outside the wall_clock block.
+  std::string docs[2];
+  for (auto& doc : docs) {
+    RunObserver obs;
+    core::ExperimentConfig cfg = small_experiment();
+    cfg.obs = &obs;
+    core::run_experiment(cfg);
+    doc = obs.metrics_json(/*include_wall=*/false);
+  }
+  EXPECT_EQ(docs[0], docs[1]);
+}
+
+TEST(RunObserver, RecordRunExportSatisfiesConservationLaws) {
+  RunObserver obs;
+  core::ExperimentConfig cfg = small_experiment();
+  cfg.obs = &obs;
+  core::run_experiment(cfg);
+
+  const json::Value doc = json::parse(obs.metrics_json());
+  const auto& root = doc.as_object();
+  EXPECT_EQ(root.at("schema").as_string(), "fbf.metrics.v1");
+  const auto& counters = root.at("counters").as_object();
+  const auto counter = [&](const char* name) {
+    return static_cast<std::uint64_t>(counters.at(name).as_number());
+  };
+  EXPECT_EQ(counter("run.count"), 1u);
+  EXPECT_EQ(counter("run.cache_hits") + counter("run.cache_misses"),
+            counter("run.total_chunk_requests"));
+  EXPECT_EQ(counter("run.disk_reads"),
+            counter("run.planned_disk_reads") + counter("run.cache_misses"));
+  EXPECT_EQ(counter("run.disk_writes"), counter("run.chunks_recovered"));
+
+  // The per-run label carries the response distribution and gauges.
+  const std::string label = core::obs_run_label(cfg);
+  EXPECT_TRUE(root.at("gauges").as_object().count(label + ".hit_ratio") > 0);
+  const auto& hist =
+      root.at("histograms").as_object().at(label + ".response_ms").as_object();
+  const auto& buckets = hist.at("log2_buckets").as_object();
+  std::uint64_t in_buckets = 0;
+  for (const auto& [exp, c] : buckets) {
+    in_buckets += static_cast<std::uint64_t>(c.as_number());
+  }
+  EXPECT_EQ(static_cast<std::uint64_t>(hist.at("count").as_number()),
+            static_cast<std::uint64_t>(hist.at("nonpositive").as_number()) +
+                in_buckets);
+  EXPECT_EQ(static_cast<std::uint64_t>(hist.at("count").as_number()),
+            counter("run.total_chunk_requests"));
+}
+
+TEST(RunObserver, TraceRecordsEngineSpans) {
+  RunObserver obs(TraceLevel::Fine);
+  core::ExperimentConfig cfg = small_experiment();
+  cfg.obs = &obs;
+  core::run_experiment(cfg);
+
+  std::ostringstream os;
+  obs.trace().write_json(os);
+  const json::Value doc = json::parse(os.str());
+  const auto& events = doc.as_object().at("traceEvents").as_array();
+  ASSERT_FALSE(events.empty());
+  bool saw_stripe = false;
+  bool saw_spare_write = false;
+  bool saw_disk_read = false;
+  for (const json::Value& ev : events) {
+    const auto& e = ev.as_object();
+    ASSERT_TRUE(e.count("name") && e.count("ph") && e.count("pid") &&
+                e.count("tid"));
+    if (e.at("ph").as_string() == "X") {
+      ASSERT_TRUE(e.count("ts") && e.count("dur"));
+    }
+    const std::string& name = e.at("name").as_string();
+    saw_stripe |= name == "stripe";
+    saw_spare_write |= name == "spare_write";
+    saw_disk_read |= name == "disk_read";
+  }
+  EXPECT_TRUE(saw_stripe);
+  EXPECT_TRUE(saw_spare_write);
+  EXPECT_TRUE(saw_disk_read);
+}
+
+TEST(RunObserver, PhasesLevelSkipsFineSpans) {
+  RunObserver obs(TraceLevel::Phases);
+  core::ExperimentConfig cfg = small_experiment();
+  cfg.obs = &obs;
+  core::run_experiment(cfg);
+  std::ostringstream os;
+  obs.trace().write_json(os);
+  const json::Value doc = json::parse(os.str());
+  const auto& events = doc.as_object().at("traceEvents").as_array();
+  for (const json::Value& ev : events) {
+    EXPECT_NE(ev.as_object().at("name").as_string(), "disk_read");
+  }
+}
+
+TEST(RunObserver, PhaseTimerAccumulatesWallTime) {
+  RunObserver obs(TraceLevel::Phases);
+  {
+    PhaseTimer t(&obs, "unit_test_phase");
+  }
+  {
+    PhaseTimer t(&obs, "unit_test_phase");
+  }
+  EXPECT_GE(obs.wall("phase.unit_test_phase_ms"), 0.0);
+  EXPECT_EQ(obs.trace().size(), 2u);
+  // The wall block is present in the full document and absent otherwise.
+  EXPECT_NE(obs.metrics_json(true).find("wall_clock"), std::string::npos);
+  EXPECT_EQ(obs.metrics_json(false).find("wall_clock"), std::string::npos);
+}
+
+TEST(RunObserver, DorEngineExportsUnderItsLabel) {
+  const codes::Layout l = codes::make_layout(codes::CodeId::Tip, 5);
+  const sim::ArrayGeometry g(l, 10000, true, sim::SparePlacement::Distributed);
+  workload::ErrorTraceConfig tc;
+  tc.num_stripes = 10000;
+  tc.num_errors = 8;
+  tc.target_col = 0;
+  tc.seed = 5;
+  const auto errors = workload::generate_error_trace(l, tc);
+
+  RunObserver obs(TraceLevel::Fine);
+  sim::DorConfig cfg;
+  cfg.cache_bytes = 64 * 32 * 1024;
+  cfg.chunk_bytes = 32 * 1024;
+  cfg.seed = 11;
+  cfg.observer = &obs;
+  sim::DorEngine engine(l, g, cfg);
+  const sim::SimMetrics m = engine.run(errors);
+
+  EXPECT_EQ(obs.registry().counter("run.count"), 1u);
+  EXPECT_EQ(obs.registry().counter("run.disk_reads"), m.disk_reads);
+  EXPECT_TRUE(obs.registry().has_gauge("run.dor.hit_ratio"));
+  EXPECT_EQ(obs.registry().histogram("run.dor.response_ms").count(),
+            m.disk_reads);  // one response sample per physical read
+  EXPECT_GE(obs.wall("phase.dor_plan_ms"), 0.0);
+  EXPECT_GT(obs.trace().size(), 0u);
+}
+
+TEST(RunObserver, TraceCapCountsDroppedEvents) {
+  RunObserver obs(
+      RunObserver::Options{"", "", TraceLevel::Phases, /*max_trace_events=*/2});
+  for (int i = 0; i < 5; ++i) {
+    obs.trace().duration(kPidSim, 0, "span", "test", i * 10.0, 5.0);
+  }
+  EXPECT_EQ(obs.trace().size(), 2u);
+  EXPECT_EQ(obs.trace().dropped(), 3u);
+  std::ostringstream os;
+  obs.trace().write_json(os);
+  EXPECT_NE(os.str().find("dropped"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fbf::obs

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/check.h"
+
 namespace fbf::util {
 namespace {
 
@@ -75,6 +77,54 @@ TEST(Flags, Positional) {
 TEST(Flags, DoubleParsing) {
   const Flags f = make({"--ratio=0.25"});
   EXPECT_DOUBLE_EQ(f.get_double("ratio", 0.0), 0.25);
+}
+
+TEST(Flags, IntRejectsGarbage) {
+  // Pre-fix, strtoll silently truncated "--errors=4oo" to 4.
+  EXPECT_THROW(make({"--errors=4oo"}).get_int("errors", 0), CheckError);
+  EXPECT_THROW(make({"--errors=12x"}).get_int("errors", 0), CheckError);
+  EXPECT_THROW(make({"--errors="}).get_int("errors", 0), CheckError);
+  EXPECT_THROW(make({"--errors=1.5"}).get_int("errors", 0), CheckError);
+  EXPECT_THROW(make({"--errors=oo4"}).get_int("errors", 0), CheckError);
+}
+
+TEST(Flags, IntParsesNegatives) {
+  EXPECT_EQ(make({"--error-col=-1"}).get_int("error-col", 0), -1);
+}
+
+TEST(Flags, DoubleRejectsGarbage) {
+  EXPECT_THROW(make({"--ratio=0.2.5"}).get_double("ratio", 0.0), CheckError);
+  EXPECT_THROW(make({"--ratio=abc"}).get_double("ratio", 0.0), CheckError);
+  EXPECT_THROW(make({"--ratio="}).get_double("ratio", 0.0), CheckError);
+}
+
+TEST(Flags, DoubleAcceptsScientificAndNegative) {
+  EXPECT_DOUBLE_EQ(make({"--x=1e3"}).get_double("x", 0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(make({"--x=-2.5"}).get_double("x", 0.0), -2.5);
+}
+
+TEST(Flags, BoolRejectsGarbage) {
+  EXPECT_THROW(make({"--csv=maybe"}).get_bool("csv", false), CheckError);
+  EXPECT_FALSE(make({"--csv=off"}).get_bool("csv", true));
+  EXPECT_TRUE(make({"--csv=on"}).get_bool("csv", false));
+}
+
+TEST(Flags, IntListRejectsGarbageAndEmptyPieces) {
+  EXPECT_THROW(make({"--p=5,7a,11"}).get_int_list("p", {}), CheckError);
+  EXPECT_THROW(make({"--p=5,,11"}).get_int_list("p", {}), CheckError);
+}
+
+TEST(Flags, CheckKnownAcceptsDeclaredFlags) {
+  const Flags f = make({"--errors=4", "--csv"});
+  f.check_known({"errors", "csv", "seed"});
+  SUCCEED();
+}
+
+TEST(Flags, CheckKnownRejectsTypos) {
+  // Pre-fix, "--erorrs=800" was silently ignored and the run used the
+  // default — the header even claimed otherwise.
+  const Flags f = make({"--erorrs=800"});
+  EXPECT_THROW(f.check_known({"errors", "csv", "seed"}), CheckError);
 }
 
 }  // namespace

@@ -80,6 +80,28 @@ TEST(Accumulator, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(empty.mean(), 1.5);
 }
 
+TEST(Accumulator, ThreeWayMergeGolden) {
+  // Golden check with hand-computable moments: splits of {1..12} (one of
+  // them empty) merged in sequence must equal the single-pass result.
+  Accumulator first;   // 1..4
+  Accumulator second;  // 5..12
+  Accumulator empty;
+  Accumulator all;
+  for (int i = 1; i <= 12; ++i) {
+    (i <= 4 ? first : second).add(static_cast<double>(i));
+    all.add(static_cast<double>(i));
+  }
+  first.merge(empty);
+  first.merge(second);
+  EXPECT_EQ(first.count(), 12u);
+  EXPECT_DOUBLE_EQ(first.mean(), 6.5);             // (1+..+12)/12
+  EXPECT_NEAR(first.variance(), 143.0 / 12.0, 1e-12);
+  EXPECT_DOUBLE_EQ(first.min(), 1.0);
+  EXPECT_DOUBLE_EQ(first.max(), 12.0);
+  EXPECT_NEAR(first.variance(), all.variance(), 1e-12);
+  EXPECT_NEAR(first.sum(), all.sum(), 1e-9);
+}
+
 TEST(Reservoir, ExactWhenUnderCapacity) {
   Reservoir r(100);
   for (int i = 1; i <= 11; ++i) {
@@ -118,6 +140,62 @@ TEST(Reservoir, RejectsBadQuantile) {
   Reservoir r(4);
   r.add(1.0);
   EXPECT_THROW(r.percentile(1.5), CheckError);
+}
+
+TEST(Reservoir, PercentileBoundaries) {
+  // Regression anchor for the p99 export: linear interpolation over the
+  // sorted samples, pos = q * (n - 1).
+  Reservoir r(100);
+  for (int i = 1; i <= 11; ++i) {
+    r.add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(r.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.percentile(1.0), 11.0);
+  EXPECT_DOUBLE_EQ(r.percentile(0.95), 10.5);  // pos 9.5 between 10 and 11
+  EXPECT_DOUBLE_EQ(r.percentile(0.1), 2.0);
+}
+
+TEST(Reservoir, SameSeedSameSamples) {
+  Reservoir a(8, 123);
+  Reservoir b(8, 123);
+  for (int i = 0; i < 1000; ++i) {
+    a.add(static_cast<double>(i));
+    b.add(static_cast<double>(i));
+  }
+  EXPECT_EQ(a.samples(), b.samples());
+}
+
+TEST(Reservoir, UniformRetentionAcrossStream) {
+  // Algorithm R must retain every stream position with probability C/N.
+  // The pre-fix scheme replaced slot ((seen * K) % seen) == 0 on every add,
+  // so positions C..N-2 were never retained (and N-1 always was); this test
+  // fails spectacularly on that scheme.
+  constexpr std::size_t kCapacity = 16;
+  constexpr int kStream = 256;
+  constexpr int kTrials = 2000;
+  std::vector<int> retained(kStream, 0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Reservoir r(kCapacity, static_cast<std::uint64_t>(trial) + 1);
+    for (int i = 0; i < kStream; ++i) {
+      r.add(static_cast<double>(i));  // value encodes stream position
+    }
+    for (double v : r.samples()) {
+      ++retained[static_cast<std::size_t>(v)];
+    }
+  }
+  // Every trial keeps exactly kCapacity samples.
+  int total = 0;
+  for (int c : retained) {
+    total += c;
+  }
+  EXPECT_EQ(total, kTrials * static_cast<int>(kCapacity));
+  // Per-position retention is Binomial(kTrials, C/N): mean 125, sd ~10.8.
+  // [60, 190] is ~6 sigma — astronomically unlikely to trip by chance,
+  // certain to trip on the biased scheme (0 and 2000 both occur there).
+  for (int i = 0; i < kStream; ++i) {
+    EXPECT_GE(retained[static_cast<std::size_t>(i)], 60) << "position " << i;
+    EXPECT_LE(retained[static_cast<std::size_t>(i)], 190) << "position " << i;
+  }
 }
 
 }  // namespace

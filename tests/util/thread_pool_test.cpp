@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace fbf::util {
@@ -89,6 +90,33 @@ TEST(ThreadPool, DestructorJoinsCleanly) {
     pool.wait_idle();
   }
   EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ThrowingTaskSurfacesFromWaitIdle) {
+  // Pre-fix, a throw escaped the worker thread and terminated the process;
+  // it also skipped the in-flight decrement, deadlocking wait_idle.
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error is consumed: the pool stays usable and the next wait is clean.
+  std::atomic<int> count{0};
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, FirstOfManyExceptionsWins) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&ran] {
+      ran.fetch_add(1);
+      throw std::logic_error("boom");
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::logic_error);
+  EXPECT_EQ(ran.load(), 16);  // later throws are dropped, not lost tasks
+  pool.wait_idle();           // already consumed: no rethrow
 }
 
 }  // namespace
