@@ -14,7 +14,6 @@
 //   --trace-detail=L  "phases" (default) or "fine" (per-read disk spans)
 #pragma once
 
-#include <initializer_list>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -49,7 +48,7 @@ struct BenchOptions {
 
 inline BenchOptions parse_options(
     int argc, char** argv, std::vector<int> default_primes,
-    std::initializer_list<std::string_view> extra_known = {}) {
+    const std::vector<std::string_view>& extra_known = {}) {
   const util::Flags flags(argc, argv);
   std::vector<std::string_view> known{
       "errors", "workers", "sizes-mb",  "p",         "seed",

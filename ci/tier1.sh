@@ -15,6 +15,10 @@
 # and feeds the artifacts to tools/obs_schema_check, which enforces the
 # metrics schema, the counter conservation laws, trace-event well-formedness,
 # and byte-level determinism of the metrics across two same-seed runs.
+# Finally a fault smoke runs a tiny URE x straggler matrix through
+# bench_ext_fault_sweep twice per engine and diffs the CSVs: the fault
+# stream is a pure function of the seed, so any byte of divergence is a
+# determinism regression in the injection layer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export FBF_VALIDATE=1
@@ -43,20 +47,44 @@ obs_smoke() {
     --trace="${out}/trace1.json" --compare="${out}/metrics2.json"
 }
 
+fault_smoke() {
+  local build_dir="$1"
+  local out="${build_dir}/fault-smoke"
+  rm -rf "$out"
+  mkdir -p "$out"
+  local engine
+  for engine in sor dor; do
+    local run
+    for run in 1 2; do
+      "${build_dir}/bench/bench_ext_fault_sweep" \
+        --engine="$engine" --errors=8 --workers=4 --csv \
+        --ure-rates=0,0.001 --straggler-factors=1,4 \
+        >"${out}/${engine}${run}.csv"
+    done
+    cmp "${out}/${engine}1.csv" "${out}/${engine}2.csv" || {
+      echo "fault sweep (${engine}) is not deterministic" >&2
+      exit 1
+    }
+  done
+}
+
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 bench_smoke build
 obs_smoke build
+fault_smoke build
 
 cmake -B build-scalar -S . -DFBF_ENABLE_SIMD=OFF
 cmake --build build-scalar -j
 ctest --test-dir build-scalar --output-on-failure -j
 bench_smoke build-scalar
 obs_smoke build-scalar
+fault_smoke build-scalar
 
 cmake -B build-asan -S . -DFBF_SANITIZE=ON
 cmake --build build-asan -j
 ctest --test-dir build-asan --output-on-failure -j
 bench_smoke build-asan
 obs_smoke build-asan
+fault_smoke build-asan

@@ -21,16 +21,22 @@
 //   --same-disk-sparing  spare writes to the failed disk
 //   --app-requests foreground I/O count                  (0)
 //   --verify      carry real bytes, verify every recovered chunk
+//   --engine      sor | dor reconstruction engine        (sor)
 //   --seed        workload seed                          (42)
 //   --csv         machine-readable output
 //   --metrics-out write run-level metrics JSON to this file
 //   --trace-out   write Chrome trace-event JSON (load in Perfetto)
 //   --trace-detail "phases" (default) or "fine" (per-read disk spans)
+//   --fault-*     deterministic fault injection; see core/fault_flags.h
+//                 (all off by default). A fault load beyond the 3DFT
+//                 erasure budget exits 2 with the escalation diagnostic.
 #include <iostream>
 #include <memory>
 
 #include "core/experiment.h"
+#include "core/fault_flags.h"
 #include "obs/observer.h"
+#include "sim/faults/faults.h"
 #include "util/check.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -38,11 +44,16 @@
 int main(int argc, char** argv) {
   using namespace fbf;
   const util::Flags flags(argc, argv);
-  flags.check_known({"code", "p", "policy", "scheme", "cache-mb", "chunk-kb",
-                     "workers", "errors", "error-col", "disk-ms", "cache-ms",
-                     "detailed-disk", "no-rotate", "same-disk-sparing",
-                     "app-requests", "verify", "seed", "csv", "metrics-out",
-                     "trace-out", "trace-detail"});
+  std::vector<std::string_view> known{
+      "code",         "p",       "policy",       "scheme",
+      "cache-mb",     "chunk-kb", "workers",     "errors",
+      "error-col",    "disk-ms", "cache-ms",     "detailed-disk",
+      "no-rotate",    "same-disk-sparing",       "app-requests",
+      "verify",       "engine",  "seed",         "csv",
+      "metrics-out",  "trace-out",               "trace-detail"};
+  const auto& fault_names = core::fault_flag_names();
+  known.insert(known.end(), fault_names.begin(), fault_names.end());
+  flags.check_known(known);
 
   core::ExperimentConfig cfg;
   cfg.code = codes::code_from_string(flags.get_string("code", "tip"));
@@ -68,7 +79,12 @@ int main(int argc, char** argv) {
   }
   cfg.app_requests = static_cast<int>(flags.get_int("app-requests", 0));
   cfg.verify_data = flags.get_bool("verify", false);
+  const std::string engine = flags.get_string("engine", "sor");
+  FBF_CHECK(engine == "sor" || engine == "dor",
+            "--engine must be \"sor\" or \"dor\", got \"" + engine + "\"");
+  cfg.engine = engine == "dor" ? core::EngineKind::Dor : core::EngineKind::Sor;
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 42));
+  cfg.faults = core::parse_fault_flags(flags);
 
   std::unique_ptr<obs::RunObserver> observer;
   const std::string metrics_out = flags.get_string("metrics-out", "");
@@ -88,7 +104,19 @@ int main(int argc, char** argv) {
     cfg.obs = observer.get();
   }
 
-  const core::ExperimentResult r = core::run_experiment(cfg);
+  core::ExperimentResult r;
+  try {
+    r = core::run_experiment(cfg);
+  } catch (const sim::EscalationError& e) {
+    std::cerr << "escalation beyond the 3DFT budget: stripe " << e.stripe()
+              << " has " << e.lost_cells().size()
+              << " outstanding lost chunks with failed disks {";
+    for (std::size_t i = 0; i < e.failed_disks().size(); ++i) {
+      std::cerr << (i ? ", " : "") << e.failed_disks()[i];
+    }
+    std::cerr << "} — not decodable.\n" << e.what() << "\n";
+    return 2;
+  }
 
   util::Table table(cfg.label());
   table.headers({"metric", "value"});
@@ -113,6 +141,26 @@ int main(int argc, char** argv) {
   }
   if (cfg.verify_data) {
     table.add_row({"data verification", "PASSED (all recovered chunks)"});
+  }
+  // Fault rows only appear when injection is on, so fault-free output stays
+  // byte-identical to builds that predate the fault layer.
+  if (cfg.faults.enabled()) {
+    table.add_row({"fault sector errors", std::to_string(r.fault.sector_errors)});
+    table.add_row(
+        {"fault transient fails", std::to_string(r.fault.transient_failures)});
+    table.add_row({"fault retries", std::to_string(r.fault.retries)});
+    table.add_row(
+        {"fault dead-disk reads", std::to_string(r.fault.dead_disk_reads)});
+    table.add_row({"fault replans", std::to_string(r.fault.replans)});
+    table.add_row(
+        {"fault gauss fallbacks", std::to_string(r.fault.gauss_fallbacks)});
+    table.add_row({"fault disk failures", std::to_string(r.fault.disk_failures)});
+    table.add_row(
+        {"fault escalated stripes", std::to_string(r.fault.escalated_stripes)});
+    table.add_row(
+        {"fault extra lost chunks", std::to_string(r.fault.extra_lost_chunks)});
+    table.add_row(
+        {"fault straggler disks", std::to_string(r.fault.straggler_disks)});
   }
   if (flags.get_bool("csv", false)) {
     table.print_csv(std::cout);

@@ -96,11 +96,8 @@ struct Equation {
 
 }  // namespace
 
-DecodeResult decode_erasures(StripeData& stripe,
-                             const std::vector<Cell>& erased) {
-  const Layout& layout = stripe.layout();
-  DecodeResult result;
-
+PeelPlan plan_peeling(const Layout& layout, const std::vector<Cell>& erased) {
+  PeelPlan plan;
   std::vector<bool> is_erased(static_cast<std::size_t>(layout.num_cells()),
                               false);
   for (const Cell& c : erased) {
@@ -108,8 +105,8 @@ DecodeResult decode_erasures(StripeData& stripe,
   }
   int remaining = static_cast<int>(erased.size());
 
-  // Phase 1: peeling. Track per-chain erased-member counts and keep a
-  // worklist of chains with exactly one erased member.
+  // Track per-chain erased-member counts and keep a worklist of chains
+  // with exactly one erased member.
   const auto& chains = layout.chains();
   std::vector<int> erased_in_chain(chains.size(), 0);
   for (const Chain& ch : chains) {
@@ -125,7 +122,6 @@ DecodeResult decode_erasures(StripeData& stripe,
       worklist.push_back(ch.id);
     }
   }
-  SrcList srcs;
   while (!worklist.empty() && remaining > 0) {
     const int id = worklist.back();
     worklist.pop_back();
@@ -143,19 +139,51 @@ DecodeResult decode_erasures(StripeData& stripe,
       }
     }
     FBF_CHECK(found, "chain bookkeeping inconsistent during peeling");
-    collect_chain(stripe, ch, target, srcs);
-    xor_fold(stripe.chunk(target), srcs);
+    plan.steps.push_back(PeelPlan::Step{target, id});
     is_erased[static_cast<std::size_t>(layout.cell_index(target))] = false;
     --remaining;
-    ++result.peeled;
     for (int other : layout.chains_containing(target)) {
       if (--erased_in_chain[static_cast<std::size_t>(other)] == 1) {
         worklist.push_back(other);
       }
     }
   }
+  for (int i = 0; i < layout.num_cells(); ++i) {
+    if (is_erased[static_cast<std::size_t>(i)]) {
+      plan.gauss_cells.push_back(layout.cell_at(i));
+    }
+  }
+  return plan;
+}
 
-  if (remaining == 0) {
+DecodeResult decode_erasures(StripeData& stripe,
+                             const std::vector<Cell>& erased,
+                             DecodeMethod method) {
+  const Layout& layout = stripe.layout();
+  DecodeResult result;
+  SrcList srcs;
+
+  // Phase 1: peeling (skipped by GaussOnly, the oracle path tests compare
+  // against). The symbolic plan decides targets/chains; this executes it.
+  std::vector<Cell> unknown_cells;
+  if (method == DecodeMethod::PeelThenGauss) {
+    const PeelPlan plan = plan_peeling(layout, erased);
+    for (const PeelPlan::Step& step : plan.steps) {
+      const Chain& ch = layout.chain(step.chain_id);
+      collect_chain(stripe, ch, step.target, srcs);
+      xor_fold(stripe.chunk(step.target), srcs);
+      ++result.peeled;
+    }
+    unknown_cells = plan.gauss_cells;
+  } else {
+    unknown_cells = erased;
+    std::sort(unknown_cells.begin(), unknown_cells.end(),
+              [&](const Cell& a, const Cell& b) {
+                return layout.cell_index(a) < layout.cell_index(b);
+              });
+  }
+
+  if (unknown_cells.empty()) {
     result.ok = true;
     return result;
   }
@@ -163,18 +191,19 @@ DecodeResult decode_erasures(StripeData& stripe,
   // Phase 2: Gaussian elimination over the leftover unknowns.
   std::vector<int> unknown_of_cell(
       static_cast<std::size_t>(layout.num_cells()), -1);
-  std::vector<Cell> unknown_cells;
-  for (int i = 0; i < layout.num_cells(); ++i) {
-    if (is_erased[static_cast<std::size_t>(i)]) {
-      unknown_of_cell[static_cast<std::size_t>(i)] =
-          static_cast<int>(unknown_cells.size());
-      unknown_cells.push_back(layout.cell_at(i));
-    }
+  for (std::size_t i = 0; i < unknown_cells.size(); ++i) {
+    unknown_of_cell[static_cast<std::size_t>(
+        layout.cell_index(unknown_cells[i]))] = static_cast<int>(i);
   }
 
   std::vector<Equation> eqs;
-  for (const Chain& ch : chains) {
-    if (erased_in_chain[static_cast<std::size_t>(ch.id)] == 0) {
+  for (const Chain& ch : layout.chains()) {
+    const bool involved = std::any_of(
+        ch.cells.begin(), ch.cells.end(), [&](const Cell& c) {
+          return unknown_of_cell[static_cast<std::size_t>(
+                     layout.cell_index(c))] >= 0;
+        });
+    if (!involved) {
       continue;
     }
     Equation eq;

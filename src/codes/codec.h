@@ -63,10 +63,33 @@ struct DecodeResult {
   int gaussian_solved = 0;    ///< erasures needing the Gaussian fallback
 };
 
+/// Symbolic peeling plan for an erasure pattern: the (target, chain) steps
+/// a peeling pass executes in order, plus the erased cells peeling cannot
+/// reach (they need the Gaussian fallback). Pure function of the layout and
+/// the pattern — the recovery planner uses it to re-plan chains around
+/// mid-recovery losses without touching chunk data.
+struct PeelPlan {
+  struct Step {
+    Cell target;
+    int chain_id = -1;
+  };
+  std::vector<Step> steps;
+  /// Unreachable erased cells, in layout cell-index order.
+  std::vector<Cell> gauss_cells;
+};
+
+PeelPlan plan_peeling(const Layout& layout, const std::vector<Cell>& erased);
+
+enum class DecodeMethod : std::uint8_t {
+  PeelThenGauss,  ///< peel what a chain pass can, Gauss for the rest
+  GaussOnly,      ///< generic GF(2) solve of the whole pattern (oracle path)
+};
+
 /// Recovers the given erased cells in-place. The caller must have zeroed or
 /// otherwise invalidated them; their prior contents are ignored.
 DecodeResult decode_erasures(StripeData& stripe,
-                             const std::vector<Cell>& erased);
+                             const std::vector<Cell>& erased,
+                             DecodeMethod method = DecodeMethod::PeelThenGauss);
 
 /// Symbolic decodability of an erasure pattern: the chain-incidence matrix
 /// restricted to the erased cells has full column rank.

@@ -1,5 +1,7 @@
 #include "core/experiment.h"
 
+#include "sim/dor_engine.h"
+#include "util/check.h"
 #include "util/table.h"
 
 namespace fbf::core {
@@ -20,6 +22,7 @@ std::string obs_run_label(const ExperimentConfig& config) {
   out += ".";
   out += cache::to_string(config.policy);
   out += ".c" + std::to_string(config.cache_bytes);
+  out += config.obs_suffix;
   return out;
 }
 
@@ -47,27 +50,52 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     app_trace = workload::generate_app_trace(layout, app_cfg);
   }
 
-  sim::ReconstructionConfig rc;
-  rc.scheme = config.scheme;
-  rc.policy = config.policy;
-  rc.cache_bytes = config.cache_bytes;
-  rc.chunk_bytes = config.chunk_bytes;
-  rc.workers = config.workers;
-  rc.cache_access_ms = config.cache_access_ms;
-  rc.xor_ms_per_chunk = config.xor_ms_per_chunk;
-  rc.disk.kind = config.disk_model;
-  rc.disk.read_ms = config.disk_access_ms;
-  rc.disk.write_ms = config.disk_access_ms;
-  rc.memoize_schemes = config.memoize_schemes;
-  rc.verify_data = config.verify_data;
-  rc.seed = config.seed;
-  if (config.obs != nullptr) {
-    rc.observer = config.obs;
-    rc.obs_label = obs_run_label(config);
+  sim::SimMetrics m;
+  if (config.engine == EngineKind::Dor) {
+    FBF_CHECK(config.app_requests == 0 && !config.verify_data,
+              "the DOR engine supports neither foreground app traffic nor "
+              "data verification");
+    sim::DorConfig dc;
+    dc.scheme = config.scheme;
+    dc.policy = config.policy;
+    dc.cache_bytes = config.cache_bytes;
+    dc.chunk_bytes = config.chunk_bytes;
+    dc.cache_access_ms = config.cache_access_ms;
+    dc.xor_ms_per_chunk = config.xor_ms_per_chunk;
+    dc.disk.kind = config.disk_model;
+    dc.disk.read_ms = config.disk_access_ms;
+    dc.disk.write_ms = config.disk_access_ms;
+    dc.seed = config.seed;
+    dc.faults = config.faults;
+    if (config.obs != nullptr) {
+      dc.observer = config.obs;
+      dc.obs_label = obs_run_label(config);
+    }
+    sim::DorEngine engine(layout, geometry, dc);
+    m = engine.run(errors);
+  } else {
+    sim::ReconstructionConfig rc;
+    rc.scheme = config.scheme;
+    rc.policy = config.policy;
+    rc.cache_bytes = config.cache_bytes;
+    rc.chunk_bytes = config.chunk_bytes;
+    rc.workers = config.workers;
+    rc.cache_access_ms = config.cache_access_ms;
+    rc.xor_ms_per_chunk = config.xor_ms_per_chunk;
+    rc.disk.kind = config.disk_model;
+    rc.disk.read_ms = config.disk_access_ms;
+    rc.disk.write_ms = config.disk_access_ms;
+    rc.memoize_schemes = config.memoize_schemes;
+    rc.verify_data = config.verify_data;
+    rc.seed = config.seed;
+    rc.faults = config.faults;
+    if (config.obs != nullptr) {
+      rc.observer = config.obs;
+      rc.obs_label = obs_run_label(config);
+    }
+    sim::ReconstructionEngine engine(layout, geometry, rc);
+    m = engine.run(errors, app_trace);
   }
-
-  sim::ReconstructionEngine engine(layout, geometry, rc);
-  const sim::SimMetrics m = engine.run(errors, app_trace);
 
   ExperimentResult r;
   r.hit_ratio = m.hit_ratio();
@@ -85,6 +113,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   r.total_chunk_requests = m.total_chunk_requests;
   r.app_avg_response_ms = m.app_response_ms.mean();
   r.app_degraded_reads = m.app_degraded_reads;
+  r.fault = m.fault;
   return r;
 }
 

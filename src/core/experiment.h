@@ -17,9 +17,16 @@ class RunObserver;
 
 namespace fbf::core {
 
+/// Which reconstruction engine drives the run. DOR streams planned reads
+/// per disk through one shared buffer and ignores the SOR-only knobs
+/// (workers, app traffic, verify_data, memoization, spare-write mode).
+enum class EngineKind { Sor, Dor };
+
 struct ExperimentConfig {
   codes::CodeId code = codes::CodeId::Tip;
   int p = 7;
+
+  EngineKind engine = EngineKind::Sor;
 
   cache::PolicyId policy = cache::PolicyId::Fbf;
   recovery::SchemeKind scheme = recovery::SchemeKind::RoundRobin;
@@ -58,9 +65,19 @@ struct ExperimentConfig {
 
   std::uint64_t seed = 42;
 
+  /// Fault injection forwarded to the engine (sim/faults). Disabled by
+  /// default, which keeps every experiment byte-identical to its pre-fault
+  /// output.
+  sim::FaultConfig faults;
+
   /// Optional run-level observability sink (not owned). Shared across a
   /// sweep: each grid point exports under its own obs_run_label().
   obs::RunObserver* obs = nullptr;
+
+  /// Appended verbatim to obs_run_label() so sweep points that share
+  /// (code, p, policy, cache size) — e.g. a fault grid — export under
+  /// disjoint registry keys.
+  std::string obs_suffix;
 
   std::string label() const;
 };
@@ -81,6 +98,9 @@ struct ExperimentResult {
   std::uint64_t total_chunk_requests = 0;
   double app_avg_response_ms = 0.0;
   std::uint64_t app_degraded_reads = 0;
+
+  /// Fault-injection counters; all-zero when config.faults was disabled.
+  sim::FaultStats fault;
 };
 
 /// Runs one full reconstruction simulation. Deterministic per config.

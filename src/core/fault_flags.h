@@ -1,0 +1,52 @@
+// Shared --fault-* flag vocabulary for the experiment drivers (fbfsim and
+// the fault benches), so every binary spells the fault grid the same way:
+//
+//   --fault-ure-rate=R           latent sector error probability    (0)
+//   --fault-transient-rate=R     per-attempt transient failure prob (0)
+//   --fault-retries=N            extra attempts after a transient   (3)
+//   --fault-backoff-ms=T         delay before each retry            (1)
+//   --fault-stragglers=N         straggler disk count               (0)
+//   --fault-straggler-factor=F   straggler service multiplier       (4)
+//   --fault-disk-fail-at-ms=a,b  whole-disk failure times
+//   --fault-disk-fail-ids=a,b    disk ids for those failures (ids beyond
+//                                the list are drawn from the plan key)
+//   --fault-seed=N               fault plan seed (0 = derive from --seed)
+//
+// All default to "off": a driver that accepts these flags but is invoked
+// without them produces byte-identical output to one that predates them.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "sim/faults/faults.h"
+#include "util/flags.h"
+
+namespace fbf::core {
+
+/// The flag names above, for appending to a driver's check_known() list.
+inline const std::vector<std::string_view>& fault_flag_names() {
+  static const std::vector<std::string_view> names{
+      "fault-ure-rate",     "fault-transient-rate",   "fault-retries",
+      "fault-backoff-ms",   "fault-stragglers",       "fault-straggler-factor",
+      "fault-disk-fail-at-ms", "fault-disk-fail-ids", "fault-seed"};
+  return names;
+}
+
+inline sim::FaultConfig parse_fault_flags(const util::Flags& flags) {
+  sim::FaultConfig fc;
+  fc.ure_rate = flags.get_double("fault-ure-rate", 0.0);
+  fc.transient_rate = flags.get_double("fault-transient-rate", 0.0);
+  fc.max_retries = static_cast<int>(flags.get_int("fault-retries", 3));
+  fc.retry_backoff_ms = flags.get_double("fault-backoff-ms", 1.0);
+  fc.stragglers = static_cast<int>(flags.get_int("fault-stragglers", 0));
+  fc.straggler_factor = flags.get_double("fault-straggler-factor", 4.0);
+  fc.disk_failure_times_ms = flags.get_double_list("fault-disk-fail-at-ms", {});
+  for (std::int64_t id : flags.get_int_list("fault-disk-fail-ids", {})) {
+    fc.disk_failure_disks.push_back(static_cast<int>(id));
+  }
+  fc.seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 0));
+  return fc;
+}
+
+}  // namespace fbf::core

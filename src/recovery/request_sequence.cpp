@@ -45,6 +45,41 @@ std::vector<ChunkOp> build_request_sequence(const codes::Layout& layout,
   return ops;
 }
 
+void append_gauss_ops(const codes::Layout& layout, const FaultScheme& fs,
+                      std::vector<ChunkOp>& ops) {
+  if (fs.gauss_cells.empty()) {
+    return;
+  }
+  std::vector<bool> is_gauss(static_cast<std::size_t>(layout.num_cells()),
+                             false);
+  for (const codes::Cell& c : fs.gauss_cells) {
+    is_gauss[static_cast<std::size_t>(layout.cell_index(c))] = true;
+  }
+  for (int chain_id : fs.gauss_chains) {
+    for (const codes::Cell& c : layout.chain(chain_id).cells) {
+      const auto idx = static_cast<std::size_t>(layout.cell_index(c));
+      if (is_gauss[idx]) {
+        continue;
+      }
+      ChunkOp op;
+      op.kind = OpKind::Read;
+      op.cell = c;
+      op.step = kGaussStep;
+      op.priority = std::max<std::uint8_t>(fs.scheme.priority[idx], 1);
+      ops.push_back(op);
+    }
+  }
+  for (const codes::Cell& c : fs.gauss_cells) {
+    const auto idx = static_cast<std::size_t>(layout.cell_index(c));
+    ChunkOp write;
+    write.kind = OpKind::WriteSpare;
+    write.cell = c;
+    write.step = kGaussStep;
+    write.priority = std::max<std::uint8_t>(fs.scheme.priority[idx], 1);
+    ops.push_back(write);
+  }
+}
+
 int count_reads(const std::vector<ChunkOp>& ops) {
   return static_cast<int>(
       std::count_if(ops.begin(), ops.end(), [](const ChunkOp& op) {

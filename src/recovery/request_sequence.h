@@ -40,4 +40,16 @@ std::vector<ChunkOp> build_request_sequence(const codes::Layout& layout,
 /// Number of Read ops in a sequence (total chunk references).
 int count_reads(const std::vector<ChunkOp>& ops);
 
+/// Step value of ops appended for a FaultScheme's Gauss fallback: they do
+/// not reference RecoveryScheme::steps.
+inline constexpr int kGaussStep = -1;
+
+/// Appends the Gauss-fallback tail of a fault scheme to `ops`: for every
+/// involved chain, reads of its non-Gauss members (previously recovered
+/// cells read back like any other member), then one WriteSpare per Gauss
+/// target. All appended ops carry step == kGaussStep; the SOR engine
+/// charges the whole solve's XOR cost at the first of those writes.
+void append_gauss_ops(const codes::Layout& layout, const FaultScheme& fs,
+                      std::vector<ChunkOp>& ops);
+
 }  // namespace fbf::recovery

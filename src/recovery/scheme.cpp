@@ -5,6 +5,7 @@
 #include <limits>
 #include <set>
 
+#include "codes/codec.h"
 #include "util/check.h"
 
 namespace fbf::recovery {
@@ -282,6 +283,77 @@ RecoveryScheme generate_scheme(const Layout& layout,
     }
   }
   return scheme;
+}
+
+FaultScheme generate_fault_scheme(const Layout& layout,
+                                  const std::vector<Cell>& lost) {
+  FBF_CHECK(!lost.empty(), "generate_fault_scheme with no lost cells");
+  std::vector<Cell> ordered = lost;
+  std::sort(ordered.begin(), ordered.end());
+  FBF_CHECK(std::adjacent_find(ordered.begin(), ordered.end()) ==
+                ordered.end(),
+            "duplicate lost cells");
+
+  const auto n_cells = static_cast<std::size_t>(layout.num_cells());
+  FaultScheme out;
+  out.scheme.priority.assign(n_cells, 0);
+
+  const codes::PeelPlan plan = codes::plan_peeling(layout, ordered);
+  std::vector<int> refs(n_cells, 0);
+  for (const codes::PeelPlan::Step& step : plan.steps) {
+    out.scheme.steps.push_back(RecoveryStep{step.target, step.chain_id});
+    const Chain& ch = layout.chain(step.chain_id);
+    out.scheme.total_references += static_cast<int>(ch.cells.size()) - 1;
+    for (const Cell& c : ch.cells) {
+      if (c != step.target) {
+        ++refs[static_cast<std::size_t>(layout.cell_index(c))];
+      }
+    }
+  }
+  out.gauss_cells = plan.gauss_cells;
+  if (!out.gauss_cells.empty()) {
+    std::vector<bool> is_gauss(n_cells, false);
+    for (const Cell& c : out.gauss_cells) {
+      is_gauss[static_cast<std::size_t>(layout.cell_index(c))] = true;
+    }
+    for (const Chain& ch : layout.chains()) {
+      const bool involved = std::any_of(
+          ch.cells.begin(), ch.cells.end(), [&](const Cell& c) {
+            return is_gauss[static_cast<std::size_t>(layout.cell_index(c))];
+          });
+      if (!involved) {
+        continue;
+      }
+      out.gauss_chains.push_back(ch.id);
+      for (const Cell& c : ch.cells) {
+        const auto idx = static_cast<std::size_t>(layout.cell_index(c));
+        if (!is_gauss[idx]) {
+          ++refs[idx];
+          ++out.scheme.total_references;
+        }
+      }
+    }
+  }
+
+  // Shared with generate_scheme: priorities = capped reference counts,
+  // fetch set = referenced surviving cells.
+  std::vector<bool> is_lost(n_cells, false);
+  for (const Cell& c : ordered) {
+    is_lost[static_cast<std::size_t>(layout.cell_index(c))] = true;
+  }
+  for (std::size_t idx = 0; idx < n_cells; ++idx) {
+    if (refs[idx] > 0) {
+      out.scheme.priority[idx] =
+          static_cast<std::uint8_t>(std::min(refs[idx], 3));
+      if (!is_lost[idx]) {
+        out.scheme.fetch_cells.push_back(
+            layout.cell_at(static_cast<int>(idx)));
+      }
+    } else if (is_lost[idx]) {
+      out.scheme.priority[idx] = 1;
+    }
+  }
+  return out;
 }
 
 RecoveryScheme generate_scheme(const Layout& layout,

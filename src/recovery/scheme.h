@@ -83,4 +83,22 @@ RecoveryScheme generate_scheme(const codes::Layout& layout,
                                const PartialStripeError& error,
                                SchemeKind kind);
 
+/// Fault-path plan for an arbitrary lost-cell set (sim/faults): the
+/// peelable part as a regular RecoveryScheme (steps in peeling order),
+/// plus the cells peeling cannot reach — solved by the Gauss fallback —
+/// and the distinct chains whose members that solve reads. Unlike
+/// generate_scheme this never throws on non-peelable patterns; callers
+/// check codes::erasure_decodable first and escalate when it fails.
+struct FaultScheme {
+  RecoveryScheme scheme;
+  /// Cells needing the Gauss fallback, in layout cell-index order.
+  std::vector<codes::Cell> gauss_cells;
+  /// Chains (ids) with at least one Gauss cell; the solve reads each
+  /// chain's non-Gauss members.
+  std::vector<int> gauss_chains;
+};
+
+FaultScheme generate_fault_scheme(const codes::Layout& layout,
+                                  const std::vector<codes::Cell>& lost);
+
 }  // namespace fbf::recovery

@@ -18,11 +18,14 @@ Disk::Disk(int id, const DiskParams& params, std::uint64_t seed)
   FBF_CHECK(params_.read_ms > 0 && params_.write_ms > 0,
             "disk latencies must be positive");
   FBF_CHECK(params_.capacity_chunks > 0, "disk capacity must be positive");
+  FBF_CHECK(params_.service_multiplier > 0.0,
+            "disk service multiplier must be positive");
 }
 
 double Disk::service_ms(std::uint64_t lba_chunk, bool is_write) {
   if (params_.kind == DiskModelKind::FixedLatency) {
-    return is_write ? params_.write_ms : params_.read_ms;
+    return (is_write ? params_.write_ms : params_.read_ms) *
+           params_.service_multiplier;
   }
   // Detailed model: seek grows with the square root of the head travel
   // distance (classic seek-curve approximation), plus expected rotational
@@ -40,7 +43,7 @@ double Disk::service_ms(std::uint64_t lba_chunk, bool is_write) {
   const double rotation = rng_.uniform_real(0.0, full_rotation_ms);
   const double transfer = transfer_time_ms(params_);
   head_lba_ = lba_chunk;
-  return seek + rotation + transfer;
+  return (seek + rotation + transfer) * params_.service_multiplier;
 }
 
 double Disk::enqueue(double now_ms, double service) {

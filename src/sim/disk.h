@@ -35,6 +35,10 @@ struct DiskParams {
   double transfer_MiBps = 150.0;
   std::uint64_t capacity_chunks = 1ull << 25;  ///< 1 TB of 32 KB chunks
   std::size_t chunk_bytes = 32 * 1024;
+
+  /// Straggler knob (sim/faults): every service time is scaled by this
+  /// factor. 1.0 — the default — is a healthy disk.
+  double service_multiplier = 1.0;
 };
 
 /// Time to move one chunk at the sustained media rate:

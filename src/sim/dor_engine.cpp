@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "codes/codec.h"
 #include "obs/observer.h"
 #include "obs/registry.h"
 #include "recovery/scheme.h"
@@ -27,6 +28,9 @@ struct ChainTask {
   std::vector<cache::Key> unconsumed;
   /// Member keys whose (re-)delivery this task is currently waiting on.
   std::unordered_set<cache::Key> awaiting;
+  /// Fault path: a Gauss-fallback task recovers all of these targets in
+  /// one solve (`target` is then unused and `chain_id` is -1).
+  std::vector<codes::Cell> gauss_targets;
   bool done = false;
 };
 
@@ -36,11 +40,18 @@ struct ChunkInfo {
   std::uint8_t priority = 1;
   bool lost = false;       ///< damaged chunk: only readable once recovered
   bool recovered = false;  ///< spare copy exists
+  /// Fault path: a spare write for this chunk is in flight (submitted,
+  /// SpareWriteDone pending) — replans must not re-target it.
+  bool write_pending = false;
+  /// Fault path: disk the live spare copy landed on (injector redirects
+  /// around dead disks); -1 means the geometry's default choice.
+  int spare_disk = -1;
 };
 
 struct PlannedRead {
   cache::Key key = 0;
   std::uint64_t lba = 0;
+  bool spare = false;  ///< read targets the spare copy, not the original
 };
 
 struct Reader {
@@ -67,13 +78,25 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
   obs::Histogram* response_hist_ptr =
       config_.observer != nullptr ? &response_hist : nullptr;
 
+  std::optional<FaultPlan> fault_plan;
+  std::optional<FaultInjector> injector;
+  if (config_.faults.enabled()) {
+    fault_plan.emplace(config_.faults, config_.seed, config_.obs_label,
+                       geometry_->num_disks());
+    injector.emplace(*fault_plan, metrics.fault);
+  }
+
   DiskParams dp = config_.disk;
   dp.chunk_bytes = config_.chunk_bytes;
   dp.capacity_chunks = geometry_->disk_capacity_chunks();
   std::vector<Disk> disks;
   disks.reserve(static_cast<std::size_t>(geometry_->num_disks()));
   for (int d = 0; d < geometry_->num_disks(); ++d) {
-    disks.emplace_back(d, dp,
+    DiskParams per_disk = dp;
+    if (fault_plan.has_value()) {
+      per_disk.service_multiplier = fault_plan->service_multiplier(d);
+    }
+    disks.emplace_back(d, per_disk,
                        config_.seed * 0x9e3779b97f4a7c15ull +
                            static_cast<std::uint64_t>(d));
   }
@@ -167,8 +190,13 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
   struct Event {
     double t;
     std::uint64_t seq;
-    enum class Kind : std::uint8_t { ReadDone, SpareWriteDone } kind;
-    std::uint32_t disk;  ///< ReadDone only
+    enum class Kind : std::uint8_t {
+      ReadDone,
+      SpareWriteDone,
+      ReadFailed,  ///< fault path: attempt budget exhausted / URE / dead disk
+      DiskFail,    ///< fault path: whole-disk failure at t (disk = victim)
+    } kind;
+    std::uint32_t disk;  ///< ReadDone/ReadFailed reader; SpareWriteDone target
     cache::Key key;
     bool operator>(const Event& o) const {
       return t > o.t || (t == o.t && seq > o.seq);
@@ -207,8 +235,18 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
     r.busy = true;
     const PlannedRead read = r.queue.front();
     r.queue.pop_front();
-    const double done = disks[d].submit_read(now, read.lba);
-    ++metrics.disk_reads;
+    double done;
+    bool ok = true;
+    if (injector.has_value()) {
+      const FaultInjector::ReadOutcome rr = injector->read(
+          disks[d], now, read.lba, read.key, !read.spare);
+      done = rr.done_ms;
+      ok = rr.ok;
+      metrics.disk_reads += static_cast<std::uint64_t>(rr.attempts);
+    } else {
+      done = disks[d].submit_read(now, read.lba);
+      ++metrics.disk_reads;
+    }
     metrics.response_ms.add(done - now + config_.cache_access_ms);
     metrics.response_reservoir.add(done - now + config_.cache_access_ms);
     if (response_hist_ptr != nullptr) {
@@ -222,7 +260,8 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
                       now * 1000.0, (done - now) * 1000.0, "stripe",
                       info.at(read.key).stripe);
     }
-    heap.push(Event{done, seq++, Event::Kind::ReadDone,
+    heap.push(Event{done, seq++,
+                    ok ? Event::Kind::ReadDone : Event::Kind::ReadFailed,
                     static_cast<std::uint32_t>(d), read.key});
   };
 
@@ -230,12 +269,14 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
     const ChunkInfo& ci = info.at(key);
     const bool spare = ci.lost;  // recovered chunks live in the spare area
     const auto d = static_cast<std::size_t>(
-        spare ? geometry_->spare_disk_of(ci.stripe, ci.cell)
+        spare ? (ci.spare_disk >= 0
+                     ? ci.spare_disk
+                     : geometry_->spare_disk_of(ci.stripe, ci.cell))
               : geometry_->disk_of(ci.stripe, ci.cell));
     const std::uint64_t lba = spare
                                   ? geometry_->spare_lba_of(ci.stripe, ci.cell)
                                   : geometry_->lba_of(ci.stripe, ci.cell);
-    readers[d].queue.push_back(PlannedRead{key, lba});
+    readers[d].queue.push_back(PlannedRead{key, lba, spare});
     kick_reader(d, now);
   };
 
@@ -283,48 +324,309 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
     obs::trace_span(config_.observer, obs::TraceLevel::Fine, obs::kPidSim, 0,
                     "chain_fold", "xor", now * 1000.0, (xor_done - now) * 1000.0,
                     "stripe", task.stripe);
-    const auto d = static_cast<std::size_t>(
-        geometry_->spare_disk_of(task.stripe, task.target));
-    const double write_done = disks[d].submit_write(
-        xor_done, geometry_->spare_lba_of(task.stripe, task.target));
-    ++metrics.disk_writes;
-    ++metrics.chunks_recovered;
-    obs::trace_span(config_.observer, obs::TraceLevel::Phases, obs::kPidDisks,
-                    static_cast<std::uint32_t>(d), "spare_write", "disk",
-                    xor_done * 1000.0, (write_done - xor_done) * 1000.0,
-                    "stripe", task.stripe);
-    makespan = std::max(makespan, write_done);
-    const cache::Key tkey = geometry_->chunk_key(task.stripe, task.target);
-    heap.push(Event{write_done, seq++, Event::Kind::SpareWriteDone,
-                    /*disk=*/0, tkey});
+    // One write per recovered target (a Gauss task solves several in one
+    // fold). The injector redirects spare writes around dead disks.
+    auto write_target = [&](codes::Cell target) {
+      const auto d = static_cast<std::size_t>(
+          injector.has_value()
+              ? injector->spare_disk(*geometry_, task.stripe, target, xor_done)
+              : geometry_->spare_disk_of(task.stripe, target));
+      const double write_done = disks[d].submit_write(
+          xor_done, geometry_->spare_lba_of(task.stripe, target));
+      ++metrics.disk_writes;
+      ++metrics.chunks_recovered;
+      obs::trace_span(config_.observer, obs::TraceLevel::Phases,
+                      obs::kPidDisks, static_cast<std::uint32_t>(d),
+                      "spare_write", "disk", xor_done * 1000.0,
+                      (write_done - xor_done) * 1000.0, "stripe", task.stripe);
+      makespan = std::max(makespan, write_done);
+      const cache::Key tkey = geometry_->chunk_key(task.stripe, target);
+      info.at(tkey).write_pending = true;
+      heap.push(Event{write_done, seq++, Event::Kind::SpareWriteDone,
+                      static_cast<std::uint32_t>(d), tkey});
+    };
+    if (task.gauss_targets.empty()) {
+      write_target(task.target);
+    } else {
+      for (const codes::Cell& target : task.gauss_targets) {
+        write_target(target);
+      }
+    }
+  };
+
+  // ---- Fault path: re-planning around mid-recovery losses. ----
+  auto failed_disks_at = [&](double now) {
+    std::vector<int> failed;
+    if (fault_plan.has_value()) {
+      for (const DiskFailure& f : fault_plan->disk_failures()) {
+        if (f.at_ms <= now) {
+          failed.push_back(f.disk);
+        }
+      }
+    }
+    return failed;
+  };
+
+  // Re-plans one stripe: abandons its unfinished chains and covers every
+  // still-outstanding loss with a fresh peeling plan plus Gauss fallback.
+  // Throws EscalationError when the lost set exceeds the erasure budget.
+  auto replan_stripe = [&](std::uint64_t stripe, double now) {
+    for (ChainTask& task : tasks) {
+      if (task.stripe == stripe && !task.done) {
+        task.done = true;  // superseded by the new plan
+        ++tasks_done;
+      }
+    }
+    std::vector<codes::Cell> outstanding;
+    for (const auto& [key, ci] : info) {
+      if (ci.stripe == stripe && ci.lost && !ci.recovered &&
+          !ci.write_pending) {
+        outstanding.push_back(ci.cell);
+      }
+    }
+    std::sort(outstanding.begin(), outstanding.end());
+    if (outstanding.empty()) {
+      return;  // every loss has (or is about to have) a live spare copy
+    }
+    if (!codes::erasure_decodable(*layout_, outstanding)) {
+      throw EscalationError(stripe, std::move(outstanding),
+                            failed_disks_at(now));
+    }
+    const recovery::FaultScheme fs =
+        recovery::generate_fault_scheme(*layout_, outstanding);
+    ++metrics.schemes_generated;
+    if (!fs.gauss_cells.empty()) {
+      ++metrics.fault.gauss_fallbacks;
+    }
+    const std::size_t first_new = tasks.size();
+    // Adds one task over `members`: losses still pending recovery are
+    // awaited (their SpareWriteDone wakes us), buffered chunks are left
+    // for consumption time, everything else is fetched — a late planned
+    // read for the accounting laws.
+    auto add_task = [&](ChainTask task,
+                        const std::vector<codes::Cell>& members) {
+      const std::size_t tindex = tasks.size();
+      for (const codes::Cell& c : members) {
+        const cache::Key key = geometry_->chunk_key(stripe, c);
+        const auto cidx = static_cast<std::size_t>(layout_->cell_index(c));
+        auto [it, fresh] = info.try_emplace(key);
+        if (fresh) {
+          it->second.stripe = stripe;
+          it->second.cell = c;
+          it->second.priority =
+              std::max<std::uint8_t>(fs.scheme.priority[cidx], 1);
+        }
+        task.unconsumed.push_back(key);
+        ++task.n_members;
+        waiters[key].push_back(tindex);
+        const ChunkInfo& ci = it->second;
+        if (ci.lost && !ci.recovered) {
+          task.awaiting.insert(key);
+        } else if (!cache->contains(key)) {
+          task.awaiting.insert(key);
+          const bool spare = ci.lost;
+          const auto d = static_cast<std::size_t>(
+              spare ? (ci.spare_disk >= 0
+                           ? ci.spare_disk
+                           : geometry_->spare_disk_of(stripe, c))
+                    : geometry_->disk_of(stripe, c));
+          const std::uint64_t lba = spare
+                                        ? geometry_->spare_lba_of(stripe, c)
+                                        : geometry_->lba_of(stripe, c);
+          readers[d].queue.push_back(PlannedRead{key, lba, spare});
+          ++metrics.planned_disk_reads;
+          kick_reader(d, now);
+        }
+      }
+      auto register_target = [&](codes::Cell target) {
+        const cache::Key tkey = geometry_->chunk_key(stripe, target);
+        const auto tidx =
+            static_cast<std::size_t>(layout_->cell_index(target));
+        auto [it, fresh] = info.try_emplace(tkey);
+        if (fresh) {
+          it->second.stripe = stripe;
+          it->second.cell = target;
+          it->second.priority =
+              std::max<std::uint8_t>(fs.scheme.priority[tidx], 1);
+        }
+        it->second.lost = true;
+      };
+      if (task.gauss_targets.empty()) {
+        register_target(task.target);
+      } else {
+        for (const codes::Cell& t : task.gauss_targets) {
+          register_target(t);
+        }
+      }
+      tasks.push_back(std::move(task));
+    };
+    for (const recovery::RecoveryStep& step : fs.scheme.steps) {
+      ChainTask task;
+      task.stripe = stripe;
+      task.target = step.target;
+      task.chain_id = step.chain_id;
+      const auto tidx =
+          static_cast<std::size_t>(layout_->cell_index(step.target));
+      task.target_priority =
+          std::max<std::uint8_t>(fs.scheme.priority[tidx], 1);
+      std::vector<codes::Cell> members;
+      for (const codes::Cell& c : layout_->chain(step.chain_id).cells) {
+        if (!(c == step.target)) {
+          members.push_back(c);
+        }
+      }
+      add_task(std::move(task), members);
+    }
+    if (!fs.gauss_cells.empty()) {
+      // One multi-target task: the Gauss solve folds the distinct known
+      // members of every involved chain and recovers all its cells.
+      ChainTask task;
+      task.stripe = stripe;
+      task.gauss_targets = fs.gauss_cells;
+      std::vector<bool> is_gauss(
+          static_cast<std::size_t>(layout_->num_cells()), false);
+      for (const codes::Cell& c : fs.gauss_cells) {
+        is_gauss[static_cast<std::size_t>(layout_->cell_index(c))] = true;
+      }
+      std::vector<bool> seen(static_cast<std::size_t>(layout_->num_cells()),
+                             false);
+      std::vector<codes::Cell> members;
+      for (int chain_id : fs.gauss_chains) {
+        for (const codes::Cell& c : layout_->chain(chain_id).cells) {
+          const auto idx = static_cast<std::size_t>(layout_->cell_index(c));
+          if (is_gauss[idx] || seen[idx]) {
+            continue;
+          }
+          seen[idx] = true;
+          members.push_back(c);
+        }
+      }
+      add_task(std::move(task), members);
+    }
+    for (std::size_t t = first_new; t < tasks.size(); ++t) {
+      if (tasks[t].awaiting.empty() && !tasks[t].done) {
+        attempt_completion(
+            t, now,
+            tasks[t].unconsumed.empty() ? 0 : tasks[t].unconsumed.front());
+      }
+    }
+  };
+
+  // A read hard-failed: the chunk (survivor or spare copy) is unreadable
+  // and its stripe must be re-planned around the loss.
+  auto hard_read_failure = [&](cache::Key key, double now) {
+    ChunkInfo& ci = info.at(key);
+    if (ci.lost && !ci.recovered) {
+      return;  // already pending recovery: a stale queued read drained
+    }
+    ++metrics.fault.replans;
+    ++metrics.fault.extra_lost_chunks;
+    if (ci.lost) {
+      ci.recovered = false;  // spare copy unreadable: recover again
+      ci.spare_disk = -1;
+    } else {
+      ci.lost = true;  // surviving chunk unreadable: joins the lost set
+    }
+    replan_stripe(ci.stripe, now);
   };
 
   for (std::size_t d = 0; d < readers.size(); ++d) {
     kick_reader(d, 0.0);
   }
+  if (fault_plan.has_value()) {
+    for (const DiskFailure& f : fault_plan->disk_failures()) {
+      heap.push(Event{f.at_ms, seq++, Event::Kind::DiskFail,
+                      static_cast<std::uint32_t>(f.disk), 0});
+    }
+  }
   while (!heap.empty()) {
     const Event ev = heap.top();
     heap.pop();
-    makespan = std::max(makespan, ev.t);
+    if (ev.kind != Event::Kind::DiskFail) {
+      // A failure alone does not extend reconstruction; the work it
+      // triggers does.
+      makespan = std::max(makespan, ev.t);
+    }
     switch (ev.kind) {
       case Event::Kind::ReadDone:
         deliver(ev.key, ev.t);
         readers[ev.disk].busy = false;
         kick_reader(ev.disk, ev.t);
         break;
-      case Event::Kind::SpareWriteDone:
+      case Event::Kind::SpareWriteDone: {
         // The recovered chunk becomes available: buffer it and wake
         // chains that were waiting on the lost cell.
-        info.at(ev.key).recovered = true;
+        ChunkInfo& ci = info.at(ev.key);
+        ci.recovered = true;
+        ci.write_pending = false;
+        ci.spare_disk = static_cast<int>(ev.disk);
         deliver(ev.key, ev.t);
         break;
+      }
+      case Event::Kind::ReadFailed:
+        // Free the reader first: the replan may enqueue onto this disk.
+        readers[ev.disk].busy = false;
+        kick_reader(ev.disk, ev.t);
+        hard_read_failure(ev.key, ev.t);
+        break;
+      case Event::Kind::DiskFail: {
+        ++metrics.fault.disk_failures;
+        const int failed = static_cast<int>(ev.disk);
+        // Escalation: every traced stripe with a column on the failed
+        // disk gains that column as fresh losses (minus live spares) and
+        // is re-planned while the erasure budget permits.
+        for (const workload::StripeError& traced : errors) {
+          int col = -1;
+          for (int c = 0; c < layout_->cols(); ++c) {
+            if (geometry_->disk_of(traced.stripe,
+                                   codes::Cell{0, static_cast<std::int16_t>(
+                                                      c)}) == failed) {
+              col = c;
+              break;
+            }
+          }
+          if (col < 0) {
+            continue;  // the failed disk holds no column of this stripe
+          }
+          ++metrics.fault.escalated_stripes;
+          for (int r = 0; r < layout_->rows(); ++r) {
+            const codes::Cell cell{static_cast<std::int16_t>(r),
+                                   static_cast<std::int16_t>(col)};
+            const cache::Key key = geometry_->chunk_key(traced.stripe, cell);
+            auto [it, fresh] = info.try_emplace(key);
+            ChunkInfo& ci = it->second;
+            if (fresh) {
+              ci.stripe = traced.stripe;
+              ci.cell = cell;
+              ci.priority = 1;
+            }
+            if (!ci.lost) {
+              ci.lost = true;  // original copy was homed on the dead disk
+              ++metrics.fault.extra_lost_chunks;
+            } else if (ci.recovered &&
+                       (ci.spare_disk >= 0
+                            ? ci.spare_disk
+                            : geometry_->spare_disk_of(traced.stripe,
+                                                       cell)) == failed) {
+              ci.recovered = false;  // spare copy died with the disk
+              ci.spare_disk = -1;
+              ++metrics.fault.extra_lost_chunks;
+            }
+          }
+          replan_stripe(traced.stripe, ev.t);
+        }
+        break;
+      }
     }
   }
   FBF_CHECK(tasks_done == tasks.size(),
             "DOR finished with incomplete chains — dependency deadlock");
 
   metrics.reconstruction_ms = makespan;
-  metrics.stripes_recovered = errors.size();
+  // Escalation passes count like SOR's synthetic stripe entries so the
+  // validation law stripes == errors + escalations holds in both engines.
+  metrics.stripes_recovered =
+      errors.size() + metrics.fault.escalated_stripes;
   metrics.cache = cache->stats();
   for (const Disk& d : disks) {
     metrics.disk_busy_ms.push_back(d.stats().busy_ms);

@@ -26,6 +26,7 @@
 #include "recovery/scheme_cache.h"
 #include "sim/array_geometry.h"
 #include "sim/disk.h"
+#include "sim/faults/faults.h"
 #include "sim/metrics.h"
 #include "workload/errors.h"
 
@@ -46,6 +47,11 @@ struct DorConfig {
   double xor_ms_per_chunk = 0.05;
   DiskParams disk;
   std::uint64_t seed = 1;
+
+  /// Fault injection (sim/faults). Disabled by default; when
+  /// faults.enabled() is false the engine takes the exact pre-fault code
+  /// path and produces byte-identical metrics.
+  FaultConfig faults;
 
   /// Optional run-level observability sink (not owned); see
   /// ReconstructionConfig::observer.

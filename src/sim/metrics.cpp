@@ -42,6 +42,21 @@ void record_run(obs::RunObserver* obs, const std::string& label,
   reg.add_counter("run.scheme_cache_hits", m.scheme_cache_hits);
   reg.add_counter("run.app_requests", m.app_requests);
   reg.add_counter("run.app_degraded_reads", m.app_degraded_reads);
+  if (m.fault.enabled) {
+    // Only fault-injected runs export these: the no-fault metrics document
+    // must stay byte-identical to builds that predate the fault layer.
+    reg.add_counter("run.fault.runs", 1);
+    reg.add_counter("run.fault.sector_errors", m.fault.sector_errors);
+    reg.add_counter("run.fault.transient_failures", m.fault.transient_failures);
+    reg.add_counter("run.fault.retries", m.fault.retries);
+    reg.add_counter("run.fault.dead_disk_reads", m.fault.dead_disk_reads);
+    reg.add_counter("run.fault.replans", m.fault.replans);
+    reg.add_counter("run.fault.gauss_fallbacks", m.fault.gauss_fallbacks);
+    reg.add_counter("run.fault.disk_failures", m.fault.disk_failures);
+    reg.add_counter("run.fault.escalated_stripes", m.fault.escalated_stripes);
+    reg.add_counter("run.fault.extra_lost_chunks", m.fault.extra_lost_chunks);
+    reg.add_counter("run.fault.straggler_disks", m.fault.straggler_disks);
+  }
 
   reg.set_gauge(label + ".hit_ratio", m.hit_ratio());
   reg.set_gauge(label + ".avg_response_ms", m.response_ms.mean());

@@ -15,6 +15,31 @@ class RunObserver;
 
 namespace fbf::sim {
 
+/// Counters from the fault-injection layer (sim/faults/faults.h). All zero
+/// — and `enabled` false — on the default no-fault path, where the export
+/// and the conservation laws reduce to their pre-fault forms.
+struct FaultStats {
+  /// True when the run executed with a non-empty fault plan. Gates the
+  /// `run.fault.*` export so fault-free metrics JSON is byte-identical to
+  /// builds that predate the fault layer.
+  bool enabled = false;
+
+  std::uint64_t sector_errors = 0;      ///< latent-sector-error read failures
+  std::uint64_t transient_failures = 0; ///< failed read attempts (pre-retry)
+  std::uint64_t retries = 0;            ///< extra read attempts beyond the first
+  std::uint64_t dead_disk_reads = 0;    ///< attempts that timed out on a failed disk
+  std::uint64_t replans = 0;            ///< stripes re-planned around a new loss
+  std::uint64_t gauss_fallbacks = 0;    ///< replans that needed the Gauss solver
+  std::uint64_t disk_failures = 0;      ///< whole-disk failures injected
+  std::uint64_t escalated_stripes = 0;  ///< stripes added by disk-failure escalation
+  /// Chunk-loss events beyond the error trace: a surviving chunk lost to a
+  /// URE or disk failure, or a spare copy lost with its disk. Each such
+  /// chunk is recovered (again), so
+  /// chunks_recovered == trace losses + extra_lost_chunks.
+  std::uint64_t extra_lost_chunks = 0;
+  std::uint64_t straggler_disks = 0;    ///< disks running with a service multiplier
+};
+
 struct SimMetrics {
   // Metric 1: cache hit ratio during reconstruction.
   cache::CacheStats cache;
@@ -53,6 +78,10 @@ struct SimMetrics {
   /// wait for reconstruction — the user-visible window-of-vulnerability
   /// cost.
   std::uint64_t app_degraded_reads = 0;
+
+  // Fault-injection accounting (zeroed/disabled unless the run carried a
+  // fault plan); see sim/faults/faults.h.
+  FaultStats fault;
 
   // Per-disk load: busy milliseconds and op counts, index = disk id. The
   // failed column's disk carries all spare writes and is usually the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
@@ -36,8 +37,20 @@ struct ReconstructionEngine::Worker {
   /// due at this worker's next event time, keeping disk submissions in
   /// simulated-time order.
   bool completion_pending = false;
+  /// True while an event for this worker sits in the run() heap — lets a
+  /// disk-failure escalation wake a retired worker exactly once.
+  bool event_pending = false;
+  /// Fault path: the current pass is an escalation entry (its outstanding
+  /// losses count as extra_lost_chunks, not trace losses).
+  bool escalation = false;
+  /// Fault path: the Gauss solve of the current plan has been verified
+  /// (verify_data mode charges it once, at the first Gauss-step write).
+  bool gauss_verified = false;
   std::uint64_t stripe = 0;
   std::shared_ptr<const recovery::RecoveryScheme> scheme;
+  /// Fault path: owns the fault plan when the current pass was re-planned
+  /// (scheme then aliases fault_scheme->scheme); null on the baseline path.
+  std::shared_ptr<const recovery::FaultScheme> fault_scheme;
   /// Reused across stripes: build_request_sequence refills in place.
   std::vector<ChunkOp> ops;
   std::size_t op_idx = 0;
@@ -70,21 +83,77 @@ ReconstructionEngine::ReconstructionEngine(const codes::Layout& layout,
     : layout_(&layout), geometry_(&geometry), config_(config) {
   FBF_CHECK(config_.workers > 0, "need at least one worker");
   FBF_CHECK(config_.chunk_bytes > 0, "chunk size must be positive");
+  if (config_.faults.enabled()) {
+    fault_plan_.emplace(config_.faults, config_.seed, config_.obs_label,
+                        geometry.num_disks());
+  }
   DiskParams dp = config_.disk;
   dp.chunk_bytes = config_.chunk_bytes;
   dp.capacity_chunks = geometry.disk_capacity_chunks();
   disks_.reserve(static_cast<std::size_t>(geometry.num_disks()));
   for (int d = 0; d < geometry.num_disks(); ++d) {
-    disks_.emplace_back(d, dp,
+    DiskParams per_disk = dp;
+    if (fault_plan_.has_value()) {
+      per_disk.service_multiplier = fault_plan_->service_multiplier(d);
+    }
+    disks_.emplace_back(d, per_disk,
                         config_.seed * 0x100000001b3ull +
                             static_cast<std::uint64_t>(d));
   }
   scheme_cache_ = std::make_unique<recovery::SchemeCache>(layout);
 }
 
-void ReconstructionEngine::start_next_stripe(Worker& w, SimMetrics& metrics) {
+void ReconstructionEngine::start_next_stripe(Worker& w, SimMetrics& metrics,
+                                             double now) {
   const workload::StripeError& err = *w.assigned[w.error_idx];
   w.stripe = err.stripe;
+
+  if (injector_ != nullptr) {
+    w.escalation = escalation_errors_.count(&err) > 0;
+    // Cells with a live spare copy (recovered by an earlier pass over this
+    // stripe) are already safe; only the rest are outstanding.
+    std::vector<codes::Cell> outstanding;
+    for (const codes::Cell& c : err.error.cells()) {
+      if (!spared_live(geometry_->chunk_key(err.stripe, c), now)) {
+        outstanding.push_back(c);
+      }
+    }
+    if (w.escalation) {
+      metrics.fault.extra_lost_chunks +=
+          static_cast<std::uint64_t>(outstanding.size());
+    }
+    const std::size_t fault_words =
+        (static_cast<std::size_t>(layout_->num_cells()) + 63) / 64;
+    w.recovered.assign(fault_words, 0);
+    w.op_idx = 0;
+    w.reads_in_step = 0;
+    w.active = true;
+    if (outstanding.empty()) {
+      w.ops.clear();  // trivial pass: everything already has a live spare
+      w.scheme.reset();
+      w.fault_scheme.reset();
+      return;
+    }
+    if (config_.verify_data) {
+      util::Rng rng(0x5eedull ^ w.stripe);
+      w.truth = std::make_unique<codes::StripeData>(
+          *layout_, config_.verify_chunk_bytes);
+      w.truth->fill_random(rng);
+      codes::encode(*w.truth);
+      w.working = std::make_unique<codes::StripeData>(*w.truth);
+      for (const codes::Cell& c : outstanding) {
+        w.working->erase(c);
+      }
+    }
+    // A fresh, untouched trace error keeps the configured scheme so a run
+    // whose faults never fire stays comparable to the baseline; anything
+    // else (escalations, partially recovered stripes) is re-planned.
+    const bool fresh_trace =
+        !w.escalation && outstanding.size() == err.error.cells().size();
+    plan_fault_stripe(w, std::move(outstanding), metrics,
+                      /*replan=*/!fresh_trace, now);
+    return;
+  }
 
   const bool trace_gen = obs::tracing(config_.observer, obs::TraceLevel::Fine);
   const double gen_start_us =
@@ -154,6 +223,130 @@ void ReconstructionEngine::verify_recovered_chunk(
                 std::to_string(w.stripe));
 }
 
+bool ReconstructionEngine::spared_live(std::uint64_t key, double now) const {
+  const auto it = spared_on_.find(key);
+  return it != spared_on_.end() && !fault_plan_->disk_failed(it->second, now);
+}
+
+std::vector<int> ReconstructionEngine::failed_disks_at(double now) const {
+  std::vector<int> failed;
+  if (fault_plan_.has_value()) {
+    for (const DiskFailure& f : fault_plan_->disk_failures()) {
+      if (f.at_ms <= now) {
+        failed.push_back(f.disk);
+      }
+    }
+  }
+  return failed;
+}
+
+void ReconstructionEngine::plan_fault_stripe(
+    Worker& w, std::vector<codes::Cell> outstanding, SimMetrics& metrics,
+    bool replan, double now) {
+  std::sort(outstanding.begin(), outstanding.end());
+  outstanding.erase(std::unique(outstanding.begin(), outstanding.end()),
+                    outstanding.end());
+  if (!codes::erasure_decodable(*layout_, outstanding)) {
+    throw EscalationError(w.stripe, std::move(outstanding),
+                          failed_disks_at(now));
+  }
+  w.gauss_verified = false;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (!replan) {
+    // Fresh trace error: the configured scheme, memoized like the
+    // baseline path.
+    const workload::StripeError& err = *w.assigned[w.error_idx];
+    w.fault_scheme.reset();
+    if (config_.memoize_schemes) {
+      const auto before_misses = scheme_cache_->misses();
+      w.scheme = scheme_cache_->get(err.error, config_.scheme);
+      if (scheme_cache_->misses() > before_misses) {
+        ++metrics.schemes_generated;
+      } else {
+        ++metrics.scheme_cache_hits;
+      }
+    } else {
+      w.scheme = std::make_shared<const recovery::RecoveryScheme>(
+          recovery::generate_scheme(*layout_, err.error, config_.scheme));
+      ++metrics.schemes_generated;
+    }
+    recovery::build_request_sequence(*layout_, *w.scheme, w.ops);
+  } else {
+    auto fs = std::make_shared<recovery::FaultScheme>(
+        recovery::generate_fault_scheme(*layout_, outstanding));
+    ++metrics.schemes_generated;
+    if (!fs->gauss_cells.empty()) {
+      ++metrics.fault.gauss_fallbacks;
+    }
+    // w.scheme aliases the peelable part so the shared WriteSpare path can
+    // index steps without knowing a fault plan is active.
+    w.scheme = std::shared_ptr<const recovery::RecoveryScheme>(fs, &fs->scheme);
+    recovery::build_request_sequence(*layout_, fs->scheme, w.ops);
+    recovery::append_gauss_ops(*layout_, *fs, w.ops);
+    w.fault_scheme = std::move(fs);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  metrics.scheme_gen_wall_ms +=
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+double ReconstructionEngine::handle_read_failure(Worker& w, codes::Cell cell,
+                                                 double t,
+                                                 SimMetrics& metrics) {
+  ++metrics.fault.replans;
+  // Whether the cell was a pristine survivor or a previously recovered
+  // chunk whose spare copy died, one more recovery write is now due.
+  ++metrics.fault.extra_lost_chunks;
+  spared_on_.erase(geometry_->chunk_key(w.stripe, cell));
+  const auto cidx = static_cast<std::size_t>(layout_->cell_index(cell));
+  w.recovered[cidx >> 6] &= ~(std::uint64_t{1} << (cidx & 63));
+
+  // Outstanding = every not-yet-recovered target of the current plan plus
+  // the cell that just became unreadable.
+  std::vector<codes::Cell> outstanding;
+  for (const recovery::RecoveryStep& step : w.scheme->steps) {
+    if (!w.is_recovered(
+            static_cast<std::size_t>(layout_->cell_index(step.target)))) {
+      outstanding.push_back(step.target);
+    }
+  }
+  if (w.fault_scheme != nullptr) {
+    for (const codes::Cell& c : w.fault_scheme->gauss_cells) {
+      if (!w.is_recovered(
+              static_cast<std::size_t>(layout_->cell_index(c)))) {
+        outstanding.push_back(c);
+      }
+    }
+  }
+  outstanding.push_back(cell);
+  if (config_.verify_data) {
+    w.working->erase(cell);
+  }
+  w.reads_in_step = 0;
+  w.op_idx = 0;
+  plan_fault_stripe(w, std::move(outstanding), metrics, /*replan=*/true, t);
+  return t;
+}
+
+void ReconstructionEngine::verify_gauss_cells(Worker& w) {
+  FBF_CHECK(w.fault_scheme != nullptr,
+            "Gauss-step write without a fault scheme");
+  const codes::DecodeResult res =
+      codes::decode_erasures(*w.working, w.fault_scheme->gauss_cells,
+                             codes::DecodeMethod::GaussOnly);
+  FBF_CHECK(res.ok, "Gauss fallback could not solve stripe " +
+                        std::to_string(w.stripe));
+  for (const codes::Cell& c : w.fault_scheme->gauss_cells) {
+    const auto out = w.working->chunk(c);
+    const auto expected = w.truth->chunk(c);
+    FBF_CHECK(std::equal(out.begin(), out.end(), expected.begin()),
+              "Gauss-recovered chunk " + codes::to_string(c) +
+                  " does not match the original in stripe " +
+                  std::to_string(w.stripe));
+  }
+  w.gauss_verified = true;
+}
+
 std::optional<double> ReconstructionEngine::advance(Worker& w, double now,
                                                     SimMetrics& metrics) {
   if (w.completion_pending) {
@@ -177,8 +370,16 @@ std::optional<double> ReconstructionEngine::advance(Worker& w, double now,
     if (now < detect) {
       return detect;  // error not yet discovered; sleep until then
     }
-    start_next_stripe(w, metrics);
+    start_next_stripe(w, metrics, now);
     w.stripe_start_ms = now;
+    if (w.ops.empty()) {
+      // Fault path: nothing outstanding (all cells already have live
+      // spares); complete the pass at the next event.
+      w.active = false;
+      w.completion_pending = true;
+      ++w.error_idx;
+      return now;
+    }
   }
 
   FBF_CHECK(w.op_idx < w.ops.size(), "worker advanced past its op list");
@@ -192,6 +393,36 @@ std::optional<double> ReconstructionEngine::advance(Worker& w, double now,
     const bool hit = w.cache->request(key, op.priority);
     if (hit) {
       next = now + config_.cache_access_ms;
+    } else if (injector_ != nullptr) {
+      // Fault path: previously recovered chunks live wherever their spare
+      // write landed (spared_on_ spans passes and replans); every attempt
+      // is a real disk submission so the per-disk laws stay exact.
+      const auto spare_it = spared_on_.find(key);
+      const bool from_spare = spare_it != spared_on_.end();
+      const std::uint64_t lba = from_spare
+                                    ? geometry_->spare_lba_of(w.stripe, op.cell)
+                                    : geometry_->lba_of(w.stripe, op.cell);
+      const int disk_id = from_spare ? spare_it->second
+                                     : geometry_->disk_of(w.stripe, op.cell);
+      Disk& disk = disks_[static_cast<std::size_t>(disk_id)];
+      const FaultInjector::ReadOutcome rr =
+          injector_->read(disk, now, lba, key, !from_spare);
+      metrics.disk_reads += static_cast<std::uint64_t>(rr.attempts);
+      obs::trace_span(config_.observer, obs::TraceLevel::Fine, obs::kPidDisks,
+                      static_cast<std::uint32_t>(disk_id), "disk_read", "disk",
+                      now * 1000.0, (rr.done_ms - now) * 1000.0, "stripe",
+                      w.stripe);
+      next = rr.done_ms + config_.cache_access_ms;
+      if (!rr.ok) {
+        metrics.response_ms.add(next - now);
+        metrics.response_reservoir.add(next - now);
+        if (response_hist_ != nullptr) {
+          response_hist_->add(next - now);
+        }
+        // The chunk is unreadable: it joins the lost set and the stripe is
+        // re-planned around it from time `next` on.
+        return handle_read_failure(w, op.cell, next, metrics);
+      }
     } else {
       const auto cell_idx =
           static_cast<std::size_t>(layout_->cell_index(op.cell));
@@ -218,19 +449,31 @@ std::optional<double> ReconstructionEngine::advance(Worker& w, double now,
       response_hist_->add(next - now);
     }
   } else {  // WriteSpare: XOR the step's sources, then async spare write
+    // Gauss-step writes charge the whole solve's sources at the first
+    // write (reads_in_step accumulated them); later ones cost nothing.
     const double xor_done =
         now + config_.xor_ms_per_chunk * static_cast<double>(w.reads_in_step);
     w.reads_in_step = 0;
-    const recovery::RecoveryStep& step =
-        w.scheme->steps[static_cast<std::size_t>(op.step)];
     if (config_.verify_data) {
-      verify_recovered_chunk(w, step);
+      if (op.step == recovery::kGaussStep) {
+        if (!w.gauss_verified) {
+          verify_gauss_cells(w);
+        }
+      } else {
+        verify_recovered_chunk(
+            w, w.scheme->steps[static_cast<std::size_t>(op.step)]);
+      }
     }
     obs::trace_span(config_.observer, obs::TraceLevel::Fine, obs::kPidSim,
                     static_cast<std::uint32_t>(w.id), "xor_fold", "xor",
                     now * 1000.0, (xor_done - now) * 1000.0, "stripe",
                     w.stripe);
-    const int spare_disk = geometry_->spare_disk_of(w.stripe, op.cell);
+    // With disk failures in play the geometry's spare target may be dead;
+    // the injector redirects to the next live disk.
+    const int spare_disk =
+        injector_ != nullptr
+            ? injector_->spare_disk(*geometry_, w.stripe, op.cell, xor_done)
+            : geometry_->spare_disk_of(w.stripe, op.cell);
     Disk& disk = disks_[static_cast<std::size_t>(spare_disk)];
     const double write_done = disk.submit_write(
         xor_done, geometry_->spare_lba_of(w.stripe, op.cell));
@@ -245,6 +488,9 @@ std::optional<double> ReconstructionEngine::advance(Worker& w, double now,
     metrics.reconstruction_ms =
         std::max(metrics.reconstruction_ms, write_done);
     w.mark_recovered(static_cast<std::size_t>(layout_->cell_index(op.cell)));
+    if (injector_ != nullptr) {
+      spared_on_[geometry_->chunk_key(w.stripe, op.cell)] = spare_disk;
+    }
     // The recovered chunk sits in the buffer; later chains may reuse it.
     w.cache->install(geometry_->chunk_key(w.stripe, op.cell), op.priority);
     next = config_.synchronous_spare_writes ? write_done : xor_done;
@@ -269,15 +515,40 @@ SimMetrics ReconstructionEngine::run(
   obs::Histogram response_hist;
   response_hist_ = config_.observer != nullptr ? &response_hist : nullptr;
 
-  // SOR assignment: stripes dealt round-robin across worker processes.
+  // Run-scoped fault state. The guard also covers the EscalationError
+  // unwind path: the injector references run-local FaultStats and must not
+  // outlive this frame.
+  struct RunStateGuard {
+    ReconstructionEngine* engine;
+    ~RunStateGuard() {
+      engine->injector_.reset();
+      engine->response_hist_ = nullptr;
+    }
+  } run_guard{this};
+  spared_on_.clear();
+  escalation_storage_.clear();
+  escalation_errors_.clear();
+  if (fault_plan_.has_value()) {
+    injector_ = std::make_unique<FaultInjector>(*fault_plan_, metrics.fault);
+  }
+  const bool has_disk_failures =
+      fault_plan_.has_value() && !fault_plan_->disk_failures().empty();
+
+  // SOR assignment: stripes dealt round-robin across worker processes. A
+  // whole-disk failure escalates a traced stripe by appending a synthetic
+  // error to the *owning* worker, keeping per-stripe passes sequential.
   std::vector<Worker> workers(static_cast<std::size_t>(config_.workers));
   const std::size_t capacity = config_.per_worker_capacity();
   for (std::size_t i = 0; i < workers.size(); ++i) {
     workers[i].id = static_cast<int>(i);
     workers[i].cache = cache::make_policy(config_.policy, capacity);
   }
+  std::unordered_map<std::uint64_t, std::size_t> stripe_owner;
   for (std::size_t e = 0; e < errors.size(); ++e) {
     workers[e % workers.size()].assigned.push_back(&errors[e]);
+    if (has_disk_failures) {
+      stripe_owner.emplace(errors[e].stripe, e % workers.size());
+    }
   }
 
   // Degraded-read bookkeeping: app reads touching a damaged chunk park
@@ -335,19 +606,72 @@ SimMetrics ReconstructionEngine::run(
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap(
       std::greater<Event>{}, std::move(heap_storage));
   std::uint64_t seq = 0;
-  for (const Worker& w : workers) {
+  for (Worker& w : workers) {
     if (!w.assigned.empty()) {
       heap.push(Event{0.0, w.id, seq++});
+      w.event_pending = true;
     }
   }
   for (std::size_t i = 0; i < app_trace.size(); ++i) {
     heap.push(Event{app_trace[i].arrival_ms, ~static_cast<int>(i), seq++});
+  }
+  // Disk-failure events use ids at the bottom of the int range, below the
+  // ~i encoding of any realistic app trace.
+  constexpr int kFailBase = std::numeric_limits<int>::min();
+  int num_disk_failures = 0;
+  if (has_disk_failures) {
+    num_disk_failures = static_cast<int>(fault_plan_->disk_failures().size());
+    FBF_CHECK(app_trace.size() <=
+                  static_cast<std::size_t>(std::numeric_limits<int>::max()) -
+                      static_cast<std::size_t>(num_disk_failures),
+              "app trace too large to coexist with disk-failure events");
+    for (int k = 0; k < num_disk_failures; ++k) {
+      heap.push(
+          Event{fault_plan_->disk_failures()[static_cast<std::size_t>(k)].at_ms,
+                kFailBase + k, seq++});
+    }
   }
 
   double makespan = 0.0;
   while (!heap.empty()) {
     const Event ev = heap.top();
     heap.pop();
+    if (ev.worker < kFailBase + num_disk_failures) {
+      // Whole-disk failure: every traced stripe gains the failed disk's
+      // column as fresh losses, processed as a synthetic error by the
+      // stripe's owning worker after its earlier passes.
+      const DiskFailure& failure = fault_plan_->disk_failures()
+          [static_cast<std::size_t>(ev.worker - kFailBase)];
+      ++metrics.fault.disk_failures;
+      for (const workload::StripeError& traced : errors) {
+        int col = -1;
+        for (int c = 0; c < layout_->cols(); ++c) {
+          if (geometry_->disk_of(traced.stripe,
+                                 codes::Cell{0, static_cast<std::int16_t>(
+                                                    c)}) == failure.disk) {
+            col = c;
+            break;
+          }
+        }
+        if (col < 0) {
+          continue;  // the failed disk holds no column of this stripe
+        }
+        escalation_storage_.push_back(workload::StripeError{
+            traced.stripe,
+            recovery::PartialStripeError{col, 0, layout_->rows()}, ev.t});
+        const workload::StripeError* esc = &escalation_storage_.back();
+        escalation_errors_.insert(esc);
+        Worker& owner =
+            workers[stripe_owner.at(traced.stripe)];
+        owner.assigned.push_back(esc);
+        ++metrics.fault.escalated_stripes;
+        if (!owner.event_pending) {
+          heap.push(Event{ev.t, owner.id, seq++});
+          owner.event_pending = true;
+        }
+      }
+      continue;
+    }
     if (ev.worker < 0) {
       const auto app_index = static_cast<std::size_t>(~ev.worker);
       const workload::AppRequest& req = app_trace[app_index];
@@ -402,6 +726,7 @@ SimMetrics ReconstructionEngine::run(
     if (next.has_value()) {
       heap.push(Event{*next, w.id, seq++});
     } else {
+      w.event_pending = false;
       w.finish_ms = ev.t;
       makespan = std::max(makespan, ev.t);
     }
@@ -422,13 +747,13 @@ SimMetrics ReconstructionEngine::run(
     metrics.cache.misses += w.cache->stats().misses;
     metrics.cache.evictions += w.cache->stats().evictions;
   }
-  FBF_CHECK(metrics.cache.misses == metrics.disk_reads,
-            "every cache miss must hit a disk exactly once");
+  FBF_CHECK(metrics.cache.misses + metrics.fault.retries ==
+                metrics.disk_reads,
+            "every cache miss must hit a disk exactly once, plus retries");
   if (validation_enabled()) {
     validate_run(metrics, errors);
   }
   record_run(config_.observer, config_.obs_label, metrics, response_hist_);
-  response_hist_ = nullptr;
   return metrics;
 }
 

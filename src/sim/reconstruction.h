@@ -16,9 +16,12 @@
 // separately for Table IV.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cache/policy.h"
@@ -27,6 +30,7 @@
 #include "recovery/scheme_cache.h"
 #include "sim/array_geometry.h"
 #include "sim/disk.h"
+#include "sim/faults/faults.h"
 #include "sim/metrics.h"
 #include "workload/app_trace.h"
 #include "workload/errors.h"
@@ -69,6 +73,11 @@ struct ReconstructionConfig {
 
   std::uint64_t seed = 1;
 
+  /// Fault injection (sim/faults). Disabled by default; when
+  /// faults.enabled() is false the engine takes the exact pre-fault code
+  /// path and produces byte-identical metrics.
+  FaultConfig faults;
+
   /// Optional run-level observability sink (not owned). When set, the run
   /// exports counters/gauges/histograms under `obs_label` and emits trace
   /// spans for stripes, disk service, XOR folds, and spare writes at the
@@ -105,12 +114,27 @@ class ReconstructionEngine {
   /// next event, or nullopt when the worker has finished all stripes.
   std::optional<double> advance(Worker& w, double now, SimMetrics& metrics);
 
-  void start_next_stripe(Worker& w, SimMetrics& metrics);
+  void start_next_stripe(Worker& w, SimMetrics& metrics, double now);
 
   /// Invoked when a worker finishes a stripe (releases parked degraded
   /// application reads). Installed by run().
   std::function<void(std::uint64_t stripe, double now)> on_stripe_recovered_;
   void verify_recovered_chunk(Worker& w, const recovery::RecoveryStep& step);
+
+  // ---- Fault path (active only when config_.faults.enabled()). ----
+  /// Does a live spare copy of the chunk exist?
+  bool spared_live(std::uint64_t key, double now) const;
+  /// Plans (or re-plans) a stripe around an arbitrary outstanding lost
+  /// set: configured scheme for fresh trace errors, peeling + Gauss
+  /// fallback otherwise. Throws EscalationError when not decodable.
+  void plan_fault_stripe(Worker& w, std::vector<codes::Cell> outstanding,
+                         SimMetrics& metrics, bool replan, double now);
+  /// A read hard-failed at time `t`: mark the cell lost and re-plan the
+  /// stripe. Returns the worker's next event time.
+  double handle_read_failure(Worker& w, codes::Cell cell, double t,
+                             SimMetrics& metrics);
+  void verify_gauss_cells(Worker& w);
+  std::vector<int> failed_disks_at(double now) const;
 
   const codes::Layout* layout_;
   const ArrayGeometry* geometry_;
@@ -120,6 +144,16 @@ class ReconstructionEngine {
   /// Points at a run()-local histogram while a run is in flight (null
   /// otherwise and whenever config_.observer is null).
   obs::Histogram* response_hist_ = nullptr;
+
+  /// Set iff config_.faults.enabled(); pure function of (seed, label).
+  std::optional<FaultPlan> fault_plan_;
+  /// Run-scoped fault state, reset by run(). `spared_on_` maps chunk key
+  /// -> disk holding its spare copy (presence == recovered at least once);
+  /// the deque gives escalation-synthesized errors stable addresses.
+  std::unique_ptr<FaultInjector> injector_;
+  std::unordered_map<std::uint64_t, int> spared_on_;
+  std::deque<workload::StripeError> escalation_storage_;
+  std::unordered_set<const workload::StripeError*> escalation_errors_;
 };
 
 }  // namespace fbf::sim

@@ -22,10 +22,14 @@ void validate_metrics(const SimMetrics& m) {
             law("every chain consumption must be a hit or a miss: "
                 "hits + misses != total_chunk_requests",
                 m.cache.hits + m.cache.misses, m.total_chunk_requests));
-  FBF_CHECK(m.disk_reads == m.planned_disk_reads + m.cache.misses,
-            law("every recovery read must be planned or a miss: "
-                "disk_reads != planned_disk_reads + misses",
-                m.disk_reads, m.planned_disk_reads + m.cache.misses));
+  // Fault terms are zero when injection is disabled, so the laws reduce to
+  // their fault-free shape on the baseline path.
+  FBF_CHECK(m.disk_reads ==
+                m.planned_disk_reads + m.cache.misses + m.fault.retries,
+            law("every recovery read must be planned, a miss, or a retry: "
+                "disk_reads != planned_disk_reads + misses + fault.retries",
+                m.disk_reads,
+                m.planned_disk_reads + m.cache.misses + m.fault.retries));
   FBF_CHECK(m.disk_writes == m.chunks_recovered,
             law("every recovered chunk is spare-written exactly once: "
                 "disk_writes != chunks_recovered",
@@ -53,18 +57,22 @@ void validate_metrics(const SimMetrics& m) {
 void validate_run(const SimMetrics& m,
                   const std::vector<workload::StripeError>& errors) {
   validate_metrics(m);
-  FBF_CHECK(m.stripes_recovered == errors.size(),
-            law("every damaged stripe must be recovered: "
-                "stripes_recovered != trace errors",
-                m.stripes_recovered, errors.size()));
+  FBF_CHECK(m.stripes_recovered ==
+                errors.size() + m.fault.escalated_stripes,
+            law("every damaged stripe must be recovered (escalations count "
+                "as extra passes): stripes_recovered != trace errors + "
+                "fault.escalated_stripes",
+                m.stripes_recovered,
+                errors.size() + m.fault.escalated_stripes));
   std::uint64_t lost_chunks = 0;
   for (const workload::StripeError& e : errors) {
     lost_chunks += e.error.cells().size();
   }
-  FBF_CHECK(m.chunks_recovered == lost_chunks,
+  FBF_CHECK(m.chunks_recovered == lost_chunks + m.fault.extra_lost_chunks,
             law("every lost chunk must be rebuilt exactly once: "
-                "chunks_recovered != trace lost chunks",
-                m.chunks_recovered, lost_chunks));
+                "chunks_recovered != trace lost chunks + "
+                "fault.extra_lost_chunks",
+                m.chunks_recovered, lost_chunks + m.fault.extra_lost_chunks));
 }
 
 bool validation_enabled() {

@@ -6,10 +6,16 @@
 //  - every chain consumption is either a cache hit or a miss:
 //      cache.hits + cache.misses == total_chunk_requests
 //  - every recovery disk read is either planned up front (DOR's streaming
-//    plan) or a demand/re-read miss:
-//      disk_reads == planned_disk_reads + cache.misses
+//    plan), a demand/re-read miss, or a fault-injected retry:
+//      disk_reads == planned_disk_reads + cache.misses + fault.retries
 //  - every recovered chunk is persisted exactly once:
 //      disk_writes == chunks_recovered
+//
+// With fault injection (sim/faults) the trace-conservation laws gain the
+// injector's extra work — chunks_recovered covers fault.extra_lost_chunks
+// and stripes_recovered covers fault.escalated_stripes — and all fault
+// terms are zero when injection is disabled, so the laws reduce to their
+// fault-free shape on the baseline path.
 //  - no disk is busy past the reconstruction makespan, and the per-disk op
 //    counts add up to the totals (recovery-only runs; foreground app
 //    traffic shares the disks but is metered separately).

@@ -121,6 +121,19 @@ std::vector<std::int64_t> Flags::get_int_list(
   return out;
 }
 
+std::vector<double> Flags::get_double_list(
+    const std::string& name, const std::vector<double>& fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return fallback;
+  }
+  std::vector<double> out;
+  for (const auto& piece : split_csv(it->second)) {
+    out.push_back(parse_double(name, piece));
+  }
+  return out;
+}
+
 std::vector<std::string> Flags::get_string_list(
     const std::string& name, const std::vector<std::string>& fallback) const {
   const auto it = values_.find(name);

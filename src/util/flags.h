@@ -30,6 +30,10 @@ class Flags {
   std::vector<std::int64_t> get_int_list(
       const std::string& name, const std::vector<std::int64_t>& fallback) const;
 
+  /// Comma-separated number list, e.g. "--fault-disk-fail-at-ms=100,2500".
+  std::vector<double> get_double_list(
+      const std::string& name, const std::vector<double>& fallback) const;
+
   /// Comma-separated string list.
   std::vector<std::string> get_string_list(
       const std::string& name, const std::vector<std::string>& fallback) const;

@@ -1,0 +1,83 @@
+// End-to-end golden tests: one fixed-seed run per engine exports its
+// deterministic metrics document — metrics_json(false), everything except
+// the wall_clock block — and must match the committed golden file byte for
+// byte. This pins the whole stack (trace generation, scheme planning,
+// cache behavior, event ordering, metric export) across refactors AND
+// across build configurations: ci/tier1.sh runs this binary in the SIMD,
+// scalar, and sanitizer builds against the same files.
+//
+// Regenerating after an intended accounting change:
+//   FBF_UPDATE_GOLDEN=1 ./build/tests/golden_test
+// then commit the rewritten tests/golden/*.json with the change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/experiment.h"
+#include "obs/observer.h"
+
+namespace fbf::core {
+namespace {
+
+ExperimentConfig golden_config(EngineKind engine) {
+  ExperimentConfig c;
+  c.code = codes::CodeId::Tip;
+  c.p = 7;
+  c.engine = engine;
+  c.workers = 8;
+  c.num_errors = 40;
+  c.num_stripes = 50000;
+  c.cache_bytes = 8ull << 20;
+  c.seed = 2024;
+  return c;
+}
+
+std::string run_metrics(EngineKind engine) {
+  obs::RunObserver observer;
+  ExperimentConfig cfg = golden_config(engine);
+  cfg.obs = &observer;
+  run_experiment(cfg);
+  return observer.metrics_json(/*include_wall=*/false);
+}
+
+void check_golden(const std::string& name, const std::string& got) {
+  const std::string path = std::string(FBF_GOLDEN_DIR) + "/" + name;
+  if (std::getenv("FBF_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << got;
+    GTEST_SKIP() << "regenerated " << path << " — commit it";
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << "; regenerate with FBF_UPDATE_GOLDEN=1 "
+                            "and commit the result";
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(got, want.str())
+      << "deterministic metrics drifted from " << path
+      << ". If the change is intended (new counters, accounting change), "
+         "rerun with FBF_UPDATE_GOLDEN=1 and commit the diff; otherwise "
+         "this is a determinism or accounting regression.";
+}
+
+TEST(GoldenMetrics, SorFixedSeed) {
+  check_golden("sor_metrics.json", run_metrics(EngineKind::Sor));
+}
+
+TEST(GoldenMetrics, DorFixedSeed) {
+  check_golden("dor_metrics.json", run_metrics(EngineKind::Dor));
+}
+
+TEST(GoldenMetrics, ExportIsDeterministicWithinProcess) {
+  // The files catch cross-build and cross-commit drift; this catches
+  // within-process drift (iteration-order or reused-state dependence).
+  EXPECT_EQ(run_metrics(EngineKind::Sor), run_metrics(EngineKind::Sor));
+  EXPECT_EQ(run_metrics(EngineKind::Dor), run_metrics(EngineKind::Dor));
+}
+
+}  // namespace
+}  // namespace fbf::core

@@ -45,6 +45,17 @@ std::uint64_t counter(const Value::Object& counters, const std::string& key) {
   return static_cast<std::uint64_t>(v.as_number());
 }
 
+// Fault counters are only exported by runs that enabled injection, so a
+// missing run.fault.* key reads as zero (the laws then reduce to their
+// fault-free shape).
+std::uint64_t counter_or_zero(const Value::Object& counters,
+                              const std::string& key) {
+  const auto it = counters.find(key);
+  if (it == counters.end()) return 0;
+  FBF_CHECK(it->second.is_number(), "counter " + key + " is not a number");
+  return static_cast<std::uint64_t>(it->second.as_number());
+}
+
 void check_metrics(const Value& doc) {
   FBF_CHECK(doc.is_object(), "metrics document is not a JSON object");
   const Value::Object& root = doc.as_object();
@@ -68,8 +79,9 @@ void check_metrics(const Value& doc) {
   FBF_CHECK(hits + misses == counter(counters, "run.total_chunk_requests"),
             "cache hits + misses != total chunk requests");
   FBF_CHECK(counter(counters, "run.disk_reads") ==
-                counter(counters, "run.planned_disk_reads") + misses,
-            "disk reads != planned reads + cache misses");
+                counter(counters, "run.planned_disk_reads") + misses +
+                    counter_or_zero(counters, "run.fault.retries"),
+            "disk reads != planned reads + cache misses + fault retries");
   FBF_CHECK(counter(counters, "run.disk_writes") ==
                 counter(counters, "run.chunks_recovered"),
             "disk writes != chunks recovered");
