@@ -19,6 +19,14 @@
 # bench_ext_fault_sweep twice per engine and diffs the CSVs: the fault
 # stream is a pure function of the seed, so any byte of divergence is a
 # determinism regression in the injection layer.
+#
+# The engine smoke then drives the event-core macro bench (bench_engine,
+# one rep — wiring coverage, not perf) and re-runs the fault matrix with
+# FBF_GLOBAL_EVENT_HEAP=1, which collapses the sharded event queues to a
+# single global heap. Sharded and single-heap runs must produce
+# byte-identical CSVs and identical deterministic metrics documents: the
+# (ts, seq) total order leaves only one correct pop sequence, so any
+# divergence is an ordering bug in the shard/merge-frontier layer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export FBF_VALIDATE=1
@@ -68,12 +76,41 @@ fault_smoke() {
   done
 }
 
+engine_smoke() {
+  local build_dir="$1"
+  local out="${build_dir}/engine-smoke"
+  rm -rf "$out"
+  mkdir -p "$out"
+  "${build_dir}/bench/bench_engine" \
+    --engine=sor,dor --p=5 --errors=64 --workers=8 --reps=1 --csv >/dev/null
+  local engine
+  for engine in sor dor; do
+    "${build_dir}/bench/bench_ext_fault_sweep" \
+      --engine="$engine" --errors=8 --workers=4 --csv \
+      --ure-rates=0,0.001 --straggler-factors=1,4 \
+      --metrics-out="${out}/${engine}_shard.json" \
+      >"${out}/${engine}_shard.csv"
+    FBF_GLOBAL_EVENT_HEAP=1 "${build_dir}/bench/bench_ext_fault_sweep" \
+      --engine="$engine" --errors=8 --workers=4 --csv \
+      --ure-rates=0,0.001 --straggler-factors=1,4 \
+      --metrics-out="${out}/${engine}_global.json" \
+      >"${out}/${engine}_global.csv"
+    cmp "${out}/${engine}_shard.csv" "${out}/${engine}_global.csv" || {
+      echo "sharded vs global event heap diverge (${engine})" >&2
+      exit 1
+    }
+    "${build_dir}/tools/obs_schema_check" "${out}/${engine}_shard.json" \
+      --compare="${out}/${engine}_global.json"
+  done
+}
+
 cmake -B build -S .
 cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 bench_smoke build
 obs_smoke build
 fault_smoke build
+engine_smoke build
 
 cmake -B build-scalar -S . -DFBF_ENABLE_SIMD=OFF
 cmake --build build-scalar -j
@@ -81,6 +118,7 @@ ctest --test-dir build-scalar --output-on-failure -j
 bench_smoke build-scalar
 obs_smoke build-scalar
 fault_smoke build-scalar
+engine_smoke build-scalar
 
 cmake -B build-asan -S . -DFBF_SANITIZE=ON
 cmake --build build-asan -j
@@ -88,3 +126,4 @@ ctest --test-dir build-asan --output-on-failure -j
 bench_smoke build-asan
 obs_smoke build-asan
 fault_smoke build-asan
+engine_smoke build-asan

@@ -61,11 +61,17 @@ void StripeData::erase(Cell c) {
 void encode(StripeData& stripe) {
   const Layout& layout = stripe.layout();
   SrcList srcs;
+  // encode_order is a dependency order (adjuster parities feed later
+  // chains); FoldBatch turns every maximal run of independent chains into
+  // one xor_fold_batch dispatch and barriers exactly where a parity is
+  // consumed downstream.
+  FoldBatch batch;
   for (int id : layout.encode_order()) {
     const Chain& ch = layout.chain(id);
     collect_chain(stripe, ch, ch.parity_cell, srcs);
-    xor_fold(stripe.chunk(ch.parity_cell), srcs);
+    batch.add(stripe.chunk(ch.parity_cell), srcs);
   }
+  batch.flush();
 }
 
 bool verify(const StripeData& stripe) {
@@ -168,12 +174,17 @@ DecodeResult decode_erasures(StripeData& stripe,
   std::vector<Cell> unknown_cells;
   if (method == DecodeMethod::PeelThenGauss) {
     const PeelPlan plan = plan_peeling(layout, erased);
+    // Peeling steps form waves: a step depends on an earlier one only when
+    // its chain consumes that step's target, which is exactly where the
+    // batch barriers.
+    FoldBatch batch;
     for (const PeelPlan::Step& step : plan.steps) {
       const Chain& ch = layout.chain(step.chain_id);
       collect_chain(stripe, ch, step.target, srcs);
-      xor_fold(stripe.chunk(step.target), srcs);
+      batch.add(stripe.chunk(step.target), srcs);
       ++result.peeled;
     }
+    batch.flush();
     unknown_cells = plan.gauss_cells;
   } else {
     unknown_cells = erased;
@@ -196,7 +207,11 @@ DecodeResult decode_erasures(StripeData& stripe,
         layout.cell_index(unknown_cells[i]))] = static_cast<int>(i);
   }
 
+  // Every equation's rhs folds known stripe chunks into its own buffer —
+  // mutually independent, so the whole set is one batched dispatch (the
+  // moved-from rhs buffers stay pinned while the batch is pending).
   std::vector<Equation> eqs;
+  FoldBatch rhs_batch;
   for (const Chain& ch : layout.chains()) {
     const bool involved = std::any_of(
         ch.cells.begin(), ch.cells.end(), [&](const Cell& c) {
@@ -218,10 +233,11 @@ DecodeResult decode_erasures(StripeData& stripe,
         srcs.push_back(stripe.chunk(c));
       }
     }
-    xor_fold(eq.rhs, srcs);
     std::sort(eq.unknowns.begin(), eq.unknowns.end());
     eqs.push_back(std::move(eq));
+    rhs_batch.add(eqs.back().rhs, srcs);
   }
+  rhs_batch.flush();
 
   // Forward elimination with partial "pivot by unknown id".
   const int n_unknowns = static_cast<int>(unknown_cells.size());

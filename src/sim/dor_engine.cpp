@@ -1,17 +1,14 @@
 #include "sim/dor_engine.h"
 
 #include <algorithm>
-#include <deque>
-#include <functional>
 #include <optional>
-#include <queue>
 #include <unordered_map>
-#include <unordered_set>
 
 #include "codes/codec.h"
 #include "obs/observer.h"
 #include "obs/registry.h"
 #include "recovery/scheme.h"
+#include "sim/event_queue.h"
 #include "sim/validate.h"
 #include "util/check.h"
 
@@ -19,19 +16,38 @@ namespace fbf::sim {
 
 namespace {
 
+/// A chain member reference with its (immutable) dictionary priority
+/// cached, so the consumption loop never re-resolves it through the info
+/// map.
+struct Member {
+  cache::Key key = 0;
+  std::uint8_t priority = 1;
+};
+
 struct ChainTask {
   std::uint64_t stripe = 0;
   codes::Cell target;
   int chain_id = -1;
   std::uint8_t target_priority = 1;
   int n_members = 0;
-  std::vector<cache::Key> unconsumed;
+  std::vector<Member> unconsumed;
   /// Member keys whose (re-)delivery this task is currently waiting on.
-  std::unordered_set<cache::Key> awaiting;
+  /// Every insert site fills an empty list with distinct keys, so a flat
+  /// vector with find + swap-pop removal behaves like the set it replaced.
+  std::vector<cache::Key> awaiting;
   /// Fault path: a Gauss-fallback task recovers all of these targets in
   /// one solve (`target` is then unused and `chain_id` is -1).
   std::vector<codes::Cell> gauss_targets;
   bool done = false;
+};
+
+constexpr std::uint32_t kNoWaiter = 0xffffffffu;
+
+/// Arena node of a chunk's waiter list (tasks to wake on delivery),
+/// threaded through ChunkInfo::waiters_head/tail in append order.
+struct WaiterLink {
+  std::uint32_t task = 0;
+  std::uint32_t next = kNoWaiter;
 };
 
 struct ChunkInfo {
@@ -46,6 +62,9 @@ struct ChunkInfo {
   /// Fault path: disk the live spare copy landed on (injector redirects
   /// around dead disks); -1 means the geometry's default choice.
   int spare_disk = -1;
+  /// Intrusive waiter list (indices into the WaiterLink arena).
+  std::uint32_t waiters_head = kNoWaiter;
+  std::uint32_t waiters_tail = kNoWaiter;
 };
 
 struct PlannedRead {
@@ -55,8 +74,13 @@ struct PlannedRead {
 };
 
 struct Reader {
-  std::deque<PlannedRead> queue;
+  /// FIFO as a flat vector plus a consume cursor; entries before `head`
+  /// are spent (a run's queue is bounded, so nothing is reclaimed).
+  std::vector<PlannedRead> queue;
+  std::size_t head = 0;
   bool busy = false;
+
+  bool idle_empty() const { return head >= queue.size(); }
 };
 
 }  // namespace
@@ -107,27 +131,60 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
   recovery::SchemeCache scheme_cache(*layout_);
   std::vector<ChainTask> tasks;
   std::unordered_map<cache::Key, ChunkInfo> info;
-  std::unordered_map<cache::Key, std::vector<std::size_t>> waiters;
+  std::vector<WaiterLink> waiter_links;
   std::vector<Reader> readers(disks.size());
   std::optional<obs::PhaseTimer> plan_timer;
   if (config_.observer != nullptr) {
     plan_timer.emplace(config_.observer, "dor_plan");
   }
 
+  // Pre-pass: resolve every stripe's scheme (observing the exact hit/miss
+  // sequence the planning pass used to count) and total the steps and
+  // member references, so every planning container is reserved to its
+  // exact final size before the fill loop touches it.
+  std::vector<std::shared_ptr<const recovery::RecoveryScheme>> schemes;
+  schemes.reserve(errors.size());
+  std::size_t total_steps = 0;
+  std::size_t total_refs = 0;
   for (const workload::StripeError& err : errors) {
     const auto before = scheme_cache.misses();
-    const auto scheme = scheme_cache.get(err.error, config_.scheme);
+    schemes.push_back(scheme_cache.get(err.error, config_.scheme));
     if (scheme_cache.misses() > before) {
       ++metrics.schemes_generated;
     } else {
       ++metrics.scheme_cache_hits;
     }
+    total_steps += schemes.back()->steps.size();
+    for (const recovery::RecoveryStep& step : schemes.back()->steps) {
+      total_refs += layout_->chain(step.chain_id).cells.size() - 1;
+    }
+  }
+  tasks.reserve(total_steps);
+  info.reserve(total_refs + total_steps);
+  waiter_links.reserve(total_refs);
+
+  /// Appends task `t` to `ci`'s waiter list, preserving append order.
+  auto add_waiter = [&waiter_links](ChunkInfo& ci, std::size_t t) {
+    const auto link = static_cast<std::uint32_t>(waiter_links.size());
+    waiter_links.push_back(WaiterLink{static_cast<std::uint32_t>(t),
+                                      kNoWaiter});
+    if (ci.waiters_head == kNoWaiter) {
+      ci.waiters_head = link;
+    } else {
+      waiter_links[ci.waiters_tail].next = link;
+    }
+    ci.waiters_tail = link;
+  };
+
+  for (std::size_t e = 0; e < errors.size(); ++e) {
+    const workload::StripeError& err = errors[e];
+    const recovery::RecoveryScheme& scheme = *schemes[e];
     std::vector<bool> lost(static_cast<std::size_t>(layout_->num_cells()),
                            false);
     for (const codes::Cell& c : err.error.cells()) {
       lost[static_cast<std::size_t>(layout_->cell_index(c))] = true;
     }
-    for (const recovery::RecoveryStep& step : scheme->steps) {
+    for (const recovery::RecoveryStep& step : scheme.steps) {
       ChainTask task;
       task.stripe = err.stripe;
       task.target = step.target;
@@ -135,7 +192,7 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
       const auto tidx =
           static_cast<std::size_t>(layout_->cell_index(step.target));
       task.target_priority =
-          std::max<std::uint8_t>(scheme->priority[tidx], 1);
+          std::max<std::uint8_t>(scheme.priority[tidx], 1);
       for (const codes::Cell& c : layout_->chain(step.chain_id).cells) {
         if (c == step.target) {
           continue;
@@ -147,7 +204,7 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
           it->second.stripe = err.stripe;
           it->second.cell = c;
           it->second.priority =
-              std::max<std::uint8_t>(scheme->priority[cidx], 1);
+              std::max<std::uint8_t>(scheme.priority[cidx], 1);
           it->second.lost = lost[cidx];
           if (!it->second.lost) {
             // Planned read from the chunk's home disk.
@@ -156,10 +213,10 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
                     PlannedRead{key, geometry_->lba_of(err.stripe, c)});
           }
         }
-        task.unconsumed.push_back(key);
-        task.awaiting.insert(key);
+        task.unconsumed.push_back(Member{key, it->second.priority});
+        task.awaiting.push_back(key);
         ++task.n_members;
-        waiters[key].push_back(tasks.size());
+        add_waiter(it->second, tasks.size());
       }
       // Register the recovered target so dependent chains can await it.
       const cache::Key tkey = geometry_->chunk_key(err.stripe, step.target);
@@ -202,39 +259,51 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
       return t > o.t || (t == o.t && seq > o.seq);
     }
   };
-  // One in-flight read per disk plus one pending spare write per chain
-  // bound the heap; reserving once removes mid-run regrowth.
-  std::vector<Event> heap_storage;
-  heap_storage.reserve(readers.size() + tasks.size());
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap(
-      std::greater<Event>{}, std::move(heap_storage));
+  // Readers fold onto 16 shards (the busy flag caps each disk at a
+  // single in-flight read, so a shard holds at most ceil(disks/16)
+  // events) plus a bulk shard for spare writes and disk failures; the
+  // partition is order-irrelevant (event_queue.h), so the shard count is
+  // purely a tournament-depth dial, sized so the shard map is a single
+  // AND. Faultless runs issue exactly one spare write per planned task,
+  // so the bulk reserve is exact; with faults active, replans mint extra
+  // write events, bounded by the escalation arithmetic plus a slab for
+  // URE/transient re-recoveries. The regrowth counter (asserted zero by
+  // the fault tests) pins these bounds.
+  constexpr std::size_t kReaderShardMask = 15;  // 16 shards
+  constexpr std::size_t kBulkShard = kReaderShardMask + 1;
+  ShardedEventQueue<Event> queue(kBulkShard + 1);
+  const std::size_t bulk_shard = kBulkShard;
+  for (std::size_t d = 0; d < readers.size(); ++d) {
+    queue.reserve(d & kReaderShardMask, 1);
+  }
+  {
+    std::size_t bulk_bound = tasks.size();
+    if (fault_plan.has_value()) {
+      const std::size_t failures = fault_plan->disk_failures().size();
+      bulk_bound += failures;  // the DiskFail events themselves
+      // Escalation: each failure re-targets at most one column of every
+      // traced stripe.
+      bulk_bound += failures * errors.size() *
+                    static_cast<std::size_t>(layout_->rows());
+      if (config_.faults.ure_rate > 0.0 ||
+          config_.faults.transient_rate > 0.0) {
+        bulk_bound += 1024;  // replan slab: re-recovered chunks
+      }
+    }
+    queue.reserve(bulk_shard, bulk_bound);
+  }
   std::uint64_t seq = 0;
   double makespan = 0.0;
   std::size_t tasks_done = 0;
-  std::vector<cache::Key> missing_scratch;  // reused per completion attempt
-
-  std::function<void(std::size_t, double, cache::Key)> attempt_completion;
-  // Delivery of a chunk (from its home disk, the spare area, or a chain
-  // completion): buffer it and wake exactly the tasks awaiting this key.
-  auto deliver = [&](cache::Key key, double now) {
-    cache->install(key, info.at(key).priority);
-    for (std::size_t t : waiters[key]) {
-      ChainTask& task = tasks[t];
-      if (!task.done && task.awaiting.erase(key) == 1 &&
-          task.awaiting.empty()) {
-        attempt_completion(t, now, key);
-      }
-    }
-  };
+  std::vector<Member> missing_scratch;  // reused per completion attempt
 
   auto kick_reader = [&](std::size_t d, double now) {
     Reader& r = readers[d];
-    if (r.busy || r.queue.empty()) {
+    if (r.busy || r.idle_empty()) {
       return;
     }
     r.busy = true;
-    const PlannedRead read = r.queue.front();
-    r.queue.pop_front();
+    const PlannedRead read = r.queue[r.head++];
     double done;
     bool ok = true;
     if (injector.has_value()) {
@@ -260,9 +329,10 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
                       now * 1000.0, (done - now) * 1000.0, "stripe",
                       info.at(read.key).stripe);
     }
-    heap.push(Event{done, seq++,
-                    ok ? Event::Kind::ReadDone : Event::Kind::ReadFailed,
-                    static_cast<std::uint32_t>(d), read.key});
+    queue.push(d & kReaderShardMask,
+               Event{done, seq++,
+                     ok ? Event::Kind::ReadDone : Event::Kind::ReadFailed,
+                     static_cast<std::uint32_t>(d), read.key});
   };
 
   auto enqueue_reread = [&](cache::Key key, double now) {
@@ -280,7 +350,7 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
     kick_reader(d, now);
   };
 
-  attempt_completion = [&](std::size_t t, double now, cache::Key fresh) {
+  auto attempt_completion = [&](std::size_t t, double now, cache::Key fresh) {
     ChainTask& task = tasks[t];
     if (task.done) {
       return;
@@ -293,27 +363,28 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
     // miss below re-inserts its key and can evict the fresh member before
     // its turn, so a round consumes nothing and re-reads the same set
     // forever.
-    const auto fresh_it =
-        std::find(task.unconsumed.begin(), task.unconsumed.end(), fresh);
+    const auto fresh_it = std::find_if(
+        task.unconsumed.begin(), task.unconsumed.end(),
+        [fresh](const Member& m) { return m.key == fresh; });
     if (fresh_it != task.unconsumed.end()) {
       std::rotate(task.unconsumed.begin(), fresh_it, fresh_it + 1);
     }
     // Consume members still buffered; re-read the evicted ones.
     missing_scratch.clear();
-    for (cache::Key key : task.unconsumed) {
-      if (cache->request(key, info.at(key).priority)) {
+    for (const Member& m : task.unconsumed) {
+      if (cache->request(m.key, m.priority)) {
         continue;  // consumed (folded into the XOR accumulator)
       }
-      missing_scratch.push_back(key);
+      missing_scratch.push_back(m);
     }
     metrics.total_chunk_requests += task.unconsumed.size();
     task.unconsumed.assign(missing_scratch.begin(), missing_scratch.end());
     if (!task.unconsumed.empty()) {
-      for (cache::Key key : task.unconsumed) {
-        task.awaiting.insert(key);
+      for (const Member& m : task.unconsumed) {
+        task.awaiting.push_back(m.key);
       }
-      for (cache::Key key : task.unconsumed) {
-        enqueue_reread(key, now);
+      for (const Member& m : task.unconsumed) {
+        enqueue_reread(m.key, now);
       }
       return;
     }
@@ -342,14 +413,42 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
       makespan = std::max(makespan, write_done);
       const cache::Key tkey = geometry_->chunk_key(task.stripe, target);
       info.at(tkey).write_pending = true;
-      heap.push(Event{write_done, seq++, Event::Kind::SpareWriteDone,
-                      static_cast<std::uint32_t>(d), tkey});
+      queue.push(bulk_shard,
+                 Event{write_done, seq++, Event::Kind::SpareWriteDone,
+                       static_cast<std::uint32_t>(d), tkey});
     };
     if (task.gauss_targets.empty()) {
       write_target(task.target);
     } else {
       for (const codes::Cell& target : task.gauss_targets) {
         write_target(target);
+      }
+    }
+  };
+
+  // Delivery of a chunk (from its home disk, the spare area, or a chain
+  // completion): buffer it and wake exactly the tasks awaiting this key.
+  auto deliver = [&](cache::Key key, double now) {
+    ChunkInfo& ci = info.at(key);
+    cache->install(key, ci.priority);
+    for (std::uint32_t l = ci.waiters_head; l != kNoWaiter;) {
+      // Copy the link before waking the task: a completion may append
+      // waiter links (growing the arena) for a later key.
+      const std::uint32_t t = waiter_links[l].task;
+      l = waiter_links[l].next;
+      ChainTask& task = tasks[t];
+      if (task.done) {
+        continue;
+      }
+      const auto it =
+          std::find(task.awaiting.begin(), task.awaiting.end(), key);
+      if (it == task.awaiting.end()) {
+        continue;
+      }
+      *it = task.awaiting.back();
+      task.awaiting.pop_back();
+      if (task.awaiting.empty()) {
+        attempt_completion(t, now, key);
       }
     }
   };
@@ -416,14 +515,14 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
           it->second.priority =
               std::max<std::uint8_t>(fs.scheme.priority[cidx], 1);
         }
-        task.unconsumed.push_back(key);
+        task.unconsumed.push_back(Member{key, it->second.priority});
         ++task.n_members;
-        waiters[key].push_back(tindex);
+        add_waiter(it->second, tindex);
         const ChunkInfo& ci = it->second;
         if (ci.lost && !ci.recovered) {
-          task.awaiting.insert(key);
+          task.awaiting.push_back(key);
         } else if (!cache->contains(key)) {
-          task.awaiting.insert(key);
+          task.awaiting.push_back(key);
           const bool spare = ci.lost;
           const auto d = static_cast<std::size_t>(
               spare ? (ci.spare_disk >= 0
@@ -505,9 +604,10 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
     }
     for (std::size_t t = first_new; t < tasks.size(); ++t) {
       if (tasks[t].awaiting.empty() && !tasks[t].done) {
-        attempt_completion(
-            t, now,
-            tasks[t].unconsumed.empty() ? 0 : tasks[t].unconsumed.front());
+        attempt_completion(t, now,
+                           tasks[t].unconsumed.empty()
+                               ? 0
+                               : tasks[t].unconsumed.front().key);
       }
     }
   };
@@ -535,13 +635,13 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
   }
   if (fault_plan.has_value()) {
     for (const DiskFailure& f : fault_plan->disk_failures()) {
-      heap.push(Event{f.at_ms, seq++, Event::Kind::DiskFail,
-                      static_cast<std::uint32_t>(f.disk), 0});
+      queue.push(bulk_shard, Event{f.at_ms, seq++, Event::Kind::DiskFail,
+                                   static_cast<std::uint32_t>(f.disk), 0});
     }
   }
-  while (!heap.empty()) {
-    const Event ev = heap.top();
-    heap.pop();
+  while (!queue.empty()) {
+    const Event ev = queue.pop();
+    ++metrics.engine_events;
     if (ev.kind != Event::Kind::DiskFail) {
       // A failure alone does not extend reconstruction; the work it
       // triggers does.
@@ -621,6 +721,7 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
   }
   FBF_CHECK(tasks_done == tasks.size(),
             "DOR finished with incomplete chains — dependency deadlock");
+  metrics.event_queue_regrowths = queue.regrowths();
 
   metrics.reconstruction_ms = makespan;
   // Escalation passes count like SOR's synthetic stripe entries so the

@@ -1,0 +1,16 @@
+#include "sim/event_queue.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace fbf::sim {
+
+bool forced_global_event_heap() {
+  static const bool forced = [] {
+    const char* v = std::getenv("FBF_GLOBAL_EVENT_HEAP");
+    return v != nullptr && std::string(v) != "0";
+  }();
+  return forced;
+}
+
+}  // namespace fbf::sim

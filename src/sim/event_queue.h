@@ -1,0 +1,166 @@
+// Sharded discrete-event queue: per-shard binary min-heaps merged by an
+// N-way tournament tree over the shard heads.
+//
+// Both engines key events by a (time, seq) pair whose comparator is a
+// strict total order (seq is unique), so *any* correct min-queue pops the
+// exact same global event sequence. Sharding exploits the engines'
+// structure: SOR holds at most one pending event per worker and DOR at
+// most one in-flight read per disk, so most shards are one-element heaps
+// whose push/pop is O(1) and the only log factor is the tournament replay
+// over shard heads — empty shards cost nothing. A bulk shard absorbs the
+// event classes without a per-entity invariant (app arrivals, spare
+// writes, disk failures).
+//
+// Setting FBF_GLOBAL_EVENT_HEAP=1 collapses every shard onto shard 0,
+// which is exactly the single global binary heap the engines used before
+// sharding; CI diffs sharded vs. forced-global outputs byte for byte to
+// prove the merge preserves the total order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fbf::sim {
+
+/// True when FBF_GLOBAL_EVENT_HEAP is set (and not "0"): every
+/// ShardedEventQueue then runs with a single shard, i.e. one global
+/// binary heap. Read once and cached, like FBF_VALIDATE.
+bool forced_global_event_heap();
+
+/// Min-queue over `Event`s with `operator>` defining a strict total order
+/// (ties broken by a unique sequence number). Not thread-safe.
+template <typename Event>
+class ShardedEventQueue {
+ public:
+  explicit ShardedEventQueue(std::size_t shards)
+      : single_(forced_global_event_heap()) {
+    FBF_CHECK(shards >= 1, "event queue needs at least one shard");
+    if (single_) {
+      shards = 1;
+    }
+    heaps_.resize(shards);
+    reserved_.assign(shards, 0);
+    leaves_ = 1;
+    while (leaves_ < shards) {
+      leaves_ <<= 1;
+    }
+    tree_.assign(2 * leaves_, kEmpty);
+    heads_.resize(leaves_);
+  }
+
+  std::size_t num_shards() const { return heaps_.size(); }
+
+  /// Grows shard `shard`'s reservation by `n` events. Additive so callers
+  /// can account independent event classes separately; under
+  /// FBF_GLOBAL_EVENT_HEAP all reservations land on shard 0, reproducing
+  /// the global bound.
+  void reserve(std::size_t shard, std::size_t n) {
+    const std::size_t s = map(shard);
+    reserved_[s] += n;
+    heaps_[s].reserve(reserved_[s]);
+  }
+
+  void push(std::size_t shard, const Event& ev) {
+    const std::size_t s = map(shard);
+    auto& h = heaps_[s];
+    if (h.size() == h.capacity()) {
+      ++regrowths_;  // reservation breached: vector growth (amortized)
+    }
+    // The tournament only sees shard heads: a push that does not displace
+    // the head leaves every tree node valid, so the replay is skipped.
+    const bool displaces_head = h.empty() || h.front() > ev;
+    h.push_back(ev);
+    std::push_heap(h.begin(), h.end(), std::greater<Event>{});
+    ++size_;
+    if (displaces_head) {
+      replay(s);
+    }
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Pops the globally earliest event (the tournament winner's head).
+  Event pop() {
+    FBF_CHECK(size_ > 0, "pop from empty event queue");
+    const std::uint32_t s = tree_[1];
+    auto& h = heaps_[s];
+    std::pop_heap(h.begin(), h.end(), std::greater<Event>{});
+    Event ev = std::move(h.back());
+    h.pop_back();
+    --size_;
+    replay(s);
+    return ev;
+  }
+
+  /// Pushes past a shard's reservation observed so far (each one a vector
+  /// regrowth). Zero on runs whose per-shard bounds are exact.
+  std::uint64_t regrowths() const { return regrowths_; }
+
+ private:
+  static constexpr std::uint32_t kEmpty = 0xffffffffu;
+
+  std::size_t map(std::size_t shard) const {
+    if (single_) {
+      return 0;
+    }
+    FBF_CHECK(shard < heaps_.size(), "event shard out of range");
+    return shard;
+  }
+
+  /// a precedes b in the total order (exactly one of a>b / b>a holds for
+  /// distinct events, and two shard heads are always distinct). Compares
+  /// the contiguous head cache, not the scattered heap vectors: with one
+  /// pending event per worker/reader shard the heaps are all single
+  /// elements and the replay compares dominate, so keeping the heads in
+  /// one array is what makes the tournament cache-resident.
+  bool earlier(std::uint32_t a, std::uint32_t b) const {
+    return heads_[b] > heads_[a];
+  }
+
+  /// Re-seeds shard `s`'s leaf (refreshing its cached head) and replays
+  /// its root path: O(log shards) head comparisons.
+  void replay(std::size_t s) {
+    std::size_t node = leaves_ + s;
+    if (heaps_[s].empty()) {
+      tree_[node] = kEmpty;
+    } else {
+      tree_[node] = static_cast<std::uint32_t>(s);
+      heads_[s] = heaps_[s].front();
+    }
+    while (node > 1) {
+      node >>= 1;
+      const std::uint32_t l = tree_[2 * node];
+      const std::uint32_t r = tree_[2 * node + 1];
+      if (l == kEmpty) {
+        tree_[node] = r;
+      } else if (r == kEmpty) {
+        tree_[node] = l;
+      } else {
+        tree_[node] = earlier(l, r) ? l : r;
+      }
+    }
+  }
+
+  bool single_ = false;
+  std::vector<std::vector<Event>> heaps_;
+  /// heads_[s] mirrors heaps_[s].front() whenever shard s is non-empty
+  /// (leaf == kEmpty otherwise); contiguous so tournament compares never
+  /// chase heap-vector pointers.
+  std::vector<Event> heads_;
+  std::vector<std::size_t> reserved_;
+  /// Winner tree: leaves_ is the shard count rounded up to a power of two;
+  /// leaf i sits at index leaves_+i, the overall winner at index 1 (index
+  /// 0 unused). Nodes hold winning shard ids, kEmpty for empty subtrees.
+  std::size_t leaves_ = 1;
+  std::vector<std::uint32_t> tree_;
+  std::size_t size_ = 0;
+  std::uint64_t regrowths_ = 0;
+};
+
+}  // namespace fbf::sim

@@ -83,6 +83,13 @@ struct SimMetrics {
   // fault plan); see sim/faults/faults.h.
   FaultStats fault;
 
+  // Engine-core instrumentation. Deliberately NOT exported by record_run:
+  // the metrics JSON must stay byte-identical across event-queue
+  // implementations. bench_engine reads these directly, and the fault
+  // tests assert event_queue_regrowths == 0 to pin the reservation bounds.
+  std::uint64_t engine_events = 0;          ///< events popped by the run loop
+  std::uint64_t event_queue_regrowths = 0;  ///< pushes past a shard's reserve
+
   // Per-disk load: busy milliseconds and op counts, index = disk id. The
   // failed column's disk carries all spare writes and is usually the
   // bottleneck.

@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
-#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "codes/xor_kernels.h"
 #include "obs/observer.h"
 #include "obs/registry.h"
+#include "sim/event_queue.h"
 #include "sim/validate.h"
 #include "util/check.h"
 
@@ -51,8 +52,14 @@ struct ReconstructionEngine::Worker {
   /// Fault path: owns the fault plan when the current pass was re-planned
   /// (scheme then aliases fault_scheme->scheme); null on the baseline path.
   std::shared_ptr<const recovery::FaultScheme> fault_scheme;
-  /// Reused across stripes: build_request_sequence refills in place.
+  /// Reused across stripes: build_request_sequence refills in place
+  /// (fault replans and the unmemoized path).
   std::vector<ChunkOp> ops;
+  /// Memoized sequence shared by every stripe with the same scheme; null
+  /// while the owned `ops` is active.
+  std::shared_ptr<const std::vector<ChunkOp>> ops_shared;
+  /// The sequence the worker is executing: &ops or ops_shared.get().
+  const std::vector<ChunkOp>* ops_view = &ops;
   std::size_t op_idx = 0;
   int reads_in_step = 0;
   /// Recovered-cell bitmap for the current stripe, packed 64 cells per
@@ -66,9 +73,13 @@ struct ReconstructionEngine::Worker {
     recovered[cell_idx >> 6] |= std::uint64_t{1} << (cell_idx & 63);
   }
 
-  // verify_data mode: ground-truth and in-progress stripe contents.
+  // verify_data mode: ground-truth and in-progress stripe contents, plus
+  // the chain folds queued for batched dispatch and the targets awaiting
+  // comparison against truth at the next flush.
   std::unique_ptr<codes::StripeData> truth;
   std::unique_ptr<codes::StripeData> working;
+  codes::FoldBatch verify_batch;
+  std::vector<codes::Cell> pending_verifies;
 
   /// Simulated time the current stripe's first operation ran; feeds the
   /// per-stripe trace span.
@@ -130,6 +141,8 @@ void ReconstructionEngine::start_next_stripe(Worker& w, SimMetrics& metrics,
     w.active = true;
     if (outstanding.empty()) {
       w.ops.clear();  // trivial pass: everything already has a live spare
+      w.ops_shared.reset();
+      w.ops_view = &w.ops;
       w.scheme.reset();
       w.fault_scheme.reset();
       return;
@@ -172,7 +185,7 @@ void ReconstructionEngine::start_next_stripe(Worker& w, SimMetrics& metrics,
         recovery::generate_scheme(*layout_, err.error, config_.scheme));
     ++metrics.schemes_generated;
   }
-  recovery::build_request_sequence(*layout_, *w.scheme, w.ops);
+  assign_request_sequence(w);
   const auto t1 = std::chrono::steady_clock::now();
   metrics.scheme_gen_wall_ms +=
       std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -204,10 +217,9 @@ void ReconstructionEngine::start_next_stripe(Worker& w, SimMetrics& metrics,
   }
 }
 
-void ReconstructionEngine::verify_recovered_chunk(
+void ReconstructionEngine::queue_chunk_verify(
     Worker& w, const recovery::RecoveryStep& step) {
   const codes::Chain& chain = layout_->chain(step.chain_id);
-  auto out = w.working->chunk(step.target);
   std::vector<std::span<const std::byte>> srcs;
   srcs.reserve(chain.cells.size());
   for (const codes::Cell& c : chain.cells) {
@@ -215,12 +227,44 @@ void ReconstructionEngine::verify_recovered_chunk(
       srcs.push_back(w.working->chunk(c));
     }
   }
-  codes::xor_fold(out, srcs);
-  const auto expected = w.truth->chunk(step.target);
-  FBF_CHECK(std::equal(out.begin(), out.end(), expected.begin()),
-            "recovered chunk " + codes::to_string(step.target) +
-                " does not match the original in stripe " +
-                std::to_string(w.stripe));
+  // The batch's dependency barriers reproduce peel order: a chain that
+  // consumes an earlier step's target flushes the wave before folding.
+  w.verify_batch.add(w.working->chunk(step.target), srcs);
+  w.pending_verifies.push_back(step.target);
+}
+
+void ReconstructionEngine::flush_chunk_verifies(Worker& w) {
+  if (w.pending_verifies.empty()) {
+    return;
+  }
+  w.verify_batch.flush();
+  for (const codes::Cell& target : w.pending_verifies) {
+    const auto out = w.working->chunk(target);
+    const auto expected = w.truth->chunk(target);
+    FBF_CHECK(std::equal(out.begin(), out.end(), expected.begin()),
+              "recovered chunk " + codes::to_string(target) +
+                  " does not match the original in stripe " +
+                  std::to_string(w.stripe));
+  }
+  w.pending_verifies.clear();
+}
+
+void ReconstructionEngine::assign_request_sequence(Worker& w) {
+  if (!config_.memoize_schemes) {
+    recovery::build_request_sequence(*layout_, *w.scheme, w.ops);
+    w.ops_shared.reset();
+    w.ops_view = &w.ops;
+    return;
+  }
+  auto [it, fresh] = ops_cache_.try_emplace(w.scheme.get());
+  if (fresh) {
+    auto ops = std::make_shared<std::vector<ChunkOp>>();
+    recovery::build_request_sequence(*layout_, *w.scheme, *ops);
+    it->second.scheme = w.scheme;
+    it->second.ops = std::move(ops);
+  }
+  w.ops_shared = it->second.ops;
+  w.ops_view = w.ops_shared.get();
 }
 
 bool ReconstructionEngine::spared_live(std::uint64_t key, double now) const {
@@ -270,7 +314,7 @@ void ReconstructionEngine::plan_fault_stripe(
           recovery::generate_scheme(*layout_, err.error, config_.scheme));
       ++metrics.schemes_generated;
     }
-    recovery::build_request_sequence(*layout_, *w.scheme, w.ops);
+    assign_request_sequence(w);
   } else {
     auto fs = std::make_shared<recovery::FaultScheme>(
         recovery::generate_fault_scheme(*layout_, outstanding));
@@ -283,6 +327,8 @@ void ReconstructionEngine::plan_fault_stripe(
     w.scheme = std::shared_ptr<const recovery::RecoveryScheme>(fs, &fs->scheme);
     recovery::build_request_sequence(*layout_, fs->scheme, w.ops);
     recovery::append_gauss_ops(*layout_, *fs, w.ops);
+    w.ops_shared.reset();  // replans are stripe-specific, never memoized
+    w.ops_view = &w.ops;
     w.fault_scheme = std::move(fs);
   }
   const auto t1 = std::chrono::steady_clock::now();
@@ -320,6 +366,9 @@ double ReconstructionEngine::handle_read_failure(Worker& w, codes::Cell cell,
   }
   outstanding.push_back(cell);
   if (config_.verify_data) {
+    // Queued verify folds read working-stripe bytes in place; run them
+    // before the erase rewrites the chunk they source from.
+    flush_chunk_verifies(w);
     w.working->erase(cell);
   }
   w.reads_in_step = 0;
@@ -372,7 +421,7 @@ std::optional<double> ReconstructionEngine::advance(Worker& w, double now,
     }
     start_next_stripe(w, metrics, now);
     w.stripe_start_ms = now;
-    if (w.ops.empty()) {
+    if (w.ops_view->empty()) {
       // Fault path: nothing outstanding (all cells already have live
       // spares); complete the pass at the next event.
       w.active = false;
@@ -382,8 +431,9 @@ std::optional<double> ReconstructionEngine::advance(Worker& w, double now,
     }
   }
 
-  FBF_CHECK(w.op_idx < w.ops.size(), "worker advanced past its op list");
-  const ChunkOp op = w.ops[w.op_idx++];
+  FBF_CHECK(w.op_idx < w.ops_view->size(),
+            "worker advanced past its op list");
+  const ChunkOp op = (*w.ops_view)[w.op_idx++];
   double next = now;
 
   if (op.kind == OpKind::Read) {
@@ -457,10 +507,13 @@ std::optional<double> ReconstructionEngine::advance(Worker& w, double now,
     if (config_.verify_data) {
       if (op.step == recovery::kGaussStep) {
         if (!w.gauss_verified) {
+          // The Gauss solve reads peel targets in place; drain the queued
+          // folds so it sees fully rebuilt chunks.
+          flush_chunk_verifies(w);
           verify_gauss_cells(w);
         }
       } else {
-        verify_recovered_chunk(
+        queue_chunk_verify(
             w, w.scheme->steps[static_cast<std::size_t>(op.step)]);
       }
     }
@@ -496,12 +549,15 @@ std::optional<double> ReconstructionEngine::advance(Worker& w, double now,
     next = config_.synchronous_spare_writes ? write_done : xor_done;
   }
 
-  if (w.op_idx >= w.ops.size()) {
+  if (w.op_idx >= w.ops_view->size()) {
     // The stripe's last operation finishes at `next`; completion actions
     // run when the worker's next event fires at that time.
     w.active = false;
     w.completion_pending = true;
     ++w.error_idx;
+    if (config_.verify_data) {
+      flush_chunk_verifies(w);
+    }
     w.truth.reset();
     w.working.reset();
   }
@@ -590,7 +646,7 @@ SimMetrics ReconstructionEngine::run(
     parked_by_stripe.erase(it);
   };
 
-  // Event heap over worker ready-times and app-request arrivals.
+  // Event core over worker ready-times and app-request arrivals.
   struct Event {
     double t;
     int worker;       // >= 0: worker id; < 0: app request ~(worker)
@@ -599,22 +655,6 @@ SimMetrics ReconstructionEngine::run(
       return t > other.t || (t == other.t && seq > other.seq);
     }
   };
-  // At most one pending event per worker plus the app arrivals pushed up
-  // front bound the heap: reserving once removes every mid-run regrowth.
-  std::vector<Event> heap_storage;
-  heap_storage.reserve(workers.size() + app_trace.size());
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> heap(
-      std::greater<Event>{}, std::move(heap_storage));
-  std::uint64_t seq = 0;
-  for (Worker& w : workers) {
-    if (!w.assigned.empty()) {
-      heap.push(Event{0.0, w.id, seq++});
-      w.event_pending = true;
-    }
-  }
-  for (std::size_t i = 0; i < app_trace.size(); ++i) {
-    heap.push(Event{app_trace[i].arrival_ms, ~static_cast<int>(i), seq++});
-  }
   // Disk-failure events use ids at the bottom of the int range, below the
   // ~i encoding of any realistic app trace.
   constexpr int kFailBase = std::numeric_limits<int>::min();
@@ -625,17 +665,52 @@ SimMetrics ReconstructionEngine::run(
                   static_cast<std::size_t>(std::numeric_limits<int>::max()) -
                       static_cast<std::size_t>(num_disk_failures),
               "app trace too large to coexist with disk-failure events");
+  }
+  // Workers fold onto 16 shards (event_pending caps each worker at a
+  // single entry, so a shard holds at most ceil(workers/16) events) plus
+  // a bulk shard for app arrivals and disk failures. Sixteen keeps the
+  // tournament shallow and the shard mask a single AND while the
+  // per-shard heaps stay small enough that a future-dated push rarely
+  // displaces a head — the shard partition is order-irrelevant
+  // (event_queue.h), so this is purely a constant-factor dial. The
+  // reserves are exact upper bounds, so a regrowth count of zero is an
+  // invariant the tests pin, not a tuning accident.
+  constexpr std::size_t kWorkerShardMask = 15;  // 16 shards: a mask, not a div
+  constexpr std::size_t kBulkShard = kWorkerShardMask + 1;
+  ShardedEventQueue<Event> queue(kBulkShard + 1);
+  for (std::size_t s = 0; s < workers.size(); ++s) {
+    queue.reserve(s & kWorkerShardMask, 1);
+  }
+  queue.reserve(kBulkShard, app_trace.size() +
+                                static_cast<std::size_t>(num_disk_failures));
+  const auto push_event = [&queue](Event ev) {
+    queue.push(ev.worker >= 0
+                   ? static_cast<std::size_t>(ev.worker) & kWorkerShardMask
+                   : kBulkShard,
+               ev);
+  };
+  std::uint64_t seq = 0;
+  for (Worker& w : workers) {
+    if (!w.assigned.empty()) {
+      push_event(Event{0.0, w.id, seq++});
+      w.event_pending = true;
+    }
+  }
+  for (std::size_t i = 0; i < app_trace.size(); ++i) {
+    push_event(Event{app_trace[i].arrival_ms, ~static_cast<int>(i), seq++});
+  }
+  if (has_disk_failures) {
     for (int k = 0; k < num_disk_failures; ++k) {
-      heap.push(
+      push_event(
           Event{fault_plan_->disk_failures()[static_cast<std::size_t>(k)].at_ms,
                 kFailBase + k, seq++});
     }
   }
 
   double makespan = 0.0;
-  while (!heap.empty()) {
-    const Event ev = heap.top();
-    heap.pop();
+  while (!queue.empty()) {
+    const Event ev = queue.pop();
+    ++metrics.engine_events;
     if (ev.worker < kFailBase + num_disk_failures) {
       // Whole-disk failure: every traced stripe gains the failed disk's
       // column as fresh losses, processed as a synthetic error by the
@@ -666,7 +741,7 @@ SimMetrics ReconstructionEngine::run(
         owner.assigned.push_back(esc);
         ++metrics.fault.escalated_stripes;
         if (!owner.event_pending) {
-          heap.push(Event{ev.t, owner.id, seq++});
+          push_event(Event{ev.t, owner.id, seq++});
           owner.event_pending = true;
         }
       }
@@ -724,13 +799,14 @@ SimMetrics ReconstructionEngine::run(
     Worker& w = workers[static_cast<std::size_t>(ev.worker)];
     const auto next = advance(w, ev.t, metrics);
     if (next.has_value()) {
-      heap.push(Event{*next, w.id, seq++});
+      push_event(Event{*next, w.id, seq++});
     } else {
       w.event_pending = false;
       w.finish_ms = ev.t;
       makespan = std::max(makespan, ev.t);
     }
   }
+  metrics.event_queue_regrowths = queue.regrowths();
 
   // Spare-area writes may still be draining after the last worker
   // retires; reconstruction_ms already tracks their completions, so the

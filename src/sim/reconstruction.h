@@ -119,7 +119,17 @@ class ReconstructionEngine {
   /// Invoked when a worker finishes a stripe (releases parked degraded
   /// application reads). Installed by run().
   std::function<void(std::uint64_t stripe, double now)> on_stripe_recovered_;
-  void verify_recovered_chunk(Worker& w, const recovery::RecoveryStep& step);
+  /// verify_data mode: queues the chain fold that rebuilds `step.target`
+  /// into the worker's verify batch (dependency barriers keep peel order).
+  void queue_chunk_verify(Worker& w, const recovery::RecoveryStep& step);
+  /// Dispatches the worker's pending verify folds as one batch and checks
+  /// every rebuilt chunk against the ground-truth stripe.
+  void flush_chunk_verifies(Worker& w);
+  /// Points the worker at the (possibly memoized) request sequence for its
+  /// current scheme. Memoization piggybacks on the scheme cache: the ops
+  /// list is a pure function of (layout, scheme), so SchemeCache hits skip
+  /// the per-stripe rebuild entirely.
+  void assign_request_sequence(Worker& w);
 
   // ---- Fault path (active only when config_.faults.enabled()). ----
   /// Does a live spare copy of the chunk exist?
@@ -141,6 +151,13 @@ class ReconstructionEngine {
   ReconstructionConfig config_;
   std::vector<Disk> disks_;
   std::unique_ptr<recovery::SchemeCache> scheme_cache_;
+  /// Memoized request sequences keyed by scheme identity. The entry pins
+  /// the scheme so the pointer key can never be reused by a new scheme.
+  struct OpsEntry {
+    std::shared_ptr<const recovery::RecoveryScheme> scheme;
+    std::shared_ptr<const std::vector<recovery::ChunkOp>> ops;
+  };
+  std::unordered_map<const recovery::RecoveryScheme*, OpsEntry> ops_cache_;
   /// Points at a run()-local histogram while a run is in flight (null
   /// otherwise and whenever config_.observer is null).
   obs::Histogram* response_hist_ = nullptr;

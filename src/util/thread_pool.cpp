@@ -1,8 +1,6 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
-#include <atomic>
-#include <utility>
 
 namespace fbf::util {
 
@@ -27,7 +25,7 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::submit(Task task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     tasks_.push(std::move(task));
@@ -47,7 +45,7 @@ void ThreadPool::wait_idle() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
@@ -79,38 +77,6 @@ void ThreadPool::worker_loop() {
       }
     }
   }
-}
-
-void parallel_for(ThreadPool& pool, std::size_t n,
-                  const std::function<void(std::size_t)>& fn) {
-  if (n == 0) {
-    return;
-  }
-  // One task per worker, all pulling chunks of the index space from a
-  // shared atomic cursor — instead of one heap-allocated std::function per
-  // iteration. Chunks keep contention low while still load-balancing
-  // iterations of uneven cost.
-  const std::size_t workers = std::min(n, pool.thread_count());
-  const std::size_t chunk = std::max<std::size_t>(1, n / (workers * 8));
-  std::atomic<std::size_t> next{0};
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.submit([&next, &fn, n, chunk] {
-      for (;;) {
-        const std::size_t begin =
-            next.fetch_add(chunk, std::memory_order_relaxed);
-        if (begin >= n) {
-          return;
-        }
-        const std::size_t end = std::min(n, begin + chunk);
-        for (std::size_t i = begin; i < end; ++i) {
-          fn(i);
-        }
-      }
-    });
-  }
-  // `next` and `fn` outlive the tasks: wait_idle returns only after every
-  // submitted task has finished.
-  pool.wait_idle();
 }
 
 }  // namespace fbf::util

@@ -4,16 +4,119 @@
 // into pre-sized slots.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
-#include <functional>
 #include <mutex>
+#include <new>
 #include <queue>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace fbf::util {
+
+/// Move-only type-erased callable with inline storage. Callables that fit
+/// the inline buffer and are nothrow-move-constructible never touch the
+/// heap — which covers the pool's hot submitter, parallel_for's
+/// chunk-puller (four words of captures). Anything larger is boxed behind
+/// a single owning pointer kept in the same storage.
+class Task {
+ public:
+  Task() = default;
+
+  template <typename F, typename = std::enable_if_t<
+                            !std::is_same_v<std::decay_t<F>, Task>>>
+  Task(F&& f) {  // NOLINT(google-explicit-constructor): submit(lambda)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      vtable_ = &kInlineVTable<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      vtable_ = &kBoxedVTable<Fn>;
+    }
+  }
+
+  Task(Task&& other) noexcept { move_from(other); }
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { reset(); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  void operator()() { vtable_->invoke(storage_); }
+
+  static constexpr std::size_t kInlineBytes = 48;
+
+  /// True when callables of type Fn are stored without a heap allocation.
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*move)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static Fn* as(void* storage) {
+    return std::launder(reinterpret_cast<Fn*>(storage));
+  }
+
+  template <typename Fn>
+  static constexpr VTable kInlineVTable{
+      [](void* s) { (*as<Fn>(s))(); },
+      [](void* dst, void* src) noexcept {
+        Fn* f = as<Fn>(src);
+        ::new (dst) Fn(std::move(*f));
+        f->~Fn();
+      },
+      [](void* s) noexcept { as<Fn>(s)->~Fn(); }};
+
+  // The boxed forms store a single owning Fn* in the buffer; the pointer
+  // itself is trivially destructible, so move/destroy only transfer or
+  // release the box.
+  template <typename Fn>
+  static constexpr VTable kBoxedVTable{
+      [](void* s) { (**as<Fn*>(s))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn*(*as<Fn*>(src));
+      },
+      [](void* s) noexcept { delete *as<Fn*>(s); }};
+
+  void move_from(Task& other) noexcept {
+    if (other.vtable_ != nullptr) {
+      vtable_ = other.vtable_;
+      vtable_->move(storage_, other.storage_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[kInlineBytes];
+  const VTable* vtable_ = nullptr;
+};
 
 class ThreadPool {
  public:
@@ -24,11 +127,12 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. If the task throws, the first exception is captured
-  /// and rethrown from the next wait_idle(); later exceptions from the same
-  /// batch are dropped. An exception never retrieved before destruction is
-  /// discarded.
-  void submit(std::function<void()> task);
+  /// Enqueues a task (any callable converts to Task; small callables are
+  /// stored inline, allocation-free). If the task throws, the first
+  /// exception is captured and rethrown from the next wait_idle(); later
+  /// exceptions from the same batch are dropped. An exception never
+  /// retrieved before destruction is discarded.
+  void submit(Task task);
 
   /// Blocks until every submitted task has finished, then rethrows the
   /// first exception any of them raised (if any).
@@ -42,7 +146,7 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   std::exception_ptr first_error_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
@@ -52,8 +156,35 @@ class ThreadPool {
 /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
 /// Work is distributed dynamically: one task per pool thread, each grabbing
 /// chunks of indices from a shared atomic cursor, so per-iteration
-/// scheduling costs no queue traffic or allocation.
-void parallel_for(ThreadPool& pool, std::size_t n,
-                  const std::function<void(std::size_t)>& fn);
+/// scheduling costs no queue traffic or allocation — and the per-thread
+/// task itself stays in Task's inline storage.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t n, Fn&& fn) {
+  if (n == 0) {
+    return;
+  }
+  const std::size_t workers = std::min(n, pool.thread_count());
+  const std::size_t chunk = std::max<std::size_t>(1, n / (workers * 8));
+  std::atomic<std::size_t> next{0};
+  auto* body = &fn;  // one pointer: keeps the capture inside Task's buffer
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.submit([&next, body, n, chunk] {
+      for (;;) {
+        const std::size_t begin =
+            next.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= n) {
+          return;
+        }
+        const std::size_t end = std::min(n, begin + chunk);
+        for (std::size_t i = begin; i < end; ++i) {
+          (*body)(i);
+        }
+      }
+    });
+  }
+  // `next` and `fn` outlive the tasks: wait_idle returns only after every
+  // submitted task has finished.
+  pool.wait_idle();
+}
 
 }  // namespace fbf::util

@@ -11,6 +11,7 @@
 #include "codes/codec.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace fbf::codes {
 namespace {
@@ -194,6 +195,145 @@ TEST_F(XorKernelsTest, DecodeRoundTripBitIdenticalAcrossKernels) {
       }
     }
   }
+}
+
+// xor_fold_batch must be bit-identical to folding its jobs one at a time
+// with the portable reference — for every dispatched variant, batch sizes
+// 1/2/odd/large, mixed accumulate flags, and ragged job sizes that stress
+// each kernel's tail handling.
+TEST_F(XorKernelsTest, BatchMatchesSequentialFoldAcrossKernels) {
+  util::Rng rng(0xba7c4u);
+  for (XorKernel kernel : supported_xor_kernels()) {
+    SCOPED_TRACE(std::string(to_string(kernel)));
+    for (std::size_t batch : {1u, 2u, 7u, 64u}) {
+      // Stable backing stores: FoldJob keeps raw pointers.
+      std::vector<std::vector<std::byte>> dsts(batch);
+      std::vector<std::vector<std::byte>> expected(batch);
+      std::vector<std::vector<std::vector<std::byte>>> srcs(batch);
+      std::vector<std::vector<const std::byte*>> ptrs(batch);
+      std::vector<FoldJob> jobs;
+      for (std::size_t j = 0; j < batch; ++j) {
+        const std::size_t size = 1 + (j * 37) % 300;  // ragged, tail-heavy
+        const std::size_t nsrcs = 1 + j % 5;
+        const bool accumulate = (j % 3) == 0;
+        dsts[j].resize(size);
+        rng.fill_bytes(dsts[j]);
+        expected[j] = dsts[j];
+        for (std::size_t s = 0; s < nsrcs; ++s) {
+          srcs[j].emplace_back(size);
+          rng.fill_bytes(srcs[j].back());
+          ptrs[j].push_back(srcs[j].back().data());
+        }
+        detail::xor_fold_scalar(expected[j].data(), ptrs[j].data(), nsrcs,
+                                size, accumulate);
+        jobs.push_back(
+            FoldJob{dsts[j].data(), ptrs[j].data(), nsrcs, size, accumulate});
+      }
+      ASSERT_TRUE(set_xor_kernel(kernel));
+      xor_fold_batch(jobs);
+      for (std::size_t j = 0; j < batch; ++j) {
+        ASSERT_EQ(dsts[j], expected[j]) << "batch=" << batch << " job=" << j;
+      }
+    }
+  }
+}
+
+// The pool-split path (big batches fan out through parallel_for) must
+// produce the same bytes as the serial dispatch: jobs are independent, so
+// execution order cannot matter.
+TEST_F(XorKernelsTest, BatchParallelSplitIsBitIdentical) {
+  util::Rng rng(0x9001u);
+  constexpr std::size_t kJobs = 24;
+  constexpr std::size_t kSize = 64 * 1024;  // 24 jobs * 3 spans > 1 MiB
+  std::vector<std::vector<std::byte>> serial_dst(kJobs);
+  std::vector<std::vector<std::byte>> pooled_dst(kJobs);
+  std::vector<std::vector<std::byte>> src(kJobs);
+  std::vector<const std::byte*> ptr(kJobs);
+  std::vector<FoldJob> serial_jobs;
+  std::vector<FoldJob> pooled_jobs;
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    serial_dst[j].resize(kSize);
+    rng.fill_bytes(serial_dst[j]);
+    pooled_dst[j] = serial_dst[j];
+    src[j].resize(kSize);
+    rng.fill_bytes(src[j]);
+    ptr[j] = src[j].data();
+    serial_jobs.push_back(FoldJob{serial_dst[j].data(), &ptr[j], 1, kSize,
+                                  (j % 2) == 0});
+    pooled_jobs.push_back(FoldJob{pooled_dst[j].data(), &ptr[j], 1, kSize,
+                                  (j % 2) == 0});
+  }
+  xor_fold_batch(serial_jobs);
+  util::ThreadPool pool(4);
+  xor_fold_batch(pooled_jobs, &pool);
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    ASSERT_EQ(pooled_dst[j], serial_dst[j]) << "job " << j;
+  }
+}
+
+// FoldBatch's overlap barriers must make a batched dependency chain land
+// on the same bytes as immediate sequential folds: RAW (a later fold reads
+// an earlier fold's destination), WAW, and WAR all force a flush.
+TEST_F(XorKernelsTest, FoldBatchPreservesDependencyChains) {
+  util::Rng rng(0xdeb7u);
+  constexpr std::size_t kSize = 129;
+  std::vector<std::byte> a(kSize);
+  std::vector<std::byte> b(kSize);
+  std::vector<std::byte> c(kSize);
+  std::vector<std::byte> d(kSize);
+  rng.fill_bytes(a);
+  rng.fill_bytes(b);
+  rng.fill_bytes(c);
+  rng.fill_bytes(d);
+
+  // Reference: immediate folds in program order.
+  auto run_sequential = [&](std::vector<std::byte> va, std::vector<std::byte> vb,
+                            std::vector<std::byte> vc,
+                            std::vector<std::byte> vd) {
+    xor_fold(vb, std::vector<std::span<const std::byte>>{va});       // b = a
+    xor_fold(vc, std::vector<std::span<const std::byte>>{vb, va});   // RAW on b
+    xor_fold_into(va, std::vector<std::span<const std::byte>>{vd});  // WAR on a
+    xor_fold(vd, std::vector<std::span<const std::byte>>{vc});       // RAW on c
+    return std::vector<std::vector<std::byte>>{va, vb, vc, vd};
+  };
+  const auto expected = run_sequential(a, b, c, d);
+
+  FoldBatch batch;
+  batch.add(b, std::vector<std::span<const std::byte>>{a});
+  batch.add(c, std::vector<std::span<const std::byte>>{b, a});
+  batch.add(a, std::vector<std::span<const std::byte>>{d}, /*accumulate=*/true);
+  batch.add(d, std::vector<std::span<const std::byte>>{c});
+  batch.flush();
+  EXPECT_EQ(a, expected[0]);
+  EXPECT_EQ(b, expected[1]);
+  EXPECT_EQ(c, expected[2]);
+  EXPECT_EQ(d, expected[3]);
+}
+
+TEST_F(XorKernelsTest, FoldBatchIndependentJobsCoalesceAndDestructorFlushes) {
+  util::Rng rng(0x70a1u);
+  constexpr std::size_t kSize = 77;
+  std::vector<std::byte> s1(kSize);
+  std::vector<std::byte> s2(kSize);
+  rng.fill_bytes(s1);
+  rng.fill_bytes(s2);
+  std::vector<std::byte> d1(kSize, std::byte{0xff});
+  std::vector<std::byte> d2(kSize, std::byte{0xff});
+  {
+    FoldBatch batch;
+    batch.add(d1, std::vector<std::span<const std::byte>>{s1, s2});
+    batch.add(d2, std::vector<std::span<const std::byte>>{s2});
+    EXPECT_EQ(batch.pending(), 2u);  // independent: one wave, no flush yet
+    // Destructor dispatches the pending wave.
+  }
+  std::vector<std::byte> want1(kSize);
+  std::vector<std::byte> want2(kSize);
+  const std::byte* p1[] = {s1.data(), s2.data()};
+  detail::xor_fold_scalar(want1.data(), p1, 2, kSize, false);
+  const std::byte* p2[] = {s2.data()};
+  detail::xor_fold_scalar(want2.data(), p2, 1, kSize, false);
+  EXPECT_EQ(d1, want1);
+  EXPECT_EQ(d2, want2);
 }
 
 TEST_F(XorKernelsTest, StripeDataChunksAre64ByteAligned) {

@@ -44,6 +44,18 @@ TEST(DorEngine, RecoversEveryChunk) {
   EXPECT_GT(m.reconstruction_ms, 0.0);
 }
 
+TEST(DorEngine, EventQueueReservationsAreExact) {
+  // Faultless DOR issues exactly one in-flight read per disk shard and one
+  // spare write per planned task, so the reserves are exact and regrowth
+  // must be structurally zero.
+  const codes::Layout l = codes::make_layout(codes::CodeId::Tip, 7);
+  const ArrayGeometry g(l, 10000, true, SparePlacement::Distributed);
+  DorEngine engine(l, g, small_config());
+  const SimMetrics m = engine.run(make_trace(l, 30));
+  EXPECT_GT(m.engine_events, 0u);
+  EXPECT_EQ(m.event_queue_regrowths, 0u);
+}
+
 TEST(DorEngine, AllCodesAllSchemesComplete) {
   for (codes::CodeId id : codes::kAllCodes) {
     const codes::Layout l = codes::make_layout(id, 5);

@@ -9,9 +9,12 @@
 
 #include <string>
 
+#include "codes/builders.h"
 #include "core/experiment.h"
 #include "obs/observer.h"
+#include "sim/dor_engine.h"
 #include "sim/faults/faults.h"
+#include "sim/reconstruction.h"
 
 namespace fbf::sim {
 namespace {
@@ -184,6 +187,49 @@ TEST_P(FaultReplay, BeyondBudgetAbortsWithStructuredDiagnostic) {
     EXPECT_NE(std::string(e.what()).find("not decodable"),
               std::string::npos);
   }
+}
+
+TEST(FaultEventQueue, ReservationsHoldUnderFaultLoad) {
+  // The sharded event queues reserve for the fault path up front (disk
+  // failures, escalation targets, a replan slab); a regrowth under this
+  // URE + transient + straggler + disk-failure load means a bound is
+  // wrong. Direct engine runs, because the regrowth counter is engine
+  // instrumentation that the experiment layer deliberately never exports.
+  const codes::Layout l = codes::make_layout(codes::CodeId::Tip, 7);
+  const ArrayGeometry g(l, 50000, true, SparePlacement::Distributed);
+  workload::ErrorTraceConfig tc;
+  tc.num_stripes = 50000;
+  tc.num_errors = 40;
+  tc.target_col = 0;
+  tc.seed = 5;
+  const auto errors = workload::generate_error_trace(l, tc);
+  FaultConfig faults;
+  faults.ure_rate = 0.03;
+  faults.transient_rate = 0.01;
+  faults.stragglers = 2;
+  faults.straggler_factor = 3.0;
+  faults.disk_failure_times_ms = {200.0};
+
+  ReconstructionConfig sor;
+  sor.workers = 8;
+  sor.cache_bytes = 8ull << 20;
+  sor.seed = 2024;
+  sor.faults = faults;
+  ReconstructionEngine sor_engine(l, g, sor);
+  const SimMetrics sm = sor_engine.run(errors);
+  EXPECT_GT(sm.fault.replans, 0u);
+  EXPECT_GT(sm.engine_events, 0u);
+  EXPECT_EQ(sm.event_queue_regrowths, 0u);
+
+  DorConfig dor;
+  dor.cache_bytes = 8ull << 20;
+  dor.seed = 2024;
+  dor.faults = faults;
+  DorEngine dor_engine(l, g, dor);
+  const SimMetrics dm = dor_engine.run(errors);
+  EXPECT_GT(dm.fault.replans, 0u);
+  EXPECT_GT(dm.engine_events, 0u);
+  EXPECT_EQ(dm.event_queue_regrowths, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(BothEngines, FaultReplay,

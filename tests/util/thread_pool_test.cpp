@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <cstddef>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace fbf::util {
@@ -103,6 +107,89 @@ TEST(ThreadPool, ThrowingTaskSurfacesFromWaitIdle) {
   pool.submit([&count] { count.fetch_add(1); });
   pool.wait_idle();
   EXPECT_EQ(count.load(), 1);
+}
+
+TEST(Task, SmallCallablesStayInline) {
+  // The hot submitters must never box: parallel_for's chunk puller is four
+  // words, and typical submit lambdas capture a pointer or two. Compile-
+  // time pins so a capture added to the hot path fails here, not in perf.
+  struct FourWords {
+    void* a;
+    void* b;
+    std::size_t c;
+    std::size_t d;
+    void operator()() const {}
+  };
+  static_assert(Task::fits_inline<FourWords>());
+  struct SixWords {
+    void* p[6];
+    void operator()() const {}
+  };
+  static_assert(Task::fits_inline<SixWords>());  // 48 bytes: the boundary
+  struct SevenWords {
+    void* p[7];
+    void operator()() const {}
+  };
+  static_assert(!Task::fits_inline<SevenWords>());  // 56 bytes: boxed
+}
+
+TEST(Task, BoxedCallableRunsAndReleases) {
+  // A capture bigger than the inline buffer takes the boxed path; it must
+  // still run exactly once and free its box (ASan would flag a leak).
+  ThreadPool pool(2);
+  std::array<std::uint64_t, 16> payload{};  // 128 bytes: over the buffer
+  static_assert(sizeof(payload) > Task::kInlineBytes);
+  payload.fill(7);
+  std::atomic<std::uint64_t> sum{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([payload, &sum] {
+      std::uint64_t s = 0;
+      for (std::uint64_t v : payload) {
+        s += v;
+      }
+      sum.fetch_add(s);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), 32u * 16u * 7u);
+}
+
+TEST(Task, MoveTransfersOwnershipOnce) {
+  std::atomic<int> destroyed{0};
+  struct CountsDestruction {
+    std::atomic<int>* counter;
+    bool owner = true;
+    explicit CountsDestruction(std::atomic<int>* c) : counter(c) {}
+    CountsDestruction(CountsDestruction&& o) noexcept
+        : counter(o.counter), owner(o.owner) {
+      o.owner = false;
+    }
+    CountsDestruction(const CountsDestruction&) = delete;
+    ~CountsDestruction() {
+      if (owner) {
+        counter->fetch_add(1);
+      }
+    }
+    void operator()() const {}
+  };
+  {
+    Task a{CountsDestruction(&destroyed)};
+    Task b = std::move(a);
+    EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(static_cast<bool>(b));
+    b();
+  }
+  EXPECT_EQ(destroyed.load(), 1);  // exactly one owning destruction
+}
+
+TEST(ThreadPool, BoxedThrowingTaskStillSurfacesAndFrees) {
+  ThreadPool pool(2);
+  std::array<char, 128> big{};
+  pool.submit([big] {
+    (void)big;
+    throw std::runtime_error("boxed boom");
+  });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
 }
 
 TEST(ThreadPool, FirstOfManyExceptionsWins) {
