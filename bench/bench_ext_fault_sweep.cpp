@@ -14,7 +14,12 @@
 //   --fault-*              base fault load applied to every grid point
 //                          (core/fault_flags.h; e.g. a transient rate or a
 //                          mid-recovery disk failure)
+//   --app-*                foreground traffic riding every grid point
+//                          (core/app_flags.h); --app-requests=N > 0 adds
+//                          the app response / degraded columns, and UREs
+//                          and stragglers hit those reads too
 #include "bench_common.h"
+#include "core/app_flags.h"
 #include "core/fault_flags.h"
 #include "sim/faults/faults.h"
 
@@ -24,6 +29,8 @@ int main(int argc, char** argv) {
                                       "straggler-factors", "stragglers"};
   const auto& fault_names = core::fault_flag_names();
   extra.insert(extra.end(), fault_names.begin(), fault_names.end());
+  const auto& app_names = core::app_flag_names();
+  extra.insert(extra.end(), app_names.begin(), app_names.end());
   const util::Flags flags(argc, argv);
   const bench::BenchOptions opt = bench::parse_options(argc, argv, {7}, extra);
 
@@ -31,6 +38,7 @@ int main(int argc, char** argv) {
   FBF_CHECK(engine == "sor" || engine == "dor",
             "--engine must be \"sor\" or \"dor\", got \"" + engine + "\"");
   const sim::FaultConfig base_faults = core::parse_fault_flags(flags);
+  const core::AppFlagValues app = core::parse_app_flags(flags);
   const std::vector<double> ure_rates =
       flags.get_double_list("ure-rates", {0.0, 1e-4, 1e-3});
   const std::vector<double> straggler_factors =
@@ -41,9 +49,14 @@ int main(int argc, char** argv) {
             << opt.primes.front() << ", engine=" << engine
             << ", cache 64MB) ===\n\n";
   util::Table table("degraded recovery under faults");
-  table.headers({"ure rate", "straggler x", "policy", "hit ratio",
-                 "disk reads", "retries", "replans", "extra lost",
-                 "recon (ms)"});
+  std::vector<std::string> headers{"ure rate", "straggler x", "policy",
+                                   "hit ratio", "disk reads", "retries",
+                                   "replans", "extra lost", "recon (ms)"};
+  if (app.requests > 0) {
+    headers.insert(headers.end(), {"app avg (ms)", "app p99 (ms)",
+                                   "app degraded r/w"});
+  }
+  table.headers(headers);
   int point = 0;
   for (double ure : ure_rates) {
     for (double factor : straggler_factors) {
@@ -62,15 +75,26 @@ int main(int argc, char** argv) {
         // Disjoint registry labels per grid point: several points share
         // (code, p, policy, cache) and differ only in the fault axes.
         cfg.obs_suffix = ".f" + std::to_string(point++);
+        cfg.app_requests = app.requests;
+        cfg.app_mean_interarrival_ms = app.interarrival_ms;
+        cfg.app_read_fraction = app.read_fraction;
+        cfg.app_deadline_ms = app.deadline_ms;
+        cfg.recovery_throttle = app.throttle;
         const core::ExperimentResult r = core::run_experiment(cfg);
-        table.add_row({util::fmt_double(ure, 6), util::fmt_double(factor, 1),
-                       cache::to_string(policy),
-                       util::fmt_percent(r.hit_ratio),
-                       std::to_string(r.disk_reads),
-                       std::to_string(r.fault.retries),
-                       std::to_string(r.fault.replans),
-                       std::to_string(r.fault.extra_lost_chunks),
-                       util::fmt_double(r.reconstruction_ms, 1)});
+        std::vector<std::string> row{
+            util::fmt_double(ure, 6), util::fmt_double(factor, 1),
+            std::string(cache::to_string(policy)),
+            util::fmt_percent(r.hit_ratio), std::to_string(r.disk_reads),
+            std::to_string(r.fault.retries), std::to_string(r.fault.replans),
+            std::to_string(r.fault.extra_lost_chunks),
+            util::fmt_double(r.reconstruction_ms, 1)};
+        if (app.requests > 0) {
+          row.push_back(util::fmt_double(r.app_avg_response_ms));
+          row.push_back(util::fmt_double(r.app_p99_response_ms));
+          row.push_back(std::to_string(r.app_degraded_reads) + "/" +
+                        std::to_string(r.app_degraded_writes));
+        }
+        table.add_row(row);
       }
     }
   }

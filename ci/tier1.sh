@@ -18,7 +18,9 @@
 # Finally a fault smoke runs a tiny URE x straggler matrix through
 # bench_ext_fault_sweep twice per engine and diffs the CSVs: the fault
 # stream is a pure function of the seed, so any byte of divergence is a
-# determinism regression in the injection layer.
+# determinism regression in the injection layer. An app smoke does the
+# same for the online-recovery path (foreground traffic, deadlines, and
+# the recovery throttle on both engines, via bench_app_slo).
 #
 # The engine smoke then drives the event-core macro bench (bench_engine,
 # one rep — wiring coverage, not perf) and re-runs the fault matrix with
@@ -76,6 +78,34 @@ fault_smoke() {
   done
 }
 
+# Online-recovery smoke: bench_app_slo drives foreground traffic plus the
+# recovery throttle through both engines twice with the same seed. The
+# CSVs must be byte-identical (the app path shares the engines'
+# determinism contract) and the exported metrics must pass the schema
+# check — including the app.* conservation laws — and match across the
+# two runs modulo wall_clock.
+app_smoke() {
+  local build_dir="$1"
+  local out="${build_dir}/app-smoke"
+  rm -rf "$out"
+  mkdir -p "$out"
+  local run
+  for run in 1 2; do
+    "${build_dir}/bench/bench_app_slo" \
+      --errors=8 --workers=4 --csv \
+      --app-requests=120 --app-interarrival-ms=3 --app-read-fraction=0.7 \
+      --app-deadline-ms=25 --throttles=0,300 \
+      --metrics-out="${out}/slo${run}.json" \
+      >"${out}/slo${run}.csv"
+  done
+  cmp "${out}/slo1.csv" "${out}/slo2.csv" || {
+    echo "app SLO sweep is not deterministic" >&2
+    exit 1
+  }
+  "${build_dir}/tools/obs_schema_check" "${out}/slo1.json" \
+    --compare="${out}/slo2.json"
+}
+
 engine_smoke() {
   local build_dir="$1"
   local out="${build_dir}/engine-smoke"
@@ -110,6 +140,7 @@ ctest --test-dir build --output-on-failure -j
 bench_smoke build
 obs_smoke build
 fault_smoke build
+app_smoke build
 engine_smoke build
 
 cmake -B build-scalar -S . -DFBF_ENABLE_SIMD=OFF
@@ -118,6 +149,7 @@ ctest --test-dir build-scalar --output-on-failure -j
 bench_smoke build-scalar
 obs_smoke build-scalar
 fault_smoke build-scalar
+app_smoke build-scalar
 engine_smoke build-scalar
 
 cmake -B build-asan -S . -DFBF_SANITIZE=ON
@@ -126,4 +158,5 @@ ctest --test-dir build-asan --output-on-failure -j
 bench_smoke build-asan
 obs_smoke build-asan
 fault_smoke build-asan
+app_smoke build-asan
 engine_smoke build-asan

@@ -19,7 +19,9 @@
 //   --detailed-disk  seek/rotate/transfer model          (off)
 //   --no-rotate   disable column rotation
 //   --same-disk-sparing  spare writes to the failed disk
-//   --app-requests foreground I/O count                  (0)
+//   --app-*       foreground traffic knobs; see core/app_flags.h
+//                 (count, interarrival, read mix, deadline — all off)
+//   --recovery-throttle[-burst]  rebuild token bucket; core/app_flags.h
 //   --verify      carry real bytes, verify every recovered chunk
 //   --engine      sor | dor reconstruction engine        (sor)
 //   --seed        workload seed                          (42)
@@ -33,6 +35,7 @@
 #include <iostream>
 #include <memory>
 
+#include "core/app_flags.h"
 #include "core/experiment.h"
 #include "core/fault_flags.h"
 #include "obs/observer.h"
@@ -48,11 +51,13 @@ int main(int argc, char** argv) {
       "code",         "p",       "policy",       "scheme",
       "cache-mb",     "chunk-kb", "workers",     "errors",
       "error-col",    "disk-ms", "cache-ms",     "detailed-disk",
-      "no-rotate",    "same-disk-sparing",       "app-requests",
+      "no-rotate",    "same-disk-sparing",
       "verify",       "engine",  "seed",         "csv",
       "metrics-out",  "trace-out",               "trace-detail"};
   const auto& fault_names = core::fault_flag_names();
   known.insert(known.end(), fault_names.begin(), fault_names.end());
+  const auto& app_names = core::app_flag_names();
+  known.insert(known.end(), app_names.begin(), app_names.end());
   flags.check_known(known);
 
   core::ExperimentConfig cfg;
@@ -77,7 +82,12 @@ int main(int argc, char** argv) {
   if (flags.get_bool("same-disk-sparing", false)) {
     cfg.spare_placement = sim::SparePlacement::SameDisk;
   }
-  cfg.app_requests = static_cast<int>(flags.get_int("app-requests", 0));
+  const core::AppFlagValues app = core::parse_app_flags(flags);
+  cfg.app_requests = app.requests;
+  cfg.app_mean_interarrival_ms = app.interarrival_ms;
+  cfg.app_read_fraction = app.read_fraction;
+  cfg.app_deadline_ms = app.deadline_ms;
+  cfg.recovery_throttle = app.throttle;
   cfg.verify_data = flags.get_bool("verify", false);
   const std::string engine = flags.get_string("engine", "sor");
   FBF_CHECK(engine == "sor" || engine == "dor",
@@ -135,9 +145,24 @@ int main(int argc, char** argv) {
   table.add_row({"schemes generated", std::to_string(r.schemes_generated)});
   table.add_row(
       {"scheme gen wall (ms)", util::fmt_double(r.scheme_gen_wall_ms, 3)});
+  // App rows only appear when foreground traffic is on, so recovery-only
+  // output stays byte-identical to builds that predate the SLO engine.
   if (cfg.app_requests > 0) {
     table.add_row(
         {"app avg response (ms)", util::fmt_double(r.app_avg_response_ms)});
+    table.add_row(
+        {"app p99 response (ms)", util::fmt_double(r.app_p99_response_ms)});
+    table.add_row(
+        {"app p999 response (ms)", util::fmt_double(r.app_p999_response_ms)});
+    table.add_row({"app served", std::to_string(r.app_served)});
+    table.add_row(
+        {"app degraded reads", std::to_string(r.app_degraded_reads)});
+    table.add_row(
+        {"app degraded writes", std::to_string(r.app_degraded_writes)});
+    if (cfg.app_deadline_ms > 0.0) {
+      table.add_row(
+          {"app deadline misses", std::to_string(r.app_deadline_miss)});
+    }
   }
   if (cfg.verify_data) {
     table.add_row({"data verification", "PASSED (all recovered chunks)"});

@@ -3,20 +3,30 @@
 // Shows how FBF's lower read count frees disk time for the application.
 //
 //   ./online_recovery_demo --code=triplestar --p=7 --app-requests=2000
+//       --app-deadline-ms=25 --recovery-throttle=800 --engine=dor
+//
+// --app-*/--recovery-throttle spell the full online-recovery vocabulary
+// (core/app_flags.h): mixed read/write traffic, per-request deadlines, and
+// a rebuild token bucket that trades reconstruction time for tail latency.
 #include <iostream>
 #include <memory>
 
+#include "core/app_flags.h"
 #include "core/experiment.h"
 #include "obs/observer.h"
+#include "util/check.h"
 #include "util/flags.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   using namespace fbf;
   const util::Flags flags(argc, argv);
-  flags.check_known({"code", "p", "cache-mb", "errors", "workers",
-                     "app-requests", "app-interarrival-ms", "metrics-out",
-                     "trace-out"});
+  std::vector<std::string_view> known{"code",    "p",           "cache-mb",
+                                      "errors",  "workers",     "engine",
+                                      "metrics-out", "trace-out"};
+  const auto& app_names = core::app_flag_names();
+  known.insert(known.end(), app_names.begin(), app_names.end());
+  flags.check_known(known);
 
   core::ExperimentConfig cfg;
   cfg.code = codes::code_from_string(flags.get_string("code", "triplestar"));
@@ -25,8 +35,17 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("cache-mb", 8)) << 20;
   cfg.num_errors = static_cast<int>(flags.get_int("errors", 80));
   cfg.workers = static_cast<int>(flags.get_int("workers", 16));
-  cfg.app_requests = static_cast<int>(flags.get_int("app-requests", 2000));
+  const std::string engine = flags.get_string("engine", "sor");
+  FBF_CHECK(engine == "sor" || engine == "dor",
+            "--engine must be \"sor\" or \"dor\", got \"" + engine + "\"");
+  cfg.engine = engine == "dor" ? core::EngineKind::Dor : core::EngineKind::Sor;
+  const core::AppFlagValues app = core::parse_app_flags(flags);
+  // The demo is about foreground traffic, so default it on.
+  cfg.app_requests = app.requests > 0 ? app.requests : 2000;
   cfg.app_mean_interarrival_ms = flags.get_double("app-interarrival-ms", 1.0);
+  cfg.app_read_fraction = app.read_fraction;
+  cfg.app_deadline_ms = app.deadline_ms;
+  cfg.recovery_throttle = app.throttle;
 
   std::unique_ptr<obs::RunObserver> observer;
   const std::string metrics_out = flags.get_string("metrics-out", "");
@@ -42,17 +61,30 @@ int main(int argc, char** argv) {
   }
 
   util::Table table("online recovery — reconstruction vs foreground I/O");
-  table.headers({"policy", "recon (ms)", "recon reads", "app avg resp (ms)",
-                 "hit ratio"});
+  std::vector<std::string> headers{"policy", "recon (ms)", "recon reads",
+                                   "app avg resp (ms)", "app p99 (ms)",
+                                   "degraded r/w", "hit ratio"};
+  if (cfg.app_deadline_ms > 0.0) {
+    headers.push_back("deadline misses");
+  }
+  table.headers(headers);
   for (cache::PolicyId policy : {cache::PolicyId::Lru, cache::PolicyId::Arc,
                                  cache::PolicyId::Fbf}) {
     cfg.policy = policy;
     const core::ExperimentResult r = core::run_experiment(cfg);
-    table.add_row({cache::to_string(policy),
-                   util::fmt_double(r.reconstruction_ms, 1),
-                   std::to_string(r.disk_reads),
-                   util::fmt_double(r.app_avg_response_ms),
-                   util::fmt_percent(r.hit_ratio)});
+    std::vector<std::string> row{
+        std::string(cache::to_string(policy)),
+        util::fmt_double(r.reconstruction_ms, 1),
+        std::to_string(r.disk_reads),
+        util::fmt_double(r.app_avg_response_ms),
+        util::fmt_double(r.app_p99_response_ms),
+        std::to_string(r.app_degraded_reads) + "/" +
+            std::to_string(r.app_degraded_writes),
+        util::fmt_percent(r.hit_ratio)};
+    if (cfg.app_deadline_ms > 0.0) {
+      row.push_back(std::to_string(r.app_deadline_miss));
+    }
+    table.add_row(row);
   }
   table.print(std::cout);
   std::cout << "\nFewer reconstruction reads leave more disk time for the "

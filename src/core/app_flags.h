@@ -1,0 +1,54 @@
+// Shared --app-*/--recovery-throttle flag vocabulary for the experiment
+// drivers (fbfsim, the demos, and the SLO benches), so every binary spells
+// the online-recovery knobs the same way:
+//
+//   --app-requests=N             foreground request count            (0)
+//   --app-interarrival-ms=T      mean Poisson interarrival, ms       (2)
+//   --app-read-fraction=F        read share of the app trace         (0.7)
+//   --app-deadline-ms=T          per-request response SLO, 0 = none  (0)
+//   --recovery-throttle=R        rebuild reads/sec, 0 = unthrottled  (0)
+//   --recovery-throttle-burst=N  throttle token-bucket depth         (16)
+//
+// All default to "off": a driver that accepts these flags but is invoked
+// without them produces byte-identical output to one that predates them.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "sim/foreground.h"
+#include "util/flags.h"
+
+namespace fbf::core {
+
+/// The flag names above, for appending to a driver's check_known() list.
+inline const std::vector<std::string_view>& app_flag_names() {
+  static const std::vector<std::string_view> names{
+      "app-requests",      "app-interarrival-ms",    "app-read-fraction",
+      "app-deadline-ms",   "recovery-throttle",      "recovery-throttle-burst"};
+  return names;
+}
+
+/// Parsed --app-*/--recovery-throttle values, mirroring the
+/// ExperimentConfig fields they populate.
+struct AppFlagValues {
+  int requests = 0;
+  double interarrival_ms = 2.0;
+  double read_fraction = 0.7;
+  double deadline_ms = 0.0;
+  sim::ThrottleConfig throttle;
+};
+
+inline AppFlagValues parse_app_flags(const util::Flags& flags) {
+  AppFlagValues v;
+  v.requests = static_cast<int>(flags.get_int("app-requests", 0));
+  v.interarrival_ms = flags.get_double("app-interarrival-ms", 2.0);
+  v.read_fraction = flags.get_double("app-read-fraction", 0.7);
+  v.deadline_ms = flags.get_double("app-deadline-ms", 0.0);
+  v.throttle.rebuild_reads_per_sec = flags.get_double("recovery-throttle", 0.0);
+  v.throttle.burst =
+      static_cast<int>(flags.get_int("recovery-throttle-burst", 16));
+  return v;
+}
+
+}  // namespace fbf::core

@@ -46,15 +46,16 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     app_cfg.num_stripes = config.num_stripes;
     app_cfg.num_requests = config.app_requests;
     app_cfg.mean_interarrival_ms = config.app_mean_interarrival_ms;
+    app_cfg.read_fraction = config.app_read_fraction;
+    app_cfg.deadline_ms = config.app_deadline_ms;
     app_cfg.seed = config.seed ^ 0xa99ull;
     app_trace = workload::generate_app_trace(layout, app_cfg);
   }
 
   sim::SimMetrics m;
   if (config.engine == EngineKind::Dor) {
-    FBF_CHECK(config.app_requests == 0 && !config.verify_data,
-              "the DOR engine supports neither foreground app traffic nor "
-              "data verification");
+    FBF_CHECK(!config.verify_data,
+              "the DOR engine does not support data verification");
     sim::DorConfig dc;
     dc.scheme = config.scheme;
     dc.policy = config.policy;
@@ -67,12 +68,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     dc.disk.write_ms = config.disk_access_ms;
     dc.seed = config.seed;
     dc.faults = config.faults;
+    dc.throttle = config.recovery_throttle;
     if (config.obs != nullptr) {
       dc.observer = config.obs;
       dc.obs_label = obs_run_label(config);
     }
     sim::DorEngine engine(layout, geometry, dc);
-    m = engine.run(errors);
+    m = engine.run(errors, app_trace);
   } else {
     sim::ReconstructionConfig rc;
     rc.scheme = config.scheme;
@@ -89,6 +91,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     rc.verify_data = config.verify_data;
     rc.seed = config.seed;
     rc.faults = config.faults;
+    rc.throttle = config.recovery_throttle;
     if (config.obs != nullptr) {
       rc.observer = config.obs;
       rc.obs_label = obs_run_label(config);
@@ -112,7 +115,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   r.chunks_recovered = m.chunks_recovered;
   r.total_chunk_requests = m.total_chunk_requests;
   r.app_avg_response_ms = m.app_response_ms.mean();
+  r.app_p99_response_ms = m.app_response_hist.percentile(0.99);
+  r.app_p999_response_ms = m.app_response_hist.percentile(0.999);
   r.app_degraded_reads = m.app_degraded_reads;
+  r.app_degraded_writes = m.app_degraded_writes;
+  r.app_served = m.app_served;
+  r.app_parked_drained = m.app_parked_drained;
+  r.app_deadline_miss = m.app_deadline_miss;
   r.fault = m.fault;
   return r;
 }

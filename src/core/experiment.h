@@ -19,7 +19,8 @@ namespace fbf::core {
 
 /// Which reconstruction engine drives the run. DOR streams planned reads
 /// per disk through one shared buffer and ignores the SOR-only knobs
-/// (workers, app traffic, verify_data, memoization, spare-write mode).
+/// (workers, verify_data, memoization, spare-write mode); both engines
+/// serve foreground app traffic through the shared online-recovery layer.
 enum class EngineKind { Sor, Dor };
 
 struct ExperimentConfig {
@@ -59,9 +60,13 @@ struct ExperimentConfig {
   bool memoize_schemes = true;
   bool verify_data = false;
 
-  // Online-recovery extension: foreground traffic intensity (0 = none).
+  // Online-recovery extension: foreground traffic intensity (0 = none),
+  // mix, per-request response SLO, and how hard the rebuild yields to it.
   int app_requests = 0;
   double app_mean_interarrival_ms = 2.0;
+  double app_read_fraction = 0.7;
+  double app_deadline_ms = 0.0;  ///< 0 = no deadlines
+  sim::ThrottleConfig recovery_throttle;
 
   std::uint64_t seed = 42;
 
@@ -97,7 +102,13 @@ struct ExperimentResult {
   std::uint64_t chunks_recovered = 0;
   std::uint64_t total_chunk_requests = 0;
   double app_avg_response_ms = 0.0;
+  double app_p99_response_ms = 0.0;   ///< bucket-resolution quantile
+  double app_p999_response_ms = 0.0;  ///< bucket-resolution quantile
   std::uint64_t app_degraded_reads = 0;
+  std::uint64_t app_degraded_writes = 0;
+  std::uint64_t app_served = 0;
+  std::uint64_t app_parked_drained = 0;
+  std::uint64_t app_deadline_miss = 0;
 
   /// Fault-injection counters; all-zero when config.faults was disabled.
   sim::FaultStats fault;

@@ -39,6 +39,28 @@ std::uint64_t Histogram::bucket(int exp) const {
   return buckets_[static_cast<std::size_t>(exp - kMinExp)];
 }
 
+double Histogram::percentile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const double clamped_q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::clamp<std::uint64_t>(
+      static_cast<std::uint64_t>(
+          std::ceil(clamped_q * static_cast<double>(count_))),
+      1, count_);
+  std::uint64_t cumulative = nonpositive_;
+  if (rank <= cumulative) {
+    return 0.0;  // the quantile falls among the nonpositive samples
+  }
+  for (int e = kMinExp; e <= kMaxExp; ++e) {
+    cumulative += buckets_[static_cast<std::size_t>(e - kMinExp)];
+    if (rank <= cumulative) {
+      return std::min(max_, std::ldexp(1.0, e + 1));
+    }
+  }
+  return max_;
+}
+
 void Registry::add_counter(const std::string& name, std::uint64_t delta) {
   std::lock_guard<std::mutex> lock(mu_);
   counters_[name] += delta;

@@ -47,6 +47,15 @@ class Histogram {
   /// Count in the bucket for binary exponent `exp` in [kMinExp, kMaxExp].
   std::uint64_t bucket(int exp) const;
 
+  /// Bucket-resolution quantile: the upper edge 2^(e+1) of the bucket
+  /// holding the rank-ceil(q * count) sample (nearest-rank over the
+  /// log2 buckets), clamped to the observed max so a lone sample reports
+  /// itself exactly. Nonpositive samples rank below every bucket and
+  /// report 0. Accurate to a factor of two — the histogram's resolution —
+  /// which is what the SLO gauges (p99/p999) need without retaining
+  /// samples.
+  double percentile(double q) const;
+
   /// Calls fn(exp, count) for every non-empty bucket, ascending exponent.
   template <typename Fn>
   void for_each_bucket(Fn&& fn) const {

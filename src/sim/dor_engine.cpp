@@ -79,6 +79,9 @@ struct Reader {
   std::vector<PlannedRead> queue;
   std::size_t head = 0;
   bool busy = false;
+  /// Throttled runs: time the deferred head read was requested (its
+  /// ThrottledSubmit event is in flight); feeds the response metrics.
+  double requested_at = 0.0;
 
   bool idle_empty() const { return head >= queue.size(); }
 };
@@ -96,7 +99,8 @@ DorEngine::DorEngine(const codes::Layout& layout,
             "chunk_bytes)");
 }
 
-SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
+SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors,
+                          const std::vector<workload::AppRequest>& app_trace) {
   SimMetrics metrics;
   obs::Histogram response_hist;
   obs::Histogram* response_hist_ptr =
@@ -239,6 +243,44 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
   }
   plan_timer.reset();  // planning phase ends here
 
+  // ---- Foreground traffic (shared server, foreground.h). ----
+  // App requests are served synchronously against the analytic disks; the
+  // event loop only schedules arrivals. The app fault stream is a separate
+  // injector over the same plan (own nonce stream, own stats) so app
+  // retries never perturb the rebuild accounting laws. The spare override
+  // reads ChunkInfo::spare_disk, so drained requests land on the disk the
+  // spare write actually hit (injector redirects around dead disks).
+  std::optional<FaultInjector> app_injector;
+  if (fault_plan.has_value() && !app_trace.empty()) {
+    app_injector.emplace(*fault_plan, metrics.app_fault);
+  }
+  ForegroundServer foreground(
+      *layout_, *geometry_, disks, errors, app_trace, metrics,
+      app_injector.has_value() ? &*app_injector : nullptr,
+      [&info](std::uint64_t key) {
+        const auto it = info.find(key);
+        return it != info.end() ? it->second.spare_disk : -1;
+      });
+  std::optional<RebuildThrottle> throttle;
+  if (config_.throttle.enabled()) {
+    throttle.emplace(config_.throttle);
+  }
+  // DOR has no per-stripe pass structure, so "stripe repaired" (the drain
+  // trigger for parked requests) is counted explicitly: a stripe is done
+  // when the last of its *traced* losses has a persisted spare copy.
+  // Escalation-synthesized losses are deliberately excluded — the traced
+  // damage is what parked the request, and its spare copies are live once
+  // the count hits zero (re-lost spares re-recover under the same key,
+  // deduplicated via recovered_once).
+  std::unordered_map<std::uint64_t, std::size_t> stripe_outstanding;
+  std::unordered_set<cache::Key> recovered_once;
+  if (!app_trace.empty()) {
+    for (const workload::StripeError& e : errors) {
+      stripe_outstanding[e.stripe] += e.error.cells().size();
+    }
+    recovered_once.reserve(foreground.damaged_keys().size());
+  }
+
   // ---- Event loop. ----
   // Two event kinds suffice, so events are a flat POD instead of a
   // std::function whose captures would hit the heap on every push: a
@@ -252,6 +294,8 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
       SpareWriteDone,
       ReadFailed,  ///< fault path: attempt budget exhausted / URE / dead disk
       DiskFail,    ///< fault path: whole-disk failure at t (disk = victim)
+      AppArrival,  ///< foreground request arrival (key = trace index)
+      ThrottledSubmit,  ///< throttle grant due: submit the reader's head read
     } kind;
     std::uint32_t disk;  ///< ReadDone/ReadFailed reader; SpareWriteDone target
     cache::Key key;
@@ -261,7 +305,8 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
   };
   // Readers fold onto 16 shards (the busy flag caps each disk at a
   // single in-flight read, so a shard holds at most ceil(disks/16)
-  // events) plus a bulk shard for spare writes and disk failures; the
+  // events) plus a bulk shard for spare writes, disk failures, and app
+  // arrivals; the
   // partition is order-irrelevant (event_queue.h), so the shard count is
   // purely a tournament-depth dial, sized so the shard map is a single
   // AND. Faultless runs issue exactly one spare write per planned task,
@@ -277,7 +322,7 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
     queue.reserve(d & kReaderShardMask, 1);
   }
   {
-    std::size_t bulk_bound = tasks.size();
+    std::size_t bulk_bound = tasks.size() + app_trace.size();
     if (fault_plan.has_value()) {
       const std::size_t failures = fault_plan->disk_failures().size();
       bulk_bound += failures;  // the DiskFail events themselves
@@ -297,42 +342,70 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
   std::size_t tasks_done = 0;
   std::vector<Member> missing_scratch;  // reused per completion attempt
 
-  auto kick_reader = [&](std::size_t d, double now) {
+  // Second half of kick_reader: consumes the reader's head read and
+  // submits it at `submit_t` (the request time, or a later throttle
+  // grant). Response time counts from `requested`, so the throttle wait is
+  // visible in the rebuild latency metrics.
+  auto submit_planned = [&](std::size_t d, double requested,
+                            double submit_t) {
     Reader& r = readers[d];
-    if (r.busy || r.idle_empty()) {
-      return;
-    }
-    r.busy = true;
     const PlannedRead read = r.queue[r.head++];
     double done;
     bool ok = true;
     if (injector.has_value()) {
       const FaultInjector::ReadOutcome rr = injector->read(
-          disks[d], now, read.lba, read.key, !read.spare);
+          disks[d], submit_t, read.lba, read.key, !read.spare);
       done = rr.done_ms;
       ok = rr.ok;
       metrics.disk_reads += static_cast<std::uint64_t>(rr.attempts);
     } else {
-      done = disks[d].submit_read(now, read.lba);
+      done = disks[d].submit_read(submit_t, read.lba);
       ++metrics.disk_reads;
     }
-    metrics.response_ms.add(done - now + config_.cache_access_ms);
-    metrics.response_reservoir.add(done - now + config_.cache_access_ms);
+    metrics.response_ms.add(done - requested + config_.cache_access_ms);
+    metrics.response_reservoir.add(done - requested +
+                                   config_.cache_access_ms);
     if (response_hist_ptr != nullptr) {
-      response_hist_ptr->add(done - now + config_.cache_access_ms);
+      response_hist_ptr->add(done - requested + config_.cache_access_ms);
     }
     if (obs::tracing(config_.observer, obs::TraceLevel::Fine)) {
       // Simulated ms rendered as trace us; stripe looked up only when the
       // span is actually emitted (the hash lookup is not free).
       obs::trace_span(config_.observer, obs::TraceLevel::Fine, obs::kPidDisks,
                       static_cast<std::uint32_t>(d), "disk_read", "disk",
-                      now * 1000.0, (done - now) * 1000.0, "stripe",
+                      submit_t * 1000.0, (done - submit_t) * 1000.0, "stripe",
                       info.at(read.key).stripe);
     }
     queue.push(d & kReaderShardMask,
                Event{done, seq++,
                      ok ? Event::Kind::ReadDone : Event::Kind::ReadFailed,
                      static_cast<std::uint32_t>(d), read.key});
+  };
+
+  auto kick_reader = [&](std::size_t d, double now) {
+    Reader& r = readers[d];
+    if (r.busy || r.idle_empty()) {
+      return;
+    }
+    r.busy = true;
+    if (throttle.has_value()) {
+      // kick_reader is only ever invoked at the current event time, which
+      // is non-decreasing as acquire() requires. A grant in the future
+      // defers the actual submission to a ThrottledSubmit event rather
+      // than future-dating it, which would reserve the FCFS disk ahead of
+      // foreground requests arriving in the interim. A reader has at most
+      // one in-flight event (ThrottledSubmit or ReadDone/ReadFailed), so
+      // the shard reserve bounds are unchanged.
+      const double grant = throttle->acquire(now);
+      if (grant > now) {
+        r.requested_at = now;
+        queue.push(d & kReaderShardMask,
+                   Event{grant, seq++, Event::Kind::ThrottledSubmit,
+                         static_cast<std::uint32_t>(d), 0});
+        return;
+      }
+    }
+    submit_planned(d, now, now);
   };
 
   auto enqueue_reread = [&](cache::Key key, double now) {
@@ -639,12 +712,18 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
                                    static_cast<std::uint32_t>(f.disk), 0});
     }
   }
+  for (std::size_t i = 0; i < app_trace.size(); ++i) {
+    queue.push(bulk_shard,
+               Event{app_trace[i].arrival_ms, seq++, Event::Kind::AppArrival,
+                     0, static_cast<cache::Key>(i)});
+  }
   while (!queue.empty()) {
     const Event ev = queue.pop();
     ++metrics.engine_events;
-    if (ev.kind != Event::Kind::DiskFail) {
-      // A failure alone does not extend reconstruction; the work it
-      // triggers does.
+    if (ev.kind != Event::Kind::DiskFail &&
+        ev.kind != Event::Kind::AppArrival) {
+      // A failure or an app arrival alone does not extend reconstruction;
+      // only the rebuild work it triggers does.
       makespan = std::max(makespan, ev.t);
     }
     switch (ev.kind) {
@@ -660,7 +739,18 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
         ci.recovered = true;
         ci.write_pending = false;
         ci.spare_disk = static_cast<int>(ev.disk);
+        // Copy the stripe before deliver(): a woken completion can replan
+        // and grow `info`, invalidating `ci`.
+        const std::uint64_t stripe = ci.stripe;
         deliver(ev.key, ev.t);
+        if (!app_trace.empty() &&
+            foreground.damaged_keys().count(ev.key) > 0 &&
+            recovered_once.insert(ev.key).second) {
+          const auto out = stripe_outstanding.find(stripe);
+          if (out != stripe_outstanding.end() && --out->second == 0) {
+            foreground.on_stripe_recovered(stripe, ev.t);
+          }
+        }
         break;
       }
       case Event::Kind::ReadFailed:
@@ -717,11 +807,18 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors) {
         }
         break;
       }
+      case Event::Kind::AppArrival:
+        foreground.on_arrival(static_cast<std::size_t>(ev.key), ev.t);
+        break;
+      case Event::Kind::ThrottledSubmit:
+        submit_planned(ev.disk, readers[ev.disk].requested_at, ev.t);
+        break;
     }
   }
   FBF_CHECK(tasks_done == tasks.size(),
             "DOR finished with incomplete chains — dependency deadlock");
   metrics.event_queue_regrowths = queue.regrowths();
+  foreground.assert_drained();
 
   metrics.reconstruction_ms = makespan;
   // Escalation passes count like SOR's synthetic stripe entries so the

@@ -27,7 +27,9 @@
 #include "sim/array_geometry.h"
 #include "sim/disk.h"
 #include "sim/faults/faults.h"
+#include "sim/foreground.h"
 #include "sim/metrics.h"
+#include "workload/app_trace.h"
 #include "workload/errors.h"
 
 namespace fbf::obs {
@@ -53,6 +55,12 @@ struct DorConfig {
   /// path and produces byte-identical metrics.
   FaultConfig faults;
 
+  /// Recovery throttling (sim/foreground.h): planned/re-read submissions
+  /// draw from a token bucket so foreground traffic sees shorter disk
+  /// queues. Disabled by default (byte-identical to the unthrottled
+  /// engine).
+  ThrottleConfig throttle;
+
   /// Optional run-level observability sink (not owned); see
   /// ReconstructionConfig::observer.
   obs::RunObserver* observer = nullptr;
@@ -68,7 +76,16 @@ class DorEngine {
   DorEngine(const codes::Layout& layout, const ArrayGeometry& geometry,
             const DorConfig& config);
 
-  SimMetrics run(const std::vector<workload::StripeError>& errors);
+  /// Simulates recovery of all damaged stripes, plus optional foreground
+  /// application traffic mirroring SOR's: arrivals ride the bulk shard of
+  /// the event queue and are served by the shared ForegroundServer
+  /// (foreground.h — parking, spare remap, RMW, deadlines). App requests
+  /// bypass the recovery buffer (it holds chain members mid-fold, not user
+  /// data), so the consumption-accounting laws are untouched. A stripe
+  /// counts as repaired — releasing its parked requests — when the last of
+  /// its traced losses has a persisted spare copy.
+  SimMetrics run(const std::vector<workload::StripeError>& errors,
+                 const std::vector<workload::AppRequest>& app_trace = {});
 
  private:
   const codes::Layout* layout_;

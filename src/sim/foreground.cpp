@@ -1,0 +1,242 @@
+#include "sim/foreground.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace fbf::sim {
+
+RebuildThrottle::RebuildThrottle(const ThrottleConfig& config)
+    : interval_ms_(1000.0 / config.rebuild_reads_per_sec),
+      burst_(static_cast<double>(config.burst)),
+      tokens_(static_cast<double>(config.burst)) {
+  FBF_CHECK(config.rebuild_reads_per_sec > 0.0,
+            "throttle rate must be positive (0 disables the throttle)");
+  FBF_CHECK(config.burst >= 1, "throttle burst must be at least 1");
+}
+
+double RebuildThrottle::acquire(double now_ms) {
+  // last_ms_ may sit in the future after a deferred grant; only elapsed
+  // time refills the bucket.
+  if (now_ms > last_ms_) {
+    tokens_ = std::min(burst_, tokens_ + (now_ms - last_ms_) / interval_ms_);
+    last_ms_ = now_ms;
+  }
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return now_ms;
+  }
+  // The next token is minted (and immediately spent) at `grant`.
+  const double grant = last_ms_ + (1.0 - tokens_) * interval_ms_;
+  tokens_ = 0.0;
+  last_ms_ = grant;
+  return grant;
+}
+
+ForegroundServer::ForegroundServer(
+    const codes::Layout& layout, const ArrayGeometry& geometry,
+    std::vector<Disk>& disks, const std::vector<workload::StripeError>& errors,
+    const std::vector<workload::AppRequest>& trace, SimMetrics& metrics,
+    FaultInjector* app_injector,
+    std::function<int(std::uint64_t)> spare_disk_override)
+    : layout_(&layout),
+      geometry_(&geometry),
+      disks_(&disks),
+      trace_(&trace),
+      metrics_(&metrics),
+      injector_(app_injector),
+      spare_disk_override_(std::move(spare_disk_override)) {
+  for (const workload::StripeError& e : errors) {
+    damaged_stripes_.insert(e.stripe);
+    for (const codes::Cell& c : e.error.cells()) {
+      damaged_keys_.insert(geometry_->chunk_key(e.stripe, c));
+    }
+  }
+}
+
+ForegroundServer::Location ForegroundServer::locate(std::uint64_t stripe,
+                                                    codes::Cell cell) const {
+  const std::uint64_t key = geometry_->chunk_key(stripe, cell);
+  if (damaged_keys_.count(key) == 0) {
+    return Location{geometry_->disk_of(stripe, cell),
+                    geometry_->lba_of(stripe, cell)};
+  }
+  // Damaged chunks live in the spare area; the original sector is dead.
+  int disk = spare_disk_override_ ? spare_disk_override_(key) : -1;
+  if (disk < 0) {
+    disk = geometry_->spare_disk_of(stripe, cell);
+  }
+  return Location{disk, geometry_->spare_lba_of(stripe, cell)};
+}
+
+bool ForegroundServer::damaged_unrepaired(std::uint64_t stripe,
+                                          codes::Cell cell) const {
+  return damaged_keys_.count(geometry_->chunk_key(stripe, cell)) > 0 &&
+         repaired_stripes_.count(stripe) == 0;
+}
+
+bool ForegroundServer::stripe_under_repair(std::uint64_t stripe) const {
+  return damaged_stripes_.count(stripe) > 0 &&
+         repaired_stripes_.count(stripe) == 0;
+}
+
+bool ForegroundServer::must_park(const workload::AppRequest& req) const {
+  if (damaged_unrepaired(req.stripe, req.cell)) {
+    return true;  // reads: data gone; writes: RMW cannot read its target
+  }
+  if (!req.is_read && layout_->kind(req.cell) == codes::CellKind::Data) {
+    // Damaged-parity rule: the RMW must read every parity on a chain
+    // through the cell; an unreadable parity parks the write too.
+    for (int chain_id : layout_->chains_containing(req.cell)) {
+      if (damaged_unrepaired(req.stripe,
+                             layout_->chain(chain_id).parity_cell)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void ForegroundServer::park(std::size_t index, double arrival, bool is_read) {
+  if (is_read) {
+    ++metrics_->app_degraded_reads;
+  } else {
+    ++metrics_->app_degraded_writes;
+  }
+  parked_by_stripe_[(*trace_)[index].stripe].push_back(
+      Parked{index, arrival});
+  ++parked_count_;
+}
+
+void ForegroundServer::finish(double done, double arrival,
+                              double deadline_ms) {
+  metrics_->app_response_ms.add(done - arrival);
+  metrics_->app_response_hist.add(done - arrival);
+  if (deadline_ms > 0.0 && done > arrival + deadline_ms) {
+    ++metrics_->app_deadline_miss;
+  }
+}
+
+double ForegroundServer::reconstruct_read(const workload::AppRequest& req,
+                                          double start) {
+  ++metrics_->app_reconstructed_reads;
+  const auto chains = layout_->chains_containing(req.cell);
+  FBF_CHECK(!chains.empty(), "unreadable cell belongs to no chain");
+  const codes::Chain& chain = layout_->chain(chains.front());
+  double done = start;
+  for (const codes::Cell& c : chain.cells) {
+    if (c == req.cell) {
+      continue;
+    }
+    const Location loc = locate(req.stripe, c);
+    done = std::max(
+        done, (*disks_)[static_cast<std::size_t>(loc.disk)].submit_read(
+                  start, loc.lba));
+  }
+  return done;
+}
+
+bool ForegroundServer::serve_read(const workload::AppRequest& req,
+                                  double start, double arrival) {
+  const std::uint64_t key = geometry_->chunk_key(req.stripe, req.cell);
+  const Location loc = locate(req.stripe, req.cell);
+  Disk& disk = (*disks_)[static_cast<std::size_t>(loc.disk)];
+  double done;
+  if (injector_ != nullptr) {
+    // Spare copies are never URE-hit (original_location gates the
+    // predicate), matching the rebuild path's remap semantics.
+    const FaultInjector::ReadOutcome rr = injector_->read(
+        disk, start, loc.lba, key, damaged_keys_.count(key) == 0);
+    done = rr.done_ms;
+    if (!rr.ok) {
+      if (stripe_under_repair(req.stripe)) {
+        // The stripe is mid-recovery: defer to the post-repair drain,
+        // where every survivor is readable from a live location.
+        return false;
+      }
+      done = reconstruct_read(req, rr.done_ms);
+    }
+  } else {
+    done = disk.submit_read(start, loc.lba);
+  }
+  finish(done, arrival, req.deadline_ms);
+  return true;
+}
+
+void ForegroundServer::serve_write(const workload::AppRequest& req,
+                                   double start, double arrival) {
+  // Read-modify-write: the target plus every parity on a chain through
+  // this cell is re-read and rewritten — the code's update complexity,
+  // paid in disk time (TIP-style layouts: <= 3 parities; STAR adjuster
+  // cells: p + 1). All I/O goes through locate(), so repaired chunks are
+  // updated at their spare location, never at the dead original sector.
+  auto submit = [&](codes::Cell cell, bool is_write, double t) {
+    const Location loc = locate(req.stripe, cell);
+    Disk& disk = (*disks_)[static_cast<std::size_t>(loc.disk)];
+    return is_write ? disk.submit_write(t, loc.lba)
+                    : disk.submit_read(t, loc.lba);
+  };
+  const bool is_data = layout_->kind(req.cell) == codes::CellKind::Data;
+  double reads_done = submit(req.cell, false, start);
+  if (is_data) {
+    for (int chain_id : layout_->chains_containing(req.cell)) {
+      reads_done = std::max(
+          reads_done,
+          submit(layout_->chain(chain_id).parity_cell, false, start));
+    }
+  }
+  double done = submit(req.cell, true, reads_done);
+  if (is_data) {
+    for (int chain_id : layout_->chains_containing(req.cell)) {
+      done = std::max(done, submit(layout_->chain(chain_id).parity_cell,
+                                   true, reads_done));
+    }
+  }
+  finish(done, arrival, req.deadline_ms);
+}
+
+void ForegroundServer::on_arrival(std::size_t index, double now) {
+  const workload::AppRequest& req = (*trace_)[index];
+  ++metrics_->app_requests;
+  if (must_park(req)) {
+    park(index, now, req.is_read);
+    return;
+  }
+  if (req.is_read) {
+    if (!serve_read(req, now, now)) {
+      park(index, now, /*is_read=*/true);  // URE mid-repair: degraded read
+      return;
+    }
+  } else {
+    serve_write(req, now, now);
+  }
+  ++metrics_->app_served;
+}
+
+void ForegroundServer::on_stripe_recovered(std::uint64_t stripe, double now) {
+  repaired_stripes_.insert(stripe);
+  const auto it = parked_by_stripe_.find(stripe);
+  if (it == parked_by_stripe_.end()) {
+    return;
+  }
+  for (const Parked& p : it->second) {
+    const workload::AppRequest& req = (*trace_)[p.index];
+    ++metrics_->app_parked_drained;
+    if (req.is_read) {
+      const bool served = serve_read(req, now, p.arrival_ms);
+      FBF_CHECK(served, "drained degraded read parked again");
+    } else {
+      serve_write(req, now, p.arrival_ms);
+    }
+  }
+  parked_count_ -= it->second.size();
+  parked_by_stripe_.erase(it);
+}
+
+void ForegroundServer::assert_drained() const {
+  FBF_CHECK(parked_count_ == 0,
+            "app requests left parked after recovery completed (" +
+                std::to_string(parked_count_) + ")");
+}
+
+}  // namespace fbf::sim

@@ -1,0 +1,156 @@
+// Online-recovery foreground layer shared by the SOR and DOR engines:
+// open-loop application requests contend with reconstruction for the same
+// analytic disks while recovery optionally yields under a token-bucket
+// throttle (DESIGN.md §13).
+//
+// Serving rules (the honest degraded-mode model this layer pins down):
+//
+//  - A read whose target chunk is damaged and not yet recovered *parks*
+//    until the owning stripe's recovery completes, then pays one normal
+//    access from the spare area (app_degraded_reads).
+//  - A write is a read-modify-write: the target plus every parity cell on
+//    a chain through it is re-read and rewritten. If the target or any of
+//    those parity cells is damaged and unrepaired, the RMW has no valid
+//    sources, so the write parks alongside degraded reads
+//    (app_degraded_writes) and drains on stripe recovery.
+//  - Once a damaged chunk is repaired, *all* its I/O — reads, RMW data
+//    and parity accesses — is remapped to the spare location; the original
+//    sector is dead and never touched again.
+//  - With fault injection active, app reads run through their own
+//    FaultInjector (same plan, separate nonce stream and FaultStats):
+//    UREs and dead disks apply to foreground reads too, and a hard read
+//    failure falls back to a one-level on-the-fly chain reconstruction
+//    (or parks, if the stripe is still under repair). Stragglers slow app
+//    I/O implicitly via the per-disk service multiplier.
+//
+// All serving is synchronous against the analytic disk model (submit
+// returns the completion time), so the engines only schedule arrival
+// events; parked requests are re-served from the stripe-recovery hook.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "codes/layout.h"
+#include "sim/array_geometry.h"
+#include "sim/disk.h"
+#include "sim/faults/faults.h"
+#include "sim/metrics.h"
+#include "workload/app_trace.h"
+#include "workload/errors.h"
+
+namespace fbf::sim {
+
+/// Recovery-throttling policy: rebuild reads yield to user reads by
+/// drawing from a token bucket refilled at `rebuild_reads_per_sec`.
+/// Disabled (rate 0) by default, which keeps recovery-only runs
+/// byte-identical to builds that predate the throttle.
+struct ThrottleConfig {
+  double rebuild_reads_per_sec = 0.0;  ///< 0 = unthrottled
+  int burst = 16;                      ///< bucket depth (allowed burst)
+
+  bool enabled() const { return rebuild_reads_per_sec > 0.0; }
+};
+
+/// Deterministic token bucket over simulated time. acquire() must be
+/// called with non-decreasing `now` (the event loops pop in time order);
+/// it returns the earliest time >= now the next rebuild read may be
+/// submitted. When the grant lies in the future the engines *defer* the
+/// disk submission to the grant time (SOR: Worker::PendingRead, DOR: a
+/// ThrottledSubmit event) instead of future-dating it — a future-dated
+/// FCFS reservation would jump ahead of app requests that arrive earlier
+/// in simulated time, inverting the priority the throttle exists to give.
+class RebuildThrottle {
+ public:
+  explicit RebuildThrottle(const ThrottleConfig& config);
+
+  double acquire(double now_ms);
+
+ private:
+  double interval_ms_;
+  double burst_;
+  double tokens_;
+  double last_ms_ = 0.0;
+};
+
+/// Per-run foreground server. Owns the parking state and all app-side
+/// metrics; the engines forward arrival events and stripe-recovery
+/// completions and otherwise never touch the app path.
+class ForegroundServer {
+ public:
+  /// `spare_disk_override(key)` maps a chunk key to the disk its live
+  /// spare copy actually landed on under faults (SOR: spared_on_, DOR:
+  /// ChunkInfo::spare_disk); return -1 for the geometry's default choice.
+  /// Pass nullptr when no fault path is active. `app_injector` may be
+  /// null (fault-free); it must be a *separate* injector instance from the
+  /// rebuild one so app retries never enter the rebuild conservation laws.
+  ForegroundServer(const codes::Layout& layout, const ArrayGeometry& geometry,
+                   std::vector<Disk>& disks,
+                   const std::vector<workload::StripeError>& errors,
+                   const std::vector<workload::AppRequest>& trace,
+                   SimMetrics& metrics, FaultInjector* app_injector,
+                   std::function<int(std::uint64_t key)> spare_disk_override);
+
+  /// Handles the arrival of trace[index] at simulated time `now`.
+  void on_arrival(std::size_t index, double now);
+
+  /// Releases requests parked on `stripe`; call when its recovery (the
+  /// traced losses) completes. Idempotent per stripe.
+  void on_stripe_recovered(std::uint64_t stripe, double now);
+
+  /// Chunk keys of every traced loss (shared with the engines' own
+  /// damaged-chunk bookkeeping).
+  const std::unordered_set<std::uint64_t>& damaged_keys() const {
+    return damaged_keys_;
+  }
+
+  /// End-of-run sanity: every parked request must have drained.
+  void assert_drained() const;
+
+ private:
+  struct Location {
+    int disk = 0;
+    std::uint64_t lba = 0;
+  };
+  struct Parked {
+    std::size_t index = 0;
+    double arrival_ms = 0.0;
+  };
+
+  /// Physical home of (stripe, cell): the spare copy for damaged chunks
+  /// (the original sector is dead), the original location otherwise.
+  Location locate(std::uint64_t stripe, codes::Cell cell) const;
+  bool damaged_unrepaired(std::uint64_t stripe, codes::Cell cell) const;
+  bool stripe_under_repair(std::uint64_t stripe) const;
+  bool must_park(const workload::AppRequest& req) const;
+  void park(std::size_t index, double arrival, bool is_read);
+  /// Serves a read starting at `start`; false means the target hard-failed
+  /// while its stripe is still under repair (caller parks the request).
+  bool serve_read(const workload::AppRequest& req, double start,
+                  double arrival);
+  void serve_write(const workload::AppRequest& req, double start,
+                   double arrival);
+  /// Fault fallback: rebuilds the unreadable target from the survivors of
+  /// one chain through it (plain reads — a single-level reconstruction).
+  double reconstruct_read(const workload::AppRequest& req, double start);
+  void finish(double done, double arrival, double deadline_ms);
+
+  const codes::Layout* layout_;
+  const ArrayGeometry* geometry_;
+  std::vector<Disk>* disks_;
+  const std::vector<workload::AppRequest>* trace_;
+  SimMetrics* metrics_;
+  FaultInjector* injector_;
+  std::function<int(std::uint64_t)> spare_disk_override_;
+
+  std::unordered_set<std::uint64_t> damaged_keys_;
+  std::unordered_set<std::uint64_t> damaged_stripes_;
+  std::unordered_set<std::uint64_t> repaired_stripes_;
+  std::unordered_map<std::uint64_t, std::vector<Parked>> parked_by_stripe_;
+  std::size_t parked_count_ = 0;
+};
+
+}  // namespace fbf::sim

@@ -42,6 +42,25 @@ void record_run(obs::RunObserver* obs, const std::string& label,
   reg.add_counter("run.scheme_cache_hits", m.scheme_cache_hits);
   reg.add_counter("run.app_requests", m.app_requests);
   reg.add_counter("run.app_degraded_reads", m.app_degraded_reads);
+  if (m.app_requests > 0) {
+    // Only runs that carried foreground traffic export these: recovery-only
+    // metrics documents stay byte-identical to builds that predate the
+    // online-recovery layer.
+    reg.add_counter("run.app.served", m.app_served);
+    reg.add_counter("run.app.parked_drained", m.app_parked_drained);
+    reg.add_counter("run.app.degraded_writes", m.app_degraded_writes);
+    reg.add_counter("run.app.deadline_miss", m.app_deadline_miss);
+    if (m.app_fault.enabled) {
+      reg.add_counter("run.app.fault.sector_errors", m.app_fault.sector_errors);
+      reg.add_counter("run.app.fault.transient_failures",
+                      m.app_fault.transient_failures);
+      reg.add_counter("run.app.fault.retries", m.app_fault.retries);
+      reg.add_counter("run.app.fault.dead_disk_reads",
+                      m.app_fault.dead_disk_reads);
+      reg.add_counter("run.app.fault.reconstructed_reads",
+                      m.app_reconstructed_reads);
+    }
+  }
   if (m.fault.enabled) {
     // Only fault-injected runs export these: the no-fault metrics document
     // must stay byte-identical to builds that predate the fault layer.
@@ -65,6 +84,11 @@ void record_run(obs::RunObserver* obs, const std::string& label,
   reg.set_gauge(label + ".reconstruction_ms", m.reconstruction_ms);
   if (m.app_requests > 0) {
     reg.set_gauge(label + ".app_avg_response_ms", m.app_response_ms.mean());
+    reg.set_gauge(label + ".app_p99_response_ms",
+                  m.app_response_hist.percentile(0.99));
+    reg.set_gauge(label + ".app_p999_response_ms",
+                  m.app_response_hist.percentile(0.999));
+    reg.merge_histogram(label + ".app_response_ms", m.app_response_hist);
   }
   if (response_hist != nullptr) {
     reg.merge_histogram(label + ".response_ms", *response_hist);

@@ -6,10 +6,10 @@
 #include <vector>
 
 #include "cache/policy.h"
+#include "obs/registry.h"
 #include "util/stats.h"
 
 namespace fbf::obs {
-class Histogram;
 class RunObserver;
 }  // namespace fbf::obs
 
@@ -78,6 +78,29 @@ struct SimMetrics {
   /// wait for reconstruction — the user-visible window-of-vulnerability
   /// cost.
   std::uint64_t app_degraded_reads = 0;
+  /// Writes whose target — or a parity cell on a chain through it — was
+  /// damaged and not yet recovered: the read-modify-write cannot read its
+  /// sources, so the write parks like a degraded read.
+  std::uint64_t app_degraded_writes = 0;
+  /// Requests served directly at arrival (no parking). Conservation law:
+  /// app_requests == app_served + app_parked_drained, and
+  /// app_parked_drained == app_degraded_reads + app_degraded_writes.
+  std::uint64_t app_served = 0;
+  /// Parked requests released when their stripe's recovery completed.
+  std::uint64_t app_parked_drained = 0;
+  /// Requests that completed after arrival + deadline_ms (deadline > 0).
+  std::uint64_t app_deadline_miss = 0;
+  /// Fault path: app reads whose target was unreadable (URE / dead disk /
+  /// retries exhausted) and was rebuilt on the fly from one chain.
+  std::uint64_t app_reconstructed_reads = 0;
+  /// Full response-time distribution for app requests; the p99/p999 SLO
+  /// gauges are derived from its log2 buckets at export time.
+  obs::Histogram app_response_hist;
+  /// Fault counters for the foreground path. App reads run through their
+  /// own FaultInjector (same plan, separate nonce stream and stats), so
+  /// rebuild-side conservation laws — and the rebuild fault stream itself
+  /// — are untouched by app traffic.
+  FaultStats app_fault;
 
   // Fault-injection accounting (zeroed/disabled unless the run carried a
   // fault plan); see sim/faults/faults.h.

@@ -86,6 +86,20 @@ struct ReconstructionEngine::Worker {
   double stripe_start_ms = 0.0;
 
   double finish_ms = 0.0;
+
+  /// Throttle deferral: a read miss whose token grant lies in the future
+  /// parks here (location resolved at request time); the worker's next
+  /// event performs the actual disk submission. Deferring the submission —
+  /// rather than future-dating it — keeps the FCFS disks honest: foreground
+  /// requests arriving before the grant are served first.
+  struct PendingRead {
+    codes::Cell cell;
+    std::uint64_t lba = 0;
+    int disk = -1;
+    bool from_spare = false;
+    double requested_at = 0.0;
+  };
+  std::optional<PendingRead> pending_read;
 };
 
 ReconstructionEngine::ReconstructionEngine(const codes::Layout& layout,
@@ -396,8 +410,71 @@ void ReconstructionEngine::verify_gauss_cells(Worker& w) {
   w.gauss_verified = true;
 }
 
+double ReconstructionEngine::finish_rebuild_read(
+    Worker& w, codes::Cell cell, std::uint64_t lba, int disk_id,
+    bool from_spare, double requested, double submit_t, SimMetrics& metrics) {
+  Disk& disk = disks_[static_cast<std::size_t>(disk_id)];
+  double next;
+  if (injector_ != nullptr) {
+    // Every attempt is a real disk submission so the per-disk laws stay
+    // exact.
+    const std::uint64_t key = geometry_->chunk_key(w.stripe, cell);
+    const FaultInjector::ReadOutcome rr =
+        injector_->read(disk, submit_t, lba, key, !from_spare);
+    metrics.disk_reads += static_cast<std::uint64_t>(rr.attempts);
+    obs::trace_span(config_.observer, obs::TraceLevel::Fine, obs::kPidDisks,
+                    static_cast<std::uint32_t>(disk_id), "disk_read", "disk",
+                    submit_t * 1000.0, (rr.done_ms - submit_t) * 1000.0,
+                    "stripe", w.stripe);
+    next = rr.done_ms + config_.cache_access_ms;
+    if (!rr.ok) {
+      metrics.response_ms.add(next - requested);
+      metrics.response_reservoir.add(next - requested);
+      if (response_hist_ != nullptr) {
+        response_hist_->add(next - requested);
+      }
+      // The chunk is unreadable: it joins the lost set and the stripe is
+      // re-planned around it from time `next` on.
+      return handle_read_failure(w, cell, next, metrics);
+    }
+  } else {
+    const double done = disk.submit_read(submit_t, lba);
+    ++metrics.disk_reads;
+    obs::trace_span(config_.observer, obs::TraceLevel::Fine, obs::kPidDisks,
+                    static_cast<std::uint32_t>(disk_id), "disk_read", "disk",
+                    submit_t * 1000.0, (done - submit_t) * 1000.0, "stripe",
+                    w.stripe);
+    next = done + config_.cache_access_ms;
+  }
+  metrics.response_ms.add(next - requested);
+  metrics.response_reservoir.add(next - requested);
+  if (response_hist_ != nullptr) {
+    response_hist_->add(next - requested);
+  }
+  if (w.op_idx >= w.ops_view->size()) {
+    // The stripe's last operation finishes at `next`; completion actions
+    // run when the worker's next event fires at that time.
+    w.active = false;
+    w.completion_pending = true;
+    ++w.error_idx;
+    if (config_.verify_data) {
+      flush_chunk_verifies(w);
+    }
+    w.truth.reset();
+    w.working.reset();
+  }
+  return next;
+}
+
 std::optional<double> ReconstructionEngine::advance(Worker& w, double now,
                                                     SimMetrics& metrics) {
+  if (w.pending_read.has_value()) {
+    // A throttled miss whose token grant just came due: submit it now.
+    const Worker::PendingRead pr = *w.pending_read;
+    w.pending_read.reset();
+    return finish_rebuild_read(w, pr.cell, pr.lba, pr.disk, pr.from_spare,
+                               pr.requested_at, now, metrics);
+  }
   if (w.completion_pending) {
     w.completion_pending = false;
     ++metrics.stripes_recovered;
@@ -441,58 +518,48 @@ std::optional<double> ReconstructionEngine::advance(Worker& w, double now,
     ++w.reads_in_step;
     const std::uint64_t key = geometry_->chunk_key(w.stripe, op.cell);
     const bool hit = w.cache->request(key, op.priority);
-    if (hit) {
-      next = now + config_.cache_access_ms;
-    } else if (injector_ != nullptr) {
-      // Fault path: previously recovered chunks live wherever their spare
-      // write landed (spared_on_ spans passes and replans); every attempt
-      // is a real disk submission so the per-disk laws stay exact.
-      const auto spare_it = spared_on_.find(key);
-      const bool from_spare = spare_it != spared_on_.end();
-      const std::uint64_t lba = from_spare
-                                    ? geometry_->spare_lba_of(w.stripe, op.cell)
-                                    : geometry_->lba_of(w.stripe, op.cell);
-      const int disk_id = from_spare ? spare_it->second
-                                     : geometry_->disk_of(w.stripe, op.cell);
-      Disk& disk = disks_[static_cast<std::size_t>(disk_id)];
-      const FaultInjector::ReadOutcome rr =
-          injector_->read(disk, now, lba, key, !from_spare);
-      metrics.disk_reads += static_cast<std::uint64_t>(rr.attempts);
-      obs::trace_span(config_.observer, obs::TraceLevel::Fine, obs::kPidDisks,
-                      static_cast<std::uint32_t>(disk_id), "disk_read", "disk",
-                      now * 1000.0, (rr.done_ms - now) * 1000.0, "stripe",
-                      w.stripe);
-      next = rr.done_ms + config_.cache_access_ms;
-      if (!rr.ok) {
-        metrics.response_ms.add(next - now);
-        metrics.response_reservoir.add(next - now);
-        if (response_hist_ != nullptr) {
-          response_hist_->add(next - now);
-        }
-        // The chunk is unreadable: it joins the lost set and the stripe is
-        // re-planned around it from time `next` on.
-        return handle_read_failure(w, op.cell, next, metrics);
+    if (!hit) {
+      // Miss: resolve the chunk's live location at request time. On the
+      // fault path, previously recovered chunks live wherever their spare
+      // write landed (spared_on_ spans passes and replans); otherwise a
+      // recovered chunk no longer exists at its original address and is
+      // re-read from where the spare write placed it.
+      bool from_spare;
+      std::uint64_t lba;
+      int disk_id;
+      if (injector_ != nullptr) {
+        const auto spare_it = spared_on_.find(key);
+        from_spare = spare_it != spared_on_.end();
+        lba = from_spare ? geometry_->spare_lba_of(w.stripe, op.cell)
+                         : geometry_->lba_of(w.stripe, op.cell);
+        disk_id = from_spare ? spare_it->second
+                             : geometry_->disk_of(w.stripe, op.cell);
+      } else {
+        const auto cell_idx =
+            static_cast<std::size_t>(layout_->cell_index(op.cell));
+        from_spare = w.is_recovered(cell_idx);
+        lba = from_spare ? geometry_->spare_lba_of(w.stripe, op.cell)
+                         : geometry_->lba_of(w.stripe, op.cell);
+        disk_id = from_spare ? geometry_->spare_disk_of(w.stripe, op.cell)
+                             : geometry_->disk_of(w.stripe, op.cell);
       }
-    } else {
-      const auto cell_idx =
-          static_cast<std::size_t>(layout_->cell_index(op.cell));
-      // Recovered chunks no longer exist at their original address; a miss
-      // re-reads them from wherever the spare write placed them.
-      const bool from_spare = w.is_recovered(cell_idx);
-      const std::uint64_t lba = from_spare
-                                    ? geometry_->spare_lba_of(w.stripe, op.cell)
-                                    : geometry_->lba_of(w.stripe, op.cell);
-      const int disk_id = from_spare
-                              ? geometry_->spare_disk_of(w.stripe, op.cell)
-                              : geometry_->disk_of(w.stripe, op.cell);
-      Disk& disk = disks_[static_cast<std::size_t>(disk_id)];
-      const double done = disk.submit_read(now, lba);
-      ++metrics.disk_reads;
-      obs::trace_span(config_.observer, obs::TraceLevel::Fine, obs::kPidDisks,
-                      static_cast<std::uint32_t>(disk_id), "disk_read", "disk",
-                      now * 1000.0, (done - now) * 1000.0, "stripe", w.stripe);
-      next = done + config_.cache_access_ms;
+      if (throttle_ != nullptr) {
+        // Rebuild misses yield to foreground traffic: a token grant in the
+        // future parks the submission until then (Worker::PendingRead)
+        // rather than future-dating it, which would reserve the FCFS disk
+        // ahead of app requests arriving in the interim. Hits and spare
+        // writes are never throttled; response time counts from `now`.
+        const double grant = throttle_->acquire(now);
+        if (grant > now) {
+          w.pending_read =
+              Worker::PendingRead{op.cell, lba, disk_id, from_spare, now};
+          return grant;
+        }
+      }
+      return finish_rebuild_read(w, op.cell, lba, disk_id, from_spare, now,
+                                 now, metrics);
     }
+    next = now + config_.cache_access_ms;
     metrics.response_ms.add(next - now);
     metrics.response_reservoir.add(next - now);
     if (response_hist_ != nullptr) {
@@ -579,6 +646,7 @@ SimMetrics ReconstructionEngine::run(
     ~RunStateGuard() {
       engine->injector_.reset();
       engine->response_hist_ = nullptr;
+      engine->throttle_ = nullptr;
     }
   } run_guard{this};
   spared_on_.clear();
@@ -607,44 +675,32 @@ SimMetrics ReconstructionEngine::run(
     }
   }
 
-  // Degraded-read bookkeeping: app reads touching a damaged chunk park
-  // until the stripe is repaired.
-  std::unordered_set<std::uint64_t> damaged_keys;
-  std::unordered_set<std::uint64_t> repaired_stripes;
-  struct ParkedRequest {
-    std::size_t app_index;
-    double arrival_ms;
-  };
-  std::unordered_map<std::uint64_t, std::vector<ParkedRequest>> parked_by_stripe;
-  for (const workload::StripeError& e : errors) {
-    for (const codes::Cell& c : e.error.cells()) {
-      damaged_keys.insert(geometry_->chunk_key(e.stripe, c));
-    }
+  // Foreground path: the shared online-recovery server (foreground.h)
+  // owns parking, remap, RMW, deadline accounting, and app-side fault
+  // injection. The app injector is a separate instance over the same
+  // plan, so app retries never perturb the rebuild fault stream or the
+  // rebuild conservation laws.
+  std::optional<FaultInjector> app_injector;
+  if (fault_plan_.has_value() && !app_trace.empty()) {
+    app_injector.emplace(*fault_plan_, metrics.app_fault);
   }
-  auto serve_app_read = [&](const workload::AppRequest& req, double start,
-                            double arrival) {
-    // Repaired chunks live in the spare area (the original sector is bad).
-    const bool remapped =
-        damaged_keys.count(geometry_->chunk_key(req.stripe, req.cell)) > 0;
-    Disk& disk = disks_[static_cast<std::size_t>(
-        remapped ? geometry_->spare_disk_of(req.stripe, req.cell)
-                 : geometry_->disk_of(req.stripe, req.cell))];
-    const double done = disk.submit_read(
-        start, remapped ? geometry_->spare_lba_of(req.stripe, req.cell)
-                        : geometry_->lba_of(req.stripe, req.cell));
-    metrics.app_response_ms.add(done - arrival);
-  };
+  ForegroundServer foreground(
+      *layout_, *geometry_, disks_, errors, app_trace, metrics,
+      app_injector.has_value() ? &*app_injector : nullptr,
+      fault_plan_.has_value()
+          ? std::function<int(std::uint64_t)>([this](std::uint64_t key) {
+              const auto it = spared_on_.find(key);
+              return it == spared_on_.end() ? -1 : it->second;
+            })
+          : nullptr);
   on_stripe_recovered_ = [&](std::uint64_t stripe, double now) {
-    repaired_stripes.insert(stripe);  // later reads are no longer degraded
-    const auto it = parked_by_stripe.find(stripe);
-    if (it == parked_by_stripe.end()) {
-      return;
-    }
-    for (const ParkedRequest& pr : it->second) {
-      serve_app_read(app_trace[pr.app_index], now, pr.arrival_ms);
-    }
-    parked_by_stripe.erase(it);
+    foreground.on_stripe_recovered(stripe, now);
   };
+  std::optional<RebuildThrottle> run_throttle;
+  if (config_.throttle.enabled()) {
+    run_throttle.emplace(config_.throttle);
+    throttle_ = &*run_throttle;
+  }
 
   // Event core over worker ready-times and app-request arrivals.
   struct Event {
@@ -748,52 +804,7 @@ SimMetrics ReconstructionEngine::run(
       continue;
     }
     if (ev.worker < 0) {
-      const auto app_index = static_cast<std::size_t>(~ev.worker);
-      const workload::AppRequest& req = app_trace[app_index];
-      ++metrics.app_requests;
-      const std::uint64_t key = geometry_->chunk_key(req.stripe, req.cell);
-      if (req.is_read && damaged_keys.count(key) > 0 &&
-          repaired_stripes.count(req.stripe) == 0) {
-        // Degraded read: the data is gone until reconstruction rebuilds
-        // it; park until the stripe's recovery completes.
-        ++metrics.app_degraded_reads;
-        parked_by_stripe[req.stripe].push_back(
-            ParkedRequest{app_index, ev.t});
-        continue;
-      }
-      if (req.is_read) {
-        serve_app_read(req, ev.t, ev.t);
-      } else {
-        // Small write: read-modify-write. The new data plus every parity
-        // on a chain through this cell must be re-read and rewritten —
-        // the code's update complexity, paid in disk time (TIP-style
-        // layouts: <= 3 parities; STAR adjuster cells: p + 1).
-        auto submit = [&](codes::Cell cell, bool is_write,
-                          double start) {
-          Disk& disk = disks_[static_cast<std::size_t>(
-              geometry_->disk_of(req.stripe, cell))];
-          const std::uint64_t lba = geometry_->lba_of(req.stripe, cell);
-          return is_write ? disk.submit_write(start, lba)
-                          : disk.submit_read(start, lba);
-        };
-        double reads_done = submit(req.cell, false, ev.t);
-        if (layout_->kind(req.cell) == codes::CellKind::Data) {
-          for (int chain_id : layout_->chains_containing(req.cell)) {
-            reads_done = std::max(
-                reads_done,
-                submit(layout_->chain(chain_id).parity_cell, false, ev.t));
-          }
-        }
-        double done = submit(req.cell, true, reads_done);
-        if (layout_->kind(req.cell) == codes::CellKind::Data) {
-          for (int chain_id : layout_->chains_containing(req.cell)) {
-            done = std::max(done,
-                            submit(layout_->chain(chain_id).parity_cell,
-                                   true, reads_done));
-          }
-        }
-        metrics.app_response_ms.add(done - ev.t);
-      }
+      foreground.on_arrival(static_cast<std::size_t>(~ev.worker), ev.t);
       continue;
     }
     Worker& w = workers[static_cast<std::size_t>(ev.worker)];
@@ -807,6 +818,7 @@ SimMetrics ReconstructionEngine::run(
     }
   }
   metrics.event_queue_regrowths = queue.regrowths();
+  foreground.assert_drained();
 
   // Spare-area writes may still be draining after the last worker
   // retires; reconstruction_ms already tracks their completions, so the

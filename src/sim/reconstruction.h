@@ -31,6 +31,7 @@
 #include "sim/array_geometry.h"
 #include "sim/disk.h"
 #include "sim/faults/faults.h"
+#include "sim/foreground.h"
 #include "sim/metrics.h"
 #include "workload/app_trace.h"
 #include "workload/errors.h"
@@ -78,6 +79,11 @@ struct ReconstructionConfig {
   /// path and produces byte-identical metrics.
   FaultConfig faults;
 
+  /// Recovery throttling (sim/foreground.h): rebuild read misses draw
+  /// from a token bucket so foreground traffic sees shorter disk queues.
+  /// Disabled by default (byte-identical to the unthrottled engine).
+  ThrottleConfig throttle;
+
   /// Optional run-level observability sink (not owned). When set, the run
   /// exports counters/gauges/histograms under `obs_label` and emits trace
   /// spans for stripes, disk service, XOR folds, and spare writes at the
@@ -99,10 +105,11 @@ class ReconstructionEngine {
   /// Simulates recovery of all damaged stripes (plus optional foreground
   /// application traffic) and returns the collected metrics.
   ///
-  /// Application reads that land on a damaged, not-yet-recovered chunk are
-  /// *degraded reads*: they park until the owning stripe's recovery
-  /// completes (the user-visible cost of the window of vulnerability),
-  /// then pay one normal access. Healthy-chunk requests go straight to
+  /// The foreground path is the shared ForegroundServer (foreground.h):
+  /// requests touching damaged, not-yet-recovered chunks — reads of the
+  /// target, or writes whose RMW sources include one — park until the
+  /// owning stripe's recovery completes, then pay one normal access from
+  /// the live (spare) locations. Healthy-chunk requests go straight to
   /// the disks.
   SimMetrics run(const std::vector<workload::StripeError>& errors,
                  const std::vector<workload::AppRequest>& app_trace = {});
@@ -143,6 +150,13 @@ class ReconstructionEngine {
   /// stripe. Returns the worker's next event time.
   double handle_read_failure(Worker& w, codes::Cell cell, double t,
                              SimMetrics& metrics);
+  /// Submits a rebuild read miss to its disk at `submit_t` (the request
+  /// time, or a later throttle grant — see Worker::PendingRead) and returns
+  /// the worker's next event time; hard failures escalate through
+  /// handle_read_failure. Response time counts from `requested`.
+  double finish_rebuild_read(Worker& w, codes::Cell cell, std::uint64_t lba,
+                             int disk_id, bool from_spare, double requested,
+                             double submit_t, SimMetrics& metrics);
   void verify_gauss_cells(Worker& w);
   std::vector<int> failed_disks_at(double now) const;
 
@@ -161,6 +175,10 @@ class ReconstructionEngine {
   /// Points at a run()-local histogram while a run is in flight (null
   /// otherwise and whenever config_.observer is null).
   obs::Histogram* response_hist_ = nullptr;
+  /// Points at a run()-local token bucket while a throttled run is in
+  /// flight (null otherwise); advance() defers rebuild read misses
+  /// through it.
+  RebuildThrottle* throttle_ = nullptr;
 
   /// Set iff config_.faults.enabled(); pure function of (seed, label).
   std::optional<FaultPlan> fault_plan_;

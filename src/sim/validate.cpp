@@ -34,6 +34,17 @@ void validate_metrics(const SimMetrics& m) {
             law("every recovered chunk is spare-written exactly once: "
                 "disk_writes != chunks_recovered",
                 m.disk_writes, m.chunks_recovered));
+  FBF_CHECK(m.app_requests == m.app_served + m.app_parked_drained,
+            law("every app request is served at arrival or parked and "
+                "drained: app_requests != app_served + app_parked_drained",
+                m.app_requests, m.app_served + m.app_parked_drained));
+  FBF_CHECK(m.app_parked_drained ==
+                m.app_degraded_reads + m.app_degraded_writes,
+            law("every parked app request is a degraded read or a degraded "
+                "write (incl. damaged-parity writes): app_parked_drained != "
+                "app_degraded_reads + app_degraded_writes",
+                m.app_parked_drained,
+                m.app_degraded_reads + m.app_degraded_writes));
   // Foreground app traffic shares the disks but is metered separately
   // (app ops land in per-disk stats, not in disk_reads/disk_writes, and
   // may drain past the reconstruction makespan), so the per-disk checks

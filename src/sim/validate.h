@@ -10,6 +10,13 @@
 //      disk_reads == planned_disk_reads + cache.misses + fault.retries
 //  - every recovered chunk is persisted exactly once:
 //      disk_writes == chunks_recovered
+//  - every foreground app request is either served at arrival or parked
+//    and drained when its stripe's recovery completes, and every parked
+//    request is a degraded read or a degraded write (writes park when the
+//    target *or a parity cell of a chain through it* is damaged and
+//    unrepaired — the damaged-parity rule):
+//      app_requests == app_served + app_parked_drained
+//      app_parked_drained == app_degraded_reads + app_degraded_writes
 //
 // With fault injection (sim/faults) the trace-conservation laws gain the
 // injector's extra work — chunks_recovered covers fault.extra_lost_chunks

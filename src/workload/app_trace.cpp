@@ -11,6 +11,7 @@ std::vector<AppRequest> generate_app_trace(const codes::Layout& layout,
             "read fraction must be a probability");
   FBF_CHECK(config.mean_interarrival_ms > 0.0,
             "interarrival mean must be positive");
+  FBF_CHECK(config.deadline_ms >= 0.0, "deadline must be non-negative");
 
   util::Rng rng(config.seed);
   std::vector<AppRequest> trace;
@@ -25,6 +26,7 @@ std::vector<AppRequest> generate_app_trace(const codes::Layout& layout,
     r.is_read = rng.bernoulli(config.read_fraction);
     clock_ms += rng.exponential(config.mean_interarrival_ms);
     r.arrival_ms = clock_ms;
+    r.deadline_ms = config.deadline_ms;
     trace.push_back(r);
   }
   return trace;

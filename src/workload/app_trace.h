@@ -15,6 +15,10 @@ struct AppRequest {
   codes::Cell cell;
   bool is_read = true;
   double arrival_ms = 0.0;
+  /// Response-time SLO for this request, relative to arrival; 0 = no
+  /// deadline. A request completing after arrival_ms + deadline_ms counts
+  /// as a deadline miss (SimMetrics::app_deadline_miss).
+  double deadline_ms = 0.0;
 };
 
 struct AppTraceConfig {
@@ -23,6 +27,10 @@ struct AppTraceConfig {
   double read_fraction = 0.7;
   double zipf_skew = 0.9;            ///< hot-spot skew over stripes
   double mean_interarrival_ms = 2.0; ///< Poisson arrivals
+  /// Stamped onto every generated request (0 = no deadlines). Rate sweeps
+  /// vary mean_interarrival_ms against a fixed deadline to trace out the
+  /// SLO cliff.
+  double deadline_ms = 0.0;
   std::uint64_t seed = 7;
 };
 

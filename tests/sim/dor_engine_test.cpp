@@ -146,6 +146,117 @@ TEST(DorEngine, DeterministicAcrossRuns) {
   EXPECT_DOUBLE_EQ(ma.reconstruction_ms, mb.reconstruction_ms);
 }
 
+TEST(DorEngine, AppTrafficIsServedAndMeasured) {
+  const codes::Layout l = codes::make_layout(codes::CodeId::Tip, 5);
+  const ArrayGeometry g(l, 10000, true, SparePlacement::Distributed);
+  workload::AppTraceConfig app_cfg;
+  app_cfg.num_stripes = 10000;
+  app_cfg.num_requests = 200;
+  app_cfg.read_fraction = 0.6;
+  app_cfg.mean_interarrival_ms = 0.5;
+  const auto apps = workload::generate_app_trace(l, app_cfg);
+  DorEngine engine(l, g, small_config());
+  const SimMetrics m = engine.run(make_trace(l, 20), apps);
+  EXPECT_EQ(m.app_requests, 200u);
+  EXPECT_EQ(m.app_requests, m.app_served + m.app_parked_drained);
+  EXPECT_EQ(m.app_parked_drained,
+            m.app_degraded_reads + m.app_degraded_writes);
+  EXPECT_GT(m.app_response_ms.mean(), 0.0);
+  EXPECT_EQ(m.event_queue_regrowths, 0u);  // arrivals fit the bulk shard
+}
+
+TEST(DorEngine, DegradedRequestsParkUntilRecovery) {
+  // DOR's repaired signal is the last traced loss of a stripe reaching its
+  // persisted spare copy: one read and one write aimed at damaged chunks
+  // must park on that signal and drain afterwards.
+  const codes::Layout l = codes::make_layout(codes::CodeId::Tip, 5);
+  const ArrayGeometry g(l, 10000, true, SparePlacement::Distributed);
+  const auto errors = make_trace(l, 10);
+  std::vector<workload::AppRequest> apps;
+  workload::AppRequest read;
+  read.stripe = errors[0].stripe;
+  read.cell = errors[0].error.cells().front();
+  read.is_read = true;
+  read.arrival_ms = 0.0;
+  apps.push_back(read);
+  workload::AppRequest write;
+  write.stripe = errors[1].stripe;
+  write.cell = errors[1].error.cells().front();
+  write.is_read = false;
+  write.arrival_ms = 0.0;
+  apps.push_back(write);
+  DorEngine engine(l, g, small_config());
+  const SimMetrics m = engine.run(errors, apps);
+  EXPECT_EQ(m.app_requests, 2u);
+  EXPECT_EQ(m.app_degraded_reads, 1u);
+  EXPECT_EQ(m.app_degraded_writes, 1u);
+  EXPECT_EQ(m.app_parked_drained, 2u);
+  EXPECT_EQ(m.app_served, 0u);
+  EXPECT_EQ(m.app_response_ms.count(), 2u);
+  // Both waited for their stripes' recovery, far beyond one disk trip.
+  EXPECT_GT(m.app_response_ms.min(), 15.0);
+}
+
+TEST(DorEngine, AppRequestAfterRecoveryIsNotDegraded) {
+  const codes::Layout l = codes::make_layout(codes::CodeId::Tip, 5);
+  const ArrayGeometry g(l, 10000, true, SparePlacement::Distributed);
+  const auto errors = make_trace(l, 5);
+  workload::AppRequest late;
+  late.stripe = errors[0].stripe;
+  late.cell = errors[0].error.cells().front();
+  late.is_read = false;  // RMW against the repaired (spare) location
+  late.arrival_ms = 1e7;
+  DorEngine engine(l, g, small_config());
+  const SimMetrics m = engine.run(errors, {late});
+  EXPECT_EQ(m.app_degraded_reads, 0u);
+  EXPECT_EQ(m.app_degraded_writes, 0u);
+  EXPECT_EQ(m.app_served, 1u);
+}
+
+TEST(DorEngine, SameSeedAppRunsAreByteIdentical) {
+  const codes::Layout l = codes::make_layout(codes::CodeId::TripleStar, 7);
+  const ArrayGeometry g(l, 10000, true, SparePlacement::Distributed);
+  const auto errors = make_trace(l, 25);
+  workload::AppTraceConfig app_cfg;
+  app_cfg.num_stripes = 10000;
+  app_cfg.num_requests = 400;
+  app_cfg.read_fraction = 0.6;
+  app_cfg.deadline_ms = 30.0;
+  app_cfg.mean_interarrival_ms = 0.4;
+  const auto apps = workload::generate_app_trace(l, app_cfg);
+  auto cfg = small_config();
+  cfg.throttle.rebuild_reads_per_sec = 800.0;
+  DorEngine a(l, g, cfg);
+  DorEngine b(l, g, cfg);
+  const SimMetrics ma = a.run(errors, apps);
+  const SimMetrics mb = b.run(errors, apps);
+  EXPECT_EQ(ma.disk_reads, mb.disk_reads);
+  EXPECT_EQ(ma.app_served, mb.app_served);
+  EXPECT_EQ(ma.app_parked_drained, mb.app_parked_drained);
+  EXPECT_EQ(ma.app_deadline_miss, mb.app_deadline_miss);
+  EXPECT_DOUBLE_EQ(ma.reconstruction_ms, mb.reconstruction_ms);
+  EXPECT_DOUBLE_EQ(ma.app_response_ms.mean(), mb.app_response_ms.mean());
+  EXPECT_EQ(ma.app_response_hist.count(), mb.app_response_hist.count());
+}
+
+TEST(DorEngine, ThrottleSlowsRebuildWithoutLosingWork) {
+  const codes::Layout l = codes::make_layout(codes::CodeId::Tip, 7);
+  const ArrayGeometry g(l, 10000, true, SparePlacement::Distributed);
+  const auto errors = make_trace(l, 30);
+  DorEngine free_engine(l, g, small_config());
+  const SimMetrics unthrottled = free_engine.run(errors);
+  auto cfg = small_config();
+  cfg.throttle.rebuild_reads_per_sec = 100.0;
+  cfg.throttle.burst = 1;
+  DorEngine slow_engine(l, g, cfg);
+  const SimMetrics throttled = slow_engine.run(errors);
+  EXPECT_GT(throttled.reconstruction_ms, unthrottled.reconstruction_ms);
+  EXPECT_EQ(throttled.stripes_recovered, unthrottled.stripes_recovered);
+  EXPECT_EQ(throttled.chunks_recovered, unthrottled.chunks_recovered);
+  // Deferred submissions keep the one-in-flight-per-reader shard bound.
+  EXPECT_EQ(throttled.event_queue_regrowths, 0u);
+}
+
 TEST(DorEngine, EmptyTraceIsNoop) {
   const codes::Layout l = codes::make_layout(codes::CodeId::Tip, 5);
   const ArrayGeometry g(l, 100);

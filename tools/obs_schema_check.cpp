@@ -86,6 +86,18 @@ void check_metrics(const Value& doc) {
                 counter(counters, "run.chunks_recovered"),
             "disk writes != chunks recovered");
 
+  // Online-recovery laws. The run.app.* family is only exported by runs
+  // that carried app traffic, so the missing-reads-as-zero rule makes
+  // recovery-only documents reduce to 0 == 0 here.
+  FBF_CHECK(counter(counters, "run.app_requests") ==
+                counter_or_zero(counters, "run.app.served") +
+                    counter_or_zero(counters, "run.app.parked_drained"),
+            "app requests != served + parked_drained");
+  FBF_CHECK(counter_or_zero(counters, "run.app.parked_drained") ==
+                counter(counters, "run.app_degraded_reads") +
+                    counter_or_zero(counters, "run.app.degraded_writes"),
+            "app parked_drained != degraded reads + degraded writes");
+
   const Value::Object& histograms =
       field(root, "histograms", "metrics document").as_object();
   for (const auto& [name, h] : histograms) {
