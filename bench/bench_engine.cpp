@@ -43,6 +43,11 @@ struct Row {
   double wall_ms = 0.0;  ///< best of --reps
   double stripes_per_sec() const { return 1e3 * double(stripes) / wall_ms; }
   double events_per_sec() const { return 1e3 * double(events) / wall_ms; }
+  /// Binaries predating SimMetrics::engine_events (the seed baseline this
+  /// bench is diffed against) report 0 processed events. A real run always
+  /// processes at least one event per stripe, so 0 means "counter absent",
+  /// and the JSON emits null rather than a fake zero rate.
+  bool events_known() const { return events != 0; }
 };
 
 template <typename RunFn>
@@ -71,20 +76,32 @@ Row time_engine(const std::string& name, int p, int errors, int reps,
 void write_json(const std::string& path, const std::vector<Row>& rows) {
   std::ofstream out(path);
   FBF_CHECK(out.good(), "cannot open --json-out file " + path);
-  out << "[\n";
+  out << "{\n  \"description\": \"wall_ms is the best of the requested reps; "
+         "stripes_per_sec = stripes/wall. events counts processed simulator "
+         "events (engine_events); null means the binary under test predates "
+         "the counter, not an event-free run\",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
-    out << "  {\"engine\": \"" << r.engine << "\", \"p\": " << r.p
+    out << "    {\"engine\": \"" << r.engine << "\", \"p\": " << r.p
         << ", \"errors\": " << r.errors << ", \"stripes\": " << r.stripes
-        << ", \"events\": " << r.events
-        << ", \"wall_ms\": " << fbf::util::fmt_double(r.wall_ms, 3)
+        << ", \"events\": ";
+    if (r.events_known()) {
+      out << r.events;
+    } else {
+      out << "null";
+    }
+    out << ", \"wall_ms\": " << fbf::util::fmt_double(r.wall_ms, 3)
         << ", \"stripes_per_sec\": "
         << fbf::util::fmt_double(r.stripes_per_sec(), 1)
-        << ", \"events_per_sec\": "
-        << fbf::util::fmt_double(r.events_per_sec(), 1) << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
+        << ", \"events_per_sec\": ";
+    if (r.events_known()) {
+      out << fbf::util::fmt_double(r.events_per_sec(), 1);
+    } else {
+      out << "null";
+    }
+    out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  out << "]\n";
+  out << "  ]\n}\n";
 }
 
 }  // namespace
@@ -153,9 +170,11 @@ int main(int argc, char** argv) {
                  "events/s"});
   for (const Row& r : rows) {
     table.add_row({r.engine, std::to_string(r.p), std::to_string(r.errors),
-                   std::to_string(r.events), util::fmt_double(r.wall_ms, 1),
+                   r.events_known() ? std::to_string(r.events) : "-",
+                   util::fmt_double(r.wall_ms, 1),
                    util::fmt_double(r.stripes_per_sec(), 0),
-                   util::fmt_double(r.events_per_sec(), 0)});
+                   r.events_known() ? util::fmt_double(r.events_per_sec(), 0)
+                                    : "-"});
   }
   if (csv) {
     table.print_csv(std::cout);

@@ -28,7 +28,10 @@
 # single global heap. Sharded and single-heap runs must produce
 # byte-identical CSVs and identical deterministic metrics documents: the
 # (ts, seq) total order leaves only one correct pop sequence, so any
-# divergence is an ordering bug in the shard/merge-frontier layer.
+# divergence is an ordering bug in the shard/merge-frontier layer. The
+# same matrix then re-runs with FBF_DOR_LEGACY_LOOP=1 and is diffed
+# against the default (coalesced) DOR run: the service-cursor fast path
+# must reproduce the seed loop's bytes exactly (DESIGN §14).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export FBF_VALIDATE=1
@@ -132,6 +135,21 @@ engine_smoke() {
     "${build_dir}/tools/obs_schema_check" "${out}/${engine}_shard.json" \
       --compare="${out}/${engine}_global.json"
   done
+  # The DOR coalesced loop (service cursors + batched cache admission) is
+  # byte-identical to the seed's one-event-per-read loop by contract;
+  # FBF_DOR_LEGACY_LOOP=1 selects the legacy loop so the contract stays
+  # checkable end to end (CSV bytes and exported metrics).
+  FBF_DOR_LEGACY_LOOP=1 "${build_dir}/bench/bench_ext_fault_sweep" \
+    --engine=dor --errors=8 --workers=4 --csv \
+    --ure-rates=0,0.001 --straggler-factors=1,4 \
+    --metrics-out="${out}/dor_legacy.json" \
+    >"${out}/dor_legacy.csv"
+  cmp "${out}/dor_shard.csv" "${out}/dor_legacy.csv" || {
+    echo "coalesced vs legacy DOR loop diverge" >&2
+    exit 1
+  }
+  "${build_dir}/tools/obs_schema_check" "${out}/dor_shard.json" \
+    --compare="${out}/dor_legacy.json"
 }
 
 cmake -B build -S .

@@ -25,36 +25,39 @@ std::size_t FbfCache::queue_size(int level) const {
 }
 
 bool FbfCache::handle(Key key, int priority) {
-  const core::Index n = index_.find(key);
-  if (n != core::kNil) {
-    // Cache hit: one expected reference consumed -> demote one level
-    // (Algorithm 1's Queue3->Queue2, Queue2->Queue1, Queue1->its MRU end).
-    const int level = static_cast<int>(slab_[n].data.level);
-    const int next_level =
-        demote_on_hit_ ? (level > 1 ? level - 1 : 1) : level;
-    queue(level).erase(slab_, n);
-    slab_[n].data.level = static_cast<std::uint8_t>(next_level);
-    queue(next_level).push_back(slab_, n);
-    return true;
-  }
+  return handle_impl(key, priority);
+}
 
-  if (slab_.in_use() >= capacity()) {
-    // Replacement policy: lowest-priority queues first.
-    for (int level = 1; level <= 3; ++level) {
-      if (!queue(level).empty()) {
-        const core::Index victim = queue(level).pop_front(slab_);
-        index_.erase(slab_[victim].key);
-        slab_.release(victim);
-        note_eviction();
-        break;
-      }
+// Batch adapters (policy.h): same per-element semantics as the scalar
+// hook. handle_impl is header-inline, so each loop iteration is a local
+// probe-and-relink rather than a function call per element.
+std::size_t FbfCache::handle_batch(const Key* keys,
+                           const std::uint8_t* priorities, std::size_t n,
+                           std::uint64_t* hit_words) {
+  for (std::size_t i = 0; i < n; ++i) {
+    index_.prefetch(keys[i]);
+  }
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (handle_impl(keys[i], static_cast<int>(priorities[i]))) {
+      hit_words[i >> 6] |= std::uint64_t{1} << (i & 63);
+      ++hits;
     }
   }
-  const core::Index fresh = slab_.acquire(key);
-  slab_[fresh].data.level = static_cast<std::uint8_t>(priority);
-  queue(priority).push_back(slab_, fresh);
-  index_.insert(key, fresh);
-  return false;
+  return hits;
+}
+
+void FbfCache::handle_install_batch(const Key* keys,
+                              const std::uint8_t* priorities,
+                              std::size_t n) {
+  // No custom install hook: an install is a demand access minus the stats
+  // (policy.h), so the batch folds straight through the same step.
+  for (std::size_t i = 0; i < n; ++i) {
+    index_.prefetch(keys[i]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    handle_impl(keys[i], static_cast<int>(priorities[i]));
+  }
 }
 
 }  // namespace fbf::cache

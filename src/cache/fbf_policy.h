@@ -40,6 +40,10 @@ class FbfCache final : public CachePolicy {
 
  protected:
   bool handle(Key key, int priority) override;
+  std::size_t handle_batch(const Key* keys, const std::uint8_t* priorities,
+                           std::size_t n, std::uint64_t* hit_words) override;
+  void handle_install_batch(const Key* keys, const std::uint8_t* priorities,
+                            std::size_t n) override;
 
  private:
   struct Level {
@@ -47,6 +51,44 @@ class FbfCache final : public CachePolicy {
   };
 
   core::IntrusiveList& queue(int level) { return queues_[level - 1]; }
+
+  /// Algorithm 1's per-access step, shared by the scalar hook and the
+  /// batch adapters. Defined in-class so the batch loops — one call per
+  /// touched chunk, the hottest edge in the DOR storm — inline it instead
+  /// of paying a cross-function call per element.
+  bool handle_impl(Key key, int priority) {
+    const core::Index n = index_.find(key);
+    if (n != core::kNil) {
+      // Cache hit: one expected reference consumed -> demote one level
+      // (Algorithm 1's Queue3->Queue2, Queue2->Queue1, Queue1->its MRU
+      // end).
+      const int level = static_cast<int>(slab_[n].data.level);
+      const int next_level =
+          demote_on_hit_ ? (level > 1 ? level - 1 : 1) : level;
+      queue(level).erase(slab_, n);
+      slab_[n].data.level = static_cast<std::uint8_t>(next_level);
+      queue(next_level).push_back(slab_, n);
+      return true;
+    }
+
+    if (slab_.in_use() >= capacity()) {
+      // Replacement policy: lowest-priority queues first.
+      for (int level = 1; level <= 3; ++level) {
+        if (!queue(level).empty()) {
+          const core::Index victim = queue(level).pop_front(slab_);
+          index_.erase(slab_[victim].key);
+          slab_.release(victim);
+          note_eviction();
+          break;
+        }
+      }
+    }
+    const core::Index fresh = slab_.acquire(key);
+    slab_[fresh].data.level = static_cast<std::uint8_t>(priority);
+    queue(priority).push_back(slab_, fresh);
+    index_.insert(key, fresh);
+    return false;
+  }
 
   bool demote_on_hit_;
   core::NodeSlab<Level> slab_;

@@ -30,6 +30,10 @@ class LfuCache final : public CachePolicy {
 
  protected:
   bool handle(Key key, int priority) override;
+  std::size_t handle_batch(const Key* keys, const std::uint8_t* priorities,
+                           std::size_t n, std::uint64_t* hit_words) override;
+  void handle_install_batch(const Key* keys, const std::uint8_t* priorities,
+                            std::size_t n) override;
 
  private:
   struct KeyData {

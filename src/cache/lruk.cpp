@@ -36,4 +36,31 @@ bool LrukCache::handle(Key key, int /*priority*/) {
   return false;
 }
 
+
+// Batch adapters (policy.h): same per-element semantics as the scalar
+// hooks, but the class is final here, so the per-element calls
+// devirtualize and the virtual hop is paid once per batch.
+std::size_t LrukCache::handle_batch(const Key* keys,
+                           const std::uint8_t* priorities, std::size_t n,
+                           std::uint64_t* hit_words) {
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (handle(keys[i], static_cast<int>(priorities[i]))) {
+      hit_words[i >> 6] |= std::uint64_t{1} << (i & 63);
+      ++hits;
+    }
+  }
+  return hits;
+}
+
+void LrukCache::handle_install_batch(const Key* keys,
+                              const std::uint8_t* priorities,
+                              std::size_t n) {
+  // No custom install hook: an install is a demand access minus the stats
+  // (policy.h), so the batch folds straight through handle().
+  for (std::size_t i = 0; i < n; ++i) {
+    handle(keys[i], static_cast<int>(priorities[i]));
+  }
+}
+
 }  // namespace fbf::cache

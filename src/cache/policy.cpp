@@ -37,6 +37,43 @@ void CachePolicy::install(Key key, int priority) {
   handle_install(key, priority);
 }
 
+std::size_t CachePolicy::touch_batch(const Key* keys,
+                                     const std::uint8_t* priorities,
+                                     std::size_t n,
+                                     std::uint64_t* hit_words) {
+  for (std::size_t w = 0; w < (n + 63) / 64; ++w) {
+    hit_words[w] = 0;
+  }
+  if (n == 0) {
+    return 0;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    FBF_CHECK(priorities[i] >= 1 && priorities[i] <= 3,
+              "priority must be 1..3");
+  }
+  if (capacity_ == 0) {
+    stats_.misses += n;  // zero-capacity caches miss everything
+    return 0;
+  }
+  const std::size_t hits = handle_batch(keys, priorities, n, hit_words);
+  stats_.hits += hits;
+  stats_.misses += n - hits;
+  return hits;
+}
+
+void CachePolicy::install_batch(const Key* keys,
+                                const std::uint8_t* priorities,
+                                std::size_t n) {
+  if (n == 0 || capacity_ == 0) {
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    FBF_CHECK(priorities[i] >= 1 && priorities[i] <= 3,
+              "priority must be 1..3");
+  }
+  handle_install_batch(keys, priorities, n);
+}
+
 const char* to_string(PolicyId id) {
   switch (id) {
     case PolicyId::Fifo:

@@ -9,6 +9,7 @@
 // priority dictionary; classic policies ignore it.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -54,6 +55,23 @@ class CachePolicy {
   /// ghost entry without adapting).
   void install(Key key, int priority = 1);
 
+  /// Batched request: exactly equivalent to calling request(keys[i],
+  /// priorities[i]) for i in [0, n) in order — same hits, misses,
+  /// evictions, and final state (the differential fuzz pins this for every
+  /// policy). Bit i of `hit_words` (ceil(n/64) caller-provided words,
+  /// zeroed here) is set on hit; returns the number of hits. One virtual
+  /// dispatch covers the whole batch: the simulator hot loops hand a
+  /// chain's members over in one call instead of paying a virtual hop and
+  /// a stats update per chunk.
+  std::size_t touch_batch(const Key* keys, const std::uint8_t* priorities,
+                          std::size_t n, std::uint64_t* hit_words);
+
+  /// Batched install: exactly equivalent to install(keys[i], priorities[i])
+  /// for i in [0, n) in order. No hit/miss accounting, evictions still
+  /// count (see install()).
+  void install_batch(const Key* keys, const std::uint8_t* priorities,
+                     std::size_t n);
+
   virtual bool contains(Key key) const = 0;
   virtual std::size_t size() const = 0;
   virtual const char* name() const = 0;
@@ -71,6 +89,31 @@ class CachePolicy {
   /// policies with adaptive state (ARC, 2Q) override to admit without
   /// adapting (see install()).
   virtual void handle_install(Key key, int priority) { handle(key, priority); }
+
+  /// Batch adapters. The defaults loop over the virtual handle hooks —
+  /// semantically final (batch ≡ sequential is the contract, not a policy
+  /// choice); every port overrides them with a loop over its own concrete
+  /// handle so the per-element calls devirtualize and inline. Returns the
+  /// hit count and sets hit bits (the caller zeroes `hit_words`).
+  virtual std::size_t handle_batch(const Key* keys,
+                                   const std::uint8_t* priorities,
+                                   std::size_t n, std::uint64_t* hit_words) {
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (handle(keys[i], priorities[i])) {
+        hit_words[i >> 6] |= std::uint64_t{1} << (i & 63);
+        ++hits;
+      }
+    }
+    return hits;
+  }
+  virtual void handle_install_batch(const Key* keys,
+                                    const std::uint8_t* priorities,
+                                    std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      handle_install(keys[i], priorities[i]);
+    }
+  }
 
   void note_eviction() { ++stats_.evictions; }
 

@@ -31,6 +31,31 @@ void ReferencePolicy::install(Key key, int priority) {
   handle_install(key, priority);
 }
 
+std::size_t ReferencePolicy::touch_batch(const Key* keys,
+                                         const std::uint8_t* priorities,
+                                         std::size_t n,
+                                         std::uint64_t* hit_words) {
+  for (std::size_t w = 0; w < (n + 63) / 64; ++w) {
+    hit_words[w] = 0;
+  }
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (request(keys[i], static_cast<int>(priorities[i]))) {
+      hit_words[i >> 6] |= std::uint64_t{1} << (i & 63);
+      ++hits;
+    }
+  }
+  return hits;
+}
+
+void ReferencePolicy::install_batch(const Key* keys,
+                                    const std::uint8_t* priorities,
+                                    std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    install(keys[i], static_cast<int>(priorities[i]));
+  }
+}
+
 namespace {
 
 bool has_key(const std::vector<Key>& v, Key k) {

@@ -36,6 +36,16 @@ class ReferencePolicy {
   bool request(Key key, int priority = 1);
   void install(Key key, int priority = 1);
 
+  /// Batch twins of CachePolicy::touch_batch / install_batch, with the same
+  /// contract: exactly equivalent to the scalar calls in order. The golden
+  /// side has no fast path — these loop over request()/install() — so the
+  /// differential fuzz can replay one interleaving through both surfaces
+  /// and pin batch ≡ sequential for the optimized ports.
+  std::size_t touch_batch(const Key* keys, const std::uint8_t* priorities,
+                          std::size_t n, std::uint64_t* hit_words);
+  void install_batch(const Key* keys, const std::uint8_t* priorities,
+                     std::size_t n);
+
   virtual bool contains(Key key) const = 0;
   virtual std::size_t size() const = 0;
 

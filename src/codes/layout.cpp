@@ -122,29 +122,14 @@ Layout::Layout(std::string name, int p, int rows, int cols,
   }
 }
 
-int Layout::cell_index(Cell c) const {
-  FBF_CHECK(in_bounds(c), "cell_index out of bounds");
-  return c.row * cols_ + c.col;
-}
-
 Cell Layout::cell_at(int index) const {
   FBF_CHECK(index >= 0 && index < num_cells(), "cell_at out of bounds");
   return Cell{static_cast<std::int16_t>(index / cols_),
               static_cast<std::int16_t>(index % cols_)};
 }
 
-bool Layout::in_bounds(Cell c) const {
-  return c.row >= 0 && c.row < rows_ && c.col >= 0 && c.col < cols_;
-}
-
 CellKind Layout::kind(Cell c) const {
   return kind_[static_cast<std::size_t>(cell_index(c))];
-}
-
-const Chain& Layout::chain(int id) const {
-  FBF_CHECK(id >= 0 && id < static_cast<int>(chains_.size()),
-            "chain id out of range");
-  return chains_[static_cast<std::size_t>(id)];
 }
 
 std::span<const int> Layout::chains_in(Direction d) const {

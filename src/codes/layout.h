@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "codes/geometry.h"
+#include "util/check.h"
 
 namespace fbf::codes {
 
@@ -28,15 +29,28 @@ class Layout {
   int num_data_cells() const { return num_cells() - num_parity_cells(); }
   int num_parity_cells() const { return static_cast<int>(chains_.size()); }
 
+  // cell_index/in_bounds/chain are defined inline: the simulators call
+  // them per planned read and per event, where an opaque cross-TU call
+  // costs more than the two-instruction body.
+
   /// Dense index of a cell in [0, num_cells()).
-  int cell_index(Cell c) const;
+  int cell_index(Cell c) const {
+    FBF_CHECK(in_bounds(c), "cell_index out of bounds");
+    return c.row * cols_ + c.col;
+  }
   Cell cell_at(int index) const;
-  bool in_bounds(Cell c) const;
+  bool in_bounds(Cell c) const {
+    return c.row >= 0 && c.row < rows_ && c.col >= 0 && c.col < cols_;
+  }
 
   CellKind kind(Cell c) const;
 
   const std::vector<Chain>& chains() const { return chains_; }
-  const Chain& chain(int id) const;
+  const Chain& chain(int id) const {
+    FBF_CHECK(id >= 0 && id < static_cast<int>(chains_.size()),
+              "chain id out of range");
+    return chains_[static_cast<std::size_t>(id)];
+  }
 
   /// Chain ids belonging to one direction.
   std::span<const int> chains_in(Direction d) const;

@@ -14,16 +14,6 @@ ArrayGeometry::ArrayGeometry(const codes::Layout& layout,
   FBF_CHECK(num_stripes_ > 0, "array needs at least one stripe");
 }
 
-int ArrayGeometry::disk_of(std::uint64_t stripe, codes::Cell c) const {
-  FBF_CHECK(layout_->in_bounds(c), "cell out of bounds");
-  if (!rotate_columns_) {
-    return c.col;
-  }
-  return static_cast<int>(
-      (static_cast<std::uint64_t>(c.col) + stripe) %
-      static_cast<std::uint64_t>(layout_->cols()));
-}
-
 int ArrayGeometry::spare_disk_of(std::uint64_t stripe, codes::Cell c) const {
   const int home = disk_of(stripe, c);
   if (spare_ == SparePlacement::SameDisk) {
@@ -36,28 +26,6 @@ int ArrayGeometry::spare_disk_of(std::uint64_t stripe, codes::Cell c) const {
                                                  c.row)) % (n - 1);
   return static_cast<int>(
       (static_cast<std::uint64_t>(home) + offset) % n);
-}
-
-std::uint64_t ArrayGeometry::lba_of(std::uint64_t stripe,
-                                    codes::Cell c) const {
-  FBF_CHECK(stripe < num_stripes_, "stripe out of range");
-  return stripe * static_cast<std::uint64_t>(layout_->rows()) +
-         static_cast<std::uint64_t>(c.row);
-}
-
-std::uint64_t ArrayGeometry::spare_lba_of(std::uint64_t stripe,
-                                          codes::Cell c) const {
-  return disk_capacity_chunks() + lba_of(stripe, c);
-}
-
-std::uint64_t ArrayGeometry::chunk_key(std::uint64_t stripe,
-                                       codes::Cell c) const {
-  return stripe * static_cast<std::uint64_t>(layout_->num_cells()) +
-         static_cast<std::uint64_t>(layout_->cell_index(c));
-}
-
-std::uint64_t ArrayGeometry::disk_capacity_chunks() const {
-  return num_stripes_ * static_cast<std::uint64_t>(layout_->rows());
 }
 
 }  // namespace fbf::sim

@@ -33,24 +33,47 @@ class ArrayGeometry {
   std::uint64_t num_stripes() const { return num_stripes_; }
   int num_disks() const { return layout_->cols(); }
 
-  int disk_of(std::uint64_t stripe, codes::Cell c) const;
+  // The mapping accessors are defined inline: the simulators call them
+  // once per planned read, re-read, and spare write, where an opaque
+  // cross-TU call costs as much as the address arithmetic itself.
+
+  int disk_of(std::uint64_t stripe, codes::Cell c) const {
+    FBF_CHECK(layout_->in_bounds(c), "cell out of bounds");
+    if (!rotate_columns_) {
+      return c.col;
+    }
+    return static_cast<int>(
+        (static_cast<std::uint64_t>(c.col) + stripe) %
+        static_cast<std::uint64_t>(layout_->cols()));
+  }
 
   /// Disk holding the spare copy of a recovered chunk (== disk_of under
   /// SameDisk placement).
   int spare_disk_of(std::uint64_t stripe, codes::Cell c) const;
 
   /// Chunk LBA of a cell inside the data region of its disk.
-  std::uint64_t lba_of(std::uint64_t stripe, codes::Cell c) const;
+  std::uint64_t lba_of(std::uint64_t stripe, codes::Cell c) const {
+    FBF_CHECK(stripe < num_stripes_, "stripe out of range");
+    return stripe * static_cast<std::uint64_t>(layout_->rows()) +
+           static_cast<std::uint64_t>(c.row);
+  }
 
   /// LBA in the spare region (beyond the data region) where a recovered
   /// chunk is rewritten — sector remapping for partial errors.
-  std::uint64_t spare_lba_of(std::uint64_t stripe, codes::Cell c) const;
+  std::uint64_t spare_lba_of(std::uint64_t stripe, codes::Cell c) const {
+    return disk_capacity_chunks() + lba_of(stripe, c);
+  }
 
   /// Global cache key of a chunk.
-  std::uint64_t chunk_key(std::uint64_t stripe, codes::Cell c) const;
+  std::uint64_t chunk_key(std::uint64_t stripe, codes::Cell c) const {
+    return stripe * static_cast<std::uint64_t>(layout_->num_cells()) +
+           static_cast<std::uint64_t>(layout_->cell_index(c));
+  }
 
   /// Chunks a disk's data region holds (for detailed-model seek bounds).
-  std::uint64_t disk_capacity_chunks() const;
+  std::uint64_t disk_capacity_chunks() const {
+    return num_stripes_ * static_cast<std::uint64_t>(layout_->rows());
+  }
 
  private:
   const codes::Layout* layout_;

@@ -22,11 +22,8 @@ Disk::Disk(int id, const DiskParams& params, std::uint64_t seed)
             "disk service multiplier must be positive");
 }
 
-double Disk::service_ms(std::uint64_t lba_chunk, bool is_write) {
-  if (params_.kind == DiskModelKind::FixedLatency) {
-    return (is_write ? params_.write_ms : params_.read_ms) *
-           params_.service_multiplier;
-  }
+double Disk::detailed_service_ms(std::uint64_t lba_chunk,
+                                 bool /*is_write*/) {
   // Detailed model: seek grows with the square root of the head travel
   // distance (classic seek-curve approximation), plus expected rotational
   // latency (half a revolution, jittered) and chunk transfer time.
@@ -44,24 +41,6 @@ double Disk::service_ms(std::uint64_t lba_chunk, bool is_write) {
   const double transfer = transfer_time_ms(params_);
   head_lba_ = lba_chunk;
   return (seek + rotation + transfer) * params_.service_multiplier;
-}
-
-double Disk::enqueue(double now_ms, double service) {
-  const double start = std::max(now_ms, free_at_ms_);
-  free_at_ms_ = start + service;
-  stats_.busy_ms += service;
-  stats_.last_completion_ms = free_at_ms_;
-  return free_at_ms_;
-}
-
-double Disk::submit_read(double now_ms, std::uint64_t lba_chunk) {
-  ++stats_.reads;
-  return enqueue(now_ms, service_ms(lba_chunk, /*is_write=*/false));
-}
-
-double Disk::submit_write(double now_ms, std::uint64_t lba_chunk) {
-  ++stats_.writes;
-  return enqueue(now_ms, service_ms(lba_chunk, /*is_write=*/true));
 }
 
 double Disk::utilization(double horizon_ms) const {

@@ -11,6 +11,7 @@
 // submission returns its completion time.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "util/rng.h"
@@ -56,11 +57,23 @@ class Disk {
  public:
   Disk(int id, const DiskParams& params, std::uint64_t seed);
 
+  // submit_read/submit_write are defined inline with the FixedLatency
+  // service computation: the simulators call them once per planned read,
+  // re-read, and spare write, and under the default model the whole body
+  // is a handful of flops — an opaque cross-TU call would dominate it.
+  // The Detailed model (seek curve + rotation) stays out of line.
+
   /// Enqueues a chunk read arriving at `now_ms`; returns completion time.
-  double submit_read(double now_ms, std::uint64_t lba_chunk);
+  double submit_read(double now_ms, std::uint64_t lba_chunk) {
+    ++stats_.reads;
+    return enqueue(now_ms, service_ms(lba_chunk, /*is_write=*/false));
+  }
 
   /// Enqueues a chunk write arriving at `now_ms`; returns completion time.
-  double submit_write(double now_ms, std::uint64_t lba_chunk);
+  double submit_write(double now_ms, std::uint64_t lba_chunk) {
+    ++stats_.writes;
+    return enqueue(now_ms, service_ms(lba_chunk, /*is_write=*/true));
+  }
 
   int id() const { return id_; }
   const DiskStats& stats() const { return stats_; }
@@ -70,8 +83,21 @@ class Disk {
   double utilization(double horizon_ms) const;
 
  private:
-  double service_ms(std::uint64_t lba_chunk, bool is_write);
-  double enqueue(double now_ms, double service);
+  double service_ms(std::uint64_t lba_chunk, bool is_write) {
+    if (params_.kind == DiskModelKind::FixedLatency) {
+      return (is_write ? params_.write_ms : params_.read_ms) *
+             params_.service_multiplier;
+    }
+    return detailed_service_ms(lba_chunk, is_write);
+  }
+  double detailed_service_ms(std::uint64_t lba_chunk, bool is_write);
+  double enqueue(double now_ms, double service) {
+    const double start = std::max(now_ms, free_at_ms_);
+    free_at_ms_ = start + service;
+    stats_.busy_ms += service;
+    stats_.last_completion_ms = free_at_ms_;
+    return free_at_ms_;
+  }
 
   int id_;
   DiskParams params_;

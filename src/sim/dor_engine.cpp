@@ -1,18 +1,35 @@
 #include "sim/dor_engine.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <memory>
 #include <optional>
+#include <span>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
 #include "codes/codec.h"
+#include "codes/xor_kernels.h"
 #include "obs/observer.h"
 #include "obs/registry.h"
 #include "recovery/scheme.h"
 #include "sim/event_queue.h"
 #include "sim/validate.h"
 #include "util/check.h"
+#include "util/hugepage.h"
+#include "util/rng.h"
 
 namespace fbf::sim {
+
+bool forced_dor_legacy_loop() {
+  static const bool forced = [] {
+    const char* v = std::getenv("FBF_DOR_LEGACY_LOOP");
+    return v != nullptr && std::string(v) != "0";
+  }();
+  return forced;
+}
 
 namespace {
 
@@ -101,6 +118,15 @@ DorEngine::DorEngine(const codes::Layout& layout,
 
 SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors,
                           const std::vector<workload::AppRequest>& app_trace) {
+  FBF_CHECK(!(config_.verify_data && config_.legacy_loop),
+            "verify_data needs the coalesced loop (legacy_loop predates it)");
+  return config_.legacy_loop ? run_legacy(errors, app_trace)
+                             : run_fast(errors, app_trace);
+}
+
+SimMetrics DorEngine::run_legacy(
+    const std::vector<workload::StripeError>& errors,
+    const std::vector<workload::AppRequest>& app_trace) {
   SimMetrics metrics;
   obs::Histogram response_hist;
   obs::Histogram* response_hist_ptr =
@@ -823,6 +849,1332 @@ SimMetrics DorEngine::run(const std::vector<workload::StripeError>& errors,
   metrics.reconstruction_ms = makespan;
   // Escalation passes count like SOR's synthetic stripe entries so the
   // validation law stripes == errors + escalations holds in both engines.
+  metrics.stripes_recovered =
+      errors.size() + metrics.fault.escalated_stripes;
+  metrics.cache = cache->stats();
+  for (const Disk& d : disks) {
+    metrics.disk_busy_ms.push_back(d.stats().busy_ms);
+    metrics.disk_ops.push_back(d.stats().reads + d.stats().writes);
+  }
+  if (validation_enabled()) {
+    validate_run(metrics, errors);
+  }
+  record_run(config_.observer, config_.obs_label, metrics, response_hist_ptr);
+  return metrics;
+}
+
+// ---------------------------------------------------------------------------
+// Coalesced fast path (DESIGN §14). Byte-identical to run_legacy by
+// construction: it performs the same disk submissions, cache operations,
+// and metric updates in the same order, and only elides heap traffic for
+// events that are provably the next to pop. ci/tier1.sh and the
+// DorCoalescing tests diff the two paths' CSVs and metrics.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kNoId = 0xffffffffu;
+
+/// Growable open-addressing chunk-key → dense-id map. Insert-only (DOR
+/// never forgets a chunk), so probing needs no tombstones; `kNoId` in the
+/// id field marks an empty slot, which keeps key 0 usable (chunk keys
+/// start at 0). Key and id share one 16-byte slot so a probe against the
+/// table — always a cold miss at storm-scale id spaces — costs one cache
+/// line, not two. Same splitmix64 finalizer as cache::core::KeyIndexTable
+/// — that table is fixed-capacity by design and fault replans mint chunks
+/// unboundedly, hence the local growable twin.
+class KeyIdMap {
+ public:
+  explicit KeyIdMap(std::size_t expected) {
+    std::size_t cap = 16;
+    while (cap < expected * 2) {
+      cap <<= 1;
+    }
+    // Advise before assign: the fill below is the first touch, so the
+    // whole slot array faults in as huge pages (tens of MB probed
+    // randomly — 4 KiB paging would make every probe a TLB walk too).
+    slots_.reserve(cap);
+    util::advise_hugepages(slots_.data(), cap * sizeof(Slot));
+    slots_.assign(cap, Slot{});
+    mask_ = cap - 1;
+  }
+
+  std::uint32_t find(cache::Key key) const {
+    for (std::size_t s = slot(key);; s = (s + 1) & mask_) {
+      if (slots_[s].id == kNoId) {
+        return kNoId;
+      }
+      if (slots_[s].key == key) {
+        return slots_[s].id;
+      }
+    }
+  }
+
+  /// Prefetch hint for an imminent find/find_or_insert of `key`: the
+  /// table spans tens of megabytes at sweep scale, so every probe is a
+  /// DRAM miss unless issued ahead of use.
+  void prefetch(cache::Key key) const {
+    __builtin_prefetch(slots_.data() + slot(key));
+  }
+
+  /// Existing id for `key`, or inserts `id` and reports fresh.
+  std::pair<std::uint32_t, bool> find_or_insert(cache::Key key,
+                                                std::uint32_t id) {
+    for (std::size_t s = slot(key);; s = (s + 1) & mask_) {
+      if (slots_[s].id == kNoId) {
+        slots_[s].key = key;
+        slots_[s].id = id;
+        if (++size_ * 2 >= slots_.size()) {
+          grow();
+        }
+        return {id, true};
+      }
+      if (slots_[s].key == key) {
+        return {slots_[s].id, false};
+      }
+    }
+  }
+
+ private:
+  struct Slot {
+    cache::Key key = 0;
+    std::uint32_t id = kNoId;
+  };
+
+  static std::uint64_t mix(std::uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+  }
+  std::size_t slot(cache::Key key) const {
+    return static_cast<std::size_t>(mix(key)) & mask_;
+  }
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.reserve(old.size() * 2);
+    util::advise_hugepages(slots_.data(), old.size() * 2 * sizeof(Slot));
+    slots_.assign(old.size() * 2, Slot{});
+    mask_ = slots_.size() - 1;
+    for (const Slot& o : old) {
+      if (o.id == kNoId) {
+        continue;
+      }
+      std::size_t d = slot(o.key);
+      while (slots_[d].id != kNoId) {
+        d = (d + 1) & mask_;
+      }
+      slots_[d] = o;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Chain member in the shared arena: key + dense chunk id + the member's
+/// fixed position inside its task (the awaiting-bitset bit it owns).
+struct FMember {
+  cache::Key key = 0;
+  std::uint32_t id = 0;
+  std::uint16_t pos = 0;
+  std::uint8_t priority = 1;
+};
+
+/// ChainTask, flattened: members live in a shared arena (the unconsumed
+/// set shrinks in place, so a [mem_off, mem_off+mem_len) window replaces
+/// the per-task vector) and the awaiting set is packed-u64 words in a
+/// shared arena (the SOR Worker::recovered idiom), indexed by member
+/// position, with a live count so "awaiting empty" is one compare. The
+/// whole record fits one cache line and is aligned to it, so a delivery
+/// wake-up — a random probe into a multi-hundred-MB task array — costs
+/// exactly one memory access.
+struct alignas(64) FTask {
+  std::uint64_t stripe = 0;
+  /// Awaiting bitset for tasks of <= 64 members — every non-Gauss chain
+  /// at practical p. Keeping the word inside the task means a delivery
+  /// wake-up clears its bit with no second dependent cache miss into
+  /// await_arena; multi-word (Gauss) tasks fall back to the arena.
+  std::uint64_t await0 = 0;
+  std::uint32_t mem_off = 0;
+  std::uint32_t mem_len = 0;
+  std::uint32_t await_off = 0;
+  std::uint32_t await_words = 0;
+  std::uint32_t awaiting_count = 0;
+  codes::Cell target;
+  /// Dense chunk id of `target`, recorded at registration so the spare
+  /// write never probes the key map (left unbuilt on fault-free runs).
+  /// Gauss tasks (fault path only) keep per-target ids via the map.
+  std::uint32_t target_id = kNoId;
+  std::int16_t chain_id = -1;
+  std::uint16_t n_members = 0;
+  std::uint8_t target_priority = 1;
+  bool done = false;
+  /// Gauss targets as a [gauss_off, gauss_off+gauss_len) window into a
+  /// shared arena (fault path only; empty for normal chains). A vector
+  /// here would push the task past one cache line for a field the hot
+  /// loop never reads.
+  std::uint32_t gauss_off = 0;
+  std::uint32_t gauss_len = 0;
+};
+static_assert(sizeof(FTask) == 64, "FTask must stay one cache line");
+
+/// Waiter link, extended with the waiting member's position so delivery
+/// clears the awaiting bit in O(1) instead of scanning a key list.
+struct FWaiterLink {
+  std::uint32_t task = 0;
+  std::uint32_t next = kNoWaiter;
+  std::uint16_t member_pos = 0;
+};
+
+// Aligned so the per-event probe (again a random access into an array
+// far larger than LLC) never straddles two lines.
+struct alignas(64) FChunkInfo {
+  cache::Key key = 0;  ///< events and waiters carry ids; the key lives here
+  std::uint64_t stripe = 0;
+  /// First waiter, stored inline: most chunks serve exactly one chain, so
+  /// the common delivery never touches the waiter_links arena at all —
+  /// the wake-up reads this line (already loaded for `key`) and jumps
+  /// straight to the task. Registration order is preserved: the inline
+  /// slot is strictly the first waiter, links hold the rest in order.
+  std::uint32_t w0_task = kNoWaiter;
+  std::uint16_t w0_pos = 0;
+  std::uint32_t waiters_head = kNoWaiter;
+  std::uint32_t waiters_tail = kNoWaiter;
+  /// Home placement, cached at registration: re-reads resolve disk and
+  /// LBA from this line instead of re-deriving both from (stripe, cell)
+  /// on every storm round.
+  std::uint64_t lba = 0;
+  std::int32_t home_disk = -1;
+  codes::Cell cell;
+  int spare_disk = -1;
+  std::uint8_t priority = 1;
+  bool lost = false;
+  bool recovered = false;
+  bool write_pending = false;
+  /// Replaces run_legacy's recovered_once set (app path): first spare
+  /// persistence decrements the stripe's outstanding-loss count.
+  bool recovered_once = false;
+};
+static_assert(sizeof(FChunkInfo) == 64, "FChunkInfo must stay one cache line");
+
+struct FPlannedRead {
+  cache::Key key = 0;
+  std::uint64_t lba = 0;
+  std::uint32_t id = 0;
+  bool spare = false;
+};
+
+struct FReader {
+  std::vector<FPlannedRead> queue;
+  std::size_t head = 0;
+  bool busy = false;
+  double requested_at = 0.0;
+
+  bool idle_empty() const { return head >= queue.size(); }
+
+  /// Pops the head read, reclaiming the consumed prefix: the legacy
+  /// reader never did, so a re-read storm (working set ≫ buffer) grew
+  /// every queue by ~16 B per re-read for the whole run — gigabytes of
+  /// dead prefix at p=17. Amortized O(1): a full drain resets for free,
+  /// and the sliding compaction only runs once the live tail is smaller
+  /// than the spent prefix.
+  FPlannedRead take() {
+    const FPlannedRead read = queue[head++];
+    if (head >= queue.size()) {
+      queue.clear();
+      head = 0;
+    } else if (head >= 1024 && head * 2 >= queue.size()) {
+      queue.erase(queue.begin(),
+                  queue.begin() + static_cast<std::ptrdiff_t>(head));
+      head = 0;
+    }
+    return read;
+  }
+};
+
+/// verify_data mode: ground truth and in-progress bytes for one stripe
+/// (mirrors SOR's Worker::truth/working, same per-stripe seed).
+struct FVerifyState {
+  std::unique_ptr<codes::StripeData> truth;
+  std::unique_ptr<codes::StripeData> working;
+};
+
+}  // namespace
+
+SimMetrics DorEngine::run_fast(
+    const std::vector<workload::StripeError>& errors,
+    const std::vector<workload::AppRequest>& app_trace) {
+  SimMetrics metrics;
+  obs::Histogram response_hist;
+  obs::Histogram* response_hist_ptr =
+      config_.observer != nullptr ? &response_hist : nullptr;
+
+  std::optional<FaultPlan> fault_plan;
+  std::optional<FaultInjector> injector;
+  if (config_.faults.enabled()) {
+    fault_plan.emplace(config_.faults, config_.seed, config_.obs_label,
+                       geometry_->num_disks());
+    injector.emplace(*fault_plan, metrics.fault);
+  }
+
+  DiskParams dp = config_.disk;
+  dp.chunk_bytes = config_.chunk_bytes;
+  dp.capacity_chunks = geometry_->disk_capacity_chunks();
+  std::vector<Disk> disks;
+  disks.reserve(static_cast<std::size_t>(geometry_->num_disks()));
+  for (int d = 0; d < geometry_->num_disks(); ++d) {
+    DiskParams per_disk = dp;
+    if (fault_plan.has_value()) {
+      per_disk.service_multiplier = fault_plan->service_multiplier(d);
+    }
+    disks.emplace_back(d, per_disk,
+                       config_.seed * 0x9e3779b97f4a7c15ull +
+                           static_cast<std::uint64_t>(d));
+  }
+  const auto cache =
+      cache::make_policy(config_.policy, config_.cache_capacity_chunks());
+
+  // ---- Plan: schemes, chain tasks, per-disk read queues. ----
+  // Same pre-pass and fill order as run_legacy; the containers differ.
+  // Chunks get dense u32 ids on first sight (KeyIdMap resolves keys), so
+  // the hot loop indexes a flat vector instead of hashing into an
+  // unordered_map on every event, waiter wake, and re-read.
+  recovery::SchemeCache scheme_cache(*layout_);
+  std::optional<obs::PhaseTimer> plan_timer;
+  if (config_.observer != nullptr) {
+    plan_timer.emplace(config_.observer, "dor_plan");
+  }
+
+  std::vector<std::shared_ptr<const recovery::RecoveryScheme>> schemes;
+  schemes.reserve(errors.size());
+  std::size_t total_steps = 0;
+  std::size_t total_refs = 0;
+  for (const workload::StripeError& err : errors) {
+    const auto before = scheme_cache.misses();
+    schemes.push_back(scheme_cache.get(err.error, config_.scheme));
+    if (scheme_cache.misses() > before) {
+      ++metrics.schemes_generated;
+    } else {
+      ++metrics.scheme_cache_hits;
+    }
+    total_steps += schemes.back()->steps.size();
+    for (const recovery::RecoveryStep& step : schemes.back()->steps) {
+      total_refs += layout_->chain(step.chain_id).cells.size() - 1;
+    }
+  }
+
+  std::vector<FTask> tasks;
+  std::vector<FChunkInfo> chunks;
+  std::vector<FMember> member_arena;
+  std::vector<std::uint64_t> await_arena;
+  std::vector<codes::Cell> gauss_arena;
+  std::vector<FWaiterLink> waiter_links;
+  std::vector<FReader> readers(disks.size());
+  tasks.reserve(total_steps);
+  chunks.reserve(total_refs + total_steps);
+  member_arena.reserve(total_refs);
+  await_arena.reserve(total_steps * 2);
+  waiter_links.reserve(total_refs);
+  // Every event indexes these arenas at a random offset; at sweep scale
+  // they span far more 4 KiB pages than the TLB holds, so advise huge
+  // pages now, before planning faults them in.
+  util::advise_hugepages(tasks.data(), tasks.capacity() * sizeof(FTask));
+  util::advise_hugepages(chunks.data(),
+                         chunks.capacity() * sizeof(FChunkInfo));
+  util::advise_hugepages(member_arena.data(),
+                         member_arena.capacity() * sizeof(FMember));
+  util::advise_hugepages(waiter_links.data(),
+                         waiter_links.capacity() * sizeof(FWaiterLink));
+
+  // Spare-region base LBA: spare_lba_of(s, c) == spare_base + lba_of(s, c).
+  const std::uint64_t spare_base = geometry_->disk_capacity_chunks();
+
+  // Global key -> dense id map, built LAZILY. Planning dedups chunks with
+  // a per-stripe cell table (chains only ever share cells inside their
+  // own stripe), and fault-free runs carry every id they need on the task
+  // and chunk records — so the common path never pays for a table that
+  // spans tens of megabytes and eats one random DRAM write per chunk.
+  // The fault and foreground paths, which genuinely resolve arbitrary
+  // keys mid-run, build it once from the chunk arena on first use.
+  KeyIdMap key_map(0);
+  bool key_map_built = false;
+  auto ensure_key_map = [&] {
+    if (key_map_built) {
+      return;
+    }
+    key_map_built = true;
+    key_map = KeyIdMap(chunks.size() + 1);
+    for (std::size_t id = 0; id < chunks.size(); ++id) {
+      key_map.find_or_insert(chunks[id].key, static_cast<std::uint32_t>(id));
+    }
+  };
+
+  /// Dense id for `key`, registering a blank FChunkInfo on first sight.
+  /// (stripe, cell) are recovered from the key (chunk_key is a dense
+  /// packing) and the home placement is cached on the chunk line, so the
+  /// per-round re-read path never re-derives disk or LBA. Fault paths
+  /// only — callers must run ensure_key_map() first.
+  auto chunk_id_or_new = [&](cache::Key key) -> std::pair<std::uint32_t, bool> {
+    const auto [id, fresh] =
+        key_map.find_or_insert(key, static_cast<std::uint32_t>(chunks.size()));
+    if (fresh) {
+      chunks.emplace_back();
+      FChunkInfo& ci = chunks.back();
+      ci.key = key;
+      const auto cells = static_cast<std::uint64_t>(layout_->num_cells());
+      ci.stripe = key / cells;
+      ci.cell = layout_->cell_at(static_cast<int>(key % cells));
+      ci.lba = geometry_->lba_of(ci.stripe, ci.cell);
+      ci.home_disk = geometry_->disk_of(ci.stripe, ci.cell);
+    }
+    return {id, fresh};
+  };
+
+  // Planning-time chunk registration: a dense cell -> id table for the
+  // stripe in hand (reset on stripe change, L1-resident) replaces the
+  // global hash probe. Revisited stripes — legal in a caller-supplied
+  // trace — replay their previously minted id ranges into the table, so
+  // ids stay identical to what the global map would have returned.
+  std::vector<std::uint32_t> stripe_ids(
+      static_cast<std::size_t>(layout_->num_cells()), kNoId);
+  std::uint64_t ids_stripe = ~std::uint64_t{0};
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+      stripe_ranges;
+  auto plan_stripe_begin = [&](std::uint64_t stripe) {
+    if (stripe == ids_stripe) {
+      return;  // adjacent repeat: table already describes this stripe
+    }
+    std::fill(stripe_ids.begin(), stripe_ids.end(), kNoId);
+    ids_stripe = stripe;
+    const auto it = stripe_ranges.find(stripe);
+    if (it != stripe_ranges.end()) {
+      for (const auto& [s, e] : it->second) {
+        for (std::uint32_t id = s; id < e; ++id) {
+          stripe_ids[static_cast<std::size_t>(
+              layout_->cell_index(chunks[id].cell))] = id;
+        }
+      }
+    }
+  };
+  auto plan_chunk = [&](std::uint64_t stripe, codes::Cell c,
+                        std::size_t cidx) -> std::pair<std::uint32_t, bool> {
+    std::uint32_t id = stripe_ids[cidx];
+    if (id != kNoId) {
+      return {id, false};
+    }
+    id = static_cast<std::uint32_t>(chunks.size());
+    stripe_ids[cidx] = id;
+    chunks.emplace_back();
+    FChunkInfo& ci = chunks.back();
+    ci.key = geometry_->chunk_key(stripe, c);
+    ci.stripe = stripe;
+    ci.cell = c;
+    ci.lba = geometry_->lba_of(stripe, c);
+    ci.home_disk = geometry_->disk_of(stripe, c);
+    return {id, true};
+  };
+
+  auto add_waiter = [&waiter_links](FChunkInfo& ci, std::size_t t,
+                                    std::uint16_t pos) {
+    if (ci.w0_task == kNoWaiter && ci.waiters_head == kNoWaiter) {
+      ci.w0_task = static_cast<std::uint32_t>(t);
+      ci.w0_pos = pos;
+      return;
+    }
+    const auto link = static_cast<std::uint32_t>(waiter_links.size());
+    waiter_links.push_back(
+        FWaiterLink{static_cast<std::uint32_t>(t), kNoWaiter, pos});
+    if (ci.waiters_head == kNoWaiter) {
+      ci.waiters_head = link;
+    } else {
+      waiter_links[ci.waiters_tail].next = link;
+    }
+    ci.waiters_tail = link;
+  };
+
+  /// The awaiting-bitset word owning member position `pos` (see
+  /// FTask::await0 — single-word tasks keep it inline).
+  auto await_word = [&await_arena](FTask& task,
+                                   std::uint32_t pos) -> std::uint64_t& {
+    return task.await_words <= 1 ? task.await0
+                                 : await_arena[task.await_off + (pos >> 6)];
+  };
+
+  // verify_data: per-stripe truth/working bytes (seeded exactly like
+  // SOR's verify mode so the two engines verify the same stripe images).
+  const bool verify_on = config_.verify_data;
+  std::unordered_map<std::uint64_t, FVerifyState> verify_states;
+  codes::FoldBatch verify_batch;
+  struct PendingVerify {
+    std::uint64_t stripe;
+    codes::Cell cell;
+  };
+  std::vector<PendingVerify> pending_verifies;
+  if (verify_on) {
+    verify_states.reserve(errors.size());
+  }
+
+  std::vector<bool> lost;  // hoisted: reused across stripes, one allocation
+  for (std::size_t e = 0; e < errors.size(); ++e) {
+    const workload::StripeError& err = errors[e];
+    const recovery::RecoveryScheme& scheme = *schemes[e];
+    plan_stripe_begin(err.stripe);
+    const auto range_start = static_cast<std::uint32_t>(chunks.size());
+    lost.assign(static_cast<std::size_t>(layout_->num_cells()), false);
+    for (const codes::Cell& c : err.error.cells()) {
+      lost[static_cast<std::size_t>(layout_->cell_index(c))] = true;
+    }
+    if (verify_on) {
+      auto [vit, vfresh] = verify_states.try_emplace(err.stripe);
+      if (vfresh) {
+        util::Rng rng(0x5eedull ^ err.stripe);
+        vit->second.truth = std::make_unique<codes::StripeData>(
+            *layout_, config_.verify_chunk_bytes);
+        vit->second.truth->fill_random(rng);
+        codes::encode(*vit->second.truth);
+        vit->second.working =
+            std::make_unique<codes::StripeData>(*vit->second.truth);
+      }
+      for (const codes::Cell& c : err.error.cells()) {
+        vit->second.working->erase(c);
+      }
+    }
+    for (const recovery::RecoveryStep& step : scheme.steps) {
+      FTask task;
+      task.stripe = err.stripe;
+      task.target = step.target;
+      task.chain_id = static_cast<std::int16_t>(step.chain_id);
+      const auto tidx =
+          static_cast<std::size_t>(layout_->cell_index(step.target));
+      task.target_priority =
+          std::max<std::uint8_t>(scheme.priority[tidx], 1);
+      const auto& cells = layout_->chain(step.chain_id).cells;
+      task.mem_off = static_cast<std::uint32_t>(member_arena.size());
+      task.await_words =
+          static_cast<std::uint32_t>((cells.size() - 1 + 63) / 64);
+      if (task.await_words > 1) {
+        task.await_off = static_cast<std::uint32_t>(await_arena.size());
+        await_arena.insert(await_arena.end(), task.await_words, 0);
+      }
+      std::uint16_t pos = 0;
+      for (const codes::Cell& c : cells) {
+        if (c == step.target) {
+          continue;
+        }
+        const cache::Key key = geometry_->chunk_key(err.stripe, c);
+        const auto cidx = static_cast<std::size_t>(layout_->cell_index(c));
+        const auto [id, fresh] = plan_chunk(err.stripe, c, cidx);
+        FChunkInfo& ci = chunks[id];
+        if (fresh) {  // stripe/cell/placement cached by plan_chunk
+          ci.priority = std::max<std::uint8_t>(scheme.priority[cidx], 1);
+          ci.lost = lost[cidx];
+          if (!ci.lost) {
+            readers[static_cast<std::size_t>(ci.home_disk)].queue.push_back(
+                FPlannedRead{key, ci.lba, id, false});
+          }
+        }
+        member_arena.push_back(FMember{key, id, pos, ci.priority});
+        await_word(task, pos) |= std::uint64_t{1} << (pos & 63);
+        add_waiter(ci, tasks.size(), pos);
+        ++pos;
+      }
+      task.mem_len = pos;
+      task.n_members = pos;
+      task.awaiting_count = pos;
+      const auto [tid, tfresh] = plan_chunk(err.stripe, step.target, tidx);
+      task.target_id = tid;
+      if (tfresh) {
+        FChunkInfo& ci = chunks[tid];
+        ci.priority = task.target_priority;
+        ci.lost = true;
+      }
+      tasks.push_back(std::move(task));
+    }
+    if (chunks.size() > range_start) {
+      stripe_ranges[err.stripe].push_back(
+          {range_start, static_cast<std::uint32_t>(chunks.size())});
+    }
+  }
+  for (FReader& r : readers) {  // LBA order: sequential streaming per disk
+    std::sort(r.queue.begin(), r.queue.end(),
+              [](const FPlannedRead& a, const FPlannedRead& b) {
+                return a.lba < b.lba;
+              });
+    metrics.planned_disk_reads += r.queue.size();
+  }
+  plan_timer.reset();  // planning phase ends here
+
+  // ---- Foreground traffic (same wiring as run_legacy). ----
+  std::optional<FaultInjector> app_injector;
+  if (fault_plan.has_value() && !app_trace.empty()) {
+    app_injector.emplace(*fault_plan, metrics.app_fault);
+  }
+  if (!app_trace.empty()) {
+    // Foreground reads probe arbitrary keys, so they need the global map;
+    // pure-recovery runs (the common benchmark shape) never build it.
+    ensure_key_map();
+  }
+  ForegroundServer foreground(
+      *layout_, *geometry_, disks, errors, app_trace, metrics,
+      app_injector.has_value() ? &*app_injector : nullptr,
+      [&key_map, &chunks](std::uint64_t key) {
+        const std::uint32_t id = key_map.find(key);
+        return id != kNoId ? chunks[id].spare_disk : -1;
+      });
+  std::optional<RebuildThrottle> throttle;
+  if (config_.throttle.enabled()) {
+    throttle.emplace(config_.throttle);
+  }
+  std::unordered_map<std::uint64_t, std::size_t> stripe_outstanding;
+  if (!app_trace.empty()) {
+    for (const workload::StripeError& e : errors) {
+      stripe_outstanding[e.stripe] += e.error.cells().size();
+    }
+  }
+
+  // ---- Event loop. ----
+  // Same kinds and shard layout as run_legacy; events carry the dense
+  // chunk id instead of the key (AppArrival reuses the id lane for its
+  // trace index). The service-cursor state below is what elides heap
+  // traffic: while a disk's just-submitted read is provably the globally
+  // next event, the loop carries it straight into the next iteration.
+  struct Event {
+    double t;
+    std::uint64_t seq;
+    enum class Kind : std::uint8_t {
+      ReadDone,
+      SpareWriteDone,
+      ReadFailed,
+      DiskFail,
+      AppArrival,
+      ThrottledSubmit,
+    } kind;
+    std::uint32_t disk;
+    std::uint32_t id;
+    bool operator>(const Event& o) const {
+      return t > o.t || (t == o.t && seq > o.seq);
+    }
+  };
+  constexpr std::size_t kReaderShardMask = 15;  // 16 shards
+  constexpr std::size_t kBulkShard = kReaderShardMask + 1;
+  ShardedEventQueue<Event> queue(kBulkShard + 1);
+  const std::size_t bulk_shard = kBulkShard;
+  // Reader shards carry in-flight reads: at most one per disk. The bulk
+  // shard holds spare-write completions (one per task when fault-free;
+  // replans mint extras, bounded by the escalation arithmetic plus a slab
+  // for URE/transient re-recoveries), DiskFail, and AppArrival events.
+  // The regrowth counter (asserted zero by the fault tests) pins these
+  // bounds.
+  for (std::size_t d = 0; d < readers.size(); ++d) {
+    queue.reserve(d & kReaderShardMask, 1);
+  }
+  {
+    std::size_t bulk_bound = tasks.size() + app_trace.size();
+    if (fault_plan.has_value()) {
+      const std::size_t failures = fault_plan->disk_failures().size();
+      bulk_bound += failures;  // the DiskFail events themselves
+      // Escalation: each failure re-targets at most one column of every
+      // traced stripe.
+      bulk_bound += failures * errors.size() *
+                    static_cast<std::size_t>(layout_->rows());
+      if (config_.faults.ure_rate > 0.0 ||
+          config_.faults.transient_rate > 0.0) {
+        bulk_bound += 1024;  // replan slab: re-recovered chunks
+      }
+    }
+    queue.reserve(bulk_shard, bulk_bound);
+  }
+  std::uint64_t seq = 0;
+  double makespan = 0.0;
+  std::size_t tasks_done = 0;
+
+  // Service-cursor state. inline_disk is the disk whose ReadDone (or
+  // ThrottledSubmit) the loop is currently processing: the one submission
+  // that disk makes before control returns to the loop is captured here
+  // instead of pushed, and the loop tail either carries it into the next
+  // iteration (when nothing queued is due sooner — strictly: an equal
+  // timestamp in the queue holds an earlier seq and must pop first) or
+  // pushes it with the seq it would have been assigned anyway. Elided
+  // events never consume a seq; pushed events keep their relative seq
+  // order, so the pop sequence — and every downstream byte — matches the
+  // legacy loop.
+  std::int64_t inline_disk = -1;
+  bool have_inline = false;
+  Event inline_ev{};
+
+  // Batched cache admission. Deliveries append here; the batch flushes
+  // through install_batch (≡ sequential installs) immediately before the
+  // next cache read — a completion's touch_batch, a replan's contains()
+  // probe, or the final stats export — so the cache passes through the
+  // exact same state sequence at every observation point.
+  std::vector<cache::Key> pend_install_keys;
+  std::vector<std::uint8_t> pend_install_pris;
+  auto flush_installs = [&] {
+    if (!pend_install_keys.empty()) {
+      cache->install_batch(pend_install_keys.data(), pend_install_pris.data(),
+                           pend_install_keys.size());
+      pend_install_keys.clear();
+      pend_install_pris.clear();
+    }
+  };
+
+  // touch_batch scratch (completion attempts).
+  std::vector<cache::Key> touch_keys;
+  std::vector<std::uint8_t> touch_pris;
+  std::vector<std::uint64_t> touch_hits;
+
+  // verify_data scratch.
+  std::vector<std::span<const std::byte>> fold_srcs;
+  auto flush_verifies = [&] {
+    if (pending_verifies.empty()) {
+      return;
+    }
+    verify_batch.flush();
+    for (const PendingVerify& pv : pending_verifies) {
+      const FVerifyState& vs = verify_states.at(pv.stripe);
+      const auto out = vs.working->chunk(pv.cell);
+      const auto expected = vs.truth->chunk(pv.cell);
+      FBF_CHECK(std::equal(out.begin(), out.end(), expected.begin()),
+                "recovered chunk " + codes::to_string(pv.cell) +
+                    " does not match the original in stripe " +
+                    std::to_string(pv.stripe));
+    }
+    pending_verifies.clear();
+  };
+  /// Queues the XOR fold that rebuilds `task.target` from its chain; the
+  /// batch's dependency barriers keep cross-chain order, so one service
+  /// run's completions dispatch as a single xor_fold_batch call.
+  auto queue_chain_fold = [&](const FTask& task) {
+    FVerifyState& vs = verify_states.at(task.stripe);
+    const codes::Chain& chain = layout_->chain(task.chain_id);
+    fold_srcs.clear();
+    for (const codes::Cell& c : chain.cells) {
+      if (!(c == task.target)) {
+        fold_srcs.push_back(vs.working->chunk(c));
+      }
+    }
+    verify_batch.add(vs.working->chunk(task.target), fold_srcs);
+    pending_verifies.push_back(PendingVerify{task.stripe, task.target});
+  };
+  /// Gauss tasks bypass the fold batch: the solve reads the whole stripe,
+  /// so pending folds flush first, then the targets are checked directly.
+  auto verify_gauss_task = [&](const FTask& task) {
+    flush_verifies();
+    FVerifyState& vs = verify_states.at(task.stripe);
+    const std::vector<codes::Cell> targets(
+        gauss_arena.begin() + task.gauss_off,
+        gauss_arena.begin() + task.gauss_off + task.gauss_len);
+    const codes::DecodeResult res = codes::decode_erasures(
+        *vs.working, targets, codes::DecodeMethod::GaussOnly);
+    FBF_CHECK(res.ok, "Gauss fallback could not solve stripe " +
+                          std::to_string(task.stripe));
+    for (const codes::Cell& c : targets) {
+      const auto out = vs.working->chunk(c);
+      const auto expected = vs.truth->chunk(c);
+      FBF_CHECK(std::equal(out.begin(), out.end(), expected.begin()),
+                "Gauss-recovered chunk " + codes::to_string(c) +
+                    " does not match the original in stripe " +
+                    std::to_string(task.stripe));
+    }
+  };
+  /// Fault path: `cell` of `stripe` is (re-)lost — run queued folds that
+  /// still source its bytes, then erase it so its recovery is honest.
+  auto verify_mark_lost = [&](std::uint64_t stripe, codes::Cell cell) {
+    flush_verifies();
+    verify_states.at(stripe).working->erase(cell);
+  };
+
+  auto submit_planned = [&](std::size_t d, double requested,
+                            double submit_t) {
+    FReader& r = readers[d];
+    const FPlannedRead read = r.take();
+    double done;
+    bool ok = true;
+    if (injector.has_value()) {
+      const FaultInjector::ReadOutcome rr = injector->read(
+          disks[d], submit_t, read.lba, read.key, !read.spare);
+      done = rr.done_ms;
+      ok = rr.ok;
+      metrics.disk_reads += static_cast<std::uint64_t>(rr.attempts);
+    } else {
+      done = disks[d].submit_read(submit_t, read.lba);
+      ++metrics.disk_reads;
+    }
+    metrics.response_ms.add(done - requested + config_.cache_access_ms);
+    metrics.response_reservoir.add(done - requested +
+                                   config_.cache_access_ms);
+    if (response_hist_ptr != nullptr) {
+      response_hist_ptr->add(done - requested + config_.cache_access_ms);
+    }
+    if (obs::tracing(config_.observer, obs::TraceLevel::Fine)) {
+      obs::trace_span(config_.observer, obs::TraceLevel::Fine, obs::kPidDisks,
+                      static_cast<std::uint32_t>(d), "disk_read", "disk",
+                      submit_t * 1000.0, (done - submit_t) * 1000.0, "stripe",
+                      chunks[read.id].stripe);
+    }
+    if (!ok) {
+      queue.push(d & kReaderShardMask,
+                 Event{done, seq++, Event::Kind::ReadFailed,
+                       static_cast<std::uint32_t>(d), read.id});
+      return;
+    }
+    if (static_cast<std::int64_t>(d) == inline_disk && !have_inline) {
+      inline_ev = Event{done, 0, Event::Kind::ReadDone,
+                        static_cast<std::uint32_t>(d), read.id};
+      have_inline = true;
+    } else {
+      queue.push(d & kReaderShardMask,
+                 Event{done, seq++, Event::Kind::ReadDone,
+                       static_cast<std::uint32_t>(d), read.id});
+    }
+  };
+
+  auto kick_reader = [&](std::size_t d, double now) {
+    FReader& r = readers[d];
+    if (r.busy || r.idle_empty()) {
+      return;
+    }
+    r.busy = true;
+    if (throttle.has_value()) {
+      const double grant = throttle->acquire(now);
+      if (grant > now) {
+        r.requested_at = now;
+        if (static_cast<std::int64_t>(d) == inline_disk && !have_inline) {
+          inline_ev = Event{grant, 0, Event::Kind::ThrottledSubmit,
+                            static_cast<std::uint32_t>(d), 0};
+          have_inline = true;
+        } else {
+          queue.push(d & kReaderShardMask,
+                     Event{grant, seq++, Event::Kind::ThrottledSubmit,
+                           static_cast<std::uint32_t>(d), 0});
+        }
+        return;
+      }
+    }
+    submit_planned(d, now, now);
+  };
+
+  auto enqueue_reread = [&](std::uint32_t id, double now) {
+    const FChunkInfo& ci = chunks[id];
+    const bool spare = ci.lost;  // recovered chunks live in the spare area
+    const auto d = static_cast<std::size_t>(
+        spare ? (ci.spare_disk >= 0
+                     ? ci.spare_disk
+                     : geometry_->spare_disk_of(ci.stripe, ci.cell))
+              : ci.home_disk);
+    const std::uint64_t lba = spare ? spare_base + ci.lba : ci.lba;
+    readers[d].queue.push_back(FPlannedRead{ci.key, lba, id, spare});
+    kick_reader(d, now);
+  };
+
+  auto attempt_completion = [&](std::size_t t, double now, cache::Key fresh) {
+    FTask& task = tasks[t];
+    if (task.done) {
+      return;
+    }
+    FMember* mem = member_arena.data() + task.mem_off;
+    const std::size_t n = task.mem_len;
+    // Fresh-member-first, as in run_legacy (the anti-livelock rotate).
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mem[i].key == fresh) {
+        std::rotate(mem, mem + i, mem + i + 1);
+        break;
+      }
+    }
+    // One batched touch replaces n virtual request() calls; identical
+    // per-element semantics in the same member order (policy.h contract).
+    flush_installs();
+    touch_keys.resize(n);
+    touch_pris.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      touch_keys[i] = mem[i].key;
+      touch_pris[i] = mem[i].priority;
+      // Any member the touch below misses is immediately re-read, and
+      // enqueue_reread chases its FChunkInfo — a cold line at storm
+      // scale. Fetch them all now, hidden behind the batch touch.
+      __builtin_prefetch(chunks.data() + mem[i].id);
+    }
+    touch_hits.resize((n + 63) / 64);
+    cache->touch_batch(touch_keys.data(), touch_pris.data(), n,
+                       touch_hits.data());
+    metrics.total_chunk_requests += n;
+    // Keep the misses, stably, in place (run_legacy's scratch-copy +
+    // assign round-trip collapsed to one compaction pass).
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (((touch_hits[i >> 6] >> (i & 63)) & 1) == 0) {
+        mem[out] = mem[i];
+        await_word(task, mem[out].pos) |= std::uint64_t{1}
+                                          << (mem[out].pos & 63);
+        ++out;
+      }
+    }
+    task.mem_len = static_cast<std::uint32_t>(out);
+    if (out != 0) {
+      // All awaiting bits (and the count) are armed before the first
+      // re-read submission so a waiter wake can never observe a torn set.
+      task.awaiting_count = static_cast<std::uint32_t>(out);
+      for (std::size_t i = 0; i < out; ++i) {
+        enqueue_reread(mem[i].id, now);
+      }
+      return;
+    }
+    task.done = true;
+    ++tasks_done;
+    const double xor_done =
+        now + config_.xor_ms_per_chunk * static_cast<double>(task.n_members);
+    obs::trace_span(config_.observer, obs::TraceLevel::Fine, obs::kPidSim, 0,
+                    "chain_fold", "xor", now * 1000.0, (xor_done - now) * 1000.0,
+                    "stripe", task.stripe);
+    if (verify_on) {
+      if (task.gauss_len == 0) {
+        queue_chain_fold(task);
+      } else {
+        verify_gauss_task(task);
+      }
+    }
+    auto write_target = [&](codes::Cell target, std::uint32_t tid) {
+      FBF_CHECK(tid != kNoId, "spare write for an unregistered chunk");
+      const auto d = static_cast<std::size_t>(
+          injector.has_value()
+              ? injector->spare_disk(*geometry_, task.stripe, target, xor_done)
+              : geometry_->spare_disk_of(task.stripe, target));
+      const double write_done = disks[d].submit_write(
+          xor_done, geometry_->spare_lba_of(task.stripe, target));
+      ++metrics.disk_writes;
+      ++metrics.chunks_recovered;
+      obs::trace_span(config_.observer, obs::TraceLevel::Phases,
+                      obs::kPidDisks, static_cast<std::uint32_t>(d),
+                      "spare_write", "disk", xor_done * 1000.0,
+                      (write_done - xor_done) * 1000.0, "stripe", task.stripe);
+      makespan = std::max(makespan, write_done);
+      chunks[tid].write_pending = true;
+      queue.push(bulk_shard,
+                 Event{write_done, seq++, Event::Kind::SpareWriteDone,
+                       static_cast<std::uint32_t>(d), tid});
+    };
+    if (task.gauss_len == 0) {
+      write_target(task.target, task.target_id);
+    } else {
+      // Gauss tasks only come from the replan path, which builds the key
+      // map before registering them — find() is safe here.
+      for (std::uint32_t g = 0; g < task.gauss_len; ++g) {
+        const codes::Cell c = gauss_arena[task.gauss_off + g];
+        write_target(c, key_map.find(geometry_->chunk_key(task.stripe, c)));
+      }
+    }
+  };
+
+  // Delivery: pend the install (batched; flushed before the next cache
+  // read) and wake the waiters — one bit clear per waiter instead of a
+  // key-list scan.
+  auto deliver = [&](std::uint32_t id, double now) {
+    // Copy everything needed out of the chunk (and out of each link)
+    // before waking tasks: a completion may register new chunks or
+    // waiter links, growing either arena.
+    const cache::Key key = chunks[id].key;
+    const std::uint32_t w0_task = chunks[id].w0_task;
+    const std::uint16_t w0_pos = chunks[id].w0_pos;
+    const std::uint32_t links_head = chunks[id].waiters_head;
+    pend_install_keys.push_back(key);
+    pend_install_pris.push_back(chunks[id].priority);
+    auto wake = [&](std::uint32_t t, std::uint16_t pos) {
+      FTask& task = tasks[t];
+      if (task.done) {
+        return;
+      }
+      if (task.awaiting_count == 1) {
+        // This wake completes the chain: attempt_completion's first act is
+        // a scan of the member slice, so start that line now.
+        __builtin_prefetch(member_arena.data() + task.mem_off);
+      }
+      std::uint64_t& word = await_word(task, pos);
+      const std::uint64_t bit = std::uint64_t{1} << (pos & 63);
+      if ((word & bit) == 0) {
+        return;  // not awaiting this chunk right now
+      }
+      word &= ~bit;
+      if (--task.awaiting_count == 0) {
+        attempt_completion(t, now, key);
+      }
+    };
+    if (w0_task != kNoWaiter) {
+      wake(w0_task, w0_pos);
+    }
+    for (std::uint32_t l = links_head; l != kNoWaiter;) {
+      const std::uint32_t t = waiter_links[l].task;
+      const std::uint16_t pos = waiter_links[l].member_pos;
+      l = waiter_links[l].next;
+      wake(t, pos);
+    }
+  };
+
+  // ---- Fault path: re-planning around mid-recovery losses. ----
+  auto failed_disks_at = [&](double now) {
+    std::vector<int> failed;
+    if (fault_plan.has_value()) {
+      for (const DiskFailure& f : fault_plan->disk_failures()) {
+        if (f.at_ms <= now) {
+          failed.push_back(f.disk);
+        }
+      }
+    }
+    return failed;
+  };
+
+  auto replan_stripe = [&](std::uint64_t stripe, double now) {
+    ensure_key_map();  // replan registers chunks through the global map
+    flush_installs();  // the contains() probes below read cache state
+    for (FTask& task : tasks) {
+      if (task.stripe == stripe && !task.done) {
+        task.done = true;  // superseded by the new plan
+        ++tasks_done;
+      }
+    }
+    std::vector<codes::Cell> outstanding;
+    for (const FChunkInfo& ci : chunks) {
+      if (ci.stripe == stripe && ci.lost && !ci.recovered &&
+          !ci.write_pending) {
+        outstanding.push_back(ci.cell);
+      }
+    }
+    std::sort(outstanding.begin(), outstanding.end());
+    if (outstanding.empty()) {
+      return;  // every loss has (or is about to have) a live spare copy
+    }
+    if (!codes::erasure_decodable(*layout_, outstanding)) {
+      throw EscalationError(stripe, std::move(outstanding),
+                            failed_disks_at(now));
+    }
+    const recovery::FaultScheme fs =
+        recovery::generate_fault_scheme(*layout_, outstanding);
+    ++metrics.schemes_generated;
+    if (!fs.gauss_cells.empty()) {
+      ++metrics.fault.gauss_fallbacks;
+    }
+    const std::size_t first_new = tasks.size();
+    auto add_task = [&](FTask task, const std::vector<codes::Cell>& members) {
+      const std::size_t tindex = tasks.size();
+      task.mem_off = static_cast<std::uint32_t>(member_arena.size());
+      task.await_words =
+          static_cast<std::uint32_t>((members.size() + 63) / 64);
+      if (task.await_words > 1) {
+        task.await_off = static_cast<std::uint32_t>(await_arena.size());
+        await_arena.insert(await_arena.end(), task.await_words, 0);
+      }
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        const codes::Cell& c = members[i];
+        const cache::Key key = geometry_->chunk_key(stripe, c);
+        const auto cidx = static_cast<std::size_t>(layout_->cell_index(c));
+        const auto [id, fresh] = chunk_id_or_new(key);
+        {
+          FChunkInfo& ci = chunks[id];
+          if (fresh) {
+            ci.priority =
+                std::max<std::uint8_t>(fs.scheme.priority[cidx], 1);
+          }
+          member_arena.push_back(
+              FMember{key, id, static_cast<std::uint16_t>(i), ci.priority});
+          ++task.n_members;
+          add_waiter(ci, tindex, static_cast<std::uint16_t>(i));
+        }
+        const FChunkInfo& ci = chunks[id];
+        if (ci.lost && !ci.recovered) {
+          await_word(task, static_cast<std::uint32_t>(i)) |=
+              std::uint64_t{1} << (i & 63);
+          ++task.awaiting_count;
+        } else if (!cache->contains(key)) {
+          await_word(task, static_cast<std::uint32_t>(i)) |=
+              std::uint64_t{1} << (i & 63);
+          ++task.awaiting_count;
+          const bool spare = ci.lost;
+          const auto d = static_cast<std::size_t>(
+              spare ? (ci.spare_disk >= 0
+                           ? ci.spare_disk
+                           : geometry_->spare_disk_of(stripe, c))
+                    : ci.home_disk);
+          const std::uint64_t lba = spare ? spare_base + ci.lba : ci.lba;
+          readers[d].queue.push_back(FPlannedRead{key, lba, id, spare});
+          ++metrics.planned_disk_reads;
+          kick_reader(d, now);
+        }
+      }
+      task.mem_len = static_cast<std::uint32_t>(members.size());
+      auto register_target = [&](codes::Cell target) -> std::uint32_t {
+        const cache::Key tkey = geometry_->chunk_key(stripe, target);
+        const auto tidx =
+            static_cast<std::size_t>(layout_->cell_index(target));
+        const auto [id, fresh] = chunk_id_or_new(tkey);
+        FChunkInfo& ci = chunks[id];
+        if (fresh) {
+          ci.priority = std::max<std::uint8_t>(fs.scheme.priority[tidx], 1);
+        }
+        ci.lost = true;
+        return id;
+      };
+      if (task.gauss_len == 0) {
+        task.target_id = register_target(task.target);
+      } else {
+        for (std::uint32_t g = 0; g < task.gauss_len; ++g) {
+          register_target(gauss_arena[task.gauss_off + g]);
+        }
+      }
+      tasks.push_back(std::move(task));
+    };
+    for (const recovery::RecoveryStep& step : fs.scheme.steps) {
+      FTask task;
+      task.stripe = stripe;
+      task.target = step.target;
+      task.chain_id = static_cast<std::int16_t>(step.chain_id);
+      const auto tidx =
+          static_cast<std::size_t>(layout_->cell_index(step.target));
+      task.target_priority =
+          std::max<std::uint8_t>(fs.scheme.priority[tidx], 1);
+      std::vector<codes::Cell> members;
+      for (const codes::Cell& c : layout_->chain(step.chain_id).cells) {
+        if (!(c == step.target)) {
+          members.push_back(c);
+        }
+      }
+      add_task(std::move(task), members);
+    }
+    if (!fs.gauss_cells.empty()) {
+      FTask task;
+      task.stripe = stripe;
+      task.gauss_off = static_cast<std::uint32_t>(gauss_arena.size());
+      task.gauss_len = static_cast<std::uint32_t>(fs.gauss_cells.size());
+      gauss_arena.insert(gauss_arena.end(), fs.gauss_cells.begin(),
+                         fs.gauss_cells.end());
+      std::vector<bool> is_gauss(
+          static_cast<std::size_t>(layout_->num_cells()), false);
+      for (const codes::Cell& c : fs.gauss_cells) {
+        is_gauss[static_cast<std::size_t>(layout_->cell_index(c))] = true;
+      }
+      std::vector<bool> seen(static_cast<std::size_t>(layout_->num_cells()),
+                             false);
+      std::vector<codes::Cell> members;
+      for (int chain_id : fs.gauss_chains) {
+        for (const codes::Cell& c : layout_->chain(chain_id).cells) {
+          const auto idx = static_cast<std::size_t>(layout_->cell_index(c));
+          if (is_gauss[idx] || seen[idx]) {
+            continue;
+          }
+          seen[idx] = true;
+          members.push_back(c);
+        }
+      }
+      add_task(std::move(task), members);
+    }
+    for (std::size_t t = first_new; t < tasks.size(); ++t) {
+      if (tasks[t].awaiting_count == 0 && !tasks[t].done) {
+        attempt_completion(t, now,
+                           tasks[t].mem_len == 0
+                               ? 0
+                               : member_arena[tasks[t].mem_off].key);
+      }
+    }
+  };
+
+  auto hard_read_failure = [&](std::uint32_t id, double now) {
+    FChunkInfo& ci = chunks[id];
+    if (ci.lost && !ci.recovered) {
+      return;  // already pending recovery: a stale queued read drained
+    }
+    ++metrics.fault.replans;
+    ++metrics.fault.extra_lost_chunks;
+    if (verify_on) {
+      verify_mark_lost(ci.stripe, ci.cell);
+    }
+    if (ci.lost) {
+      ci.recovered = false;  // spare copy unreadable: recover again
+      ci.spare_disk = -1;
+    } else {
+      ci.lost = true;  // surviving chunk unreadable: joins the lost set
+    }
+    const std::uint64_t stripe = ci.stripe;  // replan may grow `chunks`
+    replan_stripe(stripe, now);
+  };
+
+  for (std::size_t d = 0; d < readers.size(); ++d) {
+    kick_reader(d, 0.0);
+  }
+  if (fault_plan.has_value()) {
+    for (const DiskFailure& f : fault_plan->disk_failures()) {
+      queue.push(bulk_shard, Event{f.at_ms, seq++, Event::Kind::DiskFail,
+                                   static_cast<std::uint32_t>(f.disk), 0});
+    }
+  }
+  for (std::size_t i = 0; i < app_trace.size(); ++i) {
+    queue.push(bulk_shard,
+               Event{app_trace[i].arrival_ms, seq++, Event::Kind::AppArrival,
+                     0, static_cast<std::uint32_t>(i)});
+  }
+  Event ev{};
+  bool carried = false;  // ev holds an elided event from the previous round
+  while (carried || !queue.empty()) {
+    if (!carried) {
+      ev = queue.pop();
+    }
+    carried = false;
+    // The upcoming event's chunk is a guaranteed cold miss against a
+    // multi-gigabyte id space; fetching it while this event is processed
+    // hides that latency. peek() is O(1) (the tournament winner's cached
+    // head), so the hint costs two loads.
+    if (!queue.empty()) {
+      const Event& nx = queue.peek();
+      if (nx.kind == Event::Kind::ReadDone ||
+          nx.kind == Event::Kind::SpareWriteDone ||
+          nx.kind == Event::Kind::ReadFailed) {
+        __builtin_prefetch(chunks.data() + nx.id);
+      }
+    }
+    ++metrics.engine_events;  // elided events count: same processing stream
+    if (ev.kind != Event::Kind::DiskFail &&
+        ev.kind != Event::Kind::AppArrival) {
+      makespan = std::max(makespan, ev.t);
+    }
+    switch (ev.kind) {
+      case Event::Kind::ReadDone:
+        deliver(ev.id, ev.t);
+        readers[ev.disk].busy = false;
+        inline_disk = ev.disk;  // this disk's next submission may elide
+        kick_reader(ev.disk, ev.t);
+        inline_disk = -1;
+        break;
+      case Event::Kind::SpareWriteDone: {
+        {
+          FChunkInfo& ci = chunks[ev.id];
+          ci.recovered = true;
+          ci.write_pending = false;
+          ci.spare_disk = static_cast<int>(ev.disk);
+        }
+        deliver(ev.id, ev.t);
+        if (!app_trace.empty()) {
+          FChunkInfo& ci = chunks[ev.id];  // re-indexed: deliver may move
+          if (foreground.damaged_keys().count(ci.key) > 0 &&
+              !ci.recovered_once) {
+            ci.recovered_once = true;
+            const auto out = stripe_outstanding.find(ci.stripe);
+            if (out != stripe_outstanding.end() && --out->second == 0) {
+              foreground.on_stripe_recovered(ci.stripe, ev.t);
+            }
+          }
+        }
+        break;
+      }
+      case Event::Kind::ReadFailed:
+        // Free the reader first: the replan may enqueue onto this disk.
+        readers[ev.disk].busy = false;
+        kick_reader(ev.disk, ev.t);
+        hard_read_failure(ev.id, ev.t);
+        break;
+      case Event::Kind::DiskFail: {
+        ++metrics.fault.disk_failures;
+        const int failed = static_cast<int>(ev.disk);
+        for (const workload::StripeError& traced : errors) {
+          int col = -1;
+          for (int c = 0; c < layout_->cols(); ++c) {
+            if (geometry_->disk_of(traced.stripe,
+                                   codes::Cell{0, static_cast<std::int16_t>(
+                                                      c)}) == failed) {
+              col = c;
+              break;
+            }
+          }
+          if (col < 0) {
+            continue;  // the failed disk holds no column of this stripe
+          }
+          ++metrics.fault.escalated_stripes;
+          for (int r = 0; r < layout_->rows(); ++r) {
+            const codes::Cell cell{static_cast<std::int16_t>(r),
+                                   static_cast<std::int16_t>(col)};
+            const cache::Key key = geometry_->chunk_key(traced.stripe, cell);
+            ensure_key_map();  // chunk registration goes through the map
+            const auto [id, fresh] = chunk_id_or_new(key);
+            FChunkInfo& ci = chunks[id];
+            if (fresh) {
+              ci.priority = 1;
+            }
+            if (!ci.lost) {
+              ci.lost = true;  // original copy was homed on the dead disk
+              ++metrics.fault.extra_lost_chunks;
+              if (verify_on) {
+                verify_mark_lost(traced.stripe, cell);
+              }
+            } else if (ci.recovered &&
+                       (ci.spare_disk >= 0
+                            ? ci.spare_disk
+                            : geometry_->spare_disk_of(traced.stripe,
+                                                       cell)) == failed) {
+              ci.recovered = false;  // spare copy died with the disk
+              ci.spare_disk = -1;
+              ++metrics.fault.extra_lost_chunks;
+              if (verify_on) {
+                verify_mark_lost(traced.stripe, cell);
+              }
+            }
+          }
+          replan_stripe(traced.stripe, ev.t);
+        }
+        break;
+      }
+      case Event::Kind::AppArrival:
+        foreground.on_arrival(static_cast<std::size_t>(ev.id), ev.t);
+        break;
+      case Event::Kind::ThrottledSubmit:
+        inline_disk = ev.disk;
+        submit_planned(ev.disk, readers[ev.disk].requested_at, ev.t);
+        inline_disk = -1;
+        break;
+    }
+    if (have_inline) {
+      have_inline = false;
+      if (queue.empty() || queue.peek().t > inline_ev.t) {
+        ev = inline_ev;  // provably next: carry it, skip push + pop
+        carried = true;
+      } else {
+        inline_ev.seq = seq++;
+        queue.push(inline_ev.disk & kReaderShardMask, inline_ev);
+      }
+    }
+    // Second prefetch stage: the next event's chunk line was requested at
+    // the top of this iteration and has landed by now, so its inline
+    // waiter is a cheap read — chase one level deeper and fetch the task
+    // line (64-byte aligned, exactly one line) the delivery will wake.
+    {
+      const Event* nx = carried ? &ev : (queue.empty() ? nullptr
+                                                       : &queue.peek());
+      if (nx != nullptr && (nx->kind == Event::Kind::ReadDone ||
+                            nx->kind == Event::Kind::SpareWriteDone ||
+                            nx->kind == Event::Kind::ReadFailed)) {
+        const std::uint32_t w0 = chunks[nx->id].w0_task;
+        if (w0 != kNoWaiter) {
+          __builtin_prefetch(tasks.data() + w0);
+        }
+        const std::uint32_t link = chunks[nx->id].waiters_head;
+        if (link != kNoWaiter) {
+          // Multi-chain chunk: the delivery will also walk the overflow
+          // waiter list, another random arena access.
+          __builtin_prefetch(waiter_links.data() + link);
+        }
+      }
+    }
+  }
+  FBF_CHECK(tasks_done == tasks.size(),
+            "DOR finished with incomplete chains — dependency deadlock");
+  metrics.event_queue_regrowths = queue.regrowths();
+  foreground.assert_drained();
+  flush_installs();  // trailing deliveries reach the cache before export
+  if (verify_on) {
+    flush_verifies();
+  }
+
+  metrics.reconstruction_ms = makespan;
   metrics.stripes_recovered =
       errors.size() + metrics.fault.escalated_stripes;
   metrics.cache = cache->stats();

@@ -38,6 +38,11 @@ class RunObserver;
 
 namespace fbf::sim {
 
+/// True when FBF_DOR_LEGACY_LOOP is set (and not "0"): DorConfig then
+/// defaults to the pre-coalescing one-event-per-read loop. Read once and
+/// cached, like FBF_GLOBAL_EVENT_HEAP.
+bool forced_dor_legacy_loop();
+
 struct DorConfig {
   recovery::SchemeKind scheme = recovery::SchemeKind::RoundRobin;
   cache::PolicyId policy = cache::PolicyId::Fbf;
@@ -60,6 +65,23 @@ struct DorConfig {
   /// queues. Disabled by default (byte-identical to the unthrottled
   /// engine).
   ThrottleConfig throttle;
+
+  /// Escape hatch: run the pre-coalescing one-event-per-read loop instead
+  /// of the service-cursor fast path. The two paths are byte-identical by
+  /// contract (CI diffs their CSVs and metrics); this exists so the
+  /// contract stays checkable. Defaults from FBF_DOR_LEGACY_LOOP so whole
+  /// binaries can be flipped without recompiling; tests toggle it
+  /// per-config to compare both paths in process.
+  bool legacy_loop = forced_dor_legacy_loop();
+
+  /// Carry real chunk bytes through the recovery and byte-verify every
+  /// recovered chunk against ground truth (mirrors
+  /// ReconstructionConfig::verify_data). Chains completed by one service
+  /// run fold through a single xor_fold_batch dispatch; Gauss tasks solve
+  /// via decode_erasures. Fast-path only — the legacy loop predates data
+  /// verification and rejects the combination.
+  bool verify_data = false;
+  std::size_t verify_chunk_bytes = 64;
 
   /// Optional run-level observability sink (not owned); see
   /// ReconstructionConfig::observer.
@@ -88,6 +110,18 @@ class DorEngine {
                  const std::vector<workload::AppRequest>& app_trace = {});
 
  private:
+  /// The seed's event loop, kept verbatim: one heap pop per chunk read,
+  /// unordered_map chunk lookups, per-chunk cache calls. Reference
+  /// implementation for the byte-identity contract.
+  SimMetrics run_legacy(const std::vector<workload::StripeError>& errors,
+                        const std::vector<workload::AppRequest>& app_trace);
+  /// The coalesced path (DESIGN §14): per-disk service cursors elide heap
+  /// traffic for reads that are provably next, dense chunk ids replace the
+  /// hash map, completions touch the cache in one batch, installs batch
+  /// between cache reads.
+  SimMetrics run_fast(const std::vector<workload::StripeError>& errors,
+                      const std::vector<workload::AppRequest>& app_trace);
+
   const codes::Layout* layout_;
   const ArrayGeometry* geometry_;
   DorConfig config_;

@@ -98,6 +98,16 @@ class ShardedEventQueue {
     return ev;
   }
 
+  /// The globally earliest event without removing it: the tournament
+  /// winner's cached head, so O(1) with no heap traffic. The DOR service
+  /// cursors lean on this — an engine that just computed an event's
+  /// timestamp can peek to learn whether anything else is due first and,
+  /// if not, process the event inline without ever pushing it.
+  const Event& peek() const {
+    FBF_CHECK(size_ > 0, "peek at empty event queue");
+    return heads_[tree_[1]];
+  }
+
   /// Pushes past a shard's reservation observed so far (each one a vector
   /// regrowth). Zero on runs whose per-shard bounds are exact.
   std::uint64_t regrowths() const { return regrowths_; }

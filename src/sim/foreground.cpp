@@ -46,6 +46,12 @@ ForegroundServer::ForegroundServer(
       metrics_(&metrics),
       injector_(app_injector),
       spare_disk_override_(std::move(spare_disk_override)) {
+  // The damage indexes exist to classify app I/O; with no trace nothing
+  // ever consults them, and building them costs two hash-set inserts per
+  // lost chunk — measurable against a recovery-only macro bench.
+  if (trace.empty()) {
+    return;
+  }
   for (const workload::StripeError& e : errors) {
     damaged_stripes_.insert(e.stripe);
     for (const codes::Cell& c : e.error.cells()) {
@@ -214,6 +220,9 @@ void ForegroundServer::on_arrival(std::size_t index, double now) {
 }
 
 void ForegroundServer::on_stripe_recovered(std::uint64_t stripe, double now) {
+  if (trace_->empty()) {
+    return;  // repaired_stripes_ only gates app I/O; nothing to drain
+  }
   repaired_stripes_.insert(stripe);
   const auto it = parked_by_stripe_.find(stripe);
   if (it == parked_by_stripe_.end()) {

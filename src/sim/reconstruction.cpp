@@ -128,7 +128,7 @@ ReconstructionEngine::ReconstructionEngine(const codes::Layout& layout,
   scheme_cache_ = std::make_unique<recovery::SchemeCache>(layout);
 }
 
-void ReconstructionEngine::start_next_stripe(Worker& w, SimMetrics& metrics,
+__attribute__((hot)) void ReconstructionEngine::start_next_stripe(Worker& w, SimMetrics& metrics,
                                              double now) {
   const workload::StripeError& err = *w.assigned[w.error_idx];
   w.stripe = err.stripe;
@@ -410,7 +410,7 @@ void ReconstructionEngine::verify_gauss_cells(Worker& w) {
   w.gauss_verified = true;
 }
 
-double ReconstructionEngine::finish_rebuild_read(
+__attribute__((hot)) double ReconstructionEngine::finish_rebuild_read(
     Worker& w, codes::Cell cell, std::uint64_t lba, int disk_id,
     bool from_spare, double requested, double submit_t, SimMetrics& metrics) {
   Disk& disk = disks_[static_cast<std::size_t>(disk_id)];
@@ -631,7 +631,7 @@ std::optional<double> ReconstructionEngine::advance(Worker& w, double now,
   return next;
 }
 
-SimMetrics ReconstructionEngine::run(
+__attribute__((hot)) SimMetrics ReconstructionEngine::run(
     const std::vector<workload::StripeError>& errors,
     const std::vector<workload::AppRequest>& app_trace) {
   SimMetrics metrics;

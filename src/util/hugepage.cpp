@@ -1,0 +1,28 @@
+#include "util/hugepage.h"
+
+#if defined(__linux__)
+#include <sys/mman.h>
+
+#include <cstdint>
+#endif
+
+namespace fbf::util {
+
+void advise_hugepages(void* data, std::size_t bytes) noexcept {
+#if defined(__linux__) && defined(MADV_HUGEPAGE)
+  constexpr std::uintptr_t kHugeBytes = std::uintptr_t{2} << 20;
+  const auto addr = reinterpret_cast<std::uintptr_t>(data);
+  const std::uintptr_t lo = (addr + kHugeBytes - 1) & ~(kHugeBytes - 1);
+  const std::uintptr_t hi = (addr + bytes) & ~(kHugeBytes - 1);
+  if (hi > lo) {
+    // Advisory only: failure (old kernel, THP disabled) changes nothing
+    // observable, so the return value is deliberately ignored.
+    ::madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_HUGEPAGE);
+  }
+#else
+  (void)data;
+  (void)bytes;
+#endif
+}
+
+}  // namespace fbf::util

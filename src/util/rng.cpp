@@ -4,12 +4,6 @@
 
 namespace fbf::util {
 
-std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  FBF_CHECK(lo <= hi, "uniform_int requires lo <= hi");
-  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
-  return dist(engine_);
-}
-
 double Rng::uniform01() {
   std::uniform_real_distribution<double> dist(0.0, 1.0);
   return dist(engine_);

@@ -19,8 +19,14 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : engine_(seed) {}
 
-  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
-  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi. Defined
+  /// inline: reservoir sampling draws once per recovery-read completion,
+  /// where the cross-TU call outweighs the draw itself.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    FBF_CHECK(lo <= hi, "uniform_int requires lo <= hi");
+    std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
 
   /// Uniform unsigned 64-bit value.
   std::uint64_t next_u64() { return engine_(); }

@@ -7,15 +7,6 @@
 
 namespace fbf::util {
 
-void Accumulator::add(double x) {
-  ++n_;
-  const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(n_);
-  m2_ += delta * (x - mean_);
-  min_ = std::min(min_, x);
-  max_ = std::max(max_, x);
-}
-
 void Accumulator::merge(const Accumulator& other) {
   if (other.n_ == 0) {
     return;
@@ -47,24 +38,6 @@ Reservoir::Reservoir(std::size_t capacity, std::uint64_t seed)
     : capacity_(capacity), rng_(seed) {
   FBF_CHECK(capacity_ > 0, "reservoir capacity must be positive");
   samples_.reserve(capacity_);
-}
-
-void Reservoir::add(double x) {
-  ++seen_;
-  if (samples_.size() < capacity_) {
-    sorted_ = false;
-    samples_.push_back(x);
-    return;
-  }
-  // Algorithm R: element #seen replaces a uniformly chosen slot with
-  // probability capacity/seen. The draw must happen on every add so the
-  // Rng stream stays aligned with the sample stream.
-  const auto j = static_cast<std::uint64_t>(
-      rng_.uniform_int(0, static_cast<std::int64_t>(seen_) - 1));
-  if (j < capacity_) {
-    sorted_ = false;
-    samples_[static_cast<std::size_t>(j)] = x;
-  }
 }
 
 double Reservoir::percentile(double q) const {

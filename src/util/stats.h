@@ -1,6 +1,7 @@
 // Streaming statistics used by the simulator's metric collectors.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -14,7 +15,16 @@ namespace fbf::util {
 /// millions of response-time samples a sweep produces.
 class Accumulator {
  public:
-  void add(double x);
+  // add() is defined inline: the simulators feed it one sample per
+  // completed I/O, where the cross-TU call costs more than the update.
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
   void merge(const Accumulator& other);
 
   std::uint64_t count() const { return n_; }
@@ -44,7 +54,23 @@ class Reservoir {
   explicit Reservoir(std::size_t capacity = 4096,
                      std::uint64_t seed = 0x7e5e7e5e5eedull);
 
-  void add(double x);
+  // add() is defined inline for the same per-sample reason as
+  // Accumulator::add; the Rng draw happens on every post-fill add so the
+  // stream stays aligned with the sample stream (Algorithm R).
+  void add(double x) {
+    ++seen_;
+    if (samples_.size() < capacity_) {
+      sorted_ = false;
+      samples_.push_back(x);
+      return;
+    }
+    const auto j = static_cast<std::uint64_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(seen_) - 1));
+    if (j < capacity_) {
+      sorted_ = false;
+      samples_[static_cast<std::size_t>(j)] = x;
+    }
+  }
   std::uint64_t count() const { return seen_; }
 
   /// Retained samples, unordered (percentile() sorts the buffer in place).

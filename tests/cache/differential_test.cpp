@@ -114,6 +114,142 @@ TEST_P(DifferentialFuzz, InstallOnlyStreamsAgree) {
   EXPECT_EQ(opt->stats().evictions, ref->stats().evictions);
 }
 
+// ---------------------------------------------------------------------------
+// Batched surface (policy.h touch_batch/install_batch). Two contracts:
+// batch == the same elements pushed one by one through the scalar surface
+// (what the DOR completion coalescing relies on), and batch-vs-golden
+// via the reference model's loop-based twins. Streams interleave batches
+// of varying lengths with scalar ops so batches land on every internal
+// state a scalar stream can produce.
+// ---------------------------------------------------------------------------
+
+std::size_t popcount_words(const std::vector<std::uint64_t>& words) {
+  std::size_t c = 0;
+  for (const std::uint64_t w : words) {
+    c += static_cast<std::size_t>(__builtin_popcountll(w));
+  }
+  return c;
+}
+
+TEST_P(DifferentialFuzz, BatchMatchesSequentialScalarReplay) {
+  for (const Scenario& s : kScenarios) {
+    const auto batched = make_policy(GetParam(), s.capacity);
+    const auto scalar = make_policy(GetParam(), s.capacity);
+    util::Rng rng(0xba7c4 + static_cast<std::uint64_t>(GetParam()));
+    const std::string context =
+        std::string(to_string(GetParam())) + "/" + s.label;
+    std::vector<Key> keys;
+    std::vector<std::uint8_t> pris;
+    std::vector<std::uint64_t> hit_words;
+    for (int op = 0; op < s.ops / 8; ++op) {
+      const auto n =
+          static_cast<std::size_t>(rng.uniform_int(0, 70));  // spans >1 word
+      keys.resize(n);
+      pris.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        keys[i] = static_cast<Key>(
+            rng.uniform_int(0, static_cast<std::int64_t>(s.key_range) - 1));
+        pris[i] = static_cast<std::uint8_t>(rng.uniform_int(1, 3));
+      }
+      hit_words.assign((n + 63) / 64, ~std::uint64_t{0});  // batch must zero
+      const std::string at = context + " batch_op=" + std::to_string(op);
+      if (rng.bernoulli(0.3)) {
+        batched->install_batch(keys.data(), pris.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          scalar->install(keys[i], static_cast<int>(pris[i]));
+        }
+      } else {
+        const std::size_t hits =
+            batched->touch_batch(keys.data(), pris.data(), n, hit_words.data());
+        std::size_t scalar_hits = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const bool hit = scalar->request(keys[i], static_cast<int>(pris[i]));
+          ASSERT_EQ(((hit_words[i >> 6] >> (i & 63)) & 1) != 0, hit)
+              << at << " element " << i;
+          scalar_hits += hit ? 1u : 0u;
+        }
+        ASSERT_EQ(hits, scalar_hits) << at;
+        ASSERT_EQ(popcount_words(hit_words), hits)
+            << at << ": stray bits beyond the batch";
+      }
+      // A scalar op between batches so batches hit mid-stream states too.
+      const Key probe = static_cast<Key>(
+          rng.uniform_int(0, static_cast<std::int64_t>(s.key_range) - 1));
+      ASSERT_EQ(batched->request(probe, 2), scalar->request(probe, 2)) << at;
+      ASSERT_EQ(batched->size(), scalar->size()) << at;
+    }
+    ASSERT_EQ(batched->stats().hits, scalar->stats().hits) << context;
+    ASSERT_EQ(batched->stats().misses, scalar->stats().misses) << context;
+    ASSERT_EQ(batched->stats().evictions, scalar->stats().evictions)
+        << context;
+    if (HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+TEST_P(DifferentialFuzz, BatchedStreamsMatchGoldenModel) {
+  const auto opt = make_policy(GetParam(), 8);
+  const auto ref = reference::make_reference_policy(GetParam(), 8);
+  util::Rng rng(0x601deull + static_cast<std::uint64_t>(GetParam()));
+  std::vector<Key> keys;
+  std::vector<std::uint8_t> pris;
+  std::vector<std::uint64_t> opt_hits;
+  std::vector<std::uint64_t> ref_hits;
+  for (int op = 0; op < 3000; ++op) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 12));
+    keys.resize(n);
+    pris.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      keys[i] = static_cast<Key>(rng.uniform_int(0, 20));
+      pris[i] = static_cast<std::uint8_t>(rng.uniform_int(1, 3));
+    }
+    const std::string at = std::string(to_string(GetParam())) +
+                           " golden_batch_op=" + std::to_string(op);
+    if (rng.bernoulli(0.3)) {
+      opt->install_batch(keys.data(), pris.data(), n);
+      ref->install_batch(keys.data(), pris.data(), n);
+    } else {
+      opt_hits.assign((n + 63) / 64, 0);
+      ref_hits.assign((n + 63) / 64, 0);
+      opt->touch_batch(keys.data(), pris.data(), n, opt_hits.data());
+      ref->touch_batch(keys.data(), pris.data(), n, ref_hits.data());
+      ASSERT_EQ(opt_hits, ref_hits) << at;
+    }
+    ASSERT_EQ(opt->size(), ref->size()) << at;
+  }
+  expect_same_resident_set(*opt, *ref, "batched golden stream");
+  EXPECT_EQ(opt->stats().hits, ref->stats().hits);
+  EXPECT_EQ(opt->stats().misses, ref->stats().misses);
+  EXPECT_EQ(opt->stats().evictions, ref->stats().evictions);
+}
+
+TEST_P(DifferentialFuzz, ZeroCapacityBatchSemantics) {
+  // Capacity 0 admits nothing: a touch batch counts n misses and reports
+  // no hits, an install batch is a no-op (mirrors the scalar surface).
+  const auto opt = make_policy(GetParam(), 0);
+  const Key keys[3] = {1, 2, 1};
+  const std::uint8_t pris[3] = {1, 2, 3};
+  std::uint64_t hits_word = ~std::uint64_t{0};
+  ASSERT_EQ(opt->touch_batch(keys, pris, 3, &hits_word), 0u);
+  EXPECT_EQ(hits_word, 0u);
+  opt->install_batch(keys, pris, 3);
+  EXPECT_EQ(opt->size(), 0u);
+  EXPECT_EQ(opt->stats().misses, 3u);
+  EXPECT_EQ(opt->stats().hits, 0u);
+}
+
+TEST_P(DifferentialFuzz, EmptyBatchIsANoOp) {
+  const auto opt = make_policy(GetParam(), 4);
+  opt->request(7, 1);
+  const auto before = opt->stats();
+  ASSERT_EQ(opt->touch_batch(nullptr, nullptr, 0, nullptr), 0u);
+  opt->install_batch(nullptr, nullptr, 0);
+  EXPECT_EQ(opt->stats().hits, before.hits);
+  EXPECT_EQ(opt->stats().misses, before.misses);
+  EXPECT_EQ(opt->size(), 1u);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllPolicies, DifferentialFuzz,
     ::testing::Values(PolicyId::Fifo, PolicyId::Lru, PolicyId::Lfu,
