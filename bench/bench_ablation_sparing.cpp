@@ -22,7 +22,9 @@ int main(int argc, char** argv) {
         core::ExperimentConfig cfg = bench::base_config(
             opt, codes::CodeId::TripleStar, opt.primes.front());
         cfg.cache_bytes = 32ull << 20;
-        cfg.rotate_columns = rotate;
+        cfg.layout_strategy = rotate ? sim::LayoutStrategy::Rotate
+                                     : sim::LayoutStrategy::Naive;
+        cfg.pool_disks = 0;  // placement ablation runs at stripe width
         cfg.spare_placement = sparing;
         cfg.policy = policy;
         const core::ExperimentResult r = core::run_experiment(cfg);

@@ -12,6 +12,8 @@
 //   --metrics-out=F   write run-level counters/gauges/histograms as JSON
 //   --trace-out=F     write Chrome trace-event JSON (load in Perfetto)
 //   --trace-detail=L  "phases" (default) or "fine" (per-read disk spans)
+//   --layout=S        disk mapping: naive|rotate|tdesign|d3 (rotate)
+//   --pool-size=N     physical disk pool, 0 = stripe width (0)
 #pragma once
 
 #include <iostream>
@@ -37,6 +39,8 @@ struct BenchOptions {
   std::uint64_t seed = 42;
   bool csv = false;
   std::size_t threads = 0;  // sweep parallelism (0 = hardware)
+  sim::LayoutStrategy layout = sim::LayoutStrategy::Rotate;
+  int pool_size = 0;  // 0 = exactly the stripe width
 
   std::string metrics_out;
   std::string trace_out;
@@ -51,8 +55,9 @@ inline BenchOptions parse_options(
     const std::vector<std::string_view>& extra_known = {}) {
   const util::Flags flags(argc, argv);
   std::vector<std::string_view> known{
-      "errors", "workers", "sizes-mb",  "p",         "seed",
-      "csv",    "threads", "metrics-out", "trace-out", "trace-detail"};
+      "errors", "workers", "sizes-mb",    "p",         "seed",
+      "csv",    "threads", "metrics-out", "trace-out", "trace-detail",
+      "layout", "pool-size"};
   known.insert(known.end(), extra_known.begin(), extra_known.end());
   flags.check_known(known);
 
@@ -71,6 +76,13 @@ inline BenchOptions parse_options(
   for (std::int64_t p : flags.get_int_list("p", fallback)) {
     opt.primes.push_back(static_cast<int>(p));
   }
+
+  const std::string layout_name =
+      flags.get_string("layout", sim::to_string(opt.layout));
+  FBF_CHECK(sim::layout_strategy_from_string(layout_name, opt.layout),
+            "--layout must be naive|rotate|tdesign|d3, got \"" + layout_name +
+                "\"");
+  opt.pool_size = static_cast<int>(flags.get_int("pool-size", 0));
 
   opt.metrics_out = flags.get_string("metrics-out", "");
   opt.trace_out = flags.get_string("trace-out", "");
@@ -99,6 +111,8 @@ inline core::ExperimentConfig base_config(const BenchOptions& opt,
   cfg.workers = opt.workers;
   cfg.seed = opt.seed;
   cfg.scheme = recovery::SchemeKind::RoundRobin;
+  cfg.layout_strategy = opt.layout;
+  cfg.pool_disks = opt.pool_size;
   cfg.obs = opt.observer.get();
   return cfg;
 }

@@ -1,0 +1,96 @@
+// Extension: declustered layouts over a disk pool wider than a stripe
+// (DESIGN.md §15). Sweeps pool size x layout strategy x cache policy and
+// reports how far the recovery load spreads over the pool: active disks,
+// the busiest disk's op count against the pool mean, and the resulting
+// reconstruction time. The headline effect: with rotate/tdesign/d3 the
+// per-disk spread widens monotonically with --pool-sizes while naive
+// (pinned to the stripe width) defines the baseline. Every grid point is a
+// pure function of the flags; two invocations print byte-identical tables.
+//
+// Extra flags on top of the common set (bench_common.h):
+//   --pool-sizes=a,b,c  disk-pool axis (default: width, +4, +8, +16)
+//   --engine=sor|dor    reconstruction engine                 (sor)
+// The common --layout/--pool-size single-point flags are superseded by the
+// grid axes here and ignored.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fbf;
+  const util::Flags flags(argc, argv);
+  const bench::BenchOptions opt =
+      bench::parse_options(argc, argv, {7}, {"pool-sizes", "engine"});
+
+  const std::string engine = flags.get_string("engine", "sor");
+  FBF_CHECK(engine == "sor" || engine == "dor",
+            "--engine must be \"sor\" or \"dor\", got \"" + engine + "\"");
+  const codes::CodeId code = codes::CodeId::Tip;
+  const int p = opt.primes.front();
+  const int width = codes::make_layout(code, p).cols();
+  std::vector<int> pools;
+  for (std::int64_t n : flags.get_int_list(
+           "pool-sizes",
+           {width, width + 4, width + 8, width + 16})) {
+    FBF_CHECK(n >= width, "--pool-sizes entries must be >= the stripe width (" +
+                              std::to_string(width) + ")");
+    pools.push_back(static_cast<int>(n));
+  }
+
+  std::cout << "=== Extension: pool-size x layout x policy sweep (TIP, P="
+            << p << ", width " << width << ", engine=" << engine
+            << ", cache 16MB) ===\n\n";
+  util::Table table("recovery spread over the disk pool");
+  table.headers({"layout", "pool", "policy", "hit ratio", "disk reads",
+                 "disks active", "max ops", "mean ops", "max/mean",
+                 "recon (ms)"});
+  int point = 0;
+  for (sim::LayoutStrategy layout :
+       {sim::LayoutStrategy::Naive, sim::LayoutStrategy::Rotate,
+        sim::LayoutStrategy::TDesignDecluster, sim::LayoutStrategy::D3}) {
+    for (int pool : pools) {
+      // Naive is the identity map: it only exists at the stripe width and
+      // anchors the pre-declustering baseline row.
+      if (layout == sim::LayoutStrategy::Naive && pool != width) continue;
+      for (cache::PolicyId policy :
+           {cache::PolicyId::Lru, cache::PolicyId::Fbf}) {
+        core::ExperimentConfig cfg = bench::base_config(opt, code, p);
+        cfg.engine = engine == "dor" ? core::EngineKind::Dor
+                                     : core::EngineKind::Sor;
+        cfg.cache_bytes = 16ull << 20;
+        cfg.policy = policy;
+        cfg.layout_strategy = layout;
+        cfg.pool_disks = pool;
+        // Disjoint registry labels per grid point: the layout axes are not
+        // part of obs_run_label's (code, p, policy, cache) key.
+        cfg.obs_suffix = ".l" + std::to_string(point++);
+        const core::ExperimentResult r = core::run_experiment(cfg);
+        const double ratio =
+            r.disk_ops_mean > 0.0
+                ? static_cast<double>(r.disk_ops_max) / r.disk_ops_mean
+                : 0.0;
+        table.add_row({std::string(sim::to_string(layout)),
+                       std::to_string(pool),
+                       std::string(cache::to_string(policy)),
+                       util::fmt_percent(r.hit_ratio),
+                       std::to_string(r.disk_reads),
+                       std::to_string(r.disks_active) + "/" +
+                           std::to_string(r.disks_total),
+                       std::to_string(r.disk_ops_max),
+                       util::fmt_double(r.disk_ops_mean, 1),
+                       util::fmt_double(ratio, 2),
+                       util::fmt_double(r.reconstruction_ms, 1)});
+      }
+    }
+  }
+  if (opt.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "\nWider pools recruit more spindles per rebuild: the same "
+               "logical request stream (hit ratios never move) fans out over "
+               "more disks, the busiest disk sheds load toward the pool mean, "
+               "and reconstruction time drops. The declustered strategies "
+               "(tdesign, d3) keep the spread uniform by construction; "
+               "rotate merely shifts the hot columns around the pool.\n";
+  return 0;
+}

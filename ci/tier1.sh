@@ -109,6 +109,42 @@ app_smoke() {
     --compare="${out}/slo2.json"
 }
 
+# Layout smoke: every disk-mapping strategy is driven end to end through
+# fbfsim twice with the same seed; the CSVs must be byte-identical (the
+# geometry is a pure function of (stripe, cell)) and the declustered
+# strategies additionally run over a pool wider than the stripe. The
+# metrics export from one strategy run feeds obs_schema_check so the
+# conservation laws hold under a wide pool too.
+layout_smoke() {
+  local build_dir="$1"
+  local out="${build_dir}/layout-smoke"
+  rm -rf "$out"
+  mkdir -p "$out"
+  local layout
+  for layout in naive rotate tdesign d3; do
+    local pool=0
+    if [ "$layout" = "tdesign" ] || [ "$layout" = "d3" ]; then
+      pool=12
+    fi
+    local run
+    for run in 1 2; do
+      # The scheme-gen row is genuine wall time; everything else in the
+      # table is deterministic per seed.
+      "${build_dir}/examples/fbfsim" \
+        --code=tip --p=7 --errors=16 --workers=4 --cache-mb=8 --csv \
+        --layout="$layout" --pool-size="$pool" \
+        --metrics-out="${out}/${layout}${run}.json" \
+        | grep -v "scheme gen wall" >"${out}/${layout}${run}.csv"
+    done
+    cmp "${out}/${layout}1.csv" "${out}/${layout}2.csv" || {
+      echo "layout ${layout} is not deterministic" >&2
+      exit 1
+    }
+    "${build_dir}/tools/obs_schema_check" "${out}/${layout}1.json" \
+      --compare="${out}/${layout}2.json"
+  done
+}
+
 engine_smoke() {
   local build_dir="$1"
   local out="${build_dir}/engine-smoke"
@@ -159,6 +195,7 @@ bench_smoke build
 obs_smoke build
 fault_smoke build
 app_smoke build
+layout_smoke build
 engine_smoke build
 
 cmake -B build-scalar -S . -DFBF_ENABLE_SIMD=OFF
@@ -168,6 +205,7 @@ bench_smoke build-scalar
 obs_smoke build-scalar
 fault_smoke build-scalar
 app_smoke build-scalar
+layout_smoke build-scalar
 engine_smoke build-scalar
 
 cmake -B build-asan -S . -DFBF_SANITIZE=ON
@@ -177,4 +215,5 @@ bench_smoke build-asan
 obs_smoke build-asan
 fault_smoke build-asan
 app_smoke build-asan
+layout_smoke build-asan
 engine_smoke build-asan

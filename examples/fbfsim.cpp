@@ -17,7 +17,9 @@
 //   --disk-ms     disk access time                       (10)
 //   --cache-ms    buffer cache access time               (0.5)
 //   --detailed-disk  seek/rotate/transfer model          (off)
-//   --no-rotate   disable column rotation
+//   --layout      naive | rotate | tdesign | d3          (rotate)
+//   --pool-size   physical disk pool, 0 = stripe width   (0)
+//   --no-rotate   shorthand for --layout=naive
 //   --same-disk-sparing  spare writes to the failed disk
 //   --app-*       foreground traffic knobs; see core/app_flags.h
 //                 (count, interarrival, read mix, deadline — all off)
@@ -51,6 +53,7 @@ int main(int argc, char** argv) {
       "code",         "p",       "policy",       "scheme",
       "cache-mb",     "chunk-kb", "workers",     "errors",
       "error-col",    "disk-ms", "cache-ms",     "detailed-disk",
+      "layout",       "pool-size",
       "no-rotate",    "same-disk-sparing",
       "verify",       "engine",  "seed",         "csv",
       "metrics-out",  "trace-out",               "trace-detail"};
@@ -78,7 +81,15 @@ int main(int argc, char** argv) {
   if (flags.get_bool("detailed-disk", false)) {
     cfg.disk_model = sim::DiskModelKind::Detailed;
   }
-  cfg.rotate_columns = !flags.get_bool("no-rotate", false);
+  if (flags.get_bool("no-rotate", false)) {
+    cfg.layout_strategy = sim::LayoutStrategy::Naive;
+  }
+  const std::string layout_name =
+      flags.get_string("layout", sim::to_string(cfg.layout_strategy));
+  FBF_CHECK(sim::layout_strategy_from_string(layout_name, cfg.layout_strategy),
+            "--layout must be naive|rotate|tdesign|d3, got \"" + layout_name +
+                "\"");
+  cfg.pool_disks = static_cast<int>(flags.get_int("pool-size", 0));
   if (flags.get_bool("same-disk-sparing", false)) {
     cfg.spare_placement = sim::SparePlacement::SameDisk;
   }
@@ -184,6 +195,7 @@ int main(int argc, char** argv) {
         {"fault escalated stripes", std::to_string(r.fault.escalated_stripes)});
     table.add_row(
         {"fault extra lost chunks", std::to_string(r.fault.extra_lost_chunks)});
+    table.add_row({"fault respared", std::to_string(r.fault.respared)});
     table.add_row(
         {"fault straggler disks", std::to_string(r.fault.straggler_disks)});
   }

@@ -1,5 +1,7 @@
 #include "core/experiment.h"
 
+#include <algorithm>
+
 #include "sim/dor_engine.h"
 #include "util/check.h"
 #include "util/table.h"
@@ -29,7 +31,7 @@ std::string obs_run_label(const ExperimentConfig& config) {
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   const codes::Layout layout = codes::make_layout(config.code, config.p);
   const sim::ArrayGeometry geometry(layout, config.num_stripes,
-                                    config.rotate_columns,
+                                    config.layout_strategy, config.pool_disks,
                                     config.spare_placement);
 
   workload::ErrorTraceConfig trace_cfg;
@@ -122,6 +124,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   r.app_served = m.app_served;
   r.app_parked_drained = m.app_parked_drained;
   r.app_deadline_miss = m.app_deadline_miss;
+  r.disks_total = static_cast<int>(m.disk_ops.size());
+  std::uint64_t total_ops = 0;
+  for (const std::uint64_t ops : m.disk_ops) {
+    total_ops += ops;
+    r.disk_ops_max = std::max(r.disk_ops_max, ops);
+    if (ops > 0) {
+      ++r.disks_active;
+    }
+  }
+  r.disk_ops_mean = m.disk_ops.empty()
+                        ? 0.0
+                        : static_cast<double>(total_ops) /
+                              static_cast<double>(m.disk_ops.size());
   r.fault = m.fault;
   return r;
 }

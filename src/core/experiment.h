@@ -41,11 +41,17 @@ struct ExperimentConfig {
   int error_col = 0;               ///< -1 = random column per error
   double spatial_locality = 0.6;
 
-  /// RAID-5-style column rotation across stripes. On by default so the
-  /// parity-heavy logical columns (read by every chain in RTP-style
-  /// layouts) do not pin one physical disk and hide cache effects behind a
-  /// fixed bottleneck.
-  bool rotate_columns = true;
+  /// Disk-mapping strategy. Rotate (RAID-5-style column rotation) by
+  /// default so the parity-heavy logical columns (read by every chain in
+  /// RTP-style layouts) do not pin one physical disk and hide cache
+  /// effects behind a fixed bottleneck. TDesignDecluster/D3 spread each
+  /// stripe over a subset of a wider pool (see pool_disks).
+  sim::LayoutStrategy layout_strategy = sim::LayoutStrategy::Rotate;
+
+  /// Physical disk pool size; 0 means "exactly the stripe width"
+  /// (layout.cols()), the pre-declustering geometry. Values above the
+  /// stripe width spread recovery traffic over more spindles.
+  int pool_disks = 0;
 
   /// Distributed (declustered) sparing by default: recovery writes spread
   /// over the array instead of serializing on the failed disk. Ablated in
@@ -109,6 +115,15 @@ struct ExperimentResult {
   std::uint64_t app_served = 0;
   std::uint64_t app_parked_drained = 0;
   std::uint64_t app_deadline_miss = 0;
+
+  /// Per-disk recovery load spread, from the engines' per-disk op counts:
+  /// how many pool disks served at least one op, the busiest disk's op
+  /// count, and the mean over the whole pool. Declustered layouts widen
+  /// disks_active and flatten disk_ops_max toward disk_ops_mean.
+  int disks_total = 0;
+  int disks_active = 0;
+  std::uint64_t disk_ops_max = 0;
+  double disk_ops_mean = 0.0;
 
   /// Fault-injection counters; all-zero when config.faults was disabled.
   sim::FaultStats fault;

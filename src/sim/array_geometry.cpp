@@ -1,17 +1,122 @@
 #include "sim/array_geometry.h"
 
+#include <algorithm>
+#include <numeric>
+
 #include "util/check.h"
 
 namespace fbf::sim {
 
+const char* to_string(LayoutStrategy s) {
+  switch (s) {
+    case LayoutStrategy::Naive:
+      return "naive";
+    case LayoutStrategy::Rotate:
+      return "rotate";
+    case LayoutStrategy::TDesignDecluster:
+      return "tdesign";
+    case LayoutStrategy::D3:
+      return "d3";
+  }
+  return "naive";
+}
+
+bool layout_strategy_from_string(const std::string& name,
+                                 LayoutStrategy& out) {
+  if (name == "naive") {
+    out = LayoutStrategy::Naive;
+  } else if (name == "rotate") {
+    out = LayoutStrategy::Rotate;
+  } else if (name == "tdesign") {
+    out = LayoutStrategy::TDesignDecluster;
+  } else if (name == "d3") {
+    out = LayoutStrategy::D3;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 ArrayGeometry::ArrayGeometry(const codes::Layout& layout,
-                             std::uint64_t num_stripes, bool rotate_columns,
+                             std::uint64_t num_stripes,
+                             LayoutStrategy strategy, int pool_disks,
                              SparePlacement spare)
     : layout_(&layout),
       num_stripes_(num_stripes),
-      rotate_columns_(rotate_columns),
+      strategy_(strategy),
+      pool_disks_(pool_disks == 0 ? layout.cols() : pool_disks),
       spare_(spare) {
   FBF_CHECK(num_stripes_ > 0, "array needs at least one stripe");
+  FBF_CHECK(pool_disks_ >= layout_->cols(),
+            "disk pool narrower than a stripe");
+  if (strategy_ == LayoutStrategy::Naive) {
+    FBF_CHECK(pool_disks_ == layout_->cols(),
+              "naive layout cannot use a pool wider than the stripe");
+  }
+  if (strategy_ == LayoutStrategy::TDesignDecluster) {
+    // The colex rank of a k-subset of an n-set must fit in a u64; n <= 64
+    // guarantees it (C(64, 32) ~ 1.83e18 < 2^64).
+    FBF_CHECK(pool_disks_ <= 64, "t-design pools are limited to 64 disks");
+    const int n = pool_disks_;
+    const int k = layout_->cols();
+    binom_.assign(static_cast<std::size_t>(n + 1) *
+                      static_cast<std::size_t>(k + 1),
+                  0);
+    for (int i = 0; i <= n; ++i) {
+      for (int j = 0; j <= std::min(i, k); ++j) {
+        if (j == 0 || j == i) {
+          binom_[static_cast<std::size_t>(i) *
+                     static_cast<std::size_t>(k + 1) +
+                 static_cast<std::size_t>(j)] = 1;
+        } else {
+          binom_[static_cast<std::size_t>(i) *
+                     static_cast<std::size_t>(k + 1) +
+                 static_cast<std::size_t>(j)] =
+              binom(i - 1, j - 1) + binom(i - 1, j);
+        }
+      }
+    }
+    tdesign_blocks_ = binom(n, k);
+  }
+  if (strategy_ == LayoutStrategy::D3) {
+    const auto n = static_cast<std::uint64_t>(pool_disks_);
+    for (std::uint64_t m = 1; m < n; ++m) {
+      if (std::gcd(m, n) == 1) {
+        d3_units_.push_back(m);
+      }
+    }
+    if (d3_units_.empty()) {
+      d3_units_.push_back(1);  // pool of one disk: identity only
+    }
+  }
+}
+
+int ArrayGeometry::tdesign_disk_of(std::uint64_t stripe, int col) const {
+  // Colex-unrank the block (k-subset of the pool) for this stripe, then
+  // rotate the stripe's columns through the block so each member disk
+  // serves each column role equally often across the design sweep.
+  const int n = pool_disks_;
+  const int k = layout_->cols();
+  std::uint64_t rank = stripe % tdesign_blocks_;
+  // Walk candidate members from the top: the largest member m of the
+  // rank-r block in colex order satisfies binom(m, j) <= r for the
+  // current position j, consuming binom(m, j) from the rank.
+  const int want =
+      static_cast<int>((static_cast<std::uint64_t>(col) + stripe) %
+                       static_cast<std::uint64_t>(k));
+  int j = k;
+  for (int v = n - 1; j > 0; --v) {
+    FBF_CHECK(v >= 0, "t-design unrank ran out of candidates");
+    if (binom(v, j) <= rank) {
+      rank -= binom(v, j);
+      --j;
+      if (j == want) {
+        return v;  // block members are found largest-first: index j
+      }
+    }
+  }
+  FBF_CHECK(false, "t-design unrank failed");
+  return 0;
 }
 
 int ArrayGeometry::spare_disk_of(std::uint64_t stripe, codes::Cell c) const {
@@ -19,9 +124,9 @@ int ArrayGeometry::spare_disk_of(std::uint64_t stripe, codes::Cell c) const {
   if (spare_ == SparePlacement::SameDisk) {
     return home;
   }
-  // Declustered sparing: rotate the spare target over the other disks so
-  // recovery writes spread across the array.
-  const auto n = static_cast<std::uint64_t>(layout_->cols());
+  // Declustered sparing: rotate the spare target over the other pool
+  // disks so recovery writes spread across the array.
+  const auto n = static_cast<std::uint64_t>(pool_disks_);
   const std::uint64_t offset = 1 + (stripe + static_cast<std::uint64_t>(
                                                  c.row)) % (n - 1);
   return static_cast<int>(

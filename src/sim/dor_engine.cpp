@@ -501,6 +501,12 @@ SimMetrics DorEngine::run_legacy(
           injector.has_value()
               ? injector->spare_disk(*geometry_, task.stripe, target, xor_done)
               : geometry_->spare_disk_of(task.stripe, target));
+      if (injector.has_value() && validation_enabled()) {
+        // spare_disk_of is deliberately fault-agnostic; the injector's
+        // rerouting must keep recovery writes off dead disks.
+        FBF_CHECK(!fault_plan->disk_failed(static_cast<int>(d), xor_done),
+                  "spare write routed to a dead disk");
+      }
       const double write_done = disks[d].submit_write(
           xor_done, geometry_->spare_lba_of(task.stripe, target));
       ++metrics.disk_writes;
@@ -762,8 +768,21 @@ SimMetrics DorEngine::run_legacy(
         // The recovered chunk becomes available: buffer it and wake
         // chains that were waiting on the lost cell.
         ChunkInfo& ci = info.at(ev.key);
-        ci.recovered = true;
         ci.write_pending = false;
+        if (fault_plan.has_value() &&
+            fault_plan->disk_failed(static_cast<int>(ev.disk), ev.t)) {
+          // The write was in flight when its target disk died: the copy
+          // never became durable. Recover the chunk again; waiters are
+          // superseded by the replan, so nothing is delivered.
+          ++metrics.fault.respared;
+          ++metrics.fault.extra_lost_chunks;
+          ci.recovered = false;
+          ci.spare_disk = -1;
+          const std::uint64_t stripe = ci.stripe;  // replan may grow info
+          replan_stripe(stripe, ev.t);
+          break;
+        }
+        ci.recovered = true;
         ci.spare_disk = static_cast<int>(ev.disk);
         // Copy the stripe before deliver(): a woken completion can replan
         // and grow `info`, invalidating `ci`.
@@ -788,9 +807,32 @@ SimMetrics DorEngine::run_legacy(
       case Event::Kind::DiskFail: {
         ++metrics.fault.disk_failures;
         const int failed = static_cast<int>(ev.disk);
+        // Deterministic spare invalidation (DESIGN.md §11's former gap):
+        // every spare copy on the failed disk dies with it — whatever
+        // column its home was — not just the failed column's cells.
+        // Counter sums commute, so the map's iteration order does not
+        // leak into the metrics; replans run in trace order below.
+        std::unordered_set<std::uint64_t> respare_stripes;
+        for (auto& [key, ci] : info) {
+          if (!ci.recovered ||
+              (ci.spare_disk >= 0
+                   ? ci.spare_disk
+                   : geometry_->spare_disk_of(ci.stripe, ci.cell)) !=
+                  failed) {
+            continue;
+          }
+          ci.recovered = false;  // spare copy died with the disk
+          ci.spare_disk = -1;
+          ++metrics.fault.respared;
+          ++metrics.fault.extra_lost_chunks;
+          respare_stripes.insert(ci.stripe);
+        }
         // Escalation: every traced stripe with a column on the failed
         // disk gains that column as fresh losses (minus live spares) and
-        // is re-planned while the erasure budget permits.
+        // is re-planned while the erasure budget permits. Stripes touched
+        // only through dead spare copies (no data column on the failed
+        // disk — possible once the pool is wider than a stripe) replan as
+        // an escalation pass too.
         for (const workload::StripeError& traced : errors) {
           int col = -1;
           for (int c = 0; c < layout_->cols(); ++c) {
@@ -801,11 +843,11 @@ SimMetrics DorEngine::run_legacy(
               break;
             }
           }
-          if (col < 0) {
-            continue;  // the failed disk holds no column of this stripe
+          if (col < 0 && respare_stripes.count(traced.stripe) == 0) {
+            continue;  // the failed disk holds nothing of this stripe
           }
           ++metrics.fault.escalated_stripes;
-          for (int r = 0; r < layout_->rows(); ++r) {
+          for (int r = 0; col >= 0 && r < layout_->rows(); ++r) {
             const codes::Cell cell{static_cast<std::int16_t>(r),
                                    static_cast<std::int16_t>(col)};
             const cache::Key key = geometry_->chunk_key(traced.stripe, cell);
@@ -818,14 +860,6 @@ SimMetrics DorEngine::run_legacy(
             }
             if (!ci.lost) {
               ci.lost = true;  // original copy was homed on the dead disk
-              ++metrics.fault.extra_lost_chunks;
-            } else if (ci.recovered &&
-                       (ci.spare_disk >= 0
-                            ? ci.spare_disk
-                            : geometry_->spare_disk_of(traced.stripe,
-                                                       cell)) == failed) {
-              ci.recovered = false;  // spare copy died with the disk
-              ci.spare_disk = -1;
               ++metrics.fault.extra_lost_chunks;
             }
           }
@@ -1190,8 +1224,12 @@ SimMetrics DorEngine::run_fast(
   util::advise_hugepages(waiter_links.data(),
                          waiter_links.capacity() * sizeof(FWaiterLink));
 
-  // Spare-region base LBA: spare_lba_of(s, c) == spare_base + lba_of(s, c).
-  const std::uint64_t spare_base = geometry_->disk_capacity_chunks();
+  // Spare-region LBA from the cached (home_disk, lba) pair:
+  // spare_lba_of(s, c) == spare_lba(info-of(s, c)). FChunkInfo caches both
+  // inputs, so no (stripe, cell) -> address recomputation in the hot loop.
+  auto spare_lba = [this](const FChunkInfo& ci) {
+    return geometry_->spare_lba_from(ci.home_disk, ci.lba);
+  };
 
   // Global key -> dense id map, built LAZILY. Planning dedups chunks with
   // a per-stripe cell table (chains only ever share cells inside their
@@ -1667,7 +1705,7 @@ SimMetrics DorEngine::run_fast(
                      ? ci.spare_disk
                      : geometry_->spare_disk_of(ci.stripe, ci.cell))
               : ci.home_disk);
-    const std::uint64_t lba = spare ? spare_base + ci.lba : ci.lba;
+    const std::uint64_t lba = spare ? spare_lba(ci) : ci.lba;
     readers[d].queue.push_back(FPlannedRead{ci.key, lba, id, spare});
     kick_reader(d, now);
   };
@@ -1744,6 +1782,12 @@ SimMetrics DorEngine::run_fast(
           injector.has_value()
               ? injector->spare_disk(*geometry_, task.stripe, target, xor_done)
               : geometry_->spare_disk_of(task.stripe, target));
+      if (injector.has_value() && validation_enabled()) {
+        // spare_disk_of is deliberately fault-agnostic; the injector's
+        // rerouting must keep recovery writes off dead disks.
+        FBF_CHECK(!fault_plan->disk_failed(static_cast<int>(d), xor_done),
+                  "spare write routed to a dead disk");
+      }
       const double write_done = disks[d].submit_write(
           xor_done, geometry_->spare_lba_of(task.stripe, target));
       ++metrics.disk_writes;
@@ -1898,7 +1942,7 @@ SimMetrics DorEngine::run_fast(
                            ? ci.spare_disk
                            : geometry_->spare_disk_of(stripe, c))
                     : ci.home_disk);
-          const std::uint64_t lba = spare ? spare_base + ci.lba : ci.lba;
+          const std::uint64_t lba = spare ? spare_lba(ci) : ci.lba;
           readers[d].queue.push_back(FPlannedRead{key, lba, id, spare});
           ++metrics.planned_disk_reads;
           kick_reader(d, now);
@@ -2049,8 +2093,24 @@ SimMetrics DorEngine::run_fast(
       case Event::Kind::SpareWriteDone: {
         {
           FChunkInfo& ci = chunks[ev.id];
-          ci.recovered = true;
           ci.write_pending = false;
+          if (fault_plan.has_value() &&
+              fault_plan->disk_failed(static_cast<int>(ev.disk), ev.t)) {
+            // The write was in flight when its target disk died: the copy
+            // never became durable. Recover the chunk again; waiters are
+            // superseded by the replan, so nothing is delivered.
+            ++metrics.fault.respared;
+            ++metrics.fault.extra_lost_chunks;
+            if (verify_on) {
+              verify_mark_lost(ci.stripe, ci.cell);
+            }
+            ci.recovered = false;
+            ci.spare_disk = -1;
+            const std::uint64_t stripe = ci.stripe;  // replan grows chunks
+            replan_stripe(stripe, ev.t);
+            break;
+          }
+          ci.recovered = true;
           ci.spare_disk = static_cast<int>(ev.disk);
         }
         deliver(ev.id, ev.t);
@@ -2076,6 +2136,31 @@ SimMetrics DorEngine::run_fast(
       case Event::Kind::DiskFail: {
         ++metrics.fault.disk_failures;
         const int failed = static_cast<int>(ev.disk);
+        // Deterministic spare invalidation (DESIGN.md §11's former gap):
+        // every spare copy on the failed disk dies with it — whatever
+        // column its home was — not just the failed column's cells. The
+        // chunk arena scan is index-ordered, hence deterministic.
+        std::unordered_set<std::uint64_t> respare_stripes;
+        for (FChunkInfo& ci : chunks) {
+          if (!ci.recovered ||
+              (ci.spare_disk >= 0
+                   ? ci.spare_disk
+                   : geometry_->spare_disk_of(ci.stripe, ci.cell)) !=
+                  failed) {
+            continue;
+          }
+          ci.recovered = false;  // spare copy died with the disk
+          ci.spare_disk = -1;
+          ++metrics.fault.respared;
+          ++metrics.fault.extra_lost_chunks;
+          if (verify_on) {
+            verify_mark_lost(ci.stripe, ci.cell);
+          }
+          respare_stripes.insert(ci.stripe);
+        }
+        // Stripes touched only through dead spare copies (no data column
+        // on the failed disk — possible once the pool is wider than a
+        // stripe) replan as an escalation pass too.
         for (const workload::StripeError& traced : errors) {
           int col = -1;
           for (int c = 0; c < layout_->cols(); ++c) {
@@ -2086,11 +2171,11 @@ SimMetrics DorEngine::run_fast(
               break;
             }
           }
-          if (col < 0) {
-            continue;  // the failed disk holds no column of this stripe
+          if (col < 0 && respare_stripes.count(traced.stripe) == 0) {
+            continue;  // the failed disk holds nothing of this stripe
           }
           ++metrics.fault.escalated_stripes;
-          for (int r = 0; r < layout_->rows(); ++r) {
+          for (int r = 0; col >= 0 && r < layout_->rows(); ++r) {
             const codes::Cell cell{static_cast<std::int16_t>(r),
                                    static_cast<std::int16_t>(col)};
             const cache::Key key = geometry_->chunk_key(traced.stripe, cell);
@@ -2102,17 +2187,6 @@ SimMetrics DorEngine::run_fast(
             }
             if (!ci.lost) {
               ci.lost = true;  // original copy was homed on the dead disk
-              ++metrics.fault.extra_lost_chunks;
-              if (verify_on) {
-                verify_mark_lost(traced.stripe, cell);
-              }
-            } else if (ci.recovered &&
-                       (ci.spare_disk >= 0
-                            ? ci.spare_disk
-                            : geometry_->spare_disk_of(traced.stripe,
-                                                       cell)) == failed) {
-              ci.recovered = false;  // spare copy died with the disk
-              ci.spare_disk = -1;
               ++metrics.fault.extra_lost_chunks;
               if (verify_on) {
                 verify_mark_lost(traced.stripe, cell);

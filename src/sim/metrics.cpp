@@ -74,6 +74,7 @@ void record_run(obs::RunObserver* obs, const std::string& label,
     reg.add_counter("run.fault.disk_failures", m.fault.disk_failures);
     reg.add_counter("run.fault.escalated_stripes", m.fault.escalated_stripes);
     reg.add_counter("run.fault.extra_lost_chunks", m.fault.extra_lost_chunks);
+    reg.add_counter("run.fault.respared", m.fault.respared);
     reg.add_counter("run.fault.straggler_disks", m.fault.straggler_disks);
   }
 

@@ -37,6 +37,10 @@ struct FaultStats {
   /// chunk is recovered (again), so
   /// chunks_recovered == trace losses + extra_lost_chunks.
   std::uint64_t extra_lost_chunks = 0;
+  /// Spare copies invalidated because a later disk failure killed the disk
+  /// holding them. Each is also counted in extra_lost_chunks (the chunk is
+  /// recovered again), so respared <= extra_lost_chunks.
+  std::uint64_t respared = 0;
   std::uint64_t straggler_disks = 0;    ///< disks running with a service multiplier
 };
 

@@ -144,6 +144,22 @@ __attribute__((hot)) void ReconstructionEngine::start_next_stripe(Worker& w, Sim
       }
     }
     if (w.escalation) {
+      // Dead spare copies queued for this stripe ride along with the
+      // escalated column; a cell re-spared by an interim replan is live
+      // again and drops out here.
+      const auto pend = respare_pending_.find(err.stripe);
+      if (pend != respare_pending_.end()) {
+        for (const codes::Cell& c : pend->second) {
+          if (!spared_live(geometry_->chunk_key(err.stripe, c), now)) {
+            outstanding.push_back(c);
+          }
+        }
+        respare_pending_.erase(pend);
+        std::sort(outstanding.begin(), outstanding.end());
+        outstanding.erase(
+            std::unique(outstanding.begin(), outstanding.end()),
+            outstanding.end());
+      }
       metrics.fault.extra_lost_chunks +=
           static_cast<std::uint64_t>(outstanding.size());
     }
@@ -594,6 +610,13 @@ std::optional<double> ReconstructionEngine::advance(Worker& w, double now,
         injector_ != nullptr
             ? injector_->spare_disk(*geometry_, w.stripe, op.cell, xor_done)
             : geometry_->spare_disk_of(w.stripe, op.cell);
+    if (injector_ != nullptr && validation_enabled()) {
+      // spare_disk_of is deliberately fault-agnostic; the injector's
+      // rerouting is the only thing standing between a recovery write and
+      // a dead disk, so pin that here.
+      FBF_CHECK(!fault_plan_->disk_failed(spare_disk, xor_done),
+                "spare write routed to a dead disk");
+    }
     Disk& disk = disks_[static_cast<std::size_t>(spare_disk)];
     const double write_done = disk.submit_write(
         xor_done, geometry_->spare_lba_of(w.stripe, op.cell));
@@ -650,6 +673,7 @@ __attribute__((hot)) SimMetrics ReconstructionEngine::run(
     }
   } run_guard{this};
   spared_on_.clear();
+  respare_pending_.clear();
   escalation_storage_.clear();
   escalation_errors_.clear();
   if (fault_plan_.has_value()) {
@@ -774,6 +798,21 @@ __attribute__((hot)) SimMetrics ReconstructionEngine::run(
       const DiskFailure& failure = fault_plan_->disk_failures()
           [static_cast<std::size_t>(ev.worker - kFailBase)];
       ++metrics.fault.disk_failures;
+      // Spare copies living on the failed disk die with it. Queue each for
+      // deterministic re-recovery by its stripe's escalation pass instead
+      // of waiting for a later read to trip on the dead disk (DESIGN.md
+      // §11's former gap). The entries stay in spared_on_ so in-flight
+      // reads keep routing to the honest dead-disk timeout path.
+      const auto cells_per_stripe =
+          static_cast<std::uint64_t>(layout_->num_cells());
+      for (const auto& [key, spare_disk] : spared_on_) {
+        if (spare_disk != failure.disk) {
+          continue;
+        }
+        respare_pending_[key / cells_per_stripe].push_back(
+            layout_->cell_at(static_cast<int>(key % cells_per_stripe)));
+        ++metrics.fault.respared;
+      }
       for (const workload::StripeError& traced : errors) {
         int col = -1;
         for (int c = 0; c < layout_->cols(); ++c) {
@@ -784,12 +823,19 @@ __attribute__((hot)) SimMetrics ReconstructionEngine::run(
             break;
           }
         }
-        if (col < 0) {
-          continue;  // the failed disk holds no column of this stripe
+        const bool pending = respare_pending_.count(traced.stripe) > 0;
+        if (col < 0 && !pending) {
+          continue;  // the failed disk holds nothing of this stripe
         }
+        // Stripes touched only through dead spare copies (no data column
+        // on the failed disk — possible once the pool is wider than a
+        // stripe) get an empty synthetic error: the escalation pass then
+        // recovers exactly the queued cells.
         escalation_storage_.push_back(workload::StripeError{
             traced.stripe,
-            recovery::PartialStripeError{col, 0, layout_->rows()}, ev.t});
+            col >= 0 ? recovery::PartialStripeError{col, 0, layout_->rows()}
+                     : recovery::PartialStripeError{0, 0, 0},
+            ev.t});
         const workload::StripeError* esc = &escalation_storage_.back();
         escalation_errors_.insert(esc);
         Worker& owner =

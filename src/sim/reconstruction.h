@@ -187,6 +187,12 @@ class ReconstructionEngine {
   /// the deque gives escalation-synthesized errors stable addresses.
   std::unique_ptr<FaultInjector> injector_;
   std::unordered_map<std::uint64_t, int> spared_on_;
+  /// Spare copies killed by a later disk failure, queued per stripe for
+  /// deterministic re-recovery by that stripe's next escalation pass.
+  /// Entries are filtered through spared_live() at pass start, so a cell
+  /// re-spared by an interim replan is not recovered twice.
+  std::unordered_map<std::uint64_t, std::vector<codes::Cell>>
+      respare_pending_;
   std::deque<workload::StripeError> escalation_storage_;
   std::unordered_set<const workload::StripeError*> escalation_errors_;
 };

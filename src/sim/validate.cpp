@@ -34,6 +34,10 @@ void validate_metrics(const SimMetrics& m) {
             law("every recovered chunk is spare-written exactly once: "
                 "disk_writes != chunks_recovered",
                 m.disk_writes, m.chunks_recovered));
+  FBF_CHECK(m.fault.respared <= m.fault.extra_lost_chunks,
+            law("every respared spare copy is an extra lost chunk: "
+                "fault.respared > fault.extra_lost_chunks",
+                m.fault.respared, m.fault.extra_lost_chunks));
   FBF_CHECK(m.app_requests == m.app_served + m.app_parked_drained,
             law("every app request is served at arrival or parked and "
                 "drained: app_requests != app_served + app_parked_drained",

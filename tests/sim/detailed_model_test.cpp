@@ -141,9 +141,9 @@ TEST(Placement, RotationDoesNotChangeCacheBehaviour) {
   // thus hits/misses) is identical.
   auto cfg = detailed_config();
   cfg.disk_model = DiskModelKind::FixedLatency;
-  cfg.rotate_columns = true;
+  cfg.layout_strategy = LayoutStrategy::Rotate;
   const core::ExperimentResult rotated = core::run_experiment(cfg);
-  cfg.rotate_columns = false;
+  cfg.layout_strategy = LayoutStrategy::Naive;
   const core::ExperimentResult fixed = core::run_experiment(cfg);
   EXPECT_EQ(rotated.cache_hits, fixed.cache_hits);
   EXPECT_EQ(rotated.disk_reads, fixed.disk_reads);

@@ -30,6 +30,7 @@ void expect_same_fault_stats(const FaultStats& a, const FaultStats& b) {
   EXPECT_EQ(a.disk_failures, b.disk_failures);
   EXPECT_EQ(a.escalated_stripes, b.escalated_stripes);
   EXPECT_EQ(a.extra_lost_chunks, b.extra_lost_chunks);
+  EXPECT_EQ(a.respared, b.respared);
   EXPECT_EQ(a.straggler_disks, b.straggler_disks);
 }
 
@@ -164,6 +165,28 @@ TEST_P(FaultReplay, MidRecoveryDiskFailureEscalatesAndRecovers) {
   EXPECT_GT(a.result.fault.escalated_stripes, 0u);
   EXPECT_GT(a.result.fault.extra_lost_chunks, 0u);
   // Escalated stripes are recovered in full on top of the traced ones.
+  EXPECT_EQ(a.result.stripes_recovered,
+            40u + a.result.fault.escalated_stripes);
+  // Replays deterministically, like every other fault kind.
+  const RunCapture b = capture(cfg);
+  expect_same_fault_stats(a.result.fault, b.result.fault);
+  EXPECT_EQ(a.metrics, b.metrics);
+}
+
+TEST_P(FaultReplay, LaterFailureInvalidatesSpareCopies) {
+  // The DESIGN.md §11 gap: spare copies written after the first failure
+  // can sit on the disk the second failure kills. They must be invalidated
+  // and re-recovered — never silently read back from a dead disk — and
+  // every invalidation is visible in run.fault.respared.
+  core::ExperimentConfig cfg = faulty_config(GetParam());
+  cfg.faults = FaultConfig{};
+  cfg.faults.disk_failure_times_ms = {100.0, 400.0};
+  const RunCapture a = capture(cfg);
+  EXPECT_EQ(a.result.fault.disk_failures, 2u);
+  EXPECT_GT(a.result.fault.respared, 0u);
+  // Conservation law: each respared chunk re-enters escalation, so it is
+  // also an extra lost chunk and is recovered again on top of the trace.
+  EXPECT_LE(a.result.fault.respared, a.result.fault.extra_lost_chunks);
   EXPECT_EQ(a.result.stripes_recovered,
             40u + a.result.fault.escalated_stripes);
   // Replays deterministically, like every other fault kind.

@@ -168,10 +168,21 @@ TEST_P(StructuralInvariants, MembershipPerDirection) {
 TEST_P(StructuralInvariants, GeometryAddressingIsInjective) {
   const Layout l = layout();
   const std::uint64_t num_stripes = 4096;
-  for (const bool rotate : {false, true}) {
-    const ArrayGeometry g(l, num_stripes, rotate,
+  struct Variant {
+    LayoutStrategy strategy;
+    int pool;  // 0 = stripe width
+  };
+  const Variant variants[] = {
+      {LayoutStrategy::Naive, 0},
+      {LayoutStrategy::Rotate, 0},
+      {LayoutStrategy::Rotate, l.cols() + 5},
+      {LayoutStrategy::TDesignDecluster, l.cols() + 5},
+      {LayoutStrategy::D3, l.cols() + 5},
+  };
+  for (const Variant& v : variants) {
+    const ArrayGeometry g(l, num_stripes, v.strategy, v.pool,
                           SparePlacement::Distributed);
-    ASSERT_EQ(g.num_disks(), l.cols());
+    ASSERT_EQ(g.num_disks(), v.pool == 0 ? l.cols() : v.pool);
     std::set<std::pair<int, std::uint64_t>> addresses;
     std::set<std::uint64_t> keys;
     for (std::uint64_t stripe : {0ull, 1ull, 7ull, 4095ull}) {
@@ -184,8 +195,8 @@ TEST_P(StructuralInvariants, GeometryAddressingIsInjective) {
         disks.insert(disk);
         EXPECT_TRUE(
             addresses.insert({disk, g.lba_of(stripe, cell)}).second)
-            << "two chunks share disk " << disk << " (rotate=" << rotate
-            << ")";
+            << "two chunks share disk " << disk << " (strategy="
+            << to_string(v.strategy) << ")";
         EXPECT_TRUE(keys.insert(g.chunk_key(stripe, cell)).second);
         // The spare region starts past every data LBA.
         EXPECT_LT(g.lba_of(stripe, cell), g.disk_capacity_chunks());
@@ -193,8 +204,9 @@ TEST_P(StructuralInvariants, GeometryAddressingIsInjective) {
         // Declustered sparing spreads writes off the home disk.
         EXPECT_NE(g.spare_disk_of(stripe, cell), disk);
       }
-      // Each stripe's column->disk map is a permutation of all disks.
-      EXPECT_EQ(static_cast<int>(disks.size()), g.num_disks());
+      // Each stripe's columns land on pairwise-distinct disks (a full
+      // permutation when the pool is exactly the stripe width).
+      EXPECT_EQ(static_cast<int>(disks.size()), l.cols());
     }
   }
   // SameDisk placement pins the spare copy to the home disk instead.

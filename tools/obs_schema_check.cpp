@@ -85,6 +85,9 @@ void check_metrics(const Value& doc) {
   FBF_CHECK(counter(counters, "run.disk_writes") ==
                 counter(counters, "run.chunks_recovered"),
             "disk writes != chunks recovered");
+  FBF_CHECK(counter_or_zero(counters, "run.fault.respared") <=
+                counter_or_zero(counters, "run.fault.extra_lost_chunks"),
+            "fault respared exceeds extra lost chunks");
 
   // Online-recovery laws. The run.app.* family is only exported by runs
   // that carried app traffic, so the missing-reads-as-zero rule makes
