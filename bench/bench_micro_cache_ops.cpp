@@ -41,9 +41,10 @@ class BaselineLru final : public cache::CachePolicy {
       return true;
     }
     if (index_.size() >= capacity()) {
-      index_.erase(order_.front());
+      const cache::Key victim = order_.front();
+      index_.erase(victim);
       order_.pop_front();
-      note_eviction();
+      note_eviction(victim);
     }
     order_.push_back(key);
     index_.emplace(key, std::prev(order_.end()));
@@ -79,7 +80,7 @@ class BaselineFbf final : public cache::CachePolicy {
           const cache::Key victim = q.front();
           q.pop_front();
           index_.erase(victim);
-          note_eviction();
+          note_eviction(victim);
           break;
         }
       }

@@ -20,7 +20,9 @@
 # stream is a pure function of the seed, so any byte of divergence is a
 # determinism regression in the injection layer. An app smoke does the
 # same for the online-recovery path (foreground traffic, deadlines, and
-# the recovery throttle on both engines, via bench_app_slo).
+# the recovery throttle on both engines, via bench_app_slo), and a write
+# smoke for the partial-stripe write path (parity-update planner plus the
+# dirty write-back cache, via bench_ext_write_sweep).
 #
 # The engine smoke then drives the event-core macro bench (bench_engine,
 # one rep — wiring coverage, not perf) and re-runs the fault matrix with
@@ -109,6 +111,35 @@ app_smoke() {
     --compare="${out}/slo2.json"
 }
 
+# Write-path smoke: bench_ext_write_sweep drives the parity-update planner
+# and the dirty write-back cache through both engines (legacy RMW and
+# planned columns per grid point) twice with the same seed. The CSVs must
+# be byte-identical, and the exported metrics must pass the schema check —
+# including the run.write.* conservation laws (dirty_installed == flushed +
+# lost_dirty; disk_writes == spare writes + write-backs + parity updates) —
+# and match across the two runs modulo wall_clock.
+write_smoke() {
+  local build_dir="$1"
+  local out="${build_dir}/write-smoke"
+  rm -rf "$out"
+  mkdir -p "$out"
+  local run
+  for run in 1 2; do
+    "${build_dir}/bench/bench_ext_write_sweep" \
+      --errors=8 --workers=4 --csv \
+      --write-fracs=0.3,0.7 --app-requests=150 --app-interarrival-ms=2 \
+      --write-cache-chunks=16 --write-flush-ms=20 \
+      --metrics-out="${out}/write${run}.json" \
+      >"${out}/write${run}.csv"
+  done
+  cmp "${out}/write1.csv" "${out}/write2.csv" || {
+    echo "write sweep is not deterministic" >&2
+    exit 1
+  }
+  "${build_dir}/tools/obs_schema_check" "${out}/write1.json" \
+    --compare="${out}/write2.json"
+}
+
 # Layout smoke: every disk-mapping strategy is driven end to end through
 # fbfsim twice with the same seed; the CSVs must be byte-identical (the
 # geometry is a pure function of (stripe, cell)) and the declustered
@@ -195,6 +226,7 @@ bench_smoke build
 obs_smoke build
 fault_smoke build
 app_smoke build
+write_smoke build
 layout_smoke build
 engine_smoke build
 
@@ -205,6 +237,7 @@ bench_smoke build-scalar
 obs_smoke build-scalar
 fault_smoke build-scalar
 app_smoke build-scalar
+write_smoke build-scalar
 layout_smoke build-scalar
 engine_smoke build-scalar
 
@@ -215,5 +248,6 @@ bench_smoke build-asan
 obs_smoke build-asan
 fault_smoke build-asan
 app_smoke build-asan
+write_smoke build-asan
 layout_smoke build-asan
 engine_smoke build-asan

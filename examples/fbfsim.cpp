@@ -22,8 +22,10 @@
 //   --no-rotate   shorthand for --layout=naive
 //   --same-disk-sparing  spare writes to the failed disk
 //   --app-*       foreground traffic knobs; see core/app_flags.h
-//                 (count, interarrival, read mix, deadline — all off)
+//                 (count, interarrival, read mix, deadline, rewrite — off)
 //   --recovery-throttle[-burst]  rebuild token bucket; core/app_flags.h
+//   --write-*     partial-stripe write path; see core/app_flags.h
+//                 (write-back cache chunks, flush period, FBF retention)
 //   --verify      carry real bytes, verify every recovered chunk
 //   --engine      sor | dor reconstruction engine        (sor)
 //   --seed        workload seed                          (42)
@@ -94,11 +96,7 @@ int main(int argc, char** argv) {
     cfg.spare_placement = sim::SparePlacement::SameDisk;
   }
   const core::AppFlagValues app = core::parse_app_flags(flags);
-  cfg.app_requests = app.requests;
-  cfg.app_mean_interarrival_ms = app.interarrival_ms;
-  cfg.app_read_fraction = app.read_fraction;
-  cfg.app_deadline_ms = app.deadline_ms;
-  cfg.recovery_throttle = app.throttle;
+  core::apply_app_flags(app, cfg);
   cfg.verify_data = flags.get_bool("verify", false);
   const std::string engine = flags.get_string("engine", "sor");
   FBF_CHECK(engine == "sor" || engine == "dor",
@@ -174,6 +172,25 @@ int main(int argc, char** argv) {
       table.add_row(
           {"app deadline misses", std::to_string(r.app_deadline_miss)});
     }
+  }
+  // Write-path rows only appear when the write-back cache is on, so
+  // legacy-RMW output stays byte-identical to pre-write-path builds.
+  if (r.write.enabled) {
+    table.add_row({"write rmw plans", std::to_string(r.write.rmw_plans)});
+    table.add_row({"write rcw plans", std::to_string(r.write.rcw_plans)});
+    table.add_row(
+        {"write degraded plans", std::to_string(r.write.degraded_plans)});
+    table.add_row(
+        {"write plan disk reads", std::to_string(r.write.plan_disk_reads)});
+    table.add_row(
+        {"write parity updates", std::to_string(r.write.parity_updates)});
+    table.add_row({"write cache hits", std::to_string(r.write.write_hits)});
+    table.add_row(
+        {"write dirty installed", std::to_string(r.write.dirty_installed)});
+    table.add_row({"write write-backs", std::to_string(r.write.write_backs)});
+    table.add_row(
+        {"write retained dirty", std::to_string(r.write.retained_dirty)});
+    table.add_row({"write lost dirty", std::to_string(r.write.lost_dirty)});
   }
   if (cfg.verify_data) {
     table.add_row({"data verification", "PASSED (all recovered chunks)"});

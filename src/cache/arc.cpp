@@ -54,17 +54,20 @@ void ArcCache::replace(bool hit_in_b2) {
       !t1_.empty() && (t1_.size() > p_ || (hit_in_b2 && t1_.size() == p_));
   // The demoted resident keeps its directory entry: it just moves to the
   // LRU end of the matching ghost list.
+  Key victim_key;
   if (from_t1) {
     const core::Index n = t1_.pop_front(slab_);
+    victim_key = slab_[n].key;
     slab_[n].data.where = Where::B1;
     b1_.push_back(slab_, n);
   } else {
     FBF_CHECK(!t2_.empty(), "ARC replace with both lists empty");
     const core::Index n = t2_.pop_front(slab_);
+    victim_key = slab_[n].key;
     slab_[n].data.where = Where::B2;
     b2_.push_back(slab_, n);
   }
-  note_eviction();
+  note_eviction(victim_key);
 }
 
 bool ArcCache::handle(Key key, int /*priority*/) {
@@ -117,8 +120,10 @@ void ArcCache::admit_to_t1(Key key) {
       drop(b1_.front());
       replace(/*hit_in_b2=*/false);
     } else {
-      drop(t1_.front());
-      note_eviction();
+      const core::Index victim = t1_.front();
+      const Key victim_key = slab_[victim].key;
+      drop(victim);
+      note_eviction(victim_key);
     }
   } else {
     const std::size_t total = l1 + t2_.size() + b2_.size();

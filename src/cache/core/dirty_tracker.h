@@ -1,0 +1,114 @@
+// Dirty-line tracker for write-back caching, built from the flat core
+// primitives: a fixed node slab + one intrusive list (mark order) + an
+// open-addressing key index — O(1) mark/clear, zero per-operation
+// allocation, deterministic drain order.
+//
+// The tracker records *which* resident lines hold bytes newer than the
+// disk copy and the FBF priority stamped at write time; the owning policy
+// keeps it in sync with residency (an evicted line's dirty bit moves to
+// the policy's pending write-back queue). Drains walk mark order — the
+// oldest dirty line flushes first — which both sides of the differential
+// harness reproduce exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/core/hash_index.h"
+#include "cache/core/intrusive_list.h"
+#include "cache/core/slab.h"
+#include "cache/core/types.h"
+
+namespace fbf::cache::core {
+
+/// One dirty line: the chunk key plus the FBF priority (1..3) stamped by
+/// the most recent write. Favorable-block write-back policies retain high
+/// priorities across periodic flushes.
+struct DirtyLine {
+  Key key = 0;
+  std::uint8_t priority = 1;
+};
+
+inline bool operator==(const DirtyLine& a, const DirtyLine& b) {
+  return a.key == b.key && a.priority == b.priority;
+}
+
+class DirtyTracker {
+ public:
+  /// Sized for the owning cache's capacity: dirty lines are a subset of
+  /// resident lines, so the slab can never overflow while the owner clears
+  /// the bit on every eviction.
+  explicit DirtyTracker(std::size_t capacity)
+      : slab_(capacity), index_(capacity) {}
+
+  bool contains(Key key) const { return index_.find(key) != kNil; }
+  std::size_t size() const { return slab_.in_use(); }
+  bool empty() const { return slab_.in_use() == 0; }
+
+  /// Marks `key` dirty. Returns true on a clean->dirty transition; an
+  /// already-dirty line keeps its mark-order position and is restamped
+  /// with the new priority (the latest write wins).
+  bool mark(Key key, std::uint8_t priority) {
+    const Index i = index_.find(key);
+    if (i != kNil) {
+      slab_[i].data.priority = priority;
+      return false;
+    }
+    const Index n = slab_.acquire(key);
+    slab_[n].data.priority = priority;
+    index_.insert(key, n);
+    order_.push_back(slab_, n);
+    return true;
+  }
+
+  /// Clears the dirty bit; returns the stamped priority, or 0 when the
+  /// line was already clean.
+  std::uint8_t clear(Key key) {
+    const Index i = index_.find(key);
+    if (i == kNil) {
+      return 0;
+    }
+    const std::uint8_t priority = slab_[i].data.priority;
+    order_.erase(slab_, i);
+    index_.erase(key);
+    slab_.release(i);
+    return priority;
+  }
+
+  /// Appends every dirty line in mark order without clearing anything.
+  void snapshot(std::vector<DirtyLine>& out) const {
+    for (Index i = order_.front(); i != kNil; i = slab_[i].next) {
+      out.push_back(DirtyLine{slab_[i].key, slab_[i].data.priority});
+    }
+  }
+
+  /// Moves dirty lines into `out` in mark order and clears their bits.
+  /// With `retain_min_priority` > 0, lines stamped at or above it stay
+  /// dirty (favorable-block retention); 0 drains everything.
+  void drain(std::vector<DirtyLine>& out, int retain_min_priority = 0) {
+    Index i = order_.front();
+    while (i != kNil) {
+      const Index next = slab_[i].next;
+      if (retain_min_priority <= 0 ||
+          slab_[i].data.priority <
+              static_cast<std::uint8_t>(retain_min_priority)) {
+        out.push_back(DirtyLine{slab_[i].key, slab_[i].data.priority});
+        order_.erase(slab_, i);
+        index_.erase(slab_[i].key);
+        slab_.release(i);
+      }
+      i = next;
+    }
+  }
+
+ private:
+  struct Payload {
+    std::uint8_t priority = 1;
+  };
+
+  NodeSlab<Payload> slab_;
+  KeyIndexTable index_;
+  IntrusiveList order_;  // front = oldest dirty line
+};
+
+}  // namespace fbf::cache::core

@@ -9,7 +9,15 @@
 
 #include <cstdint>
 
-#include "cache/policy.h"
+namespace fbf::cache {
+
+/// Chunk key. Defined here (not in policy.h) so the core headers stay
+/// self-contained: policy.h itself includes the core's dirty tracker, and
+/// a core header including policy.h back would close an include cycle.
+/// policy.h re-declares the identical alias for its public surface.
+using Key = std::uint64_t;
+
+}  // namespace fbf::cache
 
 namespace fbf::cache::core {
 

@@ -76,9 +76,10 @@ class FbfCache final : public CachePolicy {
       for (int level = 1; level <= 3; ++level) {
         if (!queue(level).empty()) {
           const core::Index victim = queue(level).pop_front(slab_);
-          index_.erase(slab_[victim].key);
+          const Key victim_key = slab_[victim].key;
+          index_.erase(victim_key);
           slab_.release(victim);
-          note_eviction();
+          note_eviction(victim_key);
           break;
         }
       }

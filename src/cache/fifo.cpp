@@ -15,9 +15,10 @@ bool FifoCache::handle(Key key, int /*priority*/) {
   }
   if (slab_.in_use() >= capacity()) {
     const core::Index victim = queue_.pop_front(slab_);
-    index_.erase(slab_[victim].key);
+    const Key victim_key = slab_[victim].key;
+    index_.erase(victim_key);
     slab_.release(victim);
-    note_eviction();
+    note_eviction(victim_key);
   }
   const core::Index n = slab_.acquire(key);
   queue_.push_back(slab_, n);

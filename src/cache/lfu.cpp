@@ -62,10 +62,11 @@ bool LfuCache::handle(Key key, int /*priority*/) {
     FBF_CHECK(lowest != core::kNil, "LFU bookkeeping empty at eviction");
     const core::Index victim =
         buckets_[lowest].data.members.pop_front(nodes_);
-    index_.erase(nodes_[victim].key);
+    const Key victim_key = nodes_[victim].key;
+    index_.erase(victim_key);
     nodes_.release(victim);
     release_if_empty(lowest);
-    note_eviction();
+    note_eviction(victim_key);
   }
   const core::Index fresh = nodes_.acquire(key);
   place(fresh, /*freq=*/1, core::kNil);

@@ -41,9 +41,10 @@ bool LrfuCache::handle(Key key, int /*priority*/) {
   if (resident_.size() >= capacity()) {
     const auto victim = order_.begin();
     FBF_CHECK(victim != order_.end(), "LRFU order set empty at eviction");
-    resident_.erase(victim->second);
+    const Key victim_key = victim->second;
+    resident_.erase(victim_key);
     order_.erase(victim);
-    note_eviction();
+    note_eviction(victim_key);
   }
   Entry e;
   e.crf = 1.0;

@@ -24,9 +24,10 @@ bool LruCache::handle(Key key, int /*priority*/) {
   }
   if (slab_.in_use() >= capacity()) {
     const core::Index victim = order_.pop_front(slab_);
-    index_.erase(slab_[victim].key);
+    const Key victim_key = slab_[victim].key;
+    index_.erase(victim_key);
     slab_.release(victim);
-    note_eviction();
+    note_eviction(victim_key);
   }
   const core::Index fresh = slab_.acquire(key);
   order_.push_back(slab_, fresh);

@@ -25,9 +25,10 @@ bool LrukCache::handle(Key key, int /*priority*/) {
   if (slab_.in_use() >= capacity()) {
     const core::Index victim = order_.top();
     order_.pop();
-    index_.erase(slab_[victim].key);
+    const Key victim_key = slab_[victim].key;
+    index_.erase(victim_key);
     slab_.release(victim);
-    note_eviction();
+    note_eviction(victim_key);
   }
   const core::Index fresh = slab_.acquire(key);
   slab_[fresh].data.last = clock_;

@@ -37,6 +37,46 @@ void CachePolicy::install(Key key, int priority) {
   handle_install(key, priority);
 }
 
+bool CachePolicy::write(Key key, int priority) {
+  FBF_CHECK(priority >= 1 && priority <= 3, "priority must be 1..3");
+  if (capacity_ == 0) {
+    ++write_stats_.write_misses;
+    return false;
+  }
+  if (dirty_ == nullptr) {
+    dirty_ = std::make_unique<core::DirtyTracker>(capacity_);
+  }
+  const bool hit = handle(key, priority);
+  if (hit) {
+    ++write_stats_.write_hits;
+  } else {
+    ++write_stats_.write_misses;
+  }
+  // Every policy admits the demanded key on a miss, so the line is
+  // resident here and the dirty bit always has a line to sit on.
+  FBF_CHECK(contains(key), "write() target not resident after handle()");
+  if (dirty_->mark(key, static_cast<std::uint8_t>(priority))) {
+    ++write_stats_.dirty_installed;
+  }
+  return hit;
+}
+
+void CachePolicy::take_evicted_dirty(std::vector<core::DirtyLine>& out) {
+  out.insert(out.end(), evicted_dirty_.begin(), evicted_dirty_.end());
+  evicted_dirty_.clear();
+}
+
+void CachePolicy::flush_dirty(std::vector<core::DirtyLine>& out,
+                              int retain_min_priority) {
+  if (dirty_ != nullptr) {
+    dirty_->drain(out, retain_min_priority);
+  }
+}
+
+bool CachePolicy::invalidate_dirty(Key key) {
+  return dirty_ != nullptr && dirty_->clear(key) != 0;
+}
+
 std::size_t CachePolicy::touch_batch(const Key* keys,
                                      const std::uint8_t* priorities,
                                      std::size_t n,

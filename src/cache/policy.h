@@ -7,12 +7,26 @@
 //
 // `priority` is the FBF priority (1..3) from the recovery scheme's
 // priority dictionary; classic policies ignore it.
+//
+// Write-back extension: write() is a write-allocate demand access that
+// additionally marks the line *dirty* (raidxor's DIRTY state) — the cached
+// bytes are newer than the disk copy and must eventually be written back.
+// The dirty layer lives entirely in this base class (a core::DirtyTracker
+// slaved to residency), so the nine replacement ports only decide *which*
+// line to evict; an evicted dirty line moves to a pending write-back queue
+// the simulator drains (raidxor's WRITEBACK state). Policies that never
+// see a write() pay nothing: the tracker is allocated lazily on the first
+// write, which keeps recovery-only caches byte-identical to the pre-write
+// build.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
+
+#include "cache/core/dirty_tracker.h"
 
 namespace fbf::cache {
 
@@ -29,6 +43,17 @@ struct CacheStats {
                            : static_cast<double>(hits) /
                                  static_cast<double>(accesses());
   }
+};
+
+/// Write-path accounting, kept apart from CacheStats so read hit-ratio
+/// curves (the paper's metric) never mix in write traffic.
+struct WriteStats {
+  std::uint64_t write_hits = 0;      ///< write() found the line resident
+  std::uint64_t write_misses = 0;    ///< write() had to admit the line
+  std::uint64_t dirty_installed = 0; ///< clean->dirty transitions
+  std::uint64_t evicted_dirty = 0;   ///< dirty lines pushed out by eviction
+
+  std::uint64_t writes() const { return write_hits + write_misses; }
 };
 
 class CachePolicy {
@@ -72,22 +97,74 @@ class CachePolicy {
   void install_batch(const Key* keys, const std::uint8_t* priorities,
                      std::size_t n);
 
+  /// Write-allocate demand access: like request() (same replacement-state
+  /// updates, evictions per policy), but accounted under WriteStats and
+  /// the line is marked dirty with `priority` stamped on it (latest write
+  /// wins). Returns true when the line was already resident. A later
+  /// request()/install() of a dirty key leaves the dirty bit untouched.
+  /// Zero-capacity caches count a write miss and store nothing.
+  bool write(Key key, int priority = 1);
+
+  /// True iff `key` is resident with unwritten bytes.
+  bool is_dirty(Key key) const {
+    return dirty_ != nullptr && dirty_->contains(key);
+  }
+  std::size_t dirty_count() const {
+    return dirty_ == nullptr ? 0 : dirty_->size();
+  }
+
+  /// Moves the dirty lines evicted since the last call into `out`
+  /// (appended in eviction order). The caller owns their write-back — or
+  /// their funeral, if the chunk is gone.
+  void take_evicted_dirty(std::vector<core::DirtyLine>& out);
+
+  /// Drains resident dirty lines into `out` in mark order and cleans
+  /// them (they stay resident). With `retain_min_priority` > 0, lines
+  /// stamped at or above it keep their dirty bit — the FBF-aware
+  /// retention hook: favorable blocks earn longer dirty residency.
+  void flush_dirty(std::vector<core::DirtyLine>& out,
+                   int retain_min_priority = 0);
+
+  /// Drops the dirty bit without a write-back (the backing chunk was
+  /// lost; there is nowhere meaningful to flush). Returns true when the
+  /// line was dirty. Pending evicted-dirty lines must be taken *before*
+  /// invalidating, or a stale write-back survives in the queue.
+  bool invalidate_dirty(Key key);
+
+  /// Every resident dirty line in mark order (test/introspection hook).
+  std::vector<core::DirtyLine> dirty_lines() const {
+    std::vector<core::DirtyLine> out;
+    if (dirty_ != nullptr) {
+      dirty_->snapshot(out);
+    }
+    return out;
+  }
+
   virtual bool contains(Key key) const = 0;
   virtual std::size_t size() const = 0;
   virtual const char* name() const = 0;
 
   std::size_t capacity() const { return capacity_; }
   const CacheStats& stats() const { return stats_; }
+  const WriteStats& write_stats() const { return write_stats_; }
   void reset_stats() { stats_ = CacheStats{}; }
 
  protected:
   /// Policy-specific handling; returns hit/miss. Must keep size() <=
-  /// capacity() and call note_eviction() per evicted key.
+  /// capacity() and call note_eviction(victim_key) per evicted key — the
+  /// key is how the base class migrates a victim's dirty bit to the
+  /// pending write-back queue, so dropping it loses data.
   virtual bool handle(Key key, int priority) = 0;
 
-  /// Policy-specific install. The default treats it as a demand access;
-  /// policies with adaptive state (ARC, 2Q) override to admit without
-  /// adapting (see install()).
+  /// Policy-specific install. Contract (see install() above): admit the
+  /// key as if cold — no reuse evidence — and leave an already-resident
+  /// key's replacement state untouched. The default forwards to handle(),
+  /// which is correct only for policies whose demand path carries no
+  /// adaptive or frequency state a non-demand admission would pollute;
+  /// ARC (target p, ghost hits), 2Q (ghost promotion), LFU/LRFU/LRU-2
+  /// (frequency/history updates on re-access) all override. Evictions
+  /// triggered by an install still go through note_eviction(victim_key),
+  /// so installs can push dirty victims to the write-back queue too.
   virtual void handle_install(Key key, int priority) { handle(key, priority); }
 
   /// Batch adapters. The defaults loop over the virtual handle hooks —
@@ -115,11 +192,28 @@ class CachePolicy {
     }
   }
 
-  void note_eviction() { ++stats_.evictions; }
+  /// Every eviction site calls this with the victim's key: counts the
+  /// eviction and, when the victim was dirty, moves its line to the
+  /// pending write-back queue (take_evicted_dirty drains it).
+  void note_eviction(Key key) {
+    ++stats_.evictions;
+    if (dirty_ != nullptr) {
+      const std::uint8_t priority = dirty_->clear(key);
+      if (priority != 0) {
+        evicted_dirty_.push_back(core::DirtyLine{key, priority});
+        ++write_stats_.evicted_dirty;
+      }
+    }
+  }
 
  private:
   std::size_t capacity_;
   CacheStats stats_;
+  WriteStats write_stats_;
+  /// Lazily allocated on the first write(): read-only users (the recovery
+  /// engines' worker caches) never pay the tracker's memory or branches.
+  std::unique_ptr<core::DirtyTracker> dirty_;
+  std::vector<core::DirtyLine> evicted_dirty_;
 };
 
 /// Replacement policies evaluated by the paper (FIFO/LRU/LFU/ARC/FBF) plus

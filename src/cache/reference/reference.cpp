@@ -56,6 +56,80 @@ void ReferencePolicy::install_batch(const Key* keys,
   }
 }
 
+bool ReferencePolicy::write(Key key, int priority) {
+  FBF_CHECK(priority >= 1 && priority <= 3, "priority must be 1..3");
+  if (capacity() == 0) {
+    ++write_stats_.write_misses;
+    return false;
+  }
+  const bool hit = handle(key, priority);
+  if (hit) {
+    ++write_stats_.write_hits;
+  } else {
+    ++write_stats_.write_misses;
+  }
+  FBF_CHECK(contains(key), "reference write() target not resident");
+  for (core::DirtyLine& line : dirty_) {
+    if (line.key == key) {
+      line.priority = static_cast<std::uint8_t>(priority);  // latest wins
+      return hit;
+    }
+  }
+  dirty_.push_back(core::DirtyLine{key, static_cast<std::uint8_t>(priority)});
+  ++write_stats_.dirty_installed;
+  return hit;
+}
+
+bool ReferencePolicy::is_dirty(Key key) const {
+  for (const core::DirtyLine& line : dirty_) {
+    if (line.key == key) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ReferencePolicy::take_evicted_dirty(std::vector<core::DirtyLine>& out) {
+  out.insert(out.end(), evicted_dirty_.begin(), evicted_dirty_.end());
+  evicted_dirty_.clear();
+}
+
+void ReferencePolicy::flush_dirty(std::vector<core::DirtyLine>& out,
+                                  int retain_min_priority) {
+  std::vector<core::DirtyLine> kept;
+  for (const core::DirtyLine& line : dirty_) {
+    if (retain_min_priority > 0 &&
+        line.priority >= static_cast<std::uint8_t>(retain_min_priority)) {
+      kept.push_back(line);
+    } else {
+      out.push_back(line);
+    }
+  }
+  dirty_ = std::move(kept);
+}
+
+bool ReferencePolicy::invalidate_dirty(Key key) {
+  for (auto it = dirty_.begin(); it != dirty_.end(); ++it) {
+    if (it->key == key) {
+      dirty_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ReferencePolicy::note_eviction(Key key) {
+  ++stats_.evictions;
+  for (auto it = dirty_.begin(); it != dirty_.end(); ++it) {
+    if (it->key == key) {
+      evicted_dirty_.push_back(*it);
+      ++write_stats_.evicted_dirty;
+      dirty_.erase(it);
+      break;
+    }
+  }
+}
+
 namespace {
 
 bool has_key(const std::vector<Key>& v, Key k) {
@@ -92,8 +166,7 @@ class RefFifo final : public ReferencePolicy {
       return true;
     }
     if (order_.size() >= capacity()) {
-      pop_front(order_);
-      note_eviction();
+      note_eviction(pop_front(order_));
     }
     order_.push_back(key);
     return false;
@@ -121,8 +194,7 @@ class RefLru final : public ReferencePolicy {
       return true;
     }
     if (order_.size() >= capacity()) {
-      pop_front(order_);
-      note_eviction();
+      note_eviction(pop_front(order_));
     }
     order_.push_back(key);
     return false;
@@ -167,8 +239,9 @@ class RefLfu final : public ReferencePolicy {
           victim = e;
         }
       }
+      const Key victim_key = victim->first;
       entries_.erase(victim);
-      note_eviction();
+      note_eviction(victim_key);
     }
     entries_[key] = Entry{1, ++seq_};
     return false;
@@ -222,8 +295,9 @@ class RefLru2 final : public ReferencePolicy {
           victim = e;
         }
       }
+      const Key victim_key = victim->first;
       entries_.erase(victim);
-      note_eviction();
+      note_eviction(victim_key);
     }
     entries_[key] = Entry{clock_, 0};
     return false;
@@ -277,8 +351,9 @@ class RefLrfu final : public ReferencePolicy {
           victim = e;
         }
       }
+      const Key victim_key = victim->first;
       entries_.erase(victim);
-      note_eviction();
+      note_eviction(victim_key);
     }
     entries_[key] = Entry{1.0, clock_};
     return false;
@@ -368,13 +443,16 @@ class RefArc final : public ReferencePolicy {
   void replace(bool hit_in_b2) {
     const bool from_t1 =
         !t1_.empty() && (t1_.size() > p_ || (hit_in_b2 && t1_.size() == p_));
+    Key victim_key;
     if (from_t1) {
-      b1_.push_back(pop_front(t1_));
+      victim_key = pop_front(t1_);
+      b1_.push_back(victim_key);
     } else {
       FBF_CHECK(!t2_.empty(), "reference ARC replace with both lists empty");
-      b2_.push_back(pop_front(t2_));
+      victim_key = pop_front(t2_);
+      b2_.push_back(victim_key);
     }
-    note_eviction();
+    note_eviction(victim_key);
   }
 
   void admit_to_t1(Key key) {
@@ -385,8 +463,7 @@ class RefArc final : public ReferencePolicy {
         pop_front(b1_);
         replace(/*hit_in_b2=*/false);
       } else {
-        pop_front(t1_);
-        note_eviction();
+        note_eviction(pop_front(t1_));
       }
     } else {
       const std::size_t total = l1 + t2_.size() + b2_.size();
@@ -461,15 +538,17 @@ class Ref2Q final : public ReferencePolicy {
     if (size() < capacity()) {
       return;
     }
+    Key victim_key;
     if (a1in_.size() > kin_ || (am_.empty() && !a1in_.empty())) {
-      a1out_.push_back(pop_front(a1in_));
+      victim_key = pop_front(a1in_);
+      a1out_.push_back(victim_key);
       if (a1out_.size() > kout_) {
         pop_front(a1out_);
       }
     } else {
-      pop_front(am_);
+      victim_key = pop_front(am_);
     }
-    note_eviction();
+    note_eviction(victim_key);
   }
 
   std::size_t kin_;
@@ -515,8 +594,7 @@ class RefFbf final : public ReferencePolicy {
     if (size() >= capacity()) {
       for (auto& q : queues_) {
         if (!q.empty()) {
-          pop_front(q);
-          note_eviction();
+          note_eviction(pop_front(q));
           break;
         }
       }

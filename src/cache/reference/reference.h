@@ -46,6 +46,20 @@ class ReferencePolicy {
   void install_batch(const Key* keys, const std::uint8_t* priorities,
                      std::size_t n);
 
+  /// Golden twin of CachePolicy's write-back surface (policy.h). The
+  /// dirty layer here is the obvious O(n) one — a mark-ordered vector of
+  /// {key, priority} scanned linearly — with none of the slab/index
+  /// machinery the optimized side uses, so a bookkeeping bug on either
+  /// side diverges in the fuzz instead of cancelling out.
+  bool write(Key key, int priority = 1);
+  bool is_dirty(Key key) const;
+  std::size_t dirty_count() const { return dirty_.size(); }
+  void take_evicted_dirty(std::vector<core::DirtyLine>& out);
+  void flush_dirty(std::vector<core::DirtyLine>& out,
+                   int retain_min_priority = 0);
+  bool invalidate_dirty(Key key);
+  std::vector<core::DirtyLine> dirty_lines() const { return dirty_; }
+
   virtual bool contains(Key key) const = 0;
   virtual std::size_t size() const = 0;
 
@@ -54,15 +68,19 @@ class ReferencePolicy {
 
   std::size_t capacity() const { return capacity_; }
   const CacheStats& stats() const { return stats_; }
+  const WriteStats& write_stats() const { return write_stats_; }
 
  protected:
   virtual bool handle(Key key, int priority) = 0;
   virtual void handle_install(Key key, int priority) { handle(key, priority); }
-  void note_eviction() { ++stats_.evictions; }
+  void note_eviction(Key key);
 
  private:
   std::size_t capacity_;
   CacheStats stats_;
+  WriteStats write_stats_;
+  std::vector<core::DirtyLine> dirty_;         // mark order, linear scans
+  std::vector<core::DirtyLine> evicted_dirty_; // pending write-backs
 };
 
 /// Golden model for the optimized policy `id`. LRFU uses the same default

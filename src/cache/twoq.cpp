@@ -36,18 +36,22 @@ void TwoQCache::evict_for_insert() {
   if (size() < capacity()) {
     return;
   }
+  Key victim_key;
   if (a1in_.size() > kin_ || (am_.empty() && !a1in_.empty())) {
     // Reclaim from probation; remember the key in the ghost queue.
     const core::Index victim = a1in_.pop_front(slab_);
+    victim_key = slab_[victim].key;
     slab_[victim].data.where = Where::A1out;
     a1out_.push_back(slab_, victim);
     if (a1out_.size() > kout_) {
       drop(a1out_.front(), a1out_);
     }
   } else {
-    drop(am_.front(), am_);
+    const core::Index victim = am_.front();
+    victim_key = slab_[victim].key;
+    drop(victim, am_);
   }
-  note_eviction();
+  note_eviction(victim_key);
 }
 
 void TwoQCache::admit_to_a1in(Key key) {

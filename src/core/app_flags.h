@@ -6,8 +6,12 @@
 //   --app-interarrival-ms=T      mean Poisson interarrival, ms       (2)
 //   --app-read-fraction=F        read share of the app trace         (0.7)
 //   --app-deadline-ms=T          per-request response SLO, 0 = none  (0)
+//   --app-rewrite-fraction=F     writes re-targeting recent writes   (0)
 //   --recovery-throttle=R        rebuild reads/sec, 0 = unthrottled  (0)
 //   --recovery-throttle-burst=N  throttle token-bucket depth         (16)
+//   --write-cache-chunks=N       write-back cache lines, 0 = RMW     (0)
+//   --write-flush-ms=T           periodic dirty flush, <= 0 = off    (50)
+//   --write-retain-favorable=B   FBF-aware dirty retention           (1)
 //
 // All default to "off": a driver that accepts these flags but is invoked
 // without them produces byte-identical output to one that predates them.
@@ -25,18 +29,24 @@ namespace fbf::core {
 inline const std::vector<std::string_view>& app_flag_names() {
   static const std::vector<std::string_view> names{
       "app-requests",      "app-interarrival-ms",    "app-read-fraction",
-      "app-deadline-ms",   "recovery-throttle",      "recovery-throttle-burst"};
+      "app-deadline-ms",   "app-rewrite-fraction",   "recovery-throttle",
+      "recovery-throttle-burst",                     "write-cache-chunks",
+      "write-flush-ms",    "write-retain-favorable"};
   return names;
 }
 
-/// Parsed --app-*/--recovery-throttle values, mirroring the
+/// Parsed --app-*/--recovery-throttle/--write-* values, mirroring the
 /// ExperimentConfig fields they populate.
 struct AppFlagValues {
   int requests = 0;
   double interarrival_ms = 2.0;
   double read_fraction = 0.7;
   double deadline_ms = 0.0;
+  double rewrite_fraction = 0.0;
   sim::ThrottleConfig throttle;
+  std::size_t write_cache_chunks = 0;
+  double write_flush_ms = 50.0;
+  bool write_retain_favorable = true;
 };
 
 inline AppFlagValues parse_app_flags(const util::Flags& flags) {
@@ -45,10 +55,31 @@ inline AppFlagValues parse_app_flags(const util::Flags& flags) {
   v.interarrival_ms = flags.get_double("app-interarrival-ms", 2.0);
   v.read_fraction = flags.get_double("app-read-fraction", 0.7);
   v.deadline_ms = flags.get_double("app-deadline-ms", 0.0);
+  v.rewrite_fraction = flags.get_double("app-rewrite-fraction", 0.0);
   v.throttle.rebuild_reads_per_sec = flags.get_double("recovery-throttle", 0.0);
   v.throttle.burst =
       static_cast<int>(flags.get_int("recovery-throttle-burst", 16));
+  v.write_cache_chunks =
+      static_cast<std::size_t>(flags.get_int("write-cache-chunks", 0));
+  v.write_flush_ms = flags.get_double("write-flush-ms", 50.0);
+  v.write_retain_favorable = flags.get_bool("write-retain-favorable", true);
   return v;
+}
+
+/// Copies the parsed values into the ExperimentConfig-shaped fields a
+/// driver exposes (kept as a template so this header needs no dependency
+/// on core/experiment.h).
+template <typename Config>
+inline void apply_app_flags(const AppFlagValues& v, Config& cfg) {
+  cfg.app_requests = v.requests;
+  cfg.app_mean_interarrival_ms = v.interarrival_ms;
+  cfg.app_read_fraction = v.read_fraction;
+  cfg.app_deadline_ms = v.deadline_ms;
+  cfg.app_rewrite_fraction = v.rewrite_fraction;
+  cfg.recovery_throttle = v.throttle;
+  cfg.write_cache_chunks = v.write_cache_chunks;
+  cfg.write_flush_ms = v.write_flush_ms;
+  cfg.write_retain_favorable = v.write_retain_favorable;
 }
 
 }  // namespace fbf::core

@@ -50,9 +50,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     app_cfg.mean_interarrival_ms = config.app_mean_interarrival_ms;
     app_cfg.read_fraction = config.app_read_fraction;
     app_cfg.deadline_ms = config.app_deadline_ms;
+    app_cfg.rewrite_fraction = config.app_rewrite_fraction;
     app_cfg.seed = config.seed ^ 0xa99ull;
     app_trace = workload::generate_app_trace(layout, app_cfg);
   }
+
+  sim::WritePathConfig write_cfg;
+  write_cfg.cache_chunks = config.write_cache_chunks;
+  write_cfg.flush_interval_ms = config.write_flush_ms;
+  write_cfg.retain_favorable = config.write_retain_favorable;
+  write_cfg.policy = config.policy;  // write cache mirrors the read policy
+  write_cfg.cache_access_ms = config.cache_access_ms;
 
   sim::SimMetrics m;
   if (config.engine == EngineKind::Dor) {
@@ -71,6 +79,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     dc.seed = config.seed;
     dc.faults = config.faults;
     dc.throttle = config.recovery_throttle;
+    dc.write = write_cfg;
     if (config.obs != nullptr) {
       dc.observer = config.obs;
       dc.obs_label = obs_run_label(config);
@@ -94,6 +103,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     rc.seed = config.seed;
     rc.faults = config.faults;
     rc.throttle = config.recovery_throttle;
+    rc.write = write_cfg;
     if (config.obs != nullptr) {
       rc.observer = config.obs;
       rc.obs_label = obs_run_label(config);
@@ -138,6 +148,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                         : static_cast<double>(total_ops) /
                               static_cast<double>(m.disk_ops.size());
   r.fault = m.fault;
+  r.write = m.write;
   return r;
 }
 

@@ -72,7 +72,19 @@ struct ExperimentConfig {
   double app_mean_interarrival_ms = 2.0;
   double app_read_fraction = 0.7;
   double app_deadline_ms = 0.0;  ///< 0 = no deadlines
+  /// Fraction of app writes that re-target a recently written chunk
+  /// (workload/app_trace.h). 0 keeps traces byte-identical to pre-write
+  /// builds.
+  double app_rewrite_fraction = 0.0;
   sim::ThrottleConfig recovery_throttle;
+
+  // Partial-stripe write path (sim/foreground.h): a write-back cache of
+  // this many chunk-sized lines in front of the parity-update planner.
+  // 0 (the default) keeps the legacy synchronous-RMW path and
+  // byte-identical output.
+  std::size_t write_cache_chunks = 0;
+  double write_flush_ms = 50.0;       ///< periodic flush; <= 0 disables
+  bool write_retain_favorable = true; ///< FBF-aware dirty retention
 
   std::uint64_t seed = 42;
 
@@ -127,6 +139,12 @@ struct ExperimentResult {
 
   /// Fault-injection counters; all-zero when config.faults was disabled.
   sim::FaultStats fault;
+
+  /// Write-path counters (sim/metrics.h). write.enabled is false — and
+  /// every planner/dirty counter zero — when write_cache_chunks was 0;
+  /// write.spare_writes is live either way (it is the legacy meaning of
+  /// disk_writes).
+  sim::WritePathStats write;
 };
 
 /// Runs one full reconstruction simulation. Deterministic per config.

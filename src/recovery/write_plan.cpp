@@ -1,0 +1,177 @@
+#include "recovery/write_plan.h"
+
+#include "util/check.h"
+
+namespace fbf::recovery {
+
+const char* to_string(WritePlanKind kind) {
+  switch (kind) {
+    case WritePlanKind::Rmw:
+      return "RMW";
+    case WritePlanKind::Rcw:
+      return "RCW";
+    case WritePlanKind::Direct:
+      return "direct";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Update closure of `target`, in encode order. BFS over "chain contains a
+/// changed cell -> its parity changes": writing the target changes the
+/// parity of every chain through it, and a changed parity re-triggers any
+/// chain holding it as a member (RTP's diagonals over the row-parity
+/// column). Encode order guarantees each chain's changed inputs are
+/// produced before the chain itself is processed.
+std::vector<ParityUpdate> parity_closure(const codes::Layout& layout,
+                                         codes::Cell target,
+                                         const CellPredicate& damaged) {
+  const std::size_t num_cells = static_cast<std::size_t>(layout.num_cells());
+  std::vector<char> affected(num_cells, 0);
+  std::vector<char> chain_hit(layout.chains().size(), 0);
+  std::vector<codes::Cell> queue{target};
+  affected[static_cast<std::size_t>(layout.cell_index(target))] = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const codes::Cell c = queue[head];
+    for (int id : layout.chains_containing(c)) {
+      const codes::Chain& chain = layout.chain(id);
+      if (chain.parity_cell == c) {
+        continue;  // c's own defining chain; c is the output, not an input
+      }
+      chain_hit[static_cast<std::size_t>(id)] = 1;
+      const std::size_t p =
+          static_cast<std::size_t>(layout.cell_index(chain.parity_cell));
+      if (!affected[p]) {
+        affected[p] = 1;
+        queue.push_back(chain.parity_cell);
+      }
+    }
+  }
+  std::vector<ParityUpdate> updates;
+  for (int id : layout.encode_order()) {
+    if (chain_hit[static_cast<std::size_t>(id)]) {
+      const codes::Cell parity = layout.chain(id).parity_cell;
+      updates.push_back(ParityUpdate{id, parity, damaged(parity)});
+    }
+  }
+  return updates;
+}
+
+void add_read(WritePlan& plan, std::vector<char>& seen,
+              const codes::Layout& layout, codes::Cell c,
+              const CellPredicate& cached, const CellPredicate& damaged) {
+  char& mark = seen[static_cast<std::size_t>(layout.cell_index(c))];
+  if (mark) {
+    return;
+  }
+  mark = 1;
+  if (cached(c)) {
+    plan.cache_reads.push_back(c);
+  } else if (damaged(c)) {
+    plan.feasible = false;  // unreadable source, no spare copy yet
+  } else {
+    plan.disk_reads.push_back(c);
+  }
+}
+
+}  // namespace
+
+WritePlan plan_rmw(const codes::Layout& layout, codes::Cell target,
+                   const CellPredicate& cached, const CellPredicate& damaged) {
+  WritePlan plan;
+  plan.target = target;
+  if (layout.kind(target) == codes::CellKind::Parity) {
+    return plan;  // Direct
+  }
+  plan.kind = WritePlanKind::Rmw;
+  plan.updates = parity_closure(layout, target, damaged);
+  if (plan.parity_writes() == 0) {
+    // Every closure parity is damaged: nothing to rewrite, and the deltas
+    // are moot — recovery rebuilds each parity from post-write members.
+    return plan;
+  }
+  std::vector<char> seen(static_cast<std::size_t>(layout.num_cells()), 0);
+  // The delta needs the old target once; a damaged chain needs no parity
+  // read (its delta propagates symbolically, the write is skipped).
+  add_read(plan, seen, layout, target, cached, damaged);
+  for (const ParityUpdate& u : plan.updates) {
+    if (!u.damaged) {
+      add_read(plan, seen, layout, u.parity, cached, damaged);
+    }
+  }
+  return plan;
+}
+
+WritePlan plan_rcw(const codes::Layout& layout, codes::Cell target,
+                   const CellPredicate& cached, const CellPredicate& damaged) {
+  WritePlan plan;
+  plan.target = target;
+  if (layout.kind(target) == codes::CellKind::Parity) {
+    return plan;  // Direct
+  }
+  plan.kind = WritePlanKind::Rcw;
+  plan.updates = parity_closure(layout, target, damaged);
+  const std::size_t num_cells = static_cast<std::size_t>(layout.num_cells());
+  std::vector<char> closure_parity(num_cells, 0);
+  for (const ParityUpdate& u : plan.updates) {
+    closure_parity[static_cast<std::size_t>(layout.cell_index(u.parity))] = 1;
+  }
+  // Backward pass over the encode-ordered closure: a chain's sources are
+  // needed when its parity is actually written, or when its phantom new
+  // value feeds a later closure chain (a damaged parity that another chain
+  // holds as a member must still be *computed*, just not written).
+  std::vector<char> needed(num_cells, 0);
+  std::vector<char> need_chain(plan.updates.size(), 0);
+  for (std::size_t i = plan.updates.size(); i-- > 0;) {
+    const ParityUpdate& u = plan.updates[i];
+    const std::size_t p = static_cast<std::size_t>(layout.cell_index(u.parity));
+    if (!u.damaged || needed[p]) {
+      need_chain[i] = 1;
+      for (const codes::Cell& m : layout.chain(u.chain_id).cells) {
+        if (!(m == u.parity)) {
+          needed[static_cast<std::size_t>(layout.cell_index(m))] = 1;
+        }
+      }
+    }
+  }
+  // Collect the member reads in forward (encode) order: everything except
+  // the target (new bytes in hand) and closure parities (just computed).
+  std::vector<char> seen(num_cells, 0);
+  seen[static_cast<std::size_t>(layout.cell_index(target))] = 1;
+  for (std::size_t i = 0; i < plan.updates.size(); ++i) {
+    if (!need_chain[i]) {
+      continue;
+    }
+    const ParityUpdate& u = plan.updates[i];
+    for (const codes::Cell& m : layout.chain(u.chain_id).cells) {
+      if (!(m == u.parity) &&
+          !closure_parity[static_cast<std::size_t>(layout.cell_index(m))]) {
+        add_read(plan, seen, layout, m, cached, damaged);
+      }
+    }
+  }
+  return plan;
+}
+
+WritePlan plan_partial_stripe_write(const codes::Layout& layout,
+                                    codes::Cell target,
+                                    const CellPredicate& cached,
+                                    const CellPredicate& damaged) {
+  if (layout.kind(target) == codes::CellKind::Parity) {
+    WritePlan plan;
+    plan.target = target;
+    return plan;
+  }
+  WritePlan rmw = plan_rmw(layout, target, cached, damaged);
+  WritePlan rcw = plan_rcw(layout, target, cached, damaged);
+  if (!rcw.feasible) {
+    return rmw;
+  }
+  if (!rmw.feasible) {
+    return rcw;
+  }
+  return rcw.io_count() < rmw.io_count() ? rcw : rmw;
+}
+
+}  // namespace fbf::recovery

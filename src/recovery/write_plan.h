@@ -1,0 +1,104 @@
+// Parity-update planner for partial-stripe writes.
+//
+// Writing one data chunk dirties every parity whose chain contains it —
+// and, in RTP-style layouts whose diagonal chains span the row-parity
+// column, updating a row parity dirties a diagonal parity in turn. The
+// planner computes that transitive *update closure* (ordered by the
+// layout's encode order, so each parity's inputs are produced before it)
+// and prices the two classic update strategies against it:
+//
+//  - Read-modify-write (RMW): read the old target and each live closure
+//    parity, XOR the delta through. Reads = 1 + live parities.
+//  - Reconstruct-write (RCW): recompute each closure parity from the
+//    current values of its other chain members. Reads = the deduped
+//    member set that is not already known (the target's new bytes, other
+//    closure parities' just-computed values).
+//
+// Both strategies skip chains whose parity is damaged and unrepaired: the
+// rebuild regenerates that parity from the members' *current* (post-write)
+// values, so a degraded write stays consistent with zero extra I/O — this
+// replaces the foreground server's old "park on damaged parity" rule.
+// Sources the cache already holds cost no disk read, which is what makes
+// the RMW/RCW choice cache-state-dependent rather than pure geometry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "codes/layout.h"
+
+namespace fbf::recovery {
+
+enum class WritePlanKind : std::uint8_t {
+  Rmw,     ///< delta through old target + old parities
+  Rcw,     ///< recompute parities from the other chain members
+  Direct,  ///< parity-cell target: overwrite in place, no chain updates
+};
+
+const char* to_string(WritePlanKind kind);
+
+/// One closure chain: its parity is rewritten unless `damaged`, in which
+/// case the chain is skipped and recovery regenerates the parity.
+struct ParityUpdate {
+  int chain_id = -1;
+  codes::Cell parity;
+  bool damaged = false;
+};
+
+struct WritePlan {
+  WritePlanKind kind = WritePlanKind::Direct;
+  codes::Cell target;
+  /// Update closure in encode order: every chain whose parity changes
+  /// (transitively) when the target is written.
+  std::vector<ParityUpdate> updates;
+  /// Source chunks read from disk (deduped, deterministic order).
+  std::vector<codes::Cell> disk_reads;
+  /// Source chunks the cache serves (no disk I/O — the planning payoff).
+  std::vector<codes::Cell> cache_reads;
+  /// False when a required source is damaged, unrepaired, and uncached.
+  bool feasible = true;
+
+  int parity_writes() const {
+    int n = 0;
+    for (const ParityUpdate& u : updates) {
+      n += u.damaged ? 0 : 1;
+    }
+    return n;
+  }
+  /// Disk operations the plan costs (cache reads are free).
+  int io_count() const {
+    return static_cast<int>(disk_reads.size()) + parity_writes();
+  }
+  bool degraded() const {
+    for (const ParityUpdate& u : updates) {
+      if (u.damaged) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// `cached(c)` — the buffer cache holds c's current bytes. `damaged(c)` —
+/// c is lost and its stripe not yet repaired (the original sector is
+/// unreadable and the spare copy does not exist yet).
+using CellPredicate = std::function<bool(codes::Cell)>;
+
+/// The two candidate plans, exposed separately so the property test can
+/// assert the chooser never picks the costlier feasible one.
+WritePlan plan_rmw(const codes::Layout& layout, codes::Cell target,
+                   const CellPredicate& cached, const CellPredicate& damaged);
+WritePlan plan_rcw(const codes::Layout& layout, codes::Cell target,
+                   const CellPredicate& cached, const CellPredicate& damaged);
+
+/// Minimum-I/O feasible plan (ties go to RMW, the classic small-write
+/// default). Parity-cell targets get a Direct plan. The caller must park
+/// writes whose target is damaged and uncached before planning; a plan
+/// with feasible == false means no strategy can source its reads.
+WritePlan plan_partial_stripe_write(const codes::Layout& layout,
+                                    codes::Cell target,
+                                    const CellPredicate& cached,
+                                    const CellPredicate& damaged);
+
+}  // namespace fbf::recovery

@@ -286,7 +286,8 @@ SimMetrics DorEngine::run_legacy(
       [&info](std::uint64_t key) {
         const auto it = info.find(key);
         return it != info.end() ? it->second.spare_disk : -1;
-      });
+      },
+      config_.write);
   std::optional<RebuildThrottle> throttle;
   if (config_.throttle.enabled()) {
     throttle.emplace(config_.throttle);
@@ -322,6 +323,7 @@ SimMetrics DorEngine::run_legacy(
       DiskFail,    ///< fault path: whole-disk failure at t (disk = victim)
       AppArrival,  ///< foreground request arrival (key = trace index)
       ThrottledSubmit,  ///< throttle grant due: submit the reader's head read
+      FlushTick,   ///< write path: periodic dirty write-back flush
     } kind;
     std::uint32_t disk;  ///< ReadDone/ReadFailed reader; SpareWriteDone target
     cache::Key key;
@@ -347,6 +349,8 @@ SimMetrics DorEngine::run_legacy(
   for (std::size_t d = 0; d < readers.size(); ++d) {
     queue.reserve(d & kReaderShardMask, 1);
   }
+  const bool flush_ticks_on =
+      foreground.write_path_active() && config_.write.flush_interval_ms > 0.0;
   {
     std::size_t bulk_bound = tasks.size() + app_trace.size();
     if (fault_plan.has_value()) {
@@ -360,6 +364,9 @@ SimMetrics DorEngine::run_legacy(
           config_.faults.transient_rate > 0.0) {
         bulk_bound += 1024;  // replan slab: re-recovered chunks
       }
+    }
+    if (flush_ticks_on) {
+      bulk_bound += 1;  // at most one flush tick in flight
     }
     queue.reserve(bulk_shard, bulk_bound);
   }
@@ -510,6 +517,7 @@ SimMetrics DorEngine::run_legacy(
       const double write_done = disks[d].submit_write(
           xor_done, geometry_->spare_lba_of(task.stripe, target));
       ++metrics.disk_writes;
+      ++metrics.write.spare_writes;
       ++metrics.chunks_recovered;
       obs::trace_span(config_.observer, obs::TraceLevel::Phases,
                       obs::kPidDisks, static_cast<std::uint32_t>(d),
@@ -749,13 +757,20 @@ SimMetrics DorEngine::run_legacy(
                Event{app_trace[i].arrival_ms, seq++, Event::Kind::AppArrival,
                      0, static_cast<cache::Key>(i)});
   }
+  if (flush_ticks_on) {
+    queue.push(bulk_shard, Event{config_.write.flush_interval_ms, seq++,
+                                 Event::Kind::FlushTick, 0, 0});
+  }
+  double last_event_ms = 0.0;
   while (!queue.empty()) {
     const Event ev = queue.pop();
     ++metrics.engine_events;
+    last_event_ms = std::max(last_event_ms, ev.t);
     if (ev.kind != Event::Kind::DiskFail &&
-        ev.kind != Event::Kind::AppArrival) {
-      // A failure or an app arrival alone does not extend reconstruction;
-      // only the rebuild work it triggers does.
+        ev.kind != Event::Kind::AppArrival &&
+        ev.kind != Event::Kind::FlushTick) {
+      // A failure, an app arrival, or a flush tick alone does not extend
+      // reconstruction; only the rebuild work it triggers does.
       makespan = std::max(makespan, ev.t);
     }
     switch (ev.kind) {
@@ -807,6 +822,7 @@ SimMetrics DorEngine::run_legacy(
       case Event::Kind::DiskFail: {
         ++metrics.fault.disk_failures;
         const int failed = static_cast<int>(ev.disk);
+        foreground.on_disk_failed(failed, ev.t);
         // Deterministic spare invalidation (DESIGN.md §11's former gap):
         // every spare copy on the failed disk dies with it — whatever
         // column its home was — not just the failed column's cells.
@@ -873,11 +889,22 @@ SimMetrics DorEngine::run_legacy(
       case Event::Kind::ThrottledSubmit:
         submit_planned(ev.disk, readers[ev.disk].requested_at, ev.t);
         break;
+      case Event::Kind::FlushTick:
+        foreground.on_flush_tick(ev.t);
+        // Re-arm while other events remain; a tick never keeps itself
+        // alive.
+        if (!queue.empty()) {
+          queue.push(bulk_shard,
+                     Event{ev.t + config_.write.flush_interval_ms, seq++,
+                           Event::Kind::FlushTick, 0, 0});
+        }
+        break;
     }
   }
   FBF_CHECK(tasks_done == tasks.size(),
             "DOR finished with incomplete chains — dependency deadlock");
   metrics.event_queue_regrowths = queue.regrowths();
+  foreground.finalize(last_event_ms);
   foreground.assert_drained();
 
   metrics.reconstruction_ms = makespan;
@@ -1463,7 +1490,8 @@ SimMetrics DorEngine::run_fast(
       [&key_map, &chunks](std::uint64_t key) {
         const std::uint32_t id = key_map.find(key);
         return id != kNoId ? chunks[id].spare_disk : -1;
-      });
+      },
+      config_.write);
   std::optional<RebuildThrottle> throttle;
   if (config_.throttle.enabled()) {
     throttle.emplace(config_.throttle);
@@ -1491,6 +1519,7 @@ SimMetrics DorEngine::run_fast(
       DiskFail,
       AppArrival,
       ThrottledSubmit,
+      FlushTick,
     } kind;
     std::uint32_t disk;
     std::uint32_t id;
@@ -1511,6 +1540,8 @@ SimMetrics DorEngine::run_fast(
   for (std::size_t d = 0; d < readers.size(); ++d) {
     queue.reserve(d & kReaderShardMask, 1);
   }
+  const bool flush_ticks_on =
+      foreground.write_path_active() && config_.write.flush_interval_ms > 0.0;
   {
     std::size_t bulk_bound = tasks.size() + app_trace.size();
     if (fault_plan.has_value()) {
@@ -1524,6 +1555,9 @@ SimMetrics DorEngine::run_fast(
           config_.faults.transient_rate > 0.0) {
         bulk_bound += 1024;  // replan slab: re-recovered chunks
       }
+    }
+    if (flush_ticks_on) {
+      bulk_bound += 1;  // at most one FlushTick is pending at a time
     }
     queue.reserve(bulk_shard, bulk_bound);
   }
@@ -1791,6 +1825,7 @@ SimMetrics DorEngine::run_fast(
       const double write_done = disks[d].submit_write(
           xor_done, geometry_->spare_lba_of(task.stripe, target));
       ++metrics.disk_writes;
+      ++metrics.write.spare_writes;
       ++metrics.chunks_recovered;
       obs::trace_span(config_.observer, obs::TraceLevel::Phases,
                       obs::kPidDisks, static_cast<std::uint32_t>(d),
@@ -2058,6 +2093,11 @@ SimMetrics DorEngine::run_fast(
                Event{app_trace[i].arrival_ms, seq++, Event::Kind::AppArrival,
                      0, static_cast<std::uint32_t>(i)});
   }
+  if (flush_ticks_on) {
+    queue.push(bulk_shard, Event{config_.write.flush_interval_ms, seq++,
+                                 Event::Kind::FlushTick, 0, 0});
+  }
+  double last_event_ms = 0.0;
   Event ev{};
   bool carried = false;  // ev holds an elided event from the previous round
   while (carried || !queue.empty()) {
@@ -2078,8 +2118,12 @@ SimMetrics DorEngine::run_fast(
       }
     }
     ++metrics.engine_events;  // elided events count: same processing stream
+    last_event_ms = std::max(last_event_ms, ev.t);
     if (ev.kind != Event::Kind::DiskFail &&
-        ev.kind != Event::Kind::AppArrival) {
+        ev.kind != Event::Kind::AppArrival &&
+        ev.kind != Event::Kind::FlushTick) {
+      // A failure, an app arrival, or a flush tick alone does not extend
+      // reconstruction; only the rebuild work it triggers does.
       makespan = std::max(makespan, ev.t);
     }
     switch (ev.kind) {
@@ -2136,6 +2180,7 @@ SimMetrics DorEngine::run_fast(
       case Event::Kind::DiskFail: {
         ++metrics.fault.disk_failures;
         const int failed = static_cast<int>(ev.disk);
+        foreground.on_disk_failed(failed, ev.t);
         // Deterministic spare invalidation (DESIGN.md §11's former gap):
         // every spare copy on the failed disk dies with it — whatever
         // column its home was — not just the failed column's cells. The
@@ -2205,6 +2250,17 @@ SimMetrics DorEngine::run_fast(
         submit_planned(ev.disk, readers[ev.disk].requested_at, ev.t);
         inline_disk = -1;
         break;
+      case Event::Kind::FlushTick:
+        // Any elided read has been pushed back before a tick can pop (a
+        // carried event is always processed first), so the queue.empty()
+        // re-arm check sees the same state as the legacy loop.
+        foreground.on_flush_tick(ev.t);
+        if (!queue.empty()) {
+          queue.push(bulk_shard,
+                     Event{ev.t + config_.write.flush_interval_ms, seq++,
+                           Event::Kind::FlushTick, 0, 0});
+        }
+        break;
     }
     if (have_inline) {
       have_inline = false;
@@ -2242,6 +2298,7 @@ SimMetrics DorEngine::run_fast(
   FBF_CHECK(tasks_done == tasks.size(),
             "DOR finished with incomplete chains — dependency deadlock");
   metrics.event_queue_regrowths = queue.regrowths();
+  foreground.finalize(last_event_ms);
   foreground.assert_drained();
   flush_installs();  // trailing deliveries reach the cache before export
   if (verify_on) {

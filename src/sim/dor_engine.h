@@ -66,6 +66,12 @@ struct DorConfig {
   /// engine).
   ThrottleConfig throttle;
 
+  /// Foreground write path (sim/foreground.h): parity-update planner +
+  /// dirty write-back cache. Disabled by default (byte-identical to the
+  /// legacy synchronous-RMW engine). Both loops wire it identically, so
+  /// the legacy/fast byte-identity contract covers the write path too.
+  WritePathConfig write;
+
   /// Escape hatch: run the pre-coalescing one-event-per-read loop instead
   /// of the service-cursor fast path. The two paths are byte-identical by
   /// contract (CI diffs their CSVs and metrics); this exists so the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "recovery/write_plan.h"
 #include "util/check.h"
 
 namespace fbf::sim {
@@ -38,19 +39,26 @@ ForegroundServer::ForegroundServer(
     std::vector<Disk>& disks, const std::vector<workload::StripeError>& errors,
     const std::vector<workload::AppRequest>& trace, SimMetrics& metrics,
     FaultInjector* app_injector,
-    std::function<int(std::uint64_t)> spare_disk_override)
+    std::function<int(std::uint64_t)> spare_disk_override,
+    const WritePathConfig& write_config)
     : layout_(&layout),
       geometry_(&geometry),
       disks_(&disks),
       trace_(&trace),
       metrics_(&metrics),
       injector_(app_injector),
-      spare_disk_override_(std::move(spare_disk_override)) {
+      spare_disk_override_(std::move(spare_disk_override)),
+      write_config_(write_config) {
   // The damage indexes exist to classify app I/O; with no trace nothing
   // ever consults them, and building them costs two hash-set inserts per
   // lost chunk — measurable against a recovery-only macro bench.
   if (trace.empty()) {
     return;
+  }
+  if (write_config_.enabled()) {
+    write_cache_ =
+        cache::make_policy(write_config_.policy, write_config_.cache_chunks);
+    metrics_->write.enabled = true;
   }
   for (const workload::StripeError& e : errors) {
     damaged_stripes_.insert(e.stripe);
@@ -88,11 +96,14 @@ bool ForegroundServer::stripe_under_repair(std::uint64_t stripe) const {
 
 bool ForegroundServer::must_park(const workload::AppRequest& req) const {
   if (damaged_unrepaired(req.stripe, req.cell)) {
-    return true;  // reads: data gone; writes: RMW cannot read its target
+    return true;  // reads: data gone; writes: nowhere to land the data
   }
-  if (!req.is_read && layout_->kind(req.cell) == codes::CellKind::Data) {
-    // Damaged-parity rule: the RMW must read every parity on a chain
-    // through the cell; an unreadable parity parks the write too.
+  if (!req.is_read && !write_path_active() &&
+      layout_->kind(req.cell) == codes::CellKind::Data) {
+    // Legacy damaged-parity rule: the RMW must read every parity on a
+    // chain through the cell; an unreadable parity parks the write too.
+    // The planner path replaces this with a degraded plan that skips the
+    // damaged chain (serve_write_planned parks only infeasible plans).
     for (int chain_id : layout_->chains_containing(req.cell)) {
       if (damaged_unrepaired(req.stripe,
                              layout_->chain(chain_id).parity_cell)) {
@@ -145,6 +156,16 @@ double ForegroundServer::reconstruct_read(const workload::AppRequest& req,
 bool ForegroundServer::serve_read(const workload::AppRequest& req,
                                   double start, double arrival) {
   const std::uint64_t key = geometry_->chunk_key(req.stripe, req.cell);
+  if (write_path_active() && write_cache_->contains(key)) {
+    // Write-allocate only: reads never populate the cache, but a resident
+    // line (dirty or clean) serves them at RAM cost. request() is called
+    // only on the contains() hit, so the miss path never admits the key.
+    write_cache_->request(key, write_priority(req.stripe));
+    ++metrics_->write.app_read_hits;
+    drain_evicted(start);
+    finish(start + write_config_.cache_access_ms, arrival, req.deadline_ms);
+    return true;
+  }
   const Location loc = locate(req.stripe, req.cell);
   Disk& disk = (*disks_)[static_cast<std::size_t>(loc.disk)];
   double done;
@@ -169,8 +190,17 @@ bool ForegroundServer::serve_read(const workload::AppRequest& req,
   return true;
 }
 
-void ForegroundServer::serve_write(const workload::AppRequest& req,
+bool ForegroundServer::serve_write(const workload::AppRequest& req,
                                    double start, double arrival) {
+  if (write_path_active()) {
+    return serve_write_planned(req, start, arrival);
+  }
+  serve_write_legacy(req, start, arrival);
+  return true;
+}
+
+void ForegroundServer::serve_write_legacy(const workload::AppRequest& req,
+                                          double start, double arrival) {
   // Read-modify-write: the target plus every parity on a chain through
   // this cell is re-read and rewritten — the code's update complexity,
   // paid in disk time (TIP-style layouts: <= 3 parities; STAR adjuster
@@ -201,6 +231,160 @@ void ForegroundServer::serve_write(const workload::AppRequest& req,
   finish(done, arrival, req.deadline_ms);
 }
 
+bool ForegroundServer::serve_write_planned(const workload::AppRequest& req,
+                                           double start, double arrival) {
+  WritePathStats& ws = metrics_->write;
+  const auto cached = [this, &req](codes::Cell c) {
+    return write_cache_->contains(geometry_->chunk_key(req.stripe, c));
+  };
+  const auto damaged = [this, &req](codes::Cell c) {
+    return damaged_unrepaired(req.stripe, c);
+  };
+  const recovery::WritePlan plan =
+      recovery::plan_partial_stripe_write(*layout_, req.cell, cached, damaged);
+  if (!plan.feasible) {
+    return false;  // a needed source is damaged and uncached: caller parks
+  }
+  switch (plan.kind) {
+    case recovery::WritePlanKind::Rmw:
+      ++ws.rmw_plans;
+      break;
+    case recovery::WritePlanKind::Rcw:
+      ++ws.rcw_plans;
+      break;
+    case recovery::WritePlanKind::Direct:
+      ++ws.direct_plans;
+      break;
+  }
+  if (plan.degraded()) {
+    ++ws.degraded_plans;  // served inline; legacy would have parked
+  }
+  const int priority = write_priority(req.stripe);
+  // Source reads run in parallel: cached sources at RAM cost (touched so
+  // hot sources stay resident), the rest from disk via locate().
+  double reads_done = start;
+  if (!plan.cache_reads.empty()) {
+    reads_done = start + write_config_.cache_access_ms;
+    for (const codes::Cell& c : plan.cache_reads) {
+      write_cache_->request(geometry_->chunk_key(req.stripe, c), priority);
+      ++ws.plan_cache_reads;
+    }
+  }
+  for (const codes::Cell& c : plan.disk_reads) {
+    const Location loc = locate(req.stripe, c);
+    reads_done = std::max(
+        reads_done, (*disks_)[static_cast<std::size_t>(loc.disk)].submit_read(
+                        start, loc.lba));
+    ++ws.plan_disk_reads;
+  }
+  // Parity updates are synchronous (the stripe must be consistent before
+  // the write completes); damaged chains are skipped — recovery will
+  // regenerate their parity from the members' current values.
+  double done = reads_done;
+  for (const recovery::ParityUpdate& u : plan.updates) {
+    if (u.damaged) {
+      continue;
+    }
+    const Location loc = locate(req.stripe, u.parity);
+    done = std::max(done,
+                    (*disks_)[static_cast<std::size_t>(loc.disk)].submit_write(
+                        reads_done, loc.lba));
+    ++ws.parity_updates;
+    ++metrics_->disk_writes;
+  }
+  // The target's own data write is deferred: write-allocate a dirty line
+  // (favorable priority while the stripe is under repair) and let the
+  // flush machinery pay the disk write later.
+  write_cache_->write(geometry_->chunk_key(req.stripe, req.cell), priority);
+  done = std::max(done, reads_done + write_config_.cache_access_ms);
+  drain_evicted(start);  // eviction-triggered write-backs, fire-and-forget
+  finish(done, arrival, req.deadline_ms);
+  return true;
+}
+
+void ForegroundServer::write_back(cache::Key key, double now) {
+  const auto cells = static_cast<std::uint64_t>(layout_->num_cells());
+  const std::uint64_t stripe = key / cells;
+  const codes::Cell cell = layout_->cell_at(static_cast<int>(key % cells));
+  const Location loc = locate(stripe, cell);
+  (*disks_)[static_cast<std::size_t>(loc.disk)].submit_write(now, loc.lba);
+  ++metrics_->write.write_backs;
+  ++metrics_->disk_writes;
+}
+
+void ForegroundServer::drain_evicted(double now) {
+  dirty_scratch_.clear();
+  write_cache_->take_evicted_dirty(dirty_scratch_);
+  for (const cache::core::DirtyLine& line : dirty_scratch_) {
+    ++metrics_->write.flushed;
+    write_back(line.key, now);
+  }
+}
+
+void ForegroundServer::on_flush_tick(double now) {
+  if (!write_path_active()) {
+    return;
+  }
+  ++metrics_->write.flush_ticks;
+  drain_evicted(now);
+  const std::size_t resident_dirty = write_cache_->dirty_count();
+  dirty_scratch_.clear();
+  write_cache_->flush_dirty(dirty_scratch_,
+                            write_config_.retain_favorable ? 2 : 0);
+  metrics_->write.retained_dirty +=
+      resident_dirty - dirty_scratch_.size();  // favorable lines kept
+  for (const cache::core::DirtyLine& line : dirty_scratch_) {
+    ++metrics_->write.flushed;
+    write_back(line.key, now);
+  }
+}
+
+void ForegroundServer::on_disk_failed(int disk, double now) {
+  if (!write_path_active()) {
+    return;
+  }
+  // Pending evicted lines left the cache before the failure; their
+  // write-backs were already owed. Flush them first (take-before-
+  // invalidate, per the CachePolicy contract), then drop resident dirty
+  // lines whose write-back target died with the disk.
+  drain_evicted(now);
+  const auto cells = static_cast<std::uint64_t>(layout_->num_cells());
+  for (const cache::core::DirtyLine& line : write_cache_->dirty_lines()) {
+    const std::uint64_t stripe = line.key / cells;
+    const codes::Cell cell =
+        layout_->cell_at(static_cast<int>(line.key % cells));
+    if (locate(stripe, cell).disk != disk) {
+      continue;
+    }
+    const bool was_dirty = write_cache_->invalidate_dirty(line.key);
+    FBF_CHECK(was_dirty, "dirty snapshot listed a clean line");
+    ++metrics_->write.lost_dirty;
+  }
+}
+
+void ForegroundServer::finalize(double now) {
+  if (!write_path_active()) {
+    return;
+  }
+  // Terminal flush: favorable retention does not apply — every dirty line
+  // must reach disk before the run's books close.
+  drain_evicted(now);
+  dirty_scratch_.clear();
+  write_cache_->flush_dirty(dirty_scratch_, 0);
+  for (const cache::core::DirtyLine& line : dirty_scratch_) {
+    ++metrics_->write.flushed;
+    write_back(line.key, now);
+  }
+  FBF_CHECK(write_cache_->dirty_count() == 0,
+            "dirty lines survived the terminal flush");
+  const cache::WriteStats& cs = write_cache_->write_stats();
+  WritePathStats& ws = metrics_->write;
+  ws.write_hits = cs.write_hits;
+  ws.write_misses = cs.write_misses;
+  ws.dirty_installed = cs.dirty_installed;
+  ws.evicted_dirty = cs.evicted_dirty;
+}
+
 void ForegroundServer::on_arrival(std::size_t index, double now) {
   const workload::AppRequest& req = (*trace_)[index];
   ++metrics_->app_requests;
@@ -214,7 +398,12 @@ void ForegroundServer::on_arrival(std::size_t index, double now) {
       return;
     }
   } else {
-    serve_write(req, now, now);
+    if (!serve_write(req, now, now)) {
+      // Planner found no feasible source set (damaged + uncached): a
+      // degraded write that even the degraded plan cannot serve.
+      park(index, now, /*is_read=*/false);
+      return;
+    }
   }
   ++metrics_->app_served;
 }
@@ -235,7 +424,10 @@ void ForegroundServer::on_stripe_recovered(std::uint64_t stripe, double now) {
       const bool served = serve_read(req, now, p.arrival_ms);
       FBF_CHECK(served, "drained degraded read parked again");
     } else {
-      serve_write(req, now, p.arrival_ms);
+      // Post-repair every cell of this stripe is live, so a fresh plan is
+      // always feasible.
+      const bool served = serve_write(req, now, p.arrival_ms);
+      FBF_CHECK(served, "drained degraded write parked again");
     }
   }
   parked_count_ -= it->second.size();

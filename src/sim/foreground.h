@@ -13,6 +13,20 @@
 //    those parity cells is damaged and unrepaired, the RMW has no valid
 //    sources, so the write parks alongside degraded reads
 //    (app_degraded_writes) and drains on stripe recovery.
+//  - With the write path enabled (WritePathConfig::cache_chunks > 0) the
+//    legacy RMW is replaced end to end: each write runs through the
+//    parity-update planner (recovery/write_plan.h), which picks RMW or RCW
+//    by minimum disk I/O given what the write-back cache already holds,
+//    pays the planned source reads and parity updates synchronously, and
+//    defers the target's own data write as a dirty cache line. Dirty lines
+//    reach disk on eviction, on periodic flush ticks (the engines schedule
+//    them), and at the terminal flush; favorable lines — blocks of stripes
+//    under repair, dictionary priority 3 — are retained across periodic
+//    flushes when retain_favorable is set, so recovery reads keep hitting
+//    them. Chains whose parity is damaged are skipped (the rebuild
+//    regenerates the parity), which turns the legacy "park on damaged
+//    parity" rule into a served degraded write; only a damaged target, or
+//    a plan whose sources are damaged and uncached, still parks.
 //  - Once a damaged chunk is repaired, *all* its I/O — reads, RMW data
 //    and parity accesses — is remapped to the spare location; the original
 //    sector is dead and never touched again.
@@ -34,6 +48,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include <memory>
+
+#include "cache/policy.h"
 #include "codes/layout.h"
 #include "sim/array_geometry.h"
 #include "sim/disk.h"
@@ -53,6 +70,23 @@ struct ThrottleConfig {
   int burst = 16;                      ///< bucket depth (allowed burst)
 
   bool enabled() const { return rebuild_reads_per_sec > 0.0; }
+};
+
+/// Foreground write-back cache configuration. Disabled by default
+/// (cache_chunks == 0), which keeps every run byte-identical to builds
+/// that predate the write path: writes take the legacy synchronous RMW,
+/// no flush events are scheduled, and no write metrics are exported.
+struct WritePathConfig {
+  std::size_t cache_chunks = 0;     ///< write-back cache capacity; 0 = off
+  double flush_interval_ms = 50.0;  ///< periodic dirty flush; <= 0 disables
+  /// Retain favorable dirty lines (dictionary priority >= 2: their stripe
+  /// was under repair at write time) across periodic flushes — the FBF
+  /// write-back policy. The terminal flush always drains everything.
+  bool retain_favorable = true;
+  cache::PolicyId policy = cache::PolicyId::Fbf;
+  double cache_access_ms = 0.5;     ///< same controller-RAM cost as reads
+
+  bool enabled() const { return cache_chunks > 0; }
 };
 
 /// Deterministic token bucket over simulated time. acquire() must be
@@ -87,15 +121,39 @@ class ForegroundServer {
   /// Pass nullptr when no fault path is active. `app_injector` may be
   /// null (fault-free); it must be a *separate* injector instance from the
   /// rebuild one so app retries never enter the rebuild conservation laws.
+  /// `write_config` enables the planner + write-back path when
+  /// write_config.enabled() and the trace is non-empty; otherwise writes
+  /// take the legacy synchronous RMW and the server carries no cache.
   ForegroundServer(const codes::Layout& layout, const ArrayGeometry& geometry,
                    std::vector<Disk>& disks,
                    const std::vector<workload::StripeError>& errors,
                    const std::vector<workload::AppRequest>& trace,
                    SimMetrics& metrics, FaultInjector* app_injector,
-                   std::function<int(std::uint64_t key)> spare_disk_override);
+                   std::function<int(std::uint64_t key)> spare_disk_override,
+                   const WritePathConfig& write_config = {});
 
   /// Handles the arrival of trace[index] at simulated time `now`.
   void on_arrival(std::size_t index, double now);
+
+  /// True when the write-back cache is live for this run (write path
+  /// configured AND the trace is non-empty). Engines gate flush-tick
+  /// scheduling on this.
+  bool write_path_active() const { return write_cache_ != nullptr; }
+
+  /// Periodic flush: drains dirty lines (favorable ones retained when
+  /// configured) and submits their write-backs at `now`.
+  void on_flush_tick(double now);
+
+  /// A whole-disk failure at `now`: dirty lines whose write-back target
+  /// sat on the dead disk are dropped (lost_dirty) — the rebuild will
+  /// regenerate those chunks from parity. The cache itself is controller
+  /// RAM and survives; only lines with nowhere left to land are lost.
+  void on_disk_failed(int disk, double now);
+
+  /// Terminal flush at end of run: every remaining dirty line (favorable
+  /// included) is written back at `now`, and the cache-side write counters
+  /// are folded into the run metrics. Call before assert_drained().
+  void finalize(double now);
 
   /// Releases requests parked on `stripe`; call when its recovery (the
   /// traced losses) completes. Idempotent per stripe.
@@ -131,8 +189,26 @@ class ForegroundServer {
   /// while its stripe is still under repair (caller parks the request).
   bool serve_read(const workload::AppRequest& req, double start,
                   double arrival);
-  void serve_write(const workload::AppRequest& req, double start,
+  /// Serves a write starting at `start`; false means the planner found no
+  /// feasible source set (damaged + uncached), so the caller parks. The
+  /// legacy path always serves.
+  bool serve_write(const workload::AppRequest& req, double start,
                    double arrival);
+  /// Planner-driven write (write path active): synchronous source reads
+  /// and parity updates, target deferred as a dirty line.
+  bool serve_write_planned(const workload::AppRequest& req, double start,
+                           double arrival);
+  void serve_write_legacy(const workload::AppRequest& req, double start,
+                          double arrival);
+  /// Submits the deferred data write of one dirty line at `now`.
+  void write_back(cache::Key key, double now);
+  /// Write-backs for lines the cache evicted since the last drain.
+  void drain_evicted(double now);
+  /// Dictionary priority for a chunk of `stripe`: favorable (3) while the
+  /// stripe is under repair — its blocks feed recovery — else 1.
+  int write_priority(std::uint64_t stripe) const {
+    return stripe_under_repair(stripe) ? 3 : 1;
+  }
   /// Fault fallback: rebuilds the unreadable target from the survivors of
   /// one chain through it (plain reads — a single-level reconstruction).
   double reconstruct_read(const workload::AppRequest& req, double start);
@@ -145,6 +221,13 @@ class ForegroundServer {
   SimMetrics* metrics_;
   FaultInjector* injector_;
   std::function<int(std::uint64_t)> spare_disk_override_;
+
+  WritePathConfig write_config_;
+  /// Write-back cache; null unless the write path is active. Lives here —
+  /// not in the engines — so both engines share one implementation and the
+  /// recovery caches stay read-only.
+  std::unique_ptr<cache::CachePolicy> write_cache_;
+  std::vector<cache::core::DirtyLine> dirty_scratch_;
 
   std::unordered_set<std::uint64_t> damaged_keys_;
   std::unordered_set<std::uint64_t> damaged_stripes_;

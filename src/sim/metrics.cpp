@@ -61,6 +61,31 @@ void record_run(obs::RunObserver* obs, const std::string& label,
                       m.app_reconstructed_reads);
     }
   }
+  if (m.write.enabled) {
+    // Only runs with the write-back cache configured export these (incl.
+    // run.write.spare_writes, though the counter itself is live on every
+    // run): write-free metrics documents stay byte-identical to builds
+    // that predate the write path.
+    reg.add_counter("run.write.runs", 1);
+    reg.add_counter("run.write.spare_writes", m.write.spare_writes);
+    reg.add_counter("run.write.rmw_plans", m.write.rmw_plans);
+    reg.add_counter("run.write.rcw_plans", m.write.rcw_plans);
+    reg.add_counter("run.write.direct_plans", m.write.direct_plans);
+    reg.add_counter("run.write.degraded_plans", m.write.degraded_plans);
+    reg.add_counter("run.write.plan_disk_reads", m.write.plan_disk_reads);
+    reg.add_counter("run.write.plan_cache_reads", m.write.plan_cache_reads);
+    reg.add_counter("run.write.app_read_hits", m.write.app_read_hits);
+    reg.add_counter("run.write.parity_updates", m.write.parity_updates);
+    reg.add_counter("run.write.dirty_installed", m.write.dirty_installed);
+    reg.add_counter("run.write.flushed", m.write.flushed);
+    reg.add_counter("run.write.write_backs", m.write.write_backs);
+    reg.add_counter("run.write.lost_dirty", m.write.lost_dirty);
+    reg.add_counter("run.write.evicted_dirty", m.write.evicted_dirty);
+    reg.add_counter("run.write.retained_dirty", m.write.retained_dirty);
+    reg.add_counter("run.write.flush_ticks", m.write.flush_ticks);
+    reg.add_counter("run.write.write_hits", m.write.write_hits);
+    reg.add_counter("run.write.write_misses", m.write.write_misses);
+  }
   if (m.fault.enabled) {
     // Only fault-injected runs export these: the no-fault metrics document
     // must stay byte-identical to builds that predate the fault layer.

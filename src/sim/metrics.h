@@ -44,6 +44,48 @@ struct FaultStats {
   std::uint64_t straggler_disks = 0;    ///< disks running with a service multiplier
 };
 
+/// Counters from the foreground write path (sim/foreground.h): the parity
+/// -update planner, the dirty write-back cache, and the flush machinery.
+/// All zero — and `enabled` false — when the write path is off, where the
+/// export and the conservation laws reduce to their legacy forms.
+struct WritePathStats {
+  /// True when the run executed with a write-back cache configured. Gates
+  /// the `run.write.*` export so write-free metrics JSON is byte-identical
+  /// to builds that predate the write path.
+  bool enabled = false;
+
+  /// Recovery spare-area writes. Counted on every engine regardless of
+  /// `enabled` (it is the legacy meaning of disk_writes) so the law
+  /// disk_writes == spare_writes + write_backs + parity_updates holds on
+  /// both the legacy and the write-back path, and
+  /// spare_writes == chunks_recovered always.
+  std::uint64_t spare_writes = 0;
+
+  std::uint64_t rmw_plans = 0;      ///< writes served read-modify-write
+  std::uint64_t rcw_plans = 0;      ///< writes served reconstruct-write
+  std::uint64_t direct_plans = 0;   ///< parity-cell overwrites (no chains)
+  /// Plans that skipped at least one damaged parity chain (degraded
+  /// writes served inline instead of parking).
+  std::uint64_t degraded_plans = 0;
+  std::uint64_t plan_disk_reads = 0;   ///< planner source reads from disk
+  std::uint64_t plan_cache_reads = 0;  ///< planner sources served by cache
+  std::uint64_t app_read_hits = 0;     ///< app reads served from the cache
+  std::uint64_t parity_updates = 0;    ///< parity chunks rewritten on disk
+
+  // Dirty-line life cycle. Conservation laws (validate.h):
+  //   dirty_installed == flushed + lost_dirty   (end of run)
+  //   flushed == write_backs
+  std::uint64_t dirty_installed = 0;  ///< clean->dirty transitions
+  std::uint64_t flushed = 0;          ///< dirty lines drained for write-back
+  std::uint64_t write_backs = 0;      ///< deferred target writes hitting disk
+  std::uint64_t lost_dirty = 0;       ///< dirty lines lost with a dead disk
+  std::uint64_t evicted_dirty = 0;    ///< dirty lines evicted (write-back)
+  std::uint64_t retained_dirty = 0;   ///< favorable lines kept at a flush
+  std::uint64_t flush_ticks = 0;      ///< periodic flush events fired
+  std::uint64_t write_hits = 0;       ///< write() found the line resident
+  std::uint64_t write_misses = 0;     ///< write() allocated the line
+};
+
 struct SimMetrics {
   // Metric 1: cache hit ratio during reconstruction.
   cache::CacheStats cache;
@@ -109,6 +151,10 @@ struct SimMetrics {
   // Fault-injection accounting (zeroed/disabled unless the run carried a
   // fault plan); see sim/faults/faults.h.
   FaultStats fault;
+
+  // Foreground write path (planner + dirty write-back cache); spare_writes
+  // is live on every run, the rest only when the write path is enabled.
+  WritePathStats write;
 
   // Engine-core instrumentation. Deliberately NOT exported by record_run:
   // the metrics JSON must stay byte-identical across event-queue

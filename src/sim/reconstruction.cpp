@@ -621,6 +621,7 @@ std::optional<double> ReconstructionEngine::advance(Worker& w, double now,
     const double write_done = disk.submit_write(
         xor_done, geometry_->spare_lba_of(w.stripe, op.cell));
     ++metrics.disk_writes;
+    ++metrics.write.spare_writes;
     ++metrics.chunks_recovered;
     obs::trace_span(config_.observer, obs::TraceLevel::Phases, obs::kPidDisks,
                     static_cast<std::uint32_t>(spare_disk), "spare_write",
@@ -716,7 +717,8 @@ __attribute__((hot)) SimMetrics ReconstructionEngine::run(
               const auto it = spared_on_.find(key);
               return it == spared_on_.end() ? -1 : it->second;
             })
-          : nullptr);
+          : nullptr,
+      config_.write);
   on_stripe_recovered_ = [&](std::uint64_t stripe, double now) {
     foreground.on_stripe_recovered(stripe, now);
   };
@@ -736,16 +738,20 @@ __attribute__((hot)) SimMetrics ReconstructionEngine::run(
     }
   };
   // Disk-failure events use ids at the bottom of the int range, below the
-  // ~i encoding of any realistic app trace.
+  // ~i encoding of any realistic app trace; the periodic flush tick takes
+  // the next id above them.
   constexpr int kFailBase = std::numeric_limits<int>::min();
   int num_disk_failures = 0;
   if (has_disk_failures) {
     num_disk_failures = static_cast<int>(fault_plan_->disk_failures().size());
-    FBF_CHECK(app_trace.size() <=
-                  static_cast<std::size_t>(std::numeric_limits<int>::max()) -
-                      static_cast<std::size_t>(num_disk_failures),
-              "app trace too large to coexist with disk-failure events");
   }
+  const bool flush_ticks_on =
+      foreground.write_path_active() && config_.write.flush_interval_ms > 0.0;
+  const int kFlushId = kFailBase + num_disk_failures;
+  FBF_CHECK(app_trace.size() <=
+                static_cast<std::size_t>(std::numeric_limits<int>::max()) -
+                    static_cast<std::size_t>(num_disk_failures) - 1,
+            "app trace too large to coexist with disk-failure events");
   // Workers fold onto 16 shards (event_pending caps each worker at a
   // single entry, so a shard holds at most ceil(workers/16) events) plus
   // a bulk shard for app arrivals and disk failures. Sixteen keeps the
@@ -761,8 +767,11 @@ __attribute__((hot)) SimMetrics ReconstructionEngine::run(
   for (std::size_t s = 0; s < workers.size(); ++s) {
     queue.reserve(s & kWorkerShardMask, 1);
   }
+  // One extra bulk slot for the flush tick: at most one is in flight (each
+  // tick pops before arming the next).
   queue.reserve(kBulkShard, app_trace.size() +
-                                static_cast<std::size_t>(num_disk_failures));
+                                static_cast<std::size_t>(num_disk_failures) +
+                                (flush_ticks_on ? 1 : 0));
   const auto push_event = [&queue](Event ev) {
     queue.push(ev.worker >= 0
                    ? static_cast<std::size_t>(ev.worker) & kWorkerShardMask
@@ -786,11 +795,25 @@ __attribute__((hot)) SimMetrics ReconstructionEngine::run(
                 kFailBase + k, seq++});
     }
   }
+  if (flush_ticks_on) {
+    push_event(Event{config_.write.flush_interval_ms, kFlushId, seq++});
+  }
 
   double makespan = 0.0;
+  double last_event_ms = 0.0;
   while (!queue.empty()) {
     const Event ev = queue.pop();
     ++metrics.engine_events;
+    last_event_ms = std::max(last_event_ms, ev.t);
+    if (ev.worker == kFlushId && flush_ticks_on) {
+      foreground.on_flush_tick(ev.t);
+      // Re-arm while other events remain; a tick never keeps itself alive.
+      if (!queue.empty()) {
+        push_event(
+            Event{ev.t + config_.write.flush_interval_ms, kFlushId, seq++});
+      }
+      continue;
+    }
     if (ev.worker < kFailBase + num_disk_failures) {
       // Whole-disk failure: every traced stripe gains the failed disk's
       // column as fresh losses, processed as a synthetic error by the
@@ -798,6 +821,7 @@ __attribute__((hot)) SimMetrics ReconstructionEngine::run(
       const DiskFailure& failure = fault_plan_->disk_failures()
           [static_cast<std::size_t>(ev.worker - kFailBase)];
       ++metrics.fault.disk_failures;
+      foreground.on_disk_failed(failure.disk, ev.t);
       // Spare copies living on the failed disk die with it. Queue each for
       // deterministic re-recovery by its stripe's escalation pass instead
       // of waiting for a later read to trip on the dead disk (DESIGN.md
@@ -864,6 +888,10 @@ __attribute__((hot)) SimMetrics ReconstructionEngine::run(
     }
   }
   metrics.event_queue_regrowths = queue.regrowths();
+  // Terminal flush: remaining dirty lines reach disk at the time of the
+  // last event (app write-backs drain like app traffic — they do not
+  // extend the reconstruction makespan).
+  foreground.finalize(last_event_ms);
   foreground.assert_drained();
 
   // Spare-area writes may still be draining after the last worker

@@ -84,6 +84,11 @@ struct ReconstructionConfig {
   /// Disabled by default (byte-identical to the unthrottled engine).
   ThrottleConfig throttle;
 
+  /// Foreground write path (sim/foreground.h): parity-update planner +
+  /// dirty write-back cache. Disabled by default (byte-identical to the
+  /// legacy synchronous-RMW engine).
+  WritePathConfig write;
+
   /// Optional run-level observability sink (not owned). When set, the run
   /// exports counters/gauges/histograms under `obs_label` and emits trace
   /// spans for stripes, disk service, XOR folds, and spare writes at the

@@ -30,10 +30,31 @@ void validate_metrics(const SimMetrics& m) {
                 "disk_reads != planned_disk_reads + misses + fault.retries",
                 m.disk_reads,
                 m.planned_disk_reads + m.cache.misses + m.fault.retries));
-  FBF_CHECK(m.disk_writes == m.chunks_recovered,
+  // spare_writes is counted unconditionally (it is the legacy meaning of
+  // disk_writes), so both laws bind whether or not the write path is on:
+  // they reduce to disk_writes == chunks_recovered when it is off.
+  FBF_CHECK(m.write.spare_writes == m.chunks_recovered,
             law("every recovered chunk is spare-written exactly once: "
-                "disk_writes != chunks_recovered",
-                m.disk_writes, m.chunks_recovered));
+                "write.spare_writes != chunks_recovered",
+                m.write.spare_writes, m.chunks_recovered));
+  FBF_CHECK(m.disk_writes == m.write.spare_writes + m.write.write_backs +
+                                 m.write.parity_updates,
+            law("every disk write is a spare write, a dirty write-back, or "
+                "a parity update: disk_writes != write.spare_writes + "
+                "write.write_backs + write.parity_updates",
+                m.disk_writes,
+                m.write.spare_writes + m.write.write_backs +
+                    m.write.parity_updates));
+  FBF_CHECK(m.write.dirty_installed == m.write.flushed + m.write.lost_dirty,
+            law("every dirty line is eventually flushed or lost to a disk "
+                "failure: write.dirty_installed != write.flushed + "
+                "write.lost_dirty",
+                m.write.dirty_installed,
+                m.write.flushed + m.write.lost_dirty));
+  FBF_CHECK(m.write.flushed == m.write.write_backs,
+            law("every flushed dirty line pays exactly one write-back: "
+                "write.flushed != write.write_backs",
+                m.write.flushed, m.write.write_backs));
   FBF_CHECK(m.fault.respared <= m.fault.extra_lost_chunks,
             law("every respared spare copy is an extra lost chunk: "
                 "fault.respared > fault.extra_lost_chunks",

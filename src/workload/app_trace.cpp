@@ -12,10 +12,17 @@ std::vector<AppRequest> generate_app_trace(const codes::Layout& layout,
   FBF_CHECK(config.mean_interarrival_ms > 0.0,
             "interarrival mean must be positive");
   FBF_CHECK(config.deadline_ms >= 0.0, "deadline must be non-negative");
+  FBF_CHECK(config.rewrite_fraction >= 0.0 && config.rewrite_fraction <= 1.0,
+            "rewrite fraction must be a probability");
 
   util::Rng rng(config.seed);
   std::vector<AppRequest> trace;
   trace.reserve(static_cast<std::size_t>(config.num_requests));
+  // Ring of recent write targets for rewrite_fraction; untouched (no RNG
+  // draws) when the knob is 0, preserving byte-identical default traces.
+  constexpr std::size_t kRewriteWindow = 64;
+  std::vector<std::pair<std::uint64_t, codes::Cell>> recent_writes;
+  std::size_t recent_next = 0;
   double clock_ms = 0.0;
   for (int i = 0; i < config.num_requests; ++i) {
     AppRequest r;
@@ -24,6 +31,20 @@ std::vector<AppRequest> generate_app_trace(const codes::Layout& layout,
     r.cell = layout.cell_at(static_cast<int>(
         rng.uniform_int(0, layout.num_cells() - 1)));
     r.is_read = rng.bernoulli(config.read_fraction);
+    if (!r.is_read && config.rewrite_fraction > 0.0) {
+      if (!recent_writes.empty() && rng.bernoulli(config.rewrite_fraction)) {
+        const auto& [s, c] = recent_writes[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(recent_writes.size()) - 1))];
+        r.stripe = s;
+        r.cell = c;
+      }
+      if (recent_writes.size() < kRewriteWindow) {
+        recent_writes.emplace_back(r.stripe, r.cell);
+      } else {
+        recent_writes[recent_next] = {r.stripe, r.cell};
+        recent_next = (recent_next + 1) % kRewriteWindow;
+      }
+    }
     clock_ms += rng.exponential(config.mean_interarrival_ms);
     r.arrival_ms = clock_ms;
     r.deadline_ms = config.deadline_ms;

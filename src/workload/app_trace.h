@@ -31,6 +31,11 @@ struct AppTraceConfig {
   /// vary mean_interarrival_ms against a fixed deadline to trace out the
   /// SLO cliff.
   double deadline_ms = 0.0;
+  /// Fraction of writes that re-target one of the last 64 written chunks
+  /// instead of a fresh Zipf draw, so a write-back cache sees dirty-line
+  /// reuse (restamps, write hits). 0 draws no extra RNG values and keeps
+  /// the trace byte-identical to the pre-write-path generator.
+  double rewrite_fraction = 0.0;
   std::uint64_t seed = 7;
 };
 

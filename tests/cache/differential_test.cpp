@@ -250,6 +250,172 @@ TEST_P(DifferentialFuzz, EmptyBatchIsANoOp) {
   EXPECT_EQ(opt->size(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Write-back surface (policy.h write()/dirty layer). The op alphabet grows
+// to the full foreground vocabulary — demand reads, dirty writes, installs,
+// batched touches, periodic flushes with FBF-aware retention, evicted-dirty
+// drains, and invalidations — and the optimized policy must track the
+// golden model op for op: same hit/miss, same dirty set in mark order,
+// same pending write-back queue, same write stats. >120k mixed ops per
+// policy across the scenario sweep.
+// ---------------------------------------------------------------------------
+
+void expect_same_dirty_state(const CachePolicy& opt,
+                             const reference::ReferencePolicy& ref,
+                             const std::string& context) {
+  ASSERT_EQ(opt.dirty_count(), ref.dirty_count()) << context;
+  const std::vector<core::DirtyLine> opt_dirty = opt.dirty_lines();
+  const std::vector<core::DirtyLine> ref_dirty = ref.dirty_lines();
+  ASSERT_EQ(opt_dirty.size(), ref_dirty.size()) << context;
+  for (std::size_t i = 0; i < opt_dirty.size(); ++i) {
+    ASSERT_EQ(opt_dirty[i], ref_dirty[i])
+        << context << ": dirty line " << i << " diverges (key "
+        << opt_dirty[i].key << " p" << int{opt_dirty[i].priority} << " vs key "
+        << ref_dirty[i].key << " p" << int{ref_dirty[i].priority} << ")";
+  }
+}
+
+void run_write_differential(PolicyId id, const Scenario& s,
+                            std::uint64_t seed) {
+  const auto opt = make_policy(id, s.capacity);
+  const auto ref = reference::make_reference_policy(id, s.capacity);
+  util::Rng rng(seed);
+  const std::string context = std::string(to_string(id)) + "/" + s.label +
+                              " seed=" + std::to_string(seed);
+  std::vector<Key> keys;
+  std::vector<std::uint8_t> pris;
+  std::vector<std::uint64_t> opt_words;
+  std::vector<std::uint64_t> ref_words;
+  std::vector<core::DirtyLine> opt_lines;
+  std::vector<core::DirtyLine> ref_lines;
+  for (int i = 0; i < s.ops; ++i) {
+    const Key key = static_cast<Key>(
+        rng.uniform_int(0, static_cast<std::int64_t>(s.key_range) - 1));
+    const int prio = static_cast<int>(rng.uniform_int(1, 3));
+    const std::string at = context + " op=" + std::to_string(i);
+    const double dice = rng.uniform01();
+    if (dice < 0.30) {
+      ASSERT_EQ(opt->write(key, prio), ref->write(key, prio))
+          << at << " write key=" << key;
+    } else if (dice < 0.60) {
+      ASSERT_EQ(opt->request(key, prio), ref->request(key, prio))
+          << at << " key=" << key;
+    } else if (dice < 0.72) {
+      opt->install(key, prio);
+      ref->install(key, prio);
+    } else if (dice < 0.82) {
+      const auto n = static_cast<std::size_t>(rng.uniform_int(1, 9));
+      keys.resize(n);
+      pris.resize(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        keys[j] = static_cast<Key>(
+            rng.uniform_int(0, static_cast<std::int64_t>(s.key_range) - 1));
+        pris[j] = static_cast<std::uint8_t>(rng.uniform_int(1, 3));
+      }
+      opt_words.assign((n + 63) / 64, 0);
+      ref_words.assign((n + 63) / 64, 0);
+      opt->touch_batch(keys.data(), pris.data(), n, opt_words.data());
+      ref->touch_batch(keys.data(), pris.data(), n, ref_words.data());
+      ASSERT_EQ(opt_words, ref_words) << at << " touch batch";
+    } else if (dice < 0.87) {
+      // Pending write-backs must drain identically and in the same order.
+      opt_lines.clear();
+      ref_lines.clear();
+      opt->take_evicted_dirty(opt_lines);
+      ref->take_evicted_dirty(ref_lines);
+      ASSERT_EQ(opt_lines, ref_lines) << at << " evicted-dirty queue";
+    } else if (dice < 0.92) {
+      // Flush with a random retention floor (0 = flush everything, 2..3 =
+      // favorable blocks keep their dirty bit).
+      const int retain = static_cast<int>(rng.uniform_int(0, 3));
+      opt_lines.clear();
+      ref_lines.clear();
+      opt->flush_dirty(opt_lines, retain);
+      ref->flush_dirty(ref_lines, retain);
+      ASSERT_EQ(opt_lines, ref_lines) << at << " flush retain=" << retain;
+    } else if (dice < 0.97) {
+      ASSERT_EQ(opt->invalidate_dirty(key), ref->invalidate_dirty(key))
+          << at << " invalidate key=" << key;
+    } else {
+      ASSERT_EQ(opt->is_dirty(key), ref->is_dirty(key))
+          << at << " is_dirty key=" << key;
+    }
+    ASSERT_EQ(opt->size(), ref->size()) << at;
+    ASSERT_EQ(opt->dirty_count(), ref->dirty_count()) << at;
+    if (i % 1024 == 0) {
+      expect_same_resident_set(*opt, *ref, at);
+      expect_same_dirty_state(*opt, *ref, at);
+    }
+  }
+  expect_same_resident_set(*opt, *ref, context);
+  expect_same_dirty_state(*opt, *ref, context);
+  // Drain the pending queues one last time so the cumulative stats below
+  // cover every eviction either side produced.
+  opt_lines.clear();
+  ref_lines.clear();
+  opt->take_evicted_dirty(opt_lines);
+  ref->take_evicted_dirty(ref_lines);
+  EXPECT_EQ(opt_lines, ref_lines) << context;
+  EXPECT_EQ(opt->stats().hits, ref->stats().hits) << context;
+  EXPECT_EQ(opt->stats().misses, ref->stats().misses) << context;
+  EXPECT_EQ(opt->stats().evictions, ref->stats().evictions) << context;
+  EXPECT_EQ(opt->write_stats().write_hits, ref->write_stats().write_hits)
+      << context;
+  EXPECT_EQ(opt->write_stats().write_misses, ref->write_stats().write_misses)
+      << context;
+  EXPECT_EQ(opt->write_stats().dirty_installed,
+            ref->write_stats().dirty_installed)
+      << context;
+  EXPECT_EQ(opt->write_stats().evicted_dirty, ref->write_stats().evicted_dirty)
+      << context;
+}
+
+TEST_P(DifferentialFuzz, MixedWriteStreamsMatchGoldenModel) {
+  std::uint64_t seed = 0xd127e5 + static_cast<std::uint64_t>(GetParam());
+  for (const Scenario& s : kScenarios) {
+    run_write_differential(GetParam(), s, seed);
+    if (HasFatalFailure()) {
+      return;
+    }
+    seed += 0x9e3779b97f4a7c15ull;
+  }
+}
+
+TEST_P(DifferentialFuzz, WriteOnlyStreamsCountNoReadTraffic) {
+  // write() traffic must never leak into the read-side hit/miss stats the
+  // paper's curves are built from.
+  const auto opt = make_policy(GetParam(), 8);
+  const auto ref = reference::make_reference_policy(GetParam(), 8);
+  util::Rng rng(99);
+  for (int i = 0; i < 4000; ++i) {
+    const Key key = static_cast<Key>(rng.uniform_int(0, 30));
+    const int prio = static_cast<int>(rng.uniform_int(1, 3));
+    ASSERT_EQ(opt->write(key, prio), ref->write(key, prio)) << "op " << i;
+    ASSERT_EQ(opt->dirty_count(), ref->dirty_count()) << "op " << i;
+  }
+  expect_same_resident_set(*opt, *ref, "write-only");
+  expect_same_dirty_state(*opt, *ref, "write-only");
+  EXPECT_EQ(opt->stats().accesses(), 0u);
+  EXPECT_EQ(ref->stats().accesses(), 0u);
+  EXPECT_EQ(opt->write_stats().writes(), 4000u);
+  EXPECT_EQ(ref->write_stats().writes(), 4000u);
+}
+
+TEST_P(DifferentialFuzz, ZeroCapacityWriteSemantics) {
+  // Capacity 0 admits nothing: writes count misses, nothing turns dirty,
+  // and the flush/drain surfaces stay empty (mirrors the scalar reads).
+  const auto opt = make_policy(GetParam(), 0);
+  EXPECT_FALSE(opt->write(1, 3));
+  EXPECT_FALSE(opt->write(1, 3));
+  EXPECT_EQ(opt->dirty_count(), 0u);
+  EXPECT_EQ(opt->write_stats().write_misses, 2u);
+  EXPECT_EQ(opt->write_stats().dirty_installed, 0u);
+  std::vector<core::DirtyLine> lines;
+  opt->flush_dirty(lines, 0);
+  opt->take_evicted_dirty(lines);
+  EXPECT_TRUE(lines.empty());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllPolicies, DifferentialFuzz,
     ::testing::Values(PolicyId::Fifo, PolicyId::Lru, PolicyId::Lfu,

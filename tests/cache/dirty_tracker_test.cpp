@@ -1,0 +1,103 @@
+#include "cache/core/dirty_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fbf::cache::core {
+namespace {
+
+std::vector<DirtyLine> snapshot_of(const DirtyTracker& t) {
+  std::vector<DirtyLine> out;
+  t.snapshot(out);
+  return out;
+}
+
+TEST(DirtyTracker, MarkReportsOnlyCleanToDirtyTransitions) {
+  DirtyTracker t(8);
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.mark(10, 1));
+  EXPECT_TRUE(t.mark(20, 3));
+  EXPECT_FALSE(t.mark(10, 2));  // restamp, not a transition
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_TRUE(t.contains(10));
+  EXPECT_TRUE(t.contains(20));
+  EXPECT_FALSE(t.contains(30));
+}
+
+TEST(DirtyTracker, RestampKeepsMarkOrderAndLatestPriorityWins) {
+  DirtyTracker t(8);
+  t.mark(1, 1);
+  t.mark(2, 1);
+  t.mark(3, 1);
+  t.mark(1, 3);  // rewrite of the oldest line: stays oldest, priority 3
+  const std::vector<DirtyLine> expected{{1, 3}, {2, 1}, {3, 1}};
+  EXPECT_EQ(snapshot_of(t), expected);
+}
+
+TEST(DirtyTracker, ClearReturnsStampedPriorityOrZero) {
+  DirtyTracker t(8);
+  t.mark(5, 2);
+  EXPECT_EQ(t.clear(5), 2);
+  EXPECT_EQ(t.clear(5), 0);  // already clean
+  EXPECT_EQ(t.clear(99), 0);  // never dirty
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(DirtyTracker, SnapshotDoesNotClear) {
+  DirtyTracker t(8);
+  t.mark(7, 1);
+  t.mark(8, 2);
+  EXPECT_EQ(snapshot_of(t).size(), 2u);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(snapshot_of(t), snapshot_of(t));
+}
+
+TEST(DirtyTracker, DrainEmptiesInMarkOrder) {
+  DirtyTracker t(8);
+  t.mark(3, 1);
+  t.mark(1, 2);
+  t.mark(2, 3);
+  std::vector<DirtyLine> out;
+  t.drain(out);
+  const std::vector<DirtyLine> expected{{3, 1}, {1, 2}, {2, 3}};
+  EXPECT_EQ(out, expected);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.clear(3), 0);
+}
+
+TEST(DirtyTracker, DrainRetainsLinesAtOrAboveMinPriority) {
+  DirtyTracker t(8);
+  t.mark(1, 1);
+  t.mark(2, 3);
+  t.mark(3, 1);
+  t.mark(4, 2);
+  std::vector<DirtyLine> out;
+  t.drain(out, /*retain_min_priority=*/2);
+  const std::vector<DirtyLine> drained{{1, 1}, {3, 1}};
+  EXPECT_EQ(out, drained);
+  const std::vector<DirtyLine> retained{{2, 3}, {4, 2}};
+  EXPECT_EQ(snapshot_of(t), retained);
+  // A full drain then takes the retained lines, still in mark order.
+  out.clear();
+  t.drain(out);
+  EXPECT_EQ(out, retained);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(DirtyTracker, ReusesSlotsAfterClearUpToCapacity) {
+  DirtyTracker t(4);
+  for (int round = 0; round < 16; ++round) {
+    for (Key k = 0; k < 4; ++k) {
+      EXPECT_TRUE(t.mark(100 * round + k, 1));
+    }
+    EXPECT_EQ(t.size(), 4u);
+    std::vector<DirtyLine> out;
+    t.drain(out);
+    EXPECT_EQ(out.size(), 4u);
+    EXPECT_TRUE(t.empty());
+  }
+}
+
+}  // namespace
+}  // namespace fbf::cache::core

@@ -1,0 +1,361 @@
+// Property tests for the partial-stripe write planner (recovery/write_plan).
+//
+// Each randomized trial draws a code, a data-cell target, a cached set, and
+// a decodable damaged set, then checks three properties:
+//
+//  1. Optimality — the chosen plan's I/O never exceeds the other feasible
+//     candidate's, and ties go to RMW.
+//  2. Byte replay — executing the plan's math using ONLY the sources it
+//     listed (its reads plus the new target bytes) reproduces exactly the
+//     parities of a full re-encode. This catches both wrong closures and
+//     read sets that silently under-provision a strategy.
+//  3. Degraded consistency — after applying the plan (damaged parities
+//     skipped), erasing the damaged cells and running the GaussOnly oracle
+//     decode reproduces the post-write truth bytes, i.e. skipping damaged
+//     parities leaves the stripe recoverable and consistent.
+#include "recovery/write_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "codes/builders.h"
+#include "codes/codec.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace fbf;
+using codes::Cell;
+using recovery::WritePlan;
+using recovery::WritePlanKind;
+
+constexpr std::size_t kChunk = 96;  // odd stride: exercises the XOR tail loop
+
+using Bytes = std::vector<std::byte>;
+
+Bytes chunk_copy(const codes::StripeData& stripe, Cell c) {
+  const auto s = stripe.chunk(c);
+  return Bytes(s.begin(), s.end());
+}
+
+void xor_into(Bytes& acc, const Bytes& src) {
+  for (std::size_t i = 0; i < acc.size(); ++i) {
+    acc[i] ^= src[i];
+  }
+}
+
+struct Trial {
+  Cell target;
+  std::vector<char> cached;   // by cell index
+  std::vector<char> damaged;  // by cell index
+  std::vector<Cell> damaged_cells;
+};
+
+// Draws a data-cell target, a ~30% cached set, and 0-3 damaged cells
+// (never the target) forming a decodable erasure pattern.
+Trial draw_trial(const codes::Layout& layout, util::Rng& rng) {
+  Trial t;
+  const int n = layout.num_cells();
+  do {
+    t.target = layout.cell_at(static_cast<int>(rng.uniform_int(0, n - 1)));
+  } while (layout.kind(t.target) != codes::CellKind::Data);
+  t.cached.assign(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    t.cached[static_cast<std::size_t>(i)] = rng.bernoulli(0.3) ? 1 : 0;
+  }
+  for (;;) {
+    t.damaged.assign(static_cast<std::size_t>(n), 0);
+    t.damaged_cells.clear();
+    const int count = static_cast<int>(rng.uniform_int(0, 3));
+    while (static_cast<int>(t.damaged_cells.size()) < count) {
+      const int i = static_cast<int>(rng.uniform_int(0, n - 1));
+      const Cell c = layout.cell_at(i);
+      if (c == t.target || t.damaged[static_cast<std::size_t>(i)]) {
+        continue;
+      }
+      t.damaged[static_cast<std::size_t>(i)] = 1;
+      t.damaged_cells.push_back(c);
+    }
+    if (codes::erasure_decodable(layout, t.damaged_cells)) {
+      return t;
+    }
+  }
+}
+
+// Replays `plan` against the pre-write stripe using only the plan's own
+// read set. Returns the computed parity bytes by cell index (nullopt =
+// value never became computable, legal only for damaged chains no later
+// chain consumes). Fails the test if a non-damaged parity is uncomputable
+// or a claimed read is not in the plan.
+std::vector<std::optional<Bytes>> replay(const codes::Layout& layout,
+                                         const WritePlan& plan,
+                                         const codes::StripeData& before,
+                                         const Bytes& new_target) {
+  const std::size_t n = static_cast<std::size_t>(layout.num_cells());
+  // Sources the plan paid for (cache reads are free but still listed).
+  std::vector<std::optional<Bytes>> reads(n);
+  for (const Cell& c : plan.disk_reads) {
+    reads[static_cast<std::size_t>(layout.cell_index(c))] = chunk_copy(before, c);
+  }
+  for (const Cell& c : plan.cache_reads) {
+    reads[static_cast<std::size_t>(layout.cell_index(c))] = chunk_copy(before, c);
+  }
+  std::vector<std::optional<Bytes>> out(n);
+  if (plan.kind == WritePlanKind::Rmw) {
+    // Delta propagation: every closure cell's delta is the XOR of its
+    // chain's member deltas; unchanged members contribute zero.
+    std::vector<std::optional<Bytes>> delta(n);
+    const std::size_t ti = static_cast<std::size_t>(layout.cell_index(plan.target));
+    if (plan.parity_writes() > 0) {
+      EXPECT_TRUE(reads[ti].has_value())
+          << "RMW with live parities must read the old target";
+      if (!reads[ti].has_value()) {
+        return out;
+      }
+      Bytes d = *reads[ti];
+      xor_into(d, new_target);
+      delta[ti] = std::move(d);
+    }
+    for (const recovery::ParityUpdate& u : plan.updates) {
+      Bytes d(kChunk, std::byte{0});
+      for (const Cell& m : layout.chain(u.chain_id).cells) {
+        if (m == u.parity) {
+          continue;
+        }
+        const auto& md = delta[static_cast<std::size_t>(layout.cell_index(m))];
+        if (md.has_value()) {
+          xor_into(d, *md);
+        }
+      }
+      const std::size_t pi = static_cast<std::size_t>(layout.cell_index(u.parity));
+      if (!u.damaged) {
+        EXPECT_TRUE(reads[pi].has_value())
+            << "RMW must read the old value of each live closure parity";
+        if (reads[pi].has_value()) {
+          Bytes v = *reads[pi];
+          xor_into(v, d);
+          out[pi] = std::move(v);
+        }
+      }
+      delta[pi] = std::move(d);
+    }
+  } else if (plan.kind == WritePlanKind::Rcw) {
+    // Value propagation: recompute each closure parity from member values;
+    // a member is known if it is the target, a plan read, or an earlier
+    // closure parity that was computable.
+    std::vector<std::optional<Bytes>> known = reads;
+    known[static_cast<std::size_t>(layout.cell_index(plan.target))] = new_target;
+    for (const recovery::ParityUpdate& u : plan.updates) {
+      Bytes v(kChunk, std::byte{0});
+      bool complete = true;
+      for (const Cell& m : layout.chain(u.chain_id).cells) {
+        if (m == u.parity) {
+          continue;
+        }
+        const auto& mv = known[static_cast<std::size_t>(layout.cell_index(m))];
+        if (!mv.has_value()) {
+          complete = false;
+          break;
+        }
+        xor_into(v, *mv);
+      }
+      EXPECT_TRUE(complete || u.damaged)
+          << "RCW read set must cover every live closure chain";
+      const std::size_t pi = static_cast<std::size_t>(layout.cell_index(u.parity));
+      if (complete) {
+        known[pi] = v;
+        if (!u.damaged) {
+          out[pi] = std::move(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+class WritePlanProperty : public ::testing::TestWithParam<codes::CodeId> {};
+
+TEST_P(WritePlanProperty, ChosenPlanIsMinimalAndBytesCorrect) {
+  util::Rng rng(0xFB0F ^ static_cast<std::uint64_t>(GetParam()));
+  for (const int p : {5, 7}) {
+    const codes::Layout layout = codes::make_layout(GetParam(), p);
+    codes::StripeData before(layout, kChunk);
+    for (int trial = 0; trial < 40; ++trial) {
+      before.fill_random(rng);
+      codes::encode(before);
+      const Trial t = draw_trial(layout, rng);
+      const auto cached = [&](Cell c) {
+        return t.cached[static_cast<std::size_t>(layout.cell_index(c))] != 0;
+      };
+      const auto damaged = [&](Cell c) {
+        return t.damaged[static_cast<std::size_t>(layout.cell_index(c))] != 0;
+      };
+
+      const WritePlan rmw = recovery::plan_rmw(layout, t.target, cached, damaged);
+      const WritePlan rcw = recovery::plan_rcw(layout, t.target, cached, damaged);
+      const WritePlan chosen =
+          recovery::plan_partial_stripe_write(layout, t.target, cached, damaged);
+
+      // Both candidates agree on the closure (it is pure geometry + damage).
+      ASSERT_EQ(rmw.updates.size(), rcw.updates.size());
+      for (std::size_t i = 0; i < rmw.updates.size(); ++i) {
+        EXPECT_EQ(rmw.updates[i].chain_id, rcw.updates[i].chain_id);
+        EXPECT_EQ(rmw.updates[i].damaged, rcw.updates[i].damaged);
+      }
+      EXPECT_FALSE(rmw.updates.empty());  // every data cell sits in a chain
+
+      // Property 1: minimal feasible choice, ties to RMW.
+      if (rmw.feasible && rcw.feasible) {
+        EXPECT_LE(chosen.io_count(), rmw.io_count());
+        EXPECT_LE(chosen.io_count(), rcw.io_count());
+        if (rmw.io_count() == rcw.io_count()) {
+          EXPECT_EQ(chosen.kind, WritePlanKind::Rmw);
+        }
+      } else if (rmw.feasible) {
+        EXPECT_EQ(chosen.kind, WritePlanKind::Rmw);
+      } else if (rcw.feasible) {
+        EXPECT_EQ(chosen.kind, WritePlanKind::Rcw);
+      }
+      if (!chosen.feasible) {
+        continue;
+      }
+
+      // Truth: full re-encode with the new target bytes in place.
+      Bytes new_target(kChunk);
+      for (auto& b : new_target) {
+        b = static_cast<std::byte>(rng.uniform_int(0, 255));
+      }
+      codes::StripeData truth = before;
+      {
+        const auto dst = truth.chunk(t.target);
+        std::copy(new_target.begin(), new_target.end(), dst.begin());
+      }
+      codes::encode(truth);
+
+      // Chains outside the closure must be untouched by the write.
+      std::vector<char> in_closure(layout.chains().size(), 0);
+      for (const recovery::ParityUpdate& u : chosen.updates) {
+        in_closure[static_cast<std::size_t>(u.chain_id)] = 1;
+      }
+      for (const codes::Chain& chain : layout.chains()) {
+        if (!in_closure[static_cast<std::size_t>(chain.id)]) {
+          EXPECT_EQ(chunk_copy(truth, chain.parity_cell),
+                    chunk_copy(before, chain.parity_cell))
+              << "chain " << chain.id << " changed but is not in the closure";
+        }
+      }
+
+      // Property 2: replay from the plan's own read set matches the truth.
+      const auto computed = replay(layout, chosen, before, new_target);
+      for (const recovery::ParityUpdate& u : chosen.updates) {
+        const std::size_t pi =
+            static_cast<std::size_t>(layout.cell_index(u.parity));
+        if (u.damaged) {
+          EXPECT_FALSE(computed[pi].has_value() &&
+                       *computed[pi] != chunk_copy(truth, u.parity));
+          continue;
+        }
+        ASSERT_TRUE(computed[pi].has_value());
+        EXPECT_EQ(*computed[pi], chunk_copy(truth, u.parity))
+            << to_string(chosen.kind) << " parity bytes diverge on chain "
+            << u.chain_id;
+      }
+
+      // Property 3: apply the plan, erase the damage, oracle-decode — the
+      // degraded stripe must come back as the post-write truth.
+      codes::StripeData after = before;
+      {
+        const auto dst = after.chunk(t.target);
+        std::copy(new_target.begin(), new_target.end(), dst.begin());
+      }
+      for (const recovery::ParityUpdate& u : chosen.updates) {
+        if (u.damaged) {
+          continue;
+        }
+        const std::size_t pi =
+            static_cast<std::size_t>(layout.cell_index(u.parity));
+        const auto dst = after.chunk(u.parity);
+        std::copy(computed[pi]->begin(), computed[pi]->end(), dst.begin());
+      }
+      for (const Cell& c : t.damaged_cells) {
+        after.erase(c);
+      }
+      const auto result = codes::decode_erasures(after, t.damaged_cells,
+                                                 codes::DecodeMethod::GaussOnly);
+      ASSERT_TRUE(result.ok);
+      EXPECT_TRUE(codes::verify(after));
+      for (int i = 0; i < layout.num_cells(); ++i) {
+        const Cell c = layout.cell_at(i);
+        EXPECT_EQ(chunk_copy(after, c), chunk_copy(truth, c))
+            << "cell " << c.row << "," << c.col
+            << " diverges after degraded write + decode";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodes, WritePlanProperty,
+                         ::testing::ValuesIn(codes::kAllCodes),
+                         [](const auto& info) {
+                           return std::string(codes::to_string(info.param));
+                         });
+
+TEST(WritePlanTest, ParityTargetIsDirect) {
+  const codes::Layout layout = codes::make_layout(codes::CodeId::Tip, 7);
+  Cell parity{};
+  for (int i = 0; i < layout.num_cells(); ++i) {
+    if (layout.kind(layout.cell_at(i)) == codes::CellKind::Parity) {
+      parity = layout.cell_at(i);
+      break;
+    }
+  }
+  const auto no = [](Cell) { return false; };
+  const WritePlan plan =
+      recovery::plan_partial_stripe_write(layout, parity, no, no);
+  EXPECT_EQ(plan.kind, WritePlanKind::Direct);
+  EXPECT_TRUE(plan.updates.empty());
+  EXPECT_EQ(plan.io_count(), 0);
+  EXPECT_TRUE(plan.feasible);
+}
+
+TEST(WritePlanTest, FullyCachedWriteCostsOnlyParityWrites) {
+  const codes::Layout layout = codes::make_layout(codes::CodeId::Star, 5);
+  const auto yes = [](Cell) { return true; };
+  const auto no = [](Cell) { return false; };
+  Cell data{};
+  for (int i = 0; i < layout.num_cells(); ++i) {
+    if (layout.kind(layout.cell_at(i)) == codes::CellKind::Data) {
+      data = layout.cell_at(i);
+      break;
+    }
+  }
+  const WritePlan plan =
+      recovery::plan_partial_stripe_write(layout, data, yes, no);
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_TRUE(plan.disk_reads.empty());
+  EXPECT_EQ(plan.io_count(), plan.parity_writes());
+}
+
+TEST(WritePlanTest, AllParitiesDamagedNeedsNoIo) {
+  const codes::Layout layout = codes::make_layout(codes::CodeId::Star, 5);
+  const auto no = [](Cell) { return false; };
+  const auto parity_damaged = [&](Cell c) {
+    return layout.kind(c) == codes::CellKind::Parity;
+  };
+  Cell data{};
+  for (int i = 0; i < layout.num_cells(); ++i) {
+    if (layout.kind(layout.cell_at(i)) == codes::CellKind::Data) {
+      data = layout.cell_at(i);
+      break;
+    }
+  }
+  const WritePlan plan = recovery::plan_rmw(layout, data, no, parity_damaged);
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.io_count(), 0);
+  EXPECT_TRUE(plan.degraded());
+  EXPECT_EQ(plan.parity_writes(), 0);
+}
+
+}  // namespace

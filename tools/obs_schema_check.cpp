@@ -82,9 +82,34 @@ void check_metrics(const Value& doc) {
                 counter(counters, "run.planned_disk_reads") + misses +
                     counter_or_zero(counters, "run.fault.retries"),
             "disk reads != planned reads + cache misses + fault retries");
-  FBF_CHECK(counter(counters, "run.disk_writes") ==
-                counter(counters, "run.chunks_recovered"),
-            "disk writes != chunks recovered");
+  // Write-path laws. Every run — write path on or off — satisfies
+  // spare_writes == chunks_recovered, so the aggregate disk-write budget
+  // is checkable unconditionally through chunks_recovered. The exported
+  // run.write.spare_writes counter, however, only sums runs that enabled
+  // the write-back cache, so its strict equality is checkable only when
+  // every aggregated run did (run.write.runs == run.count); documents
+  // mixing legacy and write-path runs (the write-sweep benches) skip it.
+  const std::uint64_t disk_writes = counter(counters, "run.disk_writes");
+  const std::uint64_t chunks_recovered =
+      counter(counters, "run.chunks_recovered");
+  const std::uint64_t write_backs =
+      counter_or_zero(counters, "run.write.write_backs");
+  const std::uint64_t parity_updates =
+      counter_or_zero(counters, "run.write.parity_updates");
+  FBF_CHECK(disk_writes == chunks_recovered + write_backs + parity_updates,
+            "disk writes != spare writes + write-backs + parity updates");
+  if (counter_or_zero(counters, "run.write.runs") ==
+      counter(counters, "run.count")) {
+    FBF_CHECK(counter_or_zero(counters, "run.write.spare_writes") ==
+                  chunks_recovered,
+              "spare writes != chunks recovered");
+  }
+  FBF_CHECK(counter_or_zero(counters, "run.write.dirty_installed") ==
+                counter_or_zero(counters, "run.write.flushed") +
+                    counter_or_zero(counters, "run.write.lost_dirty"),
+            "write dirty_installed != flushed + lost_dirty");
+  FBF_CHECK(counter_or_zero(counters, "run.write.flushed") == write_backs,
+            "write flushed != write-backs");
   FBF_CHECK(counter_or_zero(counters, "run.fault.respared") <=
                 counter_or_zero(counters, "run.fault.extra_lost_chunks"),
             "fault respared exceeds extra lost chunks");
